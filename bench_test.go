@@ -1,0 +1,175 @@
+package thinc
+
+import (
+	"testing"
+
+	"thinc/internal/baseline"
+	"thinc/internal/bench"
+	"thinc/internal/compress"
+)
+
+// One benchmark per table/figure of the paper's evaluation (§8). Each
+// runs the simulated experiment behind the corresponding figure on a
+// shortened workload; cmd/thinc-bench regenerates the full-scale
+// numbers and EXPERIMENTS.md records paper-vs-measured. Benchmark time
+// here is simulation wall time, not the virtual latencies the figures
+// report.
+
+const (
+	benchPages   = 6
+	benchSeconds = 3
+)
+
+// BenchmarkFig2WebLatency drives the Figure 2 experiment: the web
+// benchmark over LAN and WAN for every platform.
+func BenchmarkFig2WebLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := bench.NewSuite(benchPages, benchSeconds)
+		_ = s.Fig2()
+	}
+}
+
+// BenchmarkFig3WebData drives the Figure 3 experiment: per-page data
+// transferred for every platform.
+func BenchmarkFig3WebData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := bench.NewSuite(benchPages, benchSeconds)
+		_ = s.Fig3()
+	}
+}
+
+// BenchmarkFig4RemoteWeb drives the Figure 4 experiment: THINC web
+// performance from the Table 2 remote sites.
+func BenchmarkFig4RemoteWeb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := bench.NewSuite(benchPages, benchSeconds)
+		_ = s.Fig4()
+	}
+}
+
+// BenchmarkFig5AVQuality drives the Figure 5 experiment: A/V playback
+// quality for every platform.
+func BenchmarkFig5AVQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := bench.NewSuite(benchPages, benchSeconds)
+		_ = s.Fig5()
+	}
+}
+
+// BenchmarkFig6AVData drives the Figure 6 experiment: A/V data
+// transferred for every platform.
+func BenchmarkFig6AVData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := bench.NewSuite(benchPages, benchSeconds)
+		_ = s.Fig6()
+	}
+}
+
+// BenchmarkFig7RemoteAV drives the Figure 7 experiment: THINC A/V
+// quality from the Table 2 remote sites.
+func BenchmarkFig7RemoteAV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := bench.NewSuite(benchPages, benchSeconds)
+		_ = s.Fig7()
+	}
+}
+
+// Ablation benchmarks: each isolates one design choice of DESIGN.md.
+
+// BenchmarkAblationOffscreen compares web traffic with offscreen
+// awareness on and off (§4.1), uncompressed to isolate the effect.
+func BenchmarkAblationOffscreen(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		b.Helper()
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			sys := baseline.THINCWith("v", CoreOptions{DisableOffscreen: disable})
+			w := bench.RunWeb(sys, bench.LANDesktop(), benchPages)
+			bytes = w.AvgBytes()
+		}
+		b.ReportMetric(float64(bytes), "bytes/page")
+	}
+	b.Run("tracked", func(b *testing.B) { run(b, false) })
+	b.Run("ignored", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationScheduler compares SRSF+realtime against FIFO on the
+// interactive-response microbenchmark (§5).
+func BenchmarkAblationScheduler(b *testing.B) {
+	run := func(b *testing.B, fifo bool) {
+		b.Helper()
+		var resp float64
+		for i := 0; i < b.N; i++ {
+			sys := baseline.THINCWith("v", CoreOptions{RawCodec: CodecPNG, FIFODelivery: fifo})
+			resp = bench.RunInteractive(sys, bench.WANDesktop()).Millis()
+		}
+		b.ReportMetric(resp, "response-ms")
+	}
+	b.Run("srsf", func(b *testing.B) { run(b, false) })
+	b.Run("fifo", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationPushPull compares server-push against client-pull
+// delivery on WAN video (§5).
+func BenchmarkAblationPushPull(b *testing.B) {
+	run := func(b *testing.B, sys baseline.System) {
+		b.Helper()
+		var q float64
+		for i := 0; i < b.N; i++ {
+			q = bench.RunAV(sys, bench.WANDesktop(), benchSeconds).Quality
+		}
+		b.ReportMetric(q*100, "quality-%")
+	}
+	b.Run("push", func(b *testing.B) { run(b, baseline.THINC()) })
+	b.Run("pull", func(b *testing.B) { run(b, baseline.WithPull("pull")) })
+}
+
+// BenchmarkAblationResize compares server-side against client-side
+// resizing on the PDA configuration (§6).
+func BenchmarkAblationResize(b *testing.B) {
+	run := func(b *testing.B, sys baseline.System) {
+		b.Helper()
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			bytes = bench.RunWeb(sys, bench.PDA(), benchPages).AvgBytes()
+		}
+		b.ReportMetric(float64(bytes), "bytes/page")
+	}
+	clientResize := baseline.THINC()
+	clientResize.SysName = "client-resize"
+	clientResize.ResizeBy = baseline.ResizeClient
+	b.Run("server", func(b *testing.B) { run(b, baseline.THINC()) })
+	b.Run("client", func(b *testing.B) { run(b, clientResize) })
+}
+
+// BenchmarkAblationCompression compares PNG-compressed against
+// uncompressed RAW payloads on the web workload (§7).
+func BenchmarkAblationCompression(b *testing.B) {
+	run := func(b *testing.B, codec compress.Codec) {
+		b.Helper()
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			sys := baseline.THINCWith("v", CoreOptions{RawCodec: codec})
+			bytes = bench.RunWeb(sys, bench.LANDesktop(), benchPages).AvgBytes()
+		}
+		b.ReportMetric(float64(bytes), "bytes/page")
+	}
+	b.Run("png", func(b *testing.B) { run(b, CodecPNG) })
+	b.Run("none", func(b *testing.B) { run(b, CodecNone) })
+}
+
+// BenchmarkMicroScrollDrag measures the interactive scroll/drag cost
+// THINC's COPY command exists for (§3).
+func BenchmarkMicroScrollDrag(b *testing.B) {
+	for _, name := range []string{"THINC", "VNC"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var r bench.MicroResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunScrollDrag(bench.SystemByName(name))
+			}
+			b.ReportMetric(float64(r.ScrollBytes), "scroll-B/step")
+			b.ReportMetric(float64(r.DragBytes), "drag-B/step")
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Command thinc-client is the headless instrumented THINC client the
+// paper deployed to remote sites (§8.1): it authenticates, processes
+// the full display and audio stream without output hardware, and
+// reports per-command-type traffic statistics.
+//
+// Usage:
+//
+//	thinc-client -addr localhost:4900 -user demo -pass demo -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"thinc/internal/client"
+	"thinc/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:4900", "server address")
+	user := flag.String("user", "demo", "user name")
+	pass := flag.String("pass", "demo", "password (or shared-session password)")
+	vw := flag.Int("view-width", 0, "viewport width (0 = session size)")
+	vh := flag.Int("view-height", 0, "viewport height (0 = session size)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run")
+	click := flag.Bool("click", false, "send a test mouse click after connecting")
+	flag.Parse()
+
+	conn, err := client.Dial(*addr, *user, *pass, *vw, *vh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	log.Printf("connected: session %dx%d, viewport %dx%d",
+		conn.ServerW, conn.ServerH, conn.Snapshot().W(), conn.Snapshot().H())
+
+	done := make(chan error, 1)
+	go func() { done <- conn.Run() }()
+
+	if *click {
+		_ = conn.SendInput(&wire.Input{
+			Kind: wire.InputMouseButton,
+			X:    conn.ServerW / 2, Y: conn.ServerH / 2,
+			Code: 1, Press: true,
+			TimeUS: uint64(time.Now().UnixMicro()),
+		})
+	}
+
+	select {
+	case err := <-done:
+		log.Printf("stream ended: %v", err)
+	case <-time.After(*duration):
+	}
+
+	st := conn.Stats()
+	fmt.Printf("screen checksum: %08x\n", conn.Snapshot().Checksum())
+	fmt.Printf("%-12s %10s %12s\n", "command", "count", "bytes")
+	var types []wire.Type
+	for ty := range st.Messages {
+		types = append(types, ty)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	var total int64
+	for _, ty := range types {
+		fmt.Printf("%-12v %10d %12d\n", ty, st.Messages[ty], st.Bytes[ty])
+		total += st.Bytes[ty]
+	}
+	fmt.Printf("%-12s %10s %12d\n", "total", "", total)
+	if st.FramesShown > 0 {
+		fmt.Printf("video frames shown: %d\n", st.FramesShown)
+	}
+	if st.AudioChunks > 0 {
+		fmt.Printf("audio chunks: %d\n", st.AudioChunks)
+	}
+}

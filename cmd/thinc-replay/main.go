@@ -1,0 +1,82 @@
+// Command thinc-replay plays back a session recording produced by the
+// server's -record flag (or Host.Record): it executes the timestamped
+// command stream into a headless client — optionally at recorded speed —
+// and reports what the session contained. Recording and replaying a
+// session is the mirroring building block §1 of the paper highlights
+// (technical support, collaboration, auditing).
+//
+// Usage:
+//
+//	thinc-server -record session.thinc &
+//	...
+//	thinc-replay -in session.thinc -width 1024 -height 768
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"thinc/internal/client"
+	"thinc/internal/server"
+	"thinc/internal/wire"
+)
+
+func main() {
+	in := flag.String("in", "", "recording file (required)")
+	w := flag.Int("width", 1024, "session width")
+	h := flag.Int("height", 768, "session height")
+	realtime := flag.Bool("realtime", false, "replay at recorded speed instead of instantly")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+
+	viewer := client.New(*w, *h)
+	var count int
+	var last uint64
+	start := time.Now()
+	for {
+		rec, err := server.ReadRecord(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("record %d: %v", count+1, err)
+		}
+		if *realtime {
+			target := time.Duration(rec.AtUS) * time.Microsecond
+			if elapsed := time.Since(start); elapsed < target {
+				time.Sleep(target - elapsed)
+			}
+		}
+		if err := viewer.Apply(rec.Msg); err != nil {
+			log.Fatalf("apply record %d (%v): %v", count+1, rec.Msg.Type(), err)
+		}
+		count++
+		last = rec.AtUS
+	}
+
+	fmt.Printf("replayed %d commands spanning %.2fs\n", count, float64(last)/1e6)
+	fmt.Printf("final screen checksum: %08x\n", viewer.FB().Checksum())
+	st := viewer.Stats()
+	var types []wire.Type
+	for ty := range st.Messages {
+		types = append(types, ty)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, ty := range types {
+		fmt.Printf("  %-12v x%-6d %10d bytes\n", ty, st.Messages[ty], st.Bytes[ty])
+	}
+}

@@ -1,0 +1,185 @@
+// Command thinc-server runs a THINC display session over TCP: a window
+// system with the THINC virtual display driver, an authenticated
+// RC4-encrypted transport, and a small interactive demo application so
+// connected clients have something to watch and click (§7).
+//
+// Usage:
+//
+//	thinc-server -addr :4900 -user demo -pass demo
+//
+// Connect with thinc-client (add -click to press the demo button).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/compress"
+	"thinc/internal/core"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/server"
+	"thinc/internal/ui"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":4900", "listen address")
+	user := flag.String("user", "demo", "session owner")
+	pass := flag.String("pass", "demo", "owner password")
+	sessionPass := flag.String("session-pass", "", "optional shared-session password for peers")
+	w := flag.Int("width", 1024, "session framebuffer width")
+	h := flag.Int("height", 768, "session framebuffer height")
+	demo := flag.Bool("demo", true, "run the built-in demo application")
+	record := flag.String("record", "", "record the session's command stream to a file (see thinc-replay)")
+	flag.Parse()
+
+	accounts := auth.NewAccounts()
+	accounts.Add(*user, *pass)
+	gate := auth.NewAuthenticator(*user, accounts)
+	if *sessionPass != "" {
+		gate.SetSessionPassword(*sessionPass)
+	}
+
+	app := &demoApp{}
+	host := server.NewHost(*w, *h, gate, server.Options{
+		Core:    core.Options{RawCodec: compress.CodecPNG},
+		OnInput: app.input,
+	})
+	app.host = host
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		rec := host.Record(f)
+		defer func() {
+			if err := rec.Close(); err != nil {
+				log.Printf("recorder: %v", err)
+			}
+			f.Close()
+		}()
+		log.Printf("recording session to %s", *record)
+	}
+
+	if *demo {
+		go app.run(*w, *h)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("thinc-server: %dx%d session on %s (user %q)", *w, *h, l.Addr(), *user)
+	if err := host.Serve(l); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+// demoApp is an interactive dashboard built on the ui toolkit: a
+// clickable counter button, an animated gauge, a bouncing box, and a
+// double-buffered ticker line — fills, text, copies, raw updates, and
+// real-time button feedback, continuously.
+type demoApp struct {
+	host *server.Host
+
+	mu     sync.Mutex
+	panel  *ui.Panel
+	button *ui.Button
+	count  *ui.Label
+	gauge  *ui.Gauge
+	clicks int
+}
+
+func (a *demoApp) run(w, h int) {
+	a.host.Do(func(d *xserver.Display) {
+		win := d.CreateWindow(geom.XYWH(0, 0, w, h))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(24, 26, 32)}, win.Bounds())
+		d.DrawText(win, &xserver.GC{Fg: pixel.RGB(240, 240, 240)}, 16, 16,
+			"THINC demo session")
+
+		a.mu.Lock()
+		a.panel = &ui.Panel{Win: win, Area: geom.XYWH(16, 180, 360, 140),
+			Background: pixel.RGB(36, 40, 48)}
+		a.button = &ui.Button{Rect: geom.XYWH(16, 16, 120, 28), Text: "press me",
+			OnClick: func() { a.clicks++ }}
+		a.count = &ui.Label{At: geom.Point{X: 160, Y: 24}, Text: "clicks: 0",
+			Color: pixel.RGB(220, 220, 120)}
+		a.gauge = &ui.Gauge{Rect: geom.XYWH(16, 70, 320, 14)}
+		a.panel.Add(a.button)
+		a.panel.Add(a.count)
+		a.panel.Add(a.gauge)
+		a.panel.Render(d)
+		a.mu.Unlock()
+
+		cursor := make([]pixel.ARGB, 8*8)
+		for i := range cursor {
+			cursor[i] = pixel.PackARGB(230, 240, 240, 255)
+		}
+		d.SetCursor(cursor, 8, 8, geom.Point{})
+	})
+
+	x, dx := 40, 4
+	tick := 0
+	for range time.Tick(100 * time.Millisecond) {
+		tick++
+		a.host.Do(func(d *xserver.Display) {
+			win := d.CreateWindow(geom.XYWH(0, 0, w, h))
+			// Bouncing box.
+			d.FillRect(win, &xserver.GC{Fg: pixel.RGB(24, 26, 32)}, geom.XYWH(0, 60, w, 60))
+			d.FillRect(win, &xserver.GC{Fg: pixel.RGB(200, 80, 40)}, geom.XYWH(x, 70, 40, 40))
+			// Ticker line via offscreen double buffering.
+			pm := d.CreatePixmap(w, 20)
+			d.FillRect(pm, &xserver.GC{Fg: pixel.RGB(40, 44, 52)}, pm.Bounds())
+			d.DrawText(pm, &xserver.GC{Fg: pixel.RGB(120, 220, 120)}, 8, 4,
+				fmt.Sprintf("tick %d", tick))
+			d.CopyArea(win, pm, pm.Bounds(), geom.Point{X: 0, Y: 140})
+			d.FreePixmap(pm)
+
+			// Animated gauge + click counter.
+			a.mu.Lock()
+			a.gauge.Value = float64(tick%50) / 50
+			a.count.Text = fmt.Sprintf("clicks: %d", a.clicks)
+			a.panel.Render(d)
+			a.mu.Unlock()
+		})
+		x += dx
+		if x < 8 || x > w-56 {
+			dx = -dx
+		}
+	}
+}
+
+// input dispatches client clicks to the panel (button feedback is drawn
+// immediately — the real-time path).
+func (a *demoApp) input(ev *wire.Input) {
+	if ev.Kind != wire.InputMouseButton {
+		return
+	}
+	a.mu.Lock()
+	panel := a.panel
+	a.mu.Unlock()
+	if panel == nil {
+		return
+	}
+	a.host.Do(func(d *xserver.Display) {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if ev.Press {
+			if panel.Click(d, geom.Point{X: ev.X, Y: ev.Y}) {
+				log.Printf("button pressed (clicks=%d)", a.clicks)
+			}
+		} else {
+			panel.Release(d)
+		}
+	})
+}

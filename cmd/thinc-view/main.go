@@ -1,0 +1,93 @@
+// Command thinc-view is a terminal THINC viewer: it connects like any
+// client and renders the session into the terminal using 24-bit ANSI
+// half-block cells, refreshing live — a usable (if chunky) display for
+// machines with no graphics output, and a quick way to *see* a session,
+// cursor included.
+//
+// Usage:
+//
+//	thinc-view -addr localhost:4900 -cols 100 -rows 36
+//	thinc-view -addr localhost:4900 -once          # one frame, then exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"thinc/internal/client"
+	"thinc/internal/fb"
+	"thinc/internal/resample"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:4900", "server address")
+	user := flag.String("user", "demo", "user name")
+	pass := flag.String("pass", "demo", "password")
+	cols := flag.Int("cols", 100, "terminal columns")
+	rows := flag.Int("rows", 36, "terminal rows (each shows two pixel rows)")
+	fps := flag.Int("fps", 10, "refresh rate")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	duration := flag.Duration("duration", 0, "exit after this long (0 = run until the stream ends)")
+	flag.Parse()
+
+	conn, err := client.Dial(*addr, *user, *pass, 0, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- conn.Run() }()
+
+	if *once {
+		time.Sleep(300 * time.Millisecond) // let the refresh land
+		os.Stdout.WriteString(render(conn.View(), *cols, *rows))
+		return
+	}
+
+	fmt.Print("\x1b[2J") // clear
+	t := time.NewTicker(time.Second / time.Duration(max(1, *fps)))
+	defer t.Stop()
+	var stop <-chan time.Time
+	if *duration > 0 {
+		stop = time.After(*duration)
+	}
+	for {
+		select {
+		case err := <-done:
+			fmt.Print("\x1b[0m\n")
+			log.Printf("stream ended: %v", err)
+			return
+		case <-stop:
+			fmt.Print("\x1b[0m\n")
+			return
+		case <-t.C:
+			frame := render(conn.View(), *cols, *rows)
+			fmt.Print("\x1b[H" + frame) // home + repaint
+		}
+	}
+}
+
+// render downsamples the framebuffer to cols x (2*rows) pixels and
+// encodes it as ANSI half-blocks: each character cell carries two
+// vertically stacked pixels (foreground = top, background = bottom).
+func render(f *fb.Framebuffer, cols, rows int) string {
+	pix := resample.Fant(f.Pix(), f.W(), f.W(), f.H(), cols, rows*2)
+	var b strings.Builder
+	b.Grow(cols * rows * 40)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			top := pix[(2*y)*cols+x]
+			bot := pix[(2*y+1)*cols+x]
+			fmt.Fprintf(&b, "\x1b[38;2;%d;%d;%dm\x1b[48;2;%d;%d;%dm▀",
+				top.R(), top.G(), top.B(), bot.R(), bot.G(), bot.B())
+		}
+		b.WriteString("\x1b[0m\n")
+	}
+	return b.String()
+}

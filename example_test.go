@@ -1,0 +1,60 @@
+package thinc_test
+
+import (
+	"fmt"
+
+	"thinc"
+)
+
+// Example_localPipeline drives the whole translation pipeline without a
+// network: a window system with the THINC virtual driver, a command
+// buffer, and a message-executing client.
+func Example_localPipeline() {
+	core := thinc.NewCoreServer(thinc.CoreOptions{RawCodec: thinc.CodecPNG})
+	dpy := thinc.NewDisplay(320, 240, core)
+	buf := core.AttachClient(320, 240)
+	view := thinc.NewClient(320, 240)
+	if err := view.ApplyAll(buf.FlushAll()); err != nil { // initial refresh
+		panic(err)
+	}
+
+	// An application draws: a page prepared offscreen, flipped onscreen.
+	win := dpy.CreateWindow(thinc.XYWH(0, 0, 320, 240))
+	page := dpy.CreatePixmap(300, 200)
+	dpy.FillRect(page, &thinc.GC{Fg: thinc.RGB(250, 250, 250)}, page.Bounds())
+	dpy.DrawText(page, &thinc.GC{Fg: thinc.RGB(0, 0, 0)}, 10, 10, "offscreen page")
+	dpy.CopyArea(win, page, page.Bounds(), thinc.Point{X: 10, Y: 20})
+	dpy.FreePixmap(page)
+
+	// The client executes the protocol commands and matches the screen.
+	if err := view.ApplyAll(buf.FlushAll()); err != nil {
+		panic(err)
+	}
+	fmt.Println("client matches server:", view.FB().Equal(dpy.Screen()))
+	// Output:
+	// client matches server: true
+}
+
+// Example_serverResize shows server-side scaling (§6): a PDA-sized
+// client attached to the same session receives resampled updates.
+func Example_serverResize() {
+	core := thinc.NewCoreServer(thinc.CoreOptions{})
+	dpy := thinc.NewDisplay(640, 480, core)
+	desktop := core.AttachClient(640, 480)
+	pda := core.AttachClient(160, 120)
+	dView := thinc.NewClient(640, 480)
+	pView := thinc.NewClient(160, 120)
+	dView.ApplyAll(desktop.FlushAll())
+	pView.ApplyAll(pda.FlushAll())
+
+	win := dpy.CreateWindow(thinc.XYWH(0, 0, 640, 480))
+	dpy.FillRect(win, &thinc.GC{Fg: thinc.RGB(30, 90, 200)}, win.Bounds())
+	dView.ApplyAll(desktop.FlushAll())
+	pView.ApplyAll(pda.FlushAll())
+
+	fmt.Println("desktop center:", dView.FB().At(320, 240) == thinc.RGB(30, 90, 200))
+	fmt.Println("pda center:    ", pView.FB().At(80, 60) == thinc.RGB(30, 90, 200))
+	// Output:
+	// desktop center: true
+	// pda center:     true
+}

@@ -1,0 +1,43 @@
+// Webbrowse reproduces the paper's headline web experiment in
+// miniature: the i-Bench-style page sequence loaded through THINC and
+// through a VNC-class scraper over an emulated cross-country WAN
+// (100 Mbps, 66 ms RTT), with per-page latency and data side by side.
+//
+// Run with:
+//
+//	go run ./examples/webbrowse
+package main
+
+import (
+	"fmt"
+
+	"thinc/internal/baseline"
+	"thinc/internal/bench"
+)
+
+func main() {
+	const pages = 12
+	cfg := bench.WANDesktop()
+	fmt.Printf("web browsing over %s\n\n", cfg.Link)
+
+	thinc := bench.RunWeb(baseline.THINC(), cfg, pages)
+	vnc := bench.RunWeb(baseline.VNC(), cfg, pages)
+
+	fmt.Printf("%-6s  %-22s  %-22s\n", "", "THINC", "VNC")
+	fmt.Printf("%-6s  %10s %10s  %10s %10s\n", "page", "ms", "KB", "ms", "KB")
+	for i := range thinc.Pages {
+		tp, vp := thinc.Pages[i], vnc.Pages[i]
+		tag := ""
+		if tp.ImageHeavy {
+			tag = " (image-heavy)"
+		}
+		fmt.Printf("%-6d  %10.0f %10.0f  %10.0f %10.0f%s\n", i+1,
+			tp.LatencyFull.Millis(), float64(tp.Bytes)/1024,
+			vp.LatencyFull.Millis(), float64(vp.Bytes)/1024, tag)
+	}
+	fmt.Printf("\naverage: THINC %.0f ms / %.0f KB per page, VNC %.0f ms / %.0f KB per page\n",
+		thinc.AvgLatencyFull().Millis(), float64(thinc.AvgBytes())/1024,
+		vnc.AvgLatencyFull().Millis(), float64(vnc.AvgBytes())/1024)
+	fmt.Println("\nTHINC ships semantic commands (fills, glyphs, copies); the scraper")
+	fmt.Println("re-compresses pixels and pays a round trip per update batch.")
+}

@@ -1,0 +1,3 @@
+module thinc
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package audio implements THINC's virtual audio driver (§4.2, §7): an
+// ALSA-like device interception point. Applications open a PCM stream
+// and write samples; the driver timestamps each chunk against the
+// stream clock and hands it to the per-client consumer, which sends it
+// over the display connection so audio and video share one timeline.
+package audio
+
+import (
+	"errors"
+	"sync"
+)
+
+// Format describes a PCM stream.
+type Format struct {
+	SampleRate int // Hz
+	Channels   int
+	Bits       int // per sample (16 in the prototype)
+}
+
+// CD is the prototype's fixed format: 44.1 kHz 16-bit stereo.
+var CD = Format{SampleRate: 44100, Channels: 2, Bits: 16}
+
+// BytesPerSecond returns the stream's data rate.
+func (f Format) BytesPerSecond() int {
+	return f.SampleRate * f.Channels * f.Bits / 8
+}
+
+// frameBytes is the size of one sample across all channels.
+func (f Format) frameBytes() int { return f.Channels * f.Bits / 8 }
+
+// Consumer receives timestamped PCM chunks (the per-client daemon that
+// is "automatically signaled as audio data becomes available", §7).
+type Consumer func(ptsUS uint64, pcm []byte)
+
+// Driver is the virtual audio device: it multiplexes streams from
+// multiple applications to the attached consumers.
+type Driver struct {
+	mu        sync.Mutex
+	consumers []Consumer
+	nextID    int
+}
+
+// NewDriver returns an empty virtual audio device.
+func NewDriver() *Driver { return &Driver{} }
+
+// Attach registers a per-client consumer and returns a detach func.
+func (d *Driver) Attach(c Consumer) (detach func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.consumers = append(d.consumers, c)
+	idx := len(d.consumers) - 1
+	return func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if idx < len(d.consumers) {
+			d.consumers[idx] = nil
+		}
+	}
+}
+
+func (d *Driver) deliver(pts uint64, pcm []byte) {
+	d.mu.Lock()
+	consumers := append([]Consumer(nil), d.consumers...)
+	d.mu.Unlock()
+	for _, c := range consumers {
+		if c != nil {
+			c(pts, pcm)
+		}
+	}
+}
+
+// Stream is one application playback stream. Writes are timestamped by
+// sample position: pts = samplesWritten / rate, so delivery preserves
+// the synchronization the application produced (§4.2).
+type Stream struct {
+	d       *Driver
+	format  Format
+	mu      sync.Mutex
+	samples int64
+	closed  bool
+}
+
+// ErrClosed is returned for writes to a closed stream.
+var ErrClosed = errors.New("audio: stream closed")
+
+// OpenStream starts a playback stream in the given format.
+func (d *Driver) OpenStream(f Format) *Stream {
+	if f.SampleRate <= 0 || f.Channels <= 0 || f.Bits <= 0 {
+		f = CD
+	}
+	return &Stream{d: d, format: f}
+}
+
+// Format returns the stream's format.
+func (s *Stream) Format() Format { return s.format }
+
+// PTS returns the presentation timestamp (µs) of the next sample.
+func (s *Stream) PTS() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pts()
+}
+
+func (s *Stream) pts() uint64 {
+	return uint64(s.samples * 1e6 / int64(s.format.SampleRate))
+}
+
+// Write plays PCM bytes (whole frames; a trailing partial frame is an
+// error). The chunk is stamped with the stream position of its first
+// sample and handed to every consumer.
+func (s *Stream) Write(pcm []byte) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	fb := s.format.frameBytes()
+	if len(pcm)%fb != 0 {
+		s.mu.Unlock()
+		return 0, errors.New("audio: write not frame-aligned")
+	}
+	pts := s.pts()
+	s.samples += int64(len(pcm) / fb)
+	s.mu.Unlock()
+
+	s.d.deliver(pts, pcm)
+	return len(pcm), nil
+}
+
+// Close ends the stream.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// SyncReport measures audio/video synchronization from delivery logs:
+// for each audio chunk, the skew against the video frame whose
+// presentation interval contains it.
+type SyncReport struct {
+	MaxSkewUS int64
+	Samples   int
+}
+
+// CheckSync compares audio chunk timestamps with video frame
+// timestamps; both slices are (pts, deliveredAt) pairs in µs. Skew is
+// the difference between delivery delay of audio and of the nearest
+// video frame — the quantity THINC's shared timestamping bounds.
+func CheckSync(audio, video [][2]uint64) SyncReport {
+	var rep SyncReport
+	for _, a := range audio {
+		var best int64 = -1
+		var bestDelay int64
+		for _, v := range video {
+			d := int64(a[0]) - int64(v[0])
+			if d < 0 {
+				d = -d
+			}
+			if best < 0 || d < best {
+				best = d
+				bestDelay = int64(v[1]) - int64(v[0])
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		aDelay := int64(a[1]) - int64(a[0])
+		skew := aDelay - bestDelay
+		if skew < 0 {
+			skew = -skew
+		}
+		if skew > rep.MaxSkewUS {
+			rep.MaxSkewUS = skew
+		}
+		rep.Samples++
+	}
+	return rep
+}

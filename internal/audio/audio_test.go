@@ -1,0 +1,118 @@
+package audio
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStreamTimestamps(t *testing.T) {
+	d := NewDriver()
+	var got [][2]uint64 // pts, bytes
+	d.Attach(func(pts uint64, pcm []byte) {
+		got = append(got, [2]uint64{pts, uint64(len(pcm))})
+	})
+	s := d.OpenStream(CD)
+	chunk := make([]byte, CD.BytesPerSecond()/10) // 100ms
+	for i := 0; i < 3; i++ {
+		if _, err := s.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d chunks delivered", len(got))
+	}
+	// 100ms chunks: timestamps at 0, 100000, 200000 µs.
+	for i, g := range got {
+		want := uint64(i) * 100000
+		if diff := int64(g[0]) - int64(want); diff < -50 || diff > 50 {
+			t.Errorf("chunk %d pts %d, want ~%d", i, g[0], want)
+		}
+	}
+}
+
+func TestUnalignedWriteRejected(t *testing.T) {
+	d := NewDriver()
+	s := d.OpenStream(CD)
+	if _, err := s.Write(make([]byte, 3)); err == nil {
+		t.Fatal("partial frame accepted")
+	}
+}
+
+func TestClosedStream(t *testing.T) {
+	d := NewDriver()
+	s := d.OpenStream(CD)
+	s.Close()
+	if _, err := s.Write(make([]byte, 4)); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestMultiplexing(t *testing.T) {
+	// Multiple streams (applications) and multiple consumers (clients):
+	// every consumer sees every stream's data (§7: the driver
+	// multiplexes across THINC users).
+	d := NewDriver()
+	var mu sync.Mutex
+	counts := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		d.Attach(func(uint64, []byte) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+	}
+	s1 := d.OpenStream(CD)
+	s2 := d.OpenStream(Format{SampleRate: 22050, Channels: 1, Bits: 16})
+	s1.Write(make([]byte, 8))
+	s2.Write(make([]byte, 8))
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("consumer counts %v, want [2 2]", counts)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	d := NewDriver()
+	n := 0
+	detach := d.Attach(func(uint64, []byte) { n++ })
+	s := d.OpenStream(CD)
+	s.Write(make([]byte, 4))
+	detach()
+	s.Write(make([]byte, 4))
+	if n != 1 {
+		t.Fatalf("detached consumer still called: %d", n)
+	}
+}
+
+func TestDefaultFormatFallback(t *testing.T) {
+	d := NewDriver()
+	s := d.OpenStream(Format{})
+	if s.Format() != CD {
+		t.Fatal("invalid format should fall back to CD")
+	}
+}
+
+func TestCheckSync(t *testing.T) {
+	// Audio and video delivered with identical delay: zero skew.
+	audio := [][2]uint64{{0, 5000}, {100000, 105000}}
+	video := [][2]uint64{{0, 5000}, {41666, 46666}, {83333, 88333}, {125000, 130000}}
+	rep := CheckSync(audio, video)
+	if rep.Samples != 2 || rep.MaxSkewUS != 0 {
+		t.Fatalf("report %+v, want 2 samples zero skew", rep)
+	}
+	// Audio delayed 40ms more than video: 40ms skew.
+	audio = [][2]uint64{{100000, 145000}}
+	rep = CheckSync(audio, video)
+	if rep.MaxSkewUS != 40000 {
+		t.Fatalf("skew %d, want 40000", rep.MaxSkewUS)
+	}
+	if CheckSync(audio, nil).Samples != 0 {
+		t.Fatal("no video should yield no samples")
+	}
+}
+
+func TestBytesPerSecond(t *testing.T) {
+	if CD.BytesPerSecond() != 176400 {
+		t.Fatalf("CD rate %d", CD.BytesPerSecond())
+	}
+}

@@ -1,0 +1,158 @@
+// Package auth implements THINC's authentication model (§7): a
+// PAM-style pluggable verifier where a user must hold a valid account
+// on the server and own the session being connected to, extended with
+// per-session passwords so a host can invite peers into a shared
+// screen session. The wire exchange is challenge/response: the server
+// sends a nonce, the client proves knowledge of the secret without
+// sending it.
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"sync"
+)
+
+// Errors returned by Verify.
+var (
+	ErrUnknownUser = errors.New("auth: unknown user")
+	ErrBadProof    = errors.New("auth: bad credentials")
+	ErrNotOwner    = errors.New("auth: user does not own this session")
+)
+
+// NonceSize is the challenge size in bytes.
+const NonceSize = 16
+
+// Module verifies a user's proof for a nonce — the pluggable step
+// (PAM module analogue). Implementations must be safe for concurrent
+// use.
+type Module interface {
+	Verify(user string, nonce, proof []byte) error
+}
+
+// Proof computes the response for a nonce and secret:
+// HMAC-SHA256(secret, nonce). Used by clients.
+func Proof(secret string, nonce []byte) []byte {
+	m := hmac.New(sha256.New, []byte(secret))
+	m.Write(nonce)
+	return m.Sum(nil)
+}
+
+// SessionKey derives the RC4 transport key for an authenticated
+// connection from the shared secret and the handshake nonce.
+func SessionKey(secret string, nonce []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("thinc-session-key"))
+	h.Write([]byte(secret))
+	h.Write(nonce)
+	return h.Sum(nil)[:16]
+}
+
+// Accounts is the account-database module: users and their secrets.
+type Accounts struct {
+	mu      sync.RWMutex
+	secrets map[string]string
+}
+
+// NewAccounts returns an empty account database.
+func NewAccounts() *Accounts {
+	return &Accounts{secrets: make(map[string]string)}
+}
+
+// Add registers (or replaces) a user's secret.
+func (a *Accounts) Add(user, secret string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.secrets[user] = secret
+}
+
+// Secret looks up a user's secret.
+func (a *Accounts) Secret(user string) (string, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s, ok := a.secrets[user]
+	return s, ok
+}
+
+// Verify implements Module.
+func (a *Accounts) Verify(user string, nonce, proof []byte) error {
+	secret, ok := a.Secret(user)
+	if !ok {
+		return ErrUnknownUser
+	}
+	if !hmac.Equal(proof, Proof(secret, nonce)) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// Authenticator gates session access: the owner authenticates through
+// the account module; peers may join a shared session with the session
+// password (§7).
+type Authenticator struct {
+	Owner    string
+	Accounts Module
+
+	mu          sync.RWMutex
+	sessionPass string
+}
+
+// NewAuthenticator builds a session gate for owner backed by accounts.
+func NewAuthenticator(owner string, accounts Module) *Authenticator {
+	return &Authenticator{Owner: owner, Accounts: accounts}
+}
+
+// SetSessionPassword enables shared-session access; empty disables it.
+func (g *Authenticator) SetSessionPassword(pass string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sessionPass = pass
+}
+
+// NewChallenge returns a fresh random nonce.
+func (g *Authenticator) NewChallenge() ([]byte, error) {
+	nonce := make([]byte, NonceSize)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return nonce, nil
+}
+
+// Verify checks a connection attempt. The owner must pass account
+// verification; any other user may join only with the session password
+// (their proof is computed over the session password).
+func (g *Authenticator) Verify(user string, nonce, proof []byte) error {
+	if user == g.Owner {
+		return g.Accounts.Verify(user, nonce, proof)
+	}
+	g.mu.RLock()
+	pass := g.sessionPass
+	g.mu.RUnlock()
+	if pass == "" {
+		return ErrNotOwner
+	}
+	if !hmac.Equal(proof, Proof(pass, nonce)) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// SecretFor returns the secret the given user would key the transport
+// with: the account secret for the owner, the session password for
+// peers. ok is false when the user cannot connect at all.
+func (g *Authenticator) SecretFor(user string) (string, bool) {
+	if user == g.Owner {
+		if acc, okA := g.Accounts.(*Accounts); okA {
+			return acc.Secret(user)
+		}
+		return "", false
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.sessionPass == "" {
+		return "", false
+	}
+	return g.sessionPass, true
+}

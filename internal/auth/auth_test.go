@@ -1,0 +1,111 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+)
+
+func gate() *Authenticator {
+	acc := NewAccounts()
+	acc.Add("ricardo", "hunter2")
+	return NewAuthenticator("ricardo", acc)
+}
+
+func TestOwnerAuthenticates(t *testing.T) {
+	g := gate()
+	nonce, err := g.NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nonce) != NonceSize {
+		t.Fatalf("nonce size %d", len(nonce))
+	}
+	if err := g.Verify("ricardo", nonce, Proof("hunter2", nonce)); err != nil {
+		t.Fatalf("owner rejected: %v", err)
+	}
+}
+
+func TestWrongPasswordRejected(t *testing.T) {
+	g := gate()
+	nonce, _ := g.NewChallenge()
+	if err := g.Verify("ricardo", nonce, Proof("wrong", nonce)); err != ErrBadProof {
+		t.Fatalf("got %v, want ErrBadProof", err)
+	}
+}
+
+func TestUnknownUserRejected(t *testing.T) {
+	g := gate()
+	nonce, _ := g.NewChallenge()
+	// Not the owner, no session password: cannot join at all.
+	if err := g.Verify("mallory", nonce, Proof("x", nonce)); err != ErrNotOwner {
+		t.Fatalf("got %v, want ErrNotOwner", err)
+	}
+	// Even a real account that is not the session owner is refused.
+	acc := NewAccounts()
+	acc.Add("ricardo", "a")
+	acc.Add("leonard", "b")
+	g2 := NewAuthenticator("ricardo", acc)
+	nonce2, _ := g2.NewChallenge()
+	if err := g2.Verify("leonard", nonce2, Proof("b", nonce2)); err != ErrNotOwner {
+		t.Fatalf("non-owner accepted: %v", err)
+	}
+}
+
+func TestSharedSessionPassword(t *testing.T) {
+	g := gate()
+	g.SetSessionPassword("collab")
+	nonce, _ := g.NewChallenge()
+	if err := g.Verify("guest", nonce, Proof("collab", nonce)); err != nil {
+		t.Fatalf("peer with session password rejected: %v", err)
+	}
+	if err := g.Verify("guest", nonce, Proof("not-collab", nonce)); err != ErrBadProof {
+		t.Fatalf("wrong session password: %v", err)
+	}
+	g.SetSessionPassword("")
+	if err := g.Verify("guest", nonce, Proof("collab", nonce)); err != ErrNotOwner {
+		t.Fatalf("disabled sharing still admits peers: %v", err)
+	}
+}
+
+func TestProofDependsOnNonce(t *testing.T) {
+	p1 := Proof("secret", []byte("nonce-1"))
+	p2 := Proof("secret", []byte("nonce-2"))
+	if bytes.Equal(p1, p2) {
+		t.Fatal("proof must vary with nonce (replay protection)")
+	}
+}
+
+func TestChallengesUnique(t *testing.T) {
+	g := gate()
+	a, _ := g.NewChallenge()
+	b, _ := g.NewChallenge()
+	if bytes.Equal(a, b) {
+		t.Fatal("challenges must be unique")
+	}
+}
+
+func TestSessionKeyDerivation(t *testing.T) {
+	n := []byte("0123456789abcdef")
+	k1 := SessionKey("s1", n)
+	k2 := SessionKey("s2", n)
+	if len(k1) != 16 || bytes.Equal(k1, k2) {
+		t.Fatal("session keys must be 128-bit and secret-dependent")
+	}
+	if bytes.Equal(SessionKey("s1", []byte("other-nonce-16by")), k1) {
+		t.Fatal("session keys must be nonce-dependent")
+	}
+}
+
+func TestSecretFor(t *testing.T) {
+	g := gate()
+	if s, ok := g.SecretFor("ricardo"); !ok || s != "hunter2" {
+		t.Fatal("owner secret wrong")
+	}
+	if _, ok := g.SecretFor("guest"); ok {
+		t.Fatal("peer without session password should have no secret")
+	}
+	g.SetSessionPassword("collab")
+	if s, ok := g.SecretFor("guest"); !ok || s != "collab" {
+		t.Fatal("peer secret should be the session password")
+	}
+}

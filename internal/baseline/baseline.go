@@ -1,0 +1,189 @@
+// Package baseline implements the systems the paper evaluates against
+// (§2, §8): THINC itself plus architectural models of Citrix ICA,
+// Microsoft RDP, Sun Ray, VNC, GoToMyPC, X, NX, and the local PC. The
+// originals are closed commercial products; each model reproduces the
+// *architectural* properties the paper's analysis attributes the
+// results to — where the UI runs, how display commands are intercepted,
+// push vs pull delivery, offscreen and video handling, and where
+// resizing happens — over the same workloads and link models.
+package baseline
+
+import (
+	"thinc/internal/driver"
+	"thinc/internal/geom"
+	"thinc/internal/sim"
+	"thinc/internal/simnet"
+	"thinc/internal/xserver"
+)
+
+// ResizeMode is how a system presents a session on a small screen (§6).
+type ResizeMode int
+
+// Small-screen strategies.
+const (
+	ResizeNone   ResizeMode = iota // small screens unsupported
+	ResizeServer                   // THINC: server scales updates
+	ResizeClient                   // ICA/GoToMyPC: full-size data, client scales
+	ResizeClip                     // RDP/VNC: client shows a viewport-sized clip
+)
+
+func (m ResizeMode) String() string {
+	switch m {
+	case ResizeServer:
+		return "server"
+	case ResizeClient:
+		return "client"
+	case ResizeClip:
+		return "clip"
+	default:
+		return "none"
+	}
+}
+
+// System describes one thin-client architecture.
+type System interface {
+	// Name is the display name used in result tables.
+	Name() string
+	// NativeVideo reports whether applications can use the video port
+	// (among the systems tested, only THINC for MPEG-1 content).
+	NativeVideo() bool
+	// SupportsAudio reports whether the system carries audio (VNC and
+	// GoToMyPC do not).
+	SupportsAudio() bool
+	// Resize reports the system's small-screen strategy.
+	Resize() ResizeMode
+	// ColorBits is the client color depth (GoToMyPC is 8).
+	ColorBits() int
+	// NewSession opens a simulated client/server connection.
+	NewSession(cfg SessionConfig) Session
+}
+
+// SessionConfig parameterizes a session.
+type SessionConfig struct {
+	Eng          *sim.Engine
+	Link         simnet.LinkParams
+	W, H         int // session framebuffer geometry
+	ViewW, ViewH int // client viewport geometry
+}
+
+// Viewport returns the client viewport rectangle.
+func (c SessionConfig) Viewport() geom.Rect { return geom.XYWH(0, 0, c.ViewW, c.ViewH) }
+
+// Scaled reports whether the viewport differs from the session size.
+func (c SessionConfig) Scaled() bool { return c.ViewW != c.W || c.ViewH != c.H }
+
+// InputEvent is a user action the benchmark injects (§8.2's mechanical
+// mouse clicker).
+type InputEvent struct {
+	P geom.Point
+	// LayoutCost is the application-logic CPU time of the response
+	// (HTML layout), charged at server speed wherever the application
+	// runs.
+	LayoutCost sim.Time
+	// RenderCost is the drawing CPU time, charged wherever the UI runs:
+	// at the server for server-rendered systems, at the (slower) client
+	// for X-class systems and the local PC.
+	RenderCost sim.Time
+	// ContentBytes is the page's intrinsic fetched content (used by the
+	// local-PC baseline, which downloads the page itself).
+	ContentBytes int
+	// OnServer renders the response; the harness draws into the window
+	// system inside this callback.
+	OnServer func()
+}
+
+// SessionStats are the measurements the slow-motion harness reads.
+type SessionStats struct {
+	BytesToClient int64    // wire bytes delivered to the client
+	MsgsToClient  int      // messages delivered
+	LastDelivery  sim.Time // arrival time of the newest display data
+	ClientCPU     sim.Time // accumulated client processing time
+
+	VideoFrames           int // video frames shown at the client
+	FirstFrame, LastFrame sim.Time
+	AudioChunks           int
+	// MaxAVSkew is the worst |audio delay - video delay| observed across
+	// deliveries — the §4.2 synchronization property THINC's shared
+	// timestamping bounds. Only meaningful on the native video path.
+	MaxAVSkew sim.Time
+}
+
+// Session is one live client/server connection under simulation.
+type Session interface {
+	// Driver returns the video driver to attach to the window system
+	// (the interception point; scraping systems return a no-op and read
+	// the rendered screen instead).
+	Driver() driver.Driver
+	// BindDisplay hands the session the display after creation.
+	BindDisplay(d *xserver.Display)
+	// Start arms the session's periodic machinery (flush timers,
+	// initial update requests).
+	Start()
+	// Input injects a user event; see InputEvent.
+	Input(ev InputEvent)
+	// Damage tells the session new content was rendered (push systems
+	// also learn through their driver; scrapers depend on this).
+	Damage()
+	// Audio delivers a timestamped PCM chunk from the virtual audio
+	// driver; ignored by systems without audio support.
+	Audio(ptsUS uint64, size int)
+	// SetVideoRect tells the session where video plays so software-path
+	// frame deliveries can be counted (full-coverage updates).
+	SetVideoRect(r geom.Rect)
+	// SoftwareFrame models one frame of software video playback for
+	// systems without a native video path: the player has blitted a
+	// full-screen image of rawBytes of ARGB data whose zlib ratios (24-
+	// and 8-bit) were measured by the harness. An undelivered previous
+	// frame is replaced (players drop frames under backpressure).
+	SoftwareFrame(seq int, ptsUS uint64, rawBytes int, ratio24, ratio8 float64)
+	// Stats returns the current measurements.
+	Stats() SessionStats
+}
+
+// Cost model: CPU time charged for rendering and codec work. The
+// absolute values are calibrated to the testbed's era (dual 933 MHz
+// server, 450 MHz client); only the ratios matter for figure shapes.
+const (
+	// CostPerOp is the window-server cost per drawing request.
+	CostPerOp = 30 * sim.Microsecond
+	// CostPageLayout is browser layout/application logic per page.
+	CostPageLayout = 40 * sim.Millisecond
+	// CostClientPerMsg is the client's fixed cost per applied message.
+	CostClientPerMsg = 5 * sim.Microsecond
+	// ClientSlowdown is how much slower the client CPU is than the
+	// server (450 MHz PII vs dual 933 MHz PIII).
+	ClientSlowdown = 2.2
+)
+
+// PixelCost returns the rendering cost of n pixels (~8 ns each).
+func PixelCost(n int) sim.Time { return sim.Time(n) / 128 }
+
+// ByteCost returns the client apply cost of n bytes (~2 ns each).
+func ByteCost(n int64) sim.Time { return sim.Time(n) / 512 }
+
+// ZlibCost returns compression CPU for n input bytes (~20 ns each).
+func ZlibCost(n int64) sim.Time { return sim.Time(n) / 50 }
+
+// UnzlibCost returns decompression CPU for n bytes (~10 ns each).
+func UnzlibCost(n int64) sim.Time { return sim.Time(n) / 100 }
+
+// PNGCost returns PNG encode CPU for n input bytes (~40 ns each).
+func PNGCost(n int64) sim.Time { return sim.Time(n) / 25 }
+
+// ResampleCost returns the cost of resampling n pixels (~16 ns each).
+func ResampleCost(n int) sim.Time { return sim.Time(n) / 64 }
+
+// RenderCost estimates the window-server cost of a page or update from
+// its op and pixel counts.
+func RenderCost(ops, pixels int) sim.Time {
+	return sim.Time(ops)*CostPerOp + PixelCost(pixels)
+}
+
+// audioSlack is how late an audio chunk may arrive and still play (the
+// client-side jitter buffer).
+const audioSlack = 300 * sim.Millisecond
+
+// ClientTime scales a cost to the slower client CPU.
+func ClientTime(t sim.Time) sim.Time {
+	return sim.Time(float64(t) * ClientSlowdown)
+}

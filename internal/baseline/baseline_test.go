@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"testing"
+
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/sim"
+	"thinc/internal/simnet"
+	"thinc/internal/xserver"
+)
+
+func testCfg(link simnet.LinkParams) SessionConfig {
+	return SessionConfig{Eng: sim.NewEngine(), Link: link, W: 256, H: 192, ViewW: 256, ViewH: 192}
+}
+
+func TestSystemProperties(t *testing.T) {
+	cases := []struct {
+		sys    System
+		video  bool
+		audio  bool
+		resize ResizeMode
+		bits   int
+	}{
+		{THINC(), true, true, ResizeServer, 24},
+		{SunRay(), false, true, ResizeNone, 24},
+		{ICA(), false, true, ResizeClient, 24},
+		{RDP(), false, true, ResizeClip, 24},
+		{VNC(), false, false, ResizeClip, 24},
+		{GoToMyPC(), false, false, ResizeClient, 8},
+		{X(), false, true, ResizeNone, 24},
+		{NX(), false, true, ResizeNone, 24},
+		{Local(), true, true, ResizeNone, 24},
+	}
+	for _, c := range cases {
+		if c.sys.NativeVideo() != c.video {
+			t.Errorf("%s: NativeVideo = %v", c.sys.Name(), c.sys.NativeVideo())
+		}
+		if c.sys.SupportsAudio() != c.audio {
+			t.Errorf("%s: SupportsAudio = %v", c.sys.Name(), c.sys.SupportsAudio())
+		}
+		if c.sys.Resize() != c.resize {
+			t.Errorf("%s: Resize = %v", c.sys.Name(), c.sys.Resize())
+		}
+		if c.sys.ColorBits() != c.bits {
+			t.Errorf("%s: ColorBits = %d", c.sys.Name(), c.sys.ColorBits())
+		}
+	}
+}
+
+// drive renders a small scene through a session and drains the engine.
+func drive(t *testing.T, sys System) (Session, *sim.Engine) {
+	t.Helper()
+	cfg := testCfg(simnet.LAN())
+	sess := sys.NewSession(cfg)
+	dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+	sess.BindDisplay(dpy)
+	win := dpy.CreateWindow(geom.XYWH(0, 0, cfg.W, cfg.H))
+	sess.Start()
+	cfg.Eng.Run()
+
+	done := false
+	cfg.Eng.At(cfg.Eng.Now()+10*sim.Millisecond, func() {
+		sess.Input(InputEvent{
+			P:          geom.Point{X: 10, Y: 10},
+			LayoutCost: sim.Millisecond,
+			RenderCost: sim.Millisecond,
+			OnServer: func() {
+				dpy.FillRect(win, &xserver.GC{Fg: pixel.RGB(200, 10, 10)}, geom.XYWH(0, 0, 128, 96))
+				dpy.DrawText(win, &xserver.GC{Fg: pixel.RGB(0, 0, 0)}, 5, 5, "hello")
+				sess.Damage()
+				done = true
+			},
+		})
+	})
+	cfg.Eng.Run()
+	if !done {
+		t.Fatalf("%s: input never reached the server", sys.Name())
+	}
+	return sess, cfg.Eng
+}
+
+func TestAllSessionsDeliverDrawing(t *testing.T) {
+	for _, sys := range []System{THINC(), SunRay(), ICA(), RDP(), VNC(), GoToMyPC(), X(), NX()} {
+		sess, _ := drive(t, sys)
+		st := sess.Stats()
+		if st.BytesToClient == 0 {
+			t.Errorf("%s: no display data delivered", sys.Name())
+		}
+		if st.LastDelivery == 0 {
+			t.Errorf("%s: no delivery time recorded", sys.Name())
+		}
+	}
+}
+
+func TestLocalSessionFetchesContent(t *testing.T) {
+	cfg := testCfg(simnet.LAN())
+	sess := Local().NewSession(cfg)
+	dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+	sess.BindDisplay(dpy)
+	sess.Start()
+	ran := false
+	sess.Input(InputEvent{
+		LayoutCost:   10 * sim.Millisecond,
+		RenderCost:   5 * sim.Millisecond,
+		ContentBytes: 50 << 10,
+		OnServer:     func() { ran = true },
+	})
+	cfg.Eng.Run()
+	st := sess.Stats()
+	if !ran {
+		t.Fatal("render callback not invoked")
+	}
+	if st.BytesToClient != 50<<10 {
+		t.Errorf("local fetched %d bytes, want the page content", st.BytesToClient)
+	}
+	// Client processing dominates and is folded into delivery time.
+	if st.LastDelivery < 30*sim.Millisecond {
+		t.Errorf("local completion %v too early (CPU not charged?)", st.LastDelivery)
+	}
+}
+
+func TestScrapePullCycleQuiesces(t *testing.T) {
+	// After content is delivered, the pull loop must go idle (pending
+	// request parked) rather than spinning.
+	sess, eng := drive(t, VNC())
+	if eng.Pending() != 0 {
+		t.Fatalf("VNC session left %d events pending", eng.Pending())
+	}
+	st := sess.Stats()
+	if st.MsgsToClient == 0 {
+		t.Fatal("no update batches delivered")
+	}
+}
+
+func TestTHINCSoftwareVsNativeVideoCost(t *testing.T) {
+	// The same clip costs far more through the software path than the
+	// native path — the §4.2 motivation.
+	run := func(soft bool) int64 {
+		cfg := testCfg(simnet.LAN())
+		sess := THINC().NewSession(cfg)
+		dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+		dpy.SkipOverlayRender = true
+		sess.BindDisplay(dpy)
+		sess.SetVideoRect(dpy.Bounds())
+		sess.Start()
+		cfg.Eng.Run()
+		if soft {
+			for i := 0; i < 10; i++ {
+				sess.SoftwareFrame(i, uint64(i), cfg.W*cfg.H*4, 0.8, 0.5)
+			}
+		} else {
+			vp := dpy.CreateVideoPort(64, 48, dpy.Bounds())
+			for i := 0; i < 10; i++ {
+				vp.PutFrame(pixel.NewYV12(64, 48), uint64(i))
+			}
+		}
+		cfg.Eng.Run()
+		return sess.Stats().BytesToClient
+	}
+	native := run(false)
+	soft := run(true)
+	if native == 0 || soft == 0 {
+		t.Fatal("no video delivered")
+	}
+	if soft < 4*native {
+		t.Errorf("software path (%d B) should dwarf native YV12 (%d B)", soft, native)
+	}
+}
+
+func TestPushFrameReplacementUnderBackpressure(t *testing.T) {
+	// Over a slow link, most software frames are replaced before
+	// delivery — drop-at-server.
+	cfg := SessionConfig{Eng: sim.NewEngine(),
+		Link: simnet.LinkParams{Name: "slow", Bandwidth: 2e6, RTT: 10 * sim.Millisecond, Window: 1 << 20},
+		W:    256, H: 192, ViewW: 256, ViewH: 192}
+	sess := SunRay().NewSession(cfg)
+	dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+	sess.BindDisplay(dpy)
+	sess.SetVideoRect(dpy.Bounds())
+	sess.Start()
+	cfg.Eng.Run()
+	for i := 0; i < 30; i++ {
+		i := i
+		cfg.Eng.At(cfg.Eng.Now()+sim.Time(i)*40*sim.Millisecond, func() {
+			sess.SoftwareFrame(i, uint64(i), cfg.W*cfg.H*4, 0.9, 0.5)
+		})
+	}
+	cfg.Eng.Run()
+	st := sess.Stats()
+	if st.VideoFrames >= 30 {
+		t.Errorf("slow link delivered all %d frames; expected drops", st.VideoFrames)
+	}
+	if st.VideoFrames == 0 {
+		t.Error("no frames delivered at all")
+	}
+}
+
+func TestFlowStallOnlyWhenWindowLimited(t *testing.T) {
+	mk := func(link simnet.LinkParams) *pushSession {
+		return ICA().NewSession(testCfgWith(link)).(*pushSession)
+	}
+	lan := mk(simnet.LAN())
+	if s := lan.flowStall(1 << 20); s != 0 {
+		t.Errorf("LAN stall %v, want 0 (window/RTT above link rate)", s)
+	}
+	wan := mk(simnet.WAN())
+	if s := wan.flowStall(1 << 20); s <= 0 {
+		t.Error("WAN large transfer should stall on the flow window")
+	}
+}
+
+func testCfgWith(link simnet.LinkParams) SessionConfig {
+	return SessionConfig{Eng: sim.NewEngine(), Link: link, W: 256, H: 192, ViewW: 256, ViewH: 192}
+}
+
+func TestMeasureRatioBounds(t *testing.T) {
+	flat := make([]byte, 32<<10)
+	r := measure(flat)
+	if r <= 0 || r > 0.05 {
+		t.Errorf("flat ratio %.3f, want tiny", r)
+	}
+	noisy := make([]byte, 32<<10)
+	for i := range noisy {
+		noisy[i] = byte(i*2654435761 + i>>3)
+	}
+	rn := measure(noisy)
+	if rn < r {
+		t.Error("noise should compress worse than zeros")
+	}
+	if measure(nil) != 1 {
+		t.Error("empty payload ratio should be 1")
+	}
+}
+
+func TestPixRatio8BitSmaller(t *testing.T) {
+	pix := make([]pixel.ARGB, 4096)
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i), uint8(i*7), uint8(i*13))
+	}
+	_, raw24 := pixRatio(pix, false)
+	_, raw8 := pixRatio(pix, true)
+	if raw8*4 != raw24 {
+		t.Errorf("8-bit raw %d vs 24-bit %d, want 4x", raw8, raw24)
+	}
+}

@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"bytes"
+	"compress/zlib"
+
+	"thinc/internal/pixel"
+)
+
+// measure compresses up to sampleCap bytes and returns out/in — the
+// zlib wire-cost model. Every payload is sampled individually (display
+// content mixes flat and photographic regions whose ratios differ by an
+// order of magnitude); the sample cap keeps simulations fast.
+func measure(data []byte) float64 {
+	const sampleCap = 64 << 10
+	if len(data) == 0 {
+		return 1
+	}
+	sample := data
+	if len(sample) > sampleCap {
+		sample = sample[:sampleCap]
+	}
+	var buf bytes.Buffer
+	zw, err := zlib.NewWriterLevel(&buf, zlib.BestSpeed)
+	if err != nil {
+		return 1
+	}
+	if _, err := zw.Write(sample); err != nil {
+		return 1
+	}
+	zw.Close()
+	r := float64(buf.Len()) / float64(len(sample))
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// pixRatio measures the ratio for raw ARGB pixel content, optionally
+// quantized to 8-bit color first (GoToMyPC). Unlike the size-bucketed
+// cache, every payload is sampled: web update regions mix flat and
+// photographic content whose ratios differ by an order of magnitude.
+func pixRatio(pix []pixel.ARGB, eightBit bool) (ratio float64, rawBytes int) {
+	n := len(pix)
+	sample := n
+	if sample > 16<<10 {
+		sample = 16 << 10
+	}
+	if eightBit {
+		buf := make([]byte, sample)
+		for i := 0; i < sample; i++ {
+			buf[i] = pixel.To8Bit(pix[i])
+		}
+		return measure(buf), n
+	}
+	buf := make([]byte, 0, sample*4)
+	for _, p := range pix[:sample] {
+		buf = append(buf, byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
+	}
+	return measure(buf), n * 4
+}

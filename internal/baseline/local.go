@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"thinc/internal/driver"
+	"thinc/internal/geom"
+	"thinc/internal/sim"
+	"thinc/internal/simnet"
+	"thinc/internal/xserver"
+)
+
+// LocalPC models today's prevalent desktop (§8.1's baseline): the
+// application runs on the client itself. Web pages are fetched from the
+// web server over the measured link (the page's intrinsic content),
+// then laid out and rendered by the slower client CPU. A/V content
+// streams at its encoded (MPEG) bitrate and plays locally.
+type LocalPC struct{}
+
+// Local returns the local-PC baseline.
+func Local() *LocalPC { return &LocalPC{} }
+
+// Name implements System.
+func (*LocalPC) Name() string { return "local" }
+
+// NativeVideo implements System: the local player decodes and displays
+// directly — treated as native for workload dispatch.
+func (*LocalPC) NativeVideo() bool { return true }
+
+// SupportsAudio implements System.
+func (*LocalPC) SupportsAudio() bool { return true }
+
+// Resize implements System: a local PC displays at its own resolution.
+func (*LocalPC) Resize() ResizeMode { return ResizeNone }
+
+// ColorBits implements System.
+func (*LocalPC) ColorBits() int { return 24 }
+
+// NewSession implements System.
+func (*LocalPC) NewSession(cfg SessionConfig) Session {
+	return &localSession{cfg: cfg, pipe: simnet.NewPipe(cfg.Eng, cfg.Link)}
+}
+
+type localSession struct {
+	cfg  SessionConfig
+	pipe *simnet.Pipe
+	st   SessionStats
+}
+
+// Driver implements Session: rendering is local; nothing to intercept.
+func (l *localSession) Driver() driver.Driver { return driver.Nop{} }
+
+// BindDisplay implements Session.
+func (l *localSession) BindDisplay(*xserver.Display) {}
+
+// Start implements Session.
+func (l *localSession) Start() {}
+
+// SetVideoRect implements Session.
+func (l *localSession) SetVideoRect(geom.Rect) {}
+
+// Damage implements Session.
+func (l *localSession) Damage() {}
+
+// Stats implements Session.
+func (l *localSession) Stats() SessionStats { return l.st }
+
+// Input implements Session: the click is local; the browser fetches the
+// page content over the network (one request round trip plus transfer),
+// then lays out and renders at client speed.
+func (l *localSession) Input(ev InputEvent) {
+	// HTTP request out...
+	l.pipe.C2S.Send(256, nil, func(at sim.Time, _ simnet.Payload) {
+		// ...content back.
+		l.pipe.S2C.Send(ev.ContentBytes, nil, func(at2 sim.Time, _ simnet.Payload) {
+			l.st.BytesToClient += int64(ev.ContentBytes)
+			l.st.MsgsToClient++
+			// Layout and render on the client CPU; completion is the
+			// "last graphical update" the paper instruments.
+			cpu := ClientTime(ev.LayoutCost + ev.RenderCost)
+			l.st.ClientCPU += cpu
+			done := at2 + cpu
+			l.st.LastDelivery = done
+			l.cfg.Eng.At(done, func() { ev.OnServer() })
+		})
+	})
+}
+
+// Audio implements Session: audio plays locally; account the encoded
+// stream bytes as part of the A/V fetch.
+func (l *localSession) Audio(ptsUS uint64, size int) {
+	l.st.AudioChunks++
+}
+
+// PlayClip models local A/V playback for the harness: the encoded
+// stream arrives at its bitrate; every frame decodes and displays on
+// time (the local PC is the 100%-quality reference).
+func (l *localSession) PlayClip(frames int, duration sim.Time, mpegBytes int64) {
+	eng := l.cfg.Eng
+	interval := duration / sim.Time(frames)
+	chunk := mpegBytes / int64(frames)
+	for i := 0; i < frames; i++ {
+		i := i
+		eng.At(sim.Time(i)*interval, func() {
+			l.pipe.S2C.Send(int(chunk), nil, func(at sim.Time, _ simnet.Payload) {
+				l.st.BytesToClient += chunk
+				l.st.MsgsToClient++
+				l.st.LastDelivery = at
+				// Decode + display cost per frame (tiny relative to the
+				// frame interval on this hardware class).
+				l.st.ClientCPU += ClientTime(PixelCost(352 * 240))
+				l.st.VideoFrames++
+				if l.st.FirstFrame == 0 {
+					l.st.FirstFrame = at
+				}
+				l.st.LastFrame = at
+			})
+		})
+	}
+}
+
+// SoftwareFrame implements Session: never used — the local PC plays
+// natively via PlayClip.
+func (l *localSession) SoftwareFrame(int, uint64, int, float64, float64) {}

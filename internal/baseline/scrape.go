@@ -1,0 +1,333 @@
+package baseline
+
+import (
+	"thinc/internal/driver"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/sim"
+	"thinc/internal/simnet"
+	"thinc/internal/xserver"
+)
+
+// ScrapeSystem is the screen-scraping, client-pull family (§2): the
+// server reduces everything to framebuffer pixels, the client requests
+// updates and receives compressed dirty regions. VNC and GoToMyPC are
+// its members; GoToMyPC adds 8-bit color, a heavier (costlier, denser)
+// compressor, and an intermediate relay server that all traffic
+// traverses.
+type ScrapeSystem struct {
+	SysName    string
+	EightBit   bool
+	CPUFactor  float64    // compression CPU multiplier (GTMP ~3x)
+	ExtraRatio float64    // additional density from the heavier codec
+	RelayRTT   sim.Time   // added round trip through the relay
+	ServeDelay sim.Time   // per-batch relay/service processing delay
+	ResizeBy   ResizeMode // VNC clips, GTMP client-resizes
+	// SoftFrameCPU is the per-served-frame cost of scraping and
+	// encoding full-screen video — calibrated in EXPERIMENTS.md.
+	SoftFrameCPU sim.Time
+}
+
+// VNC models RealVNC 4: client pull, zlib-class encodings, clipping on
+// small screens, no audio.
+func VNC() *ScrapeSystem {
+	return &ScrapeSystem{SysName: "VNC", CPUFactor: 1, ExtraRatio: 1.25, ResizeBy: ResizeClip,
+		SoftFrameCPU: 30 * sim.Millisecond}
+}
+
+// GoToMyPC models the hosted service: 8-bit color, expensive dense
+// compression, relayed connection (~70 ms observed RTT), client-side
+// resize.
+func GoToMyPC() *ScrapeSystem {
+	return &ScrapeSystem{
+		SysName:      "GoToMyPC",
+		EightBit:     true,
+		CPUFactor:    40, // "complex compression ... at the expense of high server utilization" (§8.3)
+		ExtraRatio:   0.6,
+		RelayRTT:     70 * sim.Millisecond,
+		ServeDelay:   600 * sim.Millisecond,
+		ResizeBy:     ResizeClient,
+		SoftFrameCPU: 100 * sim.Millisecond,
+	}
+}
+
+// Name implements System.
+func (s *ScrapeSystem) Name() string { return s.SysName }
+
+// NativeVideo implements System.
+func (s *ScrapeSystem) NativeVideo() bool { return false }
+
+// SupportsAudio implements System.
+func (s *ScrapeSystem) SupportsAudio() bool { return false }
+
+// Resize implements System.
+func (s *ScrapeSystem) Resize() ResizeMode { return s.ResizeBy }
+
+// ColorBits implements System.
+func (s *ScrapeSystem) ColorBits() int {
+	if s.EightBit {
+		return 8
+	}
+	return 24
+}
+
+// NewSession implements System.
+func (s *ScrapeSystem) NewSession(cfg SessionConfig) Session {
+	return &scrapeSession{sys: s, cfg: cfg, pipe: simnet.NewPipe(cfg.Eng, cfg.Link)}
+}
+
+type scrapeSession struct {
+	sys  *ScrapeSystem
+	cfg  SessionConfig
+	pipe *simnet.Pipe
+	dpy  *xserver.Display
+
+	shadow     *fb.Framebuffer // last state sent to the client
+	pending    bool            // client request waiting for damage
+	inFlight   bool            // an update batch is on the wire
+	serverBusy sim.Time
+
+	videoRect geom.Rect
+	softDirty *softFrame
+	softRaw   int
+	softMode  bool
+	st        SessionStats
+}
+
+// Driver implements Session: scraping intercepts nothing — it reads the
+// rendered framebuffer.
+func (s *scrapeSession) Driver() driver.Driver { return driver.Nop{} }
+
+// BindDisplay implements Session.
+func (s *scrapeSession) BindDisplay(d *xserver.Display) {
+	s.dpy = d
+	s.shadow = fb.New(s.cfg.W, s.cfg.H)
+}
+
+// Start implements Session: the client issues its first update request.
+func (s *scrapeSession) Start() { s.clientRequest() }
+
+// SetVideoRect implements Session.
+func (s *scrapeSession) SetVideoRect(r geom.Rect) { s.videoRect = r }
+
+// Audio implements Session: no audio channel (§8.2: VNC and GoToMyPC
+// are measured video-only).
+func (s *scrapeSession) Audio(uint64, int) {}
+
+// Stats implements Session.
+func (s *scrapeSession) Stats() SessionStats { return s.st }
+
+// Input implements Session.
+func (s *scrapeSession) Input(ev InputEvent) {
+	s.pipe.C2S.Send(24, nil, func(at sim.Time, _ simnet.Payload) {
+		s.cfg.Eng.After(s.relayDelay(), func() {
+			busy := s.cfg.Eng.Now() + ev.LayoutCost + ev.RenderCost
+			if busy > s.serverBusy {
+				s.serverBusy = busy
+			}
+			ev.OnServer()
+			s.Damage()
+		})
+	})
+}
+
+// relayDelay is the extra one-way hop through the relay server.
+func (s *scrapeSession) relayDelay() sim.Time { return s.sys.RelayRTT / 2 }
+
+// Damage implements Session: serve a waiting request.
+func (s *scrapeSession) Damage() {
+	if s.pending && !s.inFlight {
+		s.pending = false
+		s.serve()
+	}
+}
+
+// clientRequest models the client-pull loop: one outstanding request at
+// a time (§5's client-pull analysis).
+func (s *scrapeSession) clientRequest() {
+	s.pipe.C2S.Send(16, nil, func(at sim.Time, _ simnet.Payload) {
+		s.cfg.Eng.After(s.relayDelay(), func() { s.onRequest() })
+	})
+}
+
+func (s *scrapeSession) onRequest() {
+	if s.inFlight {
+		return
+	}
+	if s.softMode {
+		s.serveSoft()
+		return
+	}
+	dirtyNow := !s.dpy.Screen().EqualIn(s.shadow, s.scrapeArea())
+	if dirtyNow {
+		s.serve()
+	} else {
+		s.pending = true
+	}
+}
+
+// scrapeArea is the region the server encodes: the viewport for
+// clipping clients, the whole screen otherwise.
+func (s *scrapeSession) scrapeArea() geom.Rect {
+	if s.sys.ResizeBy == ResizeClip && s.cfg.Scaled() {
+		return s.cfg.Viewport()
+	}
+	return geom.XYWH(0, 0, s.cfg.W, s.cfg.H)
+}
+
+// serve encodes the dirty region and transmits it.
+func (s *scrapeSession) serve() {
+	area := s.scrapeArea()
+	screen := s.dpy.Screen()
+
+	// Dirty-region detection against the shadow state, at 64x64-tile
+	// granularity (the granularity real scrapers use), with horizontal
+	// runs of dirty tiles merged into bands.
+	const tile = 64
+	shadowArea := s.shadow.ReadImage(area)
+	current := screen.ReadImage(area)
+	w := area.W()
+	var dirtyRects []geom.Rect
+	for ty := 0; ty < area.H(); ty += tile {
+		th := min(tile, area.H()-ty)
+		runStart := -1
+		for tx := 0; tx <= area.W(); tx += tile {
+			isDirty := false
+			if tx < area.W() {
+				tw := min(tile, area.W()-tx)
+			scan:
+				for y := ty; y < ty+th; y++ {
+					row := y * w
+					for x := tx; x < tx+tw; x++ {
+						if shadowArea[row+x] != current[row+x] {
+							isDirty = true
+							break scan
+						}
+					}
+				}
+			}
+			if isDirty && runStart < 0 {
+				runStart = tx
+			}
+			if !isDirty && runStart >= 0 {
+				dirtyRects = append(dirtyRects, geom.Rect{
+					X0: area.X0 + runStart, Y0: area.Y0 + ty,
+					X1: area.X0 + tx, Y1: area.Y0 + ty + th,
+				})
+				runStart = -1
+			}
+		}
+	}
+	if len(dirtyRects) == 0 {
+		s.pending = true
+		return
+	}
+
+	// Encode each dirty rect: raw pixels (8-bit for GTMP), compressed.
+	totalSize := 0
+	totalRaw := int64(0)
+	frameCovered := 0
+	for _, r := range dirtyRects {
+		pix := screen.ReadImage(r)
+		ratio, rawBytes := pixRatio(pix, s.sys.EightBit)
+		ratio *= s.sys.ExtraRatio
+		totalSize += int(float64(rawBytes)*ratio) + 16
+		totalRaw += int64(rawBytes)
+		if !s.videoRect.Empty() {
+			frameCovered += r.Intersect(s.videoRect).Area()
+		}
+	}
+	// Update shadow to what the client will have.
+	s.shadow.PutImage(area, current, w)
+
+	// Compression CPU and relay/service processing delay transmission.
+	cpu := sim.Time(float64(ZlibCost(totalRaw))*s.sys.CPUFactor) + s.sys.ServeDelay
+	s.serverBusy = maxTime(s.serverBusy, s.cfg.Eng.Now()) + cpu
+	sendAt := s.serverBusy
+	s.inFlight = true
+	isFrame := !s.videoRect.Empty() && frameCovered*10 >= s.videoRect.Area()*8
+
+	s.cfg.Eng.At(sendAt, func() {
+		s.pipe.S2C.Send(totalSize, nil, func(at sim.Time, _ simnet.Payload) {
+			s.cfg.Eng.After(s.relayDelay(), func() {
+				now := s.cfg.Eng.Now()
+				s.st.BytesToClient += int64(totalSize)
+				s.st.MsgsToClient++
+				s.st.LastDelivery = now
+				apply := CostClientPerMsg + ByteCost(int64(totalSize)) + UnzlibCost(int64(totalSize))
+				if s.sys.ResizeBy == ResizeClient && s.cfg.Scaled() {
+					apply += ResampleCost(s.cfg.W * s.cfg.H)
+				}
+				s.st.ClientCPU += ClientTime(apply)
+				if isFrame {
+					s.st.VideoFrames++
+					if s.st.FirstFrame == 0 {
+						s.st.FirstFrame = now
+					}
+					s.st.LastFrame = now
+				}
+				s.inFlight = false
+				// Pull loop: immediately request the next update.
+				s.clientRequest()
+			})
+		})
+	})
+}
+
+// SoftwareFrame implements Session: the playback blit dirties the whole
+// screen; the next client request scrapes and ships it. Frames arriving
+// while a request is unserved simply refresh the dirty content (the old
+// frame is never seen — scraping drops it).
+func (s *scrapeSession) SoftwareFrame(seq int, ptsUS uint64, rawBytes int, ratio24, ratio8 float64) {
+	sizeRaw := rawBytes
+	ratio := ratio24 * s.sys.ExtraRatio
+	if s.sys.EightBit {
+		sizeRaw = rawBytes / 4
+		ratio = ratio8 * s.sys.ExtraRatio
+	}
+	if s.sys.ResizeBy == ResizeClip && s.cfg.Scaled() {
+		sizeRaw = sizeRaw * (s.cfg.ViewW * s.cfg.ViewH) / (s.cfg.W * s.cfg.H)
+	}
+	s.softMode = true
+	s.softDirty = &softFrame{seq: seq, size: int(float64(sizeRaw) * ratio)}
+	s.softRaw = sizeRaw
+	if s.pending && !s.inFlight {
+		s.pending = false
+		s.serveSoft()
+	}
+}
+
+// serveSoft ships the current software-video frame to the client.
+func (s *scrapeSession) serveSoft() {
+	sf := s.softDirty
+	if sf == nil {
+		s.pending = true
+		return
+	}
+	s.softDirty = nil
+	cpu := sim.Time(float64(ZlibCost(int64(s.softRaw)))*s.sys.CPUFactor) + s.sys.SoftFrameCPU + s.sys.ServeDelay
+	s.serverBusy = maxTime(s.serverBusy, s.cfg.Eng.Now()) + cpu
+	s.inFlight = true
+	s.cfg.Eng.At(s.serverBusy, func() {
+		s.pipe.S2C.Send(sf.size, nil, func(at sim.Time, _ simnet.Payload) {
+			s.cfg.Eng.After(s.relayDelay(), func() {
+				now := s.cfg.Eng.Now()
+				s.st.BytesToClient += int64(sf.size)
+				s.st.MsgsToClient++
+				s.st.LastDelivery = now
+				apply := CostClientPerMsg + ByteCost(int64(sf.size)) + UnzlibCost(int64(sf.size))
+				if s.sys.ResizeBy == ResizeClient && s.cfg.Scaled() {
+					apply += ResampleCost(s.cfg.W * s.cfg.H)
+				}
+				s.st.ClientCPU += ClientTime(apply)
+				s.st.VideoFrames++
+				if s.st.FirstFrame == 0 {
+					s.st.FirstFrame = now
+				}
+				s.st.LastFrame = now
+				s.inFlight = false
+				s.clientRequest()
+			})
+		})
+	})
+}

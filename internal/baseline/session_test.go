@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"testing"
+
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/sim"
+	"thinc/internal/simnet"
+	"thinc/internal/xserver"
+)
+
+// pdaCfg is a small-viewport session config.
+func pdaCfg(link simnet.LinkParams) SessionConfig {
+	return SessionConfig{Eng: sim.NewEngine(), Link: link, W: 256, H: 192, ViewW: 64, ViewH: 48}
+}
+
+func drawBlock(sess Session, dpy *xserver.Display, r geom.Rect) {
+	win := dpy.CreateWindow(geom.XYWH(0, 0, 256, 192))
+	dpy.FillRect(win, &xserver.GC{Fg: pixel.RGB(200, 10, 10)}, r)
+	sess.Damage()
+}
+
+func TestClipModeSendsOnlyViewport(t *testing.T) {
+	// RDP clips: content outside the viewport is never transmitted.
+	cfg := pdaCfg(simnet.LAN())
+	sess := RDP().NewSession(cfg)
+	dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+	sess.BindDisplay(dpy)
+	sess.Start()
+	cfg.Eng.Run()
+	base := sess.Stats().BytesToClient
+
+	// Entirely outside the 64x48 viewport.
+	drawBlock(sess, dpy, geom.XYWH(100, 100, 50, 50))
+	cfg.Eng.Run()
+	outside := sess.Stats().BytesToClient - base
+
+	// Inside the viewport.
+	drawBlock(sess, dpy, geom.XYWH(0, 0, 50, 40))
+	cfg.Eng.Run()
+	inside := sess.Stats().BytesToClient - base - outside
+
+	if outside >= inside {
+		t.Errorf("clip mode: outside %d B, inside %d B — clipping not applied", outside, inside)
+	}
+}
+
+func TestClientResizeCostsClientCPU(t *testing.T) {
+	// ICA sends full-size data and the client pays to scale it.
+	full := testCfg(simnet.LAN())
+	scaled := pdaCfg(simnet.LAN())
+
+	run := func(cfg SessionConfig) SessionStats {
+		sess := ICA().NewSession(cfg)
+		dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+		sess.BindDisplay(dpy)
+		sess.Start()
+		cfg.Eng.Run()
+		drawBlock(sess, dpy, geom.XYWH(0, 0, 200, 150))
+		cfg.Eng.Run()
+		return sess.Stats()
+	}
+	f, s := run(full), run(scaled)
+	// Same bytes (no server-side reduction)...
+	if s.BytesToClient < f.BytesToClient*9/10 {
+		t.Errorf("client resize should not reduce bytes: %d vs %d", s.BytesToClient, f.BytesToClient)
+	}
+	// ...but more client CPU.
+	if s.ClientCPU <= f.ClientCPU {
+		t.Errorf("client resize should cost client CPU: %v vs %v", s.ClientCPU, f.ClientCPU)
+	}
+}
+
+func TestTHINCServerResizeReducesBytes(t *testing.T) {
+	run := func(cfg SessionConfig) int64 {
+		sess := THINC().NewSession(cfg)
+		dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+		sess.BindDisplay(dpy)
+		sess.Start()
+		cfg.Eng.Run()
+		base := sess.Stats().BytesToClient
+		// Image content (fills are resolution-independent already).
+		win := dpy.CreateWindow(geom.XYWH(0, 0, 256, 192))
+		pix := make([]pixel.ARGB, 200*150)
+		for i := range pix {
+			pix[i] = pixel.RGB(uint8(i), uint8(i>>4), uint8(i>>8))
+		}
+		dpy.PutImage(win, geom.XYWH(0, 0, 200, 150), pix, 200)
+		sess.Damage()
+		cfg.Eng.Run()
+		return sess.Stats().BytesToClient - base
+	}
+	full := run(testCfg(simnet.LAN()))
+	scaled := run(pdaCfg(simnet.LAN()))
+	if scaled*2 > full {
+		t.Errorf("server resize saved too little: %d vs %d", scaled, full)
+	}
+}
+
+func TestPullModeWaitsForRequest(t *testing.T) {
+	cfg := testCfg(simnet.WAN())
+	sess := WithPull("pull").NewSession(cfg)
+	dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+	sess.BindDisplay(dpy)
+	sess.Start()
+	cfg.Eng.Run()
+	first := sess.Stats().LastDelivery
+	// Even the initial refresh cannot arrive before a request round trip.
+	if first < cfg.Link.RTT {
+		t.Errorf("pull delivery at %v, before a full request RTT (%v)", first, cfg.Link.RTT)
+	}
+	// Successive updates each pay the pull cycle.
+	drawBlock(sess, dpy, geom.XYWH(0, 0, 30, 30))
+	cfg.Eng.Run()
+	if sess.Stats().BytesToClient == 0 {
+		t.Fatal("pull session never delivered")
+	}
+}
+
+func TestGoToMyPCRelayAddsLatency(t *testing.T) {
+	run := func(sys System) sim.Time {
+		cfg := testCfg(simnet.LAN())
+		sess := sys.NewSession(cfg)
+		dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+		sess.BindDisplay(dpy)
+		sess.Start()
+		cfg.Eng.Run()
+		start := cfg.Eng.Now()
+		drawBlock(sess, dpy, geom.XYWH(0, 0, 40, 40))
+		cfg.Eng.Run()
+		return sess.Stats().LastDelivery - start
+	}
+	vnc := run(VNC())
+	gtmp := run(GoToMyPC())
+	if gtmp <= vnc {
+		t.Errorf("GTMP (%v) should be slower than VNC (%v): relay + service delay", gtmp, vnc)
+	}
+}
+
+func TestXSyncStallsGrowWithRTT(t *testing.T) {
+	run := func(link simnet.LinkParams) sim.Time {
+		cfg := testCfg(link)
+		sess := X().NewSession(cfg)
+		dpy := xserver.NewDisplay(cfg.W, cfg.H, sess.Driver())
+		sess.BindDisplay(dpy)
+		sess.Start()
+		cfg.Eng.Run()
+		start := cfg.Eng.Now()
+		// Many small requests force sync round trips (SyncEvery=125).
+		win := dpy.CreateWindow(geom.XYWH(0, 0, 256, 192))
+		for i := 0; i < 300; i++ {
+			dpy.FillRect(win, &xserver.GC{Fg: pixel.RGB(uint8(i), 0, 0)},
+				geom.XYWH(i%200, (i*3)%150, 4, 4))
+		}
+		sess.Damage()
+		cfg.Eng.Run()
+		return sess.Stats().LastDelivery - start
+	}
+	lan := run(simnet.LAN())
+	wan := run(simnet.WAN())
+	// At least one sync round trip (66 ms RTT) must show up in the WAN.
+	if wan < lan+60*sim.Millisecond {
+		t.Errorf("X WAN (%v) should pay sync round trips over LAN (%v)", wan, lan)
+	}
+}
+
+func TestResizeModeStrings(t *testing.T) {
+	for m, want := range map[ResizeMode]string{
+		ResizeNone: "none", ResizeServer: "server", ResizeClient: "client", ResizeClip: "clip",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package baseline
+
+import (
+	"thinc/internal/driver"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/sim"
+	"thinc/internal/simnet"
+	"thinc/internal/xserver"
+)
+
+// XSystem is the client-side-UI family (§2): the window server runs at
+// the client and applications forward display requests over the
+// network. Every drawing request — including offscreen pixmap drawing —
+// traverses the link, rendering cost lands on the slower client CPU,
+// and application/UI coupling shows up as synchronous round trips.
+// NX is an X proxy: it suppresses round trips and compresses the
+// protocol stream aggressively.
+type XSystem struct {
+	SysName   string
+	SyncEvery int     // messages between synchronous round trips
+	CmdRatio  float64 // compression ratio on the command stream
+	ImgRatio  float64 // additional ratio on image payloads (after pixRatio)
+	ProxyCPU  sim.Time
+	// SoftFrameCPU is the per-frame processing cost of pushing software
+	// video through the protocol stack (player-side scaling, transport
+	// copies, proxy recoding) — calibrated in EXPERIMENTS.md.
+	SoftFrameCPU sim.Time
+}
+
+// X models XFree86 over ssh -C (the paper's configuration): zlib on the
+// stream, frequent synchronization.
+func X() *XSystem {
+	return &XSystem{SysName: "X", SyncEvery: 40, CmdRatio: 0.5, ImgRatio: 1,
+		SoftFrameCPU: 185 * sim.Millisecond}
+}
+
+// NX models NoMachine NX 1.4: near-total round-trip suppression and
+// strong differential compression of the X protocol.
+func NX() *XSystem {
+	return &XSystem{SysName: "NX", SyncEvery: 1 << 20, CmdRatio: 0.12, ImgRatio: 0.55,
+		ProxyCPU: 15 * sim.Microsecond, SoftFrameCPU: 290 * sim.Millisecond}
+}
+
+// Name implements System.
+func (s *XSystem) Name() string { return s.SysName }
+
+// NativeVideo implements System.
+func (s *XSystem) NativeVideo() bool { return false }
+
+// SupportsAudio implements System (X with aRts, NX with its media
+// channel).
+func (s *XSystem) SupportsAudio() bool { return true }
+
+// Resize implements System: X-class systems have no small-screen
+// support (§8.3 reports no PDA numbers for them).
+func (s *XSystem) Resize() ResizeMode { return ResizeNone }
+
+// ColorBits implements System.
+func (s *XSystem) ColorBits() int { return 24 }
+
+// NewSession implements System.
+func (s *XSystem) NewSession(cfg SessionConfig) Session {
+	xs := &xSession{sys: s, cfg: cfg, pipe: simnet.NewPipe(cfg.Eng, cfg.Link)}
+	xs.drv = &xForwardDriver{s: xs}
+	return xs
+}
+
+// xMsg is one queued network write; Xlib batches small requests into a
+// single write, so one xMsg may carry several requests.
+type xMsg struct {
+	size    int
+	reqs    int      // requests carried (sync accounting)
+	render  sim.Time // client-side rendering cost
+	cpu     sim.Time // server/proxy CPU paid when the request is sent
+	isFrame bool     // full video-rect image (player output)
+	isAudio bool
+	pts     sim.Time // absolute deadline for audio
+}
+
+type xSession struct {
+	sys  *XSystem
+	cfg  SessionConfig
+	pipe *simnet.Pipe
+	dpy  *xserver.Display
+	drv  *xForwardDriver
+
+	queue       []xMsg
+	sending     bool
+	sinceSync   int
+	serverBusy  sim.Time
+	videoRect   geom.Rect
+	frameQueued int // index+1 of queued frame message, 0 = none
+
+	st SessionStats
+}
+
+// Driver implements Session.
+func (x *xSession) Driver() driver.Driver { return x.drv }
+
+// BindDisplay implements Session.
+func (x *xSession) BindDisplay(d *xserver.Display) { x.dpy = d }
+
+// Start implements Session.
+func (x *xSession) Start() {}
+
+// SetVideoRect implements Session.
+func (x *xSession) SetVideoRect(r geom.Rect) { x.videoRect = r }
+
+// Stats implements Session.
+func (x *xSession) Stats() SessionStats { return x.st }
+
+// Input implements Session: the click reaches the application at the
+// server; layout runs there, drawing requests flow back and render at
+// the client.
+func (x *xSession) Input(ev InputEvent) {
+	x.pipe.C2S.Send(32, nil, func(at sim.Time, _ simnet.Payload) {
+		busy := at + ev.LayoutCost
+		if busy > x.serverBusy {
+			x.serverBusy = busy
+		}
+		ev.OnServer() // enqueues forwarded requests via the driver
+		x.pump()
+	})
+}
+
+// Damage implements Session.
+func (x *xSession) Damage() { x.pump() }
+
+// Audio implements Session: PCM forwarded through the sound channel
+// (aRts for X, the media channel for NX).
+func (x *xSession) Audio(ptsUS uint64, size int) {
+	x.enqueue(xMsg{size: size, isAudio: true, pts: sim.Time(ptsUS)})
+}
+
+// enqueue adds a request to the outgoing stream; a queued video frame
+// not yet sent is replaced by a newer one (the player drops frames when
+// the transport is saturated).
+func (x *xSession) enqueue(m xMsg) {
+	if m.isFrame {
+		if x.frameQueued > 0 {
+			x.queue[x.frameQueued-1] = m
+			x.pump()
+			return
+		}
+		x.queue = append(x.queue, m)
+		x.frameQueued = len(x.queue)
+		x.pump()
+		return
+	}
+	// Xlib batching: small plain requests coalesce into one write.
+	const writeBuf = 4096
+	if n := len(x.queue); n > 0 && n != x.frameQueued {
+		last := &x.queue[n-1]
+		if !last.isFrame && !last.isAudio && !m.isAudio &&
+			last.size+m.size <= writeBuf {
+			last.size += m.size
+			last.reqs += m.reqs
+			last.render += m.render
+			last.cpu += m.cpu
+			x.pump()
+			return
+		}
+	}
+	x.queue = append(x.queue, m)
+	x.pump()
+}
+
+// pump drains the queue, stalling for a round trip every SyncEvery
+// messages (the synchronous X calls interspersed in real clients).
+func (x *xSession) pump() {
+	if x.sending || len(x.queue) == 0 {
+		return
+	}
+	now := x.cfg.Eng.Now()
+	if x.serverBusy > now {
+		x.sending = true
+		x.cfg.Eng.At(x.serverBusy, func() { x.sending = false; x.pump() })
+		return
+	}
+	if x.sinceSync >= x.sys.SyncEvery {
+		// Synchronous request: stall one round trip.
+		x.sending = true
+		x.sinceSync = 0
+		x.pipe.C2S.Send(16, nil, func(sim.Time, simnet.Payload) {
+			x.pipe.S2C.Send(16, nil, func(sim.Time, simnet.Payload) {
+				x.sending = false
+				x.pump()
+			})
+		})
+		return
+	}
+	m := x.queue[0]
+	x.queue = x.queue[1:]
+	if x.frameQueued > 0 {
+		x.frameQueued--
+	}
+	x.sinceSync += max(1, m.reqs)
+	x.serverBusy = maxTime(x.serverBusy, now) + x.sys.ProxyCPU + m.cpu
+	x.pipe.S2C.Send(m.size, nil, func(at sim.Time, _ simnet.Payload) {
+		x.st.BytesToClient += int64(m.size)
+		x.st.MsgsToClient++
+		x.st.LastDelivery = at
+		// The client window server renders the request.
+		x.st.ClientCPU += ClientTime(m.render + CostClientPerMsg + ByteCost(int64(m.size)))
+		if m.isFrame {
+			x.st.VideoFrames++
+			if x.st.FirstFrame == 0 {
+				x.st.FirstFrame = at
+			}
+			x.st.LastFrame = at
+		}
+		if m.isAudio && at <= m.pts+audioSlack {
+			x.st.AudioChunks++
+		}
+	})
+	// Keep draining.
+	x.pump()
+}
+
+// xForwardDriver forwards every driver-level request as X protocol
+// traffic — including offscreen drawing, because the pixmaps live at
+// the client's window server.
+type xForwardDriver struct {
+	driver.Nop
+	s *xSession
+}
+
+const xReqOverhead = 28
+
+func (d *xForwardDriver) fwd(size int, render sim.Time, frame bool) {
+	d.s.enqueue(xMsg{size: size, reqs: 1, render: render, isFrame: frame})
+}
+
+func (d *xForwardDriver) cmdSize(n int) int {
+	return int(float64(n) * d.s.sys.CmdRatio)
+}
+
+// FillSolid implements driver.Driver.
+func (d *xForwardDriver) FillSolid(_ driver.DrawableID, r geom.Rect, _ pixel.ARGB) {
+	d.fwd(d.cmdSize(xReqOverhead), PixelCost(r.Area()), false)
+}
+
+// FillTile implements driver.Driver.
+func (d *xForwardDriver) FillTile(_ driver.DrawableID, r geom.Rect, tile *fb.Tile) {
+	d.fwd(d.cmdSize(xReqOverhead+len(tile.Pix)*4), PixelCost(r.Area()), false)
+}
+
+// FillStipple implements driver.Driver: core text is compact on the X
+// wire — a glyph index plus positioning.
+func (d *xForwardDriver) FillStipple(_ driver.DrawableID, r geom.Rect, _ *fb.Bitmap, _, _ pixel.ARGB, _ bool) {
+	d.fwd(d.cmdSize(12), PixelCost(r.Area())+CostPerOp, false)
+}
+
+// PutImage implements driver.Driver: uncompressed pixels on the X wire
+// (the stream compressor sees them afterwards).
+func (d *xForwardDriver) PutImage(_ driver.DrawableID, r geom.Rect, pix []pixel.ARGB, stride int) {
+	raw := r.Area() * 4
+	ratio, _ := pixRatio(samplePix(pix, r.Area()), false)
+	ratio *= d.s.sys.ImgRatio
+	size := int(float64(raw)*ratio) + xReqOverhead
+	isFrame := !d.s.videoRect.Empty() &&
+		r.Intersect(d.s.videoRect).Area()*10 >= d.s.videoRect.Area()*8
+	d.fwd(size, PixelCost(r.Area()), isFrame)
+}
+
+// Composite implements driver.Driver.
+func (d *xForwardDriver) Composite(id driver.DrawableID, r geom.Rect, pix []pixel.ARGB, stride int) {
+	d.PutImage(id, r, pix, stride)
+}
+
+// CopyArea implements driver.Driver.
+func (d *xForwardDriver) CopyArea(_, _ driver.DrawableID, sr geom.Rect, _ geom.Point) {
+	d.fwd(d.cmdSize(xReqOverhead), PixelCost(sr.Area()), false)
+}
+
+// CreatePixmap implements driver.Driver.
+func (d *xForwardDriver) CreatePixmap(driver.DrawableID, int, int) {
+	d.fwd(d.cmdSize(20), 0, false)
+}
+
+// DestroyPixmap implements driver.Driver.
+func (d *xForwardDriver) DestroyPixmap(driver.DrawableID) {
+	d.fwd(d.cmdSize(20), 0, false)
+}
+
+// samplePix bounds the pixels considered for a compressibility probe.
+func samplePix(pix []pixel.ARGB, area int) []pixel.ARGB {
+	n := area
+	if n > len(pix) {
+		n = len(pix)
+	}
+	return pix[:n]
+}
+
+// SoftwareFrame implements Session: the player XPutImages a full-screen
+// frame; queued-but-unsent frames are replaced. The stream compressor
+// (ssh -C for X, the NX proxy) pays CPU for every frame it squeezes.
+func (x *xSession) SoftwareFrame(seq int, ptsUS uint64, rawBytes int, ratio24, _ float64) {
+	size := int(float64(rawBytes) * ratio24 * x.sys.ImgRatio)
+	cpu := ZlibCost(int64(rawBytes)) + x.sys.SoftFrameCPU
+	x.enqueue(xMsg{size: size + xReqOverhead, cpu: cpu, isFrame: true})
+}

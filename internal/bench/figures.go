@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"fmt"
+
+	"thinc/internal/baseline"
+	"thinc/internal/compress"
+	"thinc/internal/core"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/sim"
+	"thinc/internal/simnet"
+	"thinc/internal/xserver"
+)
+
+// Suite runs the evaluation and regenerates every figure of §8. Pages
+// and AVSeconds shorten the workloads for quick runs (zero = full
+// paper-scale workloads: 54 pages, 34.75 s clip).
+type Suite struct {
+	Pages     int
+	AVSeconds float64
+
+	web map[string]WebResult // key: system|config
+	av  map[string]AVResult
+}
+
+// NewSuite returns a harness; pages/avSeconds of 0 mean full scale.
+func NewSuite(pages int, avSeconds float64) *Suite {
+	return &Suite{
+		Pages:     pages,
+		AVSeconds: avSeconds,
+		web:       make(map[string]WebResult),
+		av:        make(map[string]AVResult),
+	}
+}
+
+// Web returns (cached) web results for a system and configuration.
+func (s *Suite) Web(sys baseline.System, cfg Config) WebResult {
+	key := sys.Name() + "|" + cfg.Name + cfgGeom(cfg)
+	if r, ok := s.web[key]; ok {
+		return r
+	}
+	r := RunWeb(sys, cfg, s.Pages)
+	s.web[key] = r
+	return r
+}
+
+// AV returns (cached) A/V results for a system and configuration.
+func (s *Suite) AV(sys baseline.System, cfg Config) AVResult {
+	key := sys.Name() + "|" + cfg.Name + cfgGeom(cfg)
+	if r, ok := s.av[key]; ok {
+		return r
+	}
+	r := RunAV(sys, cfg, s.AVSeconds)
+	s.av[key] = r
+	return r
+}
+
+func cfgGeom(cfg Config) string {
+	return fmt.Sprintf("|%dx%d", cfg.ViewW, cfg.ViewH)
+}
+
+// pdaSystems are the platforms with small-screen support (§8.3).
+func pdaSystems() []baseline.System {
+	var out []baseline.System
+	for _, sys := range Systems() {
+		if sys.Resize() != baseline.ResizeNone {
+			out = append(out, sys)
+		}
+	}
+	return out
+}
+
+// Fig2 regenerates Figure 2: average web page latency per platform for
+// LAN, WAN, and PDA, with and without client processing time.
+func (s *Suite) Fig2() *Table {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "Web Benchmark: Average Page Latency (ms)",
+		Header: []string{"platform", "LAN", "LAN+client", "WAN", "WAN+client", "PDA", "PDA+client"},
+		Notes: []string{
+			"'+client' includes client processing time (the paper could instrument it only for X, VNC, NX, THINC and the local PC)",
+			"PDA columns cover only the systems with small-screen support",
+		},
+	}
+	pda := map[string]bool{}
+	for _, sys := range pdaSystems() {
+		pda[sys.Name()] = true
+	}
+	for _, sys := range Systems() {
+		lan := s.Web(sys, LANDesktop())
+		wan := s.Web(sys, WANDesktop())
+		row := []string{sys.Name(),
+			ms(lan.AvgLatencyNet()), ms(lan.AvgLatencyFull()),
+			ms(wan.AvgLatencyNet()), ms(wan.AvgLatencyFull())}
+		if pda[sys.Name()] && sys.Name() != "local" {
+			p := s.Web(sys, PDAFor(sys))
+			row = append(row, ms(p.AvgLatencyNet()), ms(p.AvgLatencyFull()))
+		} else {
+			row = append(row, "-", "-")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig3 regenerates Figure 3: average data transferred per web page.
+func (s *Suite) Fig3() *Table {
+	t := &Table{
+		ID:     "Figure 3",
+		Title:  "Web Benchmark: Average Page Data Transferred (KB)",
+		Header: []string{"platform", "LAN", "WAN", "PDA"},
+	}
+	pda := map[string]bool{}
+	for _, sys := range pdaSystems() {
+		pda[sys.Name()] = true
+	}
+	for _, sys := range Systems() {
+		row := []string{sys.Name(),
+			kb(s.Web(sys, LANDesktop()).AvgBytes()),
+			kb(s.Web(sys, WANDesktop()).AvgBytes())}
+		if pda[sys.Name()] && sys.Name() != "local" {
+			row = append(row, kb(s.Web(sys, PDAFor(sys)).AvgBytes()))
+		} else {
+			row = append(row, "-")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// siteConfig builds the evaluation config for a Table 2 remote site.
+func siteConfig(site simnet.Site) Config {
+	return Config{Name: site.Name, Link: site.Link(), ViewW: ScreenW, ViewH: ScreenH}
+}
+
+// Fig4 regenerates Figure 4: THINC web latency from the remote sites of
+// Table 2.
+func (s *Suite) Fig4() *Table {
+	t := &Table{
+		ID:     "Figure 4",
+		Title:  "Web Benchmark: THINC Average Page Latency Using Remote Sites (ms)",
+		Header: []string{"site", "miles", "rtt(ms)", "latency", "latency+client"},
+	}
+	thinc := baseline.THINC()
+	for _, site := range simnet.Sites() {
+		w := s.Web(thinc, siteConfig(site))
+		t.Rows = append(t.Rows, []string{
+			site.Name,
+			fmt.Sprintf("%d", site.Miles),
+			fmt.Sprintf("%.0f", site.Link().RTT.Millis()),
+			ms(w.AvgLatencyNet()), ms(w.AvgLatencyFull()),
+		})
+	}
+	return t
+}
+
+// Fig5 regenerates Figure 5: A/V quality per platform.
+func (s *Suite) Fig5() *Table {
+	t := &Table{
+		ID:     "Figure 5",
+		Title:  "A/V Benchmark: A/V Quality (%) (GoToMyPC and VNC are video only)",
+		Header: []string{"platform", "LAN", "WAN", "PDA"},
+	}
+	pda := map[string]bool{}
+	for _, sys := range pdaSystems() {
+		pda[sys.Name()] = true
+	}
+	for _, sys := range Systems() {
+		row := []string{sys.Name(),
+			pct(s.AV(sys, LANDesktop()).Quality),
+			pct(s.AV(sys, WANDesktop()).Quality)}
+		if pda[sys.Name()] && sys.Name() != "local" {
+			row = append(row, pct(s.AV(sys, PDAFor(sys)).Quality))
+		} else {
+			row = append(row, "-")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig6 regenerates Figure 6: total data transferred during A/V playback.
+func (s *Suite) Fig6() *Table {
+	t := &Table{
+		ID:     "Figure 6",
+		Title:  "A/V Benchmark: Total Data Transferred (MB / Mbps)",
+		Header: []string{"platform", "LAN MB", "LAN Mbps", "WAN MB", "WAN Mbps", "PDA Mbps"},
+	}
+	pda := map[string]bool{}
+	for _, sys := range pdaSystems() {
+		pda[sys.Name()] = true
+	}
+	for _, sys := range Systems() {
+		lan := s.AV(sys, LANDesktop())
+		wan := s.AV(sys, WANDesktop())
+		row := []string{sys.Name(),
+			mb(lan.Bytes), fmt.Sprintf("%.1f", lan.Mbps),
+			mb(wan.Bytes), fmt.Sprintf("%.1f", wan.Mbps)}
+		if pda[sys.Name()] && sys.Name() != "local" {
+			row = append(row, fmt.Sprintf("%.1f", s.AV(sys, PDAFor(sys)).Mbps))
+		} else {
+			row = append(row, "-")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig7 regenerates Figure 7: THINC A/V quality from the remote sites,
+// with the relative bandwidth available from each site.
+func (s *Suite) Fig7() *Table {
+	t := &Table{
+		ID:     "Figure 7",
+		Title:  "A/V Benchmark: THINC A/V Quality Using Remote Sites",
+		Header: []string{"site", "rtt(ms)", "window", "rel.bw", "quality(%)"},
+		Notes: []string{
+			"rel.bw: achievable throughput relative to the LAN testbed (Iperf-style, window/RTT capped)",
+			"KR is capped by its 256KB PlanetLab TCP window — below the ~24 Mbps the video needs",
+		},
+	}
+	thinc := baseline.THINC()
+	lanRate := simnet.LAN().EffectiveRate()
+	for _, site := range simnet.Sites() {
+		link := site.Link()
+		a := s.AV(thinc, siteConfig(site))
+		t.Rows = append(t.Rows, []string{
+			site.Name,
+			fmt.Sprintf("%.0f", link.RTT.Millis()),
+			fmt.Sprintf("%dK", link.Window>>10),
+			fmt.Sprintf("%.2f", link.EffectiveRate()/lanRate),
+			pct(a.Quality),
+		})
+	}
+	return t
+}
+
+// Ablations regenerates the design-choice studies DESIGN.md calls out.
+func (s *Suite) Ablations() *Table {
+	t := &Table{
+		ID:     "Ablations",
+		Title:  "THINC design choices (web: LAN latency ms / KB per page; video: WAN quality %; resp: WAN interactive response ms)",
+		Header: []string{"variant", "web ms", "web KB", "PDA ms", "PDA KB", "AV WAN %", "resp ms"},
+	}
+	variants := []baseline.System{
+		baseline.THINC(),
+		baseline.THINCWith("no-offscreen", core.Options{RawCodec: compress.CodecPNG, DisableOffscreen: true}),
+		baseline.THINCWith("no-compress", core.Options{}),
+		baseline.THINCWith("fifo-sched", core.Options{RawCodec: compress.CodecPNG, FIFODelivery: true}),
+		baseline.WithPull("client-pull"),
+		clientResizeTHINC(),
+	}
+	for _, sys := range variants {
+		lan := s.Web(sys, LANDesktop())
+		pdaCfg := PDA()
+		p := s.Web(sys, pdaCfg)
+		av := s.AV(sys, WANDesktop())
+		resp := RunInteractive(sys, WANDesktop())
+		t.Rows = append(t.Rows, []string{
+			sys.Name(),
+			ms(lan.AvgLatencyNet()), kb(lan.AvgBytes()),
+			ms(p.AvgLatencyNet()), kb(p.AvgBytes()),
+			pct(av.Quality),
+			ms(resp),
+		})
+	}
+	return t
+}
+
+// clientResizeTHINC is THINC with client-side resizing (the ICA/GTMP
+// strategy) for the server-vs-client resize ablation (§6).
+func clientResizeTHINC() baseline.System {
+	s := baseline.THINC()
+	s.SysName = "client-resize"
+	s.ResizeBy = baseline.ResizeClient
+	return s
+}
+
+// AllTables regenerates every figure in order.
+func (s *Suite) AllTables() []*Table {
+	return []*Table{s.Fig2(), s.Fig3(), s.Fig4(), s.Fig5(), s.Fig6(), s.Fig7(),
+		s.PageBreakdown(), s.Microbench(), s.Ablations()}
+}
+
+// InteractiveProbe measures interactive responsiveness: while a large
+// screen update is still streaming, the user clicks a button; the probe
+// is the delay until the button's redraw reaches the client. This is
+// the workload SRSF and the real-time queue exist for (§5); mean page
+// latency cannot show it because the page's completion time is
+// scheduling-invariant.
+type probeSession interface {
+	SetProbe(r geom.Rect)
+	ProbeTime() sim.Time
+}
+
+// RunInteractive returns the button-response delay for a THINC variant
+// over the given configuration.
+func RunInteractive(sys baseline.System, cfg Config) sim.Time {
+	eng := sim.NewEngine()
+	scfg := baseline.SessionConfig{Eng: eng, Link: cfg.Link,
+		W: ScreenW, H: ScreenH, ViewW: cfg.ViewW, ViewH: cfg.ViewH}
+	sess := sys.NewSession(scfg)
+	dpy := xserver.NewDisplay(ScreenW, ScreenH, sess.Driver())
+	sess.BindDisplay(dpy)
+	win := dpy.CreateWindow(geom.XYWH(0, 0, ScreenW, ScreenH))
+	sess.Start()
+	eng.Run()
+
+	ps, ok := sess.(probeSession)
+	if !ok {
+		return 0
+	}
+	button := geom.XYWH(500, 700, 80, 24)
+	ps.SetProbe(button)
+
+	click := eng.Now() + interPageGap
+	var clickAt sim.Time
+	eng.At(click, func() {
+		clickAt = eng.Now()
+		sess.Input(baseline.InputEvent{
+			P:          geom.Point{X: 540, Y: 712},
+			LayoutCost: 5 * sim.Millisecond,
+			OnServer: func() {
+				// A big image repaint is queued first...
+				img := make([]pixel.ARGB, ScreenW*600)
+				for i := range img {
+					img[i] = pixel.RGB(uint8(i), uint8(i>>8), uint8(i>>16))
+				}
+				dpy.PutImage(win, geom.XYWH(0, 0, ScreenW, 600), img, ScreenW)
+				// ...then the button feedback the user is waiting for.
+				dpy.FillRect(win, &xserver.GC{Fg: pixel.RGB(90, 90, 220)}, button)
+				sess.Damage()
+			},
+		})
+	})
+	eng.Run()
+	if ps.ProbeTime() == 0 {
+		return 0
+	}
+	return ps.ProbeTime() - clickAt
+}
+
+// PageBreakdown reproduces the paper's page-by-page analysis (§8.3):
+// THINC against the other fast systems (Sun Ray, VNC, NX), split into
+// mixed-content pages and the image-heavy pages where THINC falls back
+// to compressed RAW.
+func (s *Suite) PageBreakdown() *Table {
+	t := &Table{
+		ID:    "Page classes",
+		Title: "Web page-by-page analysis: mixed-content vs image-heavy pages",
+		Header: []string{"platform", "config",
+			"mixed ms", "image ms", "mixed KB", "image KB"},
+		Notes: []string{
+			"§8.3: THINC wins every page class except single-large-image pages in some configs,",
+			"where compression-centric systems close the gap — its mixed-content advantage is larger than the averages show",
+		},
+	}
+	for _, name := range []string{"THINC", "SunRay", "VNC", "NX"} {
+		sys := SystemByName(name)
+		for _, cfg := range []Config{LANDesktop(), WANDesktop()} {
+			w := s.Web(sys, cfg)
+			var mixedMS, imgMS sim.Time
+			var mixedKB, imgKB int64
+			var nm, ni int
+			for _, p := range w.Pages {
+				if p.ImageHeavy {
+					imgMS += p.LatencyFull
+					imgKB += p.Bytes
+					ni++
+				} else {
+					mixedMS += p.LatencyFull
+					mixedKB += p.Bytes
+					nm++
+				}
+			}
+			row := []string{name, cfg.Name[:3]}
+			if nm > 0 {
+				row = append(row, ms(mixedMS/sim.Time(nm)), "")
+				row[3] = "-"
+				if ni > 0 {
+					row[3] = ms(imgMS / sim.Time(ni))
+				}
+				row = append(row, kb(mixedKB/int64(nm)))
+				if ni > 0 {
+					row = append(row, kb(imgKB/int64(ni)))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}

@@ -1,0 +1,18 @@
+package bench
+
+import "testing"
+
+func TestMicrobenchShape(t *testing.T) {
+	thinc := RunScrollDrag(SystemByName("THINC"))
+	vnc := RunScrollDrag(SystemByName("VNC"))
+	t.Logf("THINC scroll=%d drag=%d; VNC scroll=%d drag=%d",
+		thinc.ScrollBytes, thinc.DragBytes, vnc.ScrollBytes, vnc.DragBytes)
+	// §3: COPY makes scroll and drag orders of magnitude cheaper than
+	// re-scraping the moved pixels.
+	if thinc.ScrollBytes*10 > vnc.ScrollBytes {
+		t.Errorf("THINC scroll %d should be <10%% of VNC %d", thinc.ScrollBytes, vnc.ScrollBytes)
+	}
+	if thinc.DragBytes*10 > vnc.DragBytes {
+		t.Errorf("THINC drag %d should be <10%% of VNC %d", thinc.DragBytes, vnc.DragBytes)
+	}
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thinc/internal/baseline"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/sim"
+	"thinc/internal/xserver"
+)
+
+// Interactive microbenchmarks for the operations §3 singles out COPY
+// for: document scrolling and opaque window movement. Command-based
+// systems ship a 17-byte COPY plus the newly exposed strip; scrapers
+// re-encode everything that moved.
+
+// MicroResult measures one interactive operation sequence.
+type MicroResult struct {
+	System      string
+	ScrollBytes int64 // per scroll step
+	DragBytes   int64 // per window drag step
+}
+
+// RunScrollDrag measures scroll and drag cost per step over the LAN
+// configuration.
+func RunScrollDrag(sys baseline.System) MicroResult {
+	res := MicroResult{System: sys.Name()}
+	res.ScrollBytes = runScroll(sys)
+	res.DragBytes = runDrag(sys)
+	return res
+}
+
+// newMicroSession builds a session+display pair for a microbenchmark.
+func newMicroSession(sys baseline.System) (baseline.Session, *xserver.Display, *sim.Engine) {
+	eng := sim.NewEngine()
+	cfg := baseline.SessionConfig{Eng: eng, Link: LANDesktop().Link, W: ScreenW, H: ScreenH,
+		ViewW: ScreenW, ViewH: ScreenH}
+	sess := sys.NewSession(cfg)
+	dpy := xserver.NewDisplay(ScreenW, ScreenH, sess.Driver())
+	sess.BindDisplay(dpy)
+	sess.Start()
+	eng.Run()
+	return sess, dpy, eng
+}
+
+// runScroll renders a text document, then scrolls it by one line 20
+// times, drawing the newly exposed line each step.
+func runScroll(sys baseline.System) int64 {
+	sess, dpy, eng := newMicroSession(sys)
+	win := dpy.CreateWindow(geom.XYWH(0, 0, ScreenW, ScreenH))
+	rnd := rand.New(rand.NewSource(11))
+
+	// Fill the "document".
+	dpy.FillRect(win, &xserver.GC{Fg: pixel.RGB(250, 250, 250)}, win.Bounds())
+	for y := 8; y < ScreenH-16; y += xserver.GlyphH + 4 {
+		dpy.DrawText(win, &xserver.GC{Fg: pixel.RGB(20, 20, 20)}, 10, y,
+			fmt.Sprintf("line %d with some document text %d", y, rnd.Intn(1000)))
+	}
+	sess.Damage()
+	eng.Run()
+	base := sess.Stats().BytesToClient
+
+	const steps = 20
+	line := xserver.GlyphH + 4
+	for i := 0; i < steps; i++ {
+		dpy.CopyArea(win, win, geom.XYWH(0, line, ScreenW, ScreenH-line), geom.Point{})
+		dpy.FillRect(win, &xserver.GC{Fg: pixel.RGB(250, 250, 250)},
+			geom.XYWH(0, ScreenH-line, ScreenW, line))
+		dpy.DrawText(win, &xserver.GC{Fg: pixel.RGB(20, 20, 20)}, 10, ScreenH-line+2,
+			fmt.Sprintf("new line %d arriving %d", i, rnd.Intn(1000)))
+		sess.Damage()
+		eng.Run()
+	}
+	return (sess.Stats().BytesToClient - base) / steps
+}
+
+// runDrag draws a window of content and drags it across the desktop in
+// 20 steps.
+func runDrag(sys baseline.System) int64 {
+	sess, dpy, eng := newMicroSession(sys)
+	desktop := pixel.RGB(40, 44, 52)
+	root := dpy.CreateWindow(geom.XYWH(0, 0, ScreenW, ScreenH))
+	dpy.FillRect(root, &xserver.GC{Fg: desktop}, root.Bounds())
+
+	win := dpy.CreateWindow(geom.XYWH(40, 40, 400, 300))
+	dpy.FillRect(win, &xserver.GC{Fg: pixel.RGB(245, 245, 245)}, win.Bounds())
+	dpy.DrawText(win, &xserver.GC{Fg: pixel.RGB(0, 0, 0)}, 10, 10, "draggable window")
+	sess.Damage()
+	eng.Run()
+	base := sess.Stats().BytesToClient
+
+	const steps = 20
+	for i := 0; i < steps; i++ {
+		dpy.MoveWindow(win, geom.Point{X: 40 + (i+1)*16, Y: 40 + (i+1)*8}, desktop)
+		sess.Damage()
+		eng.Run()
+	}
+	return (sess.Stats().BytesToClient - base) / steps
+}
+
+// Microbench regenerates the scroll/drag comparison table.
+func (s *Suite) Microbench() *Table {
+	t := &Table{
+		ID:     "Microbench",
+		Title:  "Interactive operations: bytes per step (LAN)",
+		Header: []string{"platform", "scroll B/step", "drag B/step"},
+		Notes: []string{
+			"§3: COPY accelerates scrolling and opaque window movement without resending screen data",
+		},
+	}
+	for _, name := range []string{"THINC", "SunRay", "VNC", "NX"} {
+		r := RunScrollDrag(SystemByName(name))
+		t.Rows = append(t.Rows, []string{r.System,
+			fmt.Sprintf("%d", r.ScrollBytes), fmt.Sprintf("%d", r.DragBytes)})
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"compress/zlib"
+
+	"thinc/internal/pixel"
+	"thinc/internal/resample"
+	"thinc/internal/workload"
+)
+
+// measureFrameRatios upscales one decoded clip frame to full screen
+// (smooth interpolation, as players scale) and measures how well zlib
+// compresses it at 24-bit and 8-bit depth — the per-frame wire cost
+// model for software video playback.
+func measureFrameRatios(clip *workload.VideoClip) (r24, r8 float64) {
+	src := clip.FrameRGB(0)
+	rgb := resample.Fant(src, clip.W, clip.W, clip.H, ScreenW, ScreenH)
+	const sample = 256 << 10
+	buf24 := make([]byte, 0, sample)
+	buf8 := make([]byte, 0, sample/4)
+	for _, p := range rgb {
+		if len(buf24) >= sample {
+			break
+		}
+		buf24 = append(buf24, byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
+		buf8 = append(buf8, pixel.To8Bit(p))
+	}
+	return zratio(buf24), zratio(buf8)
+}
+
+func zratio(data []byte) float64 {
+	var out bytes.Buffer
+	zw, err := zlib.NewWriterLevel(&out, zlib.BestSpeed)
+	if err != nil {
+		return 1
+	}
+	if _, err := zw.Write(data); err != nil {
+		return 1
+	}
+	zw.Close()
+	r := float64(out.Len()) / float64(len(data))
+	if r > 1 {
+		r = 1
+	}
+	return r
+}

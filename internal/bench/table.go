@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a figure or table of §8 rendered as text.
+type Table struct {
+	ID     string // "Figure 2", "Ablation", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func ms(t interface{ Millis() float64 }) string {
+	return fmt.Sprintf("%.0f", t.Millis())
+}
+
+func kb(n int64) string { return fmt.Sprintf("%.0f", float64(n)/1024) }
+
+func mb(n int64) string { return fmt.Sprintf("%.1f", float64(n)/(1<<20)) }
+
+func pct(f float64) string { return fmt.Sprintf("%.1f", f*100) }

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"thinc/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "Figure X",
+		Title:  "demo",
+		Header: []string{"platform", "value"},
+		Rows: [][]string{
+			{"THINC", "1"},
+			{"a-very-long-name", "22222"},
+		},
+		Notes: []string{"a note"},
+	}
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Figure X: demo") {
+		t.Errorf("title line %q", lines[0])
+	}
+	// Columns align: 'value' column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[3:5] {
+		if len(ln) <= idx {
+			t.Fatalf("row too short: %q", ln)
+		}
+	}
+	if !strings.Contains(lines[5], "note: a note") {
+		t.Errorf("note missing: %q", lines[5])
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := ms(1500 * sim.Millisecond); got != "1500" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := kb(2048); got != "2" {
+		t.Errorf("kb = %q", got)
+	}
+	if got := mb(3 << 20); got != "3.0" {
+		t.Errorf("mb = %q", got)
+	}
+	if got := pct(0.1234); got != "12.3" {
+		t.Errorf("pct = %q", got)
+	}
+}
+
+func TestConfigsAndSystems(t *testing.T) {
+	if LANDesktop().Name != "LAN Desktop" || WANDesktop().Link.RTT != 66*sim.Millisecond {
+		t.Error("config constants wrong")
+	}
+	p := PDA()
+	if p.ViewW != 320 || p.ViewH != 240 {
+		t.Error("PDA viewport wrong")
+	}
+	if len(Systems()) != 9 {
+		t.Errorf("%d systems, want 9 (incl. local)", len(Systems()))
+	}
+	if SystemByName("THINC") == nil || SystemByName("nope") != nil {
+		t.Error("SystemByName wrong")
+	}
+	// GoToMyPC's PDA minimum is 640x480 (§8.1).
+	g := PDAFor(SystemByName("GoToMyPC"))
+	if g.ViewW != 640 || g.ViewH != 480 {
+		t.Errorf("GTMP PDA viewport %dx%d", g.ViewW, g.ViewH)
+	}
+}

@@ -1,0 +1,107 @@
+// Package cipher provides the RC4 stream cipher THINC uses to encrypt
+// all protocol traffic (§7). RC4 is implemented from scratch here; it is
+// kept for fidelity to the paper — it is NOT a recommendation of RC4 for
+// new systems. The package also provides an io.Reader/io.Writer pair
+// that transparently encrypts a transport stream.
+package cipher
+
+import (
+	"errors"
+	"io"
+)
+
+// RC4 is the classic Rivest stream cipher state: a 256-byte permutation
+// plus two indices. Identical key and direction on both ends keeps the
+// keystreams in lockstep.
+type RC4 struct {
+	s    [256]byte
+	i, j uint8
+}
+
+// ErrShortKey is returned for keys outside RC4's 1..256 byte range.
+var ErrShortKey = errors.New("cipher: RC4 key must be 1..256 bytes")
+
+// NewRC4 runs the key-scheduling algorithm over key.
+func NewRC4(key []byte) (*RC4, error) {
+	if len(key) < 1 || len(key) > 256 {
+		return nil, ErrShortKey
+	}
+	c := &RC4{}
+	for i := 0; i < 256; i++ {
+		c.s[i] = byte(i)
+	}
+	var j byte
+	for i := 0; i < 256; i++ {
+		j += c.s[i] + key[i%len(key)]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+	}
+	return c, nil
+}
+
+// XORKeyStream XORs src with the keystream into dst (dst may alias src).
+func (c *RC4) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("cipher: output smaller than input")
+	}
+	i, j := c.i, c.j
+	for k, b := range src {
+		i++
+		j += c.s[i]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+		dst[k] = b ^ c.s[c.s[i]+c.s[j]]
+	}
+	c.i, c.j = i, j
+}
+
+// StreamConn wraps a bidirectional stream so that everything written is
+// RC4-encrypted and everything read is decrypted. Each direction uses an
+// independent keystream derived from the shared key and a direction tag,
+// mirroring how the prototype separates client->server and
+// server->client traffic.
+type StreamConn struct {
+	rw  io.ReadWriter
+	enc *RC4
+	dec *RC4
+}
+
+// NewStreamConn builds an encrypted channel over rw. isServer selects
+// which directional keystream encrypts writes; a server and a client
+// created with the same key interoperate.
+func NewStreamConn(rw io.ReadWriter, key []byte, isServer bool) (*StreamConn, error) {
+	s2c, err := NewRC4(deriveKey(key, 'S'))
+	if err != nil {
+		return nil, err
+	}
+	c2s, err := NewRC4(deriveKey(key, 'C'))
+	if err != nil {
+		return nil, err
+	}
+	sc := &StreamConn{rw: rw}
+	if isServer {
+		sc.enc, sc.dec = s2c, c2s
+	} else {
+		sc.enc, sc.dec = c2s, s2c
+	}
+	return sc, nil
+}
+
+// deriveKey appends a direction tag so the two directions never share a
+// keystream (reusing an RC4 keystream across directions would be a
+// classic two-time pad).
+func deriveKey(key []byte, tag byte) []byte {
+	k := make([]byte, 0, len(key)+1)
+	k = append(k, key...)
+	return append(k, tag)
+}
+
+func (s *StreamConn) Read(p []byte) (int, error) {
+	n, err := s.rw.Read(p)
+	s.dec.XORKeyStream(p[:n], p[:n])
+	return n, err
+}
+
+func (s *StreamConn) Write(p []byte) (int, error) {
+	buf := make([]byte, len(p))
+	s.enc.XORKeyStream(buf, p)
+	return s.rw.Write(buf)
+}

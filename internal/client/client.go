@@ -1,0 +1,180 @@
+// Package client implements the THINC client: a simple, stateless
+// input-output device (§3). It keeps a local framebuffer, executes the
+// five protocol display commands against it using exactly the raster
+// operations commodity display hardware accelerates, scales video
+// streams in a (software) overlay, and collects the instrumentation the
+// headless benchmark client used for the paper's measurements (§8.1).
+package client
+
+import (
+	"fmt"
+
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+)
+
+// Stats is the client-side instrumentation: message and byte counts per
+// command type, plus audio/video delivery accounting.
+type Stats struct {
+	Messages map[wire.Type]int
+	Bytes    map[wire.Type]int64
+
+	FramesShown int
+	AudioChunks int
+	LastVideoTS uint64
+	LastAudioTS uint64
+}
+
+// Client is a THINC display client.
+type Client struct {
+	fb      *fb.Framebuffer
+	streams map[uint32]*stream
+	stats   Stats
+	cursor  cursorState
+}
+
+// cursorState is the client-side hardware cursor: an overlay the
+// display hardware composites above the framebuffer.
+type cursorState struct {
+	img  []pixel.ARGB
+	w, h int
+	hot  geom.Point
+	pos  geom.Point
+}
+
+type stream struct {
+	dst       geom.Rect
+	lastFrame *pixel.YV12Image
+}
+
+// New creates a client with a w x h local framebuffer.
+func New(w, h int) *Client {
+	return &Client{
+		fb:      fb.New(w, h),
+		streams: make(map[uint32]*stream),
+		stats: Stats{
+			Messages: make(map[wire.Type]int),
+			Bytes:    make(map[wire.Type]int64),
+		},
+	}
+}
+
+// FB returns the client's framebuffer (what the user sees).
+func (c *Client) FB() *fb.Framebuffer { return c.fb }
+
+// Stats returns the instrumentation counters.
+func (c *Client) Stats() *Stats { return &c.stats }
+
+// BytesTotal returns the total wire bytes applied.
+func (c *Client) BytesTotal() int64 {
+	var n int64
+	for _, b := range c.stats.Bytes {
+		n += b
+	}
+	return n
+}
+
+// Apply executes one protocol message against the local framebuffer.
+// Unknown or server-bound messages return an error; a well-behaved
+// server never sends them.
+func (c *Client) Apply(m wire.Message) error {
+	c.stats.Messages[m.Type()]++
+	c.stats.Bytes[m.Type()] += int64(wire.WireSize(m))
+
+	switch v := m.(type) {
+	case *wire.Raw:
+		pix, err := v.Pixels()
+		if err != nil {
+			return fmt.Errorf("client: RAW decode: %w", err)
+		}
+		if v.Blend {
+			c.fb.CompositeOver(v.Rect, pix, v.Rect.W())
+		} else {
+			c.fb.PutImage(v.Rect, pix, v.Rect.W())
+		}
+	case *wire.Copy:
+		c.fb.Copy(v.Src, v.Dst)
+	case *wire.SFill:
+		c.fb.FillSolid(v.Rect, v.Color)
+	case *wire.PFill:
+		c.fb.FillTileAnchored(v.Rect, fb.NewTile(v.TileW, v.TileH, v.Tile), v.Ax, v.Ay)
+	case *wire.Bitmap:
+		bm := &fb.Bitmap{W: v.BitW, H: v.BitH, Bits: v.Bits}
+		c.fb.FillBitmap(v.Rect, bm, v.Fg, v.Bg, v.Transparent)
+	case *wire.VideoInit:
+		c.streams[v.Stream] = &stream{dst: v.Dst}
+	case *wire.VideoFrame:
+		st, ok := c.streams[v.Stream]
+		if !ok {
+			return fmt.Errorf("client: frame for unknown stream %d", v.Stream)
+		}
+		img := pixel.UnmarshalYV12(v.W, v.H, v.Data)
+		if img == nil {
+			return fmt.Errorf("client: short video frame (%dx%d, %d bytes)", v.W, v.H, len(v.Data))
+		}
+		st.lastFrame = img
+		c.fb.OverlayYV12(st.dst, img) // hardware overlay: convert + scale
+		c.stats.FramesShown++
+		c.stats.LastVideoTS = v.PTS
+	case *wire.VideoMove:
+		st, ok := c.streams[v.Stream]
+		if !ok {
+			return fmt.Errorf("client: move for unknown stream %d", v.Stream)
+		}
+		st.dst = v.Dst
+		if st.lastFrame != nil {
+			c.fb.OverlayYV12(st.dst, st.lastFrame)
+		}
+	case *wire.VideoEnd:
+		delete(c.streams, v.Stream)
+	case *wire.AudioData:
+		c.stats.AudioChunks++
+		c.stats.LastAudioTS = v.PTS
+	case *wire.CursorSet:
+		c.cursor.img = v.Pix
+		c.cursor.w, c.cursor.h = v.W, v.H
+		c.cursor.hot = geom.Point{X: v.HotX, Y: v.HotY}
+	case *wire.CursorMove:
+		c.cursor.pos = geom.Point{X: v.X, Y: v.Y}
+	case *wire.ServerInit:
+		// Informational: the session framebuffer may be larger than our
+		// viewport; the server scales for us (§6).
+	default:
+		return fmt.Errorf("client: unexpected message %v", m.Type())
+	}
+	return nil
+}
+
+// ApplyAll executes a batch in order, stopping at the first error.
+func (c *Client) ApplyAll(msgs []wire.Message) error {
+	for _, m := range msgs {
+		if err := c.Apply(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActiveStreams returns the number of open video streams.
+func (c *Client) ActiveStreams() int { return len(c.streams) }
+
+// CursorPos returns the current cursor position.
+func (c *Client) CursorPos() geom.Point { return c.cursor.pos }
+
+// HasCursor reports whether a cursor image is installed.
+func (c *Client) HasCursor() bool { return len(c.cursor.img) > 0 }
+
+// ComposeCursor returns a copy of the framebuffer with the cursor
+// overlay composited at its position — what the physical display shows.
+func (c *Client) ComposeCursor() *fb.Framebuffer {
+	out := c.fb.Clone()
+	if len(c.cursor.img) == 0 {
+		return out
+	}
+	r := geom.XYWH(c.cursor.pos.X-c.cursor.hot.X, c.cursor.pos.Y-c.cursor.hot.Y,
+		c.cursor.w, c.cursor.h)
+	out.CompositeOver(r, c.cursor.img, c.cursor.w)
+	return out
+}

@@ -1,0 +1,165 @@
+package client
+
+import (
+	"testing"
+
+	"thinc/internal/compress"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+)
+
+func TestApplyDisplayCommands(t *testing.T) {
+	c := New(32, 32)
+
+	if err := c.Apply(&wire.SFill{Rect: geom.XYWH(0, 0, 16, 16), Color: pixel.RGB(200, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if c.FB().At(8, 8) != pixel.RGB(200, 0, 0) {
+		t.Fatal("SFILL not applied")
+	}
+
+	if err := c.Apply(&wire.Copy{Src: geom.XYWH(0, 0, 8, 8), Dst: geom.Point{X: 20, Y: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.FB().At(24, 24) != pixel.RGB(200, 0, 0) {
+		t.Fatal("COPY not applied")
+	}
+
+	if err := c.Apply(&wire.PFill{Rect: geom.XYWH(0, 16, 8, 8), TileW: 1, TileH: 1,
+		Tile: []pixel.ARGB{pixel.RGB(0, 99, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.FB().At(4, 20) != pixel.RGB(0, 99, 0) {
+		t.Fatal("PFILL not applied")
+	}
+
+	bits := []byte{0x80} // single set bit
+	if err := c.Apply(&wire.Bitmap{Rect: geom.XYWH(30, 0, 1, 1), Fg: pixel.RGB(9, 9, 9),
+		BitW: 1, BitH: 1, Bits: bits}); err != nil {
+		t.Fatal(err)
+	}
+	if c.FB().At(30, 0) != pixel.RGB(9, 9, 9) {
+		t.Fatal("BITMAP not applied")
+	}
+
+	pix := []pixel.ARGB{pixel.RGB(1, 2, 3), pixel.RGB(4, 5, 6)}
+	raw, err := wire.NewRaw(geom.XYWH(10, 30, 2, 1), pix, 2, compress.CodecRLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply(raw); err != nil {
+		t.Fatal(err)
+	}
+	if c.FB().At(10, 30) != pix[0] || c.FB().At(11, 30) != pix[1] {
+		t.Fatal("RAW not applied")
+	}
+}
+
+func TestApplyBlendRaw(t *testing.T) {
+	c := New(2, 1)
+	c.Apply(&wire.SFill{Rect: geom.XYWH(0, 0, 2, 1), Color: pixel.RGB(0, 0, 0)})
+	pix := []pixel.ARGB{pixel.PackARGB(128, 255, 255, 255), pixel.PackARGB(0, 255, 255, 255)}
+	raw, _ := wire.NewRaw(geom.XYWH(0, 0, 2, 1), pix, 2, compress.CodecNone)
+	raw.Blend = true
+	if err := c.Apply(raw); err != nil {
+		t.Fatal(err)
+	}
+	if r := c.FB().At(0, 0).R(); r < 120 || r > 136 {
+		t.Errorf("blend R=%d, want ~128", r)
+	}
+	if c.FB().At(1, 0) != pixel.RGB(0, 0, 0) {
+		t.Error("transparent blend pixel changed destination")
+	}
+}
+
+func TestVideoStreamLifecycle(t *testing.T) {
+	c := New(64, 48)
+	if err := c.Apply(&wire.VideoInit{Stream: 1, SrcW: 16, SrcH: 12,
+		Dst: geom.XYWH(0, 0, 64, 48)}); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveStreams() != 1 {
+		t.Fatal("stream not created")
+	}
+	img := pixel.NewYV12(16, 12)
+	for i := range img.Y {
+		img.Y[i] = 180
+	}
+	for i := range img.U {
+		img.U[i], img.V[i] = 128, 128
+	}
+	if err := c.Apply(&wire.VideoFrame{Stream: 1, Seq: 1, PTS: 7, W: 16, H: 12,
+		Data: img.Marshal(nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().FramesShown != 1 || c.Stats().LastVideoTS != 7 {
+		t.Fatal("frame accounting wrong")
+	}
+	// Moving the stream redraws the last frame at the new position.
+	if err := c.Apply(&wire.VideoMove{Stream: 1, Dst: geom.XYWH(32, 24, 32, 24)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FB().At(40, 30); got.R() < 150 {
+		t.Errorf("moved overlay missing: %v", got)
+	}
+	if err := c.Apply(&wire.VideoEnd{Stream: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveStreams() != 0 {
+		t.Fatal("stream not torn down")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	c := New(8, 8)
+	if err := c.Apply(&wire.VideoFrame{Stream: 42, W: 2, H: 2, Data: make([]byte, 6)}); err == nil {
+		t.Error("frame for unknown stream accepted")
+	}
+	c.Apply(&wire.VideoInit{Stream: 1, SrcW: 2, SrcH: 2, Dst: geom.XYWH(0, 0, 8, 8)})
+	if err := c.Apply(&wire.VideoFrame{Stream: 1, W: 2, H: 2, Data: []byte{1}}); err == nil {
+		t.Error("short frame accepted")
+	}
+	if err := c.Apply(&wire.VideoMove{Stream: 9}); err == nil {
+		t.Error("move for unknown stream accepted")
+	}
+	if err := c.Apply(&wire.Input{}); err == nil {
+		t.Error("client-bound message accepted")
+	}
+	bad := &wire.Raw{Rect: geom.XYWH(0, 0, 2, 2), Codec: compress.CodecPNG, Data: []byte("junk")}
+	if err := c.Apply(bad); err == nil {
+		t.Error("corrupt RAW accepted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := New(8, 8)
+	m := &wire.SFill{Rect: geom.XYWH(0, 0, 4, 4), Color: 1}
+	c.Apply(m)
+	c.Apply(&wire.AudioData{PTS: 5, Data: []byte{1, 2}})
+	st := c.Stats()
+	if st.Messages[wire.TSFill] != 1 || st.Bytes[wire.TSFill] != int64(wire.WireSize(m)) {
+		t.Error("display stats wrong")
+	}
+	if st.AudioChunks != 1 || st.LastAudioTS != 5 {
+		t.Error("audio stats wrong")
+	}
+	if c.BytesTotal() <= 0 {
+		t.Error("total bytes missing")
+	}
+}
+
+func TestApplyAllStopsOnError(t *testing.T) {
+	c := New(8, 8)
+	msgs := []wire.Message{
+		&wire.SFill{Rect: geom.XYWH(0, 0, 2, 2), Color: 1},
+		&wire.VideoMove{Stream: 77}, // error
+		&wire.SFill{Rect: geom.XYWH(4, 4, 2, 2), Color: 2},
+	}
+	if err := c.ApplyAll(msgs); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if c.Stats().Messages[wire.TSFill] != 1 {
+		t.Fatal("messages after the error should not apply")
+	}
+}

@@ -1,0 +1,175 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/cipher"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/wire"
+)
+
+// Conn is a THINC client connected over a real network transport: it
+// authenticates, decrypts the update stream, executes commands into
+// the local framebuffer, and forwards user input (§3, §7).
+type Conn struct {
+	nc  net.Conn
+	enc *cipher.StreamConn
+
+	mu sync.Mutex
+	c  *Client
+
+	// ServerW and ServerH are the session's true framebuffer geometry;
+	// with a smaller viewport the server scales for us (§6).
+	ServerW, ServerH int
+}
+
+// Dial connects, authenticates as user with the given secret, and
+// completes the display handshake with a viewW x viewH viewport.
+func Dial(addr, user, secret string, viewW, viewH int) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Handshake(nc, user, secret, viewW, viewH)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Handshake runs the client side of the protocol handshake over an
+// established transport (used directly by tests over net.Pipe).
+func Handshake(nc net.Conn, user, secret string, viewW, viewH int) (*Conn, error) {
+	_ = nc.SetDeadline(time.Now().Add(10 * time.Second))
+	m, err := wire.ReadMessage(nc)
+	if err != nil {
+		return nil, err
+	}
+	ch, ok := m.(*wire.AuthChallenge)
+	if !ok {
+		return nil, fmt.Errorf("client: expected challenge, got %v", m.Type())
+	}
+	if err := wire.WriteMessage(nc, &wire.AuthResponse{
+		User: user, Proof: auth.Proof(secret, ch.Nonce),
+	}); err != nil {
+		return nil, err
+	}
+	m, err = wire.ReadMessage(nc)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := m.(*wire.AuthResult)
+	if !ok {
+		return nil, fmt.Errorf("client: expected auth result, got %v", m.Type())
+	}
+	if !res.OK {
+		return nil, fmt.Errorf("client: authentication refused: %s", res.Reason)
+	}
+
+	enc, err := cipher.NewStreamConn(nc, auth.SessionKey(secret, ch.Nonce), false)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteMessage(enc, &wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: user}); err != nil {
+		return nil, err
+	}
+	m, err = wire.ReadMessage(enc)
+	if err != nil {
+		return nil, err
+	}
+	si, ok := m.(*wire.ServerInit)
+	if !ok {
+		return nil, fmt.Errorf("client: expected server init, got %v", m.Type())
+	}
+	_ = nc.SetDeadline(time.Time{})
+
+	if viewW <= 0 || viewH <= 0 || viewW > si.W || viewH > si.H {
+		viewW, viewH = si.W, si.H
+	}
+	return &Conn{
+		nc: nc, enc: enc,
+		c:       New(viewW, viewH),
+		ServerW: si.W, ServerH: si.H,
+	}, nil
+}
+
+// Run applies the update stream until the connection fails or closes.
+func (cn *Conn) Run() error {
+	for {
+		m, err := wire.ReadMessage(cn.enc)
+		if err != nil {
+			return err
+		}
+		cn.mu.Lock()
+		err = cn.c.Apply(m)
+		cn.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Snapshot returns a copy of the current framebuffer.
+func (cn *Conn) Snapshot() *fb.Framebuffer {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.c.FB().Clone()
+}
+
+// View returns a copy of the framebuffer with the hardware cursor
+// composited — what a physical display attached to this client shows.
+func (cn *Conn) View() *fb.Framebuffer {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.c.ComposeCursor()
+}
+
+// CursorPos returns the current cursor position in viewport space.
+func (cn *Conn) CursorPos() geom.Point {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.c.CursorPos()
+}
+
+// Stats returns a copy of the client instrumentation counters.
+func (cn *Conn) Stats() Stats {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	s := *cn.c.Stats()
+	s.Messages = make(map[wire.Type]int, len(cn.c.Stats().Messages))
+	s.Bytes = make(map[wire.Type]int64, len(cn.c.Stats().Bytes))
+	for k, v := range cn.c.Stats().Messages {
+		s.Messages[k] = v
+	}
+	for k, v := range cn.c.Stats().Bytes {
+		s.Bytes[k] = v
+	}
+	return s
+}
+
+// SendInput forwards a user input event. Coordinates are in server
+// framebuffer space; callers using a scaled viewport map them first.
+func (cn *Conn) SendInput(ev *wire.Input) error {
+	return wire.WriteMessage(cn.enc, ev)
+}
+
+// RequestResize asks the server to rescale updates to a new viewport.
+// The local framebuffer is replaced at the new geometry.
+func (cn *Conn) RequestResize(viewW, viewH int) error {
+	if err := wire.WriteMessage(cn.enc, &wire.Resize{ViewW: viewW, ViewH: viewH}); err != nil {
+		return err
+	}
+	cn.mu.Lock()
+	cn.c = New(viewW, viewH)
+	cn.mu.Unlock()
+	return nil
+}
+
+// Close tears the connection down.
+func (cn *Conn) Close() error { return cn.nc.Close() }

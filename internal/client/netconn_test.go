@@ -1,0 +1,130 @@
+package client_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/client"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/server"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+func newHost(t *testing.T, w, h int) *server.Host {
+	t.Helper()
+	acc := auth.NewAccounts()
+	acc.Add("u", "p")
+	return server.NewHost(w, h, auth.NewAuthenticator("u", acc),
+		server.Options{FlushInterval: time.Millisecond})
+}
+
+func pipeTo(t *testing.T, h *server.Host, user, pass string, vw, vh int) (*client.Conn, error) {
+	t.Helper()
+	a, b := net.Pipe()
+	go h.ServeConn(a)
+	return client.Handshake(b, user, pass, vw, vh)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", what)
+}
+
+func TestHandshakeGeometryNegotiation(t *testing.T) {
+	h := newHost(t, 200, 100)
+	// Oversized viewport request clamps to the session size.
+	conn, err := pipeTo(t, h, "u", "p", 4000, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.ServerW != 200 || conn.ServerH != 100 {
+		t.Fatalf("server geometry %dx%d", conn.ServerW, conn.ServerH)
+	}
+	if snap := conn.Snapshot(); snap.W() != 200 || snap.H() != 100 {
+		t.Fatalf("viewport %dx%d, want clamped to session", snap.W(), snap.H())
+	}
+}
+
+func TestHandshakeRejectsBadSecret(t *testing.T) {
+	h := newHost(t, 64, 48)
+	if _, err := pipeTo(t, h, "u", "nope", 64, 48); err == nil {
+		t.Fatal("bad secret accepted")
+	}
+}
+
+func TestConnCursorAndView(t *testing.T) {
+	h := newHost(t, 64, 48)
+	conn, err := pipeTo(t, h, "u", "p", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	h.Do(func(d *xserver.Display) {
+		cur := make([]pixel.ARGB, 4*4)
+		for i := range cur {
+			cur[i] = pixel.RGB(255, 0, 0)
+		}
+		d.SetCursor(cur, 4, 4, geom.Point{})
+		d.MoveCursor(geom.Point{X: 20, Y: 10})
+	})
+	waitFor(t, "cursor", func() bool {
+		return conn.CursorPos() == (geom.Point{X: 20, Y: 10})
+	})
+	// View composites the cursor; Snapshot does not.
+	snap, view := conn.Snapshot(), conn.View()
+	if snap.At(21, 11) == pixel.RGB(255, 0, 0) {
+		t.Error("snapshot must not contain the cursor")
+	}
+	if view.At(21, 11) != pixel.RGB(255, 0, 0) {
+		t.Errorf("view missing cursor: %v", view.At(21, 11))
+	}
+}
+
+func TestConnStatsIsolatedCopy(t *testing.T) {
+	h := newHost(t, 64, 48)
+	conn, err := pipeTo(t, h, "u", "p", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+	waitFor(t, "refresh", func() bool { return conn.Stats().Messages[wire.TRaw] > 0 })
+	st := conn.Stats()
+	st.Messages[wire.TRaw] = 9999 // mutating the copy must not leak
+	if conn.Stats().Messages[wire.TRaw] == 9999 {
+		t.Fatal("Stats returned shared state")
+	}
+}
+
+func TestConnRunEndsOnClose(t *testing.T) {
+	h := newHost(t, 32, 24)
+	conn, err := pipeTo(t, h, "u", "p", 32, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- conn.Run() }()
+	conn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run should report the closed transport")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Close")
+	}
+}

@@ -1,0 +1,204 @@
+// Package compress provides the payload encoders used on the wire. THINC
+// compresses only RAW pixel updates (every other command is already a
+// compact semantic encoding); the prototype used PNG for that purpose
+// (§7), with a cheap RLE as the low-CPU alternative. A zlib codec is
+// provided for the baseline systems (VNC/NX-class) that compress
+// everything.
+package compress
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"thinc/internal/pixel"
+)
+
+// Codec identifies a RAW payload encoding.
+type Codec uint8
+
+// Supported codecs.
+const (
+	CodecNone Codec = iota // raw ARGB32, no compression
+	CodecRLE               // run-length encoding of ARGB32 pixels
+	CodecPNG               // PNG (the prototype's choice)
+	CodecZlib              // zlib over ARGB32 (baseline systems)
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecNone:
+		return "none"
+	case CodecRLE:
+		return "rle"
+	case CodecPNG:
+		return "png"
+	case CodecZlib:
+		return "zlib"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrCorrupt is returned when a payload cannot be decoded.
+var ErrCorrupt = errors.New("compress: corrupt payload")
+
+// Encode compresses a w x h block of pixels with the chosen codec.
+func Encode(c Codec, pix []pixel.ARGB, w, h int) ([]byte, error) {
+	if len(pix) != w*h {
+		return nil, fmt.Errorf("compress: %dx%d block with %d pixels", w, h, len(pix))
+	}
+	switch c {
+	case CodecNone:
+		return encodeRawBytes(pix), nil
+	case CodecRLE:
+		return encodeRLE(pix), nil
+	case CodecPNG:
+		return encodePNG(pix, w, h)
+	case CodecZlib:
+		return encodeZlib(encodeRawBytes(pix))
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %d", c)
+	}
+}
+
+// Decode reverses Encode for a block known to be w x h.
+func Decode(c Codec, data []byte, w, h int) ([]pixel.ARGB, error) {
+	switch c {
+	case CodecNone:
+		return decodeRawBytes(data, w*h)
+	case CodecRLE:
+		return decodeRLE(data, w*h)
+	case CodecPNG:
+		return decodePNG(data, w, h)
+	case CodecZlib:
+		raw, err := decodeZlib(data)
+		if err != nil {
+			return nil, err
+		}
+		return decodeRawBytes(raw, w*h)
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %d", c)
+	}
+}
+
+func encodeRawBytes(pix []pixel.ARGB) []byte {
+	buf := make([]byte, len(pix)*4)
+	for i, p := range pix {
+		binary.BigEndian.PutUint32(buf[i*4:], uint32(p))
+	}
+	return buf
+}
+
+func decodeRawBytes(data []byte, n int) ([]pixel.ARGB, error) {
+	if len(data) != n*4 {
+		return nil, ErrCorrupt
+	}
+	pix := make([]pixel.ARGB, n)
+	for i := range pix {
+		pix[i] = pixel.ARGB(binary.BigEndian.Uint32(data[i*4:]))
+	}
+	return pix, nil
+}
+
+// encodeRLE emits (count-1 byte, ARGB32) pairs; runs cap at 256.
+func encodeRLE(pix []pixel.ARGB) []byte {
+	var out []byte
+	for i := 0; i < len(pix); {
+		run := 1
+		for i+run < len(pix) && run < 256 && pix[i+run] == pix[i] {
+			run++
+		}
+		out = append(out, byte(run-1),
+			byte(pix[i]>>24), byte(pix[i]>>16), byte(pix[i]>>8), byte(pix[i]))
+		i += run
+	}
+	return out
+}
+
+func decodeRLE(data []byte, n int) ([]pixel.ARGB, error) {
+	if len(data)%5 != 0 {
+		return nil, ErrCorrupt
+	}
+	pix := make([]pixel.ARGB, 0, n)
+	for o := 0; o < len(data); o += 5 {
+		run := int(data[o]) + 1
+		p := pixel.ARGB(binary.BigEndian.Uint32(data[o+1:]))
+		for k := 0; k < run; k++ {
+			pix = append(pix, p)
+		}
+	}
+	if len(pix) != n {
+		return nil, ErrCorrupt
+	}
+	return pix, nil
+}
+
+func encodePNG(pix []pixel.ARGB, w, h int) ([]byte, error) {
+	img := image.NewNRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p := pix[y*w+x]
+			img.SetNRGBA(x, y, color.NRGBA{R: p.R(), G: p.G(), B: p.B(), A: p.A()})
+		}
+	}
+	var buf bytes.Buffer
+	enc := png.Encoder{CompressionLevel: png.BestSpeed}
+	if err := enc.Encode(&buf, img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePNG(data []byte, w, h int) ([]pixel.ARGB, error) {
+	img, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	b := img.Bounds()
+	if b.Dx() != w || b.Dy() != h {
+		return nil, ErrCorrupt
+	}
+	pix := make([]pixel.ARGB, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := color.NRGBAModel.Convert(img.At(b.Min.X+x, b.Min.Y+y)).(color.NRGBA)
+			pix[y*w+x] = pixel.PackARGB(c.A, c.R, c.G, c.B)
+		}
+	}
+	return pix, nil
+}
+
+func encodeZlib(raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw, err := zlib.NewWriterLevel(&buf, zlib.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeZlib(data []byte) ([]byte, error) {
+	zr, err := zlib.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return raw, nil
+}

@@ -1,0 +1,160 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinc/internal/pixel"
+)
+
+func randomBlock(rnd *rand.Rand, w, h int) []pixel.ARGB {
+	pix := make([]pixel.ARGB, w*h)
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(rnd.Intn(256)), uint8(rnd.Intn(256)), uint8(rnd.Intn(256)))
+	}
+	return pix
+}
+
+func flatBlock(w, h int, c pixel.ARGB) []pixel.ARGB {
+	pix := make([]pixel.ARGB, w*h)
+	for i := range pix {
+		pix[i] = c
+	}
+	return pix
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	blocks := map[string][]pixel.ARGB{
+		"random": randomBlock(rnd, 13, 9),
+		"flat":   flatBlock(13, 9, pixel.RGB(200, 100, 50)),
+	}
+	for name, pix := range blocks {
+		for _, c := range []Codec{CodecNone, CodecRLE, CodecPNG, CodecZlib} {
+			data, err := Encode(c, pix, 13, 9)
+			if err != nil {
+				t.Fatalf("%s/%v encode: %v", name, c, err)
+			}
+			got, err := Decode(c, data, 13, 9)
+			if err != nil {
+				t.Fatalf("%s/%v decode: %v", name, c, err)
+			}
+			for i := range pix {
+				if got[i] != pix[i] {
+					t.Fatalf("%s/%v pixel %d: %08x != %08x", name, c, i, got[i], pix[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAlphaSurvivesPNG(t *testing.T) {
+	pix := []pixel.ARGB{pixel.PackARGB(128, 255, 0, 0), pixel.PackARGB(0, 0, 0, 0)}
+	data, err := Encode(CodecPNG, pix, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(CodecPNG, data, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].A() != 128 || got[1].A() != 0 {
+		t.Errorf("alpha lost: %08x %08x", got[0], got[1])
+	}
+}
+
+func TestFlatContentCompressesWell(t *testing.T) {
+	pix := flatBlock(64, 64, pixel.RGB(255, 255, 255))
+	rawLen := 64 * 64 * 4
+	for _, c := range []Codec{CodecRLE, CodecPNG, CodecZlib} {
+		data, err := Encode(c, pix, 64, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) >= rawLen/4 {
+			t.Errorf("%v: flat block compressed to %d of %d", c, len(data), rawLen)
+		}
+	}
+}
+
+func TestSizeMismatchRejected(t *testing.T) {
+	if _, err := Encode(CodecNone, make([]pixel.ARGB, 5), 2, 2); err == nil {
+		t.Error("encode with wrong pixel count should fail")
+	}
+}
+
+func TestCorruptPayloadRejected(t *testing.T) {
+	pix := flatBlock(4, 4, pixel.RGB(1, 2, 3))
+	for _, c := range []Codec{CodecNone, CodecRLE, CodecPNG, CodecZlib} {
+		data, err := Encode(c, pix, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncate badly.
+		if _, err := Decode(c, data[:len(data)/3], 4, 4); err == nil {
+			t.Errorf("%v: truncated payload decoded without error", c)
+		}
+	}
+	// Wrong geometry for PNG.
+	data, _ := Encode(CodecPNG, pix, 4, 4)
+	if _, err := Decode(CodecPNG, data, 5, 5); err == nil {
+		t.Error("PNG geometry mismatch not detected")
+	}
+}
+
+func TestUnknownCodec(t *testing.T) {
+	if _, err := Encode(Codec(99), nil, 0, 0); err == nil {
+		t.Error("unknown codec encode should fail")
+	}
+	if _, err := Decode(Codec(99), nil, 0, 0); err == nil {
+		t.Error("unknown codec decode should fail")
+	}
+}
+
+func TestCodecNames(t *testing.T) {
+	for _, c := range []Codec{CodecNone, CodecRLE, CodecPNG, CodecZlib} {
+		if c.String() == "unknown" {
+			t.Errorf("codec %d unnamed", c)
+		}
+	}
+	if Codec(99).String() != "unknown" {
+		t.Error("bogus codec should be unknown")
+	}
+}
+
+func TestRLELongRuns(t *testing.T) {
+	// Runs longer than 256 must split correctly.
+	pix := flatBlock(300, 2, pixel.RGB(7, 7, 7))
+	data, err := Encode(CodecRLE, pix, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(CodecRLE, data, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 600 || got[599] != pixel.RGB(7, 7, 7) {
+		t.Error("long run round trip failed")
+	}
+}
+
+func BenchmarkEncodePNGPhotoLike(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	pix := randomBlock(rnd, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(CodecPNG, pix, 256, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeRLEFlat(b *testing.B) {
+	pix := flatBlock(256, 256, pixel.RGB(1, 2, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(CodecRLE, pix, 256, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

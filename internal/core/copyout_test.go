@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinc/internal/compress"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// TestCopyOutPropertyReproducesPixels is the focused §4.1 property: for
+// a random command history on an offscreen surface, executing the
+// CopyOut result (fallback pixels first, then the clones) against a
+// destination must reproduce the surface's src rectangle exactly.
+func TestCopyOutPropertyReproducesPixels(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		const w, h = 48, 48
+		surface := fb.New(w, h) // the pixmap's rendered content
+		var q Queue
+
+		apply := func(c Command) {
+			// Render onto the surface exactly as the window system would,
+			// then track in the queue.
+			switch v := c.(type) {
+			case *FillCmd:
+				surface.FillSolid(v.Bounds(), v.Color)
+			case *TileCmd:
+				surface.FillTileAnchored(v.Bounds(), v.Tile,
+					v.Anchor.X, v.Anchor.Y)
+			case *RawCmd:
+				if v.Blend {
+					surface.CompositeOver(v.Bounds(), v.Pix, v.Bounds().W())
+				} else {
+					surface.PutImage(v.Bounds(), v.Pix, v.Bounds().W())
+				}
+			case *BitmapCmd:
+				surface.FillBitmap(v.Rect, v.Bits, v.Fg, v.Bg, v.Transparent)
+			}
+			q.Add(c)
+		}
+
+		// The window system always hands the driver rects clipped to the
+		// surface; mirror that here.
+		randRect := func() geom.Rect {
+			r := geom.XYWH(rnd.Intn(40), rnd.Intn(40), 1+rnd.Intn(16), 1+rnd.Intn(16))
+			return r.Intersect(geom.XYWH(0, 0, w, h))
+		}
+		for op := 0; op < 25; op++ {
+			r := randRect()
+			switch rnd.Intn(4) {
+			case 0:
+				apply(NewFill(r, pixel.RGB(uint8(rnd.Intn(256)), uint8(rnd.Intn(256)), 0)))
+			case 1:
+				pix := make([]pixel.ARGB, r.Area())
+				for i := range pix {
+					pix[i] = pixel.RGB(uint8(i), uint8(op), uint8(seed))
+				}
+				apply(NewRaw(r, pix, r.W(), false, compress.CodecNone))
+			case 2:
+				bm := fb.NewBitmap(r.W(), r.H())
+				for i := 0; i < r.Area()/3; i++ {
+					bm.SetBit(rnd.Intn(r.W()), rnd.Intn(r.H()), true)
+				}
+				apply(NewBitmap(r, bm, pixel.RGB(255, 255, 255), pixel.RGB(0, 0, 0), rnd.Intn(2) == 0))
+			case 3:
+				pix := make([]pixel.ARGB, r.Area())
+				for i := range pix {
+					pix[i] = pixel.PackARGB(uint8(rnd.Intn(256)), 200, 50, uint8(i))
+				}
+				apply(NewRaw(r, pix, r.W(), true, compress.CodecNone))
+			}
+		}
+
+		src := geom.XYWH(rnd.Intn(24), rnd.Intn(24), 8+rnd.Intn(24), 8+rnd.Intn(24)).
+			Intersect(geom.XYWH(0, 0, w, h))
+		clones, fallback := q.CopyOut(src)
+
+		// Execute onto a fresh destination with unrelated prior content.
+		dst := fb.New(w, h)
+		dst.FillSolid(dst.Bounds(), pixel.RGB(123, 45, 67))
+		for _, fr := range fallback.Rects() {
+			dst.PutImage(fr, surface.ReadImage(fr), fr.W())
+		}
+		for _, c := range clones {
+			switch v := c.(type) {
+			case *FillCmd:
+				for _, r := range v.Live().Rects() {
+					dst.FillSolid(r, v.Color)
+				}
+			case *TileCmd:
+				for _, r := range v.Live().Rects() {
+					dst.FillTileAnchored(r, v.Tile, v.Anchor.X, v.Anchor.Y)
+				}
+			case *RawCmd:
+				for _, r := range v.Live().Rects() {
+					sub := v.subPixels(r)
+					if v.Blend {
+						dst.CompositeOver(r, sub, r.W())
+					} else {
+						dst.PutImage(r, sub, r.W())
+					}
+				}
+			case *BitmapCmd:
+				dst.FillBitmap(v.Rect, v.Bits, v.Fg, v.Bg, v.Transparent)
+			}
+		}
+
+		if !dst.EqualIn(surface, src) {
+			t.Fatalf("seed %d: CopyOut replay diverged in %v", seed, src)
+		}
+	}
+}

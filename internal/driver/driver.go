@@ -1,0 +1,141 @@
+// Package driver defines the video device driver interface — the
+// well-defined, low-level, device-dependent layer between the window
+// server and the display hardware that THINC virtualizes (§3). The
+// window system (internal/xserver) renders application requests in
+// software and invokes these entrypoints with the request's *semantic*
+// parameters still intact; a hardware driver would accelerate them, the
+// local driver ignores them (the software-rendered surface is already
+// the display), and THINC's virtual driver translates them into protocol
+// commands.
+package driver
+
+import (
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// DrawableID names a rendering target known to the display system.
+// ID 0 is always the screen; positive IDs are offscreen pixmaps.
+type DrawableID uint32
+
+// Screen is the fixed ID of the visible framebuffer.
+const Screen DrawableID = 0
+
+// IsScreen reports whether the drawable is the visible framebuffer.
+func (d DrawableID) IsScreen() bool { return d == Screen }
+
+// Memory gives drivers read access to the display system's rendered
+// surfaces ("video memory"): the screen and all offscreen pixmaps. A
+// driver uses it to fetch pixel data when it must fall back to RAW.
+type Memory interface {
+	// ReadPixels returns the current contents of r on drawable d,
+	// row-major with stride r.W().
+	ReadPixels(d DrawableID, r geom.Rect) []pixel.ARGB
+	// SurfaceSize returns the geometry of drawable d.
+	SurfaceSize(d DrawableID) (w, h int)
+}
+
+// Driver is the video device driver interface. Every entrypoint is
+// invoked after the window system has rendered the operation into its
+// surface, with the operation's semantic parameters. Rectangles are
+// already clipped to the drawable.
+//
+// Implementations must not retain the pix/tile/bitmap slices beyond the
+// call unless they copy them.
+type Driver interface {
+	// Init attaches the driver to the display system.
+	Init(mem Memory, screenW, screenH int)
+
+	// CreatePixmap and DestroyPixmap track offscreen drawable lifetime —
+	// the hooks THINC's offscreen awareness builds on (§4.1).
+	CreatePixmap(d DrawableID, w, h int)
+	DestroyPixmap(d DrawableID)
+
+	// FillSolid paints r on d with a solid color.
+	FillSolid(d DrawableID, r geom.Rect, c pixel.ARGB)
+	// FillTile tiles r on d with the pattern.
+	FillTile(d DrawableID, r geom.Rect, tile *fb.Tile)
+	// FillStipple paints r through a 1-bit stipple anchored at r's
+	// origin (glyph text arrives here).
+	FillStipple(d DrawableID, r geom.Rect, bm *fb.Bitmap, fg, bg pixel.ARGB, transparent bool)
+	// PutImage writes client-supplied pixel data (stride in pixels).
+	PutImage(d DrawableID, r geom.Rect, pix []pixel.ARGB, stride int)
+	// Composite alpha-blends pixel data over r.
+	Composite(d DrawableID, r geom.Rect, pix []pixel.ARGB, stride int)
+	// CopyArea copies sr on src to dp on dst; src and dst may be the
+	// same drawable (scrolling) or differ (offscreen-to-screen flips).
+	CopyArea(dst, src DrawableID, sr geom.Rect, dp geom.Point)
+
+	// Video entrypoints mirror the XVideo driver hooks (§4.2).
+	VideoSetup(stream uint32, srcW, srcH int, dst geom.Rect)
+	VideoFrame(stream uint32, frame *pixel.YV12Image, ptsUS uint64)
+	VideoMove(stream uint32, dst geom.Rect)
+	VideoStop(stream uint32)
+
+	// NotifyInput reports the location of a user input event so the
+	// driver can prioritize nearby updates (THINC's real-time queue, §5).
+	NotifyInput(p geom.Point)
+
+	// SetCursor and MoveCursor mirror the DDX hardware-cursor
+	// entrypoints: the cursor is an overlay the display hardware (or a
+	// THINC client) composites above the framebuffer.
+	SetCursor(img []pixel.ARGB, w, h int, hot geom.Point)
+	MoveCursor(p geom.Point)
+}
+
+// Nop is a Driver that ignores every call — the "local PC" display
+// path, where the window system's software-rendered surface is itself
+// the display. It also serves as an embeddable base for drivers that
+// care about a subset of entrypoints.
+type Nop struct{}
+
+// Init implements Driver.
+func (Nop) Init(Memory, int, int) {}
+
+// CreatePixmap implements Driver.
+func (Nop) CreatePixmap(DrawableID, int, int) {}
+
+// DestroyPixmap implements Driver.
+func (Nop) DestroyPixmap(DrawableID) {}
+
+// FillSolid implements Driver.
+func (Nop) FillSolid(DrawableID, geom.Rect, pixel.ARGB) {}
+
+// FillTile implements Driver.
+func (Nop) FillTile(DrawableID, geom.Rect, *fb.Tile) {}
+
+// FillStipple implements Driver.
+func (Nop) FillStipple(DrawableID, geom.Rect, *fb.Bitmap, pixel.ARGB, pixel.ARGB, bool) {}
+
+// PutImage implements Driver.
+func (Nop) PutImage(DrawableID, geom.Rect, []pixel.ARGB, int) {}
+
+// Composite implements Driver.
+func (Nop) Composite(DrawableID, geom.Rect, []pixel.ARGB, int) {}
+
+// CopyArea implements Driver.
+func (Nop) CopyArea(DrawableID, DrawableID, geom.Rect, geom.Point) {}
+
+// VideoSetup implements Driver.
+func (Nop) VideoSetup(uint32, int, int, geom.Rect) {}
+
+// VideoFrame implements Driver.
+func (Nop) VideoFrame(uint32, *pixel.YV12Image, uint64) {}
+
+// VideoMove implements Driver.
+func (Nop) VideoMove(uint32, geom.Rect) {}
+
+// VideoStop implements Driver.
+func (Nop) VideoStop(uint32) {}
+
+// NotifyInput implements Driver.
+func (Nop) NotifyInput(geom.Point) {}
+
+// SetCursor implements Driver.
+func (Nop) SetCursor([]pixel.ARGB, int, int, geom.Point) {}
+
+// MoveCursor implements Driver.
+func (Nop) MoveCursor(geom.Point) {}
+
+var _ Driver = Nop{}

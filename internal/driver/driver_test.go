@@ -1,0 +1,39 @@
+package driver
+
+import (
+	"testing"
+
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+func TestScreenID(t *testing.T) {
+	if !Screen.IsScreen() {
+		t.Fatal("Screen must report IsScreen")
+	}
+	if DrawableID(1).IsScreen() || DrawableID(42).IsScreen() {
+		t.Fatal("pixmap ids must not report IsScreen")
+	}
+}
+
+// TestNopIsCompleteAndInert checks that the embeddable no-op driver
+// accepts every entrypoint without side effects (the local-PC path and
+// the base for partial drivers).
+func TestNopIsCompleteAndInert(t *testing.T) {
+	var d Driver = Nop{}
+	d.Init(nil, 100, 100)
+	d.CreatePixmap(1, 10, 10)
+	d.FillSolid(Screen, geom.XYWH(0, 0, 5, 5), pixel.RGB(1, 2, 3))
+	d.FillTile(Screen, geom.XYWH(0, 0, 5, 5), fb.NewTile(1, 1, []pixel.ARGB{0}))
+	d.FillStipple(Screen, geom.XYWH(0, 0, 5, 5), fb.NewBitmap(5, 5), 0, 0, false)
+	d.PutImage(Screen, geom.XYWH(0, 0, 1, 1), []pixel.ARGB{0}, 1)
+	d.Composite(Screen, geom.XYWH(0, 0, 1, 1), []pixel.ARGB{0}, 1)
+	d.CopyArea(Screen, 1, geom.XYWH(0, 0, 5, 5), geom.Point{})
+	d.VideoSetup(1, 8, 8, geom.XYWH(0, 0, 8, 8))
+	d.VideoFrame(1, pixel.NewYV12(8, 8), 0)
+	d.VideoMove(1, geom.XYWH(1, 1, 8, 8))
+	d.VideoStop(1)
+	d.NotifyInput(geom.Point{X: 1, Y: 2})
+	d.DestroyPixmap(1)
+}

@@ -1,0 +1,155 @@
+// Package geom provides the integer geometry primitives used throughout
+// THINC: points, rectangles, and a region type supporting the set algebra
+// (union, intersection, subtraction) that the translation layer relies on
+// to track which parts of the screen a display command still owns.
+//
+// Rectangles follow the usual half-open convention: a Rect covers pixels
+// (x, y) with X0 <= x < X1 and Y0 <= y < Y1. An empty rectangle has
+// X0 >= X1 or Y0 >= Y1.
+package geom
+
+import "fmt"
+
+// Point is an integer coordinate on the framebuffer.
+type Point struct {
+	X, Y int
+}
+
+// Add returns the translation of p by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the translation of p by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// In reports whether p lies inside r.
+func (p Point) In(r Rect) bool {
+	return p.X >= r.X0 && p.X < r.X1 && p.Y >= r.Y0 && p.Y < r.Y1
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is a half-open axis-aligned rectangle [X0,X1) x [Y0,Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// XYWH constructs a rectangle from an origin and a size.
+func XYWH(x, y, w, h int) Rect { return Rect{x, y, x + w, y + h} }
+
+// Empty reports whether the rectangle covers no pixels.
+func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
+
+// W returns the width of r (0 if empty in x).
+func (r Rect) W() int {
+	if r.X1 <= r.X0 {
+		return 0
+	}
+	return r.X1 - r.X0
+}
+
+// H returns the height of r (0 if empty in y).
+func (r Rect) H() int {
+	if r.Y1 <= r.Y0 {
+		return 0
+	}
+	return r.Y1 - r.Y0
+}
+
+// Area returns the number of pixels covered by r.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Canon returns the canonical form of r: any empty rectangle becomes the
+// zero Rect, so that all empty rectangles compare equal.
+func (r Rect) Canon() Rect {
+	if r.Empty() {
+		return Rect{}
+	}
+	return r
+}
+
+// Origin returns the top-left corner of r.
+func (r Rect) Origin() Point { return Point{r.X0, r.Y0} }
+
+// Translate returns r moved by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{r.X0 + dx, r.Y0 + dy, r.X1 + dx, r.Y1 + dy}
+}
+
+// Intersect returns the intersection of r and s (canonical empty if disjoint).
+func (r Rect) Intersect(s Rect) Rect {
+	t := Rect{
+		X0: max(r.X0, s.X0),
+		Y0: max(r.Y0, s.Y0),
+		X1: min(r.X1, s.X1),
+		Y1: min(r.Y1, s.Y1),
+	}
+	return t.Canon()
+}
+
+// Overlaps reports whether r and s share at least one pixel.
+func (r Rect) Overlaps(s Rect) bool {
+	return !r.Empty() && !s.Empty() &&
+		r.X0 < s.X1 && s.X0 < r.X1 && r.Y0 < s.Y1 && s.Y0 < r.Y1
+}
+
+// Contains reports whether every pixel of s is inside r.
+// An empty s is contained in everything.
+func (r Rect) Contains(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return r.X0 <= s.X0 && r.Y0 <= s.Y0 && r.X1 >= s.X1 && r.Y1 >= s.Y1
+}
+
+// Union returns the bounding box of r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s.Canon()
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		X0: min(r.X0, s.X0),
+		Y0: min(r.Y0, s.Y0),
+		X1: max(r.X1, s.X1),
+		Y1: max(r.Y1, s.Y1),
+	}
+}
+
+// Subtract returns r minus s as up to four disjoint rectangles, appended to
+// dst. The decomposition splits off the top and bottom bands first, then the
+// left and right flanks of the middle band.
+func (r Rect) Subtract(s Rect, dst []Rect) []Rect {
+	is := r.Intersect(s)
+	if is.Empty() {
+		if !r.Empty() {
+			dst = append(dst, r)
+		}
+		return dst
+	}
+	if is == r {
+		return dst
+	}
+	// Top band.
+	if is.Y0 > r.Y0 {
+		dst = append(dst, Rect{r.X0, r.Y0, r.X1, is.Y0})
+	}
+	// Bottom band.
+	if is.Y1 < r.Y1 {
+		dst = append(dst, Rect{r.X0, is.Y1, r.X1, r.Y1})
+	}
+	// Left flank of middle band.
+	if is.X0 > r.X0 {
+		dst = append(dst, Rect{r.X0, is.Y0, is.X0, is.Y1})
+	}
+	// Right flank of middle band.
+	if is.X1 < r.X1 {
+		dst = append(dst, Rect{is.X1, is.Y0, r.X1, is.Y1})
+	}
+	return dst
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %dx%d]", r.X0, r.Y0, r.W(), r.H())
+}

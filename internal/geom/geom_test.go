@@ -1,0 +1,205 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXYWH(t *testing.T) {
+	r := XYWH(3, 4, 10, 20)
+	if r.X0 != 3 || r.Y0 != 4 || r.X1 != 13 || r.Y1 != 24 {
+		t.Fatalf("XYWH wrong: %v", r)
+	}
+	if r.W() != 10 || r.H() != 20 || r.Area() != 200 {
+		t.Fatalf("size wrong: w=%d h=%d area=%d", r.W(), r.H(), r.Area())
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	cases := []struct {
+		r     Rect
+		empty bool
+	}{
+		{Rect{}, true},
+		{Rect{0, 0, 1, 1}, false},
+		{Rect{5, 5, 5, 10}, true},
+		{Rect{5, 5, 10, 5}, true},
+		{Rect{10, 10, 5, 20}, true},
+		{Rect{-5, -5, 0, 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Empty(); got != c.empty {
+			t.Errorf("%v.Empty() = %v, want %v", c.r, got, c.empty)
+		}
+	}
+}
+
+func TestRectCanon(t *testing.T) {
+	if (Rect{7, 7, 3, 9}).Canon() != (Rect{}) {
+		t.Error("empty rect should canonicalize to zero Rect")
+	}
+	r := Rect{1, 2, 3, 4}
+	if r.Canon() != r {
+		t.Error("non-empty rect should be unchanged")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	b := XYWH(5, 5, 10, 10)
+	want := Rect{5, 5, 10, 10}
+	if got := a.Intersect(b); got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got := b.Intersect(a); got != want {
+		t.Errorf("Intersect not commutative: %v", got)
+	}
+	c := XYWH(20, 20, 5, 5)
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+}
+
+func TestRectOverlapsContains(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	if !a.Overlaps(XYWH(9, 9, 5, 5)) {
+		t.Error("corner overlap missed")
+	}
+	if a.Overlaps(XYWH(10, 0, 5, 5)) {
+		t.Error("edge-adjacent rects do not overlap (half-open)")
+	}
+	if !a.Contains(XYWH(0, 0, 10, 10)) {
+		t.Error("rect should contain itself")
+	}
+	if !a.Contains(Rect{}) {
+		t.Error("everything contains empty")
+	}
+	if a.Contains(XYWH(5, 5, 10, 2)) {
+		t.Error("partial overlap is not containment")
+	}
+}
+
+func TestRectUnionBounds(t *testing.T) {
+	a := XYWH(0, 0, 2, 2)
+	b := XYWH(10, 10, 2, 2)
+	u := a.Union(b)
+	if u != (Rect{0, 0, 12, 12}) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Errorf("empty union = %v, want %v", got, b)
+	}
+	if got := a.Union(Rect{5, 5, 5, 9}); got != a {
+		t.Errorf("union with empty = %v, want %v", got, a)
+	}
+}
+
+func TestRectSubtract(t *testing.T) {
+	r := XYWH(0, 0, 10, 10)
+	// Hole in the middle: 4 pieces.
+	parts := r.Subtract(XYWH(3, 3, 4, 4), nil)
+	if len(parts) != 4 {
+		t.Fatalf("expected 4 parts, got %d: %v", len(parts), parts)
+	}
+	area := 0
+	for i, p := range parts {
+		area += p.Area()
+		for j := i + 1; j < len(parts); j++ {
+			if p.Overlaps(parts[j]) {
+				t.Errorf("parts %v and %v overlap", p, parts[j])
+			}
+		}
+	}
+	if area != 100-16 {
+		t.Errorf("area = %d, want %d", area, 100-16)
+	}
+	// Disjoint: returns r itself.
+	parts = r.Subtract(XYWH(50, 50, 5, 5), nil)
+	if len(parts) != 1 || parts[0] != r {
+		t.Errorf("disjoint subtract = %v", parts)
+	}
+	// Fully covered: nothing remains.
+	parts = r.Subtract(XYWH(-1, -1, 20, 20), nil)
+	if len(parts) != 0 {
+		t.Errorf("covered subtract = %v", parts)
+	}
+}
+
+// rectGen generates small random rects (possibly empty) in a 32x32 universe.
+func rectGen(rnd *rand.Rand) Rect {
+	x, y := rnd.Intn(32), rnd.Intn(32)
+	return XYWH(x-4, y-4, rnd.Intn(12), rnd.Intn(12))
+}
+
+// bitmap is the brute-force pixel-set model regions are checked against.
+type bitmap [48][48]bool
+
+func (b *bitmap) set(r Rect, v bool) {
+	for y := max(r.Y0, -4); y < min(r.Y1, 44); y++ {
+		for x := max(r.X0, -4); x < min(r.X1, 44); x++ {
+			b[y+4][x+4] = v
+		}
+	}
+}
+
+func (b *bitmap) count() int {
+	n := 0
+	for y := range b {
+		for x := range b[y] {
+			if b[y][x] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestRectSubtractProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		r, s := rectGen(rnd), rectGen(rnd)
+		parts := r.Subtract(s, nil)
+		// Model.
+		var m bitmap
+		m.set(r, true)
+		m.set(s, false)
+		var got bitmap
+		for i, p := range parts {
+			if p.Empty() {
+				t.Errorf("empty part from %v - %v", r, s)
+				return false
+			}
+			got.set(p, true)
+			for j := i + 1; j < len(parts); j++ {
+				if p.Overlaps(parts[j]) {
+					return false
+				}
+			}
+		}
+		return got == m
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2}
+	if p.Add(Point{3, 4}) != (Point{4, 6}) {
+		t.Error("Add wrong")
+	}
+	if p.Sub(Point{3, 4}) != (Point{-2, -2}) {
+		t.Error("Sub wrong")
+	}
+	if !p.In(XYWH(0, 0, 5, 5)) || p.In(XYWH(2, 2, 5, 5)) {
+		t.Error("In wrong")
+	}
+}
+
+func TestRectTranslate(t *testing.T) {
+	if XYWH(1, 1, 2, 2).Translate(10, -1) != XYWH(11, 0, 2, 2) {
+		t.Error("Translate wrong")
+	}
+}

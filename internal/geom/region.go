@@ -1,0 +1,264 @@
+package geom
+
+import (
+	"sort"
+	"strings"
+)
+
+// Region is a set of pixels represented as a list of disjoint rectangles.
+// The zero value is the empty region, ready to use.
+//
+// The representation invariant — rectangles are non-empty and pairwise
+// disjoint — is maintained by all mutating operations. Rectangles are kept
+// loosely sorted by (Y0, X0) and adjacent rectangles that tile a band are
+// coalesced, keeping the representation compact for the rectilinear shapes
+// that dominate display workloads.
+type Region struct {
+	rects []Rect
+}
+
+// RegionOf returns a region covering exactly the given rectangles
+// (which may overlap each other).
+func RegionOf(rs ...Rect) Region {
+	var rg Region
+	for _, r := range rs {
+		rg.UnionRect(r)
+	}
+	return rg
+}
+
+// Empty reports whether the region covers no pixels.
+func (g *Region) Empty() bool { return len(g.rects) == 0 }
+
+// Clear makes the region empty, retaining its storage.
+func (g *Region) Clear() { g.rects = g.rects[:0] }
+
+// NumRects returns the number of rectangles in the representation.
+func (g *Region) NumRects() int { return len(g.rects) }
+
+// Rects returns the disjoint rectangles covering the region. The returned
+// slice is owned by the region and must not be modified.
+func (g *Region) Rects() []Rect { return g.rects }
+
+// Clone returns a deep copy of the region.
+func (g *Region) Clone() Region {
+	return Region{rects: append([]Rect(nil), g.rects...)}
+}
+
+// Area returns the number of pixels covered.
+func (g *Region) Area() int {
+	a := 0
+	for _, r := range g.rects {
+		a += r.Area()
+	}
+	return a
+}
+
+// Bounds returns the bounding box of the region.
+func (g *Region) Bounds() Rect {
+	var b Rect
+	for _, r := range g.rects {
+		b = b.Union(r)
+	}
+	return b
+}
+
+// ContainsPoint reports whether the pixel at p is covered.
+func (g *Region) ContainsPoint(p Point) bool {
+	for _, r := range g.rects {
+		if p.In(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// OverlapsRect reports whether the region shares any pixel with r.
+func (g *Region) OverlapsRect(r Rect) bool {
+	for _, q := range g.rects {
+		if q.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsRect reports whether every pixel of r is covered by the region.
+func (g *Region) ContainsRect(r Rect) bool {
+	if r.Empty() {
+		return true
+	}
+	// Subtract the region from r; containment means nothing remains.
+	rem := []Rect{r}
+	var next []Rect
+	for _, q := range g.rects {
+		next = next[:0]
+		for _, p := range rem {
+			next = p.Subtract(q, next)
+		}
+		rem, next = next, rem
+		if len(rem) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionRect adds the pixels of r to the region.
+func (g *Region) UnionRect(r Rect) {
+	if r.Empty() {
+		return
+	}
+	// Add only the parts of r not already covered, keeping disjointness.
+	parts := []Rect{r}
+	var next []Rect
+	for _, q := range g.rects {
+		next = next[:0]
+		for _, p := range parts {
+			next = p.Subtract(q, next)
+		}
+		parts, next = next, parts
+		if len(parts) == 0 {
+			return
+		}
+	}
+	g.rects = append(g.rects, parts...)
+	g.normalize()
+}
+
+// Union adds all pixels of other to the region.
+func (g *Region) Union(other *Region) {
+	for _, r := range other.rects {
+		g.UnionRect(r)
+	}
+}
+
+// SubtractRect removes the pixels of r from the region.
+func (g *Region) SubtractRect(r Rect) {
+	if r.Empty() || len(g.rects) == 0 {
+		return
+	}
+	out := g.rects[:0:0]
+	for _, q := range g.rects {
+		out = q.Subtract(r, out)
+	}
+	g.rects = out
+	g.normalize()
+}
+
+// Subtract removes all pixels of other from the region.
+func (g *Region) Subtract(other *Region) {
+	for _, r := range other.rects {
+		g.SubtractRect(r)
+		if len(g.rects) == 0 {
+			return
+		}
+	}
+}
+
+// IntersectRect keeps only the pixels of the region inside r.
+func (g *Region) IntersectRect(r Rect) {
+	out := g.rects[:0]
+	for _, q := range g.rects {
+		if is := q.Intersect(r); !is.Empty() {
+			out = append(out, is)
+		}
+	}
+	g.rects = out
+	g.normalize()
+}
+
+// Intersect keeps only the pixels also covered by other.
+func (g *Region) Intersect(other *Region) {
+	var out []Rect
+	for _, q := range g.rects {
+		for _, r := range other.rects {
+			if is := q.Intersect(r); !is.Empty() {
+				out = append(out, is)
+			}
+		}
+	}
+	// Parts of two disjoint sets intersected pairwise are disjoint.
+	g.rects = out
+	g.normalize()
+}
+
+// Translate moves the region by (dx, dy).
+func (g *Region) Translate(dx, dy int) {
+	for i := range g.rects {
+		g.rects[i] = g.rects[i].Translate(dx, dy)
+	}
+}
+
+// Equal reports whether the two regions cover exactly the same pixels.
+func (g *Region) Equal(other *Region) bool {
+	if g.Area() != other.Area() {
+		return false
+	}
+	d := g.Clone()
+	d.Subtract(other)
+	return d.Empty()
+}
+
+// normalize sorts by (Y0, X0) and coalesces rectangles that abut
+// horizontally with identical vertical extent, then vertically with
+// identical horizontal extent. This keeps representations compact without
+// requiring full y-x banding.
+func (g *Region) normalize() {
+	rs := g.rects
+	if len(rs) < 2 {
+		return
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Y0 != rs[j].Y0 {
+			return rs[i].Y0 < rs[j].Y0
+		}
+		return rs[i].X0 < rs[j].X0
+	})
+	// Horizontal coalesce.
+	out := rs[:0]
+	for _, r := range rs {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Y0 == r.Y0 && last.Y1 == r.Y1 && last.X1 == r.X0 {
+				last.X1 = r.X1
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	// Vertical coalesce (single pass; repeated passes would catch more but
+	// a compact-not-minimal representation is fine).
+	rs = out
+	merged := true
+	for merged {
+		merged = false
+		for i := 0; i < len(rs); i++ {
+			for j := i + 1; j < len(rs); j++ {
+				if rs[i].X0 == rs[j].X0 && rs[i].X1 == rs[j].X1 && rs[i].Y1 == rs[j].Y0 {
+					rs[i].Y1 = rs[j].Y1
+					rs = append(rs[:j], rs[j+1:]...)
+					merged = true
+					j--
+				}
+			}
+		}
+	}
+	g.rects = rs
+}
+
+func (g *Region) String() string {
+	if g.Empty() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range g.rects {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

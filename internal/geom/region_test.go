@@ -1,0 +1,201 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func regionModel(g *Region) bitmap {
+	var b bitmap
+	for _, r := range g.Rects() {
+		b.set(r, true)
+	}
+	return b
+}
+
+func checkDisjoint(t *testing.T, g *Region) {
+	t.Helper()
+	rs := g.Rects()
+	for i := range rs {
+		if rs[i].Empty() {
+			t.Fatalf("region holds empty rect: %v", g)
+		}
+		for j := i + 1; j < len(rs); j++ {
+			if rs[i].Overlaps(rs[j]) {
+				t.Fatalf("region rects overlap: %v and %v", rs[i], rs[j])
+			}
+		}
+	}
+}
+
+func TestRegionBasics(t *testing.T) {
+	var g Region
+	if !g.Empty() || g.Area() != 0 {
+		t.Fatal("zero region should be empty")
+	}
+	g.UnionRect(XYWH(0, 0, 10, 10))
+	if g.Area() != 100 {
+		t.Fatalf("area = %d", g.Area())
+	}
+	g.UnionRect(XYWH(5, 5, 10, 10)) // overlapping
+	if g.Area() != 175 {
+		t.Fatalf("overlapped union area = %d, want 175", g.Area())
+	}
+	checkDisjoint(t, &g)
+	if !g.ContainsPoint(Point{12, 12}) || g.ContainsPoint(Point{12, 2}) {
+		t.Error("ContainsPoint wrong")
+	}
+	g.SubtractRect(XYWH(0, 0, 20, 20))
+	if !g.Empty() {
+		t.Fatalf("should be empty, got %v", g.String())
+	}
+}
+
+func TestRegionCoalesce(t *testing.T) {
+	var g Region
+	// Two horizontally abutting rects should coalesce to one.
+	g.UnionRect(XYWH(0, 0, 5, 5))
+	g.UnionRect(XYWH(5, 0, 5, 5))
+	if g.NumRects() != 1 {
+		t.Errorf("horizontal coalesce: %d rects (%v)", g.NumRects(), g.String())
+	}
+	// Vertically abutting with same x-extent.
+	g.UnionRect(XYWH(0, 5, 10, 5))
+	if g.NumRects() != 1 {
+		t.Errorf("vertical coalesce: %d rects (%v)", g.NumRects(), g.String())
+	}
+	if g.Bounds() != XYWH(0, 0, 10, 10) || g.Area() != 100 {
+		t.Errorf("coalesced region wrong: %v", g.String())
+	}
+}
+
+func TestRegionContainsRect(t *testing.T) {
+	g := RegionOf(XYWH(0, 0, 10, 5), XYWH(0, 5, 10, 5))
+	if !g.ContainsRect(XYWH(2, 2, 6, 6)) {
+		t.Error("rect spanning both bands should be contained")
+	}
+	if g.ContainsRect(XYWH(8, 8, 5, 5)) {
+		t.Error("partially outside rect should not be contained")
+	}
+	if !g.ContainsRect(Rect{}) {
+		t.Error("empty rect always contained")
+	}
+}
+
+func TestRegionIntersect(t *testing.T) {
+	g := RegionOf(XYWH(0, 0, 10, 10))
+	h := RegionOf(XYWH(5, 5, 10, 10), XYWH(-5, -5, 7, 7))
+	g.Intersect(&h)
+	checkDisjoint(t, &g)
+	if g.Area() != 25+4 {
+		t.Errorf("intersect area = %d, want 29 (%v)", g.Area(), g.String())
+	}
+}
+
+func TestRegionTranslateEqual(t *testing.T) {
+	g := RegionOf(XYWH(0, 0, 4, 4), XYWH(8, 8, 4, 4))
+	h := g.Clone()
+	h.Translate(3, 3)
+	if g.Equal(&h) {
+		t.Error("translated region should differ")
+	}
+	h.Translate(-3, -3)
+	if !g.Equal(&h) {
+		t.Error("round-trip translate should be equal")
+	}
+}
+
+// TestRegionAlgebraProperty drives random sequences of region ops and
+// compares against the brute-force bitmap model.
+func TestRegionAlgebraProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		var g Region
+		var m bitmap
+		for i := 0; i < 12; i++ {
+			r := rectGen(rnd)
+			switch rnd.Intn(3) {
+			case 0:
+				g.UnionRect(r)
+				m.set(r, true)
+			case 1:
+				g.SubtractRect(r)
+				m.set(r, false)
+			case 2:
+				g.IntersectRect(r)
+				var keep bitmap
+				for y := -4; y < 44; y++ {
+					for x := -4; x < 44; x++ {
+						if m[y+4][x+4] && (Point{x, y}).In(r) {
+							keep[y+4][x+4] = true
+						}
+					}
+				}
+				m = keep
+			}
+			checkDisjoint(t, &g)
+		}
+		if regionModel(&g) != m {
+			t.Logf("region/model mismatch, seed %d", seed)
+			return false
+		}
+		if g.Area() != m.count() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionUnionCommutative checks A ∪ B == B ∪ A on random inputs.
+func TestRegionUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a := RegionOf(rectGen(rnd), rectGen(rnd), rectGen(rnd))
+		b := RegionOf(rectGen(rnd), rectGen(rnd))
+		ab := a.Clone()
+		ab.Union(&b)
+		ba := b.Clone()
+		ba.Union(&a)
+		return ab.Equal(&ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionSubtractIdentity checks (A ∪ B) - B == A - B.
+func TestRegionSubtractIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a := RegionOf(rectGen(rnd), rectGen(rnd))
+		b := RegionOf(rectGen(rnd), rectGen(rnd))
+		u := a.Clone()
+		u.Union(&b)
+		u.Subtract(&b)
+		d := a.Clone()
+		d.Subtract(&b)
+		return u.Equal(&d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRegionUnionRect(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	rects := make([]Rect, 256)
+	for i := range rects {
+		rects[i] = XYWH(rnd.Intn(1024), rnd.Intn(768), 16+rnd.Intn(64), 16+rnd.Intn(64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var g Region
+		for _, r := range rects {
+			g.UnionRect(r)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package pixel defines the pixel representations used by THINC: 32-bit
+// ARGB with a full alpha channel (the native format — the paper's protocol
+// supports 24-bit color plus alpha so that compositing and anti-aliased
+// text survive the trip to the client), an 8-bit indexed approximation used
+// to model legacy 8-bit systems, and planar YV12 used by the video path.
+package pixel
+
+// ARGB is a 32-bit pixel with 8 bits per channel, alpha in the top byte.
+// Color components are not premultiplied.
+type ARGB uint32
+
+// PackARGB builds a pixel from its four channels.
+func PackARGB(a, r, g, b uint8) ARGB {
+	return ARGB(uint32(a)<<24 | uint32(r)<<16 | uint32(g)<<8 | uint32(b))
+}
+
+// RGB builds an opaque pixel.
+func RGB(r, g, b uint8) ARGB { return PackARGB(0xff, r, g, b) }
+
+// A returns the alpha channel.
+func (p ARGB) A() uint8 { return uint8(p >> 24) }
+
+// R returns the red channel.
+func (p ARGB) R() uint8 { return uint8(p >> 16) }
+
+// G returns the green channel.
+func (p ARGB) G() uint8 { return uint8(p >> 8) }
+
+// B returns the blue channel.
+func (p ARGB) B() uint8 { return uint8(p) }
+
+// Opaque reports whether the pixel is fully opaque.
+func (p ARGB) Opaque() bool { return p.A() == 0xff }
+
+// Over composites src over dst using the Porter-Duff OVER operator on
+// non-premultiplied pixels.
+func Over(src, dst ARGB) ARGB {
+	sa := uint32(src.A())
+	if sa == 0xff {
+		return src
+	}
+	if sa == 0 {
+		return dst
+	}
+	da := uint32(dst.A())
+	// out.a = sa + da*(1-sa)
+	oa := sa + da*(255-sa)/255
+	if oa == 0 {
+		return 0
+	}
+	blend := func(sc, dc uint8) uint8 {
+		s, d := uint32(sc), uint32(dc)
+		// Non-premultiplied OVER: (s*sa + d*da*(1-sa)) / oa
+		n := s*sa + d*da*(255-sa)/255
+		return uint8(n / oa)
+	}
+	return PackARGB(uint8(oa), blend(src.R(), dst.R()), blend(src.G(), dst.G()), blend(src.B(), dst.B()))
+}
+
+// To8Bit quantizes an ARGB pixel to an 8-bit 3-3-2 value, the approximation
+// used to model 8-bit-color systems such as GoToMyPC.
+func To8Bit(p ARGB) uint8 {
+	return p.R()&0xe0 | (p.G()&0xe0)>>3 | p.B()>>6
+}
+
+// From8Bit expands a 3-3-2 value back to an opaque ARGB pixel.
+func From8Bit(v uint8) ARGB {
+	r := v & 0xe0
+	g := (v << 3) & 0xe0
+	b := (v << 6) & 0xc0
+	// Replicate high bits into the low bits for full dynamic range.
+	return RGB(r|r>>3|r>>6, g|g>>3|g>>6, b|b>>2|b>>4|b>>6)
+}
+
+// Format identifies how pixel data is laid out on the wire and in memory.
+type Format uint8
+
+// Wire formats used by the protocol and the baseline systems.
+const (
+	FormatARGB32 Format = iota // 4 bytes per pixel, full alpha
+	FormatRGB24                // 3 bytes per pixel, opaque
+	Format8Bit                 // 1 byte per pixel, 3-3-2
+	FormatYV12                 // planar YUV 4:2:0, 12 bits per pixel
+)
+
+// BytesPerPixel returns the wire cost of one pixel in f; for YV12 it
+// returns 0 because the format is planar (use YV12Size).
+func (f Format) BytesPerPixel() int {
+	switch f {
+	case FormatARGB32:
+		return 4
+	case FormatRGB24:
+		return 3
+	case Format8Bit:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (f Format) String() string {
+	switch f {
+	case FormatARGB32:
+		return "argb32"
+	case FormatRGB24:
+		return "rgb24"
+	case Format8Bit:
+		return "8bit"
+	case FormatYV12:
+		return "yv12"
+	default:
+		return "unknown"
+	}
+}
+
+// YV12Size returns the number of bytes of a w x h YV12 image:
+// a full-resolution Y plane plus quarter-resolution V and U planes.
+func YV12Size(w, h int) int {
+	cw, ch := (w+1)/2, (h+1)/2
+	return w*h + 2*cw*ch
+}

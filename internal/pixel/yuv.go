@@ -1,0 +1,137 @@
+package pixel
+
+// YV12 conversion. YV12 is planar YUV 4:2:0 with the V plane before the U
+// plane: Y at full resolution, then V and U subsampled 2x2. It is the
+// preferred output format of MPEG decoders and the format THINC exports to
+// applications through its XVideo-like interface; the client "hardware"
+// converts it back to RGB while scaling (§4.2 of the paper).
+
+// YV12Image is a planar YUV 4:2:0 frame.
+type YV12Image struct {
+	W, H int
+	Y    []byte // W*H luma samples
+	V    []byte // ceil(W/2)*ceil(H/2) chroma
+	U    []byte // ceil(W/2)*ceil(H/2) chroma
+}
+
+// NewYV12 allocates a frame of the given geometry.
+func NewYV12(w, h int) *YV12Image {
+	cw, ch := (w+1)/2, (h+1)/2
+	return &YV12Image{
+		W: w, H: h,
+		Y: make([]byte, w*h),
+		V: make([]byte, cw*ch),
+		U: make([]byte, cw*ch),
+	}
+}
+
+// Size returns the total byte size of the frame.
+func (img *YV12Image) Size() int { return len(img.Y) + len(img.V) + len(img.U) }
+
+// Marshal appends the three planes (Y, V, U) to dst and returns it.
+func (img *YV12Image) Marshal(dst []byte) []byte {
+	dst = append(dst, img.Y...)
+	dst = append(dst, img.V...)
+	dst = append(dst, img.U...)
+	return dst
+}
+
+// UnmarshalYV12 parses a frame of the given geometry from buf.
+// It returns nil if buf is too short.
+func UnmarshalYV12(w, h int, buf []byte) *YV12Image {
+	if len(buf) < YV12Size(w, h) {
+		return nil
+	}
+	cw, ch := (w+1)/2, (h+1)/2
+	img := &YV12Image{W: w, H: h}
+	img.Y = buf[: w*h : w*h]
+	img.V = buf[w*h : w*h+cw*ch : w*h+cw*ch]
+	img.U = buf[w*h+cw*ch : w*h+2*cw*ch : w*h+2*cw*ch]
+	return img
+}
+
+// RGBToYUV converts one pixel using the BT.601 studio-swing matrix.
+func RGBToYUV(p ARGB) (y, u, v uint8) {
+	r, g, b := int32(p.R()), int32(p.G()), int32(p.B())
+	yy := (66*r + 129*g + 25*b + 128) >> 8
+	uu := (-38*r - 74*g + 112*b + 128) >> 8
+	vv := (112*r - 94*g - 18*b + 128) >> 8
+	return clamp8(yy + 16), clamp8(uu + 128), clamp8(vv + 128)
+}
+
+// YUVToRGB converts one sample triple back to an opaque RGB pixel.
+func YUVToRGB(y, u, v uint8) ARGB {
+	c := int32(y) - 16
+	d := int32(u) - 128
+	e := int32(v) - 128
+	r := (298*c + 409*e + 128) >> 8
+	g := (298*c - 100*d - 208*e + 128) >> 8
+	b := (298*c + 516*d + 128) >> 8
+	return RGB(clamp8(r), clamp8(g), clamp8(b))
+}
+
+func clamp8(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// EncodeYV12 converts a rectangle of ARGB pixels (given as a row-major
+// slice with the given stride in pixels) into a YV12 frame. Chroma is
+// averaged over each 2x2 block.
+func EncodeYV12(pix []ARGB, stride, w, h int) *YV12Image {
+	img := NewYV12(w, h)
+	cw := (w + 1) / 2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			yy, _, _ := RGBToYUV(pix[y*stride+x])
+			img.Y[y*w+x] = yy
+		}
+	}
+	for cy := 0; cy < (h+1)/2; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			var us, vs, n int32
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					px, py := cx*2+dx, cy*2+dy
+					if px >= w || py >= h {
+						continue
+					}
+					_, u, v := RGBToYUV(pix[py*stride+px])
+					us += int32(u)
+					vs += int32(v)
+					n++
+				}
+			}
+			img.U[cy*cw+cx] = uint8(us / n)
+			img.V[cy*cw+cx] = uint8(vs / n)
+		}
+	}
+	return img
+}
+
+// DecodeYV12 converts the frame to ARGB pixels, scaling to dw x dh with
+// nearest-neighbor sampling — modeling the client video hardware's
+// combined color-space conversion and scaling (the "hardware overlay").
+func DecodeYV12(img *YV12Image, dw, dh int) []ARGB {
+	out := make([]ARGB, dw*dh)
+	if img.W == 0 || img.H == 0 || dw == 0 || dh == 0 {
+		return out
+	}
+	cw := (img.W + 1) / 2
+	for y := 0; y < dh; y++ {
+		sy := y * img.H / dh
+		for x := 0; x < dw; x++ {
+			sx := x * img.W / dw
+			yy := img.Y[sy*img.W+sx]
+			u := img.U[(sy/2)*cw+sx/2]
+			v := img.V[(sy/2)*cw+sx/2]
+			out[y*dw+x] = YUVToRGB(yy, u, v)
+		}
+	}
+	return out
+}

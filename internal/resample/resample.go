@@ -1,0 +1,153 @@
+// Package resample implements the server-side image scaling THINC uses
+// for heterogeneous displays (§6): a simplified version of Fant's
+// non-aliasing spatial transform, a separable area-weighted resampler
+// that produces anti-aliased results at very low cost, plus a
+// nearest-neighbor scaler that models the cheap client-side resize of
+// systems like ICA and GoToMyPC.
+package resample
+
+import "thinc/internal/pixel"
+
+// Fant resamples a sw x sh ARGB image to dw x dh using a separable
+// area-weighted (box) filter in the style of Fant's algorithm: each
+// output pixel integrates the exact span of input pixels it covers, so
+// downscaling is anti-aliased and upscaling is smooth. src is row-major
+// with the given stride (in pixels).
+func Fant(src []pixel.ARGB, stride, sw, sh, dw, dh int) []pixel.ARGB {
+	if sw <= 0 || sh <= 0 || dw <= 0 || dh <= 0 {
+		return nil
+	}
+	// Horizontal pass into an intermediate dw x sh accumulator held as
+	// per-channel float64; the image sizes THINC resizes (≤ screen size)
+	// keep this cheap.
+	mid := make([]float64, dw*sh*4)
+	xscale := float64(sw) / float64(dw)
+	for y := 0; y < sh; y++ {
+		row := src[y*stride : y*stride+sw]
+		for dx := 0; dx < dw; dx++ {
+			x0 := float64(dx) * xscale
+			x1 := float64(dx+1) * xscale
+			a, r, g, b := boxSampleRow(row, x0, x1)
+			o := (y*dw + dx) * 4
+			mid[o], mid[o+1], mid[o+2], mid[o+3] = a, r, g, b
+		}
+	}
+	// Vertical pass.
+	out := make([]pixel.ARGB, dw*dh)
+	yscale := float64(sh) / float64(dh)
+	for dy := 0; dy < dh; dy++ {
+		y0 := float64(dy) * yscale
+		y1 := float64(dy+1) * yscale
+		for dx := 0; dx < dw; dx++ {
+			var a, r, g, b, wsum float64
+			iy0, iy1 := int(y0), int(y1)
+			for iy := iy0; iy <= iy1 && iy < sh; iy++ {
+				w := sliverWeight(float64(iy), y0, y1)
+				if w <= 0 {
+					continue
+				}
+				o := (iy*dw + dx) * 4
+				a += mid[o] * w
+				r += mid[o+1] * w
+				g += mid[o+2] * w
+				b += mid[o+3] * w
+				wsum += w
+			}
+			if wsum > 0 {
+				a /= wsum
+				r /= wsum
+				g /= wsum
+				b /= wsum
+			}
+			out[dy*dw+dx] = pixel.PackARGB(round8(a), round8(r), round8(g), round8(b))
+		}
+	}
+	return out
+}
+
+// boxSampleRow integrates the span [x0, x1) of the row with exact
+// fractional coverage at the span edges.
+func boxSampleRow(row []pixel.ARGB, x0, x1 float64) (a, r, g, b float64) {
+	var wsum float64
+	ix0, ix1 := int(x0), int(x1)
+	for ix := ix0; ix <= ix1 && ix < len(row); ix++ {
+		w := sliverWeight(float64(ix), x0, x1)
+		if w <= 0 {
+			continue
+		}
+		p := row[ix]
+		a += float64(p.A()) * w
+		r += float64(p.R()) * w
+		g += float64(p.G()) * w
+		b += float64(p.B()) * w
+		wsum += w
+	}
+	if wsum > 0 {
+		a /= wsum
+		r /= wsum
+		g /= wsum
+		b /= wsum
+	}
+	return
+}
+
+// sliverWeight returns how much of input cell [i, i+1) the span [x0, x1)
+// covers.
+func sliverWeight(i, x0, x1 float64) float64 {
+	lo := i
+	if x0 > lo {
+		lo = x0
+	}
+	hi := i + 1
+	if x1 < hi {
+		hi = x1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func round8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// Nearest resamples with nearest-neighbor sampling: fast, but aliased —
+// the quality class of client-side resize in ICA/GoToMyPC that §8
+// contrasts with THINC's server-side Fant scaling.
+func Nearest(src []pixel.ARGB, stride, sw, sh, dw, dh int) []pixel.ARGB {
+	if sw <= 0 || sh <= 0 || dw <= 0 || dh <= 0 {
+		return nil
+	}
+	out := make([]pixel.ARGB, dw*dh)
+	for y := 0; y < dh; y++ {
+		sy := y * sh / dh
+		for x := 0; x < dw; x++ {
+			out[y*dw+x] = src[sy*stride+x*sw/dw]
+		}
+	}
+	return out
+}
+
+// ScaleRect maps a source-space rectangle to destination space for a
+// sw x sh -> dw x dh resize, expanding to cover every destination pixel
+// the source rectangle touches.
+func ScaleRect(x0, y0, x1, y1, sw, sh, dw, dh int) (dx0, dy0, dx1, dy1 int) {
+	dx0 = x0 * dw / sw
+	dy0 = y0 * dh / sh
+	dx1 = (x1*dw + sw - 1) / sw
+	dy1 = (y1*dh + sh - 1) / sh
+	if dx1 > dw {
+		dx1 = dw
+	}
+	if dy1 > dh {
+		dy1 = dh
+	}
+	return
+}

@@ -1,0 +1,154 @@
+package resample
+
+import (
+	"testing"
+
+	"thinc/internal/pixel"
+)
+
+func solid(w, h int, c pixel.ARGB) []pixel.ARGB {
+	pix := make([]pixel.ARGB, w*h)
+	for i := range pix {
+		pix[i] = c
+	}
+	return pix
+}
+
+func TestFantSolidInvariant(t *testing.T) {
+	// Resampling a solid image at any scale yields the same solid color.
+	c := pixel.RGB(37, 101, 220)
+	src := solid(17, 13, c)
+	for _, sz := range [][2]int{{5, 3}, {17, 13}, {40, 29}, {1, 1}} {
+		out := Fant(src, 17, 17, 13, sz[0], sz[1])
+		if len(out) != sz[0]*sz[1] {
+			t.Fatalf("size %v: got %d pixels", sz, len(out))
+		}
+		for i, p := range out {
+			if p != c {
+				t.Fatalf("size %v pixel %d = %v, want %v", sz, i, p, c)
+			}
+		}
+	}
+}
+
+func TestFantIdentity(t *testing.T) {
+	// Same-size resample must be exact.
+	src := make([]pixel.ARGB, 8*6)
+	for i := range src {
+		src[i] = pixel.RGB(uint8(i*3), uint8(i*5), uint8(i*7))
+	}
+	out := Fant(src, 8, 8, 6, 8, 6)
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("identity resample changed pixel %d: %v != %v", i, out[i], src[i])
+		}
+	}
+}
+
+func TestFantAntiAliasesCheckerboard(t *testing.T) {
+	// Downscaling a 1px checkerboard by 2 must average to mid-gray —
+	// the anti-aliasing property nearest-neighbor lacks.
+	const w, h = 16, 16
+	src := make([]pixel.ARGB, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if (x+y)%2 == 0 {
+				src[y*w+x] = pixel.RGB(255, 255, 255)
+			} else {
+				src[y*w+x] = pixel.RGB(0, 0, 0)
+			}
+		}
+	}
+	out := Fant(src, w, w, h, w/2, h/2)
+	for i, p := range out {
+		if p.R() < 120 || p.R() > 136 {
+			t.Fatalf("pixel %d R=%d, want ~128 (anti-aliased)", i, p.R())
+		}
+	}
+	// Nearest, by contrast, picks pure black or white.
+	nout := Nearest(src, w, w, h, w/2, h/2)
+	for i, p := range nout {
+		if p.R() != 0 && p.R() != 255 {
+			t.Fatalf("nearest pixel %d R=%d, want 0 or 255 (aliased)", i, p.R())
+		}
+	}
+}
+
+func TestFantEnergyConservation(t *testing.T) {
+	// Mean brightness should be preserved by downscale (box filter).
+	const w, h = 20, 20
+	src := make([]pixel.ARGB, w*h)
+	var sum int
+	for i := range src {
+		v := uint8((i * 13) % 256)
+		src[i] = pixel.RGB(v, v, v)
+		sum += int(v)
+	}
+	mean := float64(sum) / float64(w*h)
+	out := Fant(src, w, w, h, 7, 7)
+	var osum int
+	for _, p := range out {
+		osum += int(p.R())
+	}
+	omean := float64(osum) / float64(len(out))
+	if d := omean - mean; d < -3 || d > 3 {
+		t.Errorf("mean drifted: src %.1f dst %.1f", mean, omean)
+	}
+}
+
+func TestFantDegenerate(t *testing.T) {
+	if Fant(nil, 0, 0, 0, 4, 4) != nil {
+		t.Error("empty source should yield nil")
+	}
+	if Fant(solid(2, 2, 0), 2, 2, 2, 0, 5) != nil {
+		t.Error("empty destination should yield nil")
+	}
+	if Nearest(nil, 0, 0, 0, 4, 4) != nil {
+		t.Error("nearest empty source should yield nil")
+	}
+}
+
+func TestNearestExactPick(t *testing.T) {
+	src := []pixel.ARGB{
+		pixel.RGB(1, 0, 0), pixel.RGB(2, 0, 0),
+		pixel.RGB(3, 0, 0), pixel.RGB(4, 0, 0),
+	}
+	out := Nearest(src, 2, 2, 2, 4, 4)
+	if out[0] != src[0] || out[3] != src[1] || out[12] != src[2] || out[15] != src[3] {
+		t.Errorf("nearest upscale picked wrong sources: %v", out)
+	}
+}
+
+func TestScaleRect(t *testing.T) {
+	// Full frame maps to full frame.
+	x0, y0, x1, y1 := ScaleRect(0, 0, 1024, 768, 1024, 768, 320, 240)
+	if x0 != 0 || y0 != 0 || x1 != 320 || y1 != 240 {
+		t.Errorf("full-frame map = %d,%d,%d,%d", x0, y0, x1, y1)
+	}
+	// A 1-pixel source rect still covers at least one destination pixel.
+	x0, y0, x1, y1 = ScaleRect(511, 383, 512, 384, 1024, 768, 320, 240)
+	if x1-x0 < 1 || y1-y0 < 1 {
+		t.Errorf("tiny rect vanished: %d,%d,%d,%d", x0, y0, x1, y1)
+	}
+	// Destination is clamped to the viewport.
+	_, _, x1, y1 = ScaleRect(1000, 700, 1024, 768, 1024, 768, 320, 240)
+	if x1 > 320 || y1 > 240 {
+		t.Errorf("rect exceeds viewport: %d,%d", x1, y1)
+	}
+}
+
+func BenchmarkFantDownscale(b *testing.B) {
+	src := solid(1024, 768, pixel.RGB(10, 20, 30))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fant(src, 1024, 1024, 768, 320, 240)
+	}
+}
+
+func BenchmarkNearestDownscale(b *testing.B) {
+	src := solid(1024, 768, pixel.RGB(10, 20, 30))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Nearest(src, 1024, 1024, 768, 320, 240)
+	}
+}

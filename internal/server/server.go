@@ -1,0 +1,270 @@
+// Package server is the runnable THINC server (§7): it owns a window
+// system with the THINC virtual display driver and the virtual audio
+// driver, and serves display sessions to remote clients over real
+// network connections — PAM-style authentication, RC4-encrypted
+// transport, server-push delivery with non-blocking flushing, input
+// injection, and dynamic client resizing.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"thinc/internal/audio"
+	"thinc/internal/auth"
+	"thinc/internal/cipher"
+	"thinc/internal/core"
+	"thinc/internal/geom"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+// Options configures a Host.
+type Options struct {
+	// Core configures the translation layer (compression, ablations).
+	Core core.Options
+	// FlushInterval paces the delivery loop; zero means 5ms.
+	FlushInterval time.Duration
+	// FlushBudget bounds bytes per flush (socket-buffer model); zero
+	// means 256 KiB.
+	FlushBudget int
+	// OnInput, when set, receives user input events after they are
+	// injected into the display (button dispatch for applications).
+	OnInput func(ev *wire.Input)
+}
+
+// Host owns one display session and serves it to any number of
+// clients. Display access is serialized: window servers are
+// single-threaded, so applications draw via Do.
+type Host struct {
+	opts Options
+	gate *auth.Authenticator
+
+	mu    sync.Mutex
+	dpy   *xserver.Display
+	core  *core.Server
+	sound *audio.Driver
+
+	conns map[*serverConn]struct{}
+	wg    sync.WaitGroup
+}
+
+// NewHost creates a session of the given geometry gated by auth.
+func NewHost(w, h int, gate *auth.Authenticator, opts Options) *Host {
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 5 * time.Millisecond
+	}
+	if opts.FlushBudget <= 0 {
+		opts.FlushBudget = 256 << 10
+	}
+	h2 := &Host{
+		opts:  opts,
+		gate:  gate,
+		sound: audio.NewDriver(),
+		conns: make(map[*serverConn]struct{}),
+	}
+	h2.core = core.NewServer(opts.Core)
+	h2.dpy = xserver.NewDisplay(w, h, h2.core)
+	return h2
+}
+
+// Do runs f with exclusive access to the display — the entry point for
+// applications drawing into the session.
+func (h *Host) Do(f func(*xserver.Display)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f(h.dpy)
+}
+
+// Audio returns the session's virtual audio driver.
+func (h *Host) Audio() *audio.Driver { return h.sound }
+
+// ScreenChecksum returns a checksum of the current screen (tests and
+// health checks).
+func (h *Host) ScreenChecksum() uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dpy.Screen().Checksum()
+}
+
+// Serve accepts and serves connections until the listener closes.
+func (h *Host) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			h.wg.Wait()
+			return err
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			_ = h.ServeConn(conn)
+		}()
+	}
+}
+
+// handshakeTimeout bounds the unauthenticated phase.
+const handshakeTimeout = 10 * time.Second
+
+// ServeConn authenticates and serves one client connection, returning
+// when the client disconnects or fails authentication.
+func (h *Host) ServeConn(nc net.Conn) error {
+	defer nc.Close()
+	_ = nc.SetDeadline(time.Now().Add(handshakeTimeout))
+
+	// Challenge/response (plaintext phase carries no secrets).
+	nonce, err := h.gate.NewChallenge()
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteMessage(nc, &wire.AuthChallenge{Nonce: nonce}); err != nil {
+		return err
+	}
+	m, err := wire.ReadMessage(nc)
+	if err != nil {
+		return err
+	}
+	resp, ok := m.(*wire.AuthResponse)
+	if !ok {
+		return fmt.Errorf("server: expected auth response, got %v", m.Type())
+	}
+	if err := h.gate.Verify(resp.User, nonce, resp.Proof); err != nil {
+		_ = wire.WriteMessage(nc, &wire.AuthResult{OK: false, Reason: err.Error()})
+		return err
+	}
+	if err := wire.WriteMessage(nc, &wire.AuthResult{OK: true}); err != nil {
+		return err
+	}
+
+	// Switch to the RC4-encrypted transport (§7).
+	secret, ok := h.gate.SecretFor(resp.User)
+	if !ok {
+		return errors.New("server: no transport secret for user")
+	}
+	enc, err := cipher.NewStreamConn(nc, auth.SessionKey(secret, nonce), true)
+	if err != nil {
+		return err
+	}
+	_ = nc.SetDeadline(time.Time{})
+
+	// Geometry exchange.
+	m, err = wire.ReadMessage(enc)
+	if err != nil {
+		return err
+	}
+	ci, ok := m.(*wire.ClientInit)
+	if !ok {
+		return fmt.Errorf("server: expected client init, got %v", m.Type())
+	}
+	h.mu.Lock()
+	w, ht := h.core.ScreenSize()
+	cl := h.core.AttachClient(ci.ViewW, ci.ViewH)
+	h.mu.Unlock()
+	if err := wire.WriteMessage(enc, &wire.ServerInit{W: w, H: ht}); err != nil {
+		return err
+	}
+
+	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User}
+	detachAudio := h.sound.Attach(func(pts uint64, pcm []byte) {
+		h.mu.Lock()
+		h.core.PushAudio(pts, pcm)
+		h.mu.Unlock()
+	})
+	defer detachAudio()
+
+	h.mu.Lock()
+	h.conns[sc] = struct{}{}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.conns, sc)
+		h.core.DetachClient(cl)
+		h.mu.Unlock()
+	}()
+
+	return sc.run()
+}
+
+// serverConn is one live client connection.
+type serverConn struct {
+	host *Host
+	nc   net.Conn
+	enc  *cipher.StreamConn
+	cl   *core.Client
+	user string
+}
+
+// run pumps the reader and the flush loop until either fails.
+func (c *serverConn) run() error {
+	errc := make(chan error, 2)
+	done := make(chan struct{})
+	defer close(done)
+
+	go func() { errc <- c.readLoop(done) }()
+	go func() { errc <- c.flushLoop(done) }()
+	return <-errc
+}
+
+// readLoop handles client-to-server messages.
+func (c *serverConn) readLoop(done <-chan struct{}) error {
+	for {
+		m, err := wire.ReadMessage(c.enc)
+		if err != nil {
+			return err
+		}
+		select {
+		case <-done:
+			return nil
+		default:
+		}
+		switch v := m.(type) {
+		case *wire.Input:
+			c.host.mu.Lock()
+			c.host.dpy.InjectInput(geom.Point{X: v.X, Y: v.Y})
+			c.host.mu.Unlock()
+			if h := c.host.opts.OnInput; h != nil {
+				h(v)
+			}
+		case *wire.Resize:
+			c.host.mu.Lock()
+			c.cl.Resize(v.ViewW, v.ViewH)
+			c.host.mu.Unlock()
+		case *wire.UpdateRequest:
+			// Push architecture: requests are legal but unnecessary.
+		default:
+			return fmt.Errorf("server: unexpected client message %v", m.Type())
+		}
+	}
+}
+
+// flushLoop is the delivery engine: every interval it drains up to the
+// budget from the client buffer and writes the messages out. The
+// buffered writer plus bounded budget approximates the non-blocking
+// socket commit of §5 over a real TCP connection.
+func (c *serverConn) flushLoop(done <-chan struct{}) error {
+	t := time.NewTicker(c.host.opts.FlushInterval)
+	defer t.Stop()
+	bw := bufio.NewWriterSize(c.enc, 64<<10)
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-t.C:
+		}
+		c.host.mu.Lock()
+		msgs := c.cl.Flush(c.host.opts.FlushBudget)
+		c.host.mu.Unlock()
+		for _, m := range msgs {
+			if err := wire.WriteMessage(bw, m); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}

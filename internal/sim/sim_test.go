@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %v", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.After(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits %v", hits)
+	}
+}
+
+func TestPastEventsRunNow(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		e.At(50, func() { // in the past: runs at current time
+			if e.Now() != 100 {
+				t.Errorf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if e.Processed != 2 {
+		t.Fatalf("processed %d", e.Processed)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran %d, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	// RunUntil with nothing due still advances the clock.
+	e.RunUntil(25)
+	if e.Now() != 25 || ran != 2 {
+		t.Fatal("clock did not advance cleanly")
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatal("unit relationships wrong")
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if (2500 * Microsecond).Millis() != 2.5 {
+		t.Fatal("Millis conversion wrong")
+	}
+}

@@ -1,0 +1,176 @@
+// Package simnet models the network environments of the paper's
+// evaluation (§8.1) on top of the discrete-event engine: a link is a
+// FIFO pipe characterized by bandwidth, round-trip time, and a TCP
+// window cap. Throughput over a window-limited path is
+// min(bandwidth, window/RTT), which is exactly the effect that starved
+// the Korea site in Figure 7.
+package simnet
+
+import (
+	"fmt"
+
+	"thinc/internal/sim"
+)
+
+// LinkParams characterizes one network environment.
+type LinkParams struct {
+	Name      string
+	Bandwidth int64    // bits per second
+	RTT       sim.Time // round-trip propagation delay
+	Window    int      // TCP window in bytes; 0 means unlimited
+}
+
+// EffectiveRate returns the achievable throughput in bytes per second,
+// accounting for the bandwidth-delay product cap.
+func (p LinkParams) EffectiveRate() float64 {
+	raw := float64(p.Bandwidth) / 8
+	if p.Window <= 0 || p.RTT <= 0 {
+		return raw
+	}
+	capped := float64(p.Window) / p.RTT.Seconds()
+	if capped < raw {
+		return capped
+	}
+	return raw
+}
+
+func (p LinkParams) String() string {
+	return fmt.Sprintf("%s(%.0f Mbps, rtt %v, win %d)",
+		p.Name, float64(p.Bandwidth)/1e6, p.RTT, p.Window)
+}
+
+// Standard testbed environments (§8.1).
+
+// LAN is the LAN Desktop configuration: 100 Mbps switched Ethernet.
+func LAN() LinkParams {
+	return LinkParams{Name: "LAN", Bandwidth: 100e6, RTT: 200 * sim.Microsecond, Window: 1 << 20}
+}
+
+// WAN is the WAN Desktop configuration: 100 Mbps with 66 ms RTT
+// (Internet2 cross-country) and a 1 MB TCP window.
+func WAN() LinkParams {
+	return LinkParams{Name: "WAN", Bandwidth: 100e6, RTT: 66 * sim.Millisecond, Window: 1 << 20}
+}
+
+// PDA80211g is the 802.11g PDA configuration: an idealized 24 Mbps
+// wireless link with no extra latency (§8.1).
+func PDA80211g() LinkParams {
+	return LinkParams{Name: "802.11g", Bandwidth: 24e6, RTT: 2 * sim.Millisecond, Window: 1 << 20}
+}
+
+// Site is one remote client location from Table 2.
+type Site struct {
+	Name      string
+	Location  string
+	PlanetLab bool
+	Miles     int
+}
+
+// Sites reproduces Table 2.
+func Sites() []Site {
+	return []Site{
+		{"NY", "New York, NY, USA", true, 5},
+		{"PA", "Philadelphia, PA, USA", true, 78},
+		{"MA", "Cambridge, MA, USA", true, 188},
+		{"MN", "St. Paul, MN, USA", true, 1015},
+		{"NM", "Albuquerque, NM, USA", false, 1816},
+		{"CA", "Stanford, CA, USA", false, 2571},
+		{"CAN", "Waterloo, Canada", true, 388},
+		{"IE", "Maynooth, Ireland", false, 3185},
+		{"PR", "San Juan, Puerto Rico", false, 1603},
+		{"FI", "Helsinki, Finland", false, 4123},
+		{"KR", "Seoul, Korea", true, 6885},
+	}
+}
+
+// Link derives the site's link parameters. RTT follows speed-of-light
+// propagation in fiber (~200,000 km/s) with a 1.5x route inflation plus
+// a 4 ms access-network floor. PlanetLab nodes were restricted to a
+// 256 KB TCP window; other sites allowed 1 MB (§8.1) — which is why
+// Korea, and only Korea, is window-starved below video bitrate.
+func (s Site) Link() LinkParams {
+	km := float64(s.Miles) * 1.609344
+	prop := sim.Time(2 * km / 200000 * 1.5 * float64(sim.Second))
+	rtt := prop + 4*sim.Millisecond
+	window := 1 << 20
+	if s.PlanetLab {
+		window = 256 << 10
+	}
+	return LinkParams{Name: s.Name, Bandwidth: 100e6, RTT: rtt, Window: window}
+}
+
+// Payload is what traverses a link: opaque to the network.
+type Payload interface{}
+
+// Link is a one-directional FIFO pipe. Messages serialize at the
+// effective rate and arrive one-way-delay after their last byte is on
+// the wire. Per-message Overhead models TCP/IP framing.
+type Link struct {
+	eng       *sim.Engine
+	params    LinkParams
+	rate      float64 // bytes per virtual second
+	busyUntil sim.Time
+
+	// Overhead is added to every message's wire size (default 52:
+	// TCP+IP+Ethernet headers for a typical segment).
+	Overhead int
+
+	// Stats.
+	Messages  int
+	Bytes     int64
+	LastDeliv sim.Time
+}
+
+// NewLink builds a link on the engine.
+func NewLink(eng *sim.Engine, p LinkParams) *Link {
+	return &Link{eng: eng, params: p, rate: p.EffectiveRate(), Overhead: 52}
+}
+
+// Params returns the link's parameters.
+func (l *Link) Params() LinkParams { return l.params }
+
+// OneWay returns the one-way propagation delay.
+func (l *Link) OneWay() sim.Time { return l.params.RTT / 2 }
+
+// QueueDelay returns how long a message sent now would wait before its
+// first byte hits the wire.
+func (l *Link) QueueDelay() sim.Time {
+	if l.busyUntil <= l.eng.Now() {
+		return 0
+	}
+	return l.busyUntil - l.eng.Now()
+}
+
+// Send transmits size bytes; deliver runs at the arrival time with the
+// payload. Messages are delivered in FIFO order.
+func (l *Link) Send(size int, payload Payload, deliver func(at sim.Time, p Payload)) {
+	if size < 0 {
+		panic("simnet: negative message size")
+	}
+	wireSize := size + l.Overhead
+	start := l.eng.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	tx := sim.Time(float64(wireSize) / l.rate * float64(sim.Second))
+	l.busyUntil = start + tx
+	arrive := l.busyUntil + l.OneWay()
+	l.Messages++
+	l.Bytes += int64(wireSize)
+	if arrive > l.LastDeliv {
+		l.LastDeliv = arrive
+	}
+	l.eng.At(arrive, func() { deliver(arrive, payload) })
+}
+
+// Pipe is a bidirectional connection: client-to-server and
+// server-to-client links sharing one parameter set.
+type Pipe struct {
+	S2C *Link // server to client (display updates)
+	C2S *Link // client to server (input, requests)
+}
+
+// NewPipe builds a duplex pipe.
+func NewPipe(eng *sim.Engine, p LinkParams) *Pipe {
+	return &Pipe{S2C: NewLink(eng, p), C2S: NewLink(eng, p)}
+}

@@ -1,0 +1,200 @@
+package simnet
+
+import (
+	"testing"
+
+	"thinc/internal/sim"
+)
+
+func TestEffectiveRateWindowCap(t *testing.T) {
+	// 100 Mbps, 66ms RTT, 1MB window: window/RTT ≈ 15.9 MB/s > 12.5 MB/s
+	// raw — bandwidth-limited.
+	wan := WAN()
+	if r := wan.EffectiveRate(); r != 100e6/8 {
+		t.Errorf("WAN rate %.0f, want bandwidth-limited 12.5e6", r)
+	}
+	// 256KB window at 170ms RTT: window-limited.
+	p := LinkParams{Bandwidth: 100e6, RTT: 170 * sim.Millisecond, Window: 256 << 10}
+	want := float64(256<<10) / 0.170
+	if r := p.EffectiveRate(); r < want*0.99 || r > want*1.01 {
+		t.Errorf("window-capped rate %.0f, want %.0f", r, want)
+	}
+	// Unlimited window.
+	p.Window = 0
+	if p.EffectiveRate() != 100e6/8 {
+		t.Error("unlimited window should be bandwidth-limited")
+	}
+}
+
+func TestSitesTable2(t *testing.T) {
+	sites := Sites()
+	if len(sites) != 11 {
+		t.Fatalf("%d sites, want 11 (Table 2)", len(sites))
+	}
+	byName := map[string]Site{}
+	for _, s := range sites {
+		byName[s.Name] = s
+	}
+	if !byName["KR"].PlanetLab || byName["KR"].Miles != 6885 {
+		t.Error("KR site wrong")
+	}
+	if byName["FI"].PlanetLab {
+		t.Error("FI is not PlanetLab")
+	}
+
+	// The paper's crucial asymmetry: Korea's 256KB window at its RTT
+	// cannot sustain 24 Mbps video; Finland's 1MB window can.
+	kr := byName["KR"].Link()
+	fi := byName["FI"].Link()
+	videoRate := 24e6 / 8 // bytes/sec
+	if kr.EffectiveRate() >= videoRate {
+		t.Errorf("KR rate %.0f should be below video rate %.0f", kr.EffectiveRate(), videoRate)
+	}
+	if fi.EffectiveRate() < videoRate {
+		t.Errorf("FI rate %.0f should sustain video rate %.0f", fi.EffectiveRate(), videoRate)
+	}
+	// RTT grows with distance.
+	if byName["NY"].Link().RTT >= byName["KR"].Link().RTT {
+		t.Error("RTT should grow with distance")
+	}
+}
+
+func TestLinkSerializationAndDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	// 8 Mbps -> 1 byte per microsecond. RTT 10ms -> one-way 5ms.
+	p := LinkParams{Name: "test", Bandwidth: 8e6, RTT: 10 * sim.Millisecond, Window: 0}
+	l := NewLink(eng, p)
+	l.Overhead = 0
+
+	var arrivals []sim.Time
+	l.Send(1000, "a", func(at sim.Time, _ Payload) { arrivals = append(arrivals, at) })
+	l.Send(1000, "b", func(at sim.Time, _ Payload) { arrivals = append(arrivals, at) })
+	eng.Run()
+
+	// First: 1000us serialize + 5000us propagation = 6000us.
+	if len(arrivals) != 2 || arrivals[0] != 6000 {
+		t.Fatalf("arrivals %v", arrivals)
+	}
+	// Second queues behind the first: 2000 + 5000.
+	if arrivals[1] != 7000 {
+		t.Fatalf("second arrival %v, want 7000", arrivals[1])
+	}
+	if l.Messages != 2 || l.Bytes != 2000 {
+		t.Errorf("stats: %d msgs %d bytes", l.Messages, l.Bytes)
+	}
+}
+
+func TestLinkFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, LAN())
+	var got []string
+	for _, name := range []string{"x", "y", "z"} {
+		l.Send(100, name, func(_ sim.Time, p Payload) { got = append(got, p.(string)) })
+	}
+	eng.Run()
+	if len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Fatalf("FIFO violated: %v", got)
+	}
+}
+
+func TestLinkQueueDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	p := LinkParams{Bandwidth: 8e6, RTT: 0, Window: 0} // 1 B/us
+	l := NewLink(eng, p)
+	l.Overhead = 0
+	if l.QueueDelay() != 0 {
+		t.Fatal("idle link should have zero queue delay")
+	}
+	l.Send(5000, nil, func(sim.Time, Payload) {})
+	if l.QueueDelay() != 5000 {
+		t.Fatalf("queue delay %v, want 5000us", l.QueueDelay())
+	}
+	eng.Run()
+	if l.QueueDelay() != 0 {
+		t.Fatal("drained link should have zero queue delay")
+	}
+}
+
+func TestPipeIndependentDirections(t *testing.T) {
+	eng := sim.NewEngine()
+	pipe := NewPipe(eng, WAN())
+	var s2c, c2s sim.Time
+	pipe.S2C.Send(100, nil, func(at sim.Time, _ Payload) { s2c = at })
+	pipe.C2S.Send(100, nil, func(at sim.Time, _ Payload) { c2s = at })
+	eng.Run()
+	// Directions do not queue behind each other.
+	if s2c != c2s {
+		t.Fatalf("duplex asymmetry: %v vs %v", s2c, c2s)
+	}
+	if s2c < 33*sim.Millisecond {
+		t.Fatalf("arrival %v before one-way delay", s2c)
+	}
+}
+
+func TestWindowStarvedThroughput(t *testing.T) {
+	// Sending 1 MB over the KR link takes much longer than over FI.
+	krLink := func() Site {
+		for _, s := range Sites() {
+			if s.Name == "KR" {
+				return s
+			}
+		}
+		panic("no KR")
+	}()
+	fiLink := func() Site {
+		for _, s := range Sites() {
+			if s.Name == "FI" {
+				return s
+			}
+		}
+		panic("no FI")
+	}()
+
+	elapsed := func(p LinkParams) sim.Time {
+		eng := sim.NewEngine()
+		l := NewLink(eng, p)
+		var last sim.Time
+		for i := 0; i < 64; i++ {
+			l.Send(16<<10, nil, func(at sim.Time, _ Payload) { last = at })
+		}
+		eng.Run()
+		return last
+	}
+	kr := elapsed(krLink.Link())
+	fi := elapsed(fiLink.Link())
+	if kr < fi*2 {
+		t.Errorf("KR (%v) should be much slower than FI (%v)", kr, fi)
+	}
+}
+
+func TestLinkOverheadAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, LAN())
+	// Default per-message overhead models TCP/IP framing.
+	if l.Overhead != 52 {
+		t.Fatalf("default overhead %d", l.Overhead)
+	}
+	l.Send(100, nil, func(sim.Time, Payload) {})
+	eng.Run()
+	if l.Bytes != 152 {
+		t.Errorf("accounted %d bytes, want payload+overhead", l.Bytes)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size should panic")
+		}
+	}()
+	l.Send(-1, nil, nil)
+}
+
+func TestSiteStringAndLinkNames(t *testing.T) {
+	for _, s := range Sites() {
+		l := s.Link()
+		if l.Name != s.Name {
+			t.Errorf("link name %q for site %q", l.Name, s.Name)
+		}
+		if l.String() == "" {
+			t.Error("empty link description")
+		}
+	}
+}

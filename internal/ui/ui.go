@@ -1,0 +1,189 @@
+// Package ui is a minimal widget toolkit on top of the window system —
+// the "application" layer of the reproduction's testbed. It exists so
+// interactive demos and tests exercise the paths the paper's
+// interactivity story depends on: button feedback drawn in direct
+// response to input (the real-time queue's workload, §5), rendered
+// through offscreen double buffering (§4.1).
+package ui
+
+import (
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/xserver"
+)
+
+// Widget is anything a Panel lays out and draws.
+type Widget interface {
+	// Bounds returns the widget's rectangle in panel coordinates.
+	Bounds() geom.Rect
+	// Draw renders the widget onto the target drawable.
+	Draw(d *xserver.Display, t xserver.Drawable)
+}
+
+// Label is static text.
+type Label struct {
+	At    geom.Point
+	Text  string
+	Color pixel.ARGB
+}
+
+// Bounds implements Widget.
+func (l *Label) Bounds() geom.Rect {
+	return geom.XYWH(l.At.X, l.At.Y, len(l.Text)*xserver.GlyphW, xserver.GlyphH)
+}
+
+// Draw implements Widget.
+func (l *Label) Draw(d *xserver.Display, t xserver.Drawable) {
+	d.DrawText(t, &xserver.GC{Fg: l.Color}, l.At.X, l.At.Y, l.Text)
+}
+
+// Button is a clickable rectangle with a caption and pressed feedback.
+type Button struct {
+	Rect    geom.Rect
+	Text    string
+	Face    pixel.ARGB
+	Ink     pixel.ARGB
+	OnClick func()
+
+	pressed bool
+}
+
+// Bounds implements Widget.
+func (b *Button) Bounds() geom.Rect { return b.Rect }
+
+// Pressed reports the visual pressed state.
+func (b *Button) Pressed() bool { return b.pressed }
+
+// Draw implements Widget.
+func (b *Button) Draw(d *xserver.Display, t xserver.Drawable) {
+	face := b.Face
+	if face == 0 {
+		face = pixel.RGB(210, 210, 220)
+	}
+	if b.pressed {
+		face = pixel.RGB(face.R()/2+40, face.G()/2+40, face.B()/2+60)
+	}
+	d.FillRect(t, &xserver.GC{Fg: face}, b.Rect)
+	// Bevel.
+	edge := pixel.RGB(90, 90, 110)
+	d.FillRect(t, &xserver.GC{Fg: edge}, geom.Rect{X0: b.Rect.X0, Y0: b.Rect.Y1 - 1, X1: b.Rect.X1, Y1: b.Rect.Y1})
+	d.FillRect(t, &xserver.GC{Fg: edge}, geom.Rect{X0: b.Rect.X1 - 1, Y0: b.Rect.Y0, X1: b.Rect.X1, Y1: b.Rect.Y1})
+	ink := b.Ink
+	if ink == 0 {
+		ink = pixel.RGB(10, 10, 10)
+	}
+	tx := b.Rect.X0 + (b.Rect.W()-len(b.Text)*xserver.GlyphW)/2
+	ty := b.Rect.Y0 + (b.Rect.H()-xserver.GlyphH)/2
+	d.DrawText(t, &xserver.GC{Fg: ink}, tx, ty, b.Text)
+}
+
+// Gauge is a horizontal bar showing a 0..1 value.
+type Gauge struct {
+	Rect  geom.Rect
+	Value float64
+	Fill  pixel.ARGB
+}
+
+// Bounds implements Widget.
+func (g *Gauge) Bounds() geom.Rect { return g.Rect }
+
+// Draw implements Widget.
+func (g *Gauge) Draw(d *xserver.Display, t xserver.Drawable) {
+	d.FillRect(t, &xserver.GC{Fg: pixel.RGB(60, 60, 70)}, g.Rect)
+	v := g.Value
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	w := int(float64(g.Rect.W()) * v)
+	fill := g.Fill
+	if fill == 0 {
+		fill = pixel.RGB(90, 200, 90)
+	}
+	d.FillRect(t, &xserver.GC{Fg: fill},
+		geom.Rect{X0: g.Rect.X0, Y0: g.Rect.Y0, X1: g.Rect.X0 + w, Y1: g.Rect.Y1})
+}
+
+// Panel owns widgets and renders them into a window region through an
+// offscreen pixmap, the way real toolkits compose their interfaces.
+type Panel struct {
+	Win        *xserver.Window
+	Area       geom.Rect // window-local
+	Background pixel.ARGB
+
+	widgets []Widget
+}
+
+// Add appends a widget (panel coordinates).
+func (p *Panel) Add(w Widget) { p.widgets = append(p.widgets, w) }
+
+// Widgets returns the panel's widgets.
+func (p *Panel) Widgets() []Widget { return p.widgets }
+
+// Render draws the whole panel: background and widgets into an
+// offscreen pixmap, then one flip onscreen.
+func (p *Panel) Render(d *xserver.Display) {
+	pm := d.CreatePixmap(p.Area.W(), p.Area.H())
+	bg := p.Background
+	if bg == 0 {
+		bg = pixel.RGB(240, 240, 244)
+	}
+	d.FillRect(pm, &xserver.GC{Fg: bg}, pm.Bounds())
+	for _, w := range p.widgets {
+		w.Draw(d, pm)
+	}
+	d.CopyArea(p.Win, pm, pm.Bounds(), p.Area.Origin())
+	d.FreePixmap(pm)
+}
+
+// Click dispatches a press at a window-local point: the hit button gets
+// pressed feedback (drawn immediately, directly onscreen — the
+// interactive update the real-time queue accelerates) and its OnClick
+// runs. It reports whether a button was hit.
+func (p *Panel) Click(d *xserver.Display, at geom.Point) bool {
+	local := at.Sub(p.Area.Origin())
+	for _, w := range p.widgets {
+		b, ok := w.(*Button)
+		if !ok || !local.In(b.Rect) {
+			continue
+		}
+		b.pressed = true
+		p.drawWidgetOnscreen(d, b)
+		if b.OnClick != nil {
+			b.OnClick()
+		}
+		return true
+	}
+	return false
+}
+
+// Release clears pressed state and redraws released buttons.
+func (p *Panel) Release(d *xserver.Display) {
+	for _, w := range p.widgets {
+		if b, ok := w.(*Button); ok && b.pressed {
+			b.pressed = false
+			p.drawWidgetOnscreen(d, b)
+		}
+	}
+}
+
+// drawWidgetOnscreen redraws one widget directly into the window (no
+// double buffer): small, immediate feedback.
+func (p *Panel) drawWidgetOnscreen(d *xserver.Display, w Widget) {
+	// Widgets draw in panel coordinates; wrap the window in an offset
+	// drawable by drawing into a pixmap sized to the widget then
+	// copying — simplest correct path that stays within the public
+	// xserver API.
+	r := w.Bounds()
+	pm := d.CreatePixmap(p.Area.W(), p.Area.H())
+	bg := p.Background
+	if bg == 0 {
+		bg = pixel.RGB(240, 240, 244)
+	}
+	d.FillRect(pm, &xserver.GC{Fg: bg}, r)
+	w.Draw(d, pm)
+	d.CopyArea(p.Win, pm, r, p.Area.Origin().Add(r.Origin()))
+	d.FreePixmap(pm)
+}

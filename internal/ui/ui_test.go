@@ -1,0 +1,109 @@
+package ui
+
+import (
+	"testing"
+
+	"thinc/internal/driver"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/xserver"
+)
+
+func setup() (*xserver.Display, *Panel) {
+	d := xserver.NewDisplay(200, 150, driver.Nop{})
+	win := d.CreateWindow(geom.XYWH(0, 0, 200, 150))
+	p := &Panel{Win: win, Area: geom.XYWH(10, 10, 180, 130)}
+	return d, p
+}
+
+func TestPanelRenderDrawsWidgets(t *testing.T) {
+	d, p := setup()
+	p.Add(&Label{At: geom.Point{X: 4, Y: 4}, Text: "hi", Color: pixel.RGB(0, 0, 0)})
+	btn := &Button{Rect: geom.XYWH(20, 40, 60, 24), Text: "ok"}
+	p.Add(btn)
+	p.Add(&Gauge{Rect: geom.XYWH(20, 80, 100, 10), Value: 0.5})
+	p.Render(d)
+
+	// Panel background visible inside the area, not outside.
+	if d.Screen().At(5, 5) == pixel.RGB(240, 240, 244) {
+		t.Error("background leaked outside panel area")
+	}
+	if d.Screen().At(15, 15) != pixel.RGB(240, 240, 244) {
+		t.Errorf("panel background missing: %v", d.Screen().At(15, 15))
+	}
+	// Button face at its panel position (panel offset 10,10).
+	if d.Screen().At(10+25, 10+45) != pixel.RGB(210, 210, 220) {
+		t.Errorf("button face missing: %v", d.Screen().At(35, 55))
+	}
+	// Gauge: filled half then empty half.
+	if d.Screen().At(10+30, 10+85) != pixel.RGB(90, 200, 90) {
+		t.Error("gauge fill missing")
+	}
+	if d.Screen().At(10+115, 10+85) != pixel.RGB(60, 60, 70) {
+		t.Error("gauge trough missing")
+	}
+}
+
+func TestButtonClickFeedbackAndCallback(t *testing.T) {
+	d, p := setup()
+	clicked := 0
+	btn := &Button{Rect: geom.XYWH(20, 40, 60, 24), Text: "go", OnClick: func() { clicked++ }}
+	p.Add(btn)
+	p.Render(d)
+	face := d.Screen().At(10+25, 10+45)
+
+	// Miss: nothing happens.
+	if p.Click(d, geom.Point{X: 5, Y: 5}) {
+		t.Error("click outside button reported a hit")
+	}
+	if clicked != 0 {
+		t.Error("missed click fired callback")
+	}
+
+	// Hit: pressed state drawn, callback fired.
+	if !p.Click(d, geom.Point{X: 10 + 25, Y: 10 + 45}) {
+		t.Fatal("click on button missed")
+	}
+	if clicked != 1 || !btn.Pressed() {
+		t.Error("click state wrong")
+	}
+	if d.Screen().At(10+25, 10+45) == face {
+		t.Error("pressed button should look different")
+	}
+
+	// Release restores the face.
+	p.Release(d)
+	if btn.Pressed() {
+		t.Error("release did not clear pressed state")
+	}
+	if d.Screen().At(10+25, 10+45) != face {
+		t.Error("released button should restore its face")
+	}
+}
+
+func TestPanelRenderIsDoubleBuffered(t *testing.T) {
+	// Rendering a panel goes through one offscreen pixmap flip: exactly
+	// one screen-bound copy per Render.
+	d, p := setup()
+	p.Add(&Label{At: geom.Point{X: 0, Y: 0}, Text: "x", Color: 1})
+	before := d.Stats.Copies
+	p.Render(d)
+	if d.Stats.Copies != before+1 {
+		t.Errorf("Render used %d copies, want exactly 1 flip", d.Stats.Copies-before)
+	}
+}
+
+func TestGaugeClamps(t *testing.T) {
+	d, p := setup()
+	g := &Gauge{Rect: geom.XYWH(0, 0, 50, 5), Value: 7}
+	p.Add(g)
+	p.Render(d)
+	if d.Screen().At(10+49, 10+2) != pixel.RGB(90, 200, 90) {
+		t.Error("over-range gauge should fill fully")
+	}
+	g.Value = -3
+	p.Render(d)
+	if d.Screen().At(10+1, 10+2) == pixel.RGB(90, 200, 90) {
+		t.Error("under-range gauge should be empty")
+	}
+}

@@ -1,0 +1,262 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"thinc/internal/compress"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// Raw displays pixel data verbatim on a region of the screen (Table 1:
+// RAW). It is THINC's last-resort command and the only one whose payload
+// may be compressed.
+type Raw struct {
+	Rect  geom.Rect
+	Codec compress.Codec
+	Blend bool   // composite with OVER instead of replacing (alpha content)
+	Data  []byte // encoded per Codec for a Rect.W() x Rect.H() block
+}
+
+// NewRaw encodes the pixels (row-major, stride in pixels) of r with the
+// given codec.
+func NewRaw(r geom.Rect, pix []pixel.ARGB, stride int, codec compress.Codec) (*Raw, error) {
+	block := make([]pixel.ARGB, 0, r.Area())
+	for y := 0; y < r.H(); y++ {
+		block = append(block, pix[y*stride:y*stride+r.W()]...)
+	}
+	data, err := compress.Encode(codec, block, r.W(), r.H())
+	if err != nil {
+		return nil, err
+	}
+	return &Raw{Rect: r, Codec: codec, Data: data}, nil
+}
+
+// Pixels decodes the payload back to ARGB pixels.
+func (m *Raw) Pixels() ([]pixel.ARGB, error) {
+	return compress.Decode(m.Codec, m.Data, m.Rect.W(), m.Rect.H())
+}
+
+// Type implements Message.
+func (m *Raw) Type() Type { return TRaw }
+
+func (m *Raw) appendPayload(dst []byte) []byte {
+	dst = appendRect(dst, m.Rect)
+	dst = append(dst, byte(m.Codec))
+	var flags byte
+	if m.Blend {
+		flags = 1
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
+	return append(dst, m.Data...)
+}
+
+func decodeRaw(d *decoder) (*Raw, error) {
+	m := &Raw{}
+	m.Rect = d.rect()
+	m.Codec = compress.Codec(d.u8())
+	m.Blend = d.u8()&1 != 0
+	n := int(d.u32())
+	m.Data = d.bytes(n)
+	return m, d.check()
+}
+
+// Copy instructs the client to copy a screen region to another location
+// within its own framebuffer (Table 1: COPY) — scrolling and window
+// movement without resending data.
+type Copy struct {
+	Src geom.Rect
+	Dst geom.Point
+}
+
+// Type implements Message.
+func (m *Copy) Type() Type { return TCopy }
+
+func (m *Copy) appendPayload(dst []byte) []byte {
+	dst = appendRect(dst, m.Src)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Dst.X))
+	return binary.BigEndian.AppendUint16(dst, uint16(m.Dst.Y))
+}
+
+func decodeCopy(d *decoder) (*Copy, error) {
+	m := &Copy{}
+	m.Src = d.rect()
+	m.Dst = geom.Point{X: int(d.u16()), Y: int(d.u16())}
+	return m, d.check()
+}
+
+// SFill fills a region with a single color (Table 1: SFILL).
+type SFill struct {
+	Rect  geom.Rect
+	Color pixel.ARGB
+}
+
+// Type implements Message.
+func (m *SFill) Type() Type { return TSFill }
+
+func (m *SFill) appendPayload(dst []byte) []byte {
+	dst = appendRect(dst, m.Rect)
+	return binary.BigEndian.AppendUint32(dst, uint32(m.Color))
+}
+
+func decodeSFill(d *decoder) (*SFill, error) {
+	m := &SFill{}
+	m.Rect = d.rect()
+	m.Color = pixel.ARGB(d.u32())
+	return m, d.check()
+}
+
+// PFill tiles a region with a pixel pattern (Table 1: PFILL). The
+// anchor (Ax, Ay) is the tile phase: tile pixel (0,0) lands on screen
+// coordinates congruent to the anchor modulo the tile size.
+type PFill struct {
+	Rect   geom.Rect
+	TileW  int // tile width
+	TileH  int // tile height
+	Ax, Ay int // tile phase, 0 <= Ax < TileW, 0 <= Ay < TileH
+	Tile   []pixel.ARGB
+}
+
+// Type implements Message.
+func (m *PFill) Type() Type { return TPFill }
+
+func (m *PFill) appendPayload(dst []byte) []byte {
+	dst = appendRect(dst, m.Rect)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.TileW))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.TileH))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Ax))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Ay))
+	for _, p := range m.Tile {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(p))
+	}
+	return dst
+}
+
+func decodePFill(d *decoder) (*PFill, error) {
+	m := &PFill{}
+	m.Rect = d.rect()
+	m.TileW = int(d.u16())
+	m.TileH = int(d.u16())
+	m.Ax = int(d.u16())
+	m.Ay = int(d.u16())
+	n := m.TileW * m.TileH
+	if n <= 0 || n > 1<<20 {
+		return nil, ErrCorrupt
+	}
+	raw := d.bytes(n * 4)
+	if err := d.check(); err != nil {
+		return nil, err
+	}
+	m.Tile = make([]pixel.ARGB, n)
+	for i := range m.Tile {
+		m.Tile[i] = pixel.ARGB(binary.BigEndian.Uint32(raw[i*4:]))
+	}
+	return m, nil
+}
+
+// Bitmap fills a region using a 1-bit stipple with foreground and
+// background colors (Table 1: BITMAP) — glyph text and patterned fills.
+type Bitmap struct {
+	Rect        geom.Rect
+	Fg, Bg      pixel.ARGB
+	Transparent bool // clear bits leave destination untouched
+	BitW, BitH  int
+	Bits        []byte // rows padded to bytes, MSB first
+}
+
+// Type implements Message.
+func (m *Bitmap) Type() Type { return TBitmap }
+
+func (m *Bitmap) appendPayload(dst []byte) []byte {
+	dst = appendRect(dst, m.Rect)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Fg))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Bg))
+	var flags byte
+	if m.Transparent {
+		flags = 1
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.BitW))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.BitH))
+	return append(dst, m.Bits...)
+}
+
+func decodeBitmap(d *decoder) (*Bitmap, error) {
+	m := &Bitmap{}
+	m.Rect = d.rect()
+	m.Fg = pixel.ARGB(d.u32())
+	m.Bg = pixel.ARGB(d.u32())
+	m.Transparent = d.u8()&1 != 0
+	m.BitW = int(d.u16())
+	m.BitH = int(d.u16())
+	stride := (m.BitW + 7) / 8
+	m.Bits = d.bytes(stride * m.BitH)
+	return m, d.check()
+}
+
+// CursorSet installs the client's hardware-cursor image: ARGB pixels
+// with a hotspot. Cursor handling lives at the device driver layer on
+// real hardware (the DDX cursor entrypoints), so THINC virtualizes it
+// like any other driver operation.
+type CursorSet struct {
+	HotX, HotY int
+	W, H       int
+	Pix        []pixel.ARGB
+}
+
+// Type implements Message.
+func (m *CursorSet) Type() Type { return TCursorSet }
+
+func (m *CursorSet) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.HotX))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.HotY))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.W))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.H))
+	for _, p := range m.Pix {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(p))
+	}
+	return dst
+}
+
+func decodeCursorSet(d *decoder) (*CursorSet, error) {
+	m := &CursorSet{}
+	m.HotX = int(d.u16())
+	m.HotY = int(d.u16())
+	m.W = int(d.u16())
+	m.H = int(d.u16())
+	n := m.W * m.H
+	if n <= 0 || n > 1<<16 {
+		return nil, ErrCorrupt
+	}
+	raw := d.bytes(n * 4)
+	if err := d.check(); err != nil {
+		return nil, err
+	}
+	m.Pix = make([]pixel.ARGB, n)
+	for i := range m.Pix {
+		m.Pix[i] = pixel.ARGB(binary.BigEndian.Uint32(raw[i*4:]))
+	}
+	return m, nil
+}
+
+// CursorMove repositions the hardware cursor. Moves are tiny,
+// latency-critical, and supersede any unsent previous move.
+type CursorMove struct {
+	X, Y int
+}
+
+// Type implements Message.
+func (m *CursorMove) Type() Type { return TCursorMove }
+
+func (m *CursorMove) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.X))
+	return binary.BigEndian.AppendUint16(dst, uint16(m.Y))
+}
+
+func decodeCursorMove(d *decoder) (*CursorMove, error) {
+	m := &CursorMove{}
+	m.X = int(d.u16())
+	m.Y = int(d.u16())
+	return m, d.check()
+}

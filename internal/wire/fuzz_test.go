@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage drives the framed decoder with arbitrary bytes: it
+// must never panic, and anything it accepts must survive a marshal /
+// re-decode round trip (the decoder and encoder agree on the format).
+func FuzzReadMessage(f *testing.F) {
+	for _, m := range sampleMessages() {
+		buf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted message failed to marshal: %v", err)
+		}
+		m2, err := ReadMessage(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m2.Type() != m.Type() {
+			t.Fatalf("type changed across round trip: %v -> %v", m.Type(), m2.Type())
+		}
+	})
+}

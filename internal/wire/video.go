@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// VideoInit establishes a video stream object on the client (§4.2):
+// the stream's pixel format, source geometry, and on-screen destination.
+// The client hardware scales SrcW x SrcH frames into Dst.
+type VideoInit struct {
+	Stream     uint32
+	Format     pixel.Format // FormatYV12 in the prototype
+	SrcW, SrcH int
+	Dst        geom.Rect
+}
+
+// Type implements Message.
+func (m *VideoInit) Type() Type { return TVideoInit }
+
+func (m *VideoInit) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Stream)
+	dst = append(dst, byte(m.Format))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.SrcW))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.SrcH))
+	return appendRect(dst, m.Dst)
+}
+
+func decodeVideoInit(d *decoder) (*VideoInit, error) {
+	m := &VideoInit{}
+	m.Stream = d.u32()
+	m.Format = pixel.Format(d.u8())
+	m.SrcW = int(d.u16())
+	m.SrcH = int(d.u16())
+	m.Dst = d.rect()
+	return m, d.check()
+}
+
+// VideoFrame carries one frame of a stream in the stream's native
+// format, timestamped at the server so the client can preserve A/V sync.
+type VideoFrame struct {
+	Stream uint32
+	Seq    uint32
+	PTS    uint64 // presentation timestamp, microseconds
+	W, H   int    // frame geometry (server-side scaling may shrink it)
+	Data   []byte // planar frame data (e.g. YV12 planes)
+}
+
+// Type implements Message.
+func (m *VideoFrame) Type() Type { return TVideoFrame }
+
+func (m *VideoFrame) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Stream)
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, m.PTS)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.W))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.H))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
+	return append(dst, m.Data...)
+}
+
+func decodeVideoFrame(d *decoder) (*VideoFrame, error) {
+	m := &VideoFrame{}
+	m.Stream = d.u32()
+	m.Seq = d.u32()
+	m.PTS = d.u64()
+	m.W = int(d.u16())
+	m.H = int(d.u16())
+	n := int(d.u32())
+	m.Data = d.bytes(n)
+	return m, d.check()
+}
+
+// VideoMove repositions or resizes a stream's on-screen destination —
+// window drags and resizes do not interrupt playback.
+type VideoMove struct {
+	Stream uint32
+	Dst    geom.Rect
+}
+
+// Type implements Message.
+func (m *VideoMove) Type() Type { return TVideoMove }
+
+func (m *VideoMove) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Stream)
+	return appendRect(dst, m.Dst)
+}
+
+func decodeVideoMove(d *decoder) (*VideoMove, error) {
+	m := &VideoMove{}
+	m.Stream = d.u32()
+	m.Dst = d.rect()
+	return m, d.check()
+}
+
+// VideoEnd tears down a stream object.
+type VideoEnd struct {
+	Stream uint32
+}
+
+// Type implements Message.
+func (m *VideoEnd) Type() Type { return TVideoEnd }
+
+func (m *VideoEnd) appendPayload(dst []byte) []byte {
+	return binary.BigEndian.AppendUint32(dst, m.Stream)
+}
+
+func decodeVideoEnd(d *decoder) (*VideoEnd, error) {
+	m := &VideoEnd{}
+	m.Stream = d.u32()
+	return m, d.check()
+}
+
+// AudioData carries timestamped PCM audio intercepted by the virtual
+// audio driver (§4.2). Format is fixed 16-bit signed stereo at 44.1 kHz
+// as the prototype's ALSA driver produced.
+type AudioData struct {
+	PTS  uint64 // microseconds, same clock as VideoFrame.PTS
+	Data []byte
+}
+
+// Type implements Message.
+func (m *AudioData) Type() Type { return TAudioData }
+
+func (m *AudioData) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.PTS)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
+	return append(dst, m.Data...)
+}
+
+func decodeAudioData(d *decoder) (*AudioData, error) {
+	m := &AudioData{}
+	m.PTS = d.u64()
+	n := int(d.u32())
+	m.Data = d.bytes(n)
+	return m, d.check()
+}

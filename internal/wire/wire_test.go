@@ -1,0 +1,233 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"thinc/internal/compress"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// sampleMessages returns one instance of every message type.
+func sampleMessages() []Message {
+	pix := make([]pixel.ARGB, 12)
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i), uint8(i*2), uint8(i*3))
+	}
+	raw, err := NewRaw(geom.XYWH(10, 20, 4, 3), pix, 4, compress.CodecNone)
+	if err != nil {
+		panic(err)
+	}
+	return []Message{
+		raw,
+		&Copy{Src: geom.XYWH(0, 16, 1024, 752), Dst: geom.Point{X: 0, Y: 0}},
+		&SFill{Rect: geom.XYWH(5, 5, 100, 50), Color: pixel.PackARGB(200, 1, 2, 3)},
+		&PFill{Rect: geom.XYWH(0, 0, 64, 64), TileW: 2, TileH: 1,
+			Tile: []pixel.ARGB{pixel.RGB(9, 9, 9), pixel.RGB(8, 8, 8)}},
+		&Bitmap{Rect: geom.XYWH(3, 3, 9, 2), Fg: pixel.RGB(255, 0, 0),
+			Bg: pixel.RGB(0, 0, 255), Transparent: true, BitW: 9, BitH: 2,
+			Bits: []byte{0xa5, 0x80, 0x5a, 0x00}},
+		&VideoInit{Stream: 7, Format: pixel.FormatYV12, SrcW: 352, SrcH: 240,
+			Dst: geom.XYWH(0, 0, 1024, 768)},
+		&VideoFrame{Stream: 7, Seq: 42, PTS: 1_000_000, W: 2, H: 1, Data: []byte{1, 2, 3, 4}},
+		&VideoMove{Stream: 7, Dst: geom.XYWH(100, 100, 352, 240)},
+		&VideoEnd{Stream: 7},
+		&AudioData{PTS: 999, Data: []byte{5, 6, 7}},
+		&ServerInit{W: 1024, H: 768, Format: pixel.FormatARGB32},
+		&ClientInit{ViewW: 320, ViewH: 240, Name: "pda"},
+		&Resize{ViewW: 640, ViewH: 480},
+		&Input{Kind: InputMouseButton, X: 512, Y: 384, Code: 1, Press: true, TimeUS: 123456},
+		&AuthChallenge{Nonce: []byte("nonce-16-bytes!!")},
+		&AuthResponse{User: "ricardo", Proof: []byte{0xde, 0xad}},
+		&AuthResult{OK: false, Reason: "bad password"},
+		&UpdateRequest{Incremental: true},
+		&CursorSet{HotX: 2, HotY: 3, W: 2, H: 2,
+			Pix: []pixel.ARGB{1, 2, 3, 4}},
+		&CursorMove{X: 100, Y: 200},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", m.Type(), err)
+		}
+		got, err := ReadMessage(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("%v: read: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v: round trip mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestWireSizeMatchesMarshal(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if WireSize(m) != len(buf) {
+			t.Errorf("%v: WireSize %d != marshaled %d", m.Type(), WireSize(m), len(buf))
+		}
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	// Many messages over one stream decode in order.
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("message %d: type %v, want %v", i, got.Type(), want.Type())
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("expected EOF after stream, got %v", err)
+	}
+}
+
+func TestTruncatedMessages(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf, _ := Marshal(m)
+		for _, cut := range []int{1, HeaderSize, len(buf) - 1} {
+			if cut >= len(buf) {
+				continue
+			}
+			if _, err := ReadMessage(bytes.NewReader(buf[:cut])); err == nil {
+				t.Errorf("%v: truncated at %d decoded without error", m.Type(), cut)
+			}
+		}
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	m := &SFill{Rect: geom.XYWH(0, 0, 1, 1), Color: 1}
+	buf, _ := Marshal(m)
+	// Extend the payload with garbage and fix up the length.
+	buf = append(buf, 0xff)
+	buf[4]++ // payload length low byte
+	if _, err := ReadMessage(bytes.NewReader(buf)); err == nil {
+		t.Error("trailing garbage decoded without error")
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	buf := []byte{0xee, 0, 0, 0, 0}
+	if _, err := ReadMessage(bytes.NewReader(buf)); err == nil {
+		t.Error("unknown type decoded without error")
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	hdr := []byte{byte(TRaw), 0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadMessage(bytes.NewReader(hdr)); err != ErrTooLarge {
+		t.Error("oversize payload header not rejected")
+	}
+}
+
+func TestPFillRejectsInsaneTile(t *testing.T) {
+	// Hand-craft a PFill with a zero-sized tile.
+	var payload []byte
+	payload = appendRect(payload, geom.XYWH(0, 0, 4, 4))
+	payload = append(payload, 0, 0, 0, 0) // tile 0x0
+	if _, err := Unmarshal(TPFill, payload); err == nil {
+		t.Error("0x0 tile decoded without error")
+	}
+}
+
+func TestRawPixelsRoundTrip(t *testing.T) {
+	r := geom.XYWH(0, 0, 6, 2)
+	pix := make([]pixel.ARGB, 12)
+	for i := range pix {
+		pix[i] = pixel.PackARGB(uint8(200+i), uint8(i), uint8(i*7), uint8(i*13))
+	}
+	for _, codec := range []compress.Codec{compress.CodecNone, compress.CodecRLE, compress.CodecPNG} {
+		m, err := NewRaw(r, pix, 6, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Pixels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pix {
+			if got[i] != pix[i] {
+				t.Fatalf("codec %v pixel %d mismatch", codec, i)
+			}
+		}
+	}
+}
+
+func TestFuzzDecodeNoPanic(t *testing.T) {
+	// Random bytes must never panic the decoder.
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		payload := make([]byte, rnd.Intn(64))
+		rnd.Read(payload)
+		typ := Type(rnd.Intn(24))
+		_, _ = Unmarshal(typ, payload) // errors fine, panics not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisplayCommandSizes(t *testing.T) {
+	// Sanity-check the wire economy the protocol is designed around:
+	// an SFILL covering the whole screen is tens of bytes, not megabytes.
+	sfill := &SFill{Rect: geom.XYWH(0, 0, 1024, 768), Color: pixel.RGB(255, 255, 255)}
+	if s := WireSize(sfill); s > 32 {
+		t.Errorf("SFILL costs %d bytes", s)
+	}
+	cp := &Copy{Src: geom.XYWH(0, 0, 1024, 768), Dst: geom.Point{}}
+	if s := WireSize(cp); s > 32 {
+		t.Errorf("COPY costs %d bytes", s)
+	}
+}
+
+func BenchmarkMarshalSFill(b *testing.B) {
+	m := &SFill{Rect: geom.XYWH(0, 0, 100, 100), Color: 0xffffffff}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundTripRaw64x64(b *testing.B) {
+	pix := make([]pixel.ARGB, 64*64)
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i), uint8(i>>4), uint8(i>>8))
+	}
+	m, err := NewRaw(geom.XYWH(0, 0, 64, 64), pix, 64, compress.CodecNone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, _ := Marshal(m)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadMessage(bytes.NewReader(buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

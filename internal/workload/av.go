@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math/rand"
+
+	"thinc/internal/pixel"
+	"thinc/internal/sim"
+)
+
+// VideoClip models the A/V benchmark clip (§8.2): 34.75 seconds of
+// 352x240 video at ~24 fps, displayed at full-screen resolution.
+// Frames are synthetic but share real video's two load-bearing
+// properties: every frame differs from the previous one (full-screen
+// damage for scraping systems) and the content is noisy enough that
+// general-purpose compression gains little.
+type VideoClip struct {
+	W, H     int
+	FPS      int
+	Duration sim.Time
+}
+
+// DefaultClip is the paper's clip geometry.
+func DefaultClip() *VideoClip {
+	return &VideoClip{W: 352, H: 240, FPS: 24, Duration: sim.Time(34.75 * float64(sim.Second))}
+}
+
+// NumFrames returns the frame count of the clip.
+func (c *VideoClip) NumFrames() int {
+	return int(int64(c.Duration) * int64(c.FPS) / int64(sim.Second))
+}
+
+// FrameInterval returns the time between frames.
+func (c *VideoClip) FrameInterval() sim.Time {
+	return sim.Time(int64(sim.Second) / int64(c.FPS))
+}
+
+// PTS returns frame i's presentation timestamp in microseconds.
+func (c *VideoClip) PTS(i int) uint64 {
+	return uint64(int64(i) * int64(c.FrameInterval()))
+}
+
+// Frame synthesizes frame i as decoder output (YV12).
+func (c *VideoClip) Frame(i int) *pixel.YV12Image {
+	img := pixel.NewYV12(c.W, c.H)
+	rnd := rand.New(rand.NewSource(int64(i)*65537 + 3))
+	// Luma: moving diagonal gradient + strong per-pixel noise. Real
+	// decoded video carries film grain and texture that general-purpose
+	// compressors barely reduce; the noise floor reproduces that.
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			v := (x + y + i*5) % 160
+			img.Y[y*c.W+x] = uint8(16 + v/2 + rnd.Intn(96))
+		}
+	}
+	cw, ch := (c.W+1)/2, (c.H+1)/2
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			img.U[y*cw+x] = uint8(96 + (x+i)%64 + rnd.Intn(8))
+			img.V[y*cw+x] = uint8(96 + (y+i*2)%64 + rnd.Intn(8))
+		}
+	}
+	return img
+}
+
+// FrameRGB returns frame i as RGB pixels — the form a software-decoding
+// player blits when no video extension is available (the path
+// non-THINC systems are stuck with).
+func (c *VideoClip) FrameRGB(i int) []pixel.ARGB {
+	return pixel.DecodeYV12(c.Frame(i), c.W, c.H)
+}
+
+// MPEGBytes approximates the clip's encoded source size: the paper's
+// clip streamed at roughly 1.2 Mbps (local PC transferred <6 MB).
+func (c *VideoClip) MPEGBytes() int64 {
+	return int64(1.2e6/8) * int64(c.Duration) / int64(sim.Second)
+}
+
+// AudioTrack models the clip's PCM soundtrack as the virtual ALSA
+// driver captures it: 44.1 kHz, 16-bit stereo, chunked.
+type AudioTrack struct {
+	SampleRate int
+	Channels   int
+	ChunkDur   sim.Time
+	Duration   sim.Time
+}
+
+// DefaultAudio matches the A/V clip duration.
+func DefaultAudio() *AudioTrack {
+	return &AudioTrack{
+		SampleRate: 44100,
+		Channels:   2,
+		ChunkDur:   50 * sim.Millisecond,
+		Duration:   sim.Time(34.75 * float64(sim.Second)),
+	}
+}
+
+// NumChunks returns the number of audio chunks in the track.
+func (a *AudioTrack) NumChunks() int {
+	return int(int64(a.Duration) / int64(a.ChunkDur))
+}
+
+// ChunkBytes returns the PCM payload size of one chunk.
+func (a *AudioTrack) ChunkBytes() int {
+	samples := int(int64(a.SampleRate) * int64(a.ChunkDur) / int64(sim.Second))
+	return samples * a.Channels * 2
+}
+
+// PTS returns chunk i's timestamp in microseconds.
+func (a *AudioTrack) PTS(i int) uint64 { return uint64(int64(i) * int64(a.ChunkDur)) }
+
+// Chunk synthesizes chunk i's PCM bytes (deterministic noise — audio
+// content does not affect any system under test, only its volume).
+func (a *AudioTrack) Chunk(i int) []byte {
+	buf := make([]byte, a.ChunkBytes())
+	rnd := rand.New(rand.NewSource(int64(i) + 991))
+	rnd.Read(buf)
+	return buf
+}

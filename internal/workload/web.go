@@ -1,0 +1,250 @@
+// Package workload generates the application workloads of §8.2: a
+// deterministic 54-page web browsing benchmark in the style of the
+// i-Bench Web Page Load test (mixed text and graphics, rendered through
+// the window system with Mozilla-style offscreen double buffering), a
+// 34.75-second 352x240 24 fps video clip, and a PCM audio track.
+//
+// Content is synthetic but statistically shaped like the original: text
+// runs become per-glyph stipples, backgrounds become fills and tiles,
+// images rasterize scanline by scanline with photo-like (poorly
+// compressible) pixels, and every ninth page is dominated by one large
+// image — the page class the paper singles out in its page-by-page
+// analysis.
+package workload
+
+import (
+	"math/rand"
+
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/xserver"
+)
+
+// NumPages is the length of the benchmark sequence (§8.2).
+const NumPages = 54
+
+// PageStats summarizes what rendering one page did, for cost modeling
+// and for the local-PC intrinsic-content baseline.
+type PageStats struct {
+	Index       int
+	ImageHeavy  bool
+	Ops         int // drawing requests issued
+	Glyphs      int // text glyphs drawn
+	ImagePixels int
+	FillPixels  int
+	// IntrinsicBytes approximates the page's fetched content size
+	// (compressed images + HTML text) — what a local browser transfers.
+	IntrinsicBytes int
+}
+
+// Browser renders benchmark pages into a window, optionally through an
+// offscreen pixmap (double buffering) the way Mozilla prepares pages
+// before presenting them (§4.1).
+type Browser struct {
+	Dpy          *xserver.Display
+	Win          *xserver.Window
+	DoubleBuffer bool
+}
+
+// RenderPage draws page i (0-based) and returns its statistics. Pages
+// are deterministic: the same index always produces the same pixels.
+func (b *Browser) RenderPage(i int) PageStats {
+	st := PageStats{Index: i, ImageHeavy: ImageHeavy(i)}
+	var target xserver.Drawable = b.Win
+	var pm *xserver.Pixmap
+	wb := b.Win.Bounds()
+	if b.DoubleBuffer {
+		pm = b.Dpy.CreatePixmap(wb.W(), wb.H())
+		target = pm
+	}
+	b.renderInto(target, geom.XYWH(0, 0, wb.W(), wb.H()), i, &st)
+	if b.DoubleBuffer {
+		b.Dpy.CopyArea(b.Win, pm, pm.Bounds(), geom.Point{})
+		st.Ops++
+		b.Dpy.FreePixmap(pm)
+	}
+	return st
+}
+
+// ImageHeavy reports whether page i consists primarily of one large
+// image (every ninth page).
+func ImageHeavy(i int) bool { return i%9 == 8 }
+
+func (b *Browser) renderInto(t xserver.Drawable, area geom.Rect, page int, st *PageStats) {
+	rnd := rand.New(rand.NewSource(int64(page)*7919 + 17))
+	d := b.Dpy
+	w, h := area.W(), area.H()
+
+	// Background: solid white-ish, or a subtle tile on some pages.
+	bg := pixel.RGB(uint8(240+rnd.Intn(16)), uint8(240+rnd.Intn(16)), uint8(240+rnd.Intn(16)))
+	if rnd.Intn(4) == 0 {
+		tw, th := 4+rnd.Intn(5), 4+rnd.Intn(5)
+		tile := makeTile(rnd, tw, th, bg)
+		d.TileRect(t, tile, area)
+		st.Ops++
+		st.FillPixels += w * h
+	} else {
+		d.FillRect(t, &xserver.GC{Fg: bg}, area)
+		st.Ops++
+		st.FillPixels += w * h
+	}
+
+	if st.ImageHeavy {
+		// One large image dominating the page (the RAW-dominated class).
+		iw, ih := w*3/4, h*3/4
+		r := geom.XYWH(area.X0+w/8, area.Y0+h/8, iw, ih)
+		img := photoImage(rnd, iw, ih)
+		d.PutImageScanlines(t, r, img, iw)
+		st.Ops += ih
+		st.ImagePixels += iw * ih
+		st.IntrinsicBytes += iw * ih * 4 / 10 // JPEG-like
+		title := "Large Image Gallery Page"
+		d.DrawText(t, &xserver.GC{Fg: pixel.RGB(20, 20, 20)}, area.X0+10, area.Y0+6, title)
+		st.Ops += len(title)
+		st.Glyphs += len(title)
+		st.IntrinsicBytes += 2 * 1024
+		return
+	}
+
+	y := area.Y0 + 8
+	ink := pixel.RGB(uint8(rnd.Intn(60)), uint8(rnd.Intn(60)), uint8(rnd.Intn(60)))
+	gc := &xserver.GC{Fg: ink}
+
+	// Heading bar.
+	d.FillRect(t, &xserver.GC{Fg: pixel.RGB(uint8(rnd.Intn(128)), uint8(100+rnd.Intn(100)), 200)},
+		geom.XYWH(area.X0, y, w, 24))
+	st.Ops++
+	st.FillPixels += w * 24
+	head := pageText(rnd, 4+rnd.Intn(5))
+	d.DrawText(t, &xserver.GC{Fg: pixel.RGB(255, 255, 255)}, area.X0+12, y+7, head)
+	st.Ops += countGlyphs(head)
+	st.Glyphs += countGlyphs(head)
+	y += 32
+
+	// Body: paragraphs interleaved with inline images and tables.
+	paras := 3 + rnd.Intn(4)
+	for p := 0; p < paras && y < area.Y1-80; p++ {
+		switch rnd.Intn(5) {
+		case 0: // inline image
+			iw := 80 + rnd.Intn(w/3)
+			ih := 50 + rnd.Intn(90)
+			r := geom.XYWH(area.X0+10+rnd.Intn(w/4), y, iw, ih)
+			img := photoImage(rnd, iw, ih)
+			d.PutImageScanlines(t, r, img, iw)
+			st.Ops += ih
+			st.ImagePixels += iw * ih
+			st.IntrinsicBytes += iw * ih * 4 / 10
+			y += ih + 8
+		case 1: // table: grid of cells with short labels
+			rows, cols := 2+rnd.Intn(4), 3+rnd.Intn(4)
+			cw, ch := (w-40)/cols, 18
+			for rr := 0; rr < rows; rr++ {
+				for cc := 0; cc < cols; cc++ {
+					cell := geom.XYWH(area.X0+20+cc*cw, y+rr*ch, cw-2, ch-2)
+					shade := uint8(210 + ((rr+cc)%2)*20)
+					d.FillRect(t, &xserver.GC{Fg: pixel.RGB(shade, shade, shade)}, cell)
+					st.Ops++
+					st.FillPixels += cell.Area()
+					lbl := pageText(rnd, 1)
+					d.DrawText(t, gc, cell.X0+3, cell.Y0+4, lbl)
+					st.Ops += countGlyphs(lbl)
+					st.Glyphs += countGlyphs(lbl)
+				}
+			}
+			y += rows*ch + 10
+			st.IntrinsicBytes += rows * cols * 16
+		default: // text paragraph
+			lines := 2 + rnd.Intn(5)
+			for ln := 0; ln < lines && y < area.Y1-16; ln++ {
+				text := pageText(rnd, 8+rnd.Intn(10))
+				d.DrawText(t, gc, area.X0+12, y, text)
+				st.Ops += countGlyphs(text)
+				st.Glyphs += countGlyphs(text)
+				st.IntrinsicBytes += len(text)
+				y += xserver.GlyphH + 3
+			}
+			y += 6
+		}
+	}
+
+	// Footer rule + link line (the "next page" link the benchmark clicks).
+	d.FillRect(t, &xserver.GC{Fg: pixel.RGB(120, 120, 120)}, geom.XYWH(area.X0+8, area.Y1-30, w-16, 2))
+	st.Ops++
+	st.FillPixels += (w - 16) * 2
+	link := "next page >"
+	d.DrawText(t, &xserver.GC{Fg: pixel.RGB(0, 0, 238)}, area.X0+12, area.Y1-24, link)
+	st.Ops += countGlyphs(link)
+	st.Glyphs += countGlyphs(link)
+	st.IntrinsicBytes += 4 * 1024 // HTML boilerplate
+}
+
+// NextLink returns the screen location of page i's "next" link — where
+// the benchmark's mechanical clicker presses the mouse (§8.2).
+func (b *Browser) NextLink() geom.Point {
+	r := b.Win.Bounds()
+	return geom.Point{X: r.X0 + 20, Y: r.Y1 - 20}
+}
+
+func countGlyphs(s string) int {
+	n := 0
+	for _, ch := range s {
+		if ch != ' ' && ch != '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+var words = []string{
+	"the", "quick", "display", "server", "client", "network", "remote",
+	"virtual", "thin", "protocol", "command", "screen", "update", "video",
+	"latency", "bandwidth", "driver", "window", "system", "performance",
+}
+
+func pageText(rnd *rand.Rand, n int) string {
+	out := ""
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			out += " "
+		}
+		out += words[rnd.Intn(len(words))]
+	}
+	return out
+}
+
+// photoImage synthesizes photo-like pixels: smooth gradients with noise,
+// compressible by PNG only moderately, like photographic JPEG sources.
+func photoImage(rnd *rand.Rand, w, h int) []pixel.ARGB {
+	pix := make([]pixel.ARGB, w*h)
+	baseR, baseG, baseB := rnd.Intn(200), rnd.Intn(200), rnd.Intn(200)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n := rnd.Intn(48)
+			r := clampU8(baseR + x*40/max(1, w) + n)
+			g := clampU8(baseG + y*40/max(1, h) + n/2)
+			bb := clampU8(baseB + (x+y)*30/max(1, w+h) + n/3)
+			pix[y*w+x] = pixel.RGB(r, g, bb)
+		}
+	}
+	return pix
+}
+
+func makeTile(rnd *rand.Rand, w, h int, base pixel.ARGB) *fb.Tile {
+	pix := make([]pixel.ARGB, w*h)
+	for i := range pix {
+		v := int(base.R()) - 8 + rnd.Intn(16)
+		pix[i] = pixel.RGB(clampU8(v), clampU8(v), clampU8(v+4))
+	}
+	return fb.NewTile(w, h, pix)
+}
+
+func clampU8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

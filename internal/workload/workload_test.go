@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+
+	"thinc/internal/driver"
+	"thinc/internal/geom"
+	"thinc/internal/sim"
+	"thinc/internal/xserver"
+)
+
+func TestWebPagesDeterministic(t *testing.T) {
+	render := func() (uint32, PageStats) {
+		d := xserver.NewDisplay(1024, 768, driver.Nop{})
+		b := &Browser{Dpy: d, Win: d.CreateWindow(geom.XYWH(0, 0, 1024, 768)), DoubleBuffer: true}
+		st := b.RenderPage(7)
+		return d.Screen().Checksum(), st
+	}
+	c1, s1 := render()
+	c2, s2 := render()
+	if c1 != c2 {
+		t.Fatal("page pixels not deterministic")
+	}
+	if s1 != s2 {
+		t.Fatal("page stats not deterministic")
+	}
+}
+
+func TestWebPageMix(t *testing.T) {
+	d := xserver.NewDisplay(1024, 768, driver.Nop{})
+	b := &Browser{Dpy: d, Win: d.CreateWindow(geom.XYWH(0, 0, 1024, 768)), DoubleBuffer: true}
+	heavy, mixed := 0, 0
+	for i := 0; i < NumPages; i++ {
+		st := b.RenderPage(i)
+		if st.Ops == 0 || st.IntrinsicBytes == 0 {
+			t.Fatalf("page %d rendered nothing", i)
+		}
+		if st.ImageHeavy {
+			heavy++
+			if st.ImagePixels < 1024*768/4 {
+				t.Errorf("page %d marked image heavy but only %d image px", i, st.ImagePixels)
+			}
+		} else {
+			mixed++
+			if st.Glyphs == 0 {
+				t.Errorf("page %d has no text", i)
+			}
+		}
+	}
+	if heavy != NumPages/9 {
+		t.Errorf("%d image-heavy pages, want %d", heavy, NumPages/9)
+	}
+	if mixed == 0 {
+		t.Error("no mixed pages")
+	}
+}
+
+func TestWebPagesDifferAcrossIndices(t *testing.T) {
+	d := xserver.NewDisplay(640, 480, driver.Nop{})
+	b := &Browser{Dpy: d, Win: d.CreateWindow(geom.XYWH(0, 0, 640, 480)), DoubleBuffer: false}
+	b.RenderPage(0)
+	c0 := d.Screen().Checksum()
+	b.RenderPage(1)
+	if d.Screen().Checksum() == c0 {
+		t.Error("consecutive pages render identically")
+	}
+}
+
+func TestDoubleBufferMatchesDirect(t *testing.T) {
+	// The same page rendered direct vs double-buffered must produce the
+	// same final pixels (offscreen flip correctness at the workload level).
+	render := func(db bool) uint32 {
+		d := xserver.NewDisplay(800, 600, driver.Nop{})
+		b := &Browser{Dpy: d, Win: d.CreateWindow(geom.XYWH(0, 0, 800, 600)), DoubleBuffer: db}
+		b.RenderPage(3)
+		return d.Screen().Checksum()
+	}
+	if render(true) != render(false) {
+		t.Error("double buffering changed the rendered result")
+	}
+}
+
+func TestNextLinkInsideWindow(t *testing.T) {
+	d := xserver.NewDisplay(1024, 768, driver.Nop{})
+	b := &Browser{Dpy: d, Win: d.CreateWindow(geom.XYWH(0, 0, 1024, 768))}
+	if !b.NextLink().In(b.Win.Bounds()) {
+		t.Error("next link outside window")
+	}
+}
+
+func TestVideoClipGeometry(t *testing.T) {
+	c := DefaultClip()
+	if c.W != 352 || c.H != 240 || c.FPS != 24 {
+		t.Fatal("clip geometry wrong")
+	}
+	if n := c.NumFrames(); n != 834 {
+		t.Errorf("frames = %d, want 834 (34.75s x 24fps)", n)
+	}
+	if c.FrameInterval() != sim.Time(41666) {
+		t.Errorf("frame interval %v", c.FrameInterval())
+	}
+	if c.PTS(24) != uint64(24*41666) {
+		t.Errorf("PTS wrong: %d", c.PTS(24))
+	}
+	if c.MPEGBytes() > 6<<20 {
+		t.Errorf("MPEG size %d should be under 6MB (paper: local PC <6MB)", c.MPEGBytes())
+	}
+}
+
+func TestVideoFramesDifferEveryFrame(t *testing.T) {
+	c := DefaultClip()
+	f0, f1 := c.Frame(0), c.Frame(1)
+	same := 0
+	for i := range f0.Y {
+		if f0.Y[i] == f1.Y[i] {
+			same++
+		}
+	}
+	if same > len(f0.Y)/2 {
+		t.Errorf("frames too similar: %d/%d identical luma", same, len(f0.Y))
+	}
+	// Deterministic.
+	f0b := c.Frame(0)
+	for i := range f0.Y {
+		if f0.Y[i] != f0b.Y[i] {
+			t.Fatal("frames not deterministic")
+		}
+	}
+}
+
+func TestFrameRGBGeometry(t *testing.T) {
+	c := DefaultClip()
+	rgb := c.FrameRGB(5)
+	if len(rgb) != 352*240 {
+		t.Fatalf("rgb size %d", len(rgb))
+	}
+}
+
+func TestAudioTrack(t *testing.T) {
+	a := DefaultAudio()
+	if a.NumChunks() != 695 {
+		t.Errorf("chunks = %d, want 695 (34.75s / 50ms)", a.NumChunks())
+	}
+	// 44.1kHz * 50ms * 2ch * 2B = 8820 bytes.
+	if a.ChunkBytes() != 8820 {
+		t.Errorf("chunk bytes = %d", a.ChunkBytes())
+	}
+	if len(a.Chunk(3)) != a.ChunkBytes() {
+		t.Error("chunk payload size mismatch")
+	}
+	if a.PTS(2) != 100000 {
+		t.Errorf("PTS = %d", a.PTS(2))
+	}
+	// Total audio bandwidth ~1.4 Mbps (CD PCM stereo).
+	totalBytes := int64(a.NumChunks()) * int64(a.ChunkBytes())
+	bps := float64(totalBytes*8) / a.Duration.Seconds()
+	if bps < 1.3e6 || bps > 1.5e6 {
+		t.Errorf("audio bitrate %.2f Mbps, want ~1.41", bps/1e6)
+	}
+}

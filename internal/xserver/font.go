@@ -1,0 +1,87 @@
+package xserver
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+)
+
+// Font glyph geometry: a fixed-cell 6x10 font, the size class of the
+// era's terminal fonts. Glyph shapes are synthesized deterministically
+// from the character code — what matters to the display pipeline is that
+// text arrives at the driver as per-glyph stipple fills with realistic
+// ink coverage, not the letterforms themselves.
+const (
+	GlyphW = 6
+	GlyphH = 10
+)
+
+var (
+	glyphMu    sync.Mutex
+	glyphCache = map[rune]*fb.Bitmap{}
+)
+
+// Glyph returns the stipple bitmap for ch. Whitespace renders empty;
+// other characters get a reproducible ~40% ink pattern with a baseline
+// row, hashed from the code point.
+func Glyph(ch rune) *fb.Bitmap {
+	glyphMu.Lock()
+	defer glyphMu.Unlock()
+	if bm, ok := glyphCache[ch]; ok {
+		return bm
+	}
+	bm := fb.NewBitmap(GlyphW, GlyphH)
+	if ch != ' ' && ch != '\t' && ch != '\n' {
+		h := fnv.New64a()
+		var b [4]byte
+		b[0] = byte(ch)
+		b[1] = byte(ch >> 8)
+		b[2] = byte(ch >> 16)
+		b[3] = byte(ch >> 24)
+		h.Write(b[:])
+		bits := h.Sum64()
+		n := 0
+		for y := 1; y < GlyphH-2; y++ {
+			for x := 0; x < GlyphW-1; x++ {
+				if bits&(1<<uint(n%64)) != 0 {
+					bm.SetBit(x, y, true)
+				}
+				n++
+				if n%17 == 0 { // stir so tall glyphs don't repeat rows
+					bits = bits*0x5851f42d4c957f2d + 1
+				}
+			}
+		}
+		// Baseline stroke keeps every glyph visibly anchored.
+		for x := 0; x < GlyphW-1; x++ {
+			bm.SetBit(x, GlyphH-3, true)
+		}
+	}
+	glyphCache[ch] = bm
+	return bm
+}
+
+// DrawText renders s with its left baseline cell at (x, y)
+// (drawable-local), one stipple fill per glyph — the request stream X
+// core text generates, and the many-small-commands case THINC's command
+// merging absorbs (§4). It returns the bounding box drawn.
+func (d *Display) DrawText(dst Drawable, gc *GC, x, y int, s string) geom.Rect {
+	var box geom.Rect
+	cx := x
+	for _, ch := range s {
+		if ch == '\n' {
+			cx = x
+			y += GlyphH
+			continue
+		}
+		r := geom.XYWH(cx, y, GlyphW, GlyphH)
+		tgc := *gc
+		tgc.Transparent = true // text paints ink only
+		d.StippleRect(dst, &tgc, Glyph(ch), r)
+		box = box.Union(r)
+		cx += GlyphW
+	}
+	return box
+}

@@ -1,0 +1,67 @@
+package xserver
+
+import (
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// VideoPort is the XVideo-like extension handle: applications push
+// decoder-output YV12 frames at it and the display system hands them to
+// the driver, which on real hardware (or a THINC client) performs
+// color-space conversion and scaling in the overlay (§4.2). The
+// software path below renders the frame into the screen surface so the
+// display's reference content stays authoritative.
+type VideoPort struct {
+	d      *Display
+	stream uint32
+	srcW   int
+	srcH   int
+	dst    geom.Rect
+	closed bool
+}
+
+// CreateVideoPort opens a stream of srcW x srcH frames displayed at dst
+// (screen coordinates, may be any size — the overlay scales).
+func (d *Display) CreateVideoPort(srcW, srcH int, dst geom.Rect) *VideoPort {
+	d.videoNext++
+	vp := &VideoPort{d: d, stream: d.videoNext, srcW: srcW, srcH: srcH, dst: dst}
+	d.drv.VideoSetup(vp.stream, srcW, srcH, dst)
+	return vp
+}
+
+// Stream returns the port's stream identifier.
+func (vp *VideoPort) Stream() uint32 { return vp.stream }
+
+// Dst returns the current on-screen destination.
+func (vp *VideoPort) Dst() geom.Rect { return vp.dst }
+
+// PutFrame displays one frame with the given presentation timestamp.
+func (vp *VideoPort) PutFrame(frame *pixel.YV12Image, ptsUS uint64) {
+	if vp.closed {
+		panic("xserver: PutFrame on closed video port")
+	}
+	if !vp.d.SkipOverlayRender {
+		vp.d.screen.OverlayYV12(vp.dst, frame)
+	}
+	vp.d.Stats.VideoFrames++
+	vp.d.drv.VideoFrame(vp.stream, frame, ptsUS)
+}
+
+// Move repositions/resizes the on-screen destination without
+// interrupting the stream.
+func (vp *VideoPort) Move(dst geom.Rect) {
+	if vp.closed {
+		return
+	}
+	vp.dst = dst
+	vp.d.drv.VideoMove(vp.stream, dst)
+}
+
+// Close tears the stream down.
+func (vp *VideoPort) Close() {
+	if vp.closed {
+		return
+	}
+	vp.closed = true
+	vp.d.drv.VideoStop(vp.stream)
+}

@@ -1,0 +1,351 @@
+// Package xserver implements a miniature X-like window system: the
+// unmodified display-system substrate THINC plugs into underneath.
+// Applications issue high-level drawing requests against windows and
+// offscreen pixmaps; the server renders them in software into its
+// surfaces ("video memory") and invokes the attached video device
+// driver's entrypoints with the request semantics intact — exactly the
+// interception point THINC's virtual driver occupies (§3, §7).
+//
+// The model is deliberately simplified where the simplification does not
+// change what reaches the driver: windows are non-overlapping screen
+// regions (no z-order), and there is one screen per display.
+package xserver
+
+import (
+	"fmt"
+
+	"thinc/internal/driver"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// Display is a window system instance: a screen, its offscreen pixmaps,
+// and the video driver that observes all drawing. Displays are not safe
+// for concurrent use — window servers are single-threaded, a property
+// THINC's non-blocking delivery pipeline is designed around (§5).
+type Display struct {
+	screen  *fb.Framebuffer
+	pixmaps map[driver.DrawableID]*fb.Framebuffer
+	drv     driver.Driver
+	nextID  driver.DrawableID
+
+	videoNext uint32
+
+	cursorImg        []pixel.ARGB
+	cursorW, cursorH int
+	cursorHot        geom.Point
+	cursorPos        geom.Point
+
+	// Stats counts driver-visible operations; the benchmark harness and
+	// tests read them.
+	Stats Stats
+
+	// SkipOverlayRender disables software rendering of video frames
+	// into the screen surface. Benchmarks of video-capable drivers set
+	// it: the overlay sits above the framebuffer, no consumer reads the
+	// composited pixels, and skipping the conversion keeps long clip
+	// simulations fast. Correctness tests leave it false.
+	SkipOverlayRender bool
+}
+
+// Stats tallies the drawing requests processed by a Display.
+type Stats struct {
+	Fills, Tiles, Stipples, Puts, Composites, Copies int
+	VideoFrames                                      int
+}
+
+// NewDisplay creates a display of the given geometry with drv attached.
+func NewDisplay(w, h int, drv driver.Driver) *Display {
+	d := &Display{
+		screen:  fb.New(w, h),
+		pixmaps: make(map[driver.DrawableID]*fb.Framebuffer),
+		drv:     drv,
+		nextID:  1,
+	}
+	drv.Init(d, w, h)
+	return d
+}
+
+// Screen returns the display's visible framebuffer (the reference for
+// what any correct client must show).
+func (d *Display) Screen() *fb.Framebuffer { return d.screen }
+
+// Bounds returns the screen rectangle.
+func (d *Display) Bounds() geom.Rect { return d.screen.Bounds() }
+
+// ReadPixels implements driver.Memory.
+func (d *Display) ReadPixels(id driver.DrawableID, r geom.Rect) []pixel.ARGB {
+	return d.surface(id).ReadImage(r)
+}
+
+// SurfaceSize implements driver.Memory.
+func (d *Display) SurfaceSize(id driver.DrawableID) (int, int) {
+	s := d.surface(id)
+	return s.W(), s.H()
+}
+
+func (d *Display) surface(id driver.DrawableID) *fb.Framebuffer {
+	if id.IsScreen() {
+		return d.screen
+	}
+	s, ok := d.pixmaps[id]
+	if !ok {
+		panic(fmt.Sprintf("xserver: unknown drawable %d", id))
+	}
+	return s
+}
+
+// Drawable is a rendering target handle: a window or a pixmap.
+type Drawable interface {
+	// target resolves to the backing drawable ID, the translation from
+	// drawable-local to surface coordinates, and the clip rectangle in
+	// surface coordinates.
+	target() (id driver.DrawableID, off geom.Point, clip geom.Rect)
+	display() *Display
+}
+
+// Window is an on-screen drawable occupying a fixed region.
+type Window struct {
+	d      *Display
+	bounds geom.Rect
+}
+
+// CreateWindow maps a window covering r (clipped to the screen).
+func (d *Display) CreateWindow(r geom.Rect) *Window {
+	return &Window{d: d, bounds: r.Intersect(d.screen.Bounds())}
+}
+
+// Bounds returns the window's on-screen rectangle.
+func (w *Window) Bounds() geom.Rect { return w.bounds }
+
+// MoveWindow relocates a window, moving its contents with one
+// screen-to-screen copy (the opaque window movement COPY accelerates,
+// §3) and filling the exposed area with the desktop color.
+func (d *Display) MoveWindow(w *Window, to geom.Point, desktop pixel.ARGB) {
+	old := w.bounds
+	nb := geom.XYWH(to.X, to.Y, old.W(), old.H()).Intersect(d.screen.Bounds())
+	if nb.Empty() || nb == old {
+		w.bounds = nb
+		return
+	}
+	// Content ride-along.
+	src := old
+	if nb.W() < old.W() || nb.H() < old.H() {
+		src = geom.Rect{X0: old.X0, Y0: old.Y0, X1: old.X0 + nb.W(), Y1: old.Y0 + nb.H()}
+	}
+	d.surface(driver.Screen).Copy(src, nb.Origin())
+	d.Stats.Copies++
+	d.drv.CopyArea(driver.Screen, driver.Screen, src, nb.Origin())
+	// Expose: the vacated region shows the desktop.
+	var exposed geom.Region
+	exposed.UnionRect(old)
+	exposed.SubtractRect(nb)
+	for _, r := range exposed.Rects() {
+		d.surface(driver.Screen).FillSolid(r, desktop)
+		d.Stats.Fills++
+		d.drv.FillSolid(driver.Screen, r, desktop)
+	}
+	w.bounds = nb
+}
+
+func (w *Window) target() (driver.DrawableID, geom.Point, geom.Rect) {
+	return driver.Screen, w.bounds.Origin(), w.bounds
+}
+
+func (w *Window) display() *Display { return w.d }
+
+// Pixmap is an offscreen drawable — the surfaces applications prepare
+// their interfaces in before copying them on screen (§4.1).
+type Pixmap struct {
+	d    *Display
+	id   driver.DrawableID
+	w, h int
+	dead bool
+}
+
+// CreatePixmap allocates a w x h offscreen surface.
+func (d *Display) CreatePixmap(w, h int) *Pixmap {
+	id := d.nextID
+	d.nextID++
+	d.pixmaps[id] = fb.New(w, h)
+	d.drv.CreatePixmap(id, w, h)
+	return &Pixmap{d: d, id: id, w: w, h: h}
+}
+
+// FreePixmap releases the pixmap; further use panics.
+func (d *Display) FreePixmap(p *Pixmap) {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	delete(d.pixmaps, p.id)
+	d.drv.DestroyPixmap(p.id)
+}
+
+// Bounds returns the pixmap rectangle (origin 0,0).
+func (p *Pixmap) Bounds() geom.Rect { return geom.XYWH(0, 0, p.w, p.h) }
+
+func (p *Pixmap) target() (driver.DrawableID, geom.Point, geom.Rect) {
+	if p.dead {
+		panic("xserver: use of freed pixmap")
+	}
+	return p.id, geom.Point{}, p.Bounds()
+}
+
+func (p *Pixmap) display() *Display { return p.d }
+
+// GC is a graphics context: the drawing state shared by requests.
+type GC struct {
+	Fg, Bg      pixel.ARGB
+	Transparent bool // stipple fills leave background untouched
+}
+
+// resolve translates a drawable-local rect into surface space and clips.
+func resolve(dst Drawable, r geom.Rect) (driver.DrawableID, geom.Rect) {
+	id, off, clip := dst.target()
+	return id, r.Translate(off.X, off.Y).Intersect(clip)
+}
+
+// FillRect fills r (drawable-local) with gc's foreground — the request
+// that becomes SFILL.
+func (d *Display) FillRect(dst Drawable, gc *GC, r geom.Rect) {
+	id, sr := resolve(dst, r)
+	if sr.Empty() {
+		return
+	}
+	d.surface(id).FillSolid(sr, gc.Fg)
+	d.Stats.Fills++
+	d.drv.FillSolid(id, sr, gc.Fg)
+}
+
+// TileRect tiles r with the pattern — the request that becomes PFILL.
+func (d *Display) TileRect(dst Drawable, tile *fb.Tile, r geom.Rect) {
+	id, sr := resolve(dst, r)
+	if sr.Empty() {
+		return
+	}
+	d.surface(id).FillTile(sr, tile)
+	d.Stats.Tiles++
+	d.drv.FillTile(id, sr, tile)
+}
+
+// StippleRect paints r through the 1-bit stipple bm anchored at r's
+// origin, fg for set bits, bg (or nothing when gc.Transparent) for
+// clear bits — the request that becomes BITMAP.
+func (d *Display) StippleRect(dst Drawable, gc *GC, bm *fb.Bitmap, r geom.Rect) {
+	id, sr := resolve(dst, r)
+	if sr.Empty() {
+		return
+	}
+	// The fb stipple anchors at the passed rect's origin; preserve the
+	// unclipped origin so partial clips keep bit alignment.
+	_, off, _ := dst.target()
+	full := r.Translate(off.X, off.Y)
+	d.surface(id).FillBitmap(full, bm, gc.Fg, gc.Bg, gc.Transparent)
+	d.Stats.Stipples++
+	d.drv.FillStipple(id, full, bm, gc.Fg, gc.Bg, gc.Transparent)
+}
+
+// PutImage writes pixels (row-major, stride in pixels) into r — the
+// request that becomes RAW.
+func (d *Display) PutImage(dst Drawable, r geom.Rect, pix []pixel.ARGB, stride int) {
+	id, sr := resolve(dst, r)
+	if sr.Empty() {
+		return
+	}
+	_, off, _ := dst.target()
+	full := r.Translate(off.X, off.Y)
+	// Re-base the pixel slice to the clipped rect.
+	sub := pix[(sr.Y0-full.Y0)*stride+(sr.X0-full.X0):]
+	d.surface(id).PutImage(sr, sub, stride)
+	d.Stats.Puts++
+	d.drv.PutImage(id, sr, sub, stride)
+}
+
+// PutImageScanlines issues PutImage one scanline at a time — how real
+// applications rasterize large images, and the small-update flood
+// THINC's update aggregation is designed to absorb (§4).
+func (d *Display) PutImageScanlines(dst Drawable, r geom.Rect, pix []pixel.ARGB, stride int) {
+	for y := 0; y < r.H(); y++ {
+		row := geom.XYWH(r.X0, r.Y0+y, r.W(), 1)
+		d.PutImage(dst, row, pix[y*stride:], stride)
+	}
+}
+
+// Composite alpha-blends pixels over r — the compositing request path
+// (anti-aliased content, translucent UI).
+func (d *Display) Composite(dst Drawable, r geom.Rect, pix []pixel.ARGB, stride int) {
+	id, sr := resolve(dst, r)
+	if sr.Empty() {
+		return
+	}
+	_, off, _ := dst.target()
+	full := r.Translate(off.X, off.Y)
+	sub := pix[(sr.Y0-full.Y0)*stride+(sr.X0-full.X0):]
+	d.surface(id).CompositeOver(sr, sub, stride)
+	d.Stats.Composites++
+	d.drv.Composite(id, sr, sub, stride)
+}
+
+// CopyArea copies sr (src-local) to dp (dst-local). Window-to-window on
+// the screen becomes the scroll/move COPY; pixmap-to-window is the
+// offscreen flip THINC's translation layer turns back into semantic
+// commands (§4.1); pixmap-to-pixmap composes offscreen hierarchies.
+func (d *Display) CopyArea(dst Drawable, src Drawable, sr geom.Rect, dp geom.Point) {
+	sid, soff, sclip := src.target()
+	did, doff, dclip := dst.target()
+	// Translate to surface coordinates.
+	ssr := sr.Translate(soff.X, soff.Y).Intersect(sclip)
+	if ssr.Empty() {
+		return
+	}
+	dpt := dp.Add(doff)
+	// Clip the destination; shrink the source to match.
+	dr := geom.XYWH(dpt.X, dpt.Y, ssr.W(), ssr.H()).Intersect(dclip)
+	if dr.Empty() {
+		return
+	}
+	ssr = geom.Rect{
+		X0: ssr.X0 + (dr.X0 - dpt.X),
+		Y0: ssr.Y0 + (dr.Y0 - dpt.Y),
+		X1: ssr.X0 + (dr.X0 - dpt.X) + dr.W(),
+		Y1: ssr.Y0 + (dr.Y0 - dpt.Y) + dr.H(),
+	}
+	if sid == did {
+		d.surface(sid).Copy(ssr, dr.Origin())
+	} else {
+		d.surface(did).CopyFrom(d.surface(sid), ssr, dr.Origin())
+	}
+	d.Stats.Copies++
+	d.drv.CopyArea(did, sid, ssr, dr.Origin())
+}
+
+// InjectInput reports a user input event at p (screen coordinates) to
+// the driver so it can mark nearby updates real-time (§5). Mouse input
+// also moves the hardware cursor.
+func (d *Display) InjectInput(p geom.Point) {
+	d.drv.NotifyInput(p)
+	d.MoveCursor(p)
+}
+
+// SetCursor installs the session's cursor image (row-major ARGB, hot
+// spot relative to the image origin) — the DDX cursor entrypoint.
+func (d *Display) SetCursor(img []pixel.ARGB, w, h int, hot geom.Point) {
+	if len(img) != w*h || w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("xserver: cursor %dx%d with %d pixels", w, h, len(img)))
+	}
+	d.cursorImg = append([]pixel.ARGB(nil), img...)
+	d.cursorW, d.cursorH = w, h
+	d.cursorHot = hot
+	d.drv.SetCursor(d.cursorImg, w, h, hot)
+}
+
+// MoveCursor repositions the hardware cursor.
+func (d *Display) MoveCursor(p geom.Point) {
+	d.cursorPos = p
+	d.drv.MoveCursor(p)
+}
+
+// CursorPos returns the current cursor position.
+func (d *Display) CursorPos() geom.Point { return d.cursorPos }

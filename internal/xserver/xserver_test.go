@@ -1,0 +1,370 @@
+package xserver
+
+import (
+	"testing"
+
+	"thinc/internal/driver"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// recordingDriver captures driver entrypoint invocations for assertions.
+type recordingDriver struct {
+	driver.Nop
+	mem    driver.Memory
+	calls  []string
+	fills  []geom.Rect
+	copies []struct {
+		dst, src driver.DrawableID
+		sr       geom.Rect
+		dp       geom.Point
+	}
+	inputs []geom.Point
+	frames int
+}
+
+func (r *recordingDriver) Init(mem driver.Memory, w, h int) {
+	r.mem = mem
+	r.calls = append(r.calls, "init")
+}
+
+func (r *recordingDriver) CreatePixmap(d driver.DrawableID, w, h int) {
+	r.calls = append(r.calls, "createpixmap")
+}
+
+func (r *recordingDriver) DestroyPixmap(d driver.DrawableID) {
+	r.calls = append(r.calls, "destroypixmap")
+}
+
+func (r *recordingDriver) FillSolid(d driver.DrawableID, rt geom.Rect, c pixel.ARGB) {
+	r.calls = append(r.calls, "fill")
+	r.fills = append(r.fills, rt)
+}
+
+func (r *recordingDriver) CopyArea(dst, src driver.DrawableID, sr geom.Rect, dp geom.Point) {
+	r.calls = append(r.calls, "copy")
+	r.copies = append(r.copies, struct {
+		dst, src driver.DrawableID
+		sr       geom.Rect
+		dp       geom.Point
+	}{dst, src, sr, dp})
+}
+
+func (r *recordingDriver) VideoFrame(stream uint32, f *pixel.YV12Image, pts uint64) {
+	r.frames++
+}
+
+func (r *recordingDriver) NotifyInput(p geom.Point) { r.inputs = append(r.inputs, p) }
+
+func TestWindowDrawingReachesScreenAndDriver(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(100, 100, rd)
+	w := d.CreateWindow(geom.XYWH(10, 10, 50, 50))
+	gc := &GC{Fg: pixel.RGB(255, 0, 0)}
+
+	d.FillRect(w, gc, geom.XYWH(0, 0, 20, 20)) // window-local
+	if d.Screen().At(10, 10) != gc.Fg || d.Screen().At(29, 29) != gc.Fg {
+		t.Error("fill not rendered at translated position")
+	}
+	if d.Screen().At(30, 30) == gc.Fg {
+		t.Error("fill leaked outside requested rect")
+	}
+	if len(rd.fills) != 1 || rd.fills[0] != geom.XYWH(10, 10, 20, 20) {
+		t.Errorf("driver saw fills %v", rd.fills)
+	}
+}
+
+func TestWindowClipping(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(100, 100, rd)
+	w := d.CreateWindow(geom.XYWH(10, 10, 20, 20))
+	gc := &GC{Fg: pixel.RGB(0, 255, 0)}
+	// Fill larger than the window must clip to it.
+	d.FillRect(w, gc, geom.XYWH(-5, -5, 100, 100))
+	if d.Screen().At(9, 9) == gc.Fg || d.Screen().At(30, 30) == gc.Fg {
+		t.Error("fill escaped window clip")
+	}
+	if d.Screen().At(10, 10) != gc.Fg || d.Screen().At(29, 29) != gc.Fg {
+		t.Error("fill missing inside window")
+	}
+	if rd.fills[0] != geom.XYWH(10, 10, 20, 20) {
+		t.Errorf("driver rect not clipped: %v", rd.fills[0])
+	}
+}
+
+func TestEmptyOpsSkipDriver(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(50, 50, rd)
+	w := d.CreateWindow(geom.XYWH(0, 0, 50, 50))
+	d.FillRect(w, &GC{}, geom.XYWH(60, 60, 5, 5)) // fully clipped
+	for _, c := range rd.calls {
+		if c == "fill" {
+			t.Error("fully clipped fill reached the driver")
+		}
+	}
+}
+
+func TestPixmapLifecycle(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(50, 50, rd)
+	p := d.CreatePixmap(16, 16)
+	gc := &GC{Fg: pixel.RGB(1, 2, 3)}
+	d.FillRect(p, gc, p.Bounds())
+	if got := d.ReadPixels(p.target2(), p.Bounds()); got[0] != gc.Fg {
+		t.Error("pixmap rendering missing")
+	}
+	d.FreePixmap(p)
+	d.FreePixmap(p) // double free is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Error("drawing on freed pixmap should panic")
+		}
+	}()
+	d.FillRect(p, gc, p.Bounds())
+}
+
+// target2 exposes the drawable id for test assertions.
+func (p *Pixmap) target2() driver.DrawableID { return p.id }
+
+func TestCopyAreaPixmapToWindow(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(100, 100, rd)
+	w := d.CreateWindow(geom.XYWH(0, 0, 100, 100))
+	p := d.CreatePixmap(10, 10)
+	gc := &GC{Fg: pixel.RGB(200, 100, 0)}
+	d.FillRect(p, gc, p.Bounds())
+
+	d.CopyArea(w, p, p.Bounds(), geom.Point{X: 40, Y: 40})
+	if d.Screen().At(40, 40) != gc.Fg || d.Screen().At(49, 49) != gc.Fg {
+		t.Error("pixmap contents not copied to screen")
+	}
+	if len(rd.copies) != 1 {
+		t.Fatalf("driver saw %d copies", len(rd.copies))
+	}
+	c := rd.copies[0]
+	if !c.dst.IsScreen() || c.src.IsScreen() {
+		t.Error("copy drawables wrong")
+	}
+	if c.dp != (geom.Point{X: 40, Y: 40}) {
+		t.Errorf("copy dest %v", c.dp)
+	}
+}
+
+func TestCopyAreaScrollSameSurface(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(40, 40, rd)
+	w := d.CreateWindow(geom.XYWH(0, 0, 40, 40))
+	gc := &GC{Fg: pixel.RGB(9, 9, 9)}
+	d.FillRect(w, gc, geom.XYWH(0, 10, 40, 5))
+	// Scroll up by 10.
+	d.CopyArea(w, w, geom.XYWH(0, 10, 40, 30), geom.Point{X: 0, Y: 0})
+	if d.Screen().At(5, 0) != gc.Fg {
+		t.Error("scroll did not move content up")
+	}
+}
+
+func TestCopyAreaClipsDestination(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(30, 30, rd)
+	w := d.CreateWindow(geom.XYWH(0, 0, 30, 30))
+	p := d.CreatePixmap(20, 20)
+	d.FillRect(p, &GC{Fg: pixel.RGB(7, 7, 7)}, p.Bounds())
+	// Destination hangs off the screen; both rects must shrink together.
+	d.CopyArea(w, p, p.Bounds(), geom.Point{X: 25, Y: 25})
+	c := rd.copies[0]
+	if c.sr.W() != 5 || c.sr.H() != 5 {
+		t.Errorf("source not shrunk with clip: %v", c.sr)
+	}
+	if d.Screen().At(29, 29) != pixel.RGB(7, 7, 7) {
+		t.Error("clipped copy content missing")
+	}
+}
+
+func TestPutImageScanlines(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(20, 20, rd)
+	w := d.CreateWindow(geom.XYWH(0, 0, 20, 20))
+	r := geom.XYWH(2, 2, 8, 4)
+	pix := make([]pixel.ARGB, r.Area())
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i), 0, 0)
+	}
+	d.PutImageScanlines(w, r, pix, r.W())
+	if d.Stats.Puts != 4 {
+		t.Errorf("expected 4 scanline puts, got %d", d.Stats.Puts)
+	}
+	got := d.Screen().ReadImage(r)
+	for i := range pix {
+		if got[i] != pix[i] {
+			t.Fatalf("pixel %d mismatch", i)
+		}
+	}
+}
+
+func TestCompositeOnWindow(t *testing.T) {
+	d := NewDisplay(10, 10, &recordingDriver{})
+	w := d.CreateWindow(geom.XYWH(0, 0, 10, 10))
+	d.FillRect(w, &GC{Fg: pixel.RGB(0, 0, 0)}, w.Bounds())
+	img := []pixel.ARGB{pixel.PackARGB(128, 255, 255, 255)}
+	d.Composite(w, geom.XYWH(5, 5, 1, 1), img, 1)
+	if r := d.Screen().At(5, 5).R(); r < 120 || r > 136 {
+		t.Errorf("composite R=%d, want ~128", r)
+	}
+}
+
+func TestDrawTextInkAndStats(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(200, 40, rd)
+	w := d.CreateWindow(geom.XYWH(0, 0, 200, 40))
+	gc := &GC{Fg: pixel.RGB(255, 255, 255)}
+	box := d.DrawText(w, gc, 5, 5, "hello")
+	if d.Stats.Stipples != 5 {
+		t.Errorf("5 glyphs should be 5 stipples, got %d", d.Stats.Stipples)
+	}
+	if box != geom.XYWH(5, 5, 5*GlyphW, GlyphH) {
+		t.Errorf("text box = %v", box)
+	}
+	// Some ink must have landed.
+	ink := 0
+	for _, p := range d.Screen().ReadImage(box) {
+		if p == gc.Fg {
+			ink++
+		}
+	}
+	if ink == 0 {
+		t.Error("no ink rendered")
+	}
+	// Spaces draw nothing; newline advances.
+	d.Stats.Stipples = 0
+	d.DrawText(w, gc, 5, 20, "a b\nc")
+	if d.Stats.Stipples != 4 {
+		t.Errorf("'a b\\nc' should be 4 stipples, got %d", d.Stats.Stipples)
+	}
+}
+
+func TestGlyphDeterministic(t *testing.T) {
+	a1, a2 := Glyph('A'), Glyph('A')
+	if a1 != a2 {
+		t.Error("glyph cache should return identical bitmap")
+	}
+	b := Glyph('B')
+	same := true
+	for y := 0; y < GlyphH && same; y++ {
+		for x := 0; x < GlyphW; x++ {
+			if a1.BitAt(x, y) != b.BitAt(x, y) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("distinct characters should have distinct glyphs")
+	}
+	sp := Glyph(' ')
+	for y := 0; y < GlyphH; y++ {
+		for x := 0; x < GlyphW; x++ {
+			if sp.BitAt(x, y) {
+				t.Fatal("space must be empty")
+			}
+		}
+	}
+}
+
+func TestVideoPortLifecycle(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(64, 48, rd)
+	vp := d.CreateVideoPort(16, 12, geom.XYWH(0, 0, 64, 48))
+	pix := make([]pixel.ARGB, 16*12)
+	for i := range pix {
+		pix[i] = pixel.RGB(100, 50, 25)
+	}
+	frame := pixel.EncodeYV12(pix, 16, 16, 12)
+	vp.PutFrame(frame, 0)
+	if rd.frames != 1 || d.Stats.VideoFrames != 1 {
+		t.Error("frame not delivered to driver")
+	}
+	got := d.Screen().At(32, 24)
+	if dr := int(got.R()) - 100; dr < -8 || dr > 8 {
+		t.Errorf("video not rendered to screen: %v", got)
+	}
+	vp.Move(geom.XYWH(10, 10, 20, 20))
+	if vp.Dst() != geom.XYWH(10, 10, 20, 20) {
+		t.Error("move not applied")
+	}
+	vp.Close()
+	vp.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("PutFrame after Close should panic")
+		}
+	}()
+	vp.PutFrame(frame, 1)
+}
+
+func TestInjectInput(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(10, 10, rd)
+	d.InjectInput(geom.Point{X: 3, Y: 4})
+	if len(rd.inputs) != 1 || rd.inputs[0] != (geom.Point{X: 3, Y: 4}) {
+		t.Error("input not forwarded to driver")
+	}
+}
+
+func TestLocalDriverNopKeepsScreenAuthoritative(t *testing.T) {
+	// With the Nop driver (local PC), the screen surface is the display.
+	d := NewDisplay(32, 32, driver.Nop{})
+	w := d.CreateWindow(geom.XYWH(0, 0, 32, 32))
+	tile := fb.NewTile(2, 2, []pixel.ARGB{
+		pixel.RGB(1, 1, 1), pixel.RGB(2, 2, 2),
+		pixel.RGB(2, 2, 2), pixel.RGB(1, 1, 1),
+	})
+	d.TileRect(w, tile, geom.XYWH(0, 0, 32, 32))
+	if d.Screen().At(0, 0) != pixel.RGB(1, 1, 1) || d.Screen().At(1, 0) != pixel.RGB(2, 2, 2) {
+		t.Error("tile not rendered")
+	}
+}
+
+func TestMoveWindow(t *testing.T) {
+	rd := &recordingDriver{}
+	d := NewDisplay(100, 100, rd)
+	w := d.CreateWindow(geom.XYWH(10, 10, 30, 20))
+	gc := &GC{Fg: pixel.RGB(99, 50, 10)}
+	d.FillRect(w, gc, geom.XYWH(0, 0, 30, 20))
+	desktop := pixel.RGB(5, 5, 5)
+
+	d.MoveWindow(w, geom.Point{X: 50, Y: 40}, desktop)
+	if w.Bounds() != geom.XYWH(50, 40, 30, 20) {
+		t.Fatalf("window bounds %v", w.Bounds())
+	}
+	// Contents moved.
+	if d.Screen().At(55, 45) != gc.Fg || d.Screen().At(79, 59) != gc.Fg {
+		t.Error("window contents did not move")
+	}
+	// Old location exposed to the desktop.
+	if d.Screen().At(15, 15) != desktop {
+		t.Errorf("exposed area %v", d.Screen().At(15, 15))
+	}
+	// The driver saw exactly one copy plus expose fills.
+	if len(rd.copies) != 1 {
+		t.Errorf("driver saw %d copies, want 1", len(rd.copies))
+	}
+	// Drawing now lands at the new position.
+	d.FillRect(w, &GC{Fg: pixel.RGB(1, 2, 3)}, geom.XYWH(0, 0, 5, 5))
+	if d.Screen().At(52, 42) != pixel.RGB(1, 2, 3) {
+		t.Error("drawing did not follow the window")
+	}
+}
+
+func TestMoveWindowClipsAtEdge(t *testing.T) {
+	d := NewDisplay(60, 60, &recordingDriver{})
+	w := d.CreateWindow(geom.XYWH(0, 0, 30, 30))
+	d.FillRect(w, &GC{Fg: pixel.RGB(7, 7, 7)}, w.Bounds())
+	d.MoveWindow(w, geom.Point{X: 45, Y: 45}, pixel.RGB(0, 0, 0))
+	if w.Bounds() != geom.XYWH(45, 45, 15, 15) {
+		t.Fatalf("clipped bounds %v", w.Bounds())
+	}
+	if d.Screen().At(50, 50) != pixel.RGB(7, 7, 7) {
+		t.Error("clipped move lost content")
+	}
+}
