@@ -28,6 +28,7 @@ func main() {
 	vh := flag.Int("view-height", 0, "viewport height (0 = session size)")
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
 	click := flag.Bool("click", false, "send a test mouse click after connecting")
+	reconnect := flag.Bool("reconnect", false, "auto-reconnect with backoff and resume the session by ticket")
 	flag.Parse()
 
 	conn, err := client.Dial(*addr, *user, *pass, *vw, *vh)
@@ -40,7 +41,14 @@ func main() {
 		conn.ServerW, conn.ServerH, conn.Snapshot().W(), conn.Snapshot().H())
 
 	done := make(chan error, 1)
-	go func() { done <- conn.Run() }()
+	if *reconnect {
+		// Detect a dead server promptly (its heartbeats arrive well
+		// within this window) and redial instead of exiting.
+		conn.ReadTimeout = 30 * time.Second
+		go func() { done <- conn.RunAuto(client.ReconnectPolicy{}) }()
+	} else {
+		go func() { done <- conn.Run() }()
+	}
 
 	if *click {
 		_ = conn.SendInput(&wire.Input{
@@ -58,6 +66,8 @@ func main() {
 	}
 
 	st := conn.Stats()
+	fmt.Printf("state: %v, reconnects: %d, pongs answered: %d\n",
+		st.State, st.Reconnects, st.PongsSent)
 	fmt.Printf("screen checksum: %08x\n", conn.Snapshot().Checksum())
 	fmt.Printf("%-12s %10s %12s\n", "command", "count", "bytes")
 	var types []wire.Type

@@ -39,6 +39,10 @@ func main() {
 	h := flag.Int("height", 768, "session framebuffer height")
 	demo := flag.Bool("demo", true, "run the built-in demo application")
 	record := flag.String("record", "", "record the session's command stream to a file (see thinc-replay)")
+	hbInterval := flag.Duration("heartbeat", time.Second, "heartbeat ping interval")
+	hbTimeout := flag.Duration("heartbeat-timeout", 0, "silence before a peer is reaped (0 = 3x heartbeat)")
+	detachGrace := flag.Duration("detach-grace", 30*time.Second, "how long a dropped session may reattach with its ticket (negative disables)")
+	maxBacklog := flag.Int("max-backlog", 32<<20, "per-client command backlog bound in bytes before a forced resync (negative disables)")
 	flag.Parse()
 
 	accounts := auth.NewAccounts()
@@ -50,8 +54,12 @@ func main() {
 
 	app := &demoApp{}
 	host := server.NewHost(*w, *h, gate, server.Options{
-		Core:    core.Options{RawCodec: compress.CodecPNG},
-		OnInput: app.input,
+		Core:              core.Options{RawCodec: compress.CodecPNG},
+		OnInput:           app.input,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatTimeout:  *hbTimeout,
+		DetachGrace:       *detachGrace,
+		MaxBacklogBytes:   *maxBacklog,
 	})
 	app.host = host
 

@@ -16,7 +16,8 @@ import (
 )
 
 // Stats is the client-side instrumentation: message and byte counts per
-// command type, plus audio/video delivery accounting.
+// command type, plus audio/video delivery accounting. When read through
+// Conn.Stats, the connection lifecycle fields are populated too.
 type Stats struct {
 	Messages map[wire.Type]int
 	Bytes    map[wire.Type]int64
@@ -25,6 +26,11 @@ type Stats struct {
 	AudioChunks int
 	LastVideoTS uint64
 	LastAudioTS uint64
+
+	// Connection lifecycle (Conn.Stats only).
+	State      ConnState
+	Reconnects int
+	PongsSent  int
 }
 
 // Client is a THINC display client.

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -13,15 +14,60 @@ import (
 	"thinc/internal/wire"
 )
 
+// ConnState is the observable lifecycle of a Conn.
+type ConnState int32
+
+// Connection states.
+const (
+	// StateConnected: the transport is up and the update stream flows.
+	StateConnected ConnState = iota
+	// StateReconnecting: the transport dropped and the auto-reconnect
+	// loop is dialing with backoff.
+	StateReconnecting
+	// StateGone: the connection is closed for good — either Close was
+	// called or reconnection gave up.
+	StateGone
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case StateConnected:
+		return "connected"
+	case StateReconnecting:
+		return "reconnecting"
+	case StateGone:
+		return "gone"
+	}
+	return fmt.Sprintf("ConnState(%d)", int32(s))
+}
+
 // Conn is a THINC client connected over a real network transport: it
 // authenticates, decrypts the update stream, executes commands into
-// the local framebuffer, and forwards user input (§3, §7).
+// the local framebuffer, and forwards user input (§3, §7). It answers
+// server heartbeats, stores the server's session ticket, and — when
+// built by Dial/DialWith — can redial and resume the session after a
+// transport failure.
 type Conn struct {
-	nc  net.Conn
-	enc *cipher.StreamConn
+	dial         func() (net.Conn, error) // nil when built over a raw transport
+	user, secret string
 
-	mu sync.Mutex
-	c  *Client
+	// ReadTimeout, when positive, bounds how long Run waits for any
+	// server traffic (the server heartbeats well inside it). Zero means
+	// wait forever — the pre-resilience behavior.
+	ReadTimeout time.Duration
+
+	mu     sync.Mutex
+	nc     net.Conn
+	enc    *cipher.StreamConn
+	c      *Client
+	ticket []byte
+	state  ConnState
+	closed bool
+
+	reconnects int
+	pongsSent  int
+
+	wmu sync.Mutex // serializes protocol writes (input, pongs)
 
 	// ServerW and ServerH are the session's true framebuffer geometry;
 	// with a smaller viewport the server scales for us (§6).
@@ -31,7 +77,15 @@ type Conn struct {
 // Dial connects, authenticates as user with the given secret, and
 // completes the display handshake with a viewW x viewH viewport.
 func Dial(addr, user, secret string, viewW, viewH int) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialWith(func() (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	}, user, secret, viewW, viewH)
+}
+
+// DialWith is Dial over a caller-supplied transport dialer — tests use
+// it to interpose fault injection; Redial reuses it to reconnect.
+func DialWith(dial func() (net.Conn, error), user, secret string, viewW, viewH int) (*Conn, error) {
+	nc, err := dial()
 	if err != nil {
 		return nil, err
 	}
@@ -40,71 +94,165 @@ func Dial(addr, user, secret string, viewW, viewH int) (*Conn, error) {
 		nc.Close()
 		return nil, err
 	}
+	c.dial = dial
 	return c, nil
 }
 
 // Handshake runs the client side of the protocol handshake over an
 // established transport (used directly by tests over net.Pipe).
 func Handshake(nc net.Conn, user, secret string, viewW, viewH int) (*Conn, error) {
-	_ = nc.SetDeadline(time.Now().Add(10 * time.Second))
-	m, err := wire.ReadMessage(nc)
+	enc, si, err := handshake(nc, user, secret,
+		&wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: user})
 	if err != nil {
 		return nil, err
 	}
-	ch, ok := m.(*wire.AuthChallenge)
-	if !ok {
-		return nil, fmt.Errorf("client: expected challenge, got %v", m.Type())
-	}
-	if err := wire.WriteMessage(nc, &wire.AuthResponse{
-		User: user, Proof: auth.Proof(secret, ch.Nonce),
-	}); err != nil {
-		return nil, err
-	}
-	m, err = wire.ReadMessage(nc)
-	if err != nil {
-		return nil, err
-	}
-	res, ok := m.(*wire.AuthResult)
-	if !ok {
-		return nil, fmt.Errorf("client: expected auth result, got %v", m.Type())
-	}
-	if !res.OK {
-		return nil, fmt.Errorf("client: authentication refused: %s", res.Reason)
-	}
-
-	enc, err := cipher.NewStreamConn(nc, auth.SessionKey(secret, ch.Nonce), false)
-	if err != nil {
-		return nil, err
-	}
-	if err := wire.WriteMessage(enc, &wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: user}); err != nil {
-		return nil, err
-	}
-	m, err = wire.ReadMessage(enc)
-	if err != nil {
-		return nil, err
-	}
-	si, ok := m.(*wire.ServerInit)
-	if !ok {
-		return nil, fmt.Errorf("client: expected server init, got %v", m.Type())
-	}
-	_ = nc.SetDeadline(time.Time{})
-
 	if viewW <= 0 || viewH <= 0 || viewW > si.W || viewH > si.H {
 		viewW, viewH = si.W, si.H
 	}
 	return &Conn{
 		nc: nc, enc: enc,
+		user: user, secret: secret,
 		c:       New(viewW, viewH),
 		ServerW: si.W, ServerH: si.H,
 	}, nil
 }
 
+// handshake authenticates, switches to the encrypted transport, sends
+// the hello (ClientInit or Reattach), and reads the ServerInit.
+func handshake(nc net.Conn, user, secret string, hello wire.Message) (*cipher.StreamConn, *wire.ServerInit, error) {
+	_ = nc.SetDeadline(time.Now().Add(10 * time.Second))
+	m, err := wire.ReadMessage(nc)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, ok := m.(*wire.AuthChallenge)
+	if !ok {
+		return nil, nil, fmt.Errorf("client: expected challenge, got %v", m.Type())
+	}
+	if err := wire.WriteMessage(nc, &wire.AuthResponse{
+		User: user, Proof: auth.Proof(secret, ch.Nonce),
+	}); err != nil {
+		return nil, nil, err
+	}
+	m, err = wire.ReadMessage(nc)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, ok := m.(*wire.AuthResult)
+	if !ok {
+		return nil, nil, fmt.Errorf("client: expected auth result, got %v", m.Type())
+	}
+	if !res.OK {
+		return nil, nil, fmt.Errorf("client: authentication refused: %s", res.Reason)
+	}
+
+	enc, err := cipher.NewStreamConn(nc, auth.SessionKey(secret, ch.Nonce), false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := wire.WriteMessage(enc, hello); err != nil {
+		return nil, nil, err
+	}
+	m, err = wire.ReadMessage(enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	si, ok := m.(*wire.ServerInit)
+	if !ok {
+		return nil, nil, fmt.Errorf("client: expected server init, got %v", m.Type())
+	}
+	_ = nc.SetDeadline(time.Time{})
+	return enc, si, nil
+}
+
+// Redial dials a fresh transport and resumes the session: it presents
+// the saved session ticket in a Reattach (falling back to a plain
+// ClientInit when no ticket has been received yet) and swaps the new
+// transport in. The local framebuffer is kept — the server's resync is
+// a full-screen RAW, so the screen converges regardless of what was
+// missed while disconnected.
+func (cn *Conn) Redial() error {
+	cn.mu.Lock()
+	dial := cn.dial
+	ticket := append([]byte(nil), cn.ticket...)
+	viewW, viewH := cn.c.FB().W(), cn.c.FB().H()
+	closed := cn.closed
+	cn.mu.Unlock()
+	if closed {
+		return errors.New("client: connection closed")
+	}
+	if dial == nil {
+		return errors.New("client: no dialer (connection built over a raw transport)")
+	}
+
+	nc, err := dial()
+	if err != nil {
+		return err
+	}
+	var hello wire.Message
+	if len(ticket) > 0 {
+		hello = &wire.Reattach{Ticket: ticket, ViewW: viewW, ViewH: viewH, Name: cn.user}
+	} else {
+		hello = &wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: cn.user}
+	}
+	enc, si, err := handshake(nc, cn.user, cn.secret, hello)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		nc.Close()
+		return errors.New("client: connection closed")
+	}
+	old := cn.nc
+	cn.nc, cn.enc = nc, enc
+	cn.ServerW, cn.ServerH = si.W, si.H
+	cn.ticket = nil // the old ticket is spent; the server pushes a fresh one
+	cn.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
 // Run applies the update stream until the connection fails or closes.
+// Heartbeats are answered and session tickets stored in-line; unknown
+// well-framed message types are skipped (forward compatibility).
 func (cn *Conn) Run() error {
 	for {
-		m, err := wire.ReadMessage(cn.enc)
+		cn.mu.Lock()
+		nc, enc := cn.nc, cn.enc
+		rt := cn.ReadTimeout
+		cn.mu.Unlock()
+		if rt > 0 {
+			_ = nc.SetReadDeadline(time.Now().Add(rt))
+		}
+		m, err := wire.ReadMessage(enc)
 		if err != nil {
+			if errors.Is(err, wire.ErrUnknownType) {
+				continue
+			}
 			return err
+		}
+		switch v := m.(type) {
+		case *wire.Ping:
+			if err := cn.send(&wire.Pong{Seq: v.Seq, TimeUS: v.TimeUS}); err != nil {
+				return err
+			}
+			cn.mu.Lock()
+			cn.pongsSent++
+			cn.mu.Unlock()
+			continue
+		case *wire.Pong:
+			continue // RTT probes we did not send; ignore
+		case *wire.SessionTicket:
+			cn.mu.Lock()
+			cn.ticket = append([]byte(nil), v.Ticket...)
+			cn.mu.Unlock()
+			continue
 		}
 		cn.mu.Lock()
 		err = cn.c.Apply(m)
@@ -113,6 +261,37 @@ func (cn *Conn) Run() error {
 			return err
 		}
 	}
+}
+
+// send writes one protocol message on the current transport.
+func (cn *Conn) send(m wire.Message) error {
+	cn.mu.Lock()
+	enc := cn.enc
+	cn.mu.Unlock()
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	return wire.WriteMessage(enc, m)
+}
+
+// State returns the connection's lifecycle state.
+func (cn *Conn) State() ConnState {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.state
+}
+
+func (cn *Conn) setState(s ConnState) {
+	cn.mu.Lock()
+	cn.state = s
+	cn.mu.Unlock()
+}
+
+// Ticket returns a copy of the last session ticket the server issued
+// (nil before the first one arrives).
+func (cn *Conn) Ticket() []byte {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return append([]byte(nil), cn.ticket...)
 }
 
 // Snapshot returns a copy of the current framebuffer.
@@ -137,7 +316,8 @@ func (cn *Conn) CursorPos() geom.Point {
 	return cn.c.CursorPos()
 }
 
-// Stats returns a copy of the client instrumentation counters.
+// Stats returns a copy of the client instrumentation counters,
+// including the connection state and reconnect accounting.
 func (cn *Conn) Stats() Stats {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
@@ -150,19 +330,22 @@ func (cn *Conn) Stats() Stats {
 	for k, v := range cn.c.Stats().Bytes {
 		s.Bytes[k] = v
 	}
+	s.State = cn.state
+	s.Reconnects = cn.reconnects
+	s.PongsSent = cn.pongsSent
 	return s
 }
 
 // SendInput forwards a user input event. Coordinates are in server
 // framebuffer space; callers using a scaled viewport map them first.
 func (cn *Conn) SendInput(ev *wire.Input) error {
-	return wire.WriteMessage(cn.enc, ev)
+	return cn.send(ev)
 }
 
 // RequestResize asks the server to rescale updates to a new viewport.
 // The local framebuffer is replaced at the new geometry.
 func (cn *Conn) RequestResize(viewW, viewH int) error {
-	if err := wire.WriteMessage(cn.enc, &wire.Resize{ViewW: viewW, ViewH: viewH}); err != nil {
+	if err := cn.send(&wire.Resize{ViewW: viewW, ViewH: viewH}); err != nil {
 		return err
 	}
 	cn.mu.Lock()
@@ -171,5 +354,19 @@ func (cn *Conn) RequestResize(viewW, viewH int) error {
 	return nil
 }
 
-// Close tears the connection down.
-func (cn *Conn) Close() error { return cn.nc.Close() }
+// Close tears the connection down for good; RunAuto stops reconnecting.
+func (cn *Conn) Close() error {
+	cn.mu.Lock()
+	cn.closed = true
+	cn.state = StateGone
+	nc := cn.nc
+	cn.mu.Unlock()
+	return nc.Close()
+}
+
+// isClosed reports whether Close has been called.
+func (cn *Conn) isClosed() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.closed
+}

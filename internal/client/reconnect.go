@@ -1,0 +1,121 @@
+package client
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ReconnectPolicy tunes the auto-reconnect loop: exponential backoff
+// with jitter, capped, giving up after MaxAttempts consecutive failed
+// dials. The zero value picks sensible defaults.
+type ReconnectPolicy struct {
+	// Initial is the first backoff delay (default 50ms).
+	Initial time.Duration
+	// Max caps the backoff (default 5s).
+	Max time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized, 0..1 (default
+	// 0.2): each sleep is delay * (1 ± Jitter/2). Jitter desynchronizes
+	// the reconnect stampede after a server restart.
+	Jitter float64
+	// MaxAttempts is how many consecutive failed dials are tolerated
+	// before the connection is declared Gone (default 8).
+	MaxAttempts int
+	// Seed makes the jitter deterministic for tests (0 uses a fixed
+	// seed — reconnect schedules are reproducible by default).
+	Seed int64
+}
+
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.Initial <= 0 {
+		p.Initial = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	return p
+}
+
+// Backoff returns the sleep before attempt (0-based), jittered by rnd.
+func (p ReconnectPolicy) Backoff(attempt int, rnd *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		// delay * (1 - J/2 + J*u), u uniform in [0,1).
+		d *= 1 - p.Jitter/2 + p.Jitter*rnd.Float64()
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	return time.Duration(d)
+}
+
+// RunAuto runs the update stream like Run, but survives transport
+// failures: when the stream breaks it enters StateReconnecting, redials
+// with exponential backoff plus jitter, resumes the session with the
+// saved ticket, and continues. It returns nil after Close, or the last
+// stream error once MaxAttempts consecutive redials fail (the state is
+// then StateGone). The connection must have been built by Dial or
+// DialWith, so a dialer is available.
+func (cn *Conn) RunAuto(policy ReconnectPolicy) error {
+	policy = policy.withDefaults()
+	seed := policy.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rnd := rand.New(rand.NewSource(seed))
+
+	for {
+		cn.setState(StateConnected)
+		err := cn.Run()
+		if cn.isClosed() {
+			cn.setState(StateGone)
+			return nil
+		}
+		cn.mu.Lock()
+		hasDialer := cn.dial != nil
+		cn.mu.Unlock()
+		if !hasDialer {
+			cn.setState(StateGone)
+			return err
+		}
+
+		cn.setState(StateReconnecting)
+		reconnected := false
+		for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+			time.Sleep(policy.Backoff(attempt, rnd))
+			if cn.isClosed() {
+				cn.setState(StateGone)
+				return nil
+			}
+			if rerr := cn.Redial(); rerr == nil {
+				reconnected = true
+				break
+			}
+		}
+		if !reconnected {
+			cn.setState(StateGone)
+			return err
+		}
+		cn.mu.Lock()
+		cn.reconnects++
+		cn.mu.Unlock()
+	}
+}

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowsToCap: without jitter the schedule is a clean
+// exponential that saturates at Max.
+func TestBackoffGrowsToCap(t *testing.T) {
+	p := ReconnectPolicy{
+		Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond,
+		Multiplier: 2, Jitter: -1, // withDefaults resets negative to 0.2
+	}
+	// Disable jitter explicitly for exact values.
+	p.Jitter = 0
+	rnd := rand.New(rand.NewSource(1))
+
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i, rnd); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestBackoffJitterBounds: with jitter J, every delay lands within
+// [d*(1-J/2), d*(1+J/2)] of the nominal delay and never exceeds Max.
+func TestBackoffJitterBounds(t *testing.T) {
+	p := ReconnectPolicy{
+		Initial: 100 * time.Millisecond, Max: time.Second,
+		Multiplier: 2, Jitter: 0.4,
+	}
+	rnd := rand.New(rand.NewSource(42))
+	for attempt := 0; attempt < 6; attempt++ {
+		nominal := float64(100*time.Millisecond) * float64(int(1)<<attempt)
+		if nominal > float64(time.Second) {
+			nominal = float64(time.Second)
+		}
+		lo := time.Duration(nominal * 0.8)
+		for trial := 0; trial < 200; trial++ {
+			d := p.Backoff(attempt, rnd)
+			if d < lo || float64(d) > nominal*1.2+1 || d > time.Second {
+				t.Fatalf("Backoff(%d) = %v outside [%v, %v] (cap %v)",
+					attempt, d, lo, time.Duration(nominal*1.2), time.Second)
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministicWithSeed: the same seed yields the same
+// schedule — reconnect behaviour is reproducible in tests.
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	p := ReconnectPolicy{Jitter: 0.3}
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		if da, db := p.Backoff(i, a), p.Backoff(i, b); da != db {
+			t.Fatalf("attempt %d: %v != %v under the same seed", i, da, db)
+		}
+	}
+}
+
+// TestBackoffDefaults: the zero policy is usable — positive, growing,
+// capped delays.
+func TestBackoffDefaults(t *testing.T) {
+	var p ReconnectPolicy
+	rnd := rand.New(rand.NewSource(1))
+	prev := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		d := p.Backoff(i, rnd)
+		if d <= 0 {
+			t.Fatalf("Backoff(%d) = %v", i, d)
+		}
+		if d > 5*time.Second {
+			t.Fatalf("Backoff(%d) = %v exceeds the default cap", i, d)
+		}
+		if i < 4 && d < prev/2 {
+			t.Fatalf("Backoff(%d) = %v shrank sharply from %v before the cap", i, d, prev)
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"thinc/internal/compress"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+)
+
+// flushedBytes sums the framed wire size of a flush batch.
+func flushedBytes(msgs []wire.Message) int {
+	n := 0
+	for _, m := range msgs {
+		n += wire.WireSize(m)
+	}
+	return n
+}
+
+// TestFlushBudgetBoundsBytes: every Flush call emits at most the
+// offered budget — the non-blocking commit guarantee of §5. An
+// oversized RAW is split so the budget still holds, and the buffer
+// drains completely over successive flushes.
+func TestFlushBudgetBoundsBytes(t *testing.T) {
+	b := NewClientBuffer()
+
+	// One RAW far larger than the budget, plus small companions.
+	big := geom.XYWH(0, 0, 64, 64) // 16 KB of pixels
+	pix := make([]pixel.ARGB, big.Area())
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i), uint8(i>>8), 7)
+	}
+	b.Add(NewRaw(big, pix, big.W(), false, compress.CodecNone))
+	b.Add(NewFill(geom.XYWH(100, 0, 10, 10), pixel.RGB(1, 2, 3)))
+	b.Add(NewFill(geom.XYWH(100, 20, 10, 10), pixel.RGB(4, 5, 6)))
+
+	const budget = 2048
+	flushes := 0
+	for b.Len() > 0 {
+		msgs := b.Flush(budget)
+		if len(msgs) == 0 {
+			t.Fatalf("flush %d made no progress with %d commands queued", flushes, b.Len())
+		}
+		if n := flushedBytes(msgs); n > budget {
+			t.Fatalf("flush %d emitted %d bytes, budget %d", flushes, n, budget)
+		}
+		flushes++
+		if flushes > 100 {
+			t.Fatal("buffer did not drain")
+		}
+	}
+
+	// 16 KB of RAW through a 2 KB budget needs several flush periods and
+	// must have split the RAW.
+	if flushes < 8 {
+		t.Fatalf("drained in %d flushes; budget not limiting", flushes)
+	}
+	if b.Stats.Splits == 0 {
+		t.Fatal("oversized RAW was never split")
+	}
+	if b.QueuedBytes() != 0 {
+		t.Fatalf("QueuedBytes = %d after drain", b.QueuedBytes())
+	}
+}
+
+// TestFlushBudgetSplitConverges: delivering a split RAW in pieces
+// reproduces exactly the same framebuffer as delivering it whole.
+func TestFlushBudgetSplitConverges(t *testing.T) {
+	r := geom.XYWH(3, 5, 50, 40)
+	pix := make([]pixel.ARGB, r.Area())
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(3*i), uint8(5*i), uint8(7*i))
+	}
+
+	apply := func(msgs []wire.Message) *fb.Framebuffer {
+		dst := fb.New(64, 64)
+		for _, m := range msgs {
+			raw := m.(*wire.Raw)
+			p, err := raw.Pixels()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst.PutImage(raw.Rect, p, raw.Rect.W())
+		}
+		return dst
+	}
+
+	whole := NewClientBuffer()
+	whole.Add(NewRaw(r, pix, r.W(), false, compress.CodecNone))
+	want := apply(whole.FlushAll())
+
+	split := NewClientBuffer()
+	split.Add(NewRaw(r, pix, r.W(), false, compress.CodecNone))
+	var msgs []wire.Message
+	for split.Len() > 0 {
+		batch := split.Flush(1024)
+		if len(batch) == 0 {
+			t.Fatal("no progress")
+		}
+		msgs = append(msgs, batch...)
+	}
+	if len(msgs) < 2 {
+		t.Fatalf("expected the RAW to split, got %d messages", len(msgs))
+	}
+	if got := apply(msgs); got.Checksum() != want.Checksum() {
+		t.Fatal("split delivery diverged from whole delivery")
+	}
+	if split.Stats.Splits == 0 {
+		t.Fatal("split counter not incremented")
+	}
+}
+
+// TestFlushBudgetTooSmallForAnyBand: a budget smaller than one RAW
+// scanline band makes no progress that flush — but does not lose the
+// command; a later, bigger budget still delivers it.
+func TestFlushBudgetTooSmallForAnyBand(t *testing.T) {
+	b := NewClientBuffer()
+	r := geom.XYWH(0, 0, 64, 8)
+	b.Add(NewRaw(r, make([]pixel.ARGB, r.Area()), r.W(), false, compress.CodecNone))
+
+	// One 64-px row is 256 bytes + overhead; 64 bytes fits nothing.
+	if msgs := b.Flush(64); len(msgs) != 0 {
+		t.Fatalf("emitted %d messages under a too-small budget", len(msgs))
+	}
+	if b.Len() != 1 {
+		t.Fatal("command lost under a too-small budget")
+	}
+	if msgs := b.FlushAll(); len(msgs) == 0 {
+		t.Fatal("command not delivered once budget allowed")
+	}
+}

@@ -98,6 +98,15 @@ type ClientBuffer struct {
 // NewClientBuffer returns an empty buffer.
 func NewClientBuffer() *ClientBuffer { return &ClientBuffer{} }
 
+// Clear drops every buffered command without delivering it — the
+// slow-client policy: when a peer cannot keep up, stale commands are
+// discarded wholesale and the caller queues a full resync instead of
+// letting the backlog grow without bound.
+func (b *ClientBuffer) Clear() {
+	b.Stats.Evicted += len(b.entries)
+	b.entries = b.entries[:0]
+}
+
 // Len returns the number of buffered commands.
 func (b *ClientBuffer) Len() int { return len(b.entries) }
 

@@ -122,31 +122,61 @@ func (s *Server) AttachClient(viewW, viewH int) *Client {
 	c.Buf.FIFO = s.opts.FIFODelivery
 	// Late joiner: bring the client current with one full-screen RAW
 	// (the shared-session attach path).
-	if s.mem != nil {
-		full := geom.XYWH(0, 0, s.w, s.h)
-		pix := s.mem.ReadPixels(driver.Screen, full)
-		c.add(NewRaw(full, pix, full.W(), false, s.opts.RawCodec))
-		// Replay active streams so video keeps playing.
-		for _, st := range s.streams {
-			c.add(newCtlCmd(&wire.VideoInit{Stream: st.ID, Format: st.Format,
-				SrcW: st.SrcW, SrcH: st.SrcH, Dst: c.scaleRect(st.Dst)}, st.Dst))
-			c.streamDst[st.ID] = st.Dst
-		}
-		// Replay the cursor so a late joiner sees it.
-		if len(s.cursorImg) > 0 {
-			s.sendCursorTo(c)
-			mv := newCtlCmd(&wire.CursorMove{X: c.maybeScalePoint(s.cursorPos).X,
-				Y: c.maybeScalePoint(s.cursorPos).Y}, geom.Rect{})
-			mv.rt = true
-			c.Buf.AddSlot(mv, slotCursorMove)
-		}
-	}
+	s.syncClient(c)
 	s.clients[c] = struct{}{}
 	return c
 }
 
+// syncClient queues everything a client needs to become current: one
+// full-screen RAW snapshot, the active video streams, and the cursor.
+// It is the attach path, the reattach path, and the slow-client resync.
+func (s *Server) syncClient(c *Client) {
+	if s.mem == nil {
+		return
+	}
+	full := geom.XYWH(0, 0, s.w, s.h)
+	pix := s.mem.ReadPixels(driver.Screen, full)
+	c.add(NewRaw(full, pix, full.W(), false, s.opts.RawCodec))
+	// Replay active streams so video keeps playing.
+	for _, st := range s.streams {
+		c.add(newCtlCmd(&wire.VideoInit{Stream: st.ID, Format: st.Format,
+			SrcW: st.SrcW, SrcH: st.SrcH, Dst: c.scaleRect(st.Dst)}, st.Dst))
+		c.streamDst[st.ID] = st.Dst
+	}
+	// Replay the cursor so a late joiner sees it.
+	if len(s.cursorImg) > 0 {
+		s.sendCursorTo(c)
+		mv := newCtlCmd(&wire.CursorMove{X: c.maybeScalePoint(s.cursorPos).X,
+			Y: c.maybeScalePoint(s.cursorPos).Y}, geom.Rect{})
+		mv.rt = true
+		c.Buf.AddSlot(mv, slotCursorMove)
+	}
+}
+
 // DetachClient removes a client.
 func (s *Server) DetachClient(c *Client) { delete(s.clients, c) }
+
+// ReattachClient restores a previously detached client — the session
+// reconnect path. The client keeps its identity and buffer, its
+// viewport is updated to the reconnecting peer's geometry, any stale
+// buffered commands are dropped, and a full resync is queued.
+func (s *Server) ReattachClient(c *Client, viewW, viewH int) {
+	if viewW <= 0 || viewH <= 0 || viewW > s.w || viewH > s.h {
+		viewW, viewH = s.w, s.h
+	}
+	c.view = geom.XYWH(0, 0, viewW, viewH)
+	c.streamDst = make(map[uint32]geom.Rect)
+	c.Buf.Clear()
+	s.syncClient(c)
+	s.clients[c] = struct{}{}
+}
+
+// ResyncClient discards a client's backlog and queues a full-screen
+// resync — the slow-client policy: bounded buffers beat unbounded lag.
+func (s *Server) ResyncClient(c *Client) {
+	c.Buf.Clear()
+	s.syncClient(c)
+}
 
 // NumClients returns the number of attached clients.
 func (s *Server) NumClients() int { return len(s.clients) }

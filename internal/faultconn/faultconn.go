@@ -1,0 +1,180 @@
+// Package faultconn wraps a net.Conn with deterministic, scriptable
+// transport faults: stalls (the peer stops moving bytes), mid-message
+// resets (the connection dies partway through a frame), and write
+// truncation (part of a message escapes before the failure). It exists
+// so resilience tests can prove the server reaps dead peers and the
+// client reconnects and converges — with seeded randomness, so a
+// failing schedule replays exactly.
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is returned by reads and writes that hit an injected
+// fault. The underlying connection is closed at the fault point, so
+// the peer observes a real transport failure, not just a local error.
+var ErrInjected = errors.New("faultconn: injected fault")
+
+// Plan scripts the faults for one connection. Budgets count bytes
+// through the wrapper; a budget < 0 means "never". The zero Plan
+// injects nothing.
+type Plan struct {
+	// ReadFaultAfter fails reads after this many bytes have been read.
+	ReadFaultAfter int64
+	// WriteFaultAfter fails writes after this many bytes have been
+	// written. The failing write delivers the bytes up to the boundary
+	// (truncation) before erroring — the mid-message cut.
+	WriteFaultAfter int64
+	// Stall, when true, makes the faulting read/write block until the
+	// connection is closed instead of returning ErrInjected — the
+	// half-dead peer. When false the fault is a reset: the underlying
+	// conn is closed and ErrInjected returned.
+	Stall bool
+}
+
+// NoFault is the budget value for "never fault".
+const NoFault = int64(-1)
+
+// NewPlan derives a reset plan with budgets drawn uniformly from
+// [min, max) using the seed — deterministic for a given seed.
+func NewPlan(seed, min, max int64) Plan {
+	rnd := rand.New(rand.NewSource(seed))
+	span := max - min
+	if span <= 0 {
+		span = 1
+	}
+	return Plan{
+		ReadFaultAfter:  min + rnd.Int63n(span),
+		WriteFaultAfter: min + rnd.Int63n(span),
+	}
+}
+
+// Conn is a net.Conn with fault injection. Safe for one concurrent
+// reader plus one concurrent writer, like net.Conn itself.
+type Conn struct {
+	net.Conn
+	plan Plan
+
+	mu           sync.Mutex
+	readN        int64
+	writtenN     int64
+	faulted      bool
+	closed       chan struct{}
+	closeOnce    sync.Once
+	ReadFaults   int
+	WriteFaults  int
+	stallRelease chan struct{} // closed by Close; stalled ops block on it
+}
+
+// Wrap applies plan to nc.
+func Wrap(nc net.Conn, plan Plan) *Conn {
+	if plan.ReadFaultAfter == 0 {
+		plan.ReadFaultAfter = NoFault
+	}
+	if plan.WriteFaultAfter == 0 {
+		plan.WriteFaultAfter = NoFault
+	}
+	return &Conn{Conn: nc, plan: plan, closed: make(chan struct{})}
+}
+
+// Faulted reports whether a fault has fired on this connection.
+func (c *Conn) Faulted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faulted
+}
+
+// fault trips the fault path once: stall until Close, or reset.
+func (c *Conn) fault(isRead bool) error {
+	c.mu.Lock()
+	c.faulted = true
+	if isRead {
+		c.ReadFaults++
+	} else {
+		c.WriteFaults++
+	}
+	stall := c.plan.Stall
+	c.mu.Unlock()
+	if stall {
+		<-c.closed
+		return ErrInjected
+	}
+	_ = c.Conn.Close()
+	return ErrInjected
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	budget := c.plan.ReadFaultAfter
+	already := c.readN
+	c.mu.Unlock()
+	if budget >= 0 && already >= budget {
+		return 0, c.fault(true)
+	}
+	if budget >= 0 && already+int64(len(p)) > budget {
+		p = p[:budget-already] // fault lands mid-message next call
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.readN += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	budget := c.plan.WriteFaultAfter
+	already := c.writtenN
+	c.mu.Unlock()
+	if budget >= 0 && already >= budget {
+		return 0, c.fault(false)
+	}
+	truncated := false
+	if budget >= 0 && already+int64(len(p)) > budget {
+		// Truncation: part of the frame escapes, then the fault.
+		p = p[:budget-already]
+		truncated = true
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.writtenN += int64(n)
+	c.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if truncated {
+		return n, c.fault(false)
+	}
+	return n, nil
+}
+
+// Close releases any stalled operations and closes the underlying conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// BytesRead returns how many bytes have passed through Read.
+func (c *Conn) BytesRead() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readN
+}
+
+// BytesWritten returns how many bytes have passed through Write.
+func (c *Conn) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writtenN
+}
+
+// SetDeadline and friends pass through so wrapped conns keep their
+// deadline semantics (the server's reaper depends on them).
+func (c *Conn) SetDeadline(t time.Time) error      { return c.Conn.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.Conn.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.Conn.SetWriteDeadline(t) }

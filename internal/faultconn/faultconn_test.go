@@ -1,0 +1,136 @@
+package faultconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestNoFaultPassthrough(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{})
+	defer fa.Close()
+	defer b.Close()
+
+	go func() { _, _ = fa.Write([]byte("hello")) }()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("got %q", buf)
+	}
+	if fa.Faulted() {
+		t.Fatal("no-fault plan faulted")
+	}
+}
+
+func TestWriteResetTruncatesMidMessage(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{WriteFaultAfter: 7})
+	defer fa.Close()
+	defer b.Close()
+
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64)
+		for {
+			n, err := b.Read(buf)
+			got.Write(buf[:n])
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	n, err := fa.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v (n=%d)", err, n)
+	}
+	if n != 7 {
+		t.Fatalf("truncated write delivered %d bytes, want 7", n)
+	}
+	<-done
+	if got.String() != "0123456" {
+		t.Fatalf("peer saw %q, want the 7-byte truncation", got.String())
+	}
+	// The underlying conn is closed: the peer saw a real failure, and
+	// further writes fail too.
+	if _, err := fa.Write([]byte("x")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+func TestReadReset(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{ReadFaultAfter: 4})
+	defer fa.Close()
+	defer b.Close()
+
+	go func() { _, _ = b.Write([]byte("abcdefgh")) }()
+	buf := make([]byte, 8)
+	n, err := fa.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("read %d bytes before fault, want 4", n)
+	}
+	if _, err := fa.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestStallBlocksUntilClose(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{ReadFaultAfter: 1, Stall: true})
+	defer b.Close()
+
+	go func() { _, _ = b.Write([]byte("xy")) }()
+	buf := make([]byte, 2)
+	if _, err := fa.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fa.Read(buf)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fa.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("want ErrInjected after close, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled read did not release on close")
+	}
+}
+
+func TestNewPlanDeterministic(t *testing.T) {
+	p1 := NewPlan(42, 100, 1000)
+	p2 := NewPlan(42, 100, 1000)
+	if p1 != p2 {
+		t.Fatalf("same seed, different plans: %+v vs %+v", p1, p2)
+	}
+	if p1.ReadFaultAfter < 100 || p1.ReadFaultAfter >= 1000 ||
+		p1.WriteFaultAfter < 100 || p1.WriteFaultAfter >= 1000 {
+		t.Fatalf("budgets out of range: %+v", p1)
+	}
+	if NewPlan(43, 100, 1000) == p1 {
+		t.Fatal("different seeds produced identical plans")
+	}
+}

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/cipher"
+	"thinc/internal/client"
+	"thinc/internal/faultconn"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+// fastOptions returns Options with aggressive timers so resilience
+// behavior is observable within test budgets.
+func fastOptions() Options {
+	return Options{
+		FlushInterval:     time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  120 * time.Millisecond,
+		DetachGrace:       2 * time.Second,
+	}
+}
+
+// rawSession performs the full client handshake by hand, returning the
+// plaintext conn and the encrypted transport — for tests that need to
+// speak raw protocol at the server.
+func rawSession(t *testing.T, addr, user, pass string, hello wire.Message) (net.Conn, *cipher.StreamConn) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.ReadMessage(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := m.(*wire.AuthChallenge)
+	if err := wire.WriteMessage(nc, &wire.AuthResponse{
+		User: user, Proof: auth.Proof(pass, ch.Nonce),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = wire.ReadMessage(nc); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.(*wire.AuthResult); !res.OK {
+		t.Fatalf("auth refused: %s", res.Reason)
+	}
+	enc, err := cipher.NewStreamConn(nc, auth.SessionKey(pass, ch.Nonce), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteMessage(enc, hello); err != nil {
+		t.Fatal(err)
+	}
+	return nc, enc
+}
+
+// TestReconnectWithTicketResync is the headline fault-injection
+// scenario: the client's transport is reset mid-session (deterministic
+// injected fault), the auto-reconnect loop redials with backoff,
+// presents the session ticket, the server reattaches the retained
+// session and resyncs with a full-screen RAW, and the client converges
+// to the server's exact screen checksum.
+func TestReconnectWithTicketResync(t *testing.T) {
+	host, addr := startHost(t, 160, 120, fastOptions())
+
+	// First dial gets a connection that dies after ~24 KB of updates
+	// (mid-RAW for a 160x120 session); later dials are clean.
+	var dials int
+	var mu sync.Mutex
+	dial := func() (net.Conn, error) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		dials++
+		first := dials == 1
+		mu.Unlock()
+		if first {
+			return faultconn.Wrap(nc, faultconn.Plan{ReadFaultAfter: 24 << 10}), nil
+		}
+		return nc, nil
+	}
+
+	conn, err := client.DialWith(dial, "owner", "pw", 160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- conn.RunAuto(client.ReconnectPolicy{
+			Initial: 20 * time.Millisecond, MaxAttempts: 10, Seed: 7,
+		})
+	}()
+
+	// Paint enough distinct content to blow past the fault budget.
+	host.Do(func(d *xserver.Display) {
+		win := d.CreateWindow(geom.XYWH(0, 0, 160, 120))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(10, 180, 40)}, win.Bounds())
+	})
+	for i := 0; i < 12; i++ {
+		host.Do(func(d *xserver.Display) {
+			win := d.CreateWindow(geom.XYWH(0, 0, 160, 120))
+			pix := make([]pixel.ARGB, 40*30)
+			for j := range pix {
+				pix[j] = pixel.RGB(uint8(i*17+j), uint8(j), uint8(i))
+			}
+			d.PutImage(win, geom.XYWH((i%4)*40, (i/4)*30, 40, 30), pix, 40)
+		})
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The injected reset must have fired and the client reconnected.
+	waitFor(t, "client reconnect", func() bool {
+		return conn.Stats().Reconnects >= 1
+	})
+	waitFor(t, "server reattach", func() bool {
+		return host.Resilience().Reattaches >= 1
+	})
+
+	// After reconnect + resync, the client converges to the server's
+	// exact screen.
+	want := host.ScreenChecksum()
+	waitFor(t, "post-reconnect convergence", func() bool {
+		return conn.Snapshot().Checksum() == want && conn.State() == client.StateConnected
+	})
+
+	mu.Lock()
+	if dials < 2 {
+		t.Fatalf("expected a redial, saw %d dials", dials)
+	}
+	mu.Unlock()
+	conn.Close()
+	<-runDone
+}
+
+// TestStalledClientReaped proves dead-peer detection: a client that
+// completes the handshake and then goes silent (reads nothing, sends
+// nothing — the half-dead peer) is torn down within the heartbeat
+// timeout, and the server's per-connection goroutines all exit.
+func TestStalledClientReaped(t *testing.T) {
+	host, addr := startHost(t, 64, 48, fastOptions())
+
+	before := runtime.NumGoroutine()
+
+	nc, _ := rawSession(t, addr, "owner", "pw",
+		&wire.ClientInit{ViewW: 64, ViewH: 48, Name: "stalled"})
+	defer nc.Close()
+
+	waitFor(t, "client attach", func() bool { return host.NumClients() == 1 })
+
+	// Go silent. The server must reap within the heartbeat timeout
+	// (plus scheduling slack).
+	start := time.Now()
+	waitFor(t, "dead peer reaped", func() bool { return host.NumClients() == 0 })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("reap took %v", elapsed)
+	}
+	if r := host.Resilience(); r.Reaps < 1 {
+		t.Fatalf("reap not counted: %+v", r)
+	}
+
+	// Zero leaked goroutines: both per-conn loops exited.
+	waitFor(t, "goroutines drained", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+
+	// The reaped session is retained for reattach during the grace.
+	if host.NumDetached() != 1 {
+		t.Fatalf("detached sessions = %d, want 1", host.NumDetached())
+	}
+}
+
+// TestViewportGeometryRejected: absurd handshake geometry must refuse
+// the connection instead of reaching core.AttachClient.
+func TestViewportGeometryRejected(t *testing.T) {
+	host, addr := startHost(t, 64, 48, fastOptions())
+
+	nc, enc := rawSession(t, addr, "owner", "pw",
+		&wire.ClientInit{ViewW: 60000, ViewH: 48, Name: "absurd"})
+	defer nc.Close()
+
+	// The server must close the connection without a ServerInit.
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if m, err := wire.ReadMessage(enc); err == nil {
+		t.Fatalf("absurd viewport accepted, got %v", m.Type())
+	}
+	if host.NumClients() != 0 {
+		t.Fatal("absurd viewport attached a client")
+	}
+	waitFor(t, "bad handshake counted", func() bool {
+		return host.Resilience().BadHandshakes >= 1
+	})
+
+	// Zero-sized viewport remains the legal "session size" request.
+	conn, err := client.Dial(addr, "owner", "pw", 0, 0)
+	if err != nil {
+		t.Fatalf("zero viewport refused: %v", err)
+	}
+	defer conn.Close()
+	if snap := conn.Snapshot(); snap.W() != 64 || snap.H() != 48 {
+		t.Fatalf("zero viewport resolved to %dx%d", snap.W(), snap.H())
+	}
+}
+
+// TestUnknownClientMessageSkipped: a well-framed message of a type the
+// server does not know must be skipped, not fatal — the connection
+// keeps working afterwards.
+func TestUnknownClientMessageSkipped(t *testing.T) {
+	host, addr := startHost(t, 64, 48, fastOptions())
+
+	nc, enc := rawSession(t, addr, "owner", "pw",
+		&wire.ClientInit{ViewW: 64, ViewH: 48, Name: "futuristic"})
+	defer nc.Close()
+	if _, err := wire.ReadMessage(enc); err != nil { // ServerInit
+		t.Fatal(err)
+	}
+
+	// A frame of type 0xEE with a 4-byte payload, then a Ping.
+	if _, err := enc.Write([]byte{0xee, 0, 0, 0, 4, 1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteMessage(enc, &wire.Ping{Seq: 42}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server answers the Ping — it survived the unknown frame. The
+	// stream may interleave ticket/updates/pings; scan for our Pong.
+	deadline := time.Now().Add(5 * time.Second)
+	_ = nc.SetReadDeadline(deadline)
+	for {
+		m, err := wire.ReadMessage(enc)
+		if err != nil {
+			t.Fatalf("connection died after unknown message: %v", err)
+		}
+		if p, ok := m.(*wire.Pong); ok && p.Seq == 42 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no pong after unknown message")
+		}
+	}
+	if r := host.Resilience(); r.SkippedUnknown < 1 {
+		t.Fatalf("unknown message not counted: %+v", r)
+	}
+}
+
+// TestSlowClientResync: when a client's command backlog outgrows
+// MaxBacklogBytes, the backlog is discarded and replaced by a fresh
+// full-screen resync — and the client still converges to the correct
+// screen once the burst ends.
+//
+// The burst uses Composite (Transparent-class RAWs): opaque commands
+// clip their predecessors' live regions, so an opaque backlog is
+// bounded by the screen area no matter how much is drawn — blends are
+// what accumulate without bound and need the slow-client policy.
+func TestSlowClientResync(t *testing.T) {
+	opts := fastOptions()
+	opts.FlushBudget = 512          // trickle delivery
+	opts.MaxBacklogBytes = 16 << 10 // > one 64x48 RAW (12.3 KB)
+	host, addr := startHost(t, 64, 48, opts)
+
+	conn, err := client.Dial(addr, "owner", "pw", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	// Burst: staggered 16x16 blends. Transparent commands evict
+	// nothing, so the backlog grows past the bound.
+	pix := make([]pixel.ARGB, 16*16)
+	for i := 0; i < 60; i++ {
+		host.Do(func(d *xserver.Display) {
+			win := d.CreateWindow(geom.XYWH(0, 0, 64, 48))
+			for j := range pix {
+				pix[j] = pixel.RGB(uint8(i*31+j), uint8(j*3), uint8(i*7))
+			}
+			d.Composite(win, geom.XYWH((i*3)%48, (i*5)%32, 16, 16), pix, 16)
+		})
+	}
+
+	waitFor(t, "slow-client resync", func() bool {
+		return host.Resilience().SlowResyncs >= 1
+	})
+
+	// Once the burst is over, the resync brings the client current.
+	want := host.ScreenChecksum()
+	waitFor(t, "post-resync convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+}
+
+// TestDetachedSessionExpires: a retained session outliving the grace
+// period is forgotten; a reattach with its ticket falls back to a
+// fresh attach instead of failing.
+func TestDetachedSessionExpires(t *testing.T) {
+	opts := fastOptions()
+	opts.DetachGrace = 60 * time.Millisecond
+	host, addr := startHost(t, 64, 48, opts)
+
+	conn, err := client.Dial(addr, "owner", "pw", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go conn.Run()
+	waitFor(t, "ticket issued", func() bool { return len(conn.Ticket()) > 0 })
+	ticket := conn.Ticket()
+	conn.Close()
+
+	waitFor(t, "session detached", func() bool { return host.NumDetached() >= 1 })
+	waitFor(t, "session expired", func() bool {
+		r := host.Resilience()
+		return host.NumDetached() == 0 && r.ExpiredSessions >= 1
+	})
+
+	// Reattach with the expired ticket: served as a fresh attach.
+	nc, enc := rawSession(t, addr, "owner", "pw",
+		&wire.Reattach{Ticket: ticket, ViewW: 64, ViewH: 48, Name: "late"})
+	defer nc.Close()
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	m, err := wire.ReadMessage(enc)
+	if err != nil {
+		t.Fatalf("expired-ticket reattach refused outright: %v", err)
+	}
+	si, ok := m.(*wire.ServerInit)
+	if !ok {
+		t.Fatalf("expected ServerInit, got %v", m.Type())
+	}
+	if si.Ver != wire.ProtoVersion {
+		t.Fatalf("ServerInit.Ver = %d, want %d", si.Ver, wire.ProtoVersion)
+	}
+	if r := host.Resilience(); r.Reattaches != 0 {
+		t.Fatalf("expired ticket reattached a session: %+v", r)
+	}
+}
+
+// TestHeartbeatKeepsIdleSessionAlive: with no display activity and no
+// input, the heartbeat traffic alone keeps the connection up well past
+// the heartbeat timeout.
+func TestHeartbeatKeepsIdleSessionAlive(t *testing.T) {
+	host, addr := startHost(t, 64, 48, fastOptions())
+	conn, err := client.Dial(addr, "owner", "pw", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	// Sit idle for several heartbeat timeouts.
+	time.Sleep(500 * time.Millisecond)
+	if host.NumClients() != 1 {
+		t.Fatal("idle client was reaped despite answering heartbeats")
+	}
+	if conn.Stats().PongsSent < 3 {
+		t.Fatalf("expected heartbeat traffic, pongs=%d", conn.Stats().PongsSent)
+	}
+	if r := host.Resilience(); r.Reaps != 0 {
+		t.Fatalf("idle session reaped: %+v", r)
+	}
+}

@@ -4,12 +4,23 @@
 // network connections — PAM-style authentication, RC4-encrypted
 // transport, server-push delivery with non-blocking flushing, input
 // injection, and dynamic client resizing.
+//
+// The transport layer is resilient by construction: every read and
+// write carries a deadline, the server heartbeats each client and
+// reaps peers that stop responding, per-client command backlogs are
+// bounded (a slow client is resynced with a fresh snapshot instead of
+// an ever-growing queue), and a dropped client may reattach to its
+// session with the opaque ticket issued at init, receiving a
+// full-screen RAW resync.
 package server
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -32,9 +43,80 @@ type Options struct {
 	// FlushBudget bounds bytes per flush (socket-buffer model); zero
 	// means 256 KiB.
 	FlushBudget int
+	// HeartbeatInterval paces server→client Pings; zero means 1s.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a connection may be silent (no
+	// message of any kind read from the client) before it is declared
+	// dead and torn down; zero means 3x HeartbeatInterval.
+	HeartbeatTimeout time.Duration
+	// WriteTimeout bounds each write batch to the client; a peer that
+	// stops draining its socket is torn down when the deadline trips.
+	// Zero means HeartbeatTimeout.
+	WriteTimeout time.Duration
+	// DetachGrace is how long a disconnected session's client state is
+	// retained for ticket reattach; zero means 30s. Negative disables
+	// retention entirely.
+	DetachGrace time.Duration
+	// MaxBacklogBytes bounds the per-client command backlog. When a
+	// client falls further behind than this, its queued commands are
+	// discarded and replaced by a full-screen resync (the slow-client
+	// policy). Zero means 32 MiB; it must comfortably exceed one
+	// uncompressed full-screen RAW. Negative disables the bound.
+	MaxBacklogBytes int
 	// OnInput, when set, receives user input events after they are
 	// injected into the display (button dispatch for applications).
 	OnInput func(ev *wire.Input)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 5 * time.Millisecond
+	}
+	if o.FlushBudget <= 0 {
+		o.FlushBudget = 256 << 10
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 3 * o.HeartbeatInterval
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = o.HeartbeatTimeout
+	}
+	if o.DetachGrace == 0 {
+		o.DetachGrace = 30 * time.Second
+	}
+	if o.MaxBacklogBytes == 0 {
+		o.MaxBacklogBytes = 32 << 20
+	}
+	return o
+}
+
+// maxViewDim bounds handshake viewport geometry. The wire format
+// carries u16, but nothing legitimate asks for a 40k-pixel-wide
+// viewport; absurd values are rejected during the handshake rather
+// than silently clamped into a surprise geometry.
+const maxViewDim = 8192
+
+// ResilienceStats counts session-lifecycle events (tests, monitoring).
+type ResilienceStats struct {
+	Attaches        int // fresh client attaches
+	Reattaches      int // ticket reattaches into a retained session
+	Reaps           int // connections torn down by heartbeat/write timeout
+	SlowResyncs     int // backlogs discarded under the slow-client policy
+	ExpiredSessions int // detached sessions that outlived the grace period
+	SkippedUnknown  int // unknown-but-well-framed client messages skipped
+	BadHandshakes   int // handshakes rejected (geometry, protocol)
+}
+
+// session ties a ticket to the core client state it can resume.
+type session struct {
+	ticket   string
+	user     string
+	cl       *core.Client
+	detached bool
+	expiry   *time.Timer
 }
 
 // Host owns one display session and serves it to any number of
@@ -49,23 +131,20 @@ type Host struct {
 	core  *core.Server
 	sound *audio.Driver
 
-	conns map[*serverConn]struct{}
-	wg    sync.WaitGroup
+	conns    map[*serverConn]struct{}
+	sessions map[string]*session // by ticket
+	stats    ResilienceStats
+	wg       sync.WaitGroup
 }
 
 // NewHost creates a session of the given geometry gated by auth.
 func NewHost(w, h int, gate *auth.Authenticator, opts Options) *Host {
-	if opts.FlushInterval <= 0 {
-		opts.FlushInterval = 5 * time.Millisecond
-	}
-	if opts.FlushBudget <= 0 {
-		opts.FlushBudget = 256 << 10
-	}
 	h2 := &Host{
-		opts:  opts,
-		gate:  gate,
-		sound: audio.NewDriver(),
-		conns: make(map[*serverConn]struct{}),
+		opts:     opts.withDefaults(),
+		gate:     gate,
+		sound:    audio.NewDriver(),
+		conns:    make(map[*serverConn]struct{}),
+		sessions: make(map[string]*session),
 	}
 	h2.core = core.NewServer(opts.Core)
 	h2.dpy = xserver.NewDisplay(w, h, h2.core)
@@ -91,6 +170,34 @@ func (h *Host) ScreenChecksum() uint32 {
 	return h.dpy.Screen().Checksum()
 }
 
+// NumClients returns the number of attached (live) display clients.
+func (h *Host) NumClients() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.core.NumClients()
+}
+
+// NumDetached returns the number of disconnected sessions retained for
+// reattach.
+func (h *Host) NumDetached() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, s := range h.sessions {
+		if s.detached {
+			n++
+		}
+	}
+	return n
+}
+
+// Resilience returns a snapshot of the session-lifecycle counters.
+func (h *Host) Resilience() ResilienceStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
 // Serve accepts and serves connections until the listener closes.
 func (h *Host) Serve(l net.Listener) error {
 	for {
@@ -110,8 +217,17 @@ func (h *Host) Serve(l net.Listener) error {
 // handshakeTimeout bounds the unauthenticated phase.
 const handshakeTimeout = 10 * time.Second
 
+// newTicket mints an opaque session ticket.
+func newTicket() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
 // ServeConn authenticates and serves one client connection, returning
-// when the client disconnects or fails authentication.
+// when the client disconnects, times out, or fails authentication.
 func (h *Host) ServeConn(nc net.Conn) error {
 	defer nc.Close()
 	_ = nc.SetDeadline(time.Now().Add(handshakeTimeout))
@@ -149,26 +265,78 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	if err != nil {
 		return err
 	}
-	_ = nc.SetDeadline(time.Time{})
 
-	// Geometry exchange.
+	// Hello: a fresh ClientInit, or a Reattach resuming a retained
+	// session. Both carry the viewport, which is validated here — the
+	// handshake is the trust boundary, not core.AttachClient.
 	m, err = wire.ReadMessage(enc)
 	if err != nil {
 		return err
 	}
-	ci, ok := m.(*wire.ClientInit)
-	if !ok {
-		return fmt.Errorf("server: expected client init, got %v", m.Type())
+	var viewW, viewH int
+	var reattach *wire.Reattach
+	switch v := m.(type) {
+	case *wire.ClientInit:
+		viewW, viewH = v.ViewW, v.ViewH
+	case *wire.Reattach:
+		viewW, viewH = v.ViewW, v.ViewH
+		reattach = v
+	default:
+		return fmt.Errorf("server: expected client init or reattach, got %v", m.Type())
 	}
+	if viewW < 0 || viewH < 0 || viewW > maxViewDim || viewH > maxViewDim {
+		h.mu.Lock()
+		h.stats.BadHandshakes++
+		h.mu.Unlock()
+		log.Printf("server: rejecting absurd viewport %dx%d from %q", viewW, viewH, resp.User)
+		return fmt.Errorf("server: rejecting absurd viewport %dx%d", viewW, viewH)
+	}
+	_ = nc.SetDeadline(time.Time{})
+
+	// Attach: resume the retained session when the ticket checks out,
+	// fall back to a fresh attach otherwise (either way the client
+	// converges via the full-screen RAW resync).
 	h.mu.Lock()
 	w, ht := h.core.ScreenSize()
-	cl := h.core.AttachClient(ci.ViewW, ci.ViewH)
+	var cl *core.Client
+	if reattach != nil {
+		if s := h.sessions[string(reattach.Ticket)]; s != nil && s.detached && s.user == resp.User {
+			if s.expiry != nil {
+				s.expiry.Stop()
+			}
+			delete(h.sessions, s.ticket)
+			cl = s.cl
+			h.core.ReattachClient(cl, viewW, viewH)
+			h.stats.Reattaches++
+		} else {
+			log.Printf("server: reattach from %q with unknown or expired ticket; attaching fresh", resp.User)
+		}
+	}
+	if cl == nil {
+		cl = h.core.AttachClient(viewW, viewH)
+		h.stats.Attaches++
+	}
+	ticket, terr := newTicket()
+	if terr != nil {
+		h.core.DetachClient(cl)
+		h.mu.Unlock()
+		return terr
+	}
+	sess := &session{ticket: ticket, user: resp.User, cl: cl}
+	h.sessions[ticket] = sess
 	h.mu.Unlock()
-	if err := wire.WriteMessage(enc, &wire.ServerInit{W: w, H: ht}); err != nil {
+
+	if err := wire.WriteMessage(enc, &wire.ServerInit{Ver: wire.ProtoVersion, W: w, H: ht}); err != nil {
+		h.endSession(sess, false)
+		return err
+	}
+	if err := wire.WriteMessage(enc, &wire.SessionTicket{Ticket: []byte(ticket)}); err != nil {
+		h.endSession(sess, false)
 		return err
 	}
 
-	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User}
+	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User,
+		pongs: make(chan *wire.Pong, 8)}
 	detachAudio := h.sound.Attach(func(pts uint64, pcm []byte) {
 		h.mu.Lock()
 		h.core.PushAudio(pts, pcm)
@@ -179,41 +347,87 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	h.mu.Lock()
 	h.conns[sc] = struct{}{}
 	h.mu.Unlock()
-	defer func() {
-		h.mu.Lock()
-		delete(h.conns, sc)
-		h.core.DetachClient(cl)
-		h.mu.Unlock()
-	}()
 
-	return sc.run()
+	err = sc.run()
+	h.mu.Lock()
+	delete(h.conns, sc)
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		h.stats.Reaps++
+	}
+	h.mu.Unlock()
+	// Retain the session for reattach unless retention is disabled.
+	h.endSession(sess, h.opts.DetachGrace > 0)
+	return err
+}
+
+// endSession detaches the session's display client and either retains
+// it for the grace period (retain) or forgets it immediately.
+func (h *Host) endSession(s *session, retain bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cur := h.sessions[s.ticket]; cur != s {
+		return // already reattached or expired; the client is not ours
+	}
+	h.core.DetachClient(s.cl)
+	if !retain {
+		delete(h.sessions, s.ticket)
+		return
+	}
+	s.detached = true
+	s.expiry = time.AfterFunc(h.opts.DetachGrace, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if cur := h.sessions[s.ticket]; cur == s {
+			delete(h.sessions, s.ticket)
+			h.stats.ExpiredSessions++
+		}
+	})
 }
 
 // serverConn is one live client connection.
 type serverConn struct {
-	host *Host
-	nc   net.Conn
-	enc  *cipher.StreamConn
-	cl   *core.Client
-	user string
+	host  *Host
+	nc    net.Conn
+	enc   *cipher.StreamConn
+	cl    *core.Client
+	user  string
+	pongs chan *wire.Pong
+
+	unknownLogged map[wire.Type]bool
 }
 
-// run pumps the reader and the flush loop until either fails.
+// run pumps the reader and the flush loop until either fails, then
+// tears both down and waits for them — no goroutine outlives run.
 func (c *serverConn) run() error {
 	errc := make(chan error, 2)
 	done := make(chan struct{})
-	defer close(done)
-
-	go func() { errc <- c.readLoop(done) }()
-	go func() { errc <- c.flushLoop(done) }()
-	return <-errc
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); errc <- c.readLoop(done) }()
+	go func() { defer wg.Done(); errc <- c.flushLoop(done) }()
+	err := <-errc
+	close(done)
+	_ = c.nc.Close() // unblock the sibling loop
+	wg.Wait()
+	return err
 }
 
-// readLoop handles client-to-server messages.
+// readLoop handles client-to-server messages. Every read carries the
+// heartbeat deadline: any message (the client answers our Pings, so an
+// idle healthy client is never silent) proves liveness; a peer silent
+// past the timeout is dead and the deadline error tears the conn down.
 func (c *serverConn) readLoop(done <-chan struct{}) error {
 	for {
+		_ = c.nc.SetReadDeadline(time.Now().Add(c.host.opts.HeartbeatTimeout))
 		m, err := wire.ReadMessage(c.enc)
 		if err != nil {
+			// Unknown-but-well-framed types are skipped, not fatal: a
+			// newer client may speak messages this build predates.
+			if errors.Is(err, wire.ErrUnknownType) {
+				c.logUnknown(err)
+				continue
+			}
 			return err
 		}
 		select {
@@ -233,6 +447,14 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 			c.host.mu.Lock()
 			c.cl.Resize(v.ViewW, v.ViewH)
 			c.host.mu.Unlock()
+		case *wire.Ping:
+			// Client-initiated probe: queue the echo for the writer.
+			select {
+			case c.pongs <- &wire.Pong{Seq: v.Seq, TimeUS: v.TimeUS}:
+			default: // writer backlogged; the next probe will do
+			}
+		case *wire.Pong:
+			// The read itself already refreshed the liveness deadline.
 		case *wire.UpdateRequest:
 			// Push architecture: requests are legal but unnecessary.
 		default:
@@ -241,30 +463,93 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 	}
 }
 
+// logUnknown logs an unknown client message type once per type.
+func (c *serverConn) logUnknown(err error) {
+	c.host.mu.Lock()
+	c.host.stats.SkippedUnknown++
+	c.host.mu.Unlock()
+	if c.unknownLogged == nil {
+		c.unknownLogged = make(map[wire.Type]bool)
+	}
+	var ut *wire.UnknownTypeError
+	key := wire.Type(0)
+	if errors.As(err, &ut) {
+		key = ut.T
+	}
+	if !c.unknownLogged[key] {
+		c.unknownLogged[key] = true
+		log.Printf("server: skipping unknown client message (%v) from %q", err, c.user)
+	}
+}
+
 // flushLoop is the delivery engine: every interval it drains up to the
 // budget from the client buffer and writes the messages out. The
 // buffered writer plus bounded budget approximates the non-blocking
-// socket commit of §5 over a real TCP connection.
+// socket commit of §5 over a real TCP connection. It also owns the
+// write side of the heartbeat (Pings out, Pong echoes out) and applies
+// the slow-client policy when the backlog outgrows its bound.
 func (c *serverConn) flushLoop(done <-chan struct{}) error {
 	t := time.NewTicker(c.host.opts.FlushInterval)
 	defer t.Stop()
+	hb := time.NewTicker(c.host.opts.HeartbeatInterval)
+	defer hb.Stop()
 	bw := bufio.NewWriterSize(c.enc, 64<<10)
+	var pingSeq uint32
+
+	// write frames m with the write deadline armed; flush pushes the
+	// buffered writer out under the same deadline.
+	write := func(m wire.Message) error {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.host.opts.WriteTimeout))
+		return wire.WriteMessage(bw, m)
+	}
+	flush := func() error {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.host.opts.WriteTimeout))
+		return bw.Flush()
+	}
+
 	for {
 		select {
 		case <-done:
 			return nil
-		case <-t.C:
-		}
-		c.host.mu.Lock()
-		msgs := c.cl.Flush(c.host.opts.FlushBudget)
-		c.host.mu.Unlock()
-		for _, m := range msgs {
-			if err := wire.WriteMessage(bw, m); err != nil {
+		case pg := <-c.pongs:
+			if err := write(pg); err != nil {
 				return err
 			}
-		}
-		if err := bw.Flush(); err != nil {
-			return err
+			if err := flush(); err != nil {
+				return err
+			}
+		case <-hb.C:
+			pingSeq++
+			if err := write(&wire.Ping{Seq: pingSeq,
+				TimeUS: uint64(time.Now().UnixMicro())}); err != nil {
+				return err
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+		case <-t.C:
+			c.host.mu.Lock()
+			msgs := c.cl.Flush(c.host.opts.FlushBudget)
+			backlog := c.cl.Buf.QueuedBytes()
+			c.host.mu.Unlock()
+			for _, m := range msgs {
+				if err := write(m); err != nil {
+					return err
+				}
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+			// Slow-client policy: a backlog past the bound means the peer
+			// cannot keep up with the session; delivering it all would only
+			// grow the queue and the client's staleness. Drop it and queue
+			// a fresh full-screen resync instead (§5's bounded buffers).
+			if max := c.host.opts.MaxBacklogBytes; max > 0 && backlog > max {
+				c.host.mu.Lock()
+				c.host.core.ResyncClient(c.cl)
+				c.host.stats.SlowResyncs++
+				c.host.mu.Unlock()
+			}
 		}
 	}
 }

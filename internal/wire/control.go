@@ -6,10 +6,11 @@ import (
 	"thinc/internal/pixel"
 )
 
-// ServerInit is the server's hello: the session's true framebuffer
-// geometry and native pixel format. The client may view it at a
-// different size (see Resize and §6).
+// ServerInit is the server's hello: the protocol revision it speaks,
+// the session's true framebuffer geometry and native pixel format. The
+// client may view it at a different size (see Resize and §6).
 type ServerInit struct {
+	Ver    uint8 // protocol revision (ProtoVersion); 0 decodes from v1 peers
 	W, H   int
 	Format pixel.Format
 }
@@ -18,6 +19,7 @@ type ServerInit struct {
 func (m *ServerInit) Type() Type { return TServerInit }
 
 func (m *ServerInit) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.Ver)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.W))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.H))
 	return append(dst, byte(m.Format))
@@ -25,6 +27,7 @@ func (m *ServerInit) appendPayload(dst []byte) []byte {
 
 func decodeServerInit(d *decoder) (*ServerInit, error) {
 	m := &ServerInit{}
+	m.Ver = d.u8()
 	m.W = int(d.u16())
 	m.H = int(d.u16())
 	m.Format = pixel.Format(d.u8())

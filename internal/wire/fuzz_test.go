@@ -2,12 +2,16 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
 // FuzzReadMessage drives the framed decoder with arbitrary bytes: it
 // must never panic, and anything it accepts must survive a marshal /
 // re-decode round trip (the decoder and encoder agree on the format).
+// The corpus seeds every message type — display, video, audio, control,
+// auth, and the session-resilience messages — plus truncated and
+// corrupted variants of each.
 func FuzzReadMessage(f *testing.F) {
 	for _, m := range sampleMessages() {
 		buf, err := Marshal(m)
@@ -15,6 +19,18 @@ func FuzzReadMessage(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf)
+		// Truncated frame: header promises more payload than follows.
+		if len(buf) > HeaderSize {
+			f.Add(buf[:HeaderSize+(len(buf)-HeaderSize)/2])
+		}
+		// Corrupt length field.
+		bad := append([]byte(nil), buf...)
+		bad[1] ^= 0xff
+		f.Add(bad)
+		// Flipped type byte: payload of one type decoded as another.
+		bad2 := append([]byte(nil), buf...)
+		bad2[0] ^= 0x07
+		f.Add(bad2)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0, 0, 0, 0})
@@ -35,4 +51,82 @@ func FuzzReadMessage(f *testing.F) {
 			t.Fatalf("type changed across round trip: %v -> %v", m.Type(), m2.Type())
 		}
 	})
+}
+
+// controlMessages returns the handshake and session-control subset —
+// the messages a hostile or broken peer feeds the server first.
+func controlMessages() []Message {
+	var ctl []Message
+	for _, m := range sampleMessages() {
+		switch m.(type) {
+		case *ServerInit, *ClientInit, *Resize, *Input,
+			*AuthChallenge, *AuthResponse, *AuthResult, *UpdateRequest,
+			*Ping, *Pong, *SessionTicket, *Reattach:
+			ctl = append(ctl, m)
+		}
+	}
+	return ctl
+}
+
+// TestControlMessageTruncationSweep cuts every control message at every
+// byte boundary: no truncation may panic the decoder, and every
+// truncation must be reported as an error, never silently accepted as a
+// different valid message of the same type.
+func TestControlMessageTruncationSweep(t *testing.T) {
+	for _, m := range controlMessages() {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", m.Type(), err)
+		}
+		payload := buf[HeaderSize:]
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := Unmarshal(m.Type(), payload[:cut]); err == nil {
+				// A shorter prefix that still decodes means the format is
+				// ambiguous under truncation.
+				t.Errorf("%v: payload truncated to %d/%d bytes decoded without error",
+					m.Type(), cut, len(payload))
+			}
+		}
+	}
+}
+
+// TestControlMessageBitFlips flips each byte of every control message
+// payload and decodes: corruption may be accepted (values change) or
+// rejected, but must never panic, and oversized inner lengths must be
+// caught by the bounds-checked decoder.
+func TestControlMessageBitFlips(t *testing.T) {
+	for _, m := range controlMessages() {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := buf[HeaderSize:]
+		for i := range payload {
+			mut := append([]byte(nil), payload...)
+			mut[i] ^= 0xff
+			_, _ = Unmarshal(m.Type(), mut) // must not panic
+		}
+	}
+}
+
+// TestUnknownTypeSkippable verifies the forward-compatibility contract:
+// a well-framed message of an unknown type yields ErrUnknownType with
+// the stream positioned at the next frame, so a reader can skip it.
+func TestUnknownTypeSkippable(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xee, 0, 0, 0, 3, 1, 2, 3}) // unknown type, 3-byte payload
+	if err := WriteMessage(&buf, &Ping{Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadMessage(&buf)
+	if !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("unknown type: got %v, want ErrUnknownType", err)
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read after skipped unknown type: %v", err)
+	}
+	if p, ok := m.(*Ping); !ok || p.Seq != 9 {
+		t.Fatalf("stream misaligned after unknown type: got %#v", m)
+	}
 }

@@ -1,0 +1,128 @@
+package wire
+
+import "encoding/binary"
+
+// Session-resilience messages: heartbeats that detect dead peers in
+// either direction, and the ticket/reattach pair that lets a client
+// whose transport dropped resume its session (the server answers a
+// valid Reattach with a full-screen RAW resync).
+
+// ProtoVersion is the current protocol revision, carried in ServerInit.
+// Version 1 is the original handshake; version 2 adds heartbeats and
+// session reattach. Receivers skip well-framed unknown message types,
+// so the version is informational: it lets a client know whether the
+// server will honor Reattach at all.
+const ProtoVersion = 2
+
+// MaxTicketLen bounds a session ticket on the wire.
+const MaxTicketLen = 64
+
+// Ping is a liveness probe. Either side may send one; the receiver
+// echoes Seq and TimeUS back in a Pong. The server sends them on its
+// heartbeat cadence; any traffic (not just Pong) proves the peer live.
+type Ping struct {
+	Seq    uint32
+	TimeUS uint64 // sender clock, microseconds (echoed for RTT)
+}
+
+// Type implements Message.
+func (m *Ping) Type() Type { return TPing }
+
+func (m *Ping) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	return binary.BigEndian.AppendUint64(dst, m.TimeUS)
+}
+
+func decodePing(d *decoder) (*Ping, error) {
+	m := &Ping{}
+	m.Seq = d.u32()
+	m.TimeUS = d.u64()
+	return m, d.check()
+}
+
+// Pong answers a Ping, echoing its fields.
+type Pong struct {
+	Seq    uint32
+	TimeUS uint64
+}
+
+// Type implements Message.
+func (m *Pong) Type() Type { return TPong }
+
+func (m *Pong) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
+	return binary.BigEndian.AppendUint64(dst, m.TimeUS)
+}
+
+func decodePong(d *decoder) (*Pong, error) {
+	m := &Pong{}
+	m.Seq = d.u32()
+	m.TimeUS = d.u64()
+	return m, d.check()
+}
+
+// SessionTicket is pushed by the server right after ServerInit: an
+// opaque credential the client stores and presents in a Reattach to
+// resume this session after a transport failure. Each (re)attach
+// issues a fresh ticket; presenting one invalidates it.
+type SessionTicket struct {
+	Ticket []byte
+}
+
+// Type implements Message.
+func (m *SessionTicket) Type() Type { return TSessionTicket }
+
+func (m *SessionTicket) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))
+	return append(dst, m.Ticket...)
+}
+
+func decodeSessionTicket(d *decoder) (*SessionTicket, error) {
+	m := &SessionTicket{}
+	n := int(d.u16())
+	if n > MaxTicketLen {
+		d.fail()
+		return m, d.check()
+	}
+	m.Ticket = d.bytes(n)
+	return m, d.check()
+}
+
+// Reattach replaces ClientInit in the handshake of a reconnecting
+// client: the ticket identifies the detached session to resume. The
+// viewport rides along because it may have changed while disconnected.
+// A server that cannot honor the ticket (expired, unknown, or still
+// attached) falls back to a fresh attach — either way the client
+// converges via the full-screen RAW resync.
+type Reattach struct {
+	Ticket       []byte
+	ViewW, ViewH int
+	Name         string
+}
+
+// Type implements Message.
+func (m *Reattach) Type() Type { return TReattach }
+
+func (m *Reattach) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))
+	dst = append(dst, m.Ticket...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewW))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewH))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Name)))
+	return append(dst, m.Name...)
+}
+
+func decodeReattach(d *decoder) (*Reattach, error) {
+	m := &Reattach{}
+	n := int(d.u16())
+	if n > MaxTicketLen {
+		d.fail()
+		return m, d.check()
+	}
+	m.Ticket = d.bytes(n)
+	m.ViewW = int(d.u16())
+	m.ViewH = int(d.u16())
+	n = int(d.u16())
+	m.Name = string(d.bytes(n))
+	return m, d.check()
+}

@@ -53,6 +53,11 @@ const (
 
 	TCursorSet
 	TCursorMove
+
+	TPing
+	TPong
+	TSessionTicket
+	TReattach
 )
 
 var typeNames = map[Type]string{
@@ -63,6 +68,8 @@ var typeNames = map[Type]string{
 	TInput: "INPUT", TAuthChallenge: "AUTH_CHALLENGE", TAuthResponse: "AUTH_RESPONSE",
 	TAuthResult: "AUTH_RESULT", TUpdateRequest: "UPDATE_REQUEST",
 	TCursorSet: "CURSOR_SET", TCursorMove: "CURSOR_MOVE",
+	TPing: "PING", TPong: "PONG",
+	TSessionTicket: "SESSION_TICKET", TReattach: "REATTACH",
 }
 
 func (t Type) String() string {
@@ -91,7 +98,24 @@ const MaxPayload = 16 << 20
 var (
 	ErrTooLarge = errors.New("wire: payload exceeds MaxPayload")
 	ErrCorrupt  = errors.New("wire: corrupt message")
+	// ErrUnknownType marks a well-framed message of a type this build
+	// does not know. The stream is positioned at the next frame, so
+	// receivers may skip it and keep reading (forward compatibility).
+	// Returned errors are *UnknownTypeError values matching this
+	// sentinel via errors.Is.
+	ErrUnknownType = errors.New("wire: unknown message type")
 )
+
+// UnknownTypeError reports the unrecognized type of a well-framed
+// message. It matches ErrUnknownType under errors.Is/errors.As.
+type UnknownTypeError struct{ T Type }
+
+func (e *UnknownTypeError) Error() string {
+	return fmt.Sprintf("wire: unknown message type %d", uint8(e.T))
+}
+
+// Is makes errors.Is(err, ErrUnknownType) true.
+func (e *UnknownTypeError) Is(target error) bool { return target == ErrUnknownType }
 
 // Marshal encodes a complete framed message.
 func Marshal(m Message) ([]byte, error) {
@@ -184,8 +208,16 @@ func Unmarshal(t Type, payload []byte) (Message, error) {
 		m, err = decodeCursorSet(&d)
 	case TCursorMove:
 		m, err = decodeCursorMove(&d)
+	case TPing:
+		m, err = decodePing(&d)
+	case TPong:
+		m, err = decodePong(&d)
+	case TSessionTicket:
+		m, err = decodeSessionTicket(&d)
+	case TReattach:
+		m, err = decodeReattach(&d)
 	default:
-		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, t)
+		return nil, &UnknownTypeError{T: t}
 	}
 	if err != nil {
 		return nil, err

@@ -38,7 +38,7 @@ func sampleMessages() []Message {
 		&VideoMove{Stream: 7, Dst: geom.XYWH(100, 100, 352, 240)},
 		&VideoEnd{Stream: 7},
 		&AudioData{PTS: 999, Data: []byte{5, 6, 7}},
-		&ServerInit{W: 1024, H: 768, Format: pixel.FormatARGB32},
+		&ServerInit{Ver: ProtoVersion, W: 1024, H: 768, Format: pixel.FormatARGB32},
 		&ClientInit{ViewW: 320, ViewH: 240, Name: "pda"},
 		&Resize{ViewW: 640, ViewH: 480},
 		&Input{Kind: InputMouseButton, X: 512, Y: 384, Code: 1, Press: true, TimeUS: 123456},
@@ -49,6 +49,11 @@ func sampleMessages() []Message {
 		&CursorSet{HotX: 2, HotY: 3, W: 2, H: 2,
 			Pix: []pixel.ARGB{1, 2, 3, 4}},
 		&CursorMove{X: 100, Y: 200},
+		&Ping{Seq: 3, TimeUS: 777},
+		&Pong{Seq: 3, TimeUS: 777},
+		&SessionTicket{Ticket: []byte("ticket-0123456789abcdef")},
+		&Reattach{Ticket: []byte("ticket-0123456789abcdef"),
+			ViewW: 320, ViewH: 240, Name: "pda"},
 	}
 }
 
@@ -181,7 +186,7 @@ func TestFuzzDecodeNoPanic(t *testing.T) {
 		rnd := rand.New(rand.NewSource(seed))
 		payload := make([]byte, rnd.Intn(64))
 		rnd.Read(payload)
-		typ := Type(rnd.Intn(24))
+		typ := Type(rnd.Intn(int(TReattach) + 4))
 		_, _ = Unmarshal(typ, payload) // errors fine, panics not
 		return true
 	}
