@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check
+.PHONY: all build vet test race check bench-snapshot
 
 all: check
 
@@ -17,3 +17,8 @@ race:
 	$(GO) test -race ./...
 
 check: build vet race
+
+# Quick benchmark run that dumps THINC's per-command-type byte counts
+# and core telemetry series to BENCH_pr2.json.
+bench-snapshot:
+	$(GO) run ./cmd/thinc-bench -quick -fig 2 -telemetry-out BENCH_pr2.json

@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"thinc/internal/baseline"
 	"thinc/internal/bench"
 )
 
@@ -26,6 +27,7 @@ func main() {
 	pages := flag.Int("pages", 0, "web pages per run (0 = full 54-page benchmark)")
 	seconds := flag.Float64("seconds", 0, "A/V clip seconds (0 = full 34.75s clip)")
 	quick := flag.Bool("quick", false, "shortcut for -pages 9 -seconds 5")
+	telemetryOut := flag.String("telemetry-out", "", "write a THINC telemetry snapshot (per-command-type bytes + core series) to this JSON file")
 	flag.Parse()
 
 	if *quick {
@@ -64,5 +66,35 @@ func main() {
 	for _, t := range tables {
 		fmt.Println(t.String())
 	}
+	if *telemetryOut != "" {
+		if err := writeTelemetry(*telemetryOut, *pages, *seconds); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
+	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTelemetry runs THINC's web and A/V workloads over the LAN
+// configuration and dumps per-command-type delivery counts plus the
+// core translation/scheduler series to a JSON file.
+func writeTelemetry(path string, pages int, seconds float64) error {
+	sys := baseline.THINC()
+	cfg := bench.LANDesktop()
+	report := &bench.TelemetryReport{}
+	web := bench.RunWeb(sys, cfg, pages)
+	report.Runs = append(report.Runs, bench.TelemetryRun{
+		System: web.System, Config: web.Config, Workload: "web", Snapshot: web.Telemetry,
+	})
+	av := bench.RunAV(sys, cfg, seconds)
+	report.Runs = append(report.Runs, bench.TelemetryRun{
+		System: av.System, Config: av.Config, Workload: "av", Snapshot: av.Telemetry,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.Write(f)
 }

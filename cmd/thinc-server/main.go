@@ -25,6 +25,7 @@ import (
 	"thinc/internal/geom"
 	"thinc/internal/pixel"
 	"thinc/internal/server"
+	"thinc/internal/telemetry"
 	"thinc/internal/ui"
 	"thinc/internal/wire"
 	"thinc/internal/xserver"
@@ -43,6 +44,8 @@ func main() {
 	hbTimeout := flag.Duration("heartbeat-timeout", 0, "silence before a peer is reaped (0 = 3x heartbeat)")
 	detachGrace := flag.Duration("detach-grace", 30*time.Second, "how long a dropped session may reattach with its ticket (negative disables)")
 	maxBacklog := flag.Int("max-backlog", 32<<20, "per-client command backlog bound in bytes before a forced resync (negative disables)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. :6060; empty disables)")
+	statsInterval := flag.Duration("stats-interval", 0, "print a one-line telemetry summary at this interval (0 disables)")
 	flag.Parse()
 
 	accounts := auth.NewAccounts()
@@ -78,6 +81,18 @@ func main() {
 		log.Printf("recording session to %s", *record)
 	}
 
+	if *debugAddr != "" {
+		dbg, err := telemetry.Serve(*debugAddr, host.Telemetry(), host.Tracer())
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s (/metrics, /debug/trace, /debug/pprof)", dbg.Addr())
+	}
+	if *statsInterval > 0 {
+		go statsLoop(host, *statsInterval)
+	}
+
 	if *demo {
 		go app.run(*w, *h)
 	}
@@ -90,6 +105,29 @@ func main() {
 	log.Printf("thinc-server: %dx%d session on %s (user %q)", *w, *h, l.Addr(), *user)
 	if err := host.Serve(l); err != nil {
 		log.Fatalf("serve: %v", err)
+	}
+}
+
+// statsLoop prints a one-line telemetry summary every interval: client
+// count, command/byte deltas, scheduler pressure, and heartbeat RTT.
+func statsLoop(host *server.Host, interval time.Duration) {
+	reg := host.Telemetry()
+	var lastMsgs, lastBytes int64
+	for range time.Tick(interval) {
+		msgs := reg.Total("thinc_wire_messages_total")
+		bytes := reg.Total("thinc_wire_bytes_total")
+		queued := reg.Total("thinc_sched_commands_queued_total")
+		merged := reg.Value("thinc_sched_commands_merged_total")
+		evicted := reg.Value("thinc_sched_commands_evicted_total")
+		rttN, rttSum := reg.HistogramStats("thinc_heartbeat_rtt_us")
+		var rttAvg int64
+		if rttN > 0 {
+			rttAvg = rttSum / rttN
+		}
+		log.Printf("stats: clients=%d msgs=%d (+%d) bytes=%d (+%d) queued=%d merged=%d evicted=%d rtt_avg=%dus",
+			host.NumClients(), msgs, msgs-lastMsgs, bytes, bytes-lastBytes,
+			queued, merged, evicted, rttAvg)
+		lastMsgs, lastBytes = msgs, bytes
 	}
 }
 

@@ -92,9 +92,10 @@ type PageResult struct {
 
 // WebResult is a complete web benchmark run.
 type WebResult struct {
-	System string
-	Config string
-	Pages  []PageResult
+	System    string
+	Config    string
+	Pages     []PageResult
+	Telemetry *TelemetrySnapshot // nil for systems without telemetry
 }
 
 // AvgLatencyNet returns the mean page latency (network measure).
@@ -210,6 +211,7 @@ func RunWeb(sys baseline.System, cfg Config, pages int) WebResult {
 			ImageHeavy:  st.ImageHeavy,
 		})
 	}
+	res.Telemetry = snapshotTelemetry(sess)
 	return res
 }
 
@@ -222,8 +224,9 @@ type AVResult struct {
 	AudioQuality float64
 	Frames       int
 	Bytes        int64
-	Mbps         float64  // average bandwidth over the clip
-	MaxAVSkew    sim.Time // §4.2 synchronization bound (native path)
+	Mbps         float64            // average bandwidth over the clip
+	MaxAVSkew    sim.Time           // §4.2 synchronization bound (native path)
+	Telemetry    *TelemetrySnapshot // nil for systems without telemetry
 }
 
 // avWeightVideo weighs video over audio in the combined measure; the
@@ -336,6 +339,7 @@ func RunAV(sys baseline.System, cfg Config, seconds float64) AVResult {
 		span = st.LastDelivery - t0
 	}
 	res.Mbps = float64(res.Bytes*8) / span.Seconds() / 1e6
+	res.Telemetry = snapshotTelemetry(sess)
 	return res
 }
 

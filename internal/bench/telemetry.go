@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"thinc/internal/baseline"
+	"thinc/internal/telemetry"
+)
+
+// TelemetrySnapshot captures a session's wire-level and core telemetry
+// after a benchmark run, serialized to BENCH_telemetry-style JSON.
+type TelemetrySnapshot struct {
+	// Delivered messages and bytes keyed by wire command type name
+	// ("RAW", "COPY", "SFILL", "PFILL", "BITMAP", ...).
+	MsgsByType  map[string]int64 `json:"msgs_by_type,omitempty"`
+	BytesByType map[string]int64 `json:"bytes_by_type,omitempty"`
+	// Every series in the session's core registry (translation counters,
+	// scheduler queue/merge/evict/split activity, size histograms).
+	Series []telemetry.SeriesSnapshot `json:"series,omitempty"`
+}
+
+// sessionTelemetry is implemented by sessions that expose per-type
+// delivery accounting and a core metrics registry (the THINC push
+// pipeline does; black-box baselines do not).
+type sessionTelemetry interface {
+	WireByType() (msgs, bytes map[string]int64)
+	Telemetry() *telemetry.Registry
+}
+
+// snapshotTelemetry extracts a snapshot from a finished session, or nil
+// when the system under test doesn't expose telemetry.
+func snapshotTelemetry(sess baseline.Session) *TelemetrySnapshot {
+	st, ok := sess.(sessionTelemetry)
+	if !ok {
+		return nil
+	}
+	msgs, bytes := st.WireByType()
+	snap := &TelemetrySnapshot{MsgsByType: msgs, BytesByType: bytes}
+	if reg := st.Telemetry(); reg != nil {
+		snap.Series = reg.Snapshot()
+	}
+	return snap
+}
+
+// TelemetryReport is the top-level BENCH_telemetry JSON document: one
+// entry per benchmark run that produced a snapshot.
+type TelemetryReport struct {
+	Runs []TelemetryRun `json:"runs"`
+}
+
+// TelemetryRun names one run's snapshot.
+type TelemetryRun struct {
+	System   string             `json:"system"`
+	Config   string             `json:"config"`
+	Workload string             `json:"workload"` // "web" or "av"
+	Snapshot *TelemetrySnapshot `json:"snapshot"`
+}
+
+// Write serializes the report as indented JSON.
+func (r *TelemetryReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -8,6 +8,7 @@ package client
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"thinc/internal/fb"
 	"thinc/internal/geom"
@@ -33,11 +34,45 @@ type Stats struct {
 	PongsSent  int
 }
 
+// counters is the lock-free backing store for Stats. The per-type
+// arrays are indexed by wire.Type (a uint8), so hot-path accounting is
+// two atomic adds with no map or lock; Stats() materializes the maps.
+// Everything is atomic so telemetry pollers can read mid-apply and
+// `go test -race` stays clean.
+type counters struct {
+	msgs  [256]atomic.Int64
+	bytes [256]atomic.Int64
+
+	framesShown atomic.Int64
+	audioChunks atomic.Int64
+	lastVideoTS atomic.Uint64
+	lastAudioTS atomic.Uint64
+}
+
+// snapshot builds a point-in-time Stats view.
+func (ct *counters) snapshot() *Stats {
+	s := &Stats{
+		Messages:    make(map[wire.Type]int),
+		Bytes:       make(map[wire.Type]int64),
+		FramesShown: int(ct.framesShown.Load()),
+		AudioChunks: int(ct.audioChunks.Load()),
+		LastVideoTS: ct.lastVideoTS.Load(),
+		LastAudioTS: ct.lastAudioTS.Load(),
+	}
+	for t := range ct.msgs {
+		if n := ct.msgs[t].Load(); n > 0 {
+			s.Messages[wire.Type(t)] = int(n)
+			s.Bytes[wire.Type(t)] = ct.bytes[t].Load()
+		}
+	}
+	return s
+}
+
 // Client is a THINC display client.
 type Client struct {
 	fb      *fb.Framebuffer
 	streams map[uint32]*stream
-	stats   Stats
+	stats   counters
 	cursor  cursorState
 }
 
@@ -60,24 +95,31 @@ func New(w, h int) *Client {
 	return &Client{
 		fb:      fb.New(w, h),
 		streams: make(map[uint32]*stream),
-		stats: Stats{
-			Messages: make(map[wire.Type]int),
-			Bytes:    make(map[wire.Type]int64),
-		},
 	}
 }
 
 // FB returns the client's framebuffer (what the user sees).
 func (c *Client) FB() *fb.Framebuffer { return c.fb }
 
-// Stats returns the instrumentation counters.
-func (c *Client) Stats() *Stats { return &c.stats }
+// Stats returns a point-in-time snapshot of the instrumentation
+// counters. Safe to call from any goroutine while Apply runs.
+func (c *Client) Stats() *Stats { return c.stats.snapshot() }
+
+// MsgCount and MsgBytes read a single per-type counter without
+// building the full snapshot (telemetry scrape path).
+func (c *Client) MsgCount(t wire.Type) int64 { return c.stats.msgs[t].Load() }
+
+// MsgBytes returns wire bytes applied for one message type.
+func (c *Client) MsgBytes(t wire.Type) int64 { return c.stats.bytes[t].Load() }
+
+// FramesShown returns the number of video frames displayed.
+func (c *Client) FramesShown() int64 { return c.stats.framesShown.Load() }
 
 // BytesTotal returns the total wire bytes applied.
 func (c *Client) BytesTotal() int64 {
 	var n int64
-	for _, b := range c.stats.Bytes {
-		n += b
+	for t := range c.stats.bytes {
+		n += c.stats.bytes[t].Load()
 	}
 	return n
 }
@@ -86,8 +128,8 @@ func (c *Client) BytesTotal() int64 {
 // Unknown or server-bound messages return an error; a well-behaved
 // server never sends them.
 func (c *Client) Apply(m wire.Message) error {
-	c.stats.Messages[m.Type()]++
-	c.stats.Bytes[m.Type()] += int64(wire.WireSize(m))
+	c.stats.msgs[m.Type()].Add(1)
+	c.stats.bytes[m.Type()].Add(int64(wire.WireSize(m)))
 
 	switch v := m.(type) {
 	case *wire.Raw:
@@ -122,8 +164,8 @@ func (c *Client) Apply(m wire.Message) error {
 		}
 		st.lastFrame = img
 		c.fb.OverlayYV12(st.dst, img) // hardware overlay: convert + scale
-		c.stats.FramesShown++
-		c.stats.LastVideoTS = v.PTS
+		c.stats.framesShown.Add(1)
+		c.stats.lastVideoTS.Store(v.PTS)
 	case *wire.VideoMove:
 		st, ok := c.streams[v.Stream]
 		if !ok {
@@ -136,8 +178,8 @@ func (c *Client) Apply(m wire.Message) error {
 	case *wire.VideoEnd:
 		delete(c.streams, v.Stream)
 	case *wire.AudioData:
-		c.stats.AudioChunks++
-		c.stats.LastAudioTS = v.PTS
+		c.stats.audioChunks.Add(1)
+		c.stats.lastAudioTS.Store(v.PTS)
 	case *wire.CursorSet:
 		c.cursor.img = v.Pix
 		c.cursor.w, c.cursor.h = v.W, v.H

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thinc/internal/auth"
@@ -61,11 +62,15 @@ type Conn struct {
 	enc    *cipher.StreamConn
 	c      *Client
 	ticket []byte
-	state  ConnState
 	closed bool
 
-	reconnects int
-	pongsSent  int
+	// Lifecycle counters are atomic so telemetry pollers and tests can
+	// read them while Run holds no lock (clean under -race).
+	state      atomic.Int32 // ConnState
+	reconnects atomic.Int64
+	pongsSent  atomic.Int64
+
+	tel *connTelemetry
 
 	wmu sync.Mutex // serializes protocol writes (input, pongs)
 
@@ -109,12 +114,14 @@ func Handshake(nc net.Conn, user, secret string, viewW, viewH int) (*Conn, error
 	if viewW <= 0 || viewH <= 0 || viewW > si.W || viewH > si.H {
 		viewW, viewH = si.W, si.H
 	}
-	return &Conn{
+	cn := &Conn{
 		nc: nc, enc: enc,
 		user: user, secret: secret,
 		c:       New(viewW, viewH),
 		ServerW: si.W, ServerH: si.H,
-	}, nil
+	}
+	cn.initTelemetry()
+	return cn, nil
 }
 
 // handshake authenticates, switches to the encrypted transport, sends
@@ -242,9 +249,7 @@ func (cn *Conn) Run() error {
 			if err := cn.send(&wire.Pong{Seq: v.Seq, TimeUS: v.TimeUS}); err != nil {
 				return err
 			}
-			cn.mu.Lock()
-			cn.pongsSent++
-			cn.mu.Unlock()
+			cn.pongsSent.Add(1)
 			continue
 		case *wire.Pong:
 			continue // RTT probes we did not send; ignore
@@ -254,9 +259,12 @@ func (cn *Conn) Run() error {
 			cn.mu.Unlock()
 			continue
 		}
+		start := time.Now()
 		cn.mu.Lock()
 		err = cn.c.Apply(m)
 		cn.mu.Unlock()
+		cn.tel.applyLat.Observe(time.Since(start).Microseconds())
+		cn.tel.updates.Inc()
 		if err != nil {
 			return err
 		}
@@ -275,15 +283,11 @@ func (cn *Conn) send(m wire.Message) error {
 
 // State returns the connection's lifecycle state.
 func (cn *Conn) State() ConnState {
-	cn.mu.Lock()
-	defer cn.mu.Unlock()
-	return cn.state
+	return ConnState(cn.state.Load())
 }
 
 func (cn *Conn) setState(s ConnState) {
-	cn.mu.Lock()
-	cn.state = s
-	cn.mu.Unlock()
+	cn.state.Store(int32(s))
 }
 
 // Ticket returns a copy of the last session ticket the server issued
@@ -316,23 +320,14 @@ func (cn *Conn) CursorPos() geom.Point {
 	return cn.c.CursorPos()
 }
 
-// Stats returns a copy of the client instrumentation counters,
-// including the connection state and reconnect accounting.
+// Stats returns a point-in-time copy of the client instrumentation
+// counters, including the connection state and reconnect accounting.
+// Safe to call from any goroutine while Run applies updates.
 func (cn *Conn) Stats() Stats {
-	cn.mu.Lock()
-	defer cn.mu.Unlock()
-	s := *cn.c.Stats()
-	s.Messages = make(map[wire.Type]int, len(cn.c.Stats().Messages))
-	s.Bytes = make(map[wire.Type]int64, len(cn.c.Stats().Bytes))
-	for k, v := range cn.c.Stats().Messages {
-		s.Messages[k] = v
-	}
-	for k, v := range cn.c.Stats().Bytes {
-		s.Bytes[k] = v
-	}
-	s.State = cn.state
-	s.Reconnects = cn.reconnects
-	s.PongsSent = cn.pongsSent
+	s := *cn.client().Stats()
+	s.State = ConnState(cn.state.Load())
+	s.Reconnects = int(cn.reconnects.Load())
+	s.PongsSent = int(cn.pongsSent.Load())
 	return s
 }
 
@@ -358,9 +353,9 @@ func (cn *Conn) RequestResize(viewW, viewH int) error {
 func (cn *Conn) Close() error {
 	cn.mu.Lock()
 	cn.closed = true
-	cn.state = StateGone
 	nc := cn.nc
 	cn.mu.Unlock()
+	cn.state.Store(int32(StateGone))
 	return nc.Close()
 }
 

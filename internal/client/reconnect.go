@@ -114,8 +114,6 @@ func (cn *Conn) RunAuto(policy ReconnectPolicy) error {
 			cn.setState(StateGone)
 			return err
 		}
-		cn.mu.Lock()
-		cn.reconnects++
-		cn.mu.Unlock()
+		cn.reconnects.Add(1)
 	}
 }

@@ -1,0 +1,72 @@
+package client_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+// TestConnStatsConcurrentPolling hammers Conn.Stats and the telemetry
+// registry from several goroutines while the update stream applies —
+// the telemetry poller's access pattern. Run under -race this proves
+// the stats path is lock-free-safe end to end.
+func TestConnStatsConcurrentPolling(t *testing.T) {
+	h := newHost(t, 64, 48)
+	conn, err := pipeTo(t, h, "u", "p", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	stop := make(chan struct{})
+	var drawers sync.WaitGroup
+	drawers.Add(1)
+	go func() {
+		defer drawers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Do(func(d *xserver.Display) {
+				w := d.CreateWindow(geom.XYWH(0, 0, 64, 48))
+				d.FillRect(w, &xserver.GC{Fg: pixel.RGB(uint8(i), 0, 0)},
+					geom.XYWH(i%32, i%24, 8, 8))
+			})
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var pollers sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for i := 0; i < 200; i++ {
+				st := conn.Stats()
+				_ = st.Messages[wire.TRaw] + st.Messages[wire.TSFill]
+				_ = st.Reconnects + st.PongsSent
+				_ = conn.State()
+				conn.Telemetry().WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	pollers.Wait()
+	close(stop)
+	drawers.Wait()
+
+	waitFor(t, "updates applied", func() bool {
+		return conn.Stats().Messages[wire.TRaw] > 0
+	})
+	if conn.Telemetry().NumSeries() == 0 {
+		t.Fatal("connection telemetry registered no series")
+	}
+}

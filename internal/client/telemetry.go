@@ -1,0 +1,69 @@
+package client
+
+import (
+	"strings"
+
+	"thinc/internal/telemetry"
+	"thinc/internal/wire"
+)
+
+// connTelemetry is the per-connection metrics registry. The apply path
+// pays one histogram observation and one counter increment per update;
+// per-type message and byte series read straight through the client's
+// atomic counters at scrape time, so they cost nothing on the hot path.
+type connTelemetry struct {
+	reg      *telemetry.Registry
+	applyLat *telemetry.Histogram
+	updates  *telemetry.Counter
+}
+
+// telemetryTypes are the message types exported as labeled series: the
+// five display commands (§4) plus the streaming and control traffic a
+// client applies.
+var telemetryTypes = []wire.Type{
+	wire.TRaw, wire.TCopy, wire.TSFill, wire.TPFill, wire.TBitmap,
+	wire.TVideoFrame, wire.TAudioData,
+}
+
+func (cn *Conn) initTelemetry() {
+	reg := telemetry.NewRegistry()
+	cn.tel = &connTelemetry{
+		reg: reg,
+		applyLat: reg.Histogram("thinc_client_apply_latency_us",
+			"time to decode and apply one update to the local framebuffer",
+			telemetry.LatencyBucketsUS),
+		updates: reg.Counter("thinc_client_updates_applied_total",
+			"protocol messages applied to the local framebuffer"),
+	}
+	for _, wt := range telemetryTypes {
+		wt := wt
+		l := telemetry.L("type", strings.ToLower(wt.String()))
+		reg.CounterFunc("thinc_client_messages_total",
+			"messages applied by type",
+			func() int64 { return cn.client().MsgCount(wt) }, l)
+		reg.CounterFunc("thinc_client_bytes_total",
+			"wire bytes applied by type",
+			func() int64 { return cn.client().MsgBytes(wt) }, l)
+	}
+	reg.GaugeFunc("thinc_client_state",
+		"connection state (0=connected 1=reconnecting 2=gone)",
+		func() int64 { return int64(cn.state.Load()) })
+	reg.CounterFunc("thinc_client_reconnects_total",
+		"successful session reattaches",
+		func() int64 { return cn.reconnects.Load() })
+	reg.CounterFunc("thinc_client_pongs_sent_total",
+		"heartbeat pongs answered",
+		func() int64 { return cn.pongsSent.Load() })
+}
+
+// client returns the current display client. RequestResize replaces it,
+// so readers must fetch the pointer under the lock rather than cache it.
+func (cn *Conn) client() *Client {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.c
+}
+
+// Telemetry returns the connection's metrics registry, for export
+// through a debug listener or a bench snapshot.
+func (cn *Conn) Telemetry() *telemetry.Registry { return cn.tel.reg }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"thinc/internal/telemetry"
+)
+
+// Metrics is the instrument bundle for the translation layer (§4) and
+// the SRSF scheduler (§5). One bundle serves a whole core.Server: the
+// per-client buffers it creates share the counters, so the series
+// describe the session's aggregate command path. All instruments are
+// pre-registered; the hot paths only perform atomic increments.
+//
+// Trace, when non-nil and enabled, receives command-path events
+// (eviction sweeps, RAW splits, buffer clears); every emit site gates
+// on Trace.Enabled() so disabled tracing costs one atomic load.
+type Metrics struct {
+	Trace *telemetry.Tracer
+
+	// Translation layer.
+	onscreenCmds    *telemetry.Counter
+	offscreenCmds   *telemetry.Counter
+	offscreenExecs  *telemetry.Counter
+	offscreenEvicts *telemetry.Counter
+	rawFallbacks    *telemetry.Counter
+
+	// Scheduler / command buffer.
+	queuedByClass [3]*telemetry.Counter
+	merged        *telemetry.Counter
+	evicted       *telemetry.Counter
+	frameDrops    *telemetry.Counter
+	sent          *telemetry.Counter
+	splits        *telemetry.Counter
+	rtPromotions  *telemetry.Counter
+	bufferClears  *telemetry.Counter
+	bytesSent     *telemetry.Counter
+	cmdSize       *telemetry.Histogram
+	flushBytes    *telemetry.Histogram
+	queueWait     *telemetry.Histogram
+}
+
+// NewMetrics registers the core instrument bundle into reg. A nil reg
+// gets a private, never-rendered registry, so instruments are always
+// live and hot paths never nil-check.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &Metrics{
+		onscreenCmds: reg.Counter("thinc_translate_commands_total",
+			"translated commands by destination", telemetry.L("dest", "screen")),
+		offscreenCmds: reg.Counter("thinc_translate_commands_total",
+			"translated commands by destination", telemetry.L("dest", "offscreen")),
+		offscreenExecs: reg.Counter("thinc_translate_offscreen_execs_total",
+			"offscreen queues executed on copy-to-screen"),
+		offscreenEvicts: reg.Counter("thinc_translate_offscreen_evicted_total",
+			"commands evicted inside offscreen queues"),
+		rawFallbacks: reg.Counter("thinc_translate_raw_fallbacks_total",
+			"operations degraded to raw pixel transfers"),
+		merged: reg.Counter("thinc_sched_commands_merged_total",
+			"commands absorbed into a buffered predecessor"),
+		evicted: reg.Counter("thinc_sched_commands_evicted_total",
+			"buffered commands dropped by overwrite eviction or clears"),
+		frameDrops: reg.Counter("thinc_sched_frame_drops_total",
+			"video frames replaced before delivery"),
+		sent: reg.Counter("thinc_sched_commands_sent_total",
+			"commands fully delivered by the scheduler"),
+		splits: reg.Counter("thinc_sched_raw_splits_total",
+			"RAW commands broken for non-blocking flush"),
+		rtPromotions: reg.Counter("thinc_sched_realtime_promotions_total",
+			"commands promoted to the real-time queue"),
+		bufferClears: reg.Counter("thinc_sched_buffer_clears_total",
+			"whole-buffer discards (slow-client policy, reattach)"),
+		bytesSent: reg.Counter("thinc_sched_bytes_sent_total",
+			"wire bytes emitted by the scheduler"),
+		cmdSize: reg.Histogram("thinc_sched_command_size_bytes",
+			"wire size of commands entering the buffer (bounds match the SRSF queue bounds)",
+			telemetry.SizeBuckets),
+		flushBytes: reg.Histogram("thinc_sched_flush_bytes",
+			"bytes delivered per non-empty flush", telemetry.ByteBuckets),
+		queueWait: reg.Histogram("thinc_sched_queue_wait_flushes",
+			"flush periods a command waited in the buffer before delivery",
+			telemetry.CountBuckets),
+	}
+	for cl, name := range map[Class]string{
+		Partial: "partial", Complete: "complete", Transparent: "transparent",
+	} {
+		m.queuedByClass[cl] = reg.Counter("thinc_sched_commands_queued_total",
+			"commands accepted into client buffers by overwrite class",
+			telemetry.L("class", name))
+	}
+	return m
+}
+
+// nopMetrics serves buffers and servers created without a registry; the
+// atomics still tick but are never rendered.
+var nopMetrics = NewMetrics(nil)
+
+// QueueLoads sums the current SRSF queue occupancy across every
+// attached client: depth[i] commands and bytes[i] remaining wire bytes
+// in size queue i, with index NumQueues holding the real-time queue.
+// The caller provides synchronization (the core is single-threaded
+// under its owner's lock); scrape-time gauges read through this instead
+// of paying per-command bookkeeping.
+func (s *Server) QueueLoads() (depth, bytes [NumQueues + 1]int64) {
+	for c := range s.clients {
+		c.Buf.queueLoads(&depth, &bytes)
+	}
+	return depth, bytes
+}
+
+// queueLoads accumulates this buffer's per-queue occupancy.
+func (b *ClientBuffer) queueLoads(depth, bytes *[NumQueues + 1]int64) {
+	for _, e := range b.entries {
+		q := NumQueues // real-time queue
+		if !e.realtime {
+			q = sizeQueue(e.cmd.WireSize())
+		}
+		depth[q]++
+		bytes[q] += int64(e.cmd.WireSize())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"thinc/internal/geom"
@@ -67,6 +68,7 @@ type entry struct {
 	stream   uint32
 	isFrame  bool
 	slot     string // replacement-slot key ("" = none)
+	inFlush  uint64 // flush counter at insertion (queue-residency metric)
 }
 
 // BufferStats accounts a client buffer's activity.
@@ -84,6 +86,7 @@ type BufferStats struct {
 type ClientBuffer struct {
 	entries []*entry
 	seq     uint64
+	flushes uint64 // Flush invocations (queue-residency metric)
 
 	rtCenter geom.Point
 	rtTTL    int
@@ -93,10 +96,21 @@ type ClientBuffer struct {
 	FIFO bool
 
 	Stats BufferStats
+
+	met *Metrics
 }
 
 // NewClientBuffer returns an empty buffer.
-func NewClientBuffer() *ClientBuffer { return &ClientBuffer{} }
+func NewClientBuffer() *ClientBuffer { return &ClientBuffer{met: nopMetrics} }
+
+// NewClientBufferWith returns an empty buffer reporting into the given
+// instrument bundle (nil falls back to detached instruments).
+func NewClientBufferWith(met *Metrics) *ClientBuffer {
+	if met == nil {
+		met = nopMetrics
+	}
+	return &ClientBuffer{met: met}
+}
 
 // Clear drops every buffered command without delivering it — the
 // slow-client policy: when a peer cannot keep up, stale commands are
@@ -104,6 +118,11 @@ func NewClientBuffer() *ClientBuffer { return &ClientBuffer{} }
 // letting the backlog grow without bound.
 func (b *ClientBuffer) Clear() {
 	b.Stats.Evicted += len(b.entries)
+	b.met.evicted.Add(int64(len(b.entries)))
+	b.met.bufferClears.Inc()
+	if b.met.Trace.Enabled() {
+		b.met.Trace.Event("sched.clear", fmt.Sprintf("dropped=%d", len(b.entries)))
+	}
 	b.entries = b.entries[:0]
 }
 
@@ -137,6 +156,8 @@ func (b *ClientBuffer) rtRegion() geom.Rect {
 // aggregation, dependency recording, and real-time classification.
 func (b *ClientBuffer) Add(cmd Command) {
 	b.Stats.Queued++
+	b.met.queuedByClass[cmd.Class()].Inc()
+	b.met.cmdSize.Observe(int64(cmd.WireSize()))
 
 	// Overwrite eviction (opaque commands only). Regions a buffered COPY
 	// still reads from are protected: clipping the command that drew a
@@ -189,6 +210,7 @@ func (b *ClientBuffer) Add(cmd Command) {
 			}
 			if evicted {
 				b.Stats.Evicted++
+				b.met.evicted.Inc()
 				continue
 			}
 			kept = append(kept, e)
@@ -224,6 +246,7 @@ func (b *ClientBuffer) Add(cmd Command) {
 	// absorbs the newcomer's dependencies.
 	if n := len(b.entries); n > 0 && b.entries[n-1].cmd.Merge(cmd) {
 		b.Stats.Merged++
+		b.met.merged.Inc()
 		last := b.entries[n-1]
 		last.deps = appendNewDeps(last.deps, deps, last)
 		if len(last.deps) > 0 {
@@ -232,7 +255,7 @@ func (b *ClientBuffer) Add(cmd Command) {
 		return
 	}
 
-	e := &entry{cmd: cmd, seq: b.seq, deps: deps}
+	e := &entry{cmd: cmd, seq: b.seq, deps: deps, inFlush: b.flushes}
 	b.seq++
 
 	// Real-time classification: small, dependency-free updates
@@ -247,6 +270,9 @@ func (b *ClientBuffer) Add(cmd Command) {
 	if cc, ok := cmd.(*ctlCmd); ok && cc.rt && len(deps) == 0 {
 		e.realtime = true // cursor traffic is interactive feedback
 	}
+	if e.realtime {
+		b.met.rtPromotions.Inc()
+	}
 	b.entries = append(b.entries, e)
 }
 
@@ -258,16 +284,18 @@ const slotCursorMove = "cursor-move"
 // video frames use the same mechanism keyed per stream).
 func (b *ClientBuffer) AddSlot(cmd Command, key string) {
 	b.Stats.Queued++
+	b.met.queuedByClass[cmd.Class()].Inc()
+	b.met.cmdSize.Observe(int64(cmd.WireSize()))
 	for i, e := range b.entries {
 		if e.slot == key {
 			e2 := &entry{cmd: cmd, seq: e.seq, deps: e.deps,
-				realtime: e.realtime, slot: key}
+				realtime: e.realtime, slot: key, inFlush: e.inFlush}
 			b.entries[i] = e2
 			b.redirectDeps(e, e2)
 			return
 		}
 	}
-	e := &entry{cmd: cmd, seq: b.seq, slot: key}
+	e := &entry{cmd: cmd, seq: b.seq, slot: key, inFlush: b.flushes}
 	b.seq++
 	if cc, ok := cmd.(*ctlCmd); ok && cc.rt {
 		e.realtime = true
@@ -300,17 +328,20 @@ func appendNewDeps(dst, add []*entry, self *entry) []*entry {
 // It reports whether an older frame was dropped.
 func (b *ClientBuffer) AddFrame(cmd *FrameCmd) (dropped bool) {
 	b.Stats.Queued++
+	b.met.queuedByClass[cmd.Class()].Inc()
+	b.met.cmdSize.Observe(int64(cmd.WireSize()))
 	for i, e := range b.entries {
 		if e.isFrame && e.stream == cmd.StreamID {
 			e2 := &entry{cmd: cmd, seq: e.seq, deps: e.deps,
-				stream: cmd.StreamID, isFrame: true}
+				stream: cmd.StreamID, isFrame: true, inFlush: e.inFlush}
 			b.entries[i] = e2
 			b.redirectDeps(e, e2)
 			b.Stats.FrameDrops++
+			b.met.frameDrops.Inc()
 			return true
 		}
 	}
-	e := &entry{cmd: cmd, seq: b.seq, stream: cmd.StreamID, isFrame: true}
+	e := &entry{cmd: cmd, seq: b.seq, stream: cmd.StreamID, isFrame: true, inFlush: b.flushes}
 	b.seq++
 	b.entries = append(b.entries, e)
 	return false
@@ -347,6 +378,7 @@ func (b *ClientBuffer) Flush(budget int) []wire.Message {
 	if len(b.entries) == 0 || budget <= 0 {
 		return nil
 	}
+	b.flushes++
 
 	inBuf := make(map[*entry]bool, len(b.entries))
 	for _, e := range b.entries {
@@ -395,18 +427,30 @@ func (b *ClientBuffer) Flush(budget int) []wire.Message {
 				budget -= sz
 				delivered[e] = true
 				b.Stats.Sent++
+				b.met.sent.Inc()
+				b.met.queueWait.Observe(int64(b.flushes - 1 - e.inFlush))
 				progress = true
 				continue
 			}
-			// Command breaking: only RAW payloads split cleanly.
+			// Command breaking: only RAW payloads split cleanly. The
+			// remainder keeps waiting with its *reduced* wire size, so the
+			// next flush reschedules it in the queue matching what is
+			// actually left to send (see TestSplitRemainderRequeued).
 			if rc, ok := e.cmd.(*RawCmd); ok {
 				if part := rc.SplitTop(budget); part != nil {
 					out = part.Emit(out)
 					budget -= part.WireSize()
 					b.Stats.Splits++
+					b.met.splits.Inc()
+					if b.met.Trace.Enabled() {
+						b.met.Trace.Event("sched.split",
+							fmt.Sprintf("part=%dB remaining=%dB", part.WireSize(), rc.WireSize()))
+					}
 					if rc.Live().Empty() {
 						delivered[e] = true
 						b.Stats.Sent++
+						b.met.sent.Inc()
+						b.met.queueWait.Observe(int64(b.flushes - 1 - e.inFlush))
 					}
 				}
 			}
@@ -424,8 +468,14 @@ func (b *ClientBuffer) Flush(budget int) []wire.Message {
 		}
 		b.entries = kept
 	}
+	var flushed int64
 	for _, m := range out {
-		b.Stats.BytesSent += int64(wire.WireSize(m))
+		flushed += int64(wire.WireSize(m))
+	}
+	b.Stats.BytesSent += flushed
+	if len(out) > 0 {
+		b.met.bytesSent.Add(flushed)
+		b.met.flushBytes.Observe(flushed)
 	}
 	return out
 }
@@ -494,9 +544,14 @@ func (b *ClientBuffer) FlushOne() []wire.Message {
 		}
 		b.entries = kept
 		b.Stats.Sent++
+		b.met.sent.Inc()
+		var flushed int64
 		for _, m := range out {
-			b.Stats.BytesSent += int64(wire.WireSize(m))
+			flushed += int64(wire.WireSize(m))
 		}
+		b.Stats.BytesSent += flushed
+		b.met.bytesSent.Add(flushed)
+		b.met.flushBytes.Observe(flushed)
 		return out
 	}
 	return nil

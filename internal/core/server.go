@@ -32,6 +32,10 @@ type Options struct {
 	// FIFODelivery disables the SRSF scheduler: per-client buffers
 	// flush in arrival order (ablation for §5).
 	FIFODelivery bool
+	// Metrics, when set, receives translation and scheduler telemetry
+	// (see NewMetrics). Nil servers use detached instruments, so the
+	// instrumentation is always on and never nil-checked.
+	Metrics *Metrics
 }
 
 // Server is the THINC server core: the virtual display driver (§3). It
@@ -62,6 +66,8 @@ type Server struct {
 
 	// Stats aggregates translation activity across the session.
 	Stats TranslateStats
+
+	met *Metrics
 }
 
 // TranslateStats counts translation-layer events.
@@ -90,11 +96,16 @@ type Client struct {
 // server is attached via xserver.NewDisplay, Init is called for you and
 // mem may be nil here.
 func NewServer(opts Options) *Server {
+	met := opts.Metrics
+	if met == nil {
+		met = nopMetrics
+	}
 	return &Server{
 		opts:      opts,
 		offscreen: make(map[driver.DrawableID]*Queue),
 		streams:   make(map[uint32]*Stream),
 		clients:   make(map[*Client]struct{}),
+		met:       met,
 	}
 }
 
@@ -115,7 +126,7 @@ func (s *Server) AttachClient(viewW, viewH int) *Client {
 	}
 	c := &Client{
 		srv:       s,
-		Buf:       NewClientBuffer(),
+		Buf:       NewClientBufferWith(s.met),
 		view:      geom.XYWH(0, 0, viewW, viewH),
 		streamDst: make(map[uint32]geom.Rect),
 	}
@@ -225,6 +236,7 @@ func (c *Client) add(cmd Command) {
 // its own clone so per-client eviction and scaling never alias.
 func (s *Server) broadcast(cmd Command) {
 	s.Stats.OnscreenCmds++
+	s.met.onscreenCmds.Inc()
 	first := true
 	for c := range s.clients {
 		if first {
@@ -256,7 +268,9 @@ func (s *Server) route(d driver.DrawableID, cmd Command) {
 		before := q.Evicted
 		q.Add(cmd)
 		s.Stats.OffscreenEvicts += q.Evicted - before
+		s.met.offscreenEvicts.Add(int64(q.Evicted - before))
 		s.Stats.OffscreenCmds++
+		s.met.offscreenCmds.Inc()
 	}
 	// Without offscreen awareness the operation is ignored; the copy to
 	// the screen will fall back to RAW (§4.1).
@@ -320,6 +334,7 @@ func (s *Server) rawFallback(d driver.DrawableID, r geom.Rect, _ bool) {
 		return
 	}
 	s.Stats.RawFallbacks++
+	s.met.rawFallbacks.Inc()
 	pix := s.mem.ReadPixels(d, r)
 	if !s.opts.PixelTranslate {
 		s.route(d, NewRaw(r, pix, r.W(), false, s.opts.RawCodec))
@@ -411,6 +426,11 @@ func (s *Server) CopyArea(dst, src driver.DrawableID, sr geom.Rect, dp geom.Poin
 			return
 		}
 		s.Stats.OffscreenExecs++
+		s.met.offscreenExecs.Inc()
+		if tr := s.met.Trace; tr.Enabled() {
+			tr.Event("translate.offscreen_exec",
+				fmt.Sprintf("src=%d rect=%dx%d", src, sr.W(), sr.H()))
+		}
 		clones, fallback := q.CopyOut(sr)
 		// Fallback pixels first (CopyOut contract), then the semantic
 		// commands in arrival order. Edge-crossing Complete/Transparent
@@ -424,6 +444,7 @@ func (s *Server) CopyArea(dst, src driver.DrawableID, sr geom.Rect, dp geom.Poin
 			cmd := NewRaw(fr.Translate(dx, dy), pix, fr.W(), false, s.opts.RawCodec)
 			if clipped, snap := s.clipToScreen(cmd); clipped != nil {
 				s.Stats.RawFallbacks++
+				s.met.rawFallbacks.Inc()
 				if snap {
 					deferred = append(deferred, clipped)
 				} else {
@@ -461,12 +482,15 @@ func (s *Server) CopyArea(dst, src driver.DrawableID, sr geom.Rect, dp geom.Poin
 			pix := s.mem.ReadPixels(src, fr)
 			dq.Add(NewRaw(fr.Translate(dx, dy), pix, fr.W(), false, s.opts.RawCodec))
 			s.Stats.RawFallbacks++
+			s.met.rawFallbacks.Inc()
 			s.Stats.OffscreenCmds++
+			s.met.offscreenCmds.Inc()
 		}
 		for _, cl := range clones {
 			cl.Translate(dx, dy)
 			dq.Add(cl)
 			s.Stats.OffscreenCmds++
+			s.met.offscreenCmds.Inc()
 		}
 
 	default:
@@ -478,7 +502,9 @@ func (s *Server) CopyArea(dst, src driver.DrawableID, sr geom.Rect, dp geom.Poin
 			pix := s.mem.ReadPixels(driver.Screen, srcRect)
 			dq.Add(NewRaw(dr, pix, dr.W(), false, s.opts.RawCodec))
 			s.Stats.OffscreenCmds++
+			s.met.offscreenCmds.Inc()
 			s.Stats.RawFallbacks++
+			s.met.rawFallbacks.Inc()
 		}
 	}
 }

@@ -135,6 +135,8 @@ type Host struct {
 	sessions map[string]*session // by ticket
 	stats    ResilienceStats
 	wg       sync.WaitGroup
+
+	met *hostMetrics
 }
 
 // NewHost creates a session of the given geometry gated by auth.
@@ -146,7 +148,14 @@ func NewHost(w, h int, gate *auth.Authenticator, opts Options) *Host {
 		conns:    make(map[*serverConn]struct{}),
 		sessions: make(map[string]*session),
 	}
-	h2.core = core.NewServer(opts.Core)
+	h2.met = newHostMetrics(h2)
+	coreOpts := opts.Core
+	if coreOpts.Metrics == nil {
+		cm := core.NewMetrics(h2.met.reg)
+		cm.Trace = h2.met.tr
+		coreOpts.Metrics = cm
+	}
+	h2.core = core.NewServer(coreOpts)
 	h2.dpy = xserver.NewDisplay(w, h, h2.core)
 	return h2
 }
@@ -288,6 +297,7 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		h.mu.Lock()
 		h.stats.BadHandshakes++
 		h.mu.Unlock()
+		h.met.badHandshakes.Inc()
 		log.Printf("server: rejecting absurd viewport %dx%d from %q", viewW, viewH, resp.User)
 		return fmt.Errorf("server: rejecting absurd viewport %dx%d", viewW, viewH)
 	}
@@ -308,6 +318,11 @@ func (h *Host) ServeConn(nc net.Conn) error {
 			cl = s.cl
 			h.core.ReattachClient(cl, viewW, viewH)
 			h.stats.Reattaches++
+			h.met.reattaches.Inc()
+			if tr := h.met.tr; tr.Enabled() {
+				tr.Event("session.reattach", fmt.Sprintf("user=%s view=%dx%d",
+					resp.User, viewW, viewH))
+			}
 		} else {
 			log.Printf("server: reattach from %q with unknown or expired ticket; attaching fresh", resp.User)
 		}
@@ -315,6 +330,11 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	if cl == nil {
 		cl = h.core.AttachClient(viewW, viewH)
 		h.stats.Attaches++
+		h.met.attaches.Inc()
+		if tr := h.met.tr; tr.Enabled() {
+			tr.Event("session.attach", fmt.Sprintf("user=%s view=%dx%d",
+				resp.User, viewW, viewH))
+		}
 	}
 	ticket, terr := newTicket()
 	if terr != nil {
@@ -354,6 +374,10 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		h.stats.Reaps++
+		h.met.reaps.Inc()
+		if tr := h.met.tr; tr.Enabled() {
+			tr.Event("session.reap", "user="+resp.User)
+		}
 	}
 	h.mu.Unlock()
 	// Retain the session for reattach unless retention is disabled.
@@ -381,6 +405,7 @@ func (h *Host) endSession(s *session, retain bool) {
 		if cur := h.sessions[s.ticket]; cur == s {
 			delete(h.sessions, s.ticket)
 			h.stats.ExpiredSessions++
+			h.met.expiredSessions.Inc()
 		}
 	})
 }
@@ -455,6 +480,12 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 			}
 		case *wire.Pong:
 			// The read itself already refreshed the liveness deadline.
+			// Our Pings carry the send time; the echo yields the RTT.
+			if v.TimeUS != 0 {
+				if rtt := time.Now().UnixMicro() - int64(v.TimeUS); rtt >= 0 {
+					c.host.met.hbRTT.Observe(rtt)
+				}
+			}
 		case *wire.UpdateRequest:
 			// Push architecture: requests are legal but unnecessary.
 		default:
@@ -468,6 +499,7 @@ func (c *serverConn) logUnknown(err error) {
 	c.host.mu.Lock()
 	c.host.stats.SkippedUnknown++
 	c.host.mu.Unlock()
+	c.host.met.skippedUnknown.Inc()
 	if c.unknownLogged == nil {
 		c.unknownLogged = make(map[wire.Type]bool)
 	}
@@ -495,12 +527,25 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 	defer hb.Stop()
 	bw := bufio.NewWriterSize(c.enc, 64<<10)
 	var pingSeq uint32
+	met := c.host.met
 
 	// write frames m with the write deadline armed; flush pushes the
-	// buffered writer out under the same deadline.
+	// buffered writer out under the same deadline. The message is
+	// marshaled here (WriteMessage would anyway), so the framed length
+	// feeds the per-type wire counters without a second encode.
+	var batchBytes int64
 	write := func(m wire.Message) error {
+		buf, err := wire.Marshal(m)
+		if err != nil {
+			return err
+		}
+		t := m.Type()
+		met.msgsByType[t].Inc()
+		met.bytesByType[t].Add(int64(len(buf)))
+		batchBytes += int64(len(buf))
 		_ = c.nc.SetWriteDeadline(time.Now().Add(c.host.opts.WriteTimeout))
-		return wire.WriteMessage(bw, m)
+		_, err = bw.Write(buf)
+		return err
 	}
 	flush := func() error {
 		_ = c.nc.SetWriteDeadline(time.Now().Add(c.host.opts.WriteTimeout))
@@ -524,6 +569,7 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 				TimeUS: uint64(time.Now().UnixMicro())}); err != nil {
 				return err
 			}
+			met.heartbeatsSent.Inc()
 			if err := flush(); err != nil {
 				return err
 			}
@@ -532,6 +578,7 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			msgs := c.cl.Flush(c.host.opts.FlushBudget)
 			backlog := c.cl.Buf.QueuedBytes()
 			c.host.mu.Unlock()
+			batchBytes = 0
 			for _, m := range msgs {
 				if err := write(m); err != nil {
 					return err
@@ -539,6 +586,9 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			}
 			if err := flush(); err != nil {
 				return err
+			}
+			if batchBytes > 0 {
+				met.flushBatch.Observe(batchBytes)
 			}
 			// Slow-client policy: a backlog past the bound means the peer
 			// cannot keep up with the session; delivering it all would only
@@ -549,6 +599,11 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 				c.host.core.ResyncClient(c.cl)
 				c.host.stats.SlowResyncs++
 				c.host.mu.Unlock()
+				met.slowResyncs.Inc()
+				if tr := met.tr; tr.Enabled() {
+					tr.Event("session.slow_resync",
+						fmt.Sprintf("user=%s backlog=%d", c.user, backlog))
+				}
 			}
 		}
 	}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"thinc/internal/core"
+	"thinc/internal/telemetry"
+	"thinc/internal/wire"
+)
+
+// hostMetrics is the server-side instrument bundle: wire traffic by
+// command type, heartbeat RTT, session lifecycle, and scrape-time
+// gauges over the scheduler queues. One bundle per Host — tests run
+// many Hosts in one process, so nothing here is a package global.
+type hostMetrics struct {
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+
+	// byType maps every wire.Type to its labeled counter pair; display
+	// and streaming types get their own label, the rest pool as
+	// "control". Indexed lookup keeps the write path allocation-free.
+	msgsByType  [256]*telemetry.Counter
+	bytesByType [256]*telemetry.Counter
+
+	hbRTT      *telemetry.Histogram
+	flushBatch *telemetry.Histogram
+
+	attaches, reattaches, reaps, slowResyncs *telemetry.Counter
+	expiredSessions, skippedUnknown          *telemetry.Counter
+	badHandshakes, heartbeatsSent            *telemetry.Counter
+}
+
+// wireTypeLabels names the per-type series: the five display commands
+// (§4.3), the native streaming channels (§4.2), and "control" for
+// everything else (handshake, heartbeat, tickets, cursor).
+var wireTypeLabels = []struct {
+	label string
+	types []wire.Type
+}{
+	{"raw", []wire.Type{wire.TRaw}},
+	{"copy", []wire.Type{wire.TCopy}},
+	{"sfill", []wire.Type{wire.TSFill}},
+	{"pfill", []wire.Type{wire.TPFill}},
+	{"bitmap", []wire.Type{wire.TBitmap}},
+	{"video", []wire.Type{wire.TVideoInit, wire.TVideoFrame, wire.TVideoMove, wire.TVideoEnd}},
+	{"audio", []wire.Type{wire.TAudioData}},
+	{"control", nil}, // every remaining type
+}
+
+func newHostMetrics(h *Host) *hostMetrics {
+	reg := telemetry.NewRegistry()
+	m := &hostMetrics{
+		reg: reg,
+		tr:  telemetry.NewTracer(4096),
+		hbRTT: reg.Histogram("thinc_heartbeat_rtt_us",
+			"round-trip time of server heartbeats", telemetry.LatencyBucketsUS),
+		flushBatch: reg.Histogram("thinc_server_flush_batch_bytes",
+			"wire bytes written per non-empty flush tick", telemetry.ByteBuckets),
+		attaches: reg.Counter("thinc_session_attaches_total",
+			"fresh client attaches"),
+		reattaches: reg.Counter("thinc_session_reattaches_total",
+			"ticket reattaches into a retained session"),
+		reaps: reg.Counter("thinc_session_reaps_total",
+			"connections torn down by heartbeat or write timeout"),
+		slowResyncs: reg.Counter("thinc_session_slow_resyncs_total",
+			"backlogs discarded under the slow-client policy"),
+		expiredSessions: reg.Counter("thinc_session_expired_total",
+			"detached sessions that outlived the grace period"),
+		skippedUnknown: reg.Counter("thinc_session_skipped_unknown_total",
+			"unknown-but-well-framed client messages skipped"),
+		badHandshakes: reg.Counter("thinc_session_bad_handshakes_total",
+			"handshakes rejected (geometry, protocol)"),
+		heartbeatsSent: reg.Counter("thinc_heartbeats_sent_total",
+			"server-to-client pings sent"),
+	}
+
+	// Per-type wire counters, pre-registered so /metrics always lists
+	// every command type, active or not.
+	var control, controlBytes *telemetry.Counter
+	for _, e := range wireTypeLabels {
+		l := telemetry.L("type", e.label)
+		mc := reg.Counter("thinc_wire_messages_total",
+			"protocol messages written to clients by command type", l)
+		bc := reg.Counter("thinc_wire_bytes_total",
+			"wire bytes written to clients by command type", l)
+		if e.label == "control" {
+			control, controlBytes = mc, bc
+			continue
+		}
+		for _, t := range e.types {
+			m.msgsByType[t] = mc
+			m.bytesByType[t] = bc
+		}
+	}
+	for i := range m.msgsByType {
+		if m.msgsByType[i] == nil {
+			m.msgsByType[i] = control
+			m.bytesByType[i] = controlBytes
+		}
+	}
+
+	// Scrape-time gauges: point-in-time state read under the Host lock
+	// only when /metrics is hit — the command path never touches these.
+	reg.GaugeFunc("thinc_clients", "attached display clients",
+		func() int64 { return int64(h.NumClients()) })
+	reg.GaugeFunc("thinc_detached_sessions", "sessions retained for reattach",
+		func() int64 { return int64(h.NumDetached()) })
+	for q := 0; q <= core.NumQueues; q++ {
+		q := q
+		label := telemetry.L("queue", queueName(q))
+		reg.GaugeFunc("thinc_sched_queue_depth",
+			"commands waiting per SRSF queue across all clients",
+			func() int64 { d, _ := h.queueLoads(); return d[q] }, label)
+		reg.GaugeFunc("thinc_sched_queue_bytes",
+			"wire bytes waiting per SRSF queue across all clients",
+			func() int64 { _, b := h.queueLoads(); return b[q] }, label)
+	}
+	return m
+}
+
+// queueName labels SRSF queues "0".."9" plus the real-time queue "rt".
+func queueName(q int) string {
+	if q == core.NumQueues {
+		return "rt"
+	}
+	return string(rune('0' + q))
+}
+
+// queueLoads snapshots per-queue occupancy under the Host lock.
+func (h *Host) queueLoads() (depth, bytes [core.NumQueues + 1]int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.core.QueueLoads()
+}
+
+// Telemetry returns the Host's metrics registry, for export through
+// telemetry.Serve or a bench snapshot.
+func (h *Host) Telemetry() *telemetry.Registry { return h.met.reg }
+
+// Tracer returns the Host's command-path tracer. It records only while
+// enabled (telemetry.Serve enables it for the debug listener).
+func (h *Host) Tracer() *telemetry.Tracer { return h.met.tr }

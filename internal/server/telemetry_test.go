@@ -1,0 +1,129 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thinc/internal/client"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/telemetry"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+// TestHostMetricsEndpoint is the acceptance check for the debug
+// listener: a live Host's registry serves a Prometheus page with at
+// least 25 distinct series, covering all five display command types,
+// the per-queue scheduler gauges, and the heartbeat RTT histogram.
+func TestHostMetricsEndpoint(t *testing.T) {
+	host, addr := startHost(t, 128, 96, Options{
+		FlushInterval:     time.Millisecond,
+		HeartbeatInterval: 5 * time.Millisecond,
+		// Fast pings default the silence timeout to 3x the interval —
+		// too tight under the race detector's slowdown; a late pong
+		// would reap the connection mid-test.
+		HeartbeatTimeout: 2 * time.Second,
+	})
+	host.Tracer().SetEnabled(true)
+
+	conn, err := client.Dial(addr, "owner", "pw", 128, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	// Exercise the command path so the core series carry real values.
+	host.Do(func(d *xserver.Display) {
+		w := d.CreateWindow(geom.XYWH(0, 0, 128, 96))
+		d.FillRect(w, &xserver.GC{Fg: pixel.RGB(10, 20, 30)}, geom.XYWH(5, 5, 40, 30))
+		d.DrawText(w, &xserver.GC{Fg: pixel.RGB(255, 255, 255)}, 8, 8, "metrics")
+	})
+	waitFor(t, "display traffic", func() bool {
+		return host.Telemetry().Value("thinc_wire_messages_total",
+			telemetry.L("type", "raw")) > 0
+	})
+	waitFor(t, "heartbeat RTT", func() bool {
+		n, _ := host.Telemetry().HistogramStats("thinc_heartbeat_rtt_us")
+		return n > 0
+	})
+
+	if n := host.Telemetry().NumSeries(); n < 25 {
+		t.Fatalf("registry has %d series, acceptance floor is 25", n)
+	}
+
+	ts := httptest.NewServer(telemetry.Handler(host.Telemetry(), host.Tracer()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+
+	for _, want := range []string{
+		// All five display command types, active or not.
+		`thinc_wire_messages_total{type="raw"}`,
+		`thinc_wire_messages_total{type="copy"}`,
+		`thinc_wire_messages_total{type="sfill"}`,
+		`thinc_wire_messages_total{type="pfill"}`,
+		`thinc_wire_messages_total{type="bitmap"}`,
+		`thinc_wire_bytes_total{type="raw"}`,
+		// Scheduler queue gauges, including the real-time queue.
+		`thinc_sched_queue_depth{queue="0"}`,
+		`thinc_sched_queue_depth{queue="rt"}`,
+		`thinc_sched_queue_bytes{queue="9"}`,
+		// Heartbeat RTT histogram with cumulative buckets.
+		`thinc_heartbeat_rtt_us_bucket`,
+		`thinc_heartbeat_rtt_us_count`,
+		// Translation and scheduler cores.
+		`thinc_translate_commands_total{dest="screen"}`,
+		`thinc_sched_commands_queued_total{class="partial"}`,
+		`thinc_session_attaches_total 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The attach left a trace event in the ring buffer.
+	names := map[string]bool{}
+	for _, e := range host.Tracer().Events() {
+		names[e.Name] = true
+	}
+	if !names["session.attach"] {
+		t.Fatalf("trace ring missing session.attach (have %v)", names)
+	}
+}
+
+// TestWireByteAccounting checks the marshal-once write path: the RAW
+// bytes the server counts match what the client actually applied.
+func TestWireByteAccounting(t *testing.T) {
+	host, addr := startHost(t, 64, 48, Options{FlushInterval: time.Millisecond})
+	conn, err := client.Dial(addr, "owner", "pw", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	// Partial fill: a full-screen one would (correctly) evict the
+	// attach-time RAW before delivery — overwrite classes at work.
+	host.Do(func(d *xserver.Display) {
+		w := d.CreateWindow(geom.XYWH(0, 0, 64, 48))
+		d.FillRect(w, &xserver.GC{Fg: pixel.RGB(200, 0, 0)}, geom.XYWH(4, 4, 16, 16))
+	})
+	waitFor(t, "raw delivered", func() bool {
+		return conn.Stats().Bytes[wire.TRaw] > 0
+	})
+	waitFor(t, "byte totals agree", func() bool {
+		got := host.Telemetry().Value("thinc_wire_bytes_total", telemetry.L("type", "raw"))
+		return got >= conn.Stats().Bytes[wire.TRaw] && got > 0
+	})
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import "testing"
+
+// The benchmarks document the acceptance criterion: with the debug
+// listener disabled (tracer off), instrumentation on the command hot
+// path performs no allocations. Run with -benchmem or rely on
+// ReportAllocs to see allocs/op — all of these must report 0.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_c_total", "c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_h", "h", SizeBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xffff))
+	}
+}
+
+func BenchmarkDisabledTracerEvent(b *testing.B) {
+	tr := NewTracer(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event("flush", "idle")
+	}
+}
+
+// BenchmarkInstrumentedCommandPath models the full per-command
+// telemetry cost the scheduler pays in Add+Flush: one class counter,
+// one size histogram observation, one residency observation, one sent
+// counter, plus the disabled-tracer check. Must be 0 allocs/op.
+func BenchmarkInstrumentedCommandPath(b *testing.B) {
+	r := NewRegistry()
+	queued := r.Counter("bench_queued_total", "q", L("class", "partial"))
+	sent := r.Counter("bench_sent_total", "s")
+	size := r.Histogram("bench_size", "sz", SizeBuckets)
+	wait := r.Histogram("bench_wait", "w", CountBuckets)
+	tr := NewTracer(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		queued.Inc()
+		size.Observe(int64(i&0x3fff) + 17)
+		wait.Observe(int64(i & 7))
+		sent.Inc()
+		if tr.Enabled() {
+			tr.Event("cmd", "never reached")
+		}
+	}
+}
+
+func BenchmarkParallelObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_par", "p", LatencyBucketsUS)
+	c := r.Counter("bench_par_total", "p")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			h.Observe(i & 0xffff)
+			c.Inc()
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the debug mux: /metrics (Prometheus text format),
+// /debug/trace (recent ring-buffer events as JSON, ?n= limits to the
+// newest n), /debug/vars (the full registry snapshot as JSON), and the
+// standard /debug/pprof endpoints. reg and tr may be nil; the matching
+// endpoints then serve empty documents.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		events := tr.Events()
+		if s := r.URL.Query().Get("n"); s != "" {
+			var n int
+			if _, err := jsonNumber(s, &n); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Enabled bool    `json:"enabled"`
+			Events  []Event `json:"events"`
+		}{Enabled: tr.Enabled(), Events: events})
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap []SeriesSnapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		_ = json.NewEncoder(w).Encode(snap)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("thinc debug listener\n\n" +
+			"/metrics      Prometheus text format\n" +
+			"/debug/trace  recent trace events (JSON, ?n=100)\n" +
+			"/debug/vars   registry snapshot (JSON)\n" +
+			"/debug/pprof  Go runtime profiles\n"))
+	})
+	return mux
+}
+
+func jsonNumber(s string, n *int) (int, error) {
+	err := json.Unmarshal([]byte(s), n)
+	return *n, err
+}
+
+// Server is a running debug listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	tr  *Tracer
+}
+
+// Serve starts the debug listener on addr. Starting the listener turns
+// the tracer on; Close turns it back off. The returned Server reports
+// the bound address (useful with ":0").
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tr.SetEnabled(true)
+	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv, tr: tr}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and disables tracing.
+func (s *Server) Close() error {
+	s.tr.SetEnabled(false)
+	return s.srv.Close()
+}

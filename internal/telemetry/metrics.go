@@ -1,0 +1,453 @@
+// Package telemetry is THINC's dependency-free observability core: a
+// low-overhead metrics registry (atomic counters, gauges, and
+// fixed-bucket histograms with consistent snapshot semantics), a
+// ring-buffer span/event tracer, and a debug HTTP listener exposing
+// Prometheus-format metrics, recent trace events, and pprof.
+//
+// The hot-path contract is strict: incrementing a Counter or Gauge and
+// observing into a Histogram perform only atomic operations — no locks,
+// no allocations — so the command pipeline can be instrumented
+// unconditionally. All registration (which does allocate and lock)
+// happens once at setup time; callers keep the returned instrument
+// pointers and touch them directly per event.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the counter to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Bucket i counts
+// observations v <= Bounds[i]; one extra bucket counts the overflow
+// (+Inf). Observations and snapshots are lock-free; a snapshot's total
+// count is derived from the same bucket reads it reports, so the
+// invariant count == sum(buckets) holds even under concurrent writers.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a consistent point-in-time view of a Histogram.
+type HistogramSnapshot struct {
+	Bounds  []int64 `json:"bounds"`  // bucket upper bounds (le)
+	Buckets []int64 `json:"buckets"` // per-bucket counts, non-cumulative; last is +Inf
+	Count   int64   `json:"count"`   // == sum of Buckets by construction
+	Sum     int64   `json:"sum"`
+}
+
+// Snapshot captures the histogram. Count is computed from the very
+// bucket reads returned, so Count always equals the sum of Buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Metric kinds.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// series is one labeled instrument inside a family. Exactly one of the
+// value sources is set.
+type series struct {
+	labels   []Label
+	labelStr string // pre-rendered {k="v",...} ("" when unlabeled)
+	ctr      *Counter
+	gauge    *Gauge
+	fn       func() int64 // CounterFunc / GaugeFunc
+	hist     *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help, kind string
+	series           []*series
+}
+
+// Registry holds metric families and renders them. Registration is
+// idempotent: re-registering the same name+labels returns the existing
+// instrument, so independent subsystems can share a registry safely.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// getFamily finds or creates the family, checking kind consistency.
+func (r *Registry) getFamily(name, help, kind string) *family {
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// findSeries returns the series with exactly these labels, or nil.
+func (f *family) findSeries(labelStr string) *series {
+	for _, s := range f.series {
+		if s.labelStr == labelStr {
+			return s
+		}
+	}
+	return nil
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, KindCounter)
+	ls := renderLabels(labels)
+	if s := f.findSeries(ls); s != nil && s.ctr != nil {
+		return s.ctr
+	}
+	c := &Counter{}
+	f.series = append(f.series, &series{labels: labels, labelStr: ls, ctr: c})
+	return c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, KindGauge)
+	ls := renderLabels(labels)
+	if s := f.findSeries(ls); s != nil && s.gauge != nil {
+		return s.gauge
+	}
+	g := &Gauge{}
+	f.series = append(f.series, &series{labels: labels, labelStr: ls, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value is computed at
+// collection time — point-in-time state (queue depths, client counts)
+// costs nothing on the hot path this way.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, KindGauge)
+	ls := renderLabels(labels)
+	if s := f.findSeries(ls); s != nil {
+		s.fn = fn
+		s.gauge, s.ctr = nil, nil
+		return
+	}
+	f.series = append(f.series, &series{labels: labels, labelStr: ls, fn: fn})
+}
+
+// CounterFunc registers a counter series computed at collection time,
+// for subsystems that already keep their own atomic accounting.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, KindCounter)
+	ls := renderLabels(labels)
+	if s := f.findSeries(ls); s != nil {
+		s.fn = fn
+		s.gauge, s.ctr = nil, nil
+		return
+	}
+	f.series = append(f.series, &series{labels: labels, labelStr: ls, fn: fn})
+}
+
+// Histogram registers (or finds) a histogram series with the given
+// bucket upper bounds (ascending).
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, KindHistogram)
+	ls := renderLabels(labels)
+	if s := f.findSeries(ls); s != nil && s.hist != nil {
+		return s.hist
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	f.series = append(f.series, &series{labels: labels, labelStr: ls, hist: h})
+	return h
+}
+
+func (s *series) value() int64 {
+	switch {
+	case s.ctr != nil:
+		return s.ctr.Value()
+	case s.gauge != nil:
+		return s.gauge.Value()
+	case s.fn != nil:
+		return s.fn()
+	}
+	return 0
+}
+
+// Value returns the current value of the series with exactly the given
+// labels (0 when absent). Histograms report their observation count.
+func (r *Registry) Value(name string, labels ...Label) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		return 0
+	}
+	s := f.findSeries(renderLabels(labels))
+	if s == nil {
+		return 0
+	}
+	if s.hist != nil {
+		return s.hist.Count()
+	}
+	return s.value()
+}
+
+// Total sums every series of the family. Histograms contribute their
+// observation counts.
+func (r *Registry) Total(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range f.series {
+		if s.hist != nil {
+			n += s.hist.Count()
+			continue
+		}
+		n += s.value()
+	}
+	return n
+}
+
+// HistogramStats returns count and sum for a histogram series.
+func (r *Registry) HistogramStats(name string, labels ...Label) (count, sum int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		return 0, 0
+	}
+	s := f.findSeries(renderLabels(labels))
+	if s == nil || s.hist == nil {
+		return 0, 0
+	}
+	snap := s.hist.Snapshot()
+	return snap.Count, snap.Sum
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		r.mu.Lock()
+		ss := make([]*series, len(f.series))
+		copy(ss, f.series)
+		r.mu.Unlock()
+		for _, s := range ss {
+			if s.hist != nil {
+				snap := s.hist.Snapshot()
+				var cum int64
+				for i, b := range snap.Bounds {
+					cum += snap.Buckets[i]
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabel(s.labels, "le", fmt.Sprint(b)), cum)
+				}
+				cum += snap.Buckets[len(snap.Buckets)-1]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabel(s.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(w, "%s_sum%s %d\n", f.name, s.labelStr, snap.Sum)
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labelStr, snap.Count)
+				continue
+			}
+			fmt.Fprintf(w, "%s%s %d\n", f.name, s.labelStr, s.value())
+		}
+	}
+}
+
+// mergeLabel renders the series labels plus one extra pair (le).
+func mergeLabel(labels []Label, key, value string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{Key: key, Value: value})
+	return renderLabels(all)
+}
+
+// SeriesSnapshot is one series in JSON-friendly form.
+type SeriesSnapshot struct {
+	Name      string             `json:"name"`
+	Kind      string             `json:"kind"`
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Value     int64              `json:"value,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot captures every series, sorted by name then label string —
+// the payload bench harnesses serialize to BENCH_*.json.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SeriesSnapshot
+	for _, f := range r.families {
+		for _, s := range f.series {
+			snap := SeriesSnapshot{Name: f.name, Kind: f.kind}
+			if len(s.labels) > 0 {
+				snap.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					snap.Labels[l.Key] = l.Value
+				}
+			}
+			if s.hist != nil {
+				h := s.hist.Snapshot()
+				snap.Histogram = &h
+			} else {
+				snap.Value = s.value()
+			}
+			out = append(out, snap)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return fmt.Sprint(out[i].Labels) < fmt.Sprint(out[j].Labels)
+	})
+	return out
+}
+
+// NumSeries returns the number of distinct series registered (histogram
+// families count one series per label set).
+func (r *Registry) NumSeries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, f := range r.families {
+		n += len(f.series)
+	}
+	return n
+}
+
+// Common bucket layouts.
+var (
+	// SizeBuckets covers wire sizes from one SRSF queue bound to the
+	// next (64 B .. 32 KiB, then overflow) — command sizes map directly
+	// onto scheduler queues.
+	SizeBuckets = []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+	// LatencyBucketsUS covers microsecond latencies from 50us to 4s.
+	LatencyBucketsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
+		25000, 50000, 100000, 250000, 500000, 1000000, 4000000}
+	// ByteBuckets covers per-flush byte volumes (256 B .. 4 MiB).
+	ByteBuckets = []int64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	// CountBuckets covers small counts (queue residency in flush
+	// periods, batch sizes).
+	CountBuckets = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+)

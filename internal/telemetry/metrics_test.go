@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if got := r.Value("test_ops_total", L("kind", "a")); got != 5 {
+		t.Fatalf("registry value = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_x_total", "x", L("q", "0"))
+	b := r.Counter("test_x_total", "x", L("q", "0"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("test_x_total", "x", L("q", "1"))
+	if a == c {
+		t.Fatal("different labels must return a different counter")
+	}
+	if n := r.NumSeries(); n != 2 {
+		t.Fatalf("NumSeries = %d, want 2", n)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_y_total", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as gauge must panic")
+		}
+	}()
+	r.Gauge("test_y_total", "y")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_size_bytes", "sizes", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 1} // <=10, <=100, <=1000, +Inf
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+	if s.Count != 6 || s.Sum != 5+10+11+100+500+5000 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+}
+
+// TestSnapshotConsistencyUnderWriters is the telemetry-consistency
+// guarantee: while many goroutines observe concurrently, every
+// histogram snapshot must satisfy count == sum(bucket counts), and
+// counters must never be seen above their final value.
+func TestSnapshotConsistencyUnderWriters(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_us", "latency", []int64{1, 2, 4, 8, 16})
+	c := r.Counter("test_n_total", "n")
+
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(seed + int64(i%20))
+				c.Inc()
+			}
+		}(int64(w))
+	}
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum int64
+			for _, b := range s.Buckets {
+				sum += b
+			}
+			if s.Count != sum {
+				t.Errorf("torn snapshot: count=%d sum(buckets)=%d", s.Count, sum)
+				return
+			}
+			if v := c.Value(); v > writers*perWriter {
+				t.Errorf("counter overshot: %d", v)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", got, writers*perWriter)
+	}
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("final counter = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("thinc_wire_bytes_total", "bytes by type", L("type", "RAW")).Add(42)
+	r.Counter("thinc_wire_bytes_total", "bytes by type", L("type", "COPY")).Add(7)
+	r.Gauge("thinc_clients", "attached clients").Set(3)
+	r.GaugeFunc("thinc_queue_depth", "depth", func() int64 { return 9 }, L("queue", "0"))
+	h := r.Histogram("thinc_rtt_us", "rtt", []int64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE thinc_wire_bytes_total counter",
+		`thinc_wire_bytes_total{type="RAW"} 42`,
+		`thinc_wire_bytes_total{type="COPY"} 7`,
+		"# TYPE thinc_clients gauge",
+		"thinc_clients 3",
+		`thinc_queue_depth{queue="0"} 9`,
+		"# TYPE thinc_rtt_us histogram",
+		`thinc_rtt_us_bucket{le="100"} 1`,
+		`thinc_rtt_us_bucket{le="1000"} 2`,
+		`thinc_rtt_us_bucket{le="+Inf"} 3`,
+		"thinc_rtt_us_sum 5550",
+		"thinc_rtt_us_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b", L("type", "RAW")).Add(10)
+	r.Histogram("a_us", "a", []int64{1}).Observe(2)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d series, want 2", len(snap))
+	}
+	// Sorted by name: a_us first.
+	if snap[0].Name != "a_us" || snap[0].Histogram == nil {
+		t.Fatalf("first series = %+v", snap[0])
+	}
+	if snap[1].Name != "b_total" || snap[1].Value != 10 || snap[1].Labels["type"] != "RAW" {
+		t.Fatalf("second series = %+v", snap[1])
+	}
+}
+
+func TestTotalsAndHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_total", "t", L("k", "a")).Add(3)
+	r.Counter("t_total", "t", L("k", "b")).Add(4)
+	if got := r.Total("t_total"); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	h := r.Histogram("h_us", "h", []int64{10})
+	h.Observe(4)
+	h.Observe(6)
+	c, s := r.HistogramStats("h_us")
+	if c != 2 || s != 10 {
+		t.Fatalf("HistogramStats = %d,%d want 2,10", c, s)
+	}
+}
+
+// TestHotPathAllocFree enforces the acceptance criterion directly:
+// counter increments, gauge sets, histogram observations, and disabled
+// tracer calls must not allocate.
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_c_total", "c")
+	g := r.Gauge("alloc_g", "g")
+	h := r.Histogram("alloc_h", "h", SizeBuckets)
+	tr := NewTracer(64) // disabled
+
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(9)
+		g.Add(-1)
+		h.Observe(777)
+		tr.Event("x", "y")
+		if tr.Enabled() {
+			t.Fatal("tracer should be disabled")
+		}
+	}); n != 0 {
+		t.Fatalf("hot path allocated %.1f allocs/op, want 0", n)
+	}
+	var nilTr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		nilTr.Event("x", "y")
+		nilTr.Start("s").End("")
+	}); n != 0 {
+		t.Fatalf("nil tracer allocated %.1f allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one trace record: a point event or a completed span.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	TimeUS int64  `json:"time_us"` // wall-clock microseconds
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	DurUS  int64  `json:"dur_us,omitempty"` // span duration (0 for point events)
+}
+
+// Tracer records events into a fixed-capacity ring buffer. It starts
+// disabled: every emit checks one atomic flag and returns immediately,
+// so instrumented hot paths cost nothing until someone turns tracing on
+// (the debug listener does). Callers formatting event details should
+// gate on Enabled() so the formatting work is skipped too.
+//
+// All methods are safe on a nil *Tracer — components can carry an
+// optional tracer without nil checks at every call site.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	buf  []Event
+	next int    // ring write position
+	n    int    // events currently held
+	seq  uint64 // total events ever emitted
+}
+
+// NewTracer returns a tracer holding the last capacity events (min 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// SetEnabled turns event recording on or off.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.enabled.Store(on)
+}
+
+// Enabled reports whether events are being recorded. Hot paths use it
+// to skip detail formatting entirely.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Event records a point event.
+func (t *Tracer) Event(name, detail string) {
+	if !t.Enabled() {
+		return
+	}
+	t.record(Event{TimeUS: time.Now().UnixMicro(), Name: name, Detail: detail})
+}
+
+func (t *Tracer) record(e Event) {
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Span is an in-progress timed operation started by Start. The zero
+// Span (returned when tracing is disabled) is inert.
+type Span struct {
+	t       *Tracer
+	name    string
+	startUS int64
+}
+
+// Start opens a span; End records it with its duration.
+func (t *Tracer) Start(name string) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	return Span{t: t, name: name, startUS: time.Now().UnixMicro()}
+}
+
+// End completes the span with an optional detail string.
+func (s Span) End(detail string) {
+	if s.t == nil {
+		return
+	}
+	now := time.Now().UnixMicro()
+	s.t.record(Event{TimeUS: s.startUS, Name: s.name, Detail: detail, DurUS: now - s.startUS})
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Len returns how many events are currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

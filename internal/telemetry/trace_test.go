@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Event("dropped", "tracing disabled") // disabled: must not record
+	if tr.Len() != 0 {
+		t.Fatal("disabled tracer recorded an event")
+	}
+	tr.SetEnabled(true)
+	for i := 0; i < 20; i++ {
+		tr.Event("e", "")
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("ring holds %d events, want capacity 16", len(evs))
+	}
+	// Oldest-first, monotone seq, and the first 4 were overwritten.
+	if evs[0].Seq != 5 || evs[len(evs)-1].Seq != 20 {
+		t.Fatalf("seq range [%d,%d], want [5,20]", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-monotone seq at %d: %v -> %v", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	sp := tr.Start("op")
+	sp.End("done")
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Name != "op" || evs[0].Detail != "done" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].DurUS < 0 {
+		t.Fatalf("negative duration %d", evs[0].DurUS)
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("thinc_test_total", "t").Add(11)
+	tr := NewTracer(32)
+	tr.SetEnabled(true)
+	tr.Event("attach", "user=demo")
+
+	ts := httptest.NewServer(Handler(reg, tr))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "thinc_test_total 11") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body := get("/debug/trace")
+	if code != 200 {
+		t.Fatalf("/debug/trace code=%d", code)
+	}
+	var out struct {
+		Enabled bool    `json:"enabled"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("trace JSON: %v (%q)", err, body)
+	}
+	if !out.Enabled || len(out.Events) != 1 || out.Events[0].Name != "attach" {
+		t.Fatalf("trace = %+v", out)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "thinc_test_total") {
+		t.Fatalf("/debug/vars: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline code=%d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path code=%d, want 404", code)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(16)
+	s, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !tr.Enabled() {
+		t.Fatal("Serve must enable the tracer")
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if tr.Enabled() {
+		t.Fatal("Close must disable the tracer")
+	}
+}
