@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-snapshot
+.PHONY: all build vet test race check bench-snapshot bench-smoke
 
 all: check
 
@@ -18,7 +18,14 @@ race:
 
 check: build vet race
 
-# Quick benchmark run that dumps THINC's per-command-type byte counts
-# and core telemetry series to BENCH_pr2.json.
+# Quick benchmark run that dumps THINC's per-command-type byte counts,
+# core telemetry series, and encode pool counters to BENCH_pr3.json.
 bench-snapshot:
-	$(GO) run ./cmd/thinc-bench -quick -fig 2 -telemetry-out BENCH_pr2.json
+	$(GO) run ./cmd/thinc-bench -quick -fig 2 -telemetry-out BENCH_pr3.json
+
+# Encode fast-path smoke: the zero-allocation assertions plus one
+# iteration of every wire benchmark, cheap enough for CI. The *ZeroAlloc
+# tests fail if the flush path regresses to allocating.
+bench-smoke:
+	$(GO) test ./internal/wire/ -run 'ZeroAlloc|TestPayloadSizeMatchesAppend|TestBatch' -count=1
+	$(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime=1x -count=1

@@ -91,6 +91,7 @@ func writeTelemetry(path string, pages int, seconds float64) error {
 	report.Runs = append(report.Runs, bench.TelemetryRun{
 		System: av.System, Config: av.Config, Workload: "av", Snapshot: av.Telemetry,
 	})
+	report.EncodePools = bench.SnapshotEncodePools()
 	f, err := os.Create(path)
 	if err != nil {
 		return err

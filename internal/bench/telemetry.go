@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"thinc/internal/baseline"
+	"thinc/internal/compress"
 	"thinc/internal/telemetry"
+	"thinc/internal/wire"
 )
 
 // TelemetrySnapshot captures a session's wire-level and core telemetry
@@ -43,10 +45,27 @@ func snapshotTelemetry(sess baseline.Session) *TelemetrySnapshot {
 	return snap
 }
 
+// EncodePoolsSnapshot captures the process-wide encode fast-path
+// counters after a benchmark run: wire encode-buffer pool hits and
+// vectored-write activity, plus codec scratch pool reuse. Because the
+// counters are process-wide atomics, the snapshot aggregates every run
+// in the process — take it once, at the end.
+type EncodePoolsSnapshot struct {
+	Wire  wire.EncoderStats     `json:"wire"`
+	Codec compress.ScratchStats `json:"codec"`
+}
+
+// SnapshotEncodePools reads the current encode fast-path counters.
+func SnapshotEncodePools() *EncodePoolsSnapshot {
+	return &EncodePoolsSnapshot{Wire: wire.Stats(), Codec: compress.PoolStats()}
+}
+
 // TelemetryReport is the top-level BENCH_telemetry JSON document: one
-// entry per benchmark run that produced a snapshot.
+// entry per benchmark run that produced a snapshot, plus the
+// process-wide encode pool counters accumulated across all of them.
 type TelemetryReport struct {
-	Runs []TelemetryRun `json:"runs"`
+	Runs        []TelemetryRun       `json:"runs"`
+	EncodePools *EncodePoolsSnapshot `json:"encode_pools,omitempty"`
 }
 
 // TelemetryRun names one run's snapshot.

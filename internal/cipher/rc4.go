@@ -8,6 +8,7 @@ package cipher
 import (
 	"errors"
 	"io"
+	"net"
 )
 
 // RC4 is the classic Rivest stream cipher state: a 256-byte permutation
@@ -58,10 +59,15 @@ func (c *RC4) XORKeyStream(dst, src []byte) {
 // independent keystream derived from the shared key and a direction tag,
 // mirroring how the prototype separates client->server and
 // server->client traffic.
+//
+// Writes reuse an internal ciphertext scratch buffer, so — like the
+// keystream state itself — a StreamConn supports at most one writer at
+// a time.
 type StreamConn struct {
-	rw  io.ReadWriter
-	enc *RC4
-	dec *RC4
+	rw   io.ReadWriter
+	enc  *RC4
+	dec  *RC4
+	wbuf []byte // reusable ciphertext scratch for Write/WriteBuffers
 }
 
 // NewStreamConn builds an encrypted channel over rw. isServer selects
@@ -101,7 +107,44 @@ func (s *StreamConn) Read(p []byte) (int, error) {
 }
 
 func (s *StreamConn) Write(p []byte) (int, error) {
-	buf := make([]byte, len(p))
+	buf := s.scratch(len(p))
 	s.enc.XORKeyStream(buf, p)
 	return s.rw.Write(buf)
+}
+
+// WriteBuffers encrypts every segment of a vectored write into the
+// scratch buffer — the keystream is sequential, so segment order is
+// the wire order — and issues a single underlying Write. It implements
+// wire.BuffersWriter so a batched flush costs one transport write.
+func (s *StreamConn) WriteBuffers(bufs net.Buffers) (int64, error) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	out := s.scratch(total)
+	off := 0
+	for _, b := range bufs {
+		s.enc.XORKeyStream(out[off:off+len(b)], b)
+		off += len(b)
+	}
+	n, err := s.rw.Write(out)
+	return int64(n), err
+}
+
+// scratch returns the write buffer grown to n bytes. Buffers beyond
+// maxScratch are not retained between writes, so a one-off full-screen
+// update does not pin megabytes per connection.
+func (s *StreamConn) scratch(n int) []byte {
+	const maxScratch = 1 << 20
+	if cap(s.wbuf) < n {
+		s.wbuf = make([]byte, n)
+	}
+	buf := s.wbuf[:n]
+	if cap(s.wbuf) > maxScratch {
+		s.wbuf = nil
+	}
+	return buf
 }

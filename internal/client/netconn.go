@@ -72,7 +72,8 @@ type Conn struct {
 
 	tel *connTelemetry
 
-	wmu sync.Mutex // serializes protocol writes (input, pongs)
+	wmu  sync.Mutex // serializes protocol writes (input, pongs)
+	wbuf []byte     // reused encode buffer, guarded by wmu
 
 	// ServerW and ServerH are the session's true framebuffer geometry;
 	// with a smaller viewport the server scales for us (§6).
@@ -271,14 +272,22 @@ func (cn *Conn) Run() error {
 	}
 }
 
-// send writes one protocol message on the current transport.
+// send writes one protocol message on the current transport, framing
+// it into a per-connection buffer reused across sends (input and pong
+// traffic is frequent, small, and must not generate garbage).
 func (cn *Conn) send(m wire.Message) error {
 	cn.mu.Lock()
 	enc := cn.enc
 	cn.mu.Unlock()
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
-	return wire.WriteMessage(enc, m)
+	buf, err := wire.AppendMessage(cn.wbuf[:0], m)
+	if err != nil {
+		return err
+	}
+	cn.wbuf = buf
+	_, err = enc.Write(buf)
+	return err
 }
 
 // State returns the connection's lifecycle state.

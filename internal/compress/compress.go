@@ -49,22 +49,33 @@ func (c Codec) String() string {
 // ErrCorrupt is returned when a payload cannot be decoded.
 var ErrCorrupt = errors.New("compress: corrupt payload")
 
-// Encode compresses a w x h block of pixels with the chosen codec.
+// Encode compresses a w x h block of pixels with the chosen codec into
+// a fresh buffer. Hot paths should use EncodeAppend with a pooled
+// scratch buffer from GetScratch.
 func Encode(c Codec, pix []pixel.ARGB, w, h int) ([]byte, error) {
+	return EncodeAppend(c, nil, pix, w, h)
+}
+
+// EncodeAppend compresses a w x h block of pixels with the chosen
+// codec, appending the payload to dst (which may be nil or a pooled
+// scratch from GetScratch) and returning the extended slice. The
+// encoders reuse pooled zlib/PNG state, so steady-state encoding
+// allocates only when the payload outgrows its buffer.
+func EncodeAppend(c Codec, dst []byte, pix []pixel.ARGB, w, h int) ([]byte, error) {
 	if len(pix) != w*h {
-		return nil, fmt.Errorf("compress: %dx%d block with %d pixels", w, h, len(pix))
+		return dst, fmt.Errorf("compress: %dx%d block with %d pixels", w, h, len(pix))
 	}
 	switch c {
 	case CodecNone:
-		return encodeRawBytes(pix), nil
+		return appendRawBytes(dst, pix), nil
 	case CodecRLE:
-		return encodeRLE(pix), nil
+		return appendRLE(dst, pix), nil
 	case CodecPNG:
-		return encodePNG(pix, w, h)
+		return appendPNG(dst, pix, w, h)
 	case CodecZlib:
-		return encodeZlib(encodeRawBytes(pix))
+		return appendZlib(dst, pix)
 	default:
-		return nil, fmt.Errorf("compress: unknown codec %d", c)
+		return dst, fmt.Errorf("compress: unknown codec %d", c)
 	}
 }
 
@@ -88,12 +99,22 @@ func Decode(c Codec, data []byte, w, h int) ([]pixel.ARGB, error) {
 	}
 }
 
-func encodeRawBytes(pix []pixel.ARGB) []byte {
-	buf := make([]byte, len(pix)*4)
+func appendRawBytes(dst []byte, pix []pixel.ARGB) []byte {
+	off := len(dst)
+	dst = grow(dst, len(pix)*4)
+	buf := dst[off:]
 	for i, p := range pix {
 		binary.BigEndian.PutUint32(buf[i*4:], uint32(p))
 	}
-	return buf
+	return dst
+}
+
+// grow extends dst by n bytes, reallocating at most once.
+func grow(dst []byte, n int) []byte {
+	if need := len(dst) + n; cap(dst) < need {
+		dst = append(make([]byte, 0, need), dst...)
+	}
+	return dst[:len(dst)+n]
 }
 
 func decodeRawBytes(data []byte, n int) ([]pixel.ARGB, error) {
@@ -107,9 +128,8 @@ func decodeRawBytes(data []byte, n int) ([]pixel.ARGB, error) {
 	return pix, nil
 }
 
-// encodeRLE emits (count-1 byte, ARGB32) pairs; runs cap at 256.
-func encodeRLE(pix []pixel.ARGB) []byte {
-	var out []byte
+// appendRLE emits (count-1 byte, ARGB32) pairs; runs cap at 256.
+func appendRLE(out []byte, pix []pixel.ARGB) []byte {
 	for i := 0; i < len(pix); {
 		run := 1
 		for i+run < len(pix) && run < 256 && pix[i+run] == pix[i] {
@@ -140,20 +160,24 @@ func decodeRLE(data []byte, n int) ([]pixel.ARGB, error) {
 	return pix, nil
 }
 
-func encodePNG(pix []pixel.ARGB, w, h int) ([]byte, error) {
-	img := image.NewNRGBA(image.Rect(0, 0, w, h))
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			p := pix[y*w+x]
-			img.SetNRGBA(x, y, color.NRGBA{R: p.R(), G: p.G(), B: p.B(), A: p.A()})
-		}
+func appendPNG(dst []byte, pix []pixel.ARGB, w, h int) ([]byte, error) {
+	raw := GetScratch()
+	raw = grow(raw, w*h*4)
+	for i, p := range pix {
+		raw[i*4+0] = p.R()
+		raw[i*4+1] = p.G()
+		raw[i*4+2] = p.B()
+		raw[i*4+3] = p.A()
 	}
-	var buf bytes.Buffer
-	enc := png.Encoder{CompressionLevel: png.BestSpeed}
-	if err := enc.Encode(&buf, img); err != nil {
-		return nil, err
+	img := &image.NRGBA{Pix: raw, Stride: w * 4, Rect: image.Rect(0, 0, w, h)}
+	sw := sliceWriter{b: dst}
+	enc := png.Encoder{CompressionLevel: png.BestSpeed, BufferPool: pngBuffers}
+	err := enc.Encode(&sw, img)
+	PutScratch(raw)
+	if err != nil {
+		return dst, err
 	}
-	return buf.Bytes(), nil
+	return sw.b, nil
 }
 
 func decodePNG(data []byte, w, h int) ([]pixel.ARGB, error) {
@@ -175,19 +199,33 @@ func decodePNG(data []byte, w, h int) ([]pixel.ARGB, error) {
 	return pix, nil
 }
 
-func encodeZlib(raw []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	zw, err := zlib.NewWriterLevel(&buf, zlib.BestSpeed)
-	if err != nil {
-		return nil, err
+func appendZlib(dst []byte, pix []pixel.ARGB) ([]byte, error) {
+	raw := appendRawBytes(GetScratch(), pix)
+	out, err := appendZlibBytes(dst, raw)
+	PutScratch(raw)
+	return out, err
+}
+
+func appendZlibBytes(dst, raw []byte) ([]byte, error) {
+	sw := &sliceWriter{b: dst}
+	zw, _ := zlibWriters.Get().(*zlib.Writer)
+	if zw == nil {
+		var err error
+		zw, err = zlib.NewWriterLevel(sw, zlib.BestSpeed)
+		if err != nil {
+			return dst, err
+		}
+	} else {
+		zw.Reset(sw)
 	}
 	if _, err := zw.Write(raw); err != nil {
-		return nil, err
+		return dst, err
 	}
 	if err := zw.Close(); err != nil {
-		return nil, err
+		return dst, err
 	}
-	return buf.Bytes(), nil
+	zlibWriters.Put(zw)
+	return sw.b, nil
 }
 
 func decodeZlib(data []byte) ([]byte, error) {

@@ -464,7 +464,12 @@ func (c *RawCmd) WireSize() int {
 }
 
 // subPixels extracts the pixels of r (which must lie inside bounds).
+// When r covers the whole command the stored pixels are returned
+// directly (they are immutable after construction), skipping the copy.
 func (c *RawCmd) subPixels(r geom.Rect) []pixel.ARGB {
+	if r == c.bounds {
+		return c.Pix
+	}
 	w := c.bounds.W()
 	out := make([]pixel.ARGB, r.Area())
 	for y := 0; y < r.H(); y++ {
@@ -475,20 +480,36 @@ func (c *RawCmd) subPixels(r geom.Rect) []pixel.ARGB {
 }
 
 // Emit implements Command: one RAW message per live rectangle,
-// compressed with the command's codec.
+// compressed with the command's codec into a pooled payload buffer.
+// The buffers travel inside the emitted messages; the delivery layer
+// hands them back via RecycleMessages once the transport write is done.
 func (c *RawCmd) Emit(dst []wire.Message) []wire.Message {
 	for _, r := range c.live.Rects() {
-		data, err := compress.Encode(c.Codec, c.subPixels(r), r.W(), r.H())
+		data, err := compress.EncodeAppend(c.Codec, compress.GetScratch(), c.subPixels(r), r.W(), r.H())
 		if err != nil {
 			// Encoding raw pixels cannot fail with valid geometry; fall
 			// back to uncompressed if a codec misbehaves.
-			data, _ = compress.Encode(compress.CodecNone, c.subPixels(r), r.W(), r.H())
+			data, _ = compress.EncodeAppend(compress.CodecNone, data[:0], c.subPixels(r), r.W(), r.H())
 			dst = append(dst, &wire.Raw{Rect: r, Codec: compress.CodecNone, Blend: c.Blend, Data: data})
 			continue
 		}
 		dst = append(dst, &wire.Raw{Rect: r, Codec: c.Codec, Blend: c.Blend, Data: data})
 	}
 	return dst
+}
+
+// RecycleMessages returns the pooled payload buffers riding inside
+// emitted RAW messages to the codec scratch pool. The delivery layer
+// calls it after the transport write completes; paths that retain
+// messages (the simulator, the recorder) simply never recycle and the
+// pool refills lazily.
+func RecycleMessages(msgs []wire.Message) {
+	for _, m := range msgs {
+		if r, ok := m.(*wire.Raw); ok && r.Data != nil {
+			compress.PutScratch(r.Data)
+			r.Data = nil
+		}
+	}
 }
 
 // Merge implements Command: abutting raws merge — vertically stacked

@@ -113,9 +113,9 @@ func (b *ClientBuffer) queueLoads(depth, bytes *[NumQueues + 1]int64) {
 	for _, e := range b.entries {
 		q := NumQueues // real-time queue
 		if !e.realtime {
-			q = sizeQueue(e.cmd.WireSize())
+			q = sizeQueue(e.size)
 		}
 		depth[q]++
-		bytes[q] += int64(e.cmd.WireSize())
+		bytes[q] += int64(e.size)
 	}
 }

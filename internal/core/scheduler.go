@@ -69,6 +69,11 @@ type entry struct {
 	isFrame  bool
 	slot     string // replacement-slot key ("" = none)
 	inFlush  uint64 // flush counter at insertion (queue-residency metric)
+	// size caches cmd.WireSize() so queue classification, backlog
+	// accounting, and flush budgeting never recompute it. It is
+	// refreshed whenever the live remainder changes: overwrite
+	// eviction shrinking a survivor, merge absorption, RAW splitting.
+	size int
 }
 
 // BufferStats accounts a client buffer's activity.
@@ -133,7 +138,7 @@ func (b *ClientBuffer) Len() int { return len(b.entries) }
 func (b *ClientBuffer) QueuedBytes() int {
 	n := 0
 	for _, e := range b.entries {
-		n += e.cmd.WireSize()
+		n += e.size
 	}
 	return n
 }
@@ -157,7 +162,8 @@ func (b *ClientBuffer) rtRegion() geom.Rect {
 func (b *ClientBuffer) Add(cmd Command) {
 	b.Stats.Queued++
 	b.met.queuedByClass[cmd.Class()].Inc()
-	b.met.cmdSize.Observe(int64(cmd.WireSize()))
+	size := cmd.WireSize()
+	b.met.cmdSize.Observe(int64(size))
 
 	// Overwrite eviction (opaque commands only). Regions a buffered COPY
 	// still reads from are protected: clipping the command that drew a
@@ -201,8 +207,12 @@ func (b *ClientBuffer) Add(cmd Command) {
 				kept = append(kept, e)
 				continue
 			}
-			evicted := false
+			evicted, touched := false, false
 			for _, r := range cover {
+				if !e.cmd.Live().OverlapsRect(r) {
+					continue // CoverOutput would be a no-op
+				}
+				touched = true
 				if e.cmd.CoverOutput(r) {
 					evicted = true
 					break
@@ -212,6 +222,11 @@ func (b *ClientBuffer) Add(cmd Command) {
 				b.Stats.Evicted++
 				b.met.evicted.Inc()
 				continue
+			}
+			if touched {
+				// Partial coverage shrank the live remainder; the cached
+				// size must track it or SRSF schedules on stale bytes.
+				e.size = e.cmd.WireSize()
 			}
 			kept = append(kept, e)
 		}
@@ -248,6 +263,7 @@ func (b *ClientBuffer) Add(cmd Command) {
 		b.Stats.Merged++
 		b.met.merged.Inc()
 		last := b.entries[n-1]
+		last.size = last.cmd.WireSize() // absorption grew the command
 		last.deps = appendNewDeps(last.deps, deps, last)
 		if len(last.deps) > 0 {
 			last.realtime = false
@@ -255,13 +271,13 @@ func (b *ClientBuffer) Add(cmd Command) {
 		return
 	}
 
-	e := &entry{cmd: cmd, seq: b.seq, deps: deps, inFlush: b.flushes}
+	e := &entry{cmd: cmd, seq: b.seq, deps: deps, inFlush: b.flushes, size: size}
 	b.seq++
 
 	// Real-time classification: small, dependency-free updates
 	// overlapping the recent input region jump the size queues.
 	if rt := b.rtRegion(); !rt.Empty() && !nb.Empty() &&
-		nb.Overlaps(rt) && cmd.WireSize() <= rtMaxSize && len(deps) == 0 {
+		nb.Overlaps(rt) && size <= rtMaxSize && len(deps) == 0 {
 		e.realtime = true
 	}
 	if _, ok := cmd.(*AudioCmd); ok {
@@ -285,17 +301,18 @@ const slotCursorMove = "cursor-move"
 func (b *ClientBuffer) AddSlot(cmd Command, key string) {
 	b.Stats.Queued++
 	b.met.queuedByClass[cmd.Class()].Inc()
-	b.met.cmdSize.Observe(int64(cmd.WireSize()))
+	size := cmd.WireSize()
+	b.met.cmdSize.Observe(int64(size))
 	for i, e := range b.entries {
 		if e.slot == key {
 			e2 := &entry{cmd: cmd, seq: e.seq, deps: e.deps,
-				realtime: e.realtime, slot: key, inFlush: e.inFlush}
+				realtime: e.realtime, slot: key, inFlush: e.inFlush, size: size}
 			b.entries[i] = e2
 			b.redirectDeps(e, e2)
 			return
 		}
 	}
-	e := &entry{cmd: cmd, seq: b.seq, slot: key, inFlush: b.flushes}
+	e := &entry{cmd: cmd, seq: b.seq, slot: key, inFlush: b.flushes, size: size}
 	b.seq++
 	if cc, ok := cmd.(*ctlCmd); ok && cc.rt {
 		e.realtime = true
@@ -329,11 +346,12 @@ func appendNewDeps(dst, add []*entry, self *entry) []*entry {
 func (b *ClientBuffer) AddFrame(cmd *FrameCmd) (dropped bool) {
 	b.Stats.Queued++
 	b.met.queuedByClass[cmd.Class()].Inc()
-	b.met.cmdSize.Observe(int64(cmd.WireSize()))
+	size := cmd.WireSize()
+	b.met.cmdSize.Observe(int64(size))
 	for i, e := range b.entries {
 		if e.isFrame && e.stream == cmd.StreamID {
 			e2 := &entry{cmd: cmd, seq: e.seq, deps: e.deps,
-				stream: cmd.StreamID, isFrame: true, inFlush: e.inFlush}
+				stream: cmd.StreamID, isFrame: true, inFlush: e.inFlush, size: size}
 			b.entries[i] = e2
 			b.redirectDeps(e, e2)
 			b.Stats.FrameDrops++
@@ -341,7 +359,7 @@ func (b *ClientBuffer) AddFrame(cmd *FrameCmd) (dropped bool) {
 			return true
 		}
 	}
-	e := &entry{cmd: cmd, seq: b.seq, stream: cmd.StreamID, isFrame: true, inFlush: b.flushes}
+	e := &entry{cmd: cmd, seq: b.seq, stream: cmd.StreamID, isFrame: true, inFlush: b.flushes, size: size}
 	b.seq++
 	b.entries = append(b.entries, e)
 	return false
@@ -360,9 +378,9 @@ func (b *ClientBuffer) redirectDeps(old, new *entry) {
 }
 
 // queueOf computes an entry's current SRSF queue from its *remaining*
-// wire size.
+// wire size (cached; invalidated on eviction shrink, merge, and split).
 func (b *ClientBuffer) queueOf(e *entry) int {
-	return sizeQueue(e.cmd.WireSize())
+	return sizeQueue(e.size)
 }
 
 // Flush delivers up to budget bytes of commands in scheduler order:
@@ -421,7 +439,7 @@ func (b *ClientBuffer) Flush(budget int) []wire.Message {
 			if delivered[e] || !ready(e) {
 				continue
 			}
-			sz := e.cmd.WireSize()
+			sz := e.size
 			if sz <= budget {
 				out = e.cmd.Emit(out)
 				budget -= sz
@@ -440,11 +458,12 @@ func (b *ClientBuffer) Flush(budget int) []wire.Message {
 				if part := rc.SplitTop(budget); part != nil {
 					out = part.Emit(out)
 					budget -= part.WireSize()
+					e.size = rc.WireSize() // remainder reschedules by what is left
 					b.Stats.Splits++
 					b.met.splits.Inc()
 					if b.met.Trace.Enabled() {
 						b.met.Trace.Event("sched.split",
-							fmt.Sprintf("part=%dB remaining=%dB", part.WireSize(), rc.WireSize()))
+							fmt.Sprintf("part=%dB remaining=%dB", part.WireSize(), e.size))
 					}
 					if rc.Live().Empty() {
 						delivered[e] = true

@@ -13,6 +13,11 @@ import "thinc/internal/pixel"
 // output pixel integrates the exact span of input pixels it covers, so
 // downscaling is anti-aliased and upscaling is smooth. src is row-major
 // with the given stride (in pixels).
+//
+// The sliver weights of each pass depend only on the output index
+// along that axis, so they are computed once per call and reused for
+// every row (horizontal) and every column (vertical) — roughly halving
+// the per-pixel float work versus recomputing them in the inner loop.
 func Fant(src []pixel.ARGB, stride, sw, sh, dw, dh int) []pixel.ARGB {
 	if sw <= 0 || sh <= 0 || dw <= 0 || dh <= 0 {
 		return nil
@@ -21,37 +26,44 @@ func Fant(src []pixel.ARGB, stride, sw, sh, dw, dh int) []pixel.ARGB {
 	// per-channel float64; the image sizes THINC resizes (≤ screen size)
 	// keep this cheap.
 	mid := make([]float64, dw*sh*4)
-	xscale := float64(sw) / float64(dw)
+	xs := makeSliverSpans(sw, dw)
 	for y := 0; y < sh; y++ {
 		row := src[y*stride : y*stride+sw]
 		for dx := 0; dx < dw; dx++ {
-			x0 := float64(dx) * xscale
-			x1 := float64(dx+1) * xscale
-			a, r, g, b := boxSampleRow(row, x0, x1)
+			var a, r, g, b float64
+			ix := xs.start[dx]
+			for i, w := range xs.weights(dx) {
+				p := row[ix+i]
+				a += float64(p.A()) * w
+				r += float64(p.R()) * w
+				g += float64(p.G()) * w
+				b += float64(p.B()) * w
+			}
+			if wsum := xs.sum[dx]; wsum > 0 {
+				a /= wsum
+				r /= wsum
+				g /= wsum
+				b /= wsum
+			}
 			o := (y*dw + dx) * 4
 			mid[o], mid[o+1], mid[o+2], mid[o+3] = a, r, g, b
 		}
 	}
 	// Vertical pass.
 	out := make([]pixel.ARGB, dw*dh)
-	yscale := float64(sh) / float64(dh)
+	ys := makeSliverSpans(sh, dh)
 	for dy := 0; dy < dh; dy++ {
-		y0 := float64(dy) * yscale
-		y1 := float64(dy+1) * yscale
+		weights := ys.weights(dy)
+		iy0 := ys.start[dy]
+		wsum := ys.sum[dy]
 		for dx := 0; dx < dw; dx++ {
-			var a, r, g, b, wsum float64
-			iy0, iy1 := int(y0), int(y1)
-			for iy := iy0; iy <= iy1 && iy < sh; iy++ {
-				w := sliverWeight(float64(iy), y0, y1)
-				if w <= 0 {
-					continue
-				}
-				o := (iy*dw + dx) * 4
+			var a, r, g, b float64
+			for i, w := range weights {
+				o := ((iy0+i)*dw + dx) * 4
 				a += mid[o] * w
 				r += mid[o+1] * w
 				g += mid[o+2] * w
 				b += mid[o+3] * w
-				wsum += w
 			}
 			if wsum > 0 {
 				a /= wsum
@@ -65,30 +77,53 @@ func Fant(src []pixel.ARGB, stride, sw, sh, dw, dh int) []pixel.ARGB {
 	return out
 }
 
-// boxSampleRow integrates the span [x0, x1) of the row with exact
-// fractional coverage at the span edges.
-func boxSampleRow(row []pixel.ARGB, x0, x1 float64) (a, r, g, b float64) {
-	var wsum float64
-	ix0, ix1 := int(x0), int(x1)
-	for ix := ix0; ix <= ix1 && ix < len(row); ix++ {
-		w := sliverWeight(float64(ix), x0, x1)
-		if w <= 0 {
-			continue
+// sliverSpans is the precomputed coverage table for one axis of an
+// s -> d resize: for output cell k, the first covered input cell, the
+// positive sliver weights of its span (contiguous by construction),
+// and their sum.
+type sliverSpans struct {
+	start []int     // first input cell with positive weight
+	off   []int     // weight-slice offsets, len d+1
+	w     []float64 // concatenated per-cell weights
+	sum   []float64 // per-cell weight sums
+}
+
+// weights returns output cell k's weight slice.
+func (s *sliverSpans) weights(k int) []float64 { return s.w[s.off[k]:s.off[k+1]] }
+
+// makeSliverSpans integrates every output cell's span [k*s/d, (k+1)*s/d)
+// against the input grid, exactly as the inner loops previously did per
+// pixel; accumulation order is preserved so results are bit-identical.
+func makeSliverSpans(s, d int) *sliverSpans {
+	sp := &sliverSpans{
+		start: make([]int, d),
+		off:   make([]int, d+1),
+		w:     make([]float64, 0, d*2),
+		sum:   make([]float64, d),
+	}
+	scale := float64(s) / float64(d)
+	for k := 0; k < d; k++ {
+		x0 := float64(k) * scale
+		x1 := float64(k+1) * scale
+		ix0, ix1 := int(x0), int(x1)
+		start := -1
+		var wsum float64
+		for ix := ix0; ix <= ix1 && ix < s; ix++ {
+			w := sliverWeight(float64(ix), x0, x1)
+			if w <= 0 {
+				continue
+			}
+			if start < 0 {
+				start = ix
+			}
+			sp.w = append(sp.w, w)
+			wsum += w
 		}
-		p := row[ix]
-		a += float64(p.A()) * w
-		r += float64(p.R()) * w
-		g += float64(p.G()) * w
-		b += float64(p.B()) * w
-		wsum += w
+		sp.start[k] = start
+		sp.sum[k] = wsum
+		sp.off[k+1] = len(sp.w)
 	}
-	if wsum > 0 {
-		a /= wsum
-		r /= wsum
-		g /= wsum
-		b /= wsum
-	}
-	return
+	return sp
 }
 
 // sliverWeight returns how much of input cell [i, i+1) the span [x0, x1)

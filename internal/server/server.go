@@ -15,7 +15,6 @@
 package server
 
 import (
-	"bufio"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -515,9 +514,11 @@ func (c *serverConn) logUnknown(err error) {
 }
 
 // flushLoop is the delivery engine: every interval it drains up to the
-// budget from the client buffer and writes the messages out. The
-// buffered writer plus bounded budget approximates the non-blocking
-// socket commit of §5 over a real TCP connection. It also owns the
+// budget from the client buffer and writes the messages out. All
+// budgeted messages are framed into one pooled batch buffer (large
+// pixel slabs ride along by reference) and committed with a single
+// vectored write — the non-blocking socket commit of §5 over a real
+// TCP connection, with no per-message allocation. It also owns the
 // write side of the heartbeat (Pings out, Pong echoes out) and applies
 // the slow-client policy when the backlog outgrows its bound.
 func (c *serverConn) flushLoop(done <-chan struct{}) error {
@@ -525,31 +526,31 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 	defer t.Stop()
 	hb := time.NewTicker(c.host.opts.HeartbeatInterval)
 	defer hb.Stop()
-	bw := bufio.NewWriterSize(c.enc, 64<<10)
+	batch := wire.NewBatch()
+	defer batch.Release()
 	var pingSeq uint32
 	met := c.host.met
 
-	// write frames m with the write deadline armed; flush pushes the
-	// buffered writer out under the same deadline. The message is
-	// marshaled here (WriteMessage would anyway), so the framed length
-	// feeds the per-type wire counters without a second encode.
-	var batchBytes int64
-	write := func(m wire.Message) error {
-		buf, err := wire.Marshal(m)
-		if err != nil {
+	// queue frames m into the batch and feeds the per-type wire
+	// counters from the O(1) analytic size; flush commits the whole
+	// batch in one write under the write deadline.
+	queue := func(m wire.Message) error {
+		if err := batch.Append(m); err != nil {
 			return err
 		}
 		t := m.Type()
 		met.msgsByType[t].Inc()
-		met.bytesByType[t].Add(int64(len(buf)))
-		batchBytes += int64(len(buf))
-		_ = c.nc.SetWriteDeadline(time.Now().Add(c.host.opts.WriteTimeout))
-		_, err = bw.Write(buf)
-		return err
+		met.bytesByType[t].Add(int64(wire.WireSize(m)))
+		return nil
 	}
 	flush := func() error {
+		if batch.Empty() {
+			return nil
+		}
 		_ = c.nc.SetWriteDeadline(time.Now().Add(c.host.opts.WriteTimeout))
-		return bw.Flush()
+		_, err := batch.WriteTo(c.enc)
+		batch.Reset()
+		return err
 	}
 
 	for {
@@ -557,7 +558,7 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 		case <-done:
 			return nil
 		case pg := <-c.pongs:
-			if err := write(pg); err != nil {
+			if err := queue(pg); err != nil {
 				return err
 			}
 			if err := flush(); err != nil {
@@ -565,7 +566,7 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			}
 		case <-hb.C:
 			pingSeq++
-			if err := write(&wire.Ping{Seq: pingSeq,
+			if err := queue(&wire.Ping{Seq: pingSeq,
 				TimeUS: uint64(time.Now().UnixMicro())}); err != nil {
 				return err
 			}
@@ -578,15 +579,18 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			msgs := c.cl.Flush(c.host.opts.FlushBudget)
 			backlog := c.cl.Buf.QueuedBytes()
 			c.host.mu.Unlock()
-			batchBytes = 0
 			for _, m := range msgs {
-				if err := write(m); err != nil {
+				if err := queue(m); err != nil {
 					return err
 				}
 			}
+			batchBytes := batch.Len()
 			if err := flush(); err != nil {
 				return err
 			}
+			// The vectored write is done; RAW payload buffers can go
+			// back to the codec scratch pool.
+			core.RecycleMessages(msgs)
 			if batchBytes > 0 {
 				met.flushBatch.Observe(batchBytes)
 			}

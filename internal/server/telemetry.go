@@ -1,6 +1,7 @@
 package server
 
 import (
+	"thinc/internal/compress"
 	"thinc/internal/core"
 	"thinc/internal/telemetry"
 	"thinc/internal/wire"
@@ -96,6 +97,29 @@ func newHostMetrics(h *Host) *hostMetrics {
 			m.bytesByType[i] = controlBytes
 		}
 	}
+
+	// Encode fast-path counters: pool and vectored-write activity from
+	// the wire batch encoder and the codec scratch pool. These are
+	// process-wide atomics read only at scrape time, so the encode path
+	// itself stays free of registry lookups.
+	reg.CounterFunc("thinc_wire_encode_pool_gets_total",
+		"encode buffers borrowed from the wire pool",
+		func() int64 { return wire.Stats().PoolGets })
+	reg.CounterFunc("thinc_wire_encode_pool_misses_total",
+		"encode buffer borrows that had to allocate",
+		func() int64 { return wire.Stats().PoolMisses })
+	reg.CounterFunc("thinc_wire_vectored_writes_total",
+		"payload slabs written by reference instead of copied",
+		func() int64 { return wire.Stats().VectoredWrites })
+	reg.CounterFunc("thinc_wire_vectored_bytes_total",
+		"payload bytes that skipped the batch-buffer copy",
+		func() int64 { return wire.Stats().VectoredBytes })
+	reg.CounterFunc("thinc_codec_scratch_gets_total",
+		"codec payload buffers borrowed from the compress scratch pool",
+		func() int64 { return compress.PoolStats().Gets })
+	reg.CounterFunc("thinc_codec_scratch_misses_total",
+		"codec scratch borrows that had to allocate",
+		func() int64 { return compress.PoolStats().Misses })
 
 	// Scrape-time gauges: point-in-time state read under the Host lock
 	// only when /metrics is hit — the command path never touches these.

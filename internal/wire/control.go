@@ -18,6 +18,9 @@ type ServerInit struct {
 // Type implements Message.
 func (m *ServerInit) Type() Type { return TServerInit }
 
+// PayloadSize implements Message: ver 1 + geometry 4 + format 1.
+func (m *ServerInit) PayloadSize() int { return 6 }
+
 func (m *ServerInit) appendPayload(dst []byte) []byte {
 	dst = append(dst, m.Ver)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.W))
@@ -45,6 +48,9 @@ type ClientInit struct {
 // Type implements Message.
 func (m *ClientInit) Type() Type { return TClientInit }
 
+// PayloadSize implements Message: viewport 4 + name len 2 + name.
+func (m *ClientInit) PayloadSize() int { return 6 + len(m.Name) }
+
 func (m *ClientInit) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewW))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewH))
@@ -69,6 +75,9 @@ type Resize struct {
 
 // Type implements Message.
 func (m *Resize) Type() Type { return TResize }
+
+// PayloadSize implements Message: viewport 4.
+func (m *Resize) PayloadSize() int { return 4 }
 
 func (m *Resize) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewW))
@@ -106,6 +115,10 @@ type Input struct {
 // Type implements Message.
 func (m *Input) Type() Type { return TInput }
 
+// PayloadSize implements Message: kind 1 + x 2 + y 2 + code 2 + press
+// 1 + time 8.
+func (m *Input) PayloadSize() int { return 16 }
+
 func (m *Input) appendPayload(dst []byte) []byte {
 	dst = append(dst, byte(m.Kind))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.X))
@@ -140,6 +153,9 @@ type AuthChallenge struct {
 // Type implements Message.
 func (m *AuthChallenge) Type() Type { return TAuthChallenge }
 
+// PayloadSize implements Message: nonce len 2 + nonce.
+func (m *AuthChallenge) PayloadSize() int { return 2 + len(m.Nonce) }
+
 func (m *AuthChallenge) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Nonce)))
 	return append(dst, m.Nonce...)
@@ -160,6 +176,10 @@ type AuthResponse struct {
 
 // Type implements Message.
 func (m *AuthResponse) Type() Type { return TAuthResponse }
+
+// PayloadSize implements Message: user len 2 + user + proof len 2 +
+// proof.
+func (m *AuthResponse) PayloadSize() int { return 4 + len(m.User) + len(m.Proof) }
 
 func (m *AuthResponse) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.User)))
@@ -185,6 +205,9 @@ type AuthResult struct {
 
 // Type implements Message.
 func (m *AuthResult) Type() Type { return TAuthResult }
+
+// PayloadSize implements Message: ok 1 + reason len 2 + reason.
+func (m *AuthResult) PayloadSize() int { return 3 + len(m.Reason) }
 
 func (m *AuthResult) appendPayload(dst []byte) []byte {
 	var b byte
@@ -213,6 +236,9 @@ type UpdateRequest struct {
 
 // Type implements Message.
 func (m *UpdateRequest) Type() Type { return TUpdateRequest }
+
+// PayloadSize implements Message: incremental flag 1.
+func (m *UpdateRequest) PayloadSize() int { return 1 }
 
 func (m *UpdateRequest) appendPayload(dst []byte) []byte {
 	var b byte

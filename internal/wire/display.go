@@ -19,11 +19,17 @@ type Raw struct {
 }
 
 // NewRaw encodes the pixels (row-major, stride in pixels) of r with the
-// given codec.
+// given codec. When the rows are already contiguous (stride == width)
+// the pixels are encoded in place with no intermediate copy.
 func NewRaw(r geom.Rect, pix []pixel.ARGB, stride int, codec compress.Codec) (*Raw, error) {
-	block := make([]pixel.ARGB, 0, r.Area())
-	for y := 0; y < r.H(); y++ {
-		block = append(block, pix[y*stride:y*stride+r.W()]...)
+	var block []pixel.ARGB
+	if stride == r.W() {
+		block = pix[:r.Area()]
+	} else {
+		block = make([]pixel.ARGB, 0, r.Area())
+		for y := 0; y < r.H(); y++ {
+			block = append(block, pix[y*stride:y*stride+r.W()]...)
+		}
 	}
 	data, err := compress.Encode(codec, block, r.W(), r.H())
 	if err != nil {
@@ -40,7 +46,15 @@ func (m *Raw) Pixels() ([]pixel.ARGB, error) {
 // Type implements Message.
 func (m *Raw) Type() Type { return TRaw }
 
+// PayloadSize implements Message: rect 8 + codec 1 + flags 1 + len 4 +
+// data.
+func (m *Raw) PayloadSize() int { return 14 + len(m.Data) }
+
 func (m *Raw) appendPayload(dst []byte) []byte {
+	return append(m.appendPayloadMeta(dst), m.Data...)
+}
+
+func (m *Raw) appendPayloadMeta(dst []byte) []byte {
 	dst = appendRect(dst, m.Rect)
 	dst = append(dst, byte(m.Codec))
 	var flags byte
@@ -48,9 +62,10 @@ func (m *Raw) appendPayload(dst []byte) []byte {
 		flags = 1
 	}
 	dst = append(dst, flags)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
-	return append(dst, m.Data...)
+	return binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
 }
+
+func (m *Raw) payloadSlab() []byte { return m.Data }
 
 func decodeRaw(d *decoder) (*Raw, error) {
 	m := &Raw{}
@@ -73,6 +88,9 @@ type Copy struct {
 // Type implements Message.
 func (m *Copy) Type() Type { return TCopy }
 
+// PayloadSize implements Message: rect 8 + dst point 4.
+func (m *Copy) PayloadSize() int { return 12 }
+
 func (m *Copy) appendPayload(dst []byte) []byte {
 	dst = appendRect(dst, m.Src)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.Dst.X))
@@ -94,6 +112,9 @@ type SFill struct {
 
 // Type implements Message.
 func (m *SFill) Type() Type { return TSFill }
+
+// PayloadSize implements Message: rect 8 + color 4.
+func (m *SFill) PayloadSize() int { return 12 }
 
 func (m *SFill) appendPayload(dst []byte) []byte {
 	dst = appendRect(dst, m.Rect)
@@ -120,6 +141,10 @@ type PFill struct {
 
 // Type implements Message.
 func (m *PFill) Type() Type { return TPFill }
+
+// PayloadSize implements Message: rect 8 + tile geometry 8 + 4 bytes
+// per tile pixel.
+func (m *PFill) PayloadSize() int { return 16 + 4*len(m.Tile) }
 
 func (m *PFill) appendPayload(dst []byte) []byte {
 	dst = appendRect(dst, m.Rect)
@@ -168,7 +193,15 @@ type Bitmap struct {
 // Type implements Message.
 func (m *Bitmap) Type() Type { return TBitmap }
 
+// PayloadSize implements Message: rect 8 + fg 4 + bg 4 + flags 1 +
+// bitmap geometry 4 + bits.
+func (m *Bitmap) PayloadSize() int { return 21 + len(m.Bits) }
+
 func (m *Bitmap) appendPayload(dst []byte) []byte {
+	return append(m.appendPayloadMeta(dst), m.Bits...)
+}
+
+func (m *Bitmap) appendPayloadMeta(dst []byte) []byte {
 	dst = appendRect(dst, m.Rect)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Fg))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Bg))
@@ -178,9 +211,10 @@ func (m *Bitmap) appendPayload(dst []byte) []byte {
 	}
 	dst = append(dst, flags)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.BitW))
-	dst = binary.BigEndian.AppendUint16(dst, uint16(m.BitH))
-	return append(dst, m.Bits...)
+	return binary.BigEndian.AppendUint16(dst, uint16(m.BitH))
 }
+
+func (m *Bitmap) payloadSlab() []byte { return m.Bits }
 
 func decodeBitmap(d *decoder) (*Bitmap, error) {
 	m := &Bitmap{}
@@ -207,6 +241,10 @@ type CursorSet struct {
 
 // Type implements Message.
 func (m *CursorSet) Type() Type { return TCursorSet }
+
+// PayloadSize implements Message: hotspot + geometry 8 + 4 bytes per
+// cursor pixel.
+func (m *CursorSet) PayloadSize() int { return 8 + 4*len(m.Pix) }
 
 func (m *CursorSet) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.HotX))
@@ -248,6 +286,9 @@ type CursorMove struct {
 
 // Type implements Message.
 func (m *CursorMove) Type() Type { return TCursorMove }
+
+// PayloadSize implements Message: x 2 + y 2.
+func (m *CursorMove) PayloadSize() int { return 4 }
 
 func (m *CursorMove) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.X))

@@ -1,0 +1,524 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+
+	"thinc/internal/cipher"
+	"thinc/internal/compress"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// randMessage builds a randomized instance of the given message type —
+// random geometry, random string/slice lengths — for the PayloadSize
+// property test.
+func randMessage(rnd *rand.Rand, t Type) Message {
+	rect := func() geom.Rect {
+		return geom.XYWH(rnd.Intn(1024), rnd.Intn(768), 1+rnd.Intn(256), 1+rnd.Intn(256))
+	}
+	blob := func(max int) []byte {
+		b := make([]byte, rnd.Intn(max+1))
+		rnd.Read(b)
+		return b
+	}
+	str := func(max int) string { return string(blob(max)) }
+	pix := func(n int) []pixel.ARGB {
+		p := make([]pixel.ARGB, n)
+		for i := range p {
+			p[i] = pixel.ARGB(rnd.Uint32())
+		}
+		return p
+	}
+	switch t {
+	case TRaw:
+		return &Raw{Rect: rect(), Codec: compress.Codec(rnd.Intn(4)),
+			Blend: rnd.Intn(2) == 0, Data: blob(4096)}
+	case TCopy:
+		return &Copy{Src: rect(), Dst: geom.Point{X: rnd.Intn(1024), Y: rnd.Intn(768)}}
+	case TSFill:
+		return &SFill{Rect: rect(), Color: pixel.ARGB(rnd.Uint32())}
+	case TPFill:
+		w, h := 1+rnd.Intn(8), 1+rnd.Intn(8)
+		return &PFill{Rect: rect(), TileW: w, TileH: h,
+			Ax: rnd.Intn(w), Ay: rnd.Intn(h), Tile: pix(w * h)}
+	case TBitmap:
+		w, h := 1+rnd.Intn(64), 1+rnd.Intn(64)
+		return &Bitmap{Rect: rect(), Fg: pixel.ARGB(rnd.Uint32()), Bg: pixel.ARGB(rnd.Uint32()),
+			Transparent: rnd.Intn(2) == 0, BitW: w, BitH: h,
+			Bits: blob((w + 7) / 8 * h)}
+	case TVideoInit:
+		return &VideoInit{Stream: rnd.Uint32(), Format: pixel.FormatYV12,
+			SrcW: 1 + rnd.Intn(1024), SrcH: 1 + rnd.Intn(768), Dst: rect()}
+	case TVideoFrame:
+		return &VideoFrame{Stream: rnd.Uint32(), Seq: rnd.Uint32(), PTS: rnd.Uint64(),
+			W: 1 + rnd.Intn(1024), H: 1 + rnd.Intn(768), Data: blob(8192)}
+	case TVideoMove:
+		return &VideoMove{Stream: rnd.Uint32(), Dst: rect()}
+	case TVideoEnd:
+		return &VideoEnd{Stream: rnd.Uint32()}
+	case TAudioData:
+		return &AudioData{PTS: rnd.Uint64(), Data: blob(4096)}
+	case TServerInit:
+		return &ServerInit{Ver: uint8(rnd.Intn(256)), W: 1 + rnd.Intn(4096),
+			H: 1 + rnd.Intn(4096), Format: pixel.FormatARGB32}
+	case TClientInit:
+		return &ClientInit{ViewW: 1 + rnd.Intn(4096), ViewH: 1 + rnd.Intn(4096), Name: str(64)}
+	case TResize:
+		return &Resize{ViewW: 1 + rnd.Intn(4096), ViewH: 1 + rnd.Intn(4096)}
+	case TInput:
+		return &Input{Kind: InputKind(rnd.Intn(3)), X: rnd.Intn(4096), Y: rnd.Intn(4096),
+			Code: uint16(rnd.Intn(1 << 16)), Press: rnd.Intn(2) == 0, TimeUS: rnd.Uint64()}
+	case TAuthChallenge:
+		return &AuthChallenge{Nonce: blob(64)}
+	case TAuthResponse:
+		return &AuthResponse{User: str(32), Proof: blob(64)}
+	case TAuthResult:
+		return &AuthResult{OK: rnd.Intn(2) == 0, Reason: str(64)}
+	case TUpdateRequest:
+		return &UpdateRequest{Incremental: rnd.Intn(2) == 0}
+	case TCursorSet:
+		w, h := 1+rnd.Intn(32), 1+rnd.Intn(32)
+		return &CursorSet{HotX: rnd.Intn(w), HotY: rnd.Intn(h), W: w, H: h, Pix: pix(w * h)}
+	case TCursorMove:
+		return &CursorMove{X: rnd.Intn(4096), Y: rnd.Intn(4096)}
+	case TPing:
+		return &Ping{Seq: rnd.Uint32(), TimeUS: rnd.Uint64()}
+	case TPong:
+		return &Pong{Seq: rnd.Uint32(), TimeUS: rnd.Uint64()}
+	case TSessionTicket:
+		return &SessionTicket{Ticket: blob(MaxTicketLen)}
+	case TReattach:
+		return &Reattach{Ticket: blob(MaxTicketLen),
+			ViewW: 1 + rnd.Intn(4096), ViewH: 1 + rnd.Intn(4096), Name: str(64)}
+	default:
+		return nil
+	}
+}
+
+// allTypes lists every protocol message type.
+var allTypes = []Type{
+	TRaw, TCopy, TSFill, TPFill, TBitmap,
+	TVideoInit, TVideoFrame, TVideoMove, TVideoEnd, TAudioData,
+	TServerInit, TClientInit, TResize, TInput,
+	TAuthChallenge, TAuthResponse, TAuthResult, TUpdateRequest,
+	TCursorSet, TCursorMove, TPing, TPong, TSessionTicket, TReattach,
+}
+
+// TestPayloadSizeMatchesAppend is the exhaustive property behind O(1)
+// WireSize: for every message type, over fuzz-seeded random field
+// values, the analytic PayloadSize must equal the encoded payload
+// length (and WireSize the framed length).
+func TestPayloadSizeMatchesAppend(t *testing.T) {
+	for _, typ := range allTypes {
+		typ := typ
+		t.Run(typ.String(), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(int64(typ) * 7919))
+			for i := 0; i < 200; i++ {
+				m := randMessage(rnd, typ)
+				if m == nil {
+					t.Fatalf("no generator for %v", typ)
+				}
+				payload := m.appendPayload(nil)
+				if got, want := m.PayloadSize(), len(payload); got != want {
+					t.Fatalf("iter %d: PayloadSize %d != encoded %d (%#v)", i, got, want, m)
+				}
+				buf, err := Marshal(m)
+				if err != nil {
+					t.Fatalf("iter %d: marshal: %v", i, err)
+				}
+				if got, want := WireSize(m), len(buf); got != want {
+					t.Fatalf("iter %d: WireSize %d != framed %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSlabMetaMatchesPayload pins the slab split: meta + slab must
+// reproduce appendPayload byte for byte for every slab-bearing type.
+func TestSlabMetaMatchesPayload(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for _, typ := range []Type{TRaw, TBitmap, TVideoFrame, TAudioData} {
+		for i := 0; i < 50; i++ {
+			m := randMessage(rnd, typ)
+			sm, ok := m.(slabMessage)
+			if !ok {
+				t.Fatalf("%v does not implement slabMessage", typ)
+			}
+			want := m.appendPayload(nil)
+			got := append(sm.appendPayloadMeta(nil), sm.payloadSlab()...)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v iter %d: meta+slab != payload", typ, i)
+			}
+		}
+	}
+}
+
+func TestAppendMessageMatchesMarshal(t *testing.T) {
+	prefix := []byte("prefix")
+	for _, m := range sampleMessages() {
+		want, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendMessage(append([]byte(nil), prefix...), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Errorf("%v: AppendMessage != Marshal", m.Type())
+		}
+	}
+}
+
+// batchMessages builds a flush-shaped mix: two slab messages over the
+// vector threshold (written by reference), one under it (copied), and
+// small display/control traffic between them.
+func batchMessages() []Message {
+	big := make([]byte, 64*64*4)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	frame := make([]byte, 8192)
+	for i := range frame {
+		frame[i] = byte(i * 17)
+	}
+	return []Message{
+		&SFill{Rect: geom.XYWH(0, 64, 128, 16), Color: 0xff336699},
+		&Raw{Rect: geom.XYWH(0, 0, 64, 64), Data: big},
+		&Copy{Src: geom.XYWH(0, 0, 50, 50), Dst: geom.Point{X: 10, Y: 10}},
+		&Bitmap{Rect: geom.XYWH(64, 0, 32, 32), Fg: 0xffffffff, Bg: 0xff000000,
+			BitW: 32, BitH: 32, Bits: bytes.Repeat([]byte{0xa5}, 4*32)},
+		&VideoFrame{Stream: 3, Seq: 9, PTS: 777, W: 64, H: 32, Data: frame},
+		&PFill{Rect: geom.XYWH(0, 80, 64, 64), TileW: 2, TileH: 2,
+			Tile: []pixel.ARGB{1, 2, 3, 4}},
+		&Ping{Seq: 1, TimeUS: 2},
+	}
+}
+
+// TestBatchRoundTrip drives the vectored write path end to end: frame
+// a mixed batch (slabs by reference), write it to a plain buffer, and
+// decode every message back with ReadMessage.
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := batchMessages()
+	b := NewBatch()
+	defer b.Release()
+	var want int64
+	for _, m := range msgs {
+		if err := b.Append(m); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(WireSize(m))
+	}
+	if b.Len() != want || b.Msgs() != len(msgs) {
+		t.Fatalf("batch accounts %d bytes / %d msgs, want %d / %d",
+			b.Len(), b.Msgs(), want, len(msgs))
+	}
+	var buf bytes.Buffer
+	n, err := b.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("wrote %d bytes, want %d", n, want)
+	}
+	for i, m := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("message %d (%v): round trip mismatch", i, m.Type())
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Errorf("expected EOF after batch, got %v", err)
+	}
+}
+
+// TestBatchReuseAfterReset frames two different flushes through the
+// same batch; the second must not leak segments from the first.
+func TestBatchReuseAfterReset(t *testing.T) {
+	b := NewBatch()
+	defer b.Release()
+	for round := 0; round < 3; round++ {
+		msgs := batchMessages()[round:]
+		for _, m := range msgs {
+			if err := b.Append(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for i := range msgs {
+			got, err := ReadMessage(&buf)
+			if err != nil {
+				t.Fatalf("round %d message %d: %v", round, i, err)
+			}
+			if got.Type() != msgs[i].Type() {
+				t.Fatalf("round %d message %d: type %v, want %v",
+					round, i, got.Type(), msgs[i].Type())
+			}
+		}
+		b.Reset()
+		if !b.Empty() || b.Len() != 0 {
+			t.Fatal("reset batch not empty")
+		}
+	}
+}
+
+// TestBatchVectoredThroughStreamConn runs the vectored batch through
+// the RC4 transport: WriteBuffers must produce the same ciphertext
+// stream a client StreamConn decrypts back to the original messages.
+func TestBatchVectoredThroughStreamConn(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	var pipe bytes.Buffer
+	srv, err := cipher.NewStreamConn(&pipe, key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := cipher.NewStreamConn(&pipe, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := io.Writer(srv).(BuffersWriter); !ok {
+		t.Fatal("cipher.StreamConn does not implement wire.BuffersWriter")
+	}
+	msgs := batchMessages()
+	b := NewBatch()
+	defer b.Release()
+	for _, m := range msgs {
+		if err := b.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.WriteTo(srv); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range msgs {
+		got, err := ReadMessage(cli)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("message %d (%v): mismatch through encrypted transport", i, m.Type())
+		}
+	}
+}
+
+// TestStreamConnWriteBuffersMatchesWrite pins that one vectored write
+// produces the identical ciphertext as sequential plain writes.
+func TestStreamConnWriteBuffersMatchesWrite(t *testing.T) {
+	key := []byte("k")
+	segs := net.Buffers{[]byte("hello "), []byte("vectored"), []byte(" world")}
+	var a, b bytes.Buffer
+	ca, _ := cipher.NewStreamConn(&a, key, true)
+	cb, _ := cipher.NewStreamConn(&b, key, true)
+	if _, err := ca.WriteBuffers(segs); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if _, err := cb.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteBuffers ciphertext differs from sequential Write")
+	}
+}
+
+// countingWriter consumes writes without retaining them, counting
+// calls — it deliberately does NOT implement BuffersWriter, so batch
+// writes exercise the net.Buffers fallback.
+type countingWriter struct {
+	writes int
+	bytes  int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	w.bytes += int64(len(p))
+	return len(p), nil
+}
+
+// --- zero-allocation assertions (run in CI via make bench-smoke) ---
+
+// TestWireSizeZeroAlloc asserts the acceptance criterion directly:
+// sizing any display command allocates nothing.
+func TestWireSizeZeroAlloc(t *testing.T) {
+	msgs := sampleMessages()
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, m := range msgs {
+			sink += WireSize(m)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("WireSize allocates %.1f per run over all message types, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestAppendMessageZeroAlloc(t *testing.T) {
+	msgs := batchMessages()
+	need := 0
+	for _, m := range msgs {
+		need += WireSize(m)
+	}
+	dst := make([]byte, 0, need)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = dst[:0]
+		for _, m := range msgs {
+			var err error
+			dst, err = AppendMessage(dst, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendMessage into presized buffer allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestEncodeFlushZeroAlloc asserts the steady-state flush loop — batch
+// framing plus the vectored write — is allocation-free once the pooled
+// buffer has grown to the working-set size.
+func TestEncodeFlushZeroAlloc(t *testing.T) {
+	msgs := batchMessages()
+	b := NewBatch()
+	defer b.Release()
+	w := &countingWriter{}
+	flush := func() {
+		b.Reset()
+		for _, m := range msgs {
+			if err := b.Append(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := b.WriteTo(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flush() // warm the batch buffer and segment slices
+	allocs := testing.AllocsPerRun(100, flush)
+	if allocs != 0 {
+		t.Errorf("steady-state encode flush allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// --- microbenchmarks ---
+
+// BenchmarkWireSize measures O(1) sizing over one of every message
+// type. Pre-change (payload re-marshal): ~2.2µs, 18776 B/op, 14
+// allocs/op. Must report 0 allocs/op.
+func BenchmarkWireSize(b *testing.B) {
+	msgs := sampleMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, m := range msgs {
+			sink += WireSize(m)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkEncodeFlush measures one steady-state flush tick: frame a
+// RAW+SFILL+COPY+BITMAP+PFILL mix into the reused batch and commit it
+// with one vectored write. Pre-change (Marshal per message into
+// bufio): ~11.0µs, 103136 B/op, 13 allocs/op. Must report 0 allocs/op.
+func BenchmarkEncodeFlush(b *testing.B) {
+	msgs := []Message{
+		&Raw{Rect: geom.XYWH(0, 0, 64, 64), Data: make([]byte, 64*64*4)},
+		&SFill{Rect: geom.XYWH(0, 64, 128, 16), Color: 0xff336699},
+		&Copy{Src: geom.XYWH(0, 0, 50, 50), Dst: geom.Point{X: 10, Y: 10}},
+		&Bitmap{Rect: geom.XYWH(64, 0, 32, 32), Fg: 0xffffffff, Bg: 0xff000000,
+			BitW: 32, BitH: 32, Bits: make([]byte, 4*32)},
+		&PFill{Rect: geom.XYWH(0, 80, 64, 64), TileW: 2, TileH: 2,
+			Tile: []pixel.ARGB{1, 2, 3, 4}},
+	}
+	var total int64
+	for _, m := range msgs {
+		total += int64(WireSize(m))
+	}
+	batch := NewBatch()
+	defer batch.Release()
+	w := &countingWriter{}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for _, m := range msgs {
+			if err := batch.Append(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := batch.WriteTo(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeFlushEncrypted is the same flush through the RC4
+// transport's WriteBuffers — the full server write path minus the
+// kernel.
+func BenchmarkEncodeFlushEncrypted(b *testing.B) {
+	msgs := batchMessages()
+	var total int64
+	for _, m := range msgs {
+		total += int64(WireSize(m))
+	}
+	sc, err := cipher.NewStreamConn(nopReadWriter{}, []byte("bench-key"), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := NewBatch()
+	defer batch.Release()
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for _, m := range msgs {
+			if err := batch.Append(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := batch.WriteTo(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type nopReadWriter struct{}
+
+func (nopReadWriter) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (nopReadWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkMarshalRaw64x64 tracks the single-message Marshal path
+// (now one exact-size allocation instead of two).
+func BenchmarkMarshalRaw64x64(b *testing.B) {
+	m := &Raw{Rect: geom.XYWH(0, 0, 64, 64), Data: make([]byte, 64*64*4)}
+	b.SetBytes(int64(WireSize(m)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sanity: the fmt import is used for subtest names only when needed.
+var _ = fmt.Sprintf

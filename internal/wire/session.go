@@ -28,6 +28,9 @@ type Ping struct {
 // Type implements Message.
 func (m *Ping) Type() Type { return TPing }
 
+// PayloadSize implements Message: seq 4 + time 8.
+func (m *Ping) PayloadSize() int { return 12 }
+
 func (m *Ping) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
 	return binary.BigEndian.AppendUint64(dst, m.TimeUS)
@@ -48,6 +51,9 @@ type Pong struct {
 
 // Type implements Message.
 func (m *Pong) Type() Type { return TPong }
+
+// PayloadSize implements Message: seq 4 + time 8.
+func (m *Pong) PayloadSize() int { return 12 }
 
 func (m *Pong) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
@@ -71,6 +77,9 @@ type SessionTicket struct {
 
 // Type implements Message.
 func (m *SessionTicket) Type() Type { return TSessionTicket }
+
+// PayloadSize implements Message: ticket len 2 + ticket.
+func (m *SessionTicket) PayloadSize() int { return 2 + len(m.Ticket) }
 
 func (m *SessionTicket) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))
@@ -102,6 +111,10 @@ type Reattach struct {
 
 // Type implements Message.
 func (m *Reattach) Type() Type { return TReattach }
+
+// PayloadSize implements Message: ticket len 2 + ticket + viewport 4 +
+// name len 2 + name.
+func (m *Reattach) PayloadSize() int { return 8 + len(m.Ticket) + len(m.Name) }
 
 func (m *Reattach) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))

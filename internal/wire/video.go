@@ -20,6 +20,10 @@ type VideoInit struct {
 // Type implements Message.
 func (m *VideoInit) Type() Type { return TVideoInit }
 
+// PayloadSize implements Message: stream 4 + format 1 + src geometry 4
+// + dst rect 8.
+func (m *VideoInit) PayloadSize() int { return 17 }
+
 func (m *VideoInit) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Stream)
 	dst = append(dst, byte(m.Format))
@@ -51,15 +55,24 @@ type VideoFrame struct {
 // Type implements Message.
 func (m *VideoFrame) Type() Type { return TVideoFrame }
 
+// PayloadSize implements Message: stream 4 + seq 4 + pts 8 + geometry
+// 4 + len 4 + data.
+func (m *VideoFrame) PayloadSize() int { return 24 + len(m.Data) }
+
 func (m *VideoFrame) appendPayload(dst []byte) []byte {
+	return append(m.appendPayloadMeta(dst), m.Data...)
+}
+
+func (m *VideoFrame) appendPayloadMeta(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Stream)
 	dst = binary.BigEndian.AppendUint32(dst, m.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, m.PTS)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.W))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.H))
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
-	return append(dst, m.Data...)
+	return binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
 }
+
+func (m *VideoFrame) payloadSlab() []byte { return m.Data }
 
 func decodeVideoFrame(d *decoder) (*VideoFrame, error) {
 	m := &VideoFrame{}
@@ -83,6 +96,9 @@ type VideoMove struct {
 // Type implements Message.
 func (m *VideoMove) Type() Type { return TVideoMove }
 
+// PayloadSize implements Message: stream 4 + dst rect 8.
+func (m *VideoMove) PayloadSize() int { return 12 }
+
 func (m *VideoMove) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, m.Stream)
 	return appendRect(dst, m.Dst)
@@ -102,6 +118,9 @@ type VideoEnd struct {
 
 // Type implements Message.
 func (m *VideoEnd) Type() Type { return TVideoEnd }
+
+// PayloadSize implements Message: stream 4.
+func (m *VideoEnd) PayloadSize() int { return 4 }
 
 func (m *VideoEnd) appendPayload(dst []byte) []byte {
 	return binary.BigEndian.AppendUint32(dst, m.Stream)
@@ -124,11 +143,19 @@ type AudioData struct {
 // Type implements Message.
 func (m *AudioData) Type() Type { return TAudioData }
 
+// PayloadSize implements Message: pts 8 + len 4 + data.
+func (m *AudioData) PayloadSize() int { return 12 + len(m.Data) }
+
 func (m *AudioData) appendPayload(dst []byte) []byte {
-	dst = binary.BigEndian.AppendUint64(dst, m.PTS)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
-	return append(dst, m.Data...)
+	return append(m.appendPayloadMeta(dst), m.Data...)
 }
+
+func (m *AudioData) appendPayloadMeta(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.PTS)
+	return binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
+}
+
+func (m *AudioData) payloadSlab() []byte { return m.Data }
 
 func decodeAudioData(d *decoder) (*AudioData, error) {
 	m := &AudioData{}

@@ -83,7 +83,25 @@ func (t Type) String() string {
 // framing is added by WriteMessage.
 type Message interface {
 	Type() Type
+	// PayloadSize is the exact encoded payload length in bytes,
+	// computed analytically from the fields without encoding anything.
+	// Invariant (enforced by TestPayloadSizeMatchesAppend):
+	// PayloadSize() == len(appendPayload(nil)).
+	PayloadSize() int
 	appendPayload(dst []byte) []byte
+}
+
+// slabMessage is implemented by messages whose payload ends in one
+// contiguous byte slab (RAW, BITMAP, VIDEO_FRAME, AUDIO_DATA). The
+// batch encoder frames such messages by copying only the header and
+// metadata into its buffer and referencing the slab in place, so pixel
+// bytes are written to the transport without an intermediate copy.
+type slabMessage interface {
+	Message
+	// appendPayloadMeta appends the payload minus the trailing slab.
+	appendPayloadMeta(dst []byte) []byte
+	// payloadSlab returns the trailing slab bytes.
+	payloadSlab() []byte
 }
 
 // HeaderSize is the framing overhead per message.
@@ -117,31 +135,49 @@ func (e *UnknownTypeError) Error() string {
 // Is makes errors.Is(err, ErrUnknownType) true.
 func (e *UnknownTypeError) Is(target error) bool { return target == ErrUnknownType }
 
-// Marshal encodes a complete framed message.
+// AppendMessage frames m onto dst in a single pass and returns the
+// extended slice. The payload length is known up front via PayloadSize,
+// so the header is written before the payload with no intermediate
+// buffer. dst may be nil, a pooled buffer from GetBuffer, or any
+// caller-owned slice.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	n := m.PayloadSize()
+	if n > MaxPayload {
+		return dst, ErrTooLarge
+	}
+	dst = append(dst, byte(m.Type()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	return m.appendPayload(dst), nil
+}
+
+// Marshal encodes a complete framed message into a fresh exact-size
+// buffer. Hot paths should prefer AppendMessage with a pooled buffer.
 func Marshal(m Message) ([]byte, error) {
-	payload := m.appendPayload(make([]byte, 0, 64))
-	if len(payload) > MaxPayload {
+	n := m.PayloadSize()
+	if n > MaxPayload {
 		return nil, ErrTooLarge
 	}
-	buf := make([]byte, 0, HeaderSize+len(payload))
-	buf = append(buf, byte(m.Type()))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
-	return append(buf, payload...), nil
+	return AppendMessage(make([]byte, 0, HeaderSize+n), m)
 }
 
 // WireSize returns the framed size of m in bytes — the quantity THINC's
-// SRSF scheduler orders commands by.
+// SRSF scheduler orders commands by. It is O(1) arithmetic; nothing is
+// encoded.
 func WireSize(m Message) int {
-	return HeaderSize + len(m.appendPayload(nil))
+	return HeaderSize + m.PayloadSize()
 }
 
-// WriteMessage frames and writes m to w.
+// WriteMessage frames and writes m to w using a pooled encode buffer.
 func WriteMessage(w io.Writer, m Message) error {
-	buf, err := Marshal(m)
+	bp := GetBuffer()
+	buf, err := AppendMessage((*bp)[:0], m)
 	if err != nil {
+		PutBuffer(bp)
 		return err
 	}
+	*bp = buf // keep any growth in the pool
 	_, err = w.Write(buf)
+	PutBuffer(bp)
 	return err
 }
 
