@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-snapshot bench-smoke
+.PHONY: all build vet test race check bench-snapshot bench-smoke soak
 
 all: check
 
@@ -17,6 +17,14 @@ race:
 	$(GO) test -race ./...
 
 check: build vet race
+
+# Chaos soak: 100 randomized fault schedules against a live
+# server/client pair under the race detector, each ending in the
+# framebuffer-convergence oracle (see docs/ROBUSTNESS.md). Every
+# schedule logs its seed, so a failure replays exactly; override with
+# THINC_CHAOS_SEED. Bounded wall-clock via the test timeout.
+soak:
+	THINC_CHAOS_SOAK=100 $(GO) test ./internal/chaos/ -race -count=1 -timeout 15m -run 'TestChaos'
 
 # Quick benchmark run that dumps THINC's per-command-type byte counts,
 # core telemetry series, and encode pool counters to BENCH_pr3.json.

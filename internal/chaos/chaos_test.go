@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"thinc/internal/overload"
+)
+
+// TestChaosSuiteConverges runs the standard schedules: every ladder
+// rung pinned in turn plus the adaptive environments, each under a
+// seeded fault storm, and asserts the convergence oracle — the client
+// framebuffer ends byte-identical to the server screen.
+func TestChaosSuiteConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is seconds-long; skipped in -short")
+	}
+	for _, s := range Suite() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(s)
+			if err != nil {
+				t.Fatalf("chaos run failed: %v", err)
+			}
+			t.Log(res)
+			if !res.Converged {
+				t.Fatalf("framebuffers did not converge: first mismatch at pixel %d (%s)",
+					res.MismatchAt, res)
+			}
+			if !s.Adaptive && s.Rung > 0 && res.MaxRungSeen < s.Rung {
+				t.Fatalf("pinned rung %d never observed at client (max %d)", s.Rung, res.MaxRungSeen)
+			}
+			if s.Name == "modem-adaptive-ladder" && res.OverloadUps < 1 {
+				t.Fatalf("narrow link never escalated the ladder: %s", res)
+			}
+		})
+	}
+}
+
+// TestChaosSoak is the long-haul randomized mode behind `make soak`:
+// THINC_CHAOS_SOAK=N runs N derived schedules. Unset, it's skipped.
+func TestChaosSoak(t *testing.T) {
+	env := os.Getenv("THINC_CHAOS_SOAK")
+	if env == "" {
+		t.Skip("set THINC_CHAOS_SOAK=<n> to run the soak")
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		t.Fatalf("THINC_CHAOS_SOAK=%q is not a positive integer", env)
+	}
+	seed := int64(1)
+	if s := os.Getenv("THINC_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("THINC_CHAOS_SEED=%q is not an integer", s)
+		}
+		seed = v
+	}
+	for _, s := range SoakSchedules(n, seed) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(s)
+			if err != nil {
+				t.Fatalf("chaos run failed: %v", err)
+			}
+			t.Log(res)
+			if !res.Converged {
+				t.Fatalf("framebuffers did not converge: first mismatch at pixel %d (%s)",
+					res.MismatchAt, res)
+			}
+		})
+	}
+}
+
+// TestSoakSchedulesDeterministic guards replayability: the same base
+// seed must derive the same schedules.
+func TestSoakSchedulesDeterministic(t *testing.T) {
+	a := SoakSchedules(16, 7)
+	b := SoakSchedules(16, 7)
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("lengths %d/%d, want 16", len(a), len(b))
+	}
+	rungs := map[int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if !a[i].Adaptive {
+			rungs[a[i].Rung] = true
+		}
+		if a[i].Rung >= overload.NumRungs {
+			t.Fatalf("schedule %d rung %d out of range", i, a[i].Rung)
+		}
+	}
+	if len(rungs) == 0 {
+		t.Fatal("no pinned-rung schedules in a 16-draw sample")
+	}
+}

@@ -32,6 +32,12 @@ type Stats struct {
 	State      ConnState
 	Reconnects int
 	PongsSent  int
+
+	// Overload feedback (Conn.Stats only): the server's degradation
+	// ladder rung from the last DegradeNotice, and how many notices
+	// have arrived.
+	DegradeRung    int
+	DegradeNotices int
 }
 
 // counters is the lock-free backing store for Stats. The per-type
@@ -189,6 +195,9 @@ func (c *Client) Apply(m wire.Message) error {
 	case *wire.ServerInit:
 		// Informational: the session framebuffer may be larger than our
 		// viewport; the server scales for us (§6).
+	case *wire.DegradeNotice:
+		// Quality-state feedback; Conn.Run records it, and a bare Client
+		// applying a captured stream just tolerates it.
 	default:
 		return fmt.Errorf("client: unexpected message %v", m.Type())
 	}

@@ -57,6 +57,13 @@ type Conn struct {
 	// wait forever — the pre-resilience behavior.
 	ReadTimeout time.Duration
 
+	// WriteTimeout, when positive, bounds each protocol write (input,
+	// pong echoes). A server that stops draining its socket would
+	// otherwise park Run's heartbeat reply in a blocked write forever —
+	// the reply path must fail as loudly as the read path. Zero falls
+	// back to ReadTimeout; both zero means block forever.
+	WriteTimeout time.Duration
+
 	mu     sync.Mutex
 	nc     net.Conn
 	enc    *cipher.StreamConn
@@ -69,6 +76,9 @@ type Conn struct {
 	state      atomic.Int32 // ConnState
 	reconnects atomic.Int64
 	pongsSent  atomic.Int64
+
+	degradeRung    atomic.Int32 // server's ladder rung (last DegradeNotice)
+	degradeNotices atomic.Int64
 
 	tel *connTelemetry
 
@@ -219,6 +229,9 @@ func (cn *Conn) Redial() error {
 	cn.nc, cn.enc = nc, enc
 	cn.ServerW, cn.ServerH = si.W, si.H
 	cn.ticket = nil // the old ticket is spent; the server pushes a fresh one
+	// A fresh attach starts lossless; a reattach that carried its rung
+	// forward is re-told by the server's CauseAdmin notice.
+	cn.degradeRung.Store(0)
 	cn.mu.Unlock()
 	if old != nil {
 		old.Close()
@@ -259,6 +272,13 @@ func (cn *Conn) Run() error {
 			cn.ticket = append([]byte(nil), v.Ticket...)
 			cn.mu.Unlock()
 			continue
+		case *wire.DegradeNotice:
+			// The server's quality ladder moved; record it for telemetry
+			// and Stats. Display content needs no action — degraded
+			// payloads decode through the same command path.
+			cn.degradeRung.Store(int32(v.Rung))
+			cn.degradeNotices.Add(1)
+			continue
 		}
 		start := time.Now()
 		cn.mu.Lock()
@@ -274,10 +294,16 @@ func (cn *Conn) Run() error {
 
 // send writes one protocol message on the current transport, framing
 // it into a per-connection buffer reused across sends (input and pong
-// traffic is frequent, small, and must not generate garbage).
+// traffic is frequent, small, and must not generate garbage). Each
+// write carries the write deadline so a stalled server cannot park the
+// sender forever.
 func (cn *Conn) send(m wire.Message) error {
 	cn.mu.Lock()
-	enc := cn.enc
+	nc, enc := cn.nc, cn.enc
+	wt := cn.WriteTimeout
+	if wt <= 0 {
+		wt = cn.ReadTimeout
+	}
 	cn.mu.Unlock()
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
@@ -286,6 +312,9 @@ func (cn *Conn) send(m wire.Message) error {
 		return err
 	}
 	cn.wbuf = buf
+	if wt > 0 {
+		_ = nc.SetWriteDeadline(time.Now().Add(wt))
+	}
 	_, err = enc.Write(buf)
 	return err
 }
@@ -337,6 +366,8 @@ func (cn *Conn) Stats() Stats {
 	s.State = ConnState(cn.state.Load())
 	s.Reconnects = int(cn.reconnects.Load())
 	s.PongsSent = int(cn.pongsSent.Load())
+	s.DegradeRung = int(cn.degradeRung.Load())
+	s.DegradeNotices = int(cn.degradeNotices.Load())
 	return s
 }
 

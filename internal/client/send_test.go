@@ -1,0 +1,80 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"thinc/internal/cipher"
+	"thinc/internal/wire"
+)
+
+// deadlineConn records SetWriteDeadline calls and swallows writes. The
+// embedded nil net.Conn panics on anything send() must not touch.
+type deadlineConn struct {
+	net.Conn
+	deadlines []time.Time
+	written   int
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	c.written += len(p)
+	return len(p), nil
+}
+
+func (c *deadlineConn) SetWriteDeadline(t time.Time) error {
+	c.deadlines = append(c.deadlines, t)
+	return nil
+}
+
+func sendConn(t *testing.T, wt, rt time.Duration) (*Conn, *deadlineConn) {
+	t.Helper()
+	stub := &deadlineConn{}
+	enc, err := cipher.NewStreamConn(stub, []byte("0123456789abcdef"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Conn{nc: stub, enc: enc, WriteTimeout: wt, ReadTimeout: rt}, stub
+}
+
+func TestSendSetsWriteDeadline(t *testing.T) {
+	cn, stub := sendConn(t, time.Second, 0)
+	before := time.Now()
+	if err := cn.send(&wire.Pong{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stub.deadlines) != 1 {
+		t.Fatalf("SetWriteDeadline called %d times, want 1", len(stub.deadlines))
+	}
+	d := stub.deadlines[0]
+	if d.Before(before.Add(time.Second)) || d.After(before.Add(2*time.Second)) {
+		t.Fatalf("deadline %v not ~1s out from %v", d, before)
+	}
+	if stub.written == 0 {
+		t.Fatal("nothing written")
+	}
+}
+
+func TestSendDeadlineFallsBackToReadTimeout(t *testing.T) {
+	cn, stub := sendConn(t, 0, 3*time.Second)
+	before := time.Now()
+	if err := cn.send(&wire.Pong{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stub.deadlines) != 1 {
+		t.Fatalf("SetWriteDeadline called %d times, want 1", len(stub.deadlines))
+	}
+	if d := stub.deadlines[0]; d.Before(before.Add(3 * time.Second)) {
+		t.Fatalf("fallback deadline %v shorter than ReadTimeout", d)
+	}
+}
+
+func TestSendNoTimeoutsMeansNoDeadline(t *testing.T) {
+	cn, stub := sendConn(t, 0, 0)
+	if err := cn.send(&wire.Pong{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stub.deadlines) != 0 {
+		t.Fatalf("deadline set with both timeouts zero: %v", stub.deadlines)
+	}
+}

@@ -54,6 +54,12 @@ func (cn *Conn) initTelemetry() {
 	reg.CounterFunc("thinc_client_pongs_sent_total",
 		"heartbeat pongs answered",
 		func() int64 { return cn.pongsSent.Load() })
+	reg.GaugeFunc("thinc_client_degrade_rung",
+		"server-reported degradation ladder rung",
+		func() int64 { return int64(cn.degradeRung.Load()) })
+	reg.CounterFunc("thinc_client_degrade_notices_total",
+		"DegradeNotice messages received",
+		func() int64 { return cn.degradeNotices.Load() })
 }
 
 // client returns the current display client. RequestResize replaces it,

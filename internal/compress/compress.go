@@ -25,10 +25,11 @@ type Codec uint8
 
 // Supported codecs.
 const (
-	CodecNone Codec = iota // raw ARGB32, no compression
-	CodecRLE               // run-length encoding of ARGB32 pixels
-	CodecPNG               // PNG (the prototype's choice)
-	CodecZlib              // zlib over ARGB32 (baseline systems)
+	CodecNone  Codec = iota // raw ARGB32, no compression
+	CodecRLE                // run-length encoding of ARGB32 pixels
+	CodecPNG                // PNG (the prototype's choice)
+	CodecZlib               // zlib over ARGB32 (baseline systems)
+	CodecDown2              // lossy half-resolution downscale + RLE (overload rung 2)
 )
 
 func (c Codec) String() string {
@@ -41,6 +42,8 @@ func (c Codec) String() string {
 		return "png"
 	case CodecZlib:
 		return "zlib"
+	case CodecDown2:
+		return "down2"
 	default:
 		return "unknown"
 	}
@@ -74,6 +77,8 @@ func EncodeAppend(c Codec, dst []byte, pix []pixel.ARGB, w, h int) ([]byte, erro
 		return appendPNG(dst, pix, w, h)
 	case CodecZlib:
 		return appendZlib(dst, pix)
+	case CodecDown2:
+		return appendDown2(dst, pix, w, h), nil
 	default:
 		return dst, fmt.Errorf("compress: unknown codec %d", c)
 	}
@@ -94,6 +99,8 @@ func Decode(c Codec, data []byte, w, h int) ([]pixel.ARGB, error) {
 			return nil, err
 		}
 		return decodeRawBytes(raw, w*h)
+	case CodecDown2:
+		return decodeDown2(data, w, h)
 	default:
 		return nil, fmt.Errorf("compress: unknown codec %d", c)
 	}

@@ -1,0 +1,43 @@
+package compress
+
+import (
+	"thinc/internal/pixel"
+	"thinc/internal/resample"
+)
+
+// CodecDown2 is the degradation-ladder codec (overload rung 2): the
+// block is Fant-downscaled to half resolution per axis on the server —
+// the §6 resampler reused as a bandwidth valve — then run-length
+// encoded, cutting the pre-compression payload to roughly a quarter.
+// Decoding upscales back to the block geometry with nearest-neighbor,
+// so the client applies it exactly like any other RAW payload. It is
+// lossy: sessions leave rung 2 through a full refresh, which repairs
+// the screen to lossless content.
+
+// down2Dims returns the reduced geometry for a w x h block. Each axis
+// rounds up so a 1-pixel dimension survives.
+func down2Dims(w, h int) (int, int) {
+	return (w + 1) / 2, (h + 1) / 2
+}
+
+func appendDown2(dst []byte, pix []pixel.ARGB, w, h int) []byte {
+	dw, dh := down2Dims(w, h)
+	if dw == w && dh == h {
+		// Nothing to shrink (1x1); straight RLE keeps the payload valid.
+		return appendRLE(dst, pix)
+	}
+	small := resample.Fant(pix, w, w, h, dw, dh)
+	return appendRLE(dst, small)
+}
+
+func decodeDown2(data []byte, w, h int) ([]pixel.ARGB, error) {
+	dw, dh := down2Dims(w, h)
+	small, err := decodeRLE(data, dw*dh)
+	if err != nil {
+		return nil, err
+	}
+	if dw == w && dh == h {
+		return small, nil
+	}
+	return resample.Nearest(small, dw, dw, dh, w, h), nil
+}

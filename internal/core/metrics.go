@@ -32,6 +32,9 @@ type Metrics struct {
 	splits        *telemetry.Counter
 	rtPromotions  *telemetry.Counter
 	bufferClears  *telemetry.Counter
+	budgetEvicted *telemetry.Counter
+	budgetSweeps  *telemetry.Counter
+	overshoots    *telemetry.Counter
 	bytesSent     *telemetry.Counter
 	cmdSize       *telemetry.Histogram
 	flushBytes    *telemetry.Histogram
@@ -70,6 +73,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"commands promoted to the real-time queue"),
 		bufferClears: reg.Counter("thinc_sched_buffer_clears_total",
 			"whole-buffer discards (slow-client policy, reattach)"),
+		budgetEvicted: reg.Counter("thinc_sched_budget_evicted_total",
+			"buffered commands replaced by the per-client byte budget"),
+		budgetSweeps: reg.Counter("thinc_sched_budget_sweeps_total",
+			"eviction-to-RAW sweeps triggered by the per-client byte budget"),
+		overshoots: reg.Counter("thinc_sched_budget_overshoots_total",
+			"flushes that exceeded their budget to deliver one oversized command"),
 		bytesSent: reg.Counter("thinc_sched_bytes_sent_total",
 			"wire bytes emitted by the scheduler"),
 		cmdSize: reg.Histogram("thinc_sched_command_size_bytes",

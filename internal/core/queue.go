@@ -15,6 +15,15 @@ type Queue struct {
 	// Evicted counts commands that became irrelevant before delivery —
 	// the work the translation layer saves (read by benchmarks).
 	Evicted int
+
+	// MaxBytes caps the queue's summed wire size (0 = unbounded). When
+	// an Add overflows the cap, the oldest commands are dropped until
+	// the queue holds at most half the cap: their regions simply stop
+	// being reproducible from commands, so CopyOut routes them to the
+	// raw-pixel fallback — eviction-to-RAW, deferred to copy-out time.
+	MaxBytes int
+	// Overflows counts budget overflow sweeps.
+	Overflows int
 }
 
 // Len returns the number of queued commands.
@@ -57,9 +66,35 @@ func (q *Queue) Add(c Command) {
 		q.cmds = kept
 	}
 	if n := len(q.cmds); n > 0 && q.cmds[n-1].Merge(c) {
+		q.enforceBudget()
 		return
 	}
 	q.cmds = append(q.cmds, c)
+	q.enforceBudget()
+}
+
+// enforceBudget applies MaxBytes: oldest-first drops down to half the
+// cap. Dropping a prefix is always safe — the surface itself holds the
+// rendered result, and CopyOut reads it as raw pixels for any region
+// the remaining commands no longer cover.
+func (q *Queue) enforceBudget() {
+	if q.MaxBytes <= 0 {
+		return
+	}
+	total := 0
+	for _, c := range q.cmds {
+		total += c.WireSize()
+	}
+	if total <= q.MaxBytes {
+		return
+	}
+	q.Overflows++
+	i := 0
+	for ; i < len(q.cmds) && total > q.MaxBytes/2; i++ {
+		total -= q.cmds[i].WireSize()
+		q.Evicted++
+	}
+	q.cmds = append(q.cmds[:0], q.cmds[i:]...)
 }
 
 // LiveRegion returns the union of all queued commands' live regions.

@@ -85,6 +85,15 @@ type BufferStats struct {
 	Sent       int // commands fully delivered
 	Splits     int // RAW commands broken for non-blocking flush
 	BytesSent  int64
+
+	// BudgetEvicted counts commands replaced by the per-client byte
+	// budget's eviction-to-RAW sweeps.
+	BudgetEvicted int
+
+	// Overshoots counts commands streamed past the flush budget by
+	// FlushOne — the forward-progress guarantee when the head command
+	// is unsplittable and larger than the whole budget.
+	Overshoots int
 }
 
 // ClientBuffer is the per-client command buffer (§5).
@@ -563,7 +572,9 @@ func (b *ClientBuffer) FlushOne() []wire.Message {
 		}
 		b.entries = kept
 		b.Stats.Sent++
+		b.Stats.Overshoots++
 		b.met.sent.Inc()
+		b.met.overshoots.Inc()
 		var flushed int64
 		for _, m := range out {
 			flushed += int64(wire.WireSize(m))

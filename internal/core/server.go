@@ -7,6 +7,7 @@ import (
 	"thinc/internal/driver"
 	"thinc/internal/fb"
 	"thinc/internal/geom"
+	"thinc/internal/overload"
 	"thinc/internal/pixel"
 	"thinc/internal/resample"
 	"thinc/internal/wire"
@@ -36,6 +37,16 @@ type Options struct {
 	// (see NewMetrics). Nil servers use detached instruments, so the
 	// instrumentation is always on and never nil-checked.
 	Metrics *Metrics
+	// QueueBudgetBytes caps each client's buffered wire backlog. When an
+	// add pushes a buffer past the cap, the largest evictable commands
+	// are deterministically replaced with a RAW snapshot of the screen
+	// regions they covered (eviction-to-RAW). Zero means unbounded.
+	QueueBudgetBytes int
+	// OffscreenQueueBudgetBytes caps each pixmap's offscreen command
+	// queue; overflowing queues drop their oldest commands, and the
+	// dropped regions fall back to raw pixels at copy-out time. Zero
+	// means unbounded.
+	OffscreenQueueBudgetBytes int
 }
 
 // Server is the THINC server core: the virtual display driver (§3). It
@@ -88,6 +99,16 @@ type Client struct {
 
 	// Streams the client has been told about (for resize bookkeeping).
 	streamDst map[uint32]geom.Rect
+
+	degrade  int  // active degradation ladder rung (overload package)
+	budget   int  // hard cap on buffered wire bytes (0 = unbounded)
+	inBudget bool // re-entrancy guard: replacement RAWs skip enforcement
+
+	// BudgetSweeps counts budget-eviction sweeps on this client.
+	BudgetSweeps int
+	// VideoDrops counts video frames dropped for this client by the
+	// drop-video degradation rung.
+	VideoDrops int
 }
 
 // NewServer creates a server core for a screen of the given geometry.
@@ -129,6 +150,7 @@ func (s *Server) AttachClient(viewW, viewH int) *Client {
 		Buf:       NewClientBufferWith(s.met),
 		view:      geom.XYWH(0, 0, viewW, viewH),
 		streamDst: make(map[uint32]geom.Rect),
+		budget:    s.opts.QueueBudgetBytes,
 	}
 	c.Buf.FIFO = s.opts.FIFODelivery
 	// Late joiner: bring the client current with one full-screen RAW
@@ -221,15 +243,18 @@ func (c *Client) Flush(budget int) []wire.Message { return c.Buf.Flush(budget) }
 func (c *Client) FlushAll() []wire.Message { return c.Buf.FlushAll() }
 
 // add routes a translated command into the client's buffer, applying
-// server-side scaling when the viewport differs from the session size.
+// the degradation ladder's payload rewrites, server-side scaling when
+// the viewport differs from the session size, and the queue budget.
 func (c *Client) add(cmd Command) {
+	cmd = c.degradeTransform(cmd)
 	if !c.Scaled() {
 		c.Buf.Add(cmd)
-		return
+	} else {
+		for _, sc := range c.srv.scaleCommand(cmd, c) {
+			c.Buf.Add(sc)
+		}
 	}
-	for _, sc := range c.srv.scaleCommand(cmd, c) {
-		c.Buf.Add(sc)
-	}
+	c.enforceBudget()
 }
 
 // broadcast sends a command to every attached client. Each client gets
@@ -281,7 +306,7 @@ func (s *Server) route(d driver.DrawableID, cmd Command) {
 // CreatePixmap implements driver.Driver.
 func (s *Server) CreatePixmap(d driver.DrawableID, w, h int) {
 	if !s.opts.DisableOffscreen {
-		s.offscreen[d] = &Queue{}
+		s.offscreen[d] = &Queue{MaxBytes: s.opts.OffscreenQueueBudgetBytes}
 	}
 }
 
@@ -559,6 +584,14 @@ func (s *Server) VideoFrame(stream uint32, frame *pixel.YV12Image, ptsUS uint64)
 	st.FramesIn++
 	s.frameSeq++
 	for c := range s.clients {
+		if c.degrade >= overload.RungDropVideo {
+			// Drop-at-server taken to its limit (§4.2): the overloaded
+			// client skips the frame entirely; audio keeps flowing.
+			st.FramesDropped++
+			c.VideoDrops++
+			s.met.frameDrops.Inc()
+			continue
+		}
 		f := frame
 		if c.Scaled() {
 			f = c.scaleFrame(st, frame)
@@ -570,6 +603,7 @@ func (s *Server) VideoFrame(stream uint32, frame *pixel.YV12Image, ptsUS uint64)
 		if c.Buf.AddFrame(cmd) {
 			st.FramesDropped++
 		}
+		c.enforceBudget()
 	}
 }
 
@@ -579,19 +613,45 @@ func (s *Server) VideoMove(stream uint32, dst geom.Rect) {
 	if !ok {
 		return
 	}
+	old := st.Dst
 	st.Dst = dst
 	for c := range s.clients {
 		c.add(newCtlCmd(&wire.VideoMove{Stream: stream, Dst: c.scaleRect(dst)}, dst))
 		c.streamDst[stream] = dst
 	}
+	// The software overlay leaves the last frame's pixels at the old
+	// position; repaint them from the real framebuffer.
+	s.repaintRegion(old)
 }
 
 // VideoStop implements driver.Driver.
 func (s *Server) VideoStop(stream uint32) {
+	st, ok := s.streams[stream]
 	delete(s.streams, stream)
 	for c := range s.clients {
 		c.add(newCtlCmd(&wire.VideoEnd{Stream: stream}, geom.Rect{}))
 		delete(c.streamDst, stream)
+	}
+	if ok {
+		// Clear the vacated overlay: without this the client keeps
+		// showing the final video frame over content it never received.
+		s.repaintRegion(st.Dst)
+	}
+}
+
+// repaintRegion pushes the true framebuffer content under r to every
+// client — the repair after a software overlay vacates screen area.
+func (s *Server) repaintRegion(r geom.Rect) {
+	if s.mem == nil {
+		return
+	}
+	vis := r.Intersect(geom.XYWH(0, 0, s.w, s.h))
+	if vis.Empty() {
+		return
+	}
+	pix := s.mem.ReadPixels(driver.Screen, vis)
+	for c := range s.clients {
+		c.add(NewRaw(vis, pix, vis.W(), false, s.opts.RawCodec))
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -35,6 +36,15 @@ type Plan struct {
 	// half-dead peer. When false the fault is a reset: the underlying
 	// conn is closed and ErrInjected returned.
 	Stall bool
+	// ReorderAfter delays one write once this many bytes have been
+	// written: the first write at or past the boundary is held back and
+	// transmitted after the following write — the adjacent-packet swap a
+	// rerouted path produces. One-shot; a held write still pending at
+	// Close is flushed so no bytes are silently lost.
+	ReorderAfter int64
+	// DuplicateAfter transmits one write twice once this many bytes have
+	// been written — the retransmit-after-lost-ACK duplicate. One-shot.
+	DuplicateAfter int64
 }
 
 // NoFault is the budget value for "never fault".
@@ -69,6 +79,15 @@ type Conn struct {
 	ReadFaults   int
 	WriteFaults  int
 	stallRelease chan struct{} // closed by Close; stalled ops block on it
+
+	held             []byte // write held back for reordering
+	reordered        bool   // the one-shot swap has fired
+	duplicated       bool   // the one-shot duplicate has fired
+	ReorderedWrites  int
+	DuplicatedWrites int
+
+	readDL  time.Time // mirrors SetReadDeadline: stalled reads honor it
+	writeDL time.Time // mirrors SetWriteDeadline
 }
 
 // Wrap applies plan to nc.
@@ -78,6 +97,12 @@ func Wrap(nc net.Conn, plan Plan) *Conn {
 	}
 	if plan.WriteFaultAfter == 0 {
 		plan.WriteFaultAfter = NoFault
+	}
+	if plan.ReorderAfter == 0 {
+		plan.ReorderAfter = NoFault
+	}
+	if plan.DuplicateAfter == 0 {
+		plan.DuplicateAfter = NoFault
 	}
 	return &Conn{Conn: nc, plan: plan, closed: make(chan struct{})}
 }
@@ -89,20 +114,36 @@ func (c *Conn) Faulted() bool {
 	return c.faulted
 }
 
-// fault trips the fault path once: stall until Close, or reset.
+// fault trips the fault path once: stall, or reset. A stalled
+// operation blocks like a silent peer would — until Close, or until
+// the operation's deadline expires, exactly as a real net.Conn read
+// against a dead host times out.
 func (c *Conn) fault(isRead bool) error {
 	c.mu.Lock()
 	c.faulted = true
+	var dl time.Time
 	if isRead {
 		c.ReadFaults++
+		dl = c.readDL
 	} else {
 		c.WriteFaults++
+		dl = c.writeDL
 	}
 	stall := c.plan.Stall
 	c.mu.Unlock()
 	if stall {
-		<-c.closed
-		return ErrInjected
+		if dl.IsZero() {
+			<-c.closed
+			return ErrInjected
+		}
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		select {
+		case <-c.closed:
+			return ErrInjected
+		case <-t.C:
+			return os.ErrDeadlineExceeded
+		}
 	}
 	_ = c.Conn.Close()
 	return ErrInjected
@@ -140,7 +181,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		p = p[:budget-already]
 		truncated = true
 	}
-	n, err := c.Conn.Write(p)
+	n, err := c.transmit(p, already)
 	c.mu.Lock()
 	c.writtenN += int64(n)
 	c.mu.Unlock()
@@ -153,8 +194,63 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return n, nil
 }
 
+// transmit moves p to the underlying conn, applying the one-shot
+// reorder and duplication modes. already is the byte count before this
+// write — the boundary checks use it so the triggering write is the
+// first one at or past the budget, matching the fault budgets.
+func (c *Conn) transmit(p []byte, already int64) (int, error) {
+	c.mu.Lock()
+	duplicate := c.plan.DuplicateAfter >= 0 && !c.duplicated &&
+		already >= c.plan.DuplicateAfter
+	if duplicate {
+		c.duplicated = true
+		c.DuplicatedWrites++
+	}
+	hold, release := false, []byte(nil)
+	if c.plan.ReorderAfter >= 0 && !c.reordered && already >= c.plan.ReorderAfter {
+		if c.held == nil {
+			// First write past the boundary: hold it back. Claim success —
+			// the bytes are committed, just not on the wire yet.
+			c.held = append([]byte(nil), p...)
+			c.mu.Unlock()
+			return len(p), nil
+		}
+		// Second write: it jumps the queue, then the held one follows.
+		hold, release = true, c.held
+		c.held = nil
+		c.reordered = true
+		c.ReorderedWrites++
+	}
+	c.mu.Unlock()
+
+	n, err := c.Conn.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if duplicate {
+		if _, err := c.Conn.Write(p); err != nil {
+			return n, err
+		}
+	}
+	if hold {
+		if _, err := c.Conn.Write(release); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
 // Close releases any stalled operations and closes the underlying conn.
+// A write still held for reordering is flushed first, so a connection
+// that closes right after the boundary does not lose the frame.
 func (c *Conn) Close() error {
+	c.mu.Lock()
+	held := c.held
+	c.held = nil
+	c.mu.Unlock()
+	if held != nil {
+		_, _ = c.Conn.Write(held)
+	}
 	c.closeOnce.Do(func() { close(c.closed) })
 	return c.Conn.Close()
 }
@@ -174,7 +270,25 @@ func (c *Conn) BytesWritten() int64 {
 }
 
 // SetDeadline and friends pass through so wrapped conns keep their
-// deadline semantics (the server's reaper depends on them).
-func (c *Conn) SetDeadline(t time.Time) error      { return c.Conn.SetDeadline(t) }
-func (c *Conn) SetReadDeadline(t time.Time) error  { return c.Conn.SetReadDeadline(t) }
-func (c *Conn) SetWriteDeadline(t time.Time) error { return c.Conn.SetWriteDeadline(t) }
+// deadline semantics (the server's reaper depends on them). The
+// wrapper mirrors the deadlines so stalled operations honor them too.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}

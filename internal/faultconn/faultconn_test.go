@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"testing"
 	"time"
 )
@@ -117,6 +118,38 @@ func TestStallBlocksUntilClose(t *testing.T) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("stalled read did not release on close")
+	}
+}
+
+func TestStallHonorsReadDeadline(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{ReadFaultAfter: 1, Stall: true})
+	defer fa.Close()
+	defer b.Close()
+
+	go func() { _, _ = b.Write([]byte("xy")) }()
+	buf := make([]byte, 2)
+	if _, err := fa.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A silent peer with a read deadline set: the stalled read must
+	// time out like a real net.Conn, not block until Close.
+	if err := fa.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fa.Read(buf)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("want deadline error from stalled read, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled read ignored its deadline")
 	}
 }
 

@@ -1,0 +1,145 @@
+package faultconn
+
+import (
+	"io"
+	"net"
+	"testing"
+)
+
+// readerTo drains b into a channel until EOF, returning the collected
+// byte sequence when the writer side closes.
+func readerTo(b net.Conn) <-chan []byte {
+	out := make(chan []byte, 1)
+	go func() {
+		var got []byte
+		buf := make([]byte, 64)
+		for {
+			n, err := b.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				out <- got
+				return
+			}
+		}
+	}()
+	return out
+}
+
+func TestReorderSwapsAdjacentWrites(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{ReorderAfter: 3})
+	collected := readerTo(b)
+
+	for _, chunk := range []string{"AAA", "BBB", "CCC", "DDD"} {
+		if _, err := fa.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fa.Close()
+	got := string(<-collected)
+	b.Close()
+
+	// "BBB" crosses the boundary and is held; "CCC" jumps it.
+	if got != "AAACCCBBBDDD" {
+		t.Fatalf("reordered stream = %q, want AAACCCBBBDDD", got)
+	}
+	if fa.ReorderedWrites != 1 {
+		t.Fatalf("ReorderedWrites = %d, want 1", fa.ReorderedWrites)
+	}
+	if fa.Faulted() {
+		t.Fatal("reorder must not count as a fault")
+	}
+}
+
+func TestReorderHeldWriteFlushedOnClose(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{ReorderAfter: 3})
+	collected := readerTo(b)
+
+	if _, err := fa.Write([]byte("AAA")); err != nil {
+		t.Fatal(err)
+	}
+	// Crosses the boundary, gets held — and no further write arrives.
+	if _, err := fa.Write([]byte("BBB")); err != nil {
+		t.Fatal(err)
+	}
+	fa.Close()
+	got := string(<-collected)
+	b.Close()
+
+	if got != "AAABBB" {
+		t.Fatalf("stream with flushed hold = %q, want AAABBB", got)
+	}
+	if fa.ReorderedWrites != 0 {
+		t.Fatalf("ReorderedWrites = %d, want 0 (swap never completed)", fa.ReorderedWrites)
+	}
+}
+
+func TestDuplicateRepeatsOneWrite(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{DuplicateAfter: 3})
+	collected := readerTo(b)
+
+	for _, chunk := range []string{"AAA", "BBB", "CCC"} {
+		if _, err := fa.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fa.Close()
+	got := string(<-collected)
+	b.Close()
+
+	// "BBB" is the first write at/past the boundary: sent twice, once.
+	if got != "AAABBBBBBCCC" {
+		t.Fatalf("duplicated stream = %q, want AAABBBBBBCCC", got)
+	}
+	if fa.DuplicatedWrites != 1 {
+		t.Fatalf("DuplicatedWrites = %d, want 1", fa.DuplicatedWrites)
+	}
+	if fa.Faulted() {
+		t.Fatal("duplication must not count as a fault")
+	}
+}
+
+func TestReorderAndDuplicateCompose(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{ReorderAfter: 6, DuplicateAfter: 1})
+	collected := readerTo(b)
+
+	for _, chunk := range []string{"AAA", "BBB", "CCC", "DDD"} {
+		if _, err := fa.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fa.Close()
+	got := string(<-collected)
+	b.Close()
+
+	// "BBB" (already=3 >= 1) duplicates; "CCC" (already=6) is held and
+	// "DDD" jumps it.
+	if got != "AAABBBBBBDDDCCC" {
+		t.Fatalf("stream = %q, want AAABBBBBBDDDCCC", got)
+	}
+	if fa.DuplicatedWrites != 1 || fa.ReorderedWrites != 1 {
+		t.Fatalf("counters = dup %d reorder %d, want 1/1",
+			fa.DuplicatedWrites, fa.ReorderedWrites)
+	}
+}
+
+func TestReorderZeroMeansNever(t *testing.T) {
+	a, b := pipePair()
+	fa := Wrap(a, Plan{})
+	collected := readerTo(b)
+	if _, err := fa.Write([]byte("XYZ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(fa, "123"); err != nil {
+		t.Fatal(err)
+	}
+	fa.Close()
+	got := string(<-collected)
+	b.Close()
+	if got != "XYZ123" {
+		t.Fatalf("zero plan reordered: %q", got)
+	}
+}

@@ -1,0 +1,197 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEstimatorEWMAConverges(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 50; i++ {
+		e.ObserveFlush(100_000, 100*time.Millisecond) // 1 MB/s
+	}
+	if bps := e.Bps(); bps < 0.9e6 || bps > 1.1e6 {
+		t.Fatalf("Bps = %.0f, want ~1e6", bps)
+	}
+}
+
+func TestEstimatorIgnoresTinyBatches(t *testing.T) {
+	var e Estimator
+	e.ObserveFlush(100, time.Second)
+	if e.Bps() != 0 {
+		t.Fatalf("tiny batch produced a sample: %.0f", e.Bps())
+	}
+}
+
+func TestEstimatorRTTTracksMin(t *testing.T) {
+	var e Estimator
+	e.ObserveRTT(500)
+	e.ObserveRTT(200)
+	e.ObserveRTT(900)
+	if e.MinRTTMicros() != 200 {
+		t.Fatalf("min RTT = %.0f, want 200", e.MinRTTMicros())
+	}
+	if e.RTTMicros() <= 0 {
+		t.Fatal("no smoothed RTT")
+	}
+}
+
+// feed establishes a known bandwidth estimate.
+func feed(e *Estimator, bps int) {
+	for i := 0; i < 30; i++ {
+		e.ObserveFlush(bps/10, 100*time.Millisecond)
+	}
+}
+
+func TestControllerClimbsUnderPressure(t *testing.T) {
+	var e Estimator
+	feed(&e, 1<<20) // 1 MiB/s
+	c := NewController(&e, Config{UpTicks: 3, DownTicks: 5, HoldTicks: -1})
+
+	backlog := 2 << 20 // two seconds of backlog: pressured
+	for i := 0; i < 3*NumRungs; i++ {
+		c.Tick(backlog)
+	}
+	if c.Rung() != RungResync {
+		t.Fatalf("rung = %d after sustained pressure, want %d", c.Rung(), RungResync)
+	}
+}
+
+func TestControllerOneRungPerTrigger(t *testing.T) {
+	var e Estimator
+	feed(&e, 1<<20)
+	c := NewController(&e, Config{UpTicks: 3, DownTicks: 5, HoldTicks: -1})
+	seen := 0
+	for i := 0; i < 3; i++ {
+		_, dir := c.Tick(4 << 20)
+		if dir == Up {
+			seen++
+		}
+	}
+	if seen != 1 || c.Rung() != 1 {
+		t.Fatalf("ups=%d rung=%d after exactly UpTicks pressured ticks, want 1/1", seen, c.Rung())
+	}
+}
+
+func TestControllerRecoversRungByRung(t *testing.T) {
+	var e Estimator
+	feed(&e, 1<<20)
+	c := NewController(&e, Config{UpTicks: 2, DownTicks: 3, HoldTicks: -1})
+	for i := 0; i < 4*NumRungs; i++ {
+		c.Tick(4 << 20)
+	}
+	if c.Rung() != RungResync {
+		t.Fatalf("setup: rung = %d", c.Rung())
+	}
+	downs := 0
+	for i := 0; i < 3*NumRungs; i++ {
+		_, dir := c.Tick(0)
+		if dir == Down {
+			downs++
+		}
+	}
+	if c.Rung() != RungLossless {
+		t.Fatalf("rung = %d after sustained quiet, want 0", c.Rung())
+	}
+	if downs != RungResync {
+		t.Fatalf("recovered in %d steps, want %d (one rung at a time)", downs, RungResync)
+	}
+}
+
+func TestControllerDeadBandHolds(t *testing.T) {
+	var e Estimator
+	feed(&e, 1<<20)
+	cfg := Config{UpSec: 1, DownSec: 0.1, UpTicks: 2, DownTicks: 2, HoldTicks: -1}
+	c := NewController(&e, cfg)
+	for i := 0; i < 4; i++ {
+		c.Tick(4 << 20)
+	}
+	got := c.Rung()
+	if got == 0 {
+		t.Fatal("setup: controller never climbed")
+	}
+	// ~0.5s projected drain: between DownSec and UpSec — must hold.
+	for i := 0; i < 50; i++ {
+		if _, dir := c.Tick(512 << 10); dir != Steady {
+			t.Fatalf("dead band moved the rung (dir=%d)", dir)
+		}
+	}
+	if c.Rung() != got {
+		t.Fatalf("rung drifted in dead band: %d -> %d", got, c.Rung())
+	}
+}
+
+func TestControllerSettlingHold(t *testing.T) {
+	var e Estimator
+	feed(&e, 1<<20)
+	c := NewController(&e, Config{UpTicks: 1, DownTicks: 1, HoldTicks: 3})
+	if _, dir := c.Tick(4 << 20); dir != Up {
+		t.Fatalf("first pressured tick did not escalate (rung=%d)", c.Rung())
+	}
+	// Three held ticks, then one settled look at the unchanged backlog.
+	for i := 0; i < 4; i++ {
+		if _, dir := c.Tick(4 << 20); dir != Steady {
+			t.Fatalf("tick %d inside the hold moved the rung (dir=%d)", i, dir)
+		}
+	}
+	// The backlog is not shrinking, so it is not our burst: escalate.
+	if _, dir := c.Tick(4 << 20); dir != Up {
+		t.Fatalf("pressure after the hold expired did not escalate (rung=%d)", c.Rung())
+	}
+	if c.Rung() != 2 {
+		t.Fatalf("rung = %d, want 2", c.Rung())
+	}
+}
+
+// TestControllerSettlingIgnoresDrainingBurst is the limit-cycle guard:
+// the repair refresh queued by a recovery step briefly re-inflates the
+// backlog, and the controller must watch that burst drain rather than
+// read it as fresh pressure and climb right back up.
+func TestControllerSettlingIgnoresDrainingBurst(t *testing.T) {
+	var e Estimator
+	feed(&e, 1<<20) // 1 MiB/s; defaults UpSec 0.5 / DownSec 0.1
+	c := NewController(&e, Config{UpTicks: 2, DownTicks: 2, HoldTicks: -1})
+	for c.Rung() != RungDownscale {
+		c.Tick(8 << 20)
+	}
+	for c.Rung() != RungCompress {
+		c.Tick(0)
+	}
+	// The refresh burst: 600KB draining to nothing. Its first ticks
+	// project a 0.6s drain — over UpSec — yet must not escalate.
+	for _, backlog := range []int{600_000, 450_000, 300_000, 150_000, 0, 0, 0} {
+		if _, dir := c.Tick(backlog); dir == Up {
+			t.Fatalf("draining burst at backlog=%d re-escalated to rung %d", backlog, c.Rung())
+		}
+	}
+	if c.Rung() != RungLossless {
+		t.Fatalf("rung = %d after the burst drained, want lossless", c.Rung())
+	}
+}
+
+func TestControllerRTTInflationEscalates(t *testing.T) {
+	var e Estimator
+	feed(&e, 1<<30) // drain time never pressures
+	e.ObserveRTT(1000)
+	for i := 0; i < 40; i++ {
+		e.ObserveRTT(200_000) // 200ms against a 1ms floor
+	}
+	c := NewController(&e, Config{UpTicks: 2, HoldTicks: -1})
+	c.Tick(0)
+	_, dir := c.Tick(0)
+	if dir != Up {
+		t.Fatalf("bufferbloat RTT did not escalate (rung=%d)", c.Rung())
+	}
+}
+
+func TestControllerMaxRungCap(t *testing.T) {
+	var e Estimator
+	feed(&e, 1<<20)
+	c := NewController(&e, Config{UpTicks: 1, MaxRung: RungDownscale, HoldTicks: -1})
+	for i := 0; i < 20; i++ {
+		c.Tick(32 << 20)
+	}
+	if c.Rung() != RungDownscale {
+		t.Fatalf("rung = %d, want capped at %d", c.Rung(), RungDownscale)
+	}
+}

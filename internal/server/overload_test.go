@@ -1,0 +1,145 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"thinc/internal/client"
+	"thinc/internal/geom"
+	"thinc/internal/overload"
+	"thinc/internal/pixel"
+	"thinc/internal/telemetry"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+// TestWatchdogRecoversPanic crashes a connection goroutine from inside
+// the input callback. The watchdog must convert the panic into a clean
+// session teardown — the host keeps serving, the recovery is counted,
+// and a fresh client still converges.
+func TestWatchdogRecoversPanic(t *testing.T) {
+	opts := fastOptions()
+	opts.OnInput = func(ev *wire.Input) { panic("input handler exploded") }
+	host, addr := startHost(t, 64, 48, opts)
+
+	conn, err := client.Dial(addr, "owner", "pw", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go conn.Run()
+	if err := conn.SendInput(&wire.Input{Kind: wire.InputMouseButton, X: 1, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "watchdog recovery", func() bool {
+		return host.Resilience().WatchdogRecoveries >= 1
+	})
+	conn.Close()
+	if got := host.Telemetry().Total("thinc_watchdog_recoveries_total"); got < 1 {
+		t.Fatalf("thinc_watchdog_recoveries_total = %d, want >= 1", got)
+	}
+
+	// The host must still be fully alive for the next client.
+	conn2, err := client.Dial(addr, "owner", "pw", 64, 48)
+	if err != nil {
+		t.Fatalf("dial after watchdog recovery: %v", err)
+	}
+	defer conn2.Close()
+	go conn2.Run()
+	host.Do(func(d *xserver.Display) {
+		win := d.CreateWindow(geom.XYWH(0, 0, 64, 48))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(20, 120, 220)}, geom.XYWH(4, 4, 40, 30))
+	})
+	want := host.ScreenChecksum()
+	waitFor(t, "post-recovery convergence", func() bool {
+		return conn2.Snapshot().Checksum() == want
+	})
+}
+
+// TestOverloadLadderClimbsAndRecovers drives a connection up the whole
+// degradation ladder and back. FlushBudget is held under the
+// estimator's minimum sample (1024B) so the drain-rate floor governs:
+// backlog over ~3.3KB reads as pressure. A blend storm then outpaces
+// the 512B/ms trickle until the ladder tops out at the resync rung;
+// once the storm stops the controller must recover rung by rung,
+// repair the lossy rungs' damage with a refresh, and leave the client
+// byte-identical at lossless.
+func TestOverloadLadderClimbsAndRecovers(t *testing.T) {
+	opts := fastOptions()
+	opts.FlushBudget = 512
+	opts.MaxBacklogBytes = -1 // the ladder, not the cliff, must act
+	opts.Overload = overload.Config{
+		UpSec:     0.05,
+		DownSec:   0.01,
+		UpTicks:   6,
+		DownTicks: 5,
+		HoldTicks: 16,
+	}
+	host, addr := startHost(t, 64, 48, opts)
+
+	conn, err := client.Dial(addr, "owner", "pw", 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	// Seed content and a window for the storm.
+	var win *xserver.Window
+	host.Do(func(d *xserver.Display) {
+		win = d.CreateWindow(geom.XYWH(0, 0, 64, 48))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(30, 30, 90)}, geom.XYWH(0, 0, 64, 48))
+	})
+
+	// Blend storm: translucent composites accumulate as Transparent
+	// commands (no overwrite merging), growing the backlog far faster
+	// than the flush trickle drains it.
+	tile := make([]pixel.ARGB, 16*16)
+	for i := range tile {
+		tile[i] = pixel.PackARGB(128, uint8(i), uint8(i*3), uint8(i*7))
+	}
+	deadline := time.Now().Add(4 * time.Second)
+	for i := 0; host.Resilience().OverloadResyncs == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("ladder never reached resync: %+v", host.Resilience())
+		}
+		host.Do(func(d *xserver.Display) {
+			d.Composite(win, geom.XYWH((i*3)%48, (i*5)%32, 16, 16), tile, 16)
+			d.Composite(win, geom.XYWH((i*7)%48, (i*11)%32, 16, 16), tile, 16)
+		})
+		time.Sleep(200 * time.Microsecond)
+	}
+	st := host.Resilience()
+	if st.OverloadUps < overload.NumRungs-1 {
+		t.Fatalf("OverloadUps = %d after reaching resync, want >= %d", st.OverloadUps, overload.NumRungs-1)
+	}
+
+	// Storm over: the ladder must walk back down to lossless, one rung
+	// at a time, repairing the lossy rungs with a full refresh.
+	waitFor(t, "recovery to lossless", func() bool {
+		return host.Resilience().OverloadDowns >= overload.NumRungs-1 &&
+			conn.Stats().DegradeRung == 0
+	})
+	want := host.ScreenChecksum()
+	waitFor(t, "post-recovery convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+
+	cs := conn.Stats()
+	if cs.DegradeNotices < 2*(overload.NumRungs-1) {
+		t.Fatalf("client saw %d degrade notices, want >= %d", cs.DegradeNotices, 2*(overload.NumRungs-1))
+	}
+	st = host.Resilience()
+	if st.OverloadResyncs < 1 {
+		t.Fatalf("OverloadResyncs = %d, want >= 1", st.OverloadResyncs)
+	}
+	reg := host.Telemetry()
+	if got := reg.Total("thinc_overload_transitions_total"); got < 2*int64(overload.NumRungs-1) {
+		t.Fatalf("thinc_overload_transitions_total = %d, want >= %d", got, 2*(overload.NumRungs-1))
+	}
+	if got := reg.Value("thinc_client_degrade_rung", telemetry.L("client", "owner#1")); got != 0 {
+		t.Fatalf("thinc_client_degrade_rung{client=owner#1} = %d, want 0 after recovery", got)
+	}
+	if got := reg.Total("thinc_overload_resyncs_total"); got < 1 {
+		t.Fatalf("thinc_overload_resyncs_total = %d, want >= 1", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thinc/internal/audio"
@@ -29,6 +30,7 @@ import (
 	"thinc/internal/cipher"
 	"thinc/internal/core"
 	"thinc/internal/geom"
+	"thinc/internal/overload"
 	"thinc/internal/wire"
 	"thinc/internal/xserver"
 )
@@ -65,6 +67,12 @@ type Options struct {
 	// OnInput, when set, receives user input events after they are
 	// injected into the display (button dispatch for applications).
 	OnInput func(ev *wire.Input)
+	// Overload tunes the per-client degradation controller (see
+	// overload.Config); the zero value takes that package's defaults.
+	Overload overload.Config
+	// DisableOverload turns the degradation ladder off. The slow-client
+	// resync cliff (MaxBacklogBytes) still applies.
+	DisableOverload bool
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +115,11 @@ type ResilienceStats struct {
 	ExpiredSessions int // detached sessions that outlived the grace period
 	SkippedUnknown  int // unknown-but-well-framed client messages skipped
 	BadHandshakes   int // handshakes rejected (geometry, protocol)
+
+	OverloadUps        int // degradation ladder escalations
+	OverloadDowns      int // degradation ladder recoveries
+	OverloadResyncs    int // resyncs forced by the ladder's last rung
+	WatchdogRecoveries int // panics converted into clean session teardown
 }
 
 // session ties a ticket to the core client state it can resume.
@@ -133,6 +146,7 @@ type Host struct {
 	conns    map[*serverConn]struct{}
 	sessions map[string]*session // by ticket
 	stats    ResilienceStats
+	connSeq  int // connection counter: per-client telemetry labels
 	wg       sync.WaitGroup
 
 	met *hostMetrics
@@ -197,6 +211,26 @@ func (h *Host) NumDetached() int {
 		}
 	}
 	return n
+}
+
+// ForceRung pins every attached client's degradation rung — the admin
+// override, and the chaos harness's way to exercise one rung
+// deterministically. Leaving the lossy rungs queues the same
+// full-screen repair refresh the controller would, the client is told
+// via a DegradeNotice, and any active controller is re-seeded so it
+// resumes from the pinned rung instead of fighting it; it still drifts
+// as it ticks, so set DisableOverload for a hard pin.
+func (h *Host) ForceRung(rung int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sc := range h.conns {
+		old := sc.cl.Degrade()
+		sc.cl.SetDegrade(rung)
+		if old >= overload.RungDownscale && rung < overload.RungDownscale {
+			h.core.RefreshClient(sc.cl)
+		}
+		sc.forceRung(sc.cl.Degrade())
+	}
 }
 
 // Resilience returns a snapshot of the session-lifecycle counters.
@@ -355,17 +389,29 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	}
 
 	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User,
-		pongs: make(chan *wire.Pong, 8)}
+		pongs: make(chan *wire.Pong, 8), noticeRung: -1}
+	if !h.opts.DisableOverload {
+		sc.ctrl = overload.NewController(&sc.est, h.opts.Overload)
+	}
+	// A reattached session carries its degradation rung: the core client
+	// still applies it to payloads, so the controller must resume there
+	// (not silently diverge at lossless) and the client must be told.
+	if r := cl.Degrade(); r > 0 {
+		sc.forceRung(r)
+	}
 	detachAudio := h.sound.Attach(func(pts uint64, pcm []byte) {
 		h.mu.Lock()
+		defer h.mu.Unlock()
 		h.core.PushAudio(pts, pcm)
-		h.mu.Unlock()
 	})
 	defer detachAudio()
 
 	h.mu.Lock()
 	h.conns[sc] = struct{}{}
+	h.connSeq++
+	label := fmt.Sprintf("%s#%d", resp.User, h.connSeq)
 	h.mu.Unlock()
+	h.met.registerConn(h, label, sc)
 
 	err = sc.run()
 	h.mu.Lock()
@@ -418,23 +464,74 @@ type serverConn struct {
 	user  string
 	pongs chan *wire.Pong
 
+	// Overload protection. The estimator is fed from two goroutines —
+	// flush progress by the flush loop, heartbeat RTT by the read loop —
+	// so estMu guards it and the controller.
+	estMu sync.Mutex
+	est   overload.Estimator
+	ctrl  *overload.Controller // nil when the ladder is disabled
+
+	rung      int32 // active ladder rung (atomic; telemetry reads it)
+	watchdogs int64 // panics this connection survived (atomic)
+
+	// noticeRung is a pending out-of-band DegradeNotice rung (-1 none):
+	// ForceRung and reattach rung carry-over park the value here and the
+	// flush loop, which owns the encoder, emits the notice.
+	noticeRung int32
+
 	unknownLogged map[wire.Type]bool
+}
+
+// forceRung adopts an externally-set rung: telemetry, the controller
+// (so its hysteresis resumes from here), and a pending DegradeNotice
+// for the flush loop to emit.
+func (c *serverConn) forceRung(rung int) {
+	atomic.StoreInt32(&c.rung, int32(rung))
+	atomic.StoreInt32(&c.noticeRung, int32(rung))
+	c.estMu.Lock()
+	if c.ctrl != nil {
+		c.ctrl.ForceRung(rung)
+	}
+	c.estMu.Unlock()
 }
 
 // run pumps the reader and the flush loop until either fails, then
 // tears both down and waits for them — no goroutine outlives run.
+// Both loops run under the watchdog: a panic anywhere in the command
+// path becomes an error here, so one poisoned connection tears down
+// cleanly (and may reattach) instead of killing the whole host.
 func (c *serverConn) run() error {
 	errc := make(chan error, 2)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); errc <- c.readLoop(done) }()
-	go func() { defer wg.Done(); errc <- c.flushLoop(done) }()
+	go func() { defer wg.Done(); errc <- c.guard("read", done, c.readLoop) }()
+	go func() { defer wg.Done(); errc <- c.guard("flush", done, c.flushLoop) }()
 	err := <-errc
 	close(done)
 	_ = c.nc.Close() // unblock the sibling loop
 	wg.Wait()
 	return err
+}
+
+// guard is the per-goroutine watchdog: it converts a panic in loop
+// into a normal connection error. Critical sections that take the Host
+// lock use defer-unlock closures, so the lock is released while the
+// panic unwinds and the rest of the host keeps running.
+func (c *serverConn) guard(name string, done <-chan struct{}, loop func(<-chan struct{}) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&c.watchdogs, 1)
+			c.host.met.watchdogRecoveries.Inc()
+			c.host.mu.Lock()
+			c.host.stats.WatchdogRecoveries++
+			c.host.mu.Unlock()
+			log.Printf("server: %s loop panic (user %q), tearing session down: %v",
+				name, c.user, r)
+			err = fmt.Errorf("server: %s loop panic: %v", name, r)
+		}
+	}()
+	return loop(done)
 }
 
 // readLoop handles client-to-server messages. Every read carries the
@@ -461,16 +558,20 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 		}
 		switch v := m.(type) {
 		case *wire.Input:
-			c.host.mu.Lock()
-			c.host.dpy.InjectInput(geom.Point{X: v.X, Y: v.Y})
-			c.host.mu.Unlock()
+			func() {
+				c.host.mu.Lock()
+				defer c.host.mu.Unlock()
+				c.host.dpy.InjectInput(geom.Point{X: v.X, Y: v.Y})
+			}()
 			if h := c.host.opts.OnInput; h != nil {
 				h(v)
 			}
 		case *wire.Resize:
-			c.host.mu.Lock()
-			c.cl.Resize(v.ViewW, v.ViewH)
-			c.host.mu.Unlock()
+			func() {
+				c.host.mu.Lock()
+				defer c.host.mu.Unlock()
+				c.cl.Resize(v.ViewW, v.ViewH)
+			}()
 		case *wire.Ping:
 			// Client-initiated probe: queue the echo for the writer.
 			select {
@@ -483,6 +584,9 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 			if v.TimeUS != 0 {
 				if rtt := time.Now().UnixMicro() - int64(v.TimeUS); rtt >= 0 {
 					c.host.met.hbRTT.Observe(rtt)
+					c.estMu.Lock()
+					c.est.ObserveRTT(rtt)
+					c.estMu.Unlock()
 				}
 			}
 		case *wire.UpdateRequest:
@@ -575,16 +679,28 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 				return err
 			}
 		case <-t.C:
-			c.host.mu.Lock()
-			msgs := c.cl.Flush(c.host.opts.FlushBudget)
-			backlog := c.cl.Buf.QueuedBytes()
-			c.host.mu.Unlock()
+			var msgs []wire.Message
+			var backlog int
+			func() {
+				c.host.mu.Lock()
+				defer c.host.mu.Unlock()
+				msgs = c.cl.Flush(c.host.opts.FlushBudget)
+				if len(msgs) == 0 && c.cl.Buf.Len() > 0 {
+					// The head command is unsplittable and larger than the
+					// whole budget (a long audio write against a modem-class
+					// pacing budget): stream it whole, like a kernel taking
+					// one oversized write, or the queue wedges forever.
+					msgs = c.cl.Buf.FlushOne()
+				}
+				backlog = c.cl.Buf.QueuedBytes()
+			}()
 			for _, m := range msgs {
 				if err := queue(m); err != nil {
 					return err
 				}
 			}
 			batchBytes := batch.Len()
+			start := time.Now()
 			if err := flush(); err != nil {
 				return err
 			}
@@ -593,16 +709,35 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			core.RecycleMessages(msgs)
 			if batchBytes > 0 {
 				met.flushBatch.Observe(batchBytes)
+				c.estMu.Lock()
+				c.est.ObserveFlush(int(batchBytes), time.Since(start))
+				c.estMu.Unlock()
+			}
+			if err := c.overloadTick(backlog, queue, flush); err != nil {
+				return err
+			}
+			// An out-of-band rung change (ForceRung, reattach carry-over)
+			// parked a notice for us — the flush loop owns the encoder.
+			if want := atomic.SwapInt32(&c.noticeRung, -1); want >= 0 {
+				if err := queue(&wire.DegradeNotice{Rung: uint8(want),
+					Cause: wire.CauseAdmin, BacklogBytes: clampU32(backlog)}); err != nil {
+					return err
+				}
+				if err := flush(); err != nil {
+					return err
+				}
 			}
 			// Slow-client policy: a backlog past the bound means the peer
 			// cannot keep up with the session; delivering it all would only
 			// grow the queue and the client's staleness. Drop it and queue
 			// a fresh full-screen resync instead (§5's bounded buffers).
 			if max := c.host.opts.MaxBacklogBytes; max > 0 && backlog > max {
-				c.host.mu.Lock()
-				c.host.core.ResyncClient(c.cl)
-				c.host.stats.SlowResyncs++
-				c.host.mu.Unlock()
+				func() {
+					c.host.mu.Lock()
+					defer c.host.mu.Unlock()
+					c.host.core.ResyncClient(c.cl)
+					c.host.stats.SlowResyncs++
+				}()
 				met.slowResyncs.Inc()
 				if tr := met.tr; tr.Enabled() {
 					tr.Event("session.slow_resync",
@@ -611,4 +746,77 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			}
 		}
 	}
+}
+
+// clampU32 saturates a non-negative int into a uint32 wire field.
+func clampU32(n int) uint32 {
+	if n < 0 {
+		return 0
+	}
+	if n > int(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(n)
+}
+
+// overloadTick runs one controller evaluation and applies any rung
+// change: the core client's payload degradation level, the last rung's
+// forced resync, the repair refresh when leaving the lossy rungs, and
+// the DegradeNotice telling the client what quality it is getting and
+// why.
+func (c *serverConn) overloadTick(backlog int, queue func(wire.Message) error, flush func() error) error {
+	if c.ctrl == nil {
+		return nil
+	}
+	c.estMu.Lock()
+	rung, dir := c.ctrl.Tick(backlog)
+	estBps := c.est.Bps()
+	c.estMu.Unlock()
+	if dir == overload.Steady {
+		return nil
+	}
+	atomic.StoreInt32(&c.rung, int32(rung))
+	met := c.host.met
+	cause := uint8(wire.CauseBacklog)
+	resync := dir == overload.Up && rung == overload.RungResync
+	// Descending out of the lossy rungs: the client's screen holds
+	// downscaled content; repaint it at full fidelity.
+	repair := dir == overload.Down && rung == overload.RungDownscale-1
+	if dir == overload.Down {
+		cause = uint8(wire.CauseRecovered)
+	}
+	func() {
+		c.host.mu.Lock()
+		defer c.host.mu.Unlock()
+		c.cl.SetDegrade(rung)
+		if dir == overload.Up {
+			c.host.stats.OverloadUps++
+		} else {
+			c.host.stats.OverloadDowns++
+		}
+		if resync {
+			c.host.core.ResyncClient(c.cl)
+			c.host.stats.OverloadResyncs++
+		}
+		if repair {
+			c.host.core.RefreshClient(c.cl)
+		}
+	}()
+	if dir == overload.Up {
+		met.overloadUps.Inc()
+	} else {
+		met.overloadDowns.Inc()
+	}
+	if resync {
+		met.overloadResyncs.Inc()
+	}
+	if tr := met.tr; tr.Enabled() {
+		tr.Event("overload.rung", fmt.Sprintf("user=%s rung=%s backlog=%d bps=%.0f",
+			c.user, overload.RungName(rung), backlog, estBps))
+	}
+	if err := queue(&wire.DegradeNotice{Rung: uint8(rung), Cause: cause,
+		BacklogBytes: clampU32(backlog), EstBps: clampU32(int(estBps))}); err != nil {
+		return err
+	}
+	return flush()
 }

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sync/atomic"
+
 	"thinc/internal/compress"
 	"thinc/internal/core"
 	"thinc/internal/telemetry"
@@ -27,6 +29,10 @@ type hostMetrics struct {
 	attaches, reattaches, reaps, slowResyncs *telemetry.Counter
 	expiredSessions, skippedUnknown          *telemetry.Counter
 	badHandshakes, heartbeatsSent            *telemetry.Counter
+
+	overloadUps, overloadDowns *telemetry.Counter
+	overloadResyncs            *telemetry.Counter
+	watchdogRecoveries         *telemetry.Counter
 }
 
 // wireTypeLabels names the per-type series: the five display commands
@@ -71,6 +77,14 @@ func newHostMetrics(h *Host) *hostMetrics {
 			"handshakes rejected (geometry, protocol)"),
 		heartbeatsSent: reg.Counter("thinc_heartbeats_sent_total",
 			"server-to-client pings sent"),
+		overloadUps: reg.Counter("thinc_overload_transitions_total",
+			"degradation ladder rung changes", telemetry.L("dir", "up")),
+		overloadDowns: reg.Counter("thinc_overload_transitions_total",
+			"degradation ladder rung changes", telemetry.L("dir", "down")),
+		overloadResyncs: reg.Counter("thinc_overload_resyncs_total",
+			"resyncs forced by the degradation ladder's last rung"),
+		watchdogRecoveries: reg.Counter("thinc_watchdog_recoveries_total",
+			"connection-goroutine panics converted to clean teardown"),
 	}
 
 	// Per-type wire counters, pre-registered so /metrics always lists
@@ -138,6 +152,29 @@ func newHostMetrics(h *Host) *hostMetrics {
 			func() int64 { _, b := h.queueLoads(); return b[q] }, label)
 	}
 	return m
+}
+
+// registerConn publishes one connection's per-client series: the
+// active degradation rung, budget-eviction count, and watchdog
+// recoveries, labeled client="user#n" with n unique per Host. Series
+// outlive the connection (they describe the session's history; the
+// registry has no unregister), so the label embeds the connection
+// sequence number rather than reusing the user name.
+func (m *hostMetrics) registerConn(h *Host, label string, sc *serverConn) {
+	l := telemetry.L("client", label)
+	m.reg.GaugeFunc("thinc_client_degrade_rung",
+		"active degradation ladder rung for this client",
+		func() int64 { return int64(atomic.LoadInt32(&sc.rung)) }, l)
+	m.reg.CounterFunc("thinc_client_budget_evictions_total",
+		"commands replaced by this client's queue byte budget",
+		func() int64 {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return int64(sc.cl.Buf.Stats.BudgetEvicted)
+		}, l)
+	m.reg.CounterFunc("thinc_client_watchdog_recoveries_total",
+		"panics this client's connection goroutines survived",
+		func() int64 { return atomic.LoadInt64(&sc.watchdogs) }, l)
 }
 
 // queueName labels SRSF queues "0".."9" plus the real-time queue "rt".

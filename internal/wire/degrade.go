@@ -1,0 +1,59 @@
+package wire
+
+import "encoding/binary"
+
+// DegradeNotice tells the client which rung of the server's adaptive
+// degradation ladder its session currently rides. The server demotes a
+// session rung by rung when the estimated drain rate cannot keep up with
+// the update stream, and promotes it back as pressure subsides; the
+// notice lets the client surface quality state (a status indicator, a
+// "reduced quality" badge) without guessing from the payloads. It is
+// informational — a client may ignore it entirely.
+type DegradeNotice struct {
+	// Rung is the active ladder rung: 0 lossless, 1 heavier compression,
+	// 2 server-side downscale, 3 video frame dropping, 4 full resync.
+	Rung uint8
+	// Cause distinguishes why the rung changed (CauseBacklog,
+	// CauseRecovered, ...).
+	Cause uint8
+	// BacklogBytes is the client's queued wire backlog at the decision.
+	BacklogBytes uint32
+	// EstBps is the estimated drain rate toward this client, bytes/sec
+	// (0 when the estimator has no sample yet).
+	EstBps uint32
+}
+
+// DegradeNotice causes.
+const (
+	// CauseBacklog: the rung rose because the backlog's projected drain
+	// time crossed the escalation threshold.
+	CauseBacklog uint8 = iota
+	// CauseRecovered: the rung dropped after sustained headroom.
+	CauseRecovered
+	// CauseBudget: a hard per-client resource budget forced eviction.
+	CauseBudget
+	// CauseAdmin: the rung was set explicitly (operator pin, session
+	// reattach carrying its previous rung forward).
+	CauseAdmin
+)
+
+// Type implements Message.
+func (m *DegradeNotice) Type() Type { return TDegradeNotice }
+
+// PayloadSize implements Message: rung 1 + cause 1 + backlog 4 + bps 4.
+func (m *DegradeNotice) PayloadSize() int { return 10 }
+
+func (m *DegradeNotice) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.Rung, m.Cause)
+	dst = binary.BigEndian.AppendUint32(dst, m.BacklogBytes)
+	return binary.BigEndian.AppendUint32(dst, m.EstBps)
+}
+
+func decodeDegradeNotice(d *decoder) (*DegradeNotice, error) {
+	m := &DegradeNotice{}
+	m.Rung = d.u8()
+	m.Cause = d.u8()
+	m.BacklogBytes = d.u32()
+	m.EstBps = d.u32()
+	return m, d.check()
+}

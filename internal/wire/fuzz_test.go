@@ -61,7 +61,7 @@ func controlMessages() []Message {
 		switch m.(type) {
 		case *ServerInit, *ClientInit, *Resize, *Input,
 			*AuthChallenge, *AuthResponse, *AuthResult, *UpdateRequest,
-			*Ping, *Pong, *SessionTicket, *Reattach:
+			*Ping, *Pong, *SessionTicket, *Reattach, *DegradeNotice:
 			ctl = append(ctl, m)
 		}
 	}
@@ -128,5 +128,138 @@ func TestUnknownTypeSkippable(t *testing.T) {
 	}
 	if p, ok := m.(*Ping); !ok || p.Seq != 9 {
 		t.Fatalf("stream misaligned after unknown type: got %#v", m)
+	}
+}
+
+// streamingMessages returns the high-volume streaming subset: the
+// length-prefixed payload carriers where a corrupted length field is
+// most dangerous (over-read, over-allocation, misframing).
+func streamingMessages() []Message {
+	return []Message{
+		&VideoFrame{Stream: 1, Seq: 2, PTS: 3, W: 8, H: 6, Data: make([]byte, 8*6*3/2)},
+		&VideoFrame{Stream: 9, Seq: 1 << 30, PTS: 1 << 60, W: 1920, H: 1080, Data: []byte{1}},
+		&VideoFrame{},
+		&AudioData{PTS: 44100, Data: make([]byte, 512)},
+		&AudioData{PTS: ^uint64(0), Data: []byte{0xff}},
+		&AudioData{},
+	}
+}
+
+// FuzzVideoFrame drives the VideoFrame payload decoder directly with
+// arbitrary bytes. Anything accepted must carry a Data slice actually
+// backed by the input (no conjured bytes from a lying length field) and
+// must survive a marshal / re-decode round trip.
+func FuzzVideoFrame(f *testing.F) {
+	for _, m := range streamingMessages() {
+		if _, ok := m.(*VideoFrame); !ok {
+			continue
+		}
+		buf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[HeaderSize:])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := Unmarshal(TVideoFrame, payload)
+		if err != nil {
+			return
+		}
+		vf := m.(*VideoFrame)
+		if len(vf.Data) > len(payload) {
+			t.Fatalf("decoder conjured %d data bytes from a %d-byte payload",
+				len(vf.Data), len(payload))
+		}
+		out, err := Marshal(vf)
+		if err != nil {
+			t.Fatalf("accepted frame failed to marshal: %v", err)
+		}
+		m2, err := ReadMessage(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		vf2 := m2.(*VideoFrame)
+		if vf2.Stream != vf.Stream || vf2.Seq != vf.Seq || vf2.PTS != vf.PTS ||
+			vf2.W != vf.W || vf2.H != vf.H || !bytes.Equal(vf2.Data, vf.Data) {
+			t.Fatalf("frame changed across round trip: %#v -> %#v", vf, vf2)
+		}
+	})
+}
+
+// FuzzAudioData is the same contract for the audio channel — the one
+// payload that must keep flowing even at the harshest degradation rung,
+// so its decoder gets its own target.
+func FuzzAudioData(f *testing.F) {
+	for _, m := range streamingMessages() {
+		if _, ok := m.(*AudioData); !ok {
+			continue
+		}
+		buf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[HeaderSize:])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := Unmarshal(TAudioData, payload)
+		if err != nil {
+			return
+		}
+		ad := m.(*AudioData)
+		if len(ad.Data) > len(payload) {
+			t.Fatalf("decoder conjured %d data bytes from a %d-byte payload",
+				len(ad.Data), len(payload))
+		}
+		out, err := Marshal(ad)
+		if err != nil {
+			t.Fatalf("accepted chunk failed to marshal: %v", err)
+		}
+		m2, err := ReadMessage(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		ad2 := m2.(*AudioData)
+		if ad2.PTS != ad.PTS || !bytes.Equal(ad2.Data, ad.Data) {
+			t.Fatalf("chunk changed across round trip: %#v -> %#v", ad, ad2)
+		}
+	})
+}
+
+// TestStreamingMessageTruncationSweep is the control-message truncation
+// sweep applied to the streaming carriers: every cut of every payload
+// must be rejected, never silently misframed.
+func TestStreamingMessageTruncationSweep(t *testing.T) {
+	for _, m := range streamingMessages() {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", m.Type(), err)
+		}
+		payload := buf[HeaderSize:]
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := Unmarshal(m.Type(), payload[:cut]); err == nil {
+				t.Errorf("%v: payload truncated to %d/%d bytes decoded without error",
+					m.Type(), cut, len(payload))
+			}
+		}
+	}
+}
+
+// TestStreamingMessageBitFlips flips each payload byte of the streaming
+// messages: corruption may decode to different values or be rejected,
+// but must never panic or over-read.
+func TestStreamingMessageBitFlips(t *testing.T) {
+	for _, m := range streamingMessages() {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := buf[HeaderSize:]
+		for i := range payload {
+			mut := append([]byte(nil), payload...)
+			mut[i] ^= 0xff
+			_, _ = Unmarshal(m.Type(), mut) // must not panic
+		}
 	}
 }

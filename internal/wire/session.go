@@ -9,10 +9,11 @@ import "encoding/binary"
 
 // ProtoVersion is the current protocol revision, carried in ServerInit.
 // Version 1 is the original handshake; version 2 adds heartbeats and
-// session reattach. Receivers skip well-framed unknown message types,
-// so the version is informational: it lets a client know whether the
-// server will honor Reattach at all.
-const ProtoVersion = 2
+// session reattach; version 3 adds the DegradeNotice quality-state
+// message. Receivers skip well-framed unknown message types, so the
+// version is informational: it lets a client know whether the server
+// will honor Reattach at all.
+const ProtoVersion = 3
 
 // MaxTicketLen bounds a session ticket on the wire.
 const MaxTicketLen = 64

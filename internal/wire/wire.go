@@ -58,6 +58,8 @@ const (
 	TPong
 	TSessionTicket
 	TReattach
+
+	TDegradeNotice
 )
 
 var typeNames = map[Type]string{
@@ -70,6 +72,7 @@ var typeNames = map[Type]string{
 	TCursorSet: "CURSOR_SET", TCursorMove: "CURSOR_MOVE",
 	TPing: "PING", TPong: "PONG",
 	TSessionTicket: "SESSION_TICKET", TReattach: "REATTACH",
+	TDegradeNotice: "DEGRADE_NOTICE",
 }
 
 func (t Type) String() string {
@@ -252,6 +255,8 @@ func Unmarshal(t Type, payload []byte) (Message, error) {
 		m, err = decodeSessionTicket(&d)
 	case TReattach:
 		m, err = decodeReattach(&d)
+	case TDegradeNotice:
+		m, err = decodeDegradeNotice(&d)
 	default:
 		return nil, &UnknownTypeError{T: t}
 	}

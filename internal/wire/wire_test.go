@@ -54,6 +54,8 @@ func sampleMessages() []Message {
 		&SessionTicket{Ticket: []byte("ticket-0123456789abcdef")},
 		&Reattach{Ticket: []byte("ticket-0123456789abcdef"),
 			ViewW: 320, ViewH: 240, Name: "pda"},
+		&DegradeNotice{Rung: 2, Cause: CauseBacklog,
+			BacklogBytes: 1 << 20, EstBps: 3 << 20},
 	}
 }
 
