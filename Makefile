@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-snapshot bench-smoke soak
+.PHONY: all build vet test race check cover bench-snapshot bench-smoke soak
 
 all: check
 
@@ -18,6 +18,14 @@ race:
 
 check: build vet race
 
+# Coverage gate: per-package statement coverage must stay at or above
+# the committed floors (coverage_floors.txt). -short skips the
+# seconds-long chaos schedules — they have their own CI job and their
+# wall-clock deadlines are unreliable under atomic instrumentation.
+cover:
+	$(GO) test -short ./... -coverprofile=coverage.out -covermode=atomic
+	$(GO) run ./cmd/covercheck -profile coverage.out -floors coverage_floors.txt
+
 # Chaos soak: 100 randomized fault schedules against a live
 # server/client pair under the race detector, each ending in the
 # framebuffer-convergence oracle (see docs/ROBUSTNESS.md). Every
@@ -33,7 +41,10 @@ bench-snapshot:
 
 # Encode fast-path smoke: the zero-allocation assertions plus one
 # iteration of every wire benchmark, cheap enough for CI. The *ZeroAlloc
-# tests fail if the flush path regresses to allocating.
+# tests fail if the flush path regresses to allocating. The fan-out
+# benchmark rides along: B/op staying flat from viewers=1 to viewers=8
+# is the translate-once/deliver-N contract.
 bench-smoke:
 	$(GO) test ./internal/wire/ -run 'ZeroAlloc|TestPayloadSizeMatchesAppend|TestBatch' -count=1
 	$(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime=1x -count=1
+	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkTranslateFanout -benchtime=100x -count=1

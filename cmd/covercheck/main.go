@@ -1,0 +1,164 @@
+// Command covercheck enforces per-package statement-coverage floors:
+// it parses a `go test -coverprofile` file, computes each package's
+// covered-statement percentage, and fails if any package listed in the
+// floors file dropped below its committed floor. Packages absent from
+// the floors file are reported but not gated — new packages opt in by
+// adding a line.
+//
+// Usage:
+//
+//	go test ./... -coverprofile=coverage.out
+//	go run ./cmd/covercheck -profile coverage.out -floors coverage_floors.txt
+//
+// The floors file holds one `import/path minimum-percent` pair per
+// line; '#' starts a comment. Raise a floor when a package's coverage
+// durably improves — it must never be lowered to make a red build
+// green without a recorded decision.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCover accumulates statement counts for one package.
+type pkgCover struct {
+	stmts   int
+	covered int
+}
+
+func (p pkgCover) percent() float64 {
+	if p.stmts == 0 {
+		return 100
+	}
+	return 100 * float64(p.covered) / float64(p.stmts)
+}
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "coverprofile produced by go test")
+	floorsPath := flag.String("floors", "coverage_floors.txt", "per-package floor file")
+	flag.Parse()
+
+	cover, err := readProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(2)
+	}
+	floors, err := readFloors(*floorsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs := make([]string, 0, len(cover))
+	for pkg := range cover {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	failed := 0
+	for _, pkg := range pkgs {
+		pct := cover[pkg].percent()
+		floor, gated := floors[pkg]
+		switch {
+		case !gated:
+			fmt.Printf("  %-32s %6.1f%%  (no floor)\n", pkg, pct)
+		case pct < floor:
+			fmt.Printf("FAIL %-32s %6.1f%%  floor %.1f%%\n", pkg, pct, floor)
+			failed++
+		default:
+			fmt.Printf("  ok %-32s %6.1f%%  floor %.1f%%\n", pkg, pct, floor)
+		}
+	}
+	for pkg := range floors {
+		if _, ok := cover[pkg]; !ok {
+			fmt.Printf("FAIL %-32s absent from profile (floor %.1f%%)\n", pkg, floors[pkg])
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "covercheck: %d package(s) below their coverage floor\n", failed)
+		os.Exit(1)
+	}
+}
+
+// readProfile parses the coverprofile: after the mode line, each line
+// is `file.go:L.C,L.C numStmts hitCount`. The package is the file's
+// directory within the module.
+func readProfile(name string) (map[string]pkgCover, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]pkgCover)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s: malformed line %q", name, line)
+		}
+		file, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed location %q", name, fields[0])
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s: statement count %q: %v", name, fields[1], err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s: hit count %q: %v", name, fields[2], err)
+		}
+		pkg := path.Dir(file)
+		pc := out[pkg]
+		pc.stmts += stmts
+		if hits > 0 {
+			pc.covered += stmts
+		}
+		out[pkg] = pc
+	}
+	return out, sc.Err()
+}
+
+// readFloors parses `import/path percent` lines; '#' comments.
+func readFloors(name string) (map[string]float64, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want `package percent`, got %q", name, lineNo, line)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("%s:%d: bad percent %q", name, lineNo, fields[1])
+		}
+		out[fields[0]] = pct
+	}
+	return out, sc.Err()
+}

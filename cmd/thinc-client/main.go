@@ -29,9 +29,14 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
 	click := flag.Bool("click", false, "send a test mouse click after connecting")
 	reconnect := flag.Bool("reconnect", false, "auto-reconnect with backoff and resume the session by ticket")
+	viewer := flag.Bool("viewer", false, "attach read-only to the session broadcast (input is discarded)")
 	flag.Parse()
 
-	conn, err := client.Dial(*addr, *user, *pass, *vw, *vh)
+	role := wire.RoleOwner
+	if *viewer {
+		role = wire.RoleViewer
+	}
+	conn, err := client.DialRole(*addr, *user, *pass, *vw, *vh, role)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
 		os.Exit(1)

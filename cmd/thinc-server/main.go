@@ -44,6 +44,7 @@ func main() {
 	hbTimeout := flag.Duration("heartbeat-timeout", 0, "silence before a peer is reaped (0 = 3x heartbeat)")
 	detachGrace := flag.Duration("detach-grace", 30*time.Second, "how long a dropped session may reattach with its ticket (negative disables)")
 	maxBacklog := flag.Int("max-backlog", 32<<20, "per-client command backlog bound in bytes before a forced resync (negative disables)")
+	maxViewers := flag.Int("max-viewers", 0, "cap on simultaneous viewer-role connections (0 = default 16, negative = unlimited)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. :6060; empty disables)")
 	statsInterval := flag.Duration("stats-interval", 0, "print a one-line telemetry summary at this interval (0 disables)")
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 		HeartbeatTimeout:  *hbTimeout,
 		DetachGrace:       *detachGrace,
 		MaxBacklogBytes:   *maxBacklog,
+		MaxViewers:        *maxViewers,
 	})
 	app.host = host
 

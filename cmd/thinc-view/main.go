@@ -21,6 +21,7 @@ import (
 	"thinc/internal/client"
 	"thinc/internal/fb"
 	"thinc/internal/resample"
+	"thinc/internal/wire"
 )
 
 func main() {
@@ -32,9 +33,14 @@ func main() {
 	fps := flag.Int("fps", 10, "refresh rate")
 	once := flag.Bool("once", false, "render a single frame and exit")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until the stream ends)")
+	viewer := flag.Bool("viewer", false, "attach read-only to the session broadcast")
 	flag.Parse()
 
-	conn, err := client.Dial(*addr, *user, *pass, 0, 0)
+	role := wire.RoleOwner
+	if *viewer {
+		role = wire.RoleViewer
+	}
+	conn, err := client.DialRole(*addr, *user, *pass, 0, 0, role)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
 		os.Exit(1)

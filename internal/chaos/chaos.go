@@ -51,6 +51,13 @@ type Schedule struct {
 	Ops int
 	// MaxWall bounds the whole run; zero means 20s.
 	MaxWall time.Duration
+	// Viewers attaches this many viewer-role connections alongside the
+	// owner — the broadcast fan-out under chaos. Viewer i is pinned at
+	// rung i % overload.NumRungs during the storm (a mixed-rung set),
+	// and with Viewers >= 2 the last viewer attaches mid-storm (the
+	// late joiner). All are released at quiescence and each must
+	// converge byte-identical.
+	Viewers int
 }
 
 // Result is what one schedule produced.
@@ -70,11 +77,18 @@ type Result struct {
 	OverloadResyncs    int
 	WatchdogRecoveries int
 	BudgetEvictions    int64
+
+	// ViewerMismatches holds each viewer's first differing pixel index
+	// after release (-1 when byte-identical); ViewerMaxRungs the highest
+	// rung each viewer observed. Converged requires every viewer at -1.
+	ViewerMismatches []int
+	ViewerMaxRungs   []int
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%s seed=%d converged=%v maxRung=%d reconnects=%d reattaches=%d ups=%d downs=%d resyncs=%d evictions=%d",
+	return fmt.Sprintf("%s seed=%d converged=%v maxRung=%d viewers=%d viewerMismatches=%v reconnects=%d reattaches=%d ups=%d downs=%d resyncs=%d evictions=%d",
 		r.Schedule.Name, r.Schedule.Seed, r.Converged, r.MaxRungSeen,
+		r.Schedule.Viewers, r.ViewerMismatches,
 		r.Reconnects, r.Reattaches, r.OverloadUps, r.OverloadDowns,
 		r.OverloadResyncs, r.BudgetEvictions)
 }
@@ -94,6 +108,10 @@ func Suite() []Schedule {
 		{Name: "rung2-downscale", Seed: 606, Link: simnet.WAN(), Rung: overload.RungDownscale, Ops: 300},
 		{Name: "rung3-drop-video", Seed: 707, Link: simnet.PDA80211g(), Rung: overload.RungDropVideo, Ops: 300},
 		{Name: "rung4-resync", Seed: 808, Link: simnet.LAN(), Rung: overload.RungResync, Ops: 300},
+		// The broadcast oracle: one owner plus three viewers pinned at
+		// different rungs (lossless / compress / downscale), the last
+		// attaching mid-storm, all converging byte-identical.
+		{Name: "broadcast-mixed-rungs", Seed: 909, Link: simnet.LAN(), Ops: 400, Viewers: 3},
 	}
 }
 
@@ -118,6 +136,11 @@ func SoakSchedules(n int, seed int64) []Schedule {
 			s.Adaptive = true
 		} else {
 			s.Rung = rnd.Intn(overload.NumRungs)
+		}
+		// Every third soak runs the broadcast fan-out: three mixed-rung
+		// viewers riding the same storm.
+		if i%3 == 2 {
+			s.Viewers = 3
 		}
 		out = append(out, s)
 	}
@@ -194,7 +217,11 @@ func Run(s Schedule) (Result, error) {
 			UpSec: 0.05, DownSec: 0.01, UpTicks: 4, DownTicks: 4, HoldTicks: 8,
 		},
 	}
-	host := server.NewHost(screenW, screenH, auth.NewAuthenticator("owner", acc), opts)
+	gate := auth.NewAuthenticator("owner", acc)
+	if s.Viewers > 0 {
+		gate.SetSessionPassword("watch")
+	}
+	host := server.NewHost(screenW, screenH, gate, opts)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return res, err
@@ -236,6 +263,69 @@ func Run(s Schedule) (Result, error) {
 			MaxAttempts: 1 << 20, Seed: s.Seed,
 		})
 	}()
+
+	// The viewer set: each gets its own fault-plan RNG (dialers run on
+	// the viewers' reconnect goroutines), its own mixed rung, and the
+	// same RunAuto resilience as the owner. With Viewers >= 2 the last
+	// one stays unattached until mid-storm — the late joiner.
+	type viewer struct {
+		name string
+		rung int
+		conn *client.Conn
+		done chan error
+	}
+	attachViewer := func(i int) (*viewer, error) {
+		v := &viewer{
+			name: fmt.Sprintf("viewer%d", i),
+			rung: i % overload.NumRungs,
+			done: make(chan error, 1),
+		}
+		vRnd := rand.New(rand.NewSource(s.Seed + int64(i+1)*0x9e3779b9))
+		vdial := func() (net.Conn, error) {
+			nc, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				return nil, err
+			}
+			if quiesced.Load() {
+				return nc, nil
+			}
+			return faultconn.Wrap(nc, nextPlan(vRnd)), nil
+		}
+		var err error
+		for attempt := 0; ; attempt++ {
+			v.conn, err = client.DialWithRole(vdial, v.name, "watch",
+				screenW, screenH, wire.RoleViewer)
+			if err == nil {
+				break
+			}
+			if attempt >= 50 || time.Now().After(deadline) {
+				return nil, fmt.Errorf("chaos: viewer %s never attached: %w", v.name, err)
+			}
+		}
+		v.conn.ReadTimeout = 250 * time.Millisecond
+		v.conn.WriteTimeout = 250 * time.Millisecond
+		go func() {
+			v.done <- v.conn.RunAuto(client.ReconnectPolicy{
+				Initial: 2 * time.Millisecond, Max: 20 * time.Millisecond,
+				MaxAttempts: 1 << 20, Seed: s.Seed + int64(i),
+			})
+		}()
+		host.ForceRungUser(v.name, v.rung)
+		return v, nil
+	}
+	var viewers []*viewer
+	earlyViewers := s.Viewers
+	if s.Viewers >= 2 {
+		earlyViewers = s.Viewers - 1
+	}
+	for i := 0; i < earlyViewers; i++ {
+		v, err := attachViewer(i)
+		if err != nil {
+			return res, err
+		}
+		defer v.conn.Close()
+		viewers = append(viewers, v)
+	}
 
 	// Stage the scene: a full-screen window, an offscreen pixmap, a
 	// video port and an audio stream.
@@ -310,6 +400,22 @@ func Run(s Schedule) (Result, error) {
 			// Reconnects attach at rung 0: re-pin.
 			host.ForceRung(s.Rung)
 		}
+		if s.Viewers >= 2 && i == s.Ops/2 && len(viewers) < s.Viewers {
+			// The late joiner arrives mid-storm.
+			v, err := attachViewer(s.Viewers - 1)
+			if err != nil {
+				return res, err
+			}
+			defer v.conn.Close()
+			viewers = append(viewers, v)
+		}
+		if i%32 == 0 {
+			// Viewer reconnects also attach at rung 0: re-pin each at its
+			// own rung (ForceRung above hits every conn, viewers included).
+			for _, v := range viewers {
+				host.ForceRungUser(v.name, v.rung)
+			}
+		}
 		if r := conn.Stats().DegradeRung; r > res.MaxRungSeen {
 			res.MaxRungSeen = r
 		}
@@ -324,6 +430,11 @@ func Run(s Schedule) (Result, error) {
 	host.Do(func(d *xserver.Display) { vp.Close() })
 	_ = stream.Close()
 	quiesced.Store(true)
+	res.ViewerMismatches = make([]int, len(viewers))
+	res.ViewerMaxRungs = make([]int, len(viewers))
+	for i, v := range viewers {
+		res.ViewerMaxRungs[i] = v.conn.Stats().DegradeRung
+	}
 	if !s.Adaptive {
 		// Prove the notice plumbing: with the faults off, the client must
 		// come to observe the pinned rung before it is released. A storm
@@ -336,27 +447,68 @@ func Run(s Schedule) (Result, error) {
 		if r := conn.Stats().DegradeRung; r > res.MaxRungSeen {
 			res.MaxRungSeen = r
 		}
+		// Each viewer must likewise observe its own pinned rung — the
+		// mixed-rung set really was mixed.
+		for i, v := range viewers {
+			for v.rung > 0 && time.Now().Before(deadline) &&
+				v.conn.Stats().DegradeRung != v.rung {
+				host.ForceRungUser(v.name, v.rung)
+				time.Sleep(5 * time.Millisecond)
+			}
+			if r := v.conn.Stats().DegradeRung; r > res.ViewerMaxRungs[i] {
+				res.ViewerMaxRungs[i] = r
+			}
+		}
 		host.ForceRung(0)
 	}
 
-	// The oracle: the client framebuffer becomes byte-identical to the
-	// server screen and stays connected at the lossless rung.
+	// The oracle: every framebuffer — the owner's and each viewer's —
+	// becomes byte-identical to the server screen with its connection
+	// at the lossless rung.
+	ownerDone := false
+	viewerDone := make([]bool, len(viewers))
 	for time.Now().Before(deadline) {
+		// ForceRung only reaches attached connections: released during
+		// a reconnect gap, the retained session would carry its pinned
+		// lossy rung across the reattach forever. Re-release each pass
+		// (idempotent — the repair refresh fires only on the lossy→
+		// lossless transition). Adaptive runs release only the pinned
+		// viewers and let the owner's controller descend on its own.
 		if !s.Adaptive {
-			// ForceRung only reaches attached connections: released during
-			// a reconnect gap, the retained session would carry its pinned
-			// lossy rung across the reattach forever. Re-release each pass
-			// (idempotent — the repair refresh fires only on the lossy→
-			// lossless transition).
 			host.ForceRung(0)
+		} else {
+			for _, v := range viewers {
+				host.ForceRungUser(v.name, 0)
+			}
 		}
-		if conn.State() == client.StateConnected && conn.Stats().DegradeRung == 0 {
+		if !ownerDone && conn.State() == client.StateConnected &&
+			conn.Stats().DegradeRung == 0 {
 			if at := firstMismatch(host, conn); at < 0 {
-				res.Converged, res.MismatchAt = true, -1
-				break
+				ownerDone, res.MismatchAt = true, -1
 			} else {
 				res.MismatchAt = at
 			}
+		}
+		for i, v := range viewers {
+			if viewerDone[i] {
+				continue
+			}
+			if v.conn.State() != client.StateConnected || v.conn.Stats().DegradeRung != 0 {
+				continue
+			}
+			if at := firstMismatch(host, v.conn); at < 0 {
+				viewerDone[i], res.ViewerMismatches[i] = true, -1
+			} else {
+				res.ViewerMismatches[i] = at
+			}
+		}
+		allDone := ownerDone
+		for _, d := range viewerDone {
+			allDone = allDone && d
+		}
+		if allDone {
+			res.Converged = true
+			break
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -377,6 +529,10 @@ func Run(s Schedule) (Result, error) {
 
 	conn.Close()
 	<-runDone
+	for _, v := range viewers {
+		v.conn.Close()
+		<-v.done
+	}
 	return res, nil
 }
 

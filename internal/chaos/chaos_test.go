@@ -35,6 +35,26 @@ func TestChaosSuiteConverges(t *testing.T) {
 			if s.Name == "modem-adaptive-ladder" && res.OverloadUps < 1 {
 				t.Fatalf("narrow link never escalated the ladder: %s", res)
 			}
+			if s.Viewers > 0 {
+				if len(res.ViewerMismatches) != s.Viewers {
+					t.Fatalf("%d of %d viewers attached: %s",
+						len(res.ViewerMismatches), s.Viewers, res)
+				}
+				for i, at := range res.ViewerMismatches {
+					if at != -1 {
+						t.Errorf("viewer %d first mismatch at pixel %d, want -1", i, at)
+					}
+				}
+				if !s.Adaptive {
+					// The mixed-rung set really was mixed: each viewer
+					// observed its pinned rung i % NumRungs.
+					for i, r := range res.ViewerMaxRungs {
+						if want := i % overload.NumRungs; r < want {
+							t.Errorf("viewer %d max rung %d, want >= %d (pinned)", i, r, want)
+						}
+					}
+				}
+			}
 		})
 	}
 }

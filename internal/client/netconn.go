@@ -51,6 +51,7 @@ func (s ConnState) String() string {
 type Conn struct {
 	dial         func() (net.Conn, error) // nil when built over a raw transport
 	user, secret string
+	role         uint8 // granted session role (wire.RoleOwner / RoleViewer)
 
 	// ReadTimeout, when positive, bounds how long Run waits for any
 	// server traffic (the server heartbeats well inside it). Zero means
@@ -93,19 +94,31 @@ type Conn struct {
 // Dial connects, authenticates as user with the given secret, and
 // completes the display handshake with a viewW x viewH viewport.
 func Dial(addr, user, secret string, viewW, viewH int) (*Conn, error) {
-	return DialWith(func() (net.Conn, error) {
+	return DialRole(addr, user, secret, viewW, viewH, wire.RoleOwner)
+}
+
+// DialRole is Dial with an explicit session role: RoleOwner attaches
+// the interactive session, RoleViewer attaches a read-only broadcast
+// viewer (input is discarded server-side, §6).
+func DialRole(addr, user, secret string, viewW, viewH int, role uint8) (*Conn, error) {
+	return DialWithRole(func() (net.Conn, error) {
 		return net.Dial("tcp", addr)
-	}, user, secret, viewW, viewH)
+	}, user, secret, viewW, viewH, role)
 }
 
 // DialWith is Dial over a caller-supplied transport dialer — tests use
 // it to interpose fault injection; Redial reuses it to reconnect.
 func DialWith(dial func() (net.Conn, error), user, secret string, viewW, viewH int) (*Conn, error) {
+	return DialWithRole(dial, user, secret, viewW, viewH, wire.RoleOwner)
+}
+
+// DialWithRole is DialWith with an explicit session role.
+func DialWithRole(dial func() (net.Conn, error), user, secret string, viewW, viewH int, role uint8) (*Conn, error) {
 	nc, err := dial()
 	if err != nil {
 		return nil, err
 	}
-	c, err := Handshake(nc, user, secret, viewW, viewH)
+	c, err := HandshakeRole(nc, user, secret, viewW, viewH, role)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -117,8 +130,13 @@ func DialWith(dial func() (net.Conn, error), user, secret string, viewW, viewH i
 // Handshake runs the client side of the protocol handshake over an
 // established transport (used directly by tests over net.Pipe).
 func Handshake(nc net.Conn, user, secret string, viewW, viewH int) (*Conn, error) {
+	return HandshakeRole(nc, user, secret, viewW, viewH, wire.RoleOwner)
+}
+
+// HandshakeRole is Handshake with an explicit session role.
+func HandshakeRole(nc net.Conn, user, secret string, viewW, viewH int, role uint8) (*Conn, error) {
 	enc, si, err := handshake(nc, user, secret,
-		&wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: user})
+		&wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: user, Role: role})
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +145,7 @@ func Handshake(nc net.Conn, user, secret string, viewW, viewH int) (*Conn, error
 	}
 	cn := &Conn{
 		nc: nc, enc: enc,
-		user: user, secret: secret,
+		user: user, secret: secret, role: role,
 		c:       New(viewW, viewH),
 		ServerW: si.W, ServerH: si.H,
 	}
@@ -194,6 +212,7 @@ func (cn *Conn) Redial() error {
 	dial := cn.dial
 	ticket := append([]byte(nil), cn.ticket...)
 	viewW, viewH := cn.c.FB().W(), cn.c.FB().H()
+	role := cn.role
 	closed := cn.closed
 	cn.mu.Unlock()
 	if closed {
@@ -209,9 +228,9 @@ func (cn *Conn) Redial() error {
 	}
 	var hello wire.Message
 	if len(ticket) > 0 {
-		hello = &wire.Reattach{Ticket: ticket, ViewW: viewW, ViewH: viewH, Name: cn.user}
+		hello = &wire.Reattach{Ticket: ticket, ViewW: viewW, ViewH: viewH, Name: cn.user, Role: role}
 	} else {
-		hello = &wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: cn.user}
+		hello = &wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: cn.user, Role: role}
 	}
 	enc, si, err := handshake(nc, cn.user, cn.secret, hello)
 	if err != nil {
@@ -270,6 +289,7 @@ func (cn *Conn) Run() error {
 		case *wire.SessionTicket:
 			cn.mu.Lock()
 			cn.ticket = append([]byte(nil), v.Ticket...)
+			cn.role = v.Role // the server echoes the granted role
 			cn.mu.Unlock()
 			continue
 		case *wire.DegradeNotice:
@@ -326,6 +346,14 @@ func (cn *Conn) State() ConnState {
 
 func (cn *Conn) setState(s ConnState) {
 	cn.state.Store(int32(s))
+}
+
+// Role returns the session role the server granted (the dialed role
+// until the first SessionTicket confirms or corrects it).
+func (cn *Conn) Role() uint8 {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.role
 }
 
 // Ticket returns a copy of the last session ticket the server issued

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"thinc/internal/compress"
 	"thinc/internal/fb"
 	"thinc/internal/geom"
@@ -395,16 +397,39 @@ func (c *CopyCmd) Emit(dst []wire.Message) []wire.Message {
 // Merge implements Command.
 func (c *CopyCmd) Merge(Command) bool { return false }
 
+// payloadRefs counts the RawCmd values sharing one immutable pixel
+// backing. The session fan-out (one translated command broadcast into
+// N per-client buffers) clones the command but shares the backing and
+// bumps the count, so an added viewer costs per-client bookkeeping,
+// never a payload copy. Any path that must produce different bytes —
+// merge absorption building a bigger block — detaches onto a fresh
+// backing first (setPix): copy-on-write, so one client's eviction,
+// split, or merge can never mutate a sibling's payload.
+type payloadRefs struct{ n atomic.Int64 }
+
+func newPayloadRefs() *payloadRefs {
+	r := &payloadRefs{}
+	r.n.Store(1)
+	return r
+}
+
 // RawCmd is the RAW protocol command object: pixel data for a
 // rectangle, kept uncompressed in the command object so that partial
 // eviction and splitting never pay a recompression round trip; the
 // payload is compressed at emit time. Blend marks alpha content the
 // client must composite (Transparent class).
+//
+// The pixel backing is immutable after construction and refcounted
+// (payloadRefs): clones made by the fan-out share it, and per-clone
+// state (the live region, the codec rewrite of a degradation rung) is
+// all that diverges between clients.
 type RawCmd struct {
 	opaqueBase
-	Pix   []pixel.ARGB // row-major, stride == bounds.W()
+	Pix   []pixel.ARGB // row-major, stride == bounds.W(); immutable, shared
 	Blend bool
 	Codec compress.Codec
+
+	refs *payloadRefs
 }
 
 // NewRaw builds a RAW command for r with the given pixels (stride in
@@ -414,7 +439,38 @@ func NewRaw(r geom.Rect, pix []pixel.ARGB, stride int, blend bool, codec compres
 	for y := 0; y < r.H(); y++ {
 		copy(own[y*r.W():(y+1)*r.W()], pix[y*stride:y*stride+r.W()])
 	}
-	return &RawCmd{opaqueBase: newOpaqueBase(r), Pix: own, Blend: blend, Codec: codec}
+	return &RawCmd{opaqueBase: newOpaqueBase(r), Pix: own, Blend: blend, Codec: codec,
+		refs: newPayloadRefs()}
+}
+
+// PayloadShares returns how many RawCmd values currently share this
+// command's pixel backing (1 = sole owner). It is the observable the
+// fan-out tests and amplification metrics assert on.
+func (c *RawCmd) PayloadShares() int {
+	if c.refs == nil {
+		return 1
+	}
+	return int(c.refs.n.Load())
+}
+
+// setPix points c at a fresh private backing — the copy-on-write
+// detach. The old backing's count drops; siblings sharing it are
+// untouched.
+func (c *RawCmd) setPix(pix []pixel.ARGB) {
+	if c.refs != nil {
+		c.refs.n.Add(-1)
+	}
+	c.Pix = pix
+	c.refs = newPayloadRefs()
+}
+
+// release drops c's share of the backing when the command value is
+// absorbed (merge) and will never emit.
+func (c *RawCmd) release() {
+	if c.refs != nil {
+		c.refs.n.Add(-1)
+		c.refs = nil
+	}
 }
 
 // Class implements Command.
@@ -444,11 +500,15 @@ func (c *RawCmd) CoverOutput(r geom.Rect) bool {
 // Translate implements Command.
 func (c *RawCmd) Translate(dx, dy int) { c.translate(dx, dy) }
 
-// Clone implements Command. Pixel data is shared copy-on-nothing: raw
-// payloads are immutable after construction.
+// Clone implements Command. The pixel backing is shared and its
+// refcount bumped: raw payloads are immutable after construction, so a
+// clone costs live-region bookkeeping, not a pixel copy.
 func (c *RawCmd) Clone() Command {
 	cp := *c
 	cp.live = c.live.Clone()
+	if c.refs != nil {
+		c.refs.n.Add(1)
+	}
 	return &cp
 }
 
@@ -532,12 +592,15 @@ func (c *RawCmd) Merge(other Command) bool {
 	}
 	switch {
 	case a.X0 == b.X0 && a.X1 == b.X1 && a.Y1 == b.Y0:
-		// Vertical stack.
+		// Vertical stack. setPix detaches from the shared backing
+		// (copy-on-write): fan-out siblings still referencing the old
+		// pixels are untouched.
 		merged := geom.Rect{X0: a.X0, Y0: a.Y0, X1: a.X1, Y1: b.Y1}
 		pix := make([]pixel.ARGB, 0, merged.Area())
 		pix = append(pix, c.Pix...)
 		pix = append(pix, o.Pix...)
-		c.Pix = pix
+		c.setPix(pix)
+		o.release()
 		c.bounds = merged
 		c.live = geom.RegionOf(merged)
 		return true
@@ -550,7 +613,8 @@ func (c *RawCmd) Merge(other Command) bool {
 			pix = append(pix, c.Pix[y*aw:(y+1)*aw]...)
 			pix = append(pix, o.Pix[y*bw:(y+1)*bw]...)
 		}
-		c.Pix = pix
+		c.setPix(pix)
+		o.release()
 		c.bounds = merged
 		c.live = geom.RegionOf(merged)
 		return true

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"thinc/internal/driver"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/telemetry"
+)
+
+// mkPix builds a deterministic pixel block for an r.Area()-sized RAW.
+func mkFanPix(r geom.Rect, seed uint8) []pixel.ARGB {
+	pix := make([]pixel.ARGB, r.Area())
+	for i := range pix {
+		pix[i] = pixel.RGB(seed, uint8(i), uint8(i>>8))
+	}
+	return pix
+}
+
+// rawEntries returns the RAW commands currently buffered for a client.
+func rawEntries(c *Client) []*RawCmd {
+	var out []*RawCmd
+	for _, e := range c.Buf.entries {
+		if rc, ok := e.cmd.(*RawCmd); ok {
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// TestFanoutSharesRawPayload is the tentpole invariant: one translated
+// RAW broadcast to N clients lands as N command objects sharing ONE
+// pixel backing — the marginal cost of a viewer is queue bookkeeping,
+// never a payload copy.
+func TestFanoutSharesRawPayload(t *testing.T) {
+	srv := NewServer(Options{})
+	srv.Init(nil, 256, 256)
+	const n = 8
+	var clients []*Client
+	for i := 0; i < n; i++ {
+		clients = append(clients, srv.AttachClient(256, 256))
+	}
+
+	r := geom.XYWH(10, 10, 64, 64)
+	srv.PutImage(driver.Screen, r, mkFanPix(r, 7), r.W())
+
+	var first *RawCmd
+	for i, c := range clients {
+		raws := rawEntries(c)
+		if len(raws) != 1 {
+			t.Fatalf("client %d: %d RAW commands buffered, want 1", i, len(raws))
+		}
+		rc := raws[0]
+		if got := rc.PayloadShares(); got != n {
+			t.Errorf("client %d: PayloadShares = %d, want %d", i, got, n)
+		}
+		if first == nil {
+			first = rc
+		} else if &rc.Pix[0] != &first.Pix[0] {
+			t.Errorf("client %d: payload backing not shared with client 0", i)
+		}
+	}
+}
+
+// TestFanoutCopyOnWriteDetach: a clone that must produce different
+// bytes (merge absorption) detaches onto a private backing; siblings
+// sharing the old backing are untouched.
+func TestFanoutCopyOnWriteDetach(t *testing.T) {
+	a := geom.XYWH(0, 0, 16, 4)
+	b := geom.XYWH(0, 4, 16, 4)
+	orig := NewRaw(a, mkFanPix(a, 1), a.W(), false, 0)
+	clone := orig.Clone().(*RawCmd)
+	if orig.PayloadShares() != 2 || clone.PayloadShares() != 2 {
+		t.Fatalf("shares after clone = %d/%d, want 2/2",
+			orig.PayloadShares(), clone.PayloadShares())
+	}
+	before := orig.Pix[0]
+
+	next := NewRaw(b, mkFanPix(b, 2), b.W(), false, 0)
+	if !clone.Merge(next) {
+		t.Fatal("vertical merge refused")
+	}
+	// The clone grew onto a fresh backing; the original's payload and
+	// refcount reverted to sole ownership.
+	if clone.Bounds() != a.Union(b) {
+		t.Fatalf("merged bounds %v", clone.Bounds())
+	}
+	if &clone.Pix[0] == &orig.Pix[0] {
+		t.Fatal("merge mutated the shared backing in place")
+	}
+	if orig.Pix[0] != before {
+		t.Fatal("original payload changed")
+	}
+	if orig.PayloadShares() != 1 {
+		t.Fatalf("original shares = %d after detach, want 1", orig.PayloadShares())
+	}
+	if clone.PayloadShares() != 1 {
+		t.Fatalf("clone shares = %d after detach, want 1", clone.PayloadShares())
+	}
+}
+
+// TestFanoutSplitLeavesSiblingsIntact: splitting one client's RAW for a
+// small flush budget only shrinks that clone's live region; the shared
+// pixel backing and every sibling's live region are untouched.
+func TestFanoutSplitLeavesSiblingsIntact(t *testing.T) {
+	r := geom.XYWH(0, 0, 32, 32)
+	orig := NewRaw(r, mkFanPix(r, 3), r.W(), false, 0)
+	clone := orig.Clone().(*RawCmd)
+
+	band := clone.SplitTop(clone.WireSize() / 4)
+	if band == nil {
+		t.Fatal("split refused")
+	}
+	if clone.Live().Rects()[0] == r {
+		t.Fatal("split did not shrink the clone's live region")
+	}
+	if orig.Live().Rects()[0] != r {
+		t.Fatal("split leaked into the sibling's live region")
+	}
+	if &clone.Pix[0] != &orig.Pix[0] {
+		t.Fatal("split detached the payload (should stay shared)")
+	}
+}
+
+// TestTranslationWorkConstantAcrossViewers pins the scaling contract:
+// the same workload translates the same number of commands whether 1 or
+// 8 clients watch; only delivery fan-out grows, and the extra
+// deliveries share payload bytes instead of copying them.
+func TestTranslationWorkConstantAcrossViewers(t *testing.T) {
+	workload := func(srv *Server) {
+		for i := 0; i < 20; i++ {
+			r := geom.XYWH((i*13)%128, (i*29)%128, 48, 48)
+			srv.PutImage(driver.Screen, r, mkFanPix(r, uint8(i)), r.W())
+			srv.FillSolid(driver.Screen, geom.XYWH(i, i, 20, 20), pixel.RGB(uint8(i), 0, 0))
+		}
+	}
+	var baseline int
+	for _, n := range []int{1, 2, 4, 8} {
+		reg := telemetry.NewRegistry()
+		srv := NewServer(Options{Metrics: NewMetrics(reg)})
+		srv.Init(nil, 256, 256)
+		for i := 0; i < n; i++ {
+			srv.AttachClient(256, 256)
+		}
+		workload(srv)
+
+		translated := srv.Stats.OnscreenCmds
+		if n == 1 {
+			baseline = translated
+		} else if translated != baseline {
+			t.Errorf("viewers=%d: %d commands translated, want %d (constant)",
+				n, translated, baseline)
+		}
+		deliveries := reg.Value("thinc_fanout_deliveries_total")
+		if deliveries != int64(n*translated) {
+			t.Errorf("viewers=%d: %d deliveries, want %d", n, deliveries, n*translated)
+		}
+		shared := reg.Value("thinc_fanout_shared_bytes_total")
+		if n > 1 && shared == 0 {
+			t.Errorf("viewers=%d: no payload bytes shared", n)
+		}
+		if n == 1 && shared != 0 {
+			t.Errorf("viewers=1: %d bytes reported shared", shared)
+		}
+	}
+}
+
+// TestFanoutAudioAndRepaintShare: the non-display fan-out paths (audio
+// chunks, overlay repaints) also share one payload across clients.
+func TestFanoutAudioAndRepaintShare(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := NewServer(Options{Metrics: NewMetrics(reg)})
+	srv.Init(nil, 64, 64)
+	c1 := srv.AttachClient(64, 64)
+	c2 := srv.AttachClient(64, 64)
+
+	srv.PushAudio(1234, make([]byte, 480))
+	var a1, a2 *AudioCmd
+	for _, e := range c1.Buf.entries {
+		if ac, ok := e.cmd.(*AudioCmd); ok {
+			a1 = ac
+		}
+	}
+	for _, e := range c2.Buf.entries {
+		if ac, ok := e.cmd.(*AudioCmd); ok {
+			a2 = ac
+		}
+	}
+	if a1 == nil || a2 == nil {
+		t.Fatal("audio chunk missing from a client buffer")
+	}
+	if &a1.Data[0] != &a2.Data[0] {
+		t.Error("audio payload copied per client, want shared")
+	}
+	if got := reg.Value("thinc_fanout_shared_bytes_total"); got < 480 {
+		t.Errorf("shared bytes = %d, want >= 480", got)
+	}
+}
+
+// BenchmarkTranslateFanout measures the translate-once/deliver-N path
+// end to end: one 64x64 RAW translated and fanned out to N full-size
+// clients. Near-zero marginal translation cost per viewer means ns/op
+// stays roughly flat from viewers=1 to viewers=8 (the per-viewer clone
+// is live-region bookkeeping; the 16 KiB pixel payload is never
+// recopied — sharedB/op reports the bytes that sharing avoided).
+func BenchmarkTranslateFanout(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("viewers=%d", n), func(b *testing.B) {
+			reg := telemetry.NewRegistry()
+			srv := NewServer(Options{Metrics: NewMetrics(reg)})
+			srv.Init(nil, 256, 256)
+			var clients []*Client
+			for i := 0; i < n; i++ {
+				clients = append(clients, srv.AttachClient(256, 256))
+			}
+			r := geom.XYWH(16, 16, 64, 64)
+			pix := mkFanPix(r, 5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.PutImage(driver.Screen, r, pix, r.W())
+				if i%64 == 63 {
+					b.StopTimer()
+					for _, c := range clients {
+						c.Buf.Clear()
+					}
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			shared := reg.Value("thinc_fanout_shared_bytes_total")
+			b.ReportMetric(float64(shared)/float64(b.N), "sharedB/op")
+		})
+	}
+}

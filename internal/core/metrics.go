@@ -23,6 +23,10 @@ type Metrics struct {
 	offscreenEvicts *telemetry.Counter
 	rawFallbacks    *telemetry.Counter
 
+	// Session fan-out (translate once, deliver N).
+	fanoutDeliveries  *telemetry.Counter
+	fanoutSharedBytes *telemetry.Counter
+
 	// Scheduler / command buffer.
 	queuedByClass [3]*telemetry.Counter
 	merged        *telemetry.Counter
@@ -59,6 +63,10 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"commands evicted inside offscreen queues"),
 		rawFallbacks: reg.Counter("thinc_translate_raw_fallbacks_total",
 			"operations degraded to raw pixel transfers"),
+		fanoutDeliveries: reg.Counter("thinc_fanout_deliveries_total",
+			"per-client deliveries produced by translate-once fan-out"),
+		fanoutSharedBytes: reg.Counter("thinc_fanout_shared_bytes_total",
+			"payload bytes shared across fan-out clones instead of copied"),
 		merged: reg.Counter("thinc_sched_commands_merged_total",
 			"commands absorbed into a buffered predecessor"),
 		evicted: reg.Counter("thinc_sched_commands_evicted_total",

@@ -1,0 +1,167 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinc/internal/client"
+	"thinc/internal/core"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/xserver"
+)
+
+// fbOracle is a brute-force framebuffer model, independent of both the
+// window system and the translation pipeline: every draw is applied
+// pixel by pixel in submission order, with no merging, no overwrite
+// optimization, no queues. Whatever the scheduler does — coalesce,
+// split, reorder across streams, evict under budget — the client must
+// land exactly here.
+type fbOracle struct {
+	w, h int
+	pix  []pixel.ARGB
+}
+
+func newFBOracle(screen []pixel.ARGB, w, h int) *fbOracle {
+	return &fbOracle{w: w, h: h, pix: append([]pixel.ARGB(nil), screen...)}
+}
+
+// fill is a Complete-overwrite draw.
+func (o *fbOracle) fill(r geom.Rect, c pixel.ARGB) {
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			o.pix[y*o.w+x] = c
+		}
+	}
+}
+
+// put is a Complete-overwrite image draw.
+func (o *fbOracle) put(r geom.Rect, src []pixel.ARGB, stride int) {
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			o.pix[y*o.w+x] = src[(y-r.Y0)*stride+(x-r.X0)]
+		}
+	}
+}
+
+// over is a Transparent draw: per-pixel source-over blend.
+func (o *fbOracle) over(r geom.Rect, src []pixel.ARGB, stride int) {
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			o.pix[y*o.w+x] = pixel.Over(src[(y-r.Y0)*stride+(x-r.X0)], o.pix[y*o.w+x])
+		}
+	}
+}
+
+// copyArea is a Partial-overwrite draw: it reads the current state.
+// Snapshot semantics make overlapping src/dst well defined.
+func (o *fbOracle) copyArea(sr geom.Rect, dp geom.Point) {
+	snap := make([]pixel.ARGB, sr.Area())
+	for y := 0; y < sr.H(); y++ {
+		for x := 0; x < sr.W(); x++ {
+			snap[y*sr.W()+x] = o.pix[(sr.Y0+y)*o.w+sr.X0+x]
+		}
+	}
+	for y := 0; y < sr.H(); y++ {
+		for x := 0; x < sr.W(); x++ {
+			o.pix[(dp.Y+y)*o.w+dp.X+x] = snap[y*sr.W()+x]
+		}
+	}
+}
+
+// firstDiff compares a client framebuffer against the oracle.
+func (o *fbOracle) firstDiff(got []pixel.ARGB) int {
+	for i := range o.pix {
+		if got[i] != o.pix[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestOverwriteSemanticsOracle is the overwrite-class property test:
+// random interleavings of Complete (fills, opaque images), Transparent
+// (alpha-composited images) and Partial (copies reading prior state)
+// draws flow through the full translation pipeline — queued, merged,
+// split under random flush budgets — and the delivered result must be
+// byte-identical to the brute-force oracle. A late joiner attaches
+// mid-run and must converge to the same bytes as the early client
+// (the seed is logged; replay any failure with it).
+func TestOverwriteSemanticsOracle(t *testing.T) {
+	const w, h = 96, 64
+	for seed := int64(0); seed < 30; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		t.Logf("overwrite oracle seed=%d", seed)
+		hr := newHarness(t, w, h, core.Options{})
+		win := hr.dpy.CreateWindow(geom.XYWH(0, 0, w, h))
+		o := newFBOracle(hr.dpy.Screen().Pix(), w, h)
+
+		var late *core.Client
+		var lateDst *client.Client
+		for op := 0; op < 120; op++ {
+			x, y := rnd.Intn(w-16), rnd.Intn(h-12)
+			r := geom.XYWH(x, y, 1+rnd.Intn(16), 1+rnd.Intn(12))
+			switch rnd.Intn(4) {
+			case 0: // Complete: solid fill.
+				c := pixel.RGB(uint8(rnd.Intn(256)), uint8(rnd.Intn(256)), uint8(rnd.Intn(256)))
+				hr.dpy.FillRect(win, &xserver.GC{Fg: c}, r)
+				o.fill(r, c)
+			case 1: // Complete: opaque image.
+				pix := mkImagePix(r, uint8(op))
+				hr.dpy.PutImage(win, r, pix, r.W())
+				o.put(r, pix, r.W())
+			case 2: // Transparent: alpha-composited image.
+				pix := make([]pixel.ARGB, r.Area())
+				for i := range pix {
+					pix[i] = pixel.PackARGB(uint8(rnd.Intn(256)),
+						uint8(rnd.Intn(256)), uint8(rnd.Intn(256)), uint8(rnd.Intn(256)))
+				}
+				hr.dpy.Composite(win, r, pix, r.W())
+				o.over(r, pix, r.W())
+			default: // Partial: copy reads whatever is there now.
+				dp := geom.Point{X: rnd.Intn(w - r.W()), Y: rnd.Intn(h - r.H())}
+				hr.dpy.CopyArea(win, win, r, dp)
+				o.copyArea(r, dp)
+			}
+			if rnd.Intn(7) == 0 {
+				// Partial flush under a small random budget: forces the
+				// scheduler to split, order and coalesce mid-workload.
+				budget := 128 + rnd.Intn(4096)
+				if err := hr.dst.ApplyAll(hr.cl.Flush(budget)); err != nil {
+					t.Fatalf("seed %d: apply: %v", seed, err)
+				}
+				if late != nil {
+					if err := lateDst.ApplyAll(late.Flush(budget)); err != nil {
+						t.Fatalf("seed %d: late apply: %v", seed, err)
+					}
+				}
+			}
+			if op == 60 {
+				// The late joiner: its full-screen sync must equal the
+				// oracle's current state immediately.
+				late = hr.srv.AttachClient(w, h)
+				lateDst = client.New(w, h)
+				if err := lateDst.ApplyAll(late.FlushAll()); err != nil {
+					t.Fatalf("seed %d: late join: %v", seed, err)
+				}
+				if at := o.firstDiff(lateDst.FB().Pix()); at != -1 {
+					t.Fatalf("seed %d: late joiner sync differs from oracle at pixel %d", seed, at)
+				}
+			}
+		}
+
+		hr.sync(t)
+		if err := lateDst.ApplyAll(late.FlushAll()); err != nil {
+			t.Fatalf("seed %d: late drain: %v", seed, err)
+		}
+		if at := o.firstDiff(hr.dst.FB().Pix()); at != -1 {
+			t.Fatalf("seed %d: early client differs from oracle at pixel %d", seed, at)
+		}
+		if at := o.firstDiff(lateDst.FB().Pix()); at != -1 {
+			t.Fatalf("seed %d: late joiner differs from oracle at pixel %d", seed, at)
+		}
+		if !hr.dst.FB().Equal(lateDst.FB()) {
+			t.Fatalf("seed %d: early and late clients diverged from each other", seed)
+		}
+	}
+}

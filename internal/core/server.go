@@ -262,6 +262,24 @@ func (c *Client) add(cmd Command) {
 func (s *Server) broadcast(cmd Command) {
 	s.Stats.OnscreenCmds++
 	s.met.onscreenCmds.Inc()
+	s.fanout(cmd)
+}
+
+// fanout delivers one translated command into every attached client's
+// buffer — the translate-once/deliver-N path. Each client gets its own
+// clone (per-client live regions, degradation rewrites, and scaling
+// never alias), but clone payloads share the original's immutable
+// refcounted backing, so the marginal cost of an added viewer is queue
+// bookkeeping, not a payload copy.
+func (s *Server) fanout(cmd Command) {
+	n := len(s.clients)
+	if n == 0 {
+		return
+	}
+	s.met.fanoutDeliveries.Add(int64(n))
+	if n > 1 {
+		s.met.fanoutSharedBytes.Add(int64(n-1) * int64(sharedPayloadBytes(cmd)))
+	}
 	first := true
 	for c := range s.clients {
 		if first {
@@ -271,6 +289,25 @@ func (s *Server) broadcast(cmd Command) {
 			c.add(cmd.Clone())
 		}
 	}
+}
+
+// sharedPayloadBytes returns the payload bytes a clone of cmd shares
+// with the original instead of copying — the fan-out amplification
+// numerator.
+func sharedPayloadBytes(cmd Command) int {
+	switch c := cmd.(type) {
+	case *RawCmd:
+		return len(c.Pix) * 4
+	case *TileCmd:
+		return len(c.Tile.Pix) * 4
+	case *BitmapCmd:
+		return len(c.Bits.Bits)
+	case *AudioCmd:
+		return len(c.Data)
+	case *FrameCmd:
+		return c.Frame.Size()
+	}
+	return 0
 }
 
 // offscreenQueue returns the command queue tracking pixmap d, or nil if
@@ -583,6 +620,9 @@ func (s *Server) VideoFrame(stream uint32, frame *pixel.YV12Image, ptsUS uint64)
 	}
 	st.FramesIn++
 	s.frameSeq++
+	// One copy of the frame serves every unscaled client: the window
+	// system owns the original, but the copy is immutable and shared.
+	var shared *pixel.YV12Image
 	for c := range s.clients {
 		if c.degrade >= overload.RungDropVideo {
 			// Drop-at-server taken to its limit (§4.2): the overloaded
@@ -592,12 +632,15 @@ func (s *Server) VideoFrame(stream uint32, frame *pixel.YV12Image, ptsUS uint64)
 			s.met.frameDrops.Inc()
 			continue
 		}
-		f := frame
+		var f *pixel.YV12Image
 		if c.Scaled() {
 			f = c.scaleFrame(st, frame)
+		} else if shared == nil {
+			shared = copyFrame(frame)
+			f = shared
 		} else {
-			// Copy: the window system owns the frame buffers.
-			f = copyFrame(frame)
+			f = shared
+			s.met.fanoutSharedBytes.Add(int64(shared.Size()))
 		}
 		cmd := NewFrame(stream, s.frameSeq, ptsUS, f, st.Dst)
 		if c.Buf.AddFrame(cmd) {
@@ -641,6 +684,8 @@ func (s *Server) VideoStop(stream uint32) {
 
 // repaintRegion pushes the true framebuffer content under r to every
 // client — the repair after a software overlay vacates screen area.
+// The pixels are read and wrapped once; the fan-out shares the backing
+// across clients.
 func (s *Server) repaintRegion(r geom.Rect) {
 	if s.mem == nil {
 		return
@@ -650,19 +695,21 @@ func (s *Server) repaintRegion(r geom.Rect) {
 		return
 	}
 	pix := s.mem.ReadPixels(driver.Screen, vis)
-	for c := range s.clients {
-		c.add(NewRaw(vis, pix, vis.W(), false, s.opts.RawCodec))
-	}
+	s.fanout(NewRaw(vis, pix, vis.W(), false, s.opts.RawCodec))
 }
 
 // Stream returns the state of an active stream (nil if unknown).
 func (s *Server) Stream(id uint32) *Stream { return s.streams[id] }
 
-// PushAudio injects timestamped PCM audio from the virtual audio driver.
+// PushAudio injects timestamped PCM audio from the virtual audio
+// driver. The chunk is copied once (the audio driver owns the
+// original) and the immutable copy is shared across every client's
+// AudioCmd clone.
 func (s *Server) PushAudio(ptsUS uint64, data []byte) {
-	for c := range s.clients {
-		c.add(NewAudio(ptsUS, append([]byte(nil), data...)))
+	if len(s.clients) == 0 {
+		return
 	}
+	s.fanout(NewAudio(ptsUS, append([]byte(nil), data...)))
 }
 
 // NotifyInput implements driver.Driver: updates near p become
@@ -685,6 +732,9 @@ func (s *Server) SetCursor(img []pixel.ARGB, w, h int, hot geom.Point) {
 }
 
 // sendCursorTo ships the current cursor image, scaled for the client.
+// Unscaled clients share the server's cursor slice directly: SetCursor
+// replaces it wholesale and nothing writes it in place, so the fan-out
+// needs no per-client copy.
 func (s *Server) sendCursorTo(c *Client) {
 	pix, cw, ch, chot := s.cursorImg, s.cursorW, s.cursorH, s.cursorHot
 	if c.Scaled() {
@@ -692,8 +742,6 @@ func (s *Server) sendCursorTo(c *Client) {
 		ch = max(1, s.cursorH*c.view.H()/s.h)
 		pix = resample.Fant(s.cursorImg, s.cursorW, s.cursorW, s.cursorH, cw, ch)
 		chot = geom.Point{X: chot.X * cw / max(1, s.cursorW), Y: chot.Y * ch / max(1, s.cursorH)}
-	} else {
-		pix = append([]pixel.ARGB(nil), pix...)
 	}
 	cmd := newCtlCmd(&wire.CursorSet{HotX: chot.X, HotY: chot.Y, W: cw, H: ch, Pix: pix}, geom.Rect{})
 	cmd.rt = true

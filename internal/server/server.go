@@ -73,6 +73,10 @@ type Options struct {
 	// DisableOverload turns the degradation ladder off. The slow-client
 	// resync cliff (MaxBacklogBytes) still applies.
 	DisableOverload bool
+	// MaxViewers bounds concurrently attached viewer-role connections
+	// (the broadcast fan-out); the owner connection is not counted.
+	// Zero means 16; negative disables the bound.
+	MaxViewers int
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +101,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBacklogBytes == 0 {
 		o.MaxBacklogBytes = 32 << 20
 	}
+	if o.MaxViewers == 0 {
+		o.MaxViewers = 16
+	}
 	return o
 }
 
@@ -116,16 +123,23 @@ type ResilienceStats struct {
 	SkippedUnknown  int // unknown-but-well-framed client messages skipped
 	BadHandshakes   int // handshakes rejected (geometry, protocol)
 
+	ViewerAttaches     int // attaches with the viewer role (fresh or resumed)
+	ViewersRejected    int // viewer attaches refused by MaxViewers
+	ViewerInputDropped int // input events from viewers discarded
+
 	OverloadUps        int // degradation ladder escalations
 	OverloadDowns      int // degradation ladder recoveries
 	OverloadResyncs    int // resyncs forced by the ladder's last rung
 	WatchdogRecoveries int // panics converted into clean session teardown
 }
 
-// session ties a ticket to the core client state it can resume.
+// session ties a ticket to the core client state it can resume. The
+// granted role rides along so a reconnecting viewer resumes as a
+// viewer regardless of what its Reattach asks for.
 type session struct {
 	ticket   string
 	user     string
+	role     uint8
 	cl       *core.Client
 	detached bool
 	expiry   *time.Timer
@@ -199,6 +213,24 @@ func (h *Host) NumClients() int {
 	return h.core.NumClients()
 }
 
+// NumViewers returns the number of live viewer-role connections.
+func (h *Host) NumViewers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.viewersLocked()
+}
+
+// viewersLocked counts live viewer connections; callers hold h.mu.
+func (h *Host) viewersLocked() int {
+	n := 0
+	for sc := range h.conns {
+		if sc.role == wire.RoleViewer {
+			n++
+		}
+	}
+	return n
+}
+
 // NumDetached returns the number of disconnected sessions retained for
 // reattach.
 func (h *Host) NumDetached() int {
@@ -224,13 +256,39 @@ func (h *Host) ForceRung(rung int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for sc := range h.conns {
-		old := sc.cl.Degrade()
-		sc.cl.SetDegrade(rung)
-		if old >= overload.RungDownscale && rung < overload.RungDownscale {
-			h.core.RefreshClient(sc.cl)
-		}
-		sc.forceRung(sc.cl.Degrade())
+		h.forceRungLocked(sc, rung)
 	}
+}
+
+// ForceRungUser pins the degradation rung of every live connection
+// authenticated as user, and reports how many connections matched.
+// Viewers authenticate with the session password under their own
+// usernames, so this is the per-viewer admin override — the broadcast
+// counterpart of ForceRung, robust across that viewer's reconnects.
+func (h *Host) ForceRungUser(user string, rung int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for sc := range h.conns {
+		if sc.user != user {
+			continue
+		}
+		h.forceRungLocked(sc, rung)
+		n++
+	}
+	return n
+}
+
+// forceRungLocked applies one connection's pinned rung; callers hold
+// h.mu. Leaving the lossy rungs queues the repair refresh exactly as
+// the controller would.
+func (h *Host) forceRungLocked(sc *serverConn, rung int) {
+	old := sc.cl.Degrade()
+	sc.cl.SetDegrade(rung)
+	if old >= overload.RungDownscale && rung < overload.RungDownscale {
+		h.core.RefreshClient(sc.cl)
+	}
+	sc.forceRung(sc.cl.Degrade())
 }
 
 // Resilience returns a snapshot of the session-lifecycle counters.
@@ -316,12 +374,15 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		return err
 	}
 	var viewW, viewH int
+	var role uint8
 	var reattach *wire.Reattach
 	switch v := m.(type) {
 	case *wire.ClientInit:
 		viewW, viewH = v.ViewW, v.ViewH
+		role = v.Role
 	case *wire.Reattach:
 		viewW, viewH = v.ViewW, v.ViewH
+		role = v.Role
 		reattach = v
 	default:
 		return fmt.Errorf("server: expected client init or reattach, got %v", m.Type())
@@ -333,6 +394,13 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		h.met.badHandshakes.Inc()
 		log.Printf("server: rejecting absurd viewport %dx%d from %q", viewW, viewH, resp.User)
 		return fmt.Errorf("server: rejecting absurd viewport %dx%d", viewW, viewH)
+	}
+	if role > wire.RoleViewer {
+		h.mu.Lock()
+		h.stats.BadHandshakes++
+		h.mu.Unlock()
+		h.met.badHandshakes.Inc()
+		return fmt.Errorf("server: unknown session role %d from %q", role, resp.User)
 	}
 	_ = nc.SetDeadline(time.Time{})
 
@@ -349,25 +417,39 @@ func (h *Host) ServeConn(nc net.Conn) error {
 			}
 			delete(h.sessions, s.ticket)
 			cl = s.cl
+			role = s.role // the granted role survives reconnects
 			h.core.ReattachClient(cl, viewW, viewH)
 			h.stats.Reattaches++
 			h.met.reattaches.Inc()
 			if tr := h.met.tr; tr.Enabled() {
-				tr.Event("session.reattach", fmt.Sprintf("user=%s view=%dx%d",
-					resp.User, viewW, viewH))
+				tr.Event("session.reattach", fmt.Sprintf("user=%s role=%s view=%dx%d",
+					resp.User, wire.RoleName(role), viewW, viewH))
 			}
 		} else {
 			log.Printf("server: reattach from %q with unknown or expired ticket; attaching fresh", resp.User)
 		}
 	}
 	if cl == nil {
+		if role == wire.RoleViewer {
+			if max := h.opts.MaxViewers; max >= 0 && h.viewersLocked() >= max {
+				h.stats.ViewersRejected++
+				h.mu.Unlock()
+				h.met.viewersRejected.Inc()
+				return fmt.Errorf("server: viewer limit (%d) reached, rejecting %q",
+					h.opts.MaxViewers, resp.User)
+			}
+		}
 		cl = h.core.AttachClient(viewW, viewH)
 		h.stats.Attaches++
 		h.met.attaches.Inc()
 		if tr := h.met.tr; tr.Enabled() {
-			tr.Event("session.attach", fmt.Sprintf("user=%s view=%dx%d",
-				resp.User, viewW, viewH))
+			tr.Event("session.attach", fmt.Sprintf("user=%s role=%s view=%dx%d",
+				resp.User, wire.RoleName(role), viewW, viewH))
 		}
+	}
+	if role == wire.RoleViewer {
+		h.stats.ViewerAttaches++
+		h.met.viewerAttaches.Inc()
 	}
 	ticket, terr := newTicket()
 	if terr != nil {
@@ -375,7 +457,7 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		h.mu.Unlock()
 		return terr
 	}
-	sess := &session{ticket: ticket, user: resp.User, cl: cl}
+	sess := &session{ticket: ticket, user: resp.User, role: role, cl: cl}
 	h.sessions[ticket] = sess
 	h.mu.Unlock()
 
@@ -383,12 +465,12 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		h.endSession(sess, false)
 		return err
 	}
-	if err := wire.WriteMessage(enc, &wire.SessionTicket{Ticket: []byte(ticket)}); err != nil {
+	if err := wire.WriteMessage(enc, &wire.SessionTicket{Ticket: []byte(ticket), Role: role}); err != nil {
 		h.endSession(sess, false)
 		return err
 	}
 
-	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User,
+	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User, role: role,
 		pongs: make(chan *wire.Pong, 8), noticeRung: -1}
 	if !h.opts.DisableOverload {
 		sc.ctrl = overload.NewController(&sc.est, h.opts.Overload)
@@ -462,6 +544,7 @@ type serverConn struct {
 	enc   *cipher.StreamConn
 	cl    *core.Client
 	user  string
+	role  uint8 // wire.RoleOwner or wire.RoleViewer
 	pongs chan *wire.Pong
 
 	// Overload protection. The estimator is fed from two goroutines —
@@ -558,6 +641,14 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 		}
 		switch v := m.(type) {
 		case *wire.Input:
+			if c.role == wire.RoleViewer {
+				// Viewers watch; their input never reaches the display.
+				c.host.mu.Lock()
+				c.host.stats.ViewerInputDropped++
+				c.host.mu.Unlock()
+				c.host.met.viewerInputDropped.Inc()
+				continue
+			}
 			func() {
 				c.host.mu.Lock()
 				defer c.host.mu.Unlock()

@@ -33,6 +33,9 @@ type hostMetrics struct {
 	overloadUps, overloadDowns *telemetry.Counter
 	overloadResyncs            *telemetry.Counter
 	watchdogRecoveries         *telemetry.Counter
+
+	viewerAttaches, viewersRejected *telemetry.Counter
+	viewerInputDropped              *telemetry.Counter
 }
 
 // wireTypeLabels names the per-type series: the five display commands
@@ -85,6 +88,12 @@ func newHostMetrics(h *Host) *hostMetrics {
 			"resyncs forced by the degradation ladder's last rung"),
 		watchdogRecoveries: reg.Counter("thinc_watchdog_recoveries_total",
 			"connection-goroutine panics converted to clean teardown"),
+		viewerAttaches: reg.Counter("thinc_session_viewer_attaches_total",
+			"attaches with the viewer role (fresh or resumed)"),
+		viewersRejected: reg.Counter("thinc_session_viewers_rejected_total",
+			"viewer attaches refused by the MaxViewers bound"),
+		viewerInputDropped: reg.Counter("thinc_session_viewer_input_dropped_total",
+			"input events from viewer-role connections discarded"),
 	}
 
 	// Per-type wire counters, pre-registered so /metrics always lists
@@ -139,6 +148,23 @@ func newHostMetrics(h *Host) *hostMetrics {
 	// only when /metrics is hit — the command path never touches these.
 	reg.GaugeFunc("thinc_clients", "attached display clients",
 		func() int64 { return int64(h.NumClients()) })
+	reg.GaugeFunc("thinc_session_viewers", "live viewer-role connections",
+		func() int64 { return int64(h.NumViewers()) })
+	// Fan-out amplification: per-client deliveries per translated
+	// command, in thousandths (a session with one owner and three
+	// viewers reads 4000). Computed from the core fan-out counters at
+	// scrape time.
+	reg.GaugeFunc("thinc_fanout_amplification_milli",
+		"fan-out deliveries per translated screen command, x1000",
+		func() int64 {
+			deliveries := reg.Value("thinc_fanout_deliveries_total")
+			translated := reg.Value("thinc_translate_commands_total",
+				telemetry.L("dest", "screen"))
+			if translated == 0 {
+				return 0
+			}
+			return deliveries * 1000 / translated
+		})
 	reg.GaugeFunc("thinc_detached_sessions", "sessions retained for reattach",
 		func() int64 { return int64(h.NumDetached()) })
 	for q := 0; q <= core.NumQueues; q++ {

@@ -37,25 +37,47 @@ func decodeServerInit(d *decoder) (*ServerInit, error) {
 	return m, d.check()
 }
 
+// Session roles carried in the attach handshake. An owner drives the
+// session (input is injected into the display); a viewer receives the
+// same broadcast update stream but its input is discarded — the
+// one-to-many screen-share attach.
+const (
+	RoleOwner  uint8 = 0
+	RoleViewer uint8 = 1
+)
+
+// RoleName returns a human-readable role label.
+func RoleName(role uint8) string {
+	if role == RoleViewer {
+		return "viewer"
+	}
+	return "owner"
+}
+
 // ClientInit is the client's hello: its viewport size (which may be
-// smaller than the session framebuffer — the PDA case) and a display
-// name for logging.
+// smaller than the session framebuffer — the PDA case), a display
+// name for logging, and the requested session role. The role byte is
+// a backward-compatible trailing extension of the v3 encoding: peers
+// that omit it decode as RoleOwner.
 type ClientInit struct {
 	ViewW, ViewH int
 	Name         string
+	Role         uint8
 }
 
 // Type implements Message.
 func (m *ClientInit) Type() Type { return TClientInit }
 
-// PayloadSize implements Message: viewport 4 + name len 2 + name.
-func (m *ClientInit) PayloadSize() int { return 6 + len(m.Name) }
+// PayloadSize implements Message: viewport 4 + name len 2 + name +
+// role 1.
+func (m *ClientInit) PayloadSize() int { return 7 + len(m.Name) }
 
 func (m *ClientInit) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewW))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewH))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Name)))
-	return append(dst, m.Name...)
+	dst = append(dst, m.Name...)
+	return append(dst, m.Role)
 }
 
 func decodeClientInit(d *decoder) (*ClientInit, error) {
@@ -64,6 +86,9 @@ func decodeClientInit(d *decoder) (*ClientInit, error) {
 	m.ViewH = int(d.u16())
 	n := int(d.u16())
 	m.Name = string(d.bytes(n))
+	if d.remaining() > 0 {
+		m.Role = d.u8()
+	}
 	return m, d.check()
 }
 

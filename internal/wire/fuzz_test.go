@@ -68,10 +68,25 @@ func controlMessages() []Message {
 	return ctl
 }
 
+// optionalTrailing reports how many trailing payload bytes of m form a
+// documented backward-compatible extension: a shorter prefix that omits
+// them is itself a valid legacy v3 encoding, so the truncation sweep
+// must accept it decoding cleanly. Currently this is the Role byte on
+// the attach-handshake messages.
+func optionalTrailing(m Message) int {
+	switch m.(type) {
+	case *ClientInit, *SessionTicket, *Reattach:
+		return 1
+	}
+	return 0
+}
+
 // TestControlMessageTruncationSweep cuts every control message at every
 // byte boundary: no truncation may panic the decoder, and every
 // truncation must be reported as an error, never silently accepted as a
-// different valid message of the same type.
+// different valid message of the same type. The only exemption is the
+// documented trailing-extension region (optionalTrailing), whose
+// omission is the legacy encoding, not an ambiguity.
 func TestControlMessageTruncationSweep(t *testing.T) {
 	for _, m := range controlMessages() {
 		buf, err := Marshal(m)
@@ -79,8 +94,17 @@ func TestControlMessageTruncationSweep(t *testing.T) {
 			t.Fatalf("%v: marshal: %v", m.Type(), err)
 		}
 		payload := buf[HeaderSize:]
+		legacy := len(payload) - optionalTrailing(m)
 		for cut := 0; cut < len(payload); cut++ {
-			if _, err := Unmarshal(m.Type(), payload[:cut]); err == nil {
+			_, err := Unmarshal(m.Type(), payload[:cut])
+			if cut == legacy {
+				if err != nil {
+					t.Errorf("%v: legacy prefix (%d/%d bytes) must still decode, got %v",
+						m.Type(), cut, len(payload), err)
+				}
+				continue
+			}
+			if err == nil {
 				// A shorter prefix that still decodes means the format is
 				// ambiguous under truncation.
 				t.Errorf("%v: payload truncated to %d/%d bytes decoded without error",

@@ -71,20 +71,25 @@ func decodePong(d *decoder) (*Pong, error) {
 // SessionTicket is pushed by the server right after ServerInit: an
 // opaque credential the client stores and presents in a Reattach to
 // resume this session after a transport failure. Each (re)attach
-// issues a fresh ticket; presenting one invalidates it.
+// issues a fresh ticket; presenting one invalidates it. Role echoes
+// the role the server granted (a trailing v3 extension: older peers
+// omit it and decode as RoleOwner), so a reconnecting viewer resumes
+// as a viewer.
 type SessionTicket struct {
 	Ticket []byte
+	Role   uint8
 }
 
 // Type implements Message.
 func (m *SessionTicket) Type() Type { return TSessionTicket }
 
-// PayloadSize implements Message: ticket len 2 + ticket.
-func (m *SessionTicket) PayloadSize() int { return 2 + len(m.Ticket) }
+// PayloadSize implements Message: ticket len 2 + ticket + role 1.
+func (m *SessionTicket) PayloadSize() int { return 3 + len(m.Ticket) }
 
 func (m *SessionTicket) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))
-	return append(dst, m.Ticket...)
+	dst = append(dst, m.Ticket...)
+	return append(dst, m.Role)
 }
 
 func decodeSessionTicket(d *decoder) (*SessionTicket, error) {
@@ -95,6 +100,9 @@ func decodeSessionTicket(d *decoder) (*SessionTicket, error) {
 		return m, d.check()
 	}
 	m.Ticket = d.bytes(n)
+	if d.remaining() > 0 {
+		m.Role = d.u8()
+	}
 	return m, d.check()
 }
 
@@ -103,19 +111,21 @@ func decodeSessionTicket(d *decoder) (*SessionTicket, error) {
 // viewport rides along because it may have changed while disconnected.
 // A server that cannot honor the ticket (expired, unknown, or still
 // attached) falls back to a fresh attach — either way the client
-// converges via the full-screen RAW resync.
+// converges via the full-screen RAW resync. Role is the requested
+// session role (a trailing v3 extension; absent decodes as RoleOwner).
 type Reattach struct {
 	Ticket       []byte
 	ViewW, ViewH int
 	Name         string
+	Role         uint8
 }
 
 // Type implements Message.
 func (m *Reattach) Type() Type { return TReattach }
 
 // PayloadSize implements Message: ticket len 2 + ticket + viewport 4 +
-// name len 2 + name.
-func (m *Reattach) PayloadSize() int { return 8 + len(m.Ticket) + len(m.Name) }
+// name len 2 + name + role 1.
+func (m *Reattach) PayloadSize() int { return 9 + len(m.Ticket) + len(m.Name) }
 
 func (m *Reattach) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))
@@ -123,7 +133,8 @@ func (m *Reattach) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewW))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewH))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Name)))
-	return append(dst, m.Name...)
+	dst = append(dst, m.Name...)
+	return append(dst, m.Role)
 }
 
 func decodeReattach(d *decoder) (*Reattach, error) {
@@ -138,5 +149,8 @@ func decodeReattach(d *decoder) (*Reattach, error) {
 	m.ViewH = int(d.u16())
 	n = int(d.u16())
 	m.Name = string(d.bytes(n))
+	if d.remaining() > 0 {
+		m.Role = d.u8()
+	}
 	return m, d.check()
 }
