@@ -26,18 +26,21 @@ cover:
 	$(GO) test -short ./... -coverprofile=coverage.out -covermode=atomic
 	$(GO) run ./cmd/covercheck -profile coverage.out -floors coverage_floors.txt
 
-# Chaos soak: 100 randomized fault schedules against a live
-# server/client pair under the race detector, each ending in the
-# framebuffer-convergence oracle (see docs/ROBUSTNESS.md). Every
-# schedule logs its seed, so a failure replays exactly; override with
-# THINC_CHAOS_SEED. Bounded wall-clock via the test timeout.
+# Chaos soak: randomized fault schedules PLUS randomized
+# silent-corruption schedules against a live server/client pair under
+# the race detector, each ending in the framebuffer-convergence oracle
+# (see docs/ROBUSTNESS.md). -run 'TestChaos' picks up both families
+# (TestChaosSoak and TestChaosCorruptionSoak). Every schedule logs its
+# seed, so a failure replays exactly; override with THINC_CHAOS_SEED.
+# Bounded wall-clock via the test timeout.
 soak:
 	THINC_CHAOS_SOAK=100 $(GO) test ./internal/chaos/ -race -count=1 -timeout 15m -run 'TestChaos'
 
 # Quick benchmark run that dumps THINC's per-command-type byte counts,
-# core telemetry series, and encode pool counters to BENCH_pr3.json.
+# core telemetry series, encode pool counters, and integrity-audit
+# counters to BENCH_pr6.json.
 bench-snapshot:
-	$(GO) run ./cmd/thinc-bench -quick -fig 2 -telemetry-out BENCH_pr3.json
+	$(GO) run ./cmd/thinc-bench -quick -fig 2 -telemetry-out BENCH_pr6.json
 
 # Encode fast-path smoke: the zero-allocation assertions plus one
 # iteration of every wire benchmark, cheap enough for CI. The *ZeroAlloc
@@ -48,3 +51,5 @@ bench-smoke:
 	$(GO) test ./internal/wire/ -run 'ZeroAlloc|TestPayloadSizeMatchesAppend|TestBatch' -count=1
 	$(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime=1x -count=1
 	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkTranslateFanout -benchtime=100x -count=1
+	$(GO) test ./internal/fb/ -run 'TestDigestHotPathZeroAlloc' -count=1
+	$(GO) test ./internal/fb/ -run '^$$' -bench BenchmarkTileDigest -benchtime=100x -count=1

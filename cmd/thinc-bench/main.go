@@ -15,11 +15,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
+	"thinc/internal/auth"
 	"thinc/internal/baseline"
 	"thinc/internal/bench"
+	"thinc/internal/client"
+	"thinc/internal/core"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/server"
+	"thinc/internal/xserver"
 )
 
 func main() {
@@ -91,6 +100,11 @@ func writeTelemetry(path string, pages int, seconds float64) error {
 	report.Runs = append(report.Runs, bench.TelemetryRun{
 		System: av.System, Config: av.Config, Workload: "av", Snapshot: av.Telemetry,
 	})
+	if audit, err := auditTelemetryRun(); err == nil {
+		report.Runs = append(report.Runs, audit)
+	} else {
+		fmt.Fprintf(os.Stderr, "audit telemetry run: %v\n", err)
+	}
 	report.EncodePools = bench.SnapshotEncodePools()
 	f, err := os.Create(path)
 	if err != nil {
@@ -98,4 +112,66 @@ func writeTelemetry(path string, pages int, seconds float64) error {
 	}
 	defer f.Close()
 	return report.Write(f)
+}
+
+// auditTelemetryRun exercises the wire-v4 integrity audit against a
+// live loopback session — draw, silently corrupt two client tiles,
+// wait for the self-healing repair — and snapshots the host registry,
+// so the thinc_audit_* counter family lands in the benchmark JSON with
+// real traffic behind it.
+func auditTelemetryRun() (bench.TelemetryRun, error) {
+	run := bench.TelemetryRun{System: "thinc", Config: "loopback", Workload: "audit"}
+	accounts := auth.NewAccounts()
+	accounts.Add("bench", "pw")
+	host := server.NewHost(96, 64, auth.NewAuthenticator("bench", accounts), server.Options{
+		Core:          core.Options{AuditTileSize: 16},
+		FlushInterval: time.Millisecond,
+		AuditInterval: 5 * time.Millisecond,
+		AuditTimeout:  500 * time.Millisecond,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return run, err
+	}
+	defer l.Close()
+	go host.Serve(l)
+	conn, err := client.Dial(l.Addr().String(), "bench", "pw", 96, 64)
+	if err != nil {
+		return run, err
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	host.Do(func(d *xserver.Display) {
+		win := d.CreateWindow(geom.XYWH(0, 0, 96, 64))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(30, 60, 90)}, geom.XYWH(0, 0, 96, 64))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(200, 50, 10)}, geom.XYWH(8, 8, 40, 30))
+		d.DrawText(win, &xserver.GC{Fg: pixel.RGB(255, 255, 255)}, 10, 40, "audit")
+	})
+	want := host.ScreenChecksum()
+	converge := func() error {
+		deadline := time.Now().Add(10 * time.Second)
+		for conn.Snapshot().Checksum() != want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("audit run did not converge")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := converge(); err != nil {
+		return run, err
+	}
+	conn.WithFB(func(f *fb.Framebuffer) {
+		g := fb.Grid(f.W(), f.H(), 16)
+		for _, i := range []int{2, 20} {
+			r := g.Rect(i)
+			f.Set(r.X0, r.Y0, f.At(r.X0, r.Y0)^0x00000100)
+		}
+	})
+	if err := converge(); err != nil {
+		return run, err
+	}
+	run.Snapshot = &bench.TelemetrySnapshot{Series: host.Telemetry().Snapshot()}
+	return run, nil
 }

@@ -30,6 +30,7 @@ func main() {
 	click := flag.Bool("click", false, "send a test mouse click after connecting")
 	reconnect := flag.Bool("reconnect", false, "auto-reconnect with backoff and resume the session by ticket")
 	viewer := flag.Bool("viewer", false, "attach read-only to the session broadcast (input is discarded)")
+	noAudit := flag.Bool("no-audit", false, "ignore integrity-audit probes (emulates a pre-v4 peer)")
 	flag.Parse()
 
 	role := wire.RoleOwner
@@ -42,6 +43,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer conn.Close()
+	if *noAudit {
+		conn.SetAuditDisabled(true)
+	}
 	log.Printf("connected: session %dx%d, viewport %dx%d",
 		conn.ServerW, conn.ServerH, conn.Snapshot().W(), conn.Snapshot().H())
 
@@ -91,5 +95,9 @@ func main() {
 	}
 	if st.AudioChunks > 0 {
 		fmt.Printf("audio chunks: %d\n", st.AudioChunks)
+	}
+	if st.AuditProbes > 0 {
+		fmt.Printf("integrity audit: %d probes, %d replies\n",
+			st.AuditProbes, st.AuditReplies)
 	}
 }

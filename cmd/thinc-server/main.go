@@ -45,6 +45,9 @@ func main() {
 	detachGrace := flag.Duration("detach-grace", 30*time.Second, "how long a dropped session may reattach with its ticket (negative disables)")
 	maxBacklog := flag.Int("max-backlog", 32<<20, "per-client command backlog bound in bytes before a forced resync (negative disables)")
 	maxViewers := flag.Int("max-viewers", 0, "cap on simultaneous viewer-role connections (0 = default 16, negative = unlimited)")
+	auditInterval := flag.Duration("audit-interval", 2*time.Second, "integrity-audit probe cadence per client")
+	auditSample := flag.Int("audit-sample", 0, "tiles digested per audit probe (0 = default 16)")
+	noAudit := flag.Bool("no-audit", false, "disable the wire-v4 integrity audit entirely")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. :6060; empty disables)")
 	statsInterval := flag.Duration("stats-interval", 0, "print a one-line telemetry summary at this interval (0 disables)")
 	flag.Parse()
@@ -65,6 +68,9 @@ func main() {
 		DetachGrace:       *detachGrace,
 		MaxBacklogBytes:   *maxBacklog,
 		MaxViewers:        *maxViewers,
+		AuditInterval:     *auditInterval,
+		AuditSampleTiles:  *auditSample,
+		DisableAudit:      *noAudit,
 	})
 	app.host = host
 

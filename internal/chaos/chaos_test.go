@@ -95,6 +95,131 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// checkCorruption applies the silent-corruption oracle to one result:
+// the run must converge byte-identical, every injected divergence must
+// be detected and healed through the audit, and — when few tiles
+// diverge — healed by targeted repair alone, with no resync of any
+// kind and no reconnect. The broad-damage schedules must instead climb
+// the escalation ladder to a forced resync.
+func checkCorruption(t *testing.T, res CorruptResult) {
+	t.Helper()
+	t.Log(res)
+	s := res.Schedule
+	if !res.Converged {
+		t.Fatalf("silent corruption was not healed: first mismatch at pixel %d (%s)",
+			res.MismatchAt, res)
+	}
+	if res.Flips == 0 {
+		t.Fatal("corrupter never flipped a bit; the schedule proved nothing")
+	}
+	if res.Probes == 0 || res.Replies == 0 {
+		t.Fatalf("no audit traffic: %s", res)
+	}
+	if res.Mismatches == 0 {
+		t.Fatalf("injected divergence was never detected: %s", res)
+	}
+	if res.Reconnects != 0 {
+		t.Errorf("silent corruption caused %d reconnects; it must be invisible to the transport", res.Reconnects)
+	}
+	if res.SlowResyncs != 0 {
+		t.Errorf("slow-client resyncs fired (%d) during a corruption run", res.SlowResyncs)
+	}
+	if s.Escalate {
+		if res.Sweeps < 1 || res.Resyncs < 1 {
+			t.Errorf("broad damage (%d tiles) did not escalate: sweeps=%d resyncs=%d",
+				s.Tiles, res.Sweeps, res.Resyncs)
+		}
+		return
+	}
+	if res.Resyncs != 0 {
+		t.Errorf("%d divergent tiles escalated to %d full resyncs; targeted repair must suffice",
+			s.Tiles, res.Resyncs)
+	}
+	if res.RepairedTiles < s.Tiles {
+		t.Errorf("repaired %d tiles, want >= %d (every corrupted tile)",
+			res.RepairedTiles, s.Tiles)
+	}
+	if res.RepairedBytes < s.Tiles*16*16*4 {
+		t.Errorf("repaired %d bytes, want >= %d", res.RepairedBytes, s.Tiles*16*16*4)
+	}
+}
+
+// TestChaosCorruptionSuite runs the silent-corruption schedules: bit
+// flips inside well-framed payloads that survive decode and can only
+// be caught by the wire-v4 integrity audit.
+func TestChaosCorruptionSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corruption suite is seconds-long; skipped in -short")
+	}
+	for _, s := range CorruptionSuite() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCorruption(s)
+			if err != nil {
+				t.Fatalf("corruption run failed: %v", err)
+			}
+			checkCorruption(t, res)
+		})
+	}
+}
+
+// TestChaosCorruptionSoak is the randomized long-haul corruption pass
+// behind `make soak`, sharing THINC_CHAOS_SOAK with the fault soak.
+func TestChaosCorruptionSoak(t *testing.T) {
+	env := os.Getenv("THINC_CHAOS_SOAK")
+	if env == "" {
+		t.Skip("set THINC_CHAOS_SOAK=<n> to run the soak")
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		t.Fatalf("THINC_CHAOS_SOAK=%q is not a positive integer", env)
+	}
+	seed := int64(1)
+	if s := os.Getenv("THINC_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("THINC_CHAOS_SEED=%q is not an integer", s)
+		}
+		seed = v
+	}
+	for _, s := range SoakCorruptionSchedules(n, seed) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCorruption(s)
+			if err != nil {
+				t.Fatalf("corruption run failed: %v", err)
+			}
+			checkCorruption(t, res)
+		})
+	}
+}
+
+// TestSoakCorruptionSchedulesDeterministic guards replayability of the
+// corruption soak derivation, and that both schedule classes appear.
+func TestSoakCorruptionSchedulesDeterministic(t *testing.T) {
+	a := SoakCorruptionSchedules(8, 7)
+	b := SoakCorruptionSchedules(8, 7)
+	escalate := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Escalate {
+			escalate++
+			if a[i].Tiles <= 4 {
+				t.Fatalf("escalation schedule %d corrupts only %d tiles", i, a[i].Tiles)
+			}
+		} else if a[i].Tiles < 1 || a[i].Tiles > 4 {
+			t.Fatalf("targeted schedule %d corrupts %d tiles, want 1..4", i, a[i].Tiles)
+		}
+	}
+	if escalate == 0 {
+		t.Fatal("no escalation schedules in an 8-draw sample")
+	}
+}
+
 // TestSoakSchedulesDeterministic guards replayability: the same base
 // seed must derive the same schedules.
 func TestSoakSchedulesDeterministic(t *testing.T) {

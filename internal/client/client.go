@@ -38,6 +38,11 @@ type Stats struct {
 	// have arrived.
 	DegradeRung    int
 	DegradeNotices int
+
+	// Integrity audit (Conn.Stats only): probes received from the
+	// server and digest replies sent back (wire v4).
+	AuditProbes  int
+	AuditReplies int
 }
 
 // counters is the lock-free backing store for Stats. The per-type
@@ -198,6 +203,9 @@ func (c *Client) Apply(m wire.Message) error {
 	case *wire.DegradeNotice:
 		// Quality-state feedback; Conn.Run records it, and a bare Client
 		// applying a captured stream just tolerates it.
+	case *wire.AuditProbe:
+		// Integrity-audit probe (v4): Conn.Run answers it with tile
+		// digests; a bare Client applying a captured stream tolerates it.
 	default:
 		return fmt.Errorf("client: unexpected message %v", m.Type())
 	}

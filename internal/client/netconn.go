@@ -3,6 +3,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -68,9 +69,15 @@ type Conn struct {
 	mu     sync.Mutex
 	nc     net.Conn
 	enc    *cipher.StreamConn
+	rd     io.Reader // read side: enc, possibly wrapped (fault injection)
 	c      *Client
 	ticket []byte
 	closed bool
+
+	// wrapRead, when set, wraps the decrypted read stream — the seam
+	// the chaos harness uses to inject silent payload corruption below
+	// the decoder but above the cipher. Reapplied across Redial.
+	wrapRead func(io.Reader) io.Reader
 
 	// Lifecycle counters are atomic so telemetry pollers and tests can
 	// read them while Run holds no lock (clean under -race).
@@ -80,6 +87,12 @@ type Conn struct {
 
 	degradeRung    atomic.Int32 // server's ladder rung (last DegradeNotice)
 	degradeNotices atomic.Int64
+
+	// Integrity-audit accounting (wire v4). noAudit simulates a pre-v4
+	// peer: probes are counted but never answered.
+	auditProbes  atomic.Int64
+	auditReplies atomic.Int64
+	noAudit      atomic.Bool
 
 	tel *connTelemetry
 
@@ -144,7 +157,7 @@ func HandshakeRole(nc net.Conn, user, secret string, viewW, viewH int, role uint
 		viewW, viewH = si.W, si.H
 	}
 	cn := &Conn{
-		nc: nc, enc: enc,
+		nc: nc, enc: enc, rd: enc,
 		user: user, secret: secret, role: role,
 		c:       New(viewW, viewH),
 		ServerW: si.W, ServerH: si.H,
@@ -152,6 +165,33 @@ func HandshakeRole(nc net.Conn, user, secret string, viewW, viewH int, role uint
 	cn.initTelemetry()
 	return cn, nil
 }
+
+// SetReadWrapper installs (or clears, with nil) a wrapper around the
+// decrypted protocol read stream, applying it to the current transport
+// immediately and to every transport Redial swaps in later. The chaos
+// harness uses it to inject silent payload corruption that survives
+// decode; it must be called before Run.
+func (cn *Conn) SetReadWrapper(wrap func(io.Reader) io.Reader) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	cn.wrapRead = wrap
+	cn.rd = cn.wrappedReader()
+}
+
+// wrappedReader builds the read side for the current transport. Caller
+// holds cn.mu.
+func (cn *Conn) wrappedReader() io.Reader {
+	if cn.wrapRead == nil {
+		return cn.enc
+	}
+	return cn.wrapRead(cn.enc)
+}
+
+// SetAuditDisabled makes the connection ignore AuditProbes (while still
+// counting them) — a faithful stand-in for a v2/v3 peer, used by tests
+// and the -no-audit client flag to prove the server leaves legacy
+// clients alone.
+func (cn *Conn) SetAuditDisabled(v bool) { cn.noAudit.Store(v) }
 
 // handshake authenticates, switches to the encrypted transport, sends
 // the hello (ClientInit or Reattach), and reads the ServerInit.
@@ -246,6 +286,7 @@ func (cn *Conn) Redial() error {
 	}
 	old := cn.nc
 	cn.nc, cn.enc = nc, enc
+	cn.rd = cn.wrappedReader()
 	cn.ServerW, cn.ServerH = si.W, si.H
 	cn.ticket = nil // the old ticket is spent; the server pushes a fresh one
 	// A fresh attach starts lossless; a reattach that carried its rung
@@ -264,13 +305,13 @@ func (cn *Conn) Redial() error {
 func (cn *Conn) Run() error {
 	for {
 		cn.mu.Lock()
-		nc, enc := cn.nc, cn.enc
+		nc, rd := cn.nc, cn.rd
 		rt := cn.ReadTimeout
 		cn.mu.Unlock()
 		if rt > 0 {
 			_ = nc.SetReadDeadline(time.Now().Add(rt))
 		}
-		m, err := wire.ReadMessage(enc)
+		m, err := wire.ReadMessage(rd)
 		if err != nil {
 			if errors.Is(err, wire.ErrUnknownType) {
 				continue
@@ -298,6 +339,20 @@ func (cn *Conn) Run() error {
 			// payloads decode through the same command path.
 			cn.degradeRung.Store(int32(v.Rung))
 			cn.degradeNotices.Add(1)
+			continue
+		case *wire.AuditProbe:
+			// Integrity audit (v4): digest the requested tile window of
+			// our framebuffer and echo it back. A connection simulating a
+			// pre-v4 peer stays silent, exactly like a client that skips
+			// the unknown message type.
+			cn.auditProbes.Add(1)
+			if cn.noAudit.Load() {
+				continue
+			}
+			if err := cn.send(cn.auditReply(v)); err != nil {
+				return err
+			}
+			cn.auditReplies.Add(1)
 			continue
 		}
 		start := time.Now()
@@ -364,6 +419,15 @@ func (cn *Conn) Ticket() []byte {
 	return append([]byte(nil), cn.ticket...)
 }
 
+// WithFB runs f with exclusive access to the live framebuffer — the
+// fault-injection hook integrity tests use to corrupt pixels silently,
+// below every protocol check.
+func (cn *Conn) WithFB(f func(*fb.Framebuffer)) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	f(cn.c.FB())
+}
+
 // Snapshot returns a copy of the current framebuffer.
 func (cn *Conn) Snapshot() *fb.Framebuffer {
 	cn.mu.Lock()
@@ -396,7 +460,33 @@ func (cn *Conn) Stats() Stats {
 	s.PongsSent = int(cn.pongsSent.Load())
 	s.DegradeRung = int(cn.degradeRung.Load())
 	s.DegradeNotices = int(cn.degradeNotices.Load())
+	s.AuditProbes = int(cn.auditProbes.Load())
+	s.AuditReplies = int(cn.auditReplies.Load())
 	return s
+}
+
+// auditReply digests the probe's tile window against the local
+// framebuffer. The W/H echo lets the server discard a reply that raced
+// a viewport change instead of misreading it as corruption; a window
+// past the edge of our grid is clamped, and the shrunken Count tells
+// the server so.
+func (cn *Conn) auditReply(p *wire.AuditProbe) *wire.AuditReply {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	f := cn.c.FB()
+	g := fb.Grid(f.W(), f.H(), int(p.Tile))
+	reply := &wire.AuditReply{Seq: p.Seq, Start: p.Start,
+		W: uint16(f.W()), H: uint16(f.H())}
+	start := int(p.Start)
+	for i := 0; i < int(p.Count); i++ {
+		idx := start + i
+		if idx < 0 || idx >= g.Tiles() {
+			break
+		}
+		reply.Digests = append(reply.Digests, f.DigestRect(g.Rect(idx)))
+	}
+	reply.Count = uint16(len(reply.Digests))
+	return reply
 }
 
 // SendInput forwards a user input event. Coordinates are in server

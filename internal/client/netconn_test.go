@@ -1,12 +1,15 @@
 package client_test
 
 import (
+	"io"
 	"net"
 	"testing"
 	"time"
 
 	"thinc/internal/auth"
 	"thinc/internal/client"
+	"thinc/internal/core"
+	"thinc/internal/fb"
 	"thinc/internal/geom"
 	"thinc/internal/pixel"
 	"thinc/internal/server"
@@ -107,6 +110,77 @@ func TestConnStatsIsolatedCopy(t *testing.T) {
 	st.Messages[wire.TRaw] = 9999 // mutating the copy must not leak
 	if conn.Stats().Messages[wire.TRaw] == 9999 {
 		t.Fatal("Stats returned shared state")
+	}
+}
+
+// auditHost is newHost with a fast integrity-audit cadence over a
+// 16px tile grid.
+func auditHost(t *testing.T, w, h int) *server.Host {
+	t.Helper()
+	acc := auth.NewAccounts()
+	acc.Add("u", "p")
+	return server.NewHost(w, h, auth.NewAuthenticator("u", acc),
+		server.Options{
+			FlushInterval: time.Millisecond,
+			AuditInterval: 5 * time.Millisecond,
+			AuditTimeout:  500 * time.Millisecond,
+			Core:          core.Options{AuditTileSize: 16},
+		})
+}
+
+// TestConnAnswersAuditAndHeals covers the client side of the wire-v4
+// audit: probes are answered with live-framebuffer digests, and a
+// silently corrupted tile (injected below every protocol check via
+// WithFB) is healed by the server's targeted repair.
+func TestConnAnswersAuditAndHeals(t *testing.T) {
+	h := auditHost(t, 96, 64)
+	conn, err := pipeTo(t, h, "u", "p", 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// An identity read wrapper exercises the fault-injection seam the
+	// chaos corrupter uses, without changing the bytes.
+	conn.SetReadWrapper(func(r io.Reader) io.Reader { return r })
+	go conn.Run()
+
+	h.Do(func(d *xserver.Display) {
+		win := d.CreateWindow(geom.XYWH(0, 0, 96, 64))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(10, 120, 70)}, geom.XYWH(0, 0, 96, 64))
+	})
+	want := h.ScreenChecksum()
+	waitFor(t, "convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+	waitFor(t, "audit replies", func() bool {
+		st := conn.Stats()
+		return st.AuditProbes > 0 && st.AuditReplies > 0
+	})
+
+	conn.WithFB(func(f *fb.Framebuffer) {
+		f.Set(3, 3, f.At(3, 3)^0x00ff0000)
+	})
+	waitFor(t, "self-healing", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+}
+
+// TestConnAuditDisabledIgnoresProbes covers the pre-v4 emulation path:
+// with SetAuditDisabled the client counts probes but never replies.
+func TestConnAuditDisabledIgnoresProbes(t *testing.T) {
+	h := auditHost(t, 96, 64)
+	conn, err := pipeTo(t, h, "u", "p", 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetAuditDisabled(true)
+	go conn.Run()
+
+	waitFor(t, "probe seen", func() bool { return conn.Stats().AuditProbes > 0 })
+	time.Sleep(20 * time.Millisecond)
+	if st := conn.Stats(); st.AuditReplies != 0 {
+		t.Fatalf("disabled audit answered %d probes", st.AuditReplies)
 	}
 }
 

@@ -47,6 +47,9 @@ type Options struct {
 	// dropped regions fall back to raw pixels at copy-out time. Zero
 	// means unbounded.
 	OffscreenQueueBudgetBytes int
+	// AuditTileSize is the tile side in pixels of the integrity-audit
+	// digest index (wire v4). Zero means DefaultAuditTile.
+	AuditTileSize int
 }
 
 // Server is the THINC server core: the virtual display driver (§3). It
@@ -74,6 +77,10 @@ type Server struct {
 	cursorPos        geom.Point
 
 	clients map[*Client]struct{}
+
+	// tiles is the per-tile digest index over the screen (wire v4
+	// integrity audit); nil when the Memory cannot expose its screen.
+	tiles *fb.TileIndex
 
 	// Stats aggregates translation activity across the session.
 	Stats TranslateStats
@@ -109,6 +116,10 @@ type Client struct {
 	// VideoDrops counts video frames dropped for this client by the
 	// drop-video degradation rung.
 	VideoDrops int
+
+	// audit is the per-client integrity-audit cursor; it rides the
+	// retained client across reattach like the degradation rung does.
+	audit AuditState
 }
 
 // NewServer creates a server core for a screen of the given geometry.
@@ -134,6 +145,7 @@ func NewServer(opts Options) *Server {
 func (s *Server) Init(mem driver.Memory, w, h int) {
 	s.mem = mem
 	s.w, s.h = w, h
+	s.initAudit()
 }
 
 // ScreenSize returns the session framebuffer geometry.
@@ -258,10 +270,15 @@ func (c *Client) add(cmd Command) {
 }
 
 // broadcast sends a command to every attached client. Each client gets
-// its own clone so per-client eviction and scaling never alias.
+// its own clone so per-client eviction and scaling never alias. Every
+// screen-changing command funnels through here, so this is also where
+// the audit index learns which tiles went stale (under-marking would
+// freeze a stale expected digest and turn repairs into a loop;
+// marking here makes that impossible).
 func (s *Server) broadcast(cmd Command) {
 	s.Stats.OnscreenCmds++
 	s.met.onscreenCmds.Inc()
+	s.markAudit(cmd)
 	s.fanout(cmd)
 }
 

@@ -1,0 +1,186 @@
+package faultconn
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"thinc/internal/compress"
+	"thinc/internal/wire"
+)
+
+// Silent payload corruption: unlike the transport faults above, which
+// the framing layer or the decoder catches, the Corrupter flips bits
+// *inside* well-framed display payloads. Headers, lengths, and message
+// metadata are preserved, so every corrupted message still decodes and
+// applies cleanly — the divergence is invisible to the parser and can
+// only be caught by the wire-v4 integrity audit.
+
+// CorruptPlan scripts a Corrupter. The zero plan flips roughly one bit
+// per 4 KiB of eligible payload data with seed 0 and no flip cap.
+type CorruptPlan struct {
+	// Seed drives the flip positions and bit choices; a given seed over
+	// a given byte stream replays exactly.
+	Seed int64
+	// Gap is the average number of eligible payload bytes between
+	// flips; zero means 4096.
+	Gap int64
+	// MaxFlips caps the total flips (0 = unlimited). A schedule that
+	// must bound how many tiles can diverge bounds the flips.
+	MaxFlips int64
+	// Fixed makes every inter-flip gap exactly Gap instead of seeded
+	// uniform in [1, 2*Gap]: flips land on a deterministic stride of
+	// the eligible-byte stream (the seed still picks which bit). A
+	// schedule that must guarantee every drawn region takes at least
+	// one flip — for any seed — uses a fixed stride no longer than the
+	// region payload.
+	Fixed bool
+}
+
+// Corrupter is a frame-aware io.Reader filter over the decrypted
+// protocol stream (below the decoder, above the cipher). It parses
+// THINC framing as bytes stream through and flips seeded bits only
+// inside the pixel-data portion of display payloads:
+//
+//	RAW    — the pixel block, and only when the codec is CodecNone
+//	         (flipping compressed data would break decode, which is
+//	         exactly the loud failure this mode must avoid)
+//	SFILL  — the fill color
+//	PFILL  — the pattern tile pixels
+//	BITMAP — the stipple bits
+//
+// Everything else — headers, rects, codec bytes, lengths, COPY
+// geometry, control and audio messages, audit probes — passes through
+// untouched, so the stream stays perfectly well-formed.
+type Corrupter struct {
+	mu    sync.Mutex
+	r     io.Reader
+	rnd   *rand.Rand
+	gap   int64
+	fixed bool
+
+	active   atomic.Bool
+	flips    atomic.Int64
+	maxFlips int64
+
+	// Frame parser state, touched only under mu (Read is called by one
+	// goroutine, but Disable/Flips may race it).
+	hdr       [wire.HeaderSize]byte
+	hdrN      int
+	typ       wire.Type
+	remaining int   // payload bytes left in the current message
+	payOff    int   // offset within the current payload
+	skip      int   // first eligible payload offset; -1: none eligible
+	countdown int64 // eligible bytes until the next flip
+}
+
+// NewCorrupter wraps r. The corrupter starts active; chaos schedules
+// that inject corruption only during one phase call Disable first and
+// Enable at the phase boundary.
+func NewCorrupter(r io.Reader, plan CorruptPlan) *Corrupter {
+	if plan.Gap <= 0 {
+		plan.Gap = 4096
+	}
+	c := &Corrupter{
+		r:        r,
+		rnd:      rand.New(rand.NewSource(plan.Seed)),
+		gap:      plan.Gap,
+		fixed:    plan.Fixed,
+		maxFlips: plan.MaxFlips,
+	}
+	c.countdown = c.drawGap()
+	c.active.Store(true)
+	return c
+}
+
+// Enable arms the corrupter; Disable quiesces it. The frame parser
+// keeps running either way, so toggling never desynchronizes framing.
+func (c *Corrupter) Enable()  { c.active.Store(true) }
+func (c *Corrupter) Disable() { c.active.Store(false) }
+
+// Flips returns how many bits have been flipped so far.
+func (c *Corrupter) Flips() int64 { return c.flips.Load() }
+
+// drawGap draws the next inter-flip gap: exactly Gap in fixed mode,
+// else uniform in [1, 2*Gap] with mean about Gap. Randomness is
+// consumed per flip, never per byte, so the flip positions are
+// independent of how reads are chunked.
+func (c *Corrupter) drawGap() int64 {
+	if c.fixed {
+		return c.gap
+	}
+	return 1 + c.rnd.Int63n(2*c.gap)
+}
+
+// eligibleSkip returns the first payload offset whose bytes may be
+// flipped for a message type, or -1 when the whole payload must pass
+// untouched.
+func eligibleSkip(t wire.Type) int {
+	switch t {
+	case wire.TRaw:
+		return 14 // rect 8 + codec 1 + flags 1 + len 4; codec re-checked in-stream
+	case wire.TSFill:
+		return 8 // rect; then the color
+	case wire.TPFill:
+		return 16 // rect + tile geometry + anchor; then the tile pixels
+	case wire.TBitmap:
+		return 21 // rect + fg + bg + flags + bit geometry; then the bits
+	}
+	return -1
+}
+
+func (c *Corrupter) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.mu.Lock()
+		c.filter(p[:n])
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+// filter advances the frame parser over buf, flipping eligible bytes
+// in place. Caller holds c.mu.
+func (c *Corrupter) filter(buf []byte) {
+	for i := range buf {
+		if c.hdrN < wire.HeaderSize {
+			// Header bytes are sacred: buffer them to learn the type and
+			// payload length, never modify them.
+			c.hdr[c.hdrN] = buf[i]
+			c.hdrN++
+			if c.hdrN == wire.HeaderSize {
+				c.typ = wire.Type(c.hdr[0])
+				c.remaining = int(uint32(c.hdr[1])<<24 | uint32(c.hdr[2])<<16 |
+					uint32(c.hdr[3])<<8 | uint32(c.hdr[4]))
+				c.payOff = 0
+				c.skip = eligibleSkip(c.typ)
+				if c.remaining == 0 {
+					c.hdrN = 0
+				}
+			}
+			continue
+		}
+		// Payload byte. A RAW's codec byte (payload offset 8) gates its
+		// data: only uncompressed pixels survive a flip as *silent*
+		// corruption, so anything else makes the message ineligible.
+		if c.typ == wire.TRaw && c.payOff == 8 &&
+			compress.Codec(buf[i]) != compress.CodecNone {
+			c.skip = -1
+		}
+		if c.skip >= 0 && c.payOff >= c.skip && c.active.Load() &&
+			(c.maxFlips == 0 || c.flips.Load() < c.maxFlips) {
+			c.countdown--
+			if c.countdown <= 0 {
+				buf[i] ^= 1 << uint(c.rnd.Intn(8))
+				c.flips.Add(1)
+				c.countdown = c.drawGap()
+			}
+		}
+		c.payOff++
+		c.remaining--
+		if c.remaining == 0 {
+			c.hdrN = 0
+		}
+	}
+}

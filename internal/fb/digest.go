@@ -1,0 +1,157 @@
+package fb
+
+import "thinc/internal/geom"
+
+// Tile digest index: the framebuffer decomposition behind the wire-v4
+// integrity audit. The screen is sharded into fixed square tiles (the
+// right and bottom edges may be narrower) and each tile carries an
+// FNV-1a 64 digest of its pixels. Draws mark the tiles they touch dirty
+// (MarkRect — zero-alloc, O(tiles touched)); digests are rehashed
+// lazily when read, so an audit never rehashes the full screen, only
+// what changed since the last probe.
+
+// FNV-1a 64 parameters (hash/fnv's, inlined so the per-pixel loop stays
+// free of interface calls and allocations).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// DigestRect returns the FNV-1a 64 digest of r's pixels (clipped to the
+// surface), hashing each ARGB pixel as 4 big-endian bytes — exactly the
+// bytes the pixel would occupy in an uncompressed RAW payload. Both
+// ends of an audit compute this independently; it allocates nothing.
+func (f *Framebuffer) DigestRect(r geom.Rect) uint64 {
+	r = f.clip(r)
+	h := fnvOffset64
+	for y := r.Y0; y < r.Y1; y++ {
+		row := f.pix[y*f.w+r.X0 : y*f.w+r.X1]
+		for _, p := range row {
+			h = (h ^ (uint64(p) >> 24)) * fnvPrime64
+			h = (h ^ (uint64(p) >> 16 & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(p) >> 8 & 0xff)) * fnvPrime64
+			h = (h ^ (uint64(p) & 0xff)) * fnvPrime64
+		}
+	}
+	return h
+}
+
+// TileGrid describes the tiling of a w x h surface into side x side
+// tiles, row-major. It is pure geometry — both ends of an audit derive
+// the same grid from the session geometry and the probe's tile size.
+type TileGrid struct {
+	W, H int // surface size, pixels
+	Side int // tile side, pixels
+	TW   int // tiles per row
+	TH   int // tile rows
+}
+
+// Grid builds the tile grid for a w x h surface. side must be positive.
+func Grid(w, h, side int) TileGrid {
+	if side <= 0 {
+		panic("fb.Grid: non-positive tile side")
+	}
+	return TileGrid{
+		W: w, H: h, Side: side,
+		TW: (w + side - 1) / side,
+		TH: (h + side - 1) / side,
+	}
+}
+
+// Tiles returns the number of tiles in the grid.
+func (g TileGrid) Tiles() int { return g.TW * g.TH }
+
+// Rect returns tile i's rectangle (clipped at the right/bottom edges).
+func (g TileGrid) Rect(i int) geom.Rect {
+	tx, ty := i%g.TW, i/g.TW
+	r := geom.XYWH(tx*g.Side, ty*g.Side, g.Side, g.Side)
+	return r.Intersect(geom.XYWH(0, 0, g.W, g.H))
+}
+
+// TileIndex maintains per-tile digests for one surface, incrementally:
+// MarkRect records which tiles a draw touched; Digest rehashes dirty
+// tiles on demand. It carries no framebuffer reference — the caller
+// passes the surface at read time, so the index composes with any
+// pixel-ownership scheme.
+type TileIndex struct {
+	grid  TileGrid
+	dig   []uint64
+	dirty []uint64 // bitset, one bit per tile
+}
+
+// NewTileIndex builds an index over a w x h surface with side x side
+// tiles. Every tile starts dirty, so the first audit hashes the true
+// initial contents.
+func NewTileIndex(w, h, side int) *TileIndex {
+	g := Grid(w, h, side)
+	ix := &TileIndex{
+		grid:  g,
+		dig:   make([]uint64, g.Tiles()),
+		dirty: make([]uint64, (g.Tiles()+63)/64),
+	}
+	ix.MarkAll()
+	return ix
+}
+
+// Grid returns the index's tile geometry.
+func (ix *TileIndex) Grid() TileGrid { return ix.grid }
+
+// Tiles returns the number of tiles in the index.
+func (ix *TileIndex) Tiles() int { return ix.grid.Tiles() }
+
+// MarkAll marks every tile dirty.
+func (ix *TileIndex) MarkAll() {
+	n := ix.Tiles()
+	for i := range ix.dirty {
+		ix.dirty[i] = ^uint64(0)
+	}
+	if rem := uint(n) & 63; rem != 0 && len(ix.dirty) > 0 {
+		ix.dirty[len(ix.dirty)-1] = (1 << rem) - 1
+	}
+}
+
+// MarkRect marks every tile intersecting r dirty. It allocates nothing
+// and is called on the draw path for every screen-changing command.
+func (ix *TileIndex) MarkRect(r geom.Rect) {
+	g := ix.grid
+	r = r.Intersect(geom.XYWH(0, 0, g.W, g.H))
+	if r.Empty() {
+		return
+	}
+	tx0, ty0 := r.X0/g.Side, r.Y0/g.Side
+	tx1, ty1 := (r.X1-1)/g.Side, (r.Y1-1)/g.Side
+	for ty := ty0; ty <= ty1; ty++ {
+		base := ty * g.TW
+		for tx := tx0; tx <= tx1; tx++ {
+			i := base + tx
+			ix.dirty[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// Digest returns tile i's digest, rehashing from f first if the tile is
+// dirty. f must have the grid's geometry.
+func (ix *TileIndex) Digest(f *Framebuffer, i int) uint64 {
+	if ix.dirty[i>>6]&(1<<(uint(i)&63)) != 0 {
+		ix.dig[i] = f.DigestRect(ix.grid.Rect(i))
+		ix.dirty[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	return ix.dig[i]
+}
+
+// DigestRange appends the digests of tiles [start, start+n) to dst and
+// returns it, rehashing dirty tiles from f. Out-of-range indices are
+// clamped away.
+func (ix *TileIndex) DigestRange(f *Framebuffer, start, n int, dst []uint64) []uint64 {
+	if start < 0 {
+		start = 0
+	}
+	end := start + n
+	if t := ix.Tiles(); end > t {
+		end = t
+	}
+	for i := start; i < end; i++ {
+		dst = append(dst, ix.Digest(f, i))
+	}
+	return dst
+}

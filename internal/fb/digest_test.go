@@ -1,0 +1,223 @@
+package fb
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// refDigest computes the digest of r the slow way, through hash/fnv,
+// to pin DigestRect to the standard FNV-1a 64 over big-endian pixels.
+func refDigest(f *Framebuffer, r geom.Rect) uint64 {
+	r = f.clip(r)
+	h := fnv.New64a()
+	var b [4]byte
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			p := f.At(x, y)
+			b[0], b[1], b[2], b[3] = byte(p>>24), byte(p>>16), byte(p>>8), byte(p)
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func scribble(f *Framebuffer, seed uint32) {
+	s := seed
+	for y := 0; y < f.H(); y++ {
+		for x := 0; x < f.W(); x++ {
+			s = s*1664525 + 1013904223
+			f.Set(x, y, pixel.ARGB(s|0xff000000))
+		}
+	}
+}
+
+func TestDigestRectMatchesFNV(t *testing.T) {
+	f := New(37, 23)
+	scribble(f, 1)
+	for _, r := range []geom.Rect{
+		f.Bounds(),
+		geom.XYWH(0, 0, 16, 16),
+		geom.XYWH(32, 16, 16, 16), // hangs off the right/bottom edges
+		geom.XYWH(5, 7, 1, 1),
+		geom.XYWH(0, 0, 0, 0), // empty: offset basis
+	} {
+		if got, want := f.DigestRect(r), refDigest(f, r); got != want {
+			t.Errorf("DigestRect(%+v) = %#x, want %#x", r, got, want)
+		}
+	}
+}
+
+func TestDigestRectSensitivity(t *testing.T) {
+	f := New(32, 32)
+	scribble(f, 2)
+	before := f.DigestRect(f.Bounds())
+	p := f.At(17, 9)
+	f.Set(17, 9, p^1) // one low bit of one pixel
+	if f.DigestRect(f.Bounds()) == before {
+		t.Fatal("single-bit pixel flip did not change the digest")
+	}
+}
+
+func TestGridGeometry(t *testing.T) {
+	g := Grid(96, 64, 16)
+	if g.TW != 6 || g.TH != 4 || g.Tiles() != 24 {
+		t.Fatalf("Grid(96,64,16) = %+v", g)
+	}
+	// Non-divisible: 100x50 with 16px tiles -> 7x4 grid, ragged edges.
+	g = Grid(100, 50, 16)
+	if g.TW != 7 || g.TH != 4 {
+		t.Fatalf("Grid(100,50,16) = %+v", g)
+	}
+	last := g.Rect(g.Tiles() - 1)
+	if last.W() != 4 || last.H() != 2 {
+		t.Fatalf("last tile = %+v, want 4x2", last)
+	}
+	// Every pixel is covered exactly once.
+	covered := make([]int, 100*50)
+	for i := 0; i < g.Tiles(); i++ {
+		r := g.Rect(i)
+		for y := r.Y0; y < r.Y1; y++ {
+			for x := r.X0; x < r.X1; x++ {
+				covered[y*100+x]++
+			}
+		}
+	}
+	for i, n := range covered {
+		if n != 1 {
+			t.Fatalf("pixel %d covered %d times", i, n)
+		}
+	}
+}
+
+func TestGridPanicsOnBadSide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grid(_, _, 0) did not panic")
+		}
+	}()
+	Grid(10, 10, 0)
+}
+
+func TestTileIndexIncremental(t *testing.T) {
+	f := New(96, 64)
+	scribble(f, 3)
+	ix := NewTileIndex(96, 64, 16)
+
+	// First read hashes the true contents (everything starts dirty).
+	for i := 0; i < ix.Tiles(); i++ {
+		if got, want := ix.Digest(f, i), f.DigestRect(ix.Grid().Rect(i)); got != want {
+			t.Fatalf("tile %d: digest %#x, want %#x", i, got, want)
+		}
+	}
+
+	// An unmarked change is invisible: the index serves the stale digest.
+	stale := ix.Digest(f, 0)
+	f.Set(1, 1, f.At(1, 1)^0xff)
+	if ix.Digest(f, 0) != stale {
+		t.Fatal("unmarked change rehashed eagerly; index must be lazy")
+	}
+
+	// Marking the draw's bounds refreshes exactly the touched tiles.
+	ix.MarkRect(geom.XYWH(0, 0, 4, 4))
+	if got, want := ix.Digest(f, 0), f.DigestRect(ix.Grid().Rect(0)); got != want {
+		t.Fatalf("post-mark digest %#x, want %#x", got, want)
+	}
+}
+
+func TestTileIndexMarkRect(t *testing.T) {
+	f := New(96, 64)
+	ix := NewTileIndex(96, 64, 16)
+	for i := 0; i < ix.Tiles(); i++ {
+		ix.Digest(f, i) // settle: all clean
+	}
+	// A rect spanning tiles (1,1)-(2,2) dirties exactly those four.
+	ix.MarkRect(geom.XYWH(20, 20, 20, 20))
+	want := map[int]bool{7: true, 8: true, 13: true, 14: true}
+	for i := 0; i < ix.Tiles(); i++ {
+		dirty := ix.dirty[i>>6]&(1<<(uint(i)&63)) != 0
+		if dirty != want[i] {
+			t.Errorf("tile %d dirty = %v, want %v", i, dirty, want[i])
+		}
+	}
+	// Empty and off-surface rects mark nothing.
+	ix2 := NewTileIndex(96, 64, 16)
+	for i := 0; i < ix2.Tiles(); i++ {
+		ix2.Digest(f, i)
+	}
+	ix2.MarkRect(geom.Rect{})
+	ix2.MarkRect(geom.XYWH(200, 200, 10, 10))
+	for _, w := range ix2.dirty {
+		if w != 0 {
+			t.Fatal("empty/off-surface MarkRect dirtied tiles")
+		}
+	}
+}
+
+func TestTileIndexDigestRange(t *testing.T) {
+	f := New(96, 64)
+	scribble(f, 4)
+	ix := NewTileIndex(96, 64, 16)
+	got := ix.DigestRange(f, 20, 10, nil) // clamps at 24 tiles
+	if len(got) != 4 {
+		t.Fatalf("DigestRange(20,10) returned %d digests, want 4", len(got))
+	}
+	for k, d := range got {
+		if want := f.DigestRect(ix.Grid().Rect(20 + k)); d != want {
+			t.Fatalf("digest[%d] = %#x, want %#x", k, d, want)
+		}
+	}
+	if out := ix.DigestRange(f, -5, 3, nil); len(out) != 3 || out[0] != ix.Digest(f, 0) {
+		t.Fatalf("negative start not clamped: %v", out)
+	}
+}
+
+// TestDigestHotPathZeroAlloc is the audit satellite's allocation guard:
+// hashing, marking, and clean reads must not allocate, or the per-draw
+// and per-probe costs would scale with GC pressure.
+func TestDigestHotPathZeroAlloc(t *testing.T) {
+	f := New(256, 256)
+	scribble(f, 5)
+	ix := NewTileIndex(256, 256, 64)
+	r := geom.XYWH(64, 64, 64, 64)
+	var sink uint64
+	if n := testing.AllocsPerRun(100, func() { sink += f.DigestRect(r) }); n != 0 {
+		t.Errorf("DigestRect allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { ix.MarkRect(r) }); n != 0 {
+		t.Errorf("MarkRect allocates %v/op", n)
+	}
+	ix.Digest(f, 5)
+	if n := testing.AllocsPerRun(100, func() { sink += ix.Digest(f, 5) }); n != 0 {
+		t.Errorf("clean Digest allocates %v/op", n)
+	}
+	out := make([]uint64, 0, 16)
+	if n := testing.AllocsPerRun(100, func() {
+		ix.MarkRect(r)
+		out = ix.DigestRange(f, 0, 16, out[:0])
+	}); n != 0 {
+		t.Errorf("mark+DigestRange (preallocated dst) allocates %v/op", n)
+	}
+	_ = sink
+}
+
+// BenchmarkTileDigest measures the audit hot path: rehash one dirty
+// 64x64 tile. Wired into the bench-smoke CI job.
+func BenchmarkTileDigest(b *testing.B) {
+	f := New(1024, 768)
+	scribble(f, 6)
+	ix := NewTileIndex(1024, 768, 64)
+	r := ix.Grid().Rect(0)
+	ix.Digest(f, 0)
+	b.SetBytes(int64(r.Area() * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		ix.MarkRect(r)
+		sink += ix.Digest(f, 0)
+	}
+	_ = sink
+}

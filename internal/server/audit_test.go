@@ -1,0 +1,220 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"thinc/internal/client"
+	"thinc/internal/core"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/xserver"
+)
+
+// auditOptions: fast audit cadence over a 96x64 screen with 16px tiles
+// (a 6x4 grid, 24 tiles), so the rotating 16-tile window covers the
+// screen in two probes.
+func auditOptions() Options {
+	return Options{
+		FlushInterval: time.Millisecond,
+		AuditInterval: 10 * time.Millisecond,
+		AuditTimeout:  250 * time.Millisecond,
+		Core:          core.Options{AuditTileSize: 16},
+	}
+}
+
+// paintTestScene draws deterministic content across the whole screen.
+func paintTestScene(host *Host) {
+	host.Do(func(d *xserver.Display) {
+		win := d.CreateWindow(geom.XYWH(0, 0, 96, 64))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(30, 60, 90)}, geom.XYWH(0, 0, 96, 64))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(200, 50, 10)}, geom.XYWH(8, 8, 40, 30))
+		d.DrawText(win, &xserver.GC{Fg: pixel.RGB(255, 255, 255)}, 10, 40, "audit")
+	})
+}
+
+// corruptTiles flips one pixel inside each listed tile of the client's
+// live framebuffer — silent corruption that no decoder can see.
+func corruptTiles(conn *client.Conn, tiles ...int) {
+	conn.WithFB(func(f *fb.Framebuffer) {
+		g := fb.Grid(f.W(), f.H(), 16)
+		for _, i := range tiles {
+			r := g.Rect(i)
+			f.Set(r.X0, r.Y0, f.At(r.X0, r.Y0)^0x00000100)
+		}
+	})
+}
+
+func TestAuditHealsSilentCorruption(t *testing.T) {
+	host, addr := startHost(t, 96, 64, auditOptions())
+	conn, err := client.Dial(addr, "owner", "pw", 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	paintTestScene(host)
+	want := host.ScreenChecksum()
+	waitFor(t, "initial convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+
+	// Silently diverge two tiles in different probe windows. The audit
+	// must localize and heal them with targeted repairs — no resync.
+	corruptTiles(conn, 2, 20)
+	waitFor(t, "self-healing", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+
+	rs := host.Resilience()
+	if rs.AuditProbes == 0 || rs.AuditReplies == 0 {
+		t.Fatalf("no audit traffic: %+v", rs)
+	}
+	if rs.AuditMismatches < 2 {
+		t.Errorf("AuditMismatches = %d, want >= 2", rs.AuditMismatches)
+	}
+	if rs.AuditRepairs < 2 || rs.AuditRepairBytes < 2*16*16*4 {
+		t.Errorf("repairs = %d tiles / %d bytes, want >= 2 / %d",
+			rs.AuditRepairs, rs.AuditRepairBytes, 2*16*16*4)
+	}
+	if rs.AuditResyncs != 0 {
+		t.Errorf("small divergence escalated to %d resyncs", rs.AuditResyncs)
+	}
+	if rs.AuditSweeps != 0 {
+		t.Errorf("small divergence escalated to %d sweeps", rs.AuditSweeps)
+	}
+	st := conn.Stats()
+	if st.AuditProbes == 0 || st.AuditReplies == 0 {
+		t.Errorf("client saw %d probes / %d replies", st.AuditProbes, st.AuditReplies)
+	}
+}
+
+func TestAuditEscalatesToSweepAndResync(t *testing.T) {
+	host, addr := startHost(t, 96, 64, auditOptions())
+	conn, err := client.Dial(addr, "owner", "pw", 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	paintTestScene(host)
+	want := host.ScreenChecksum()
+	waitFor(t, "initial convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+
+	// Diverge every tile: the sampled window overflows the escalation
+	// threshold, the sweep overflows the resync threshold, and the
+	// ladder's last rung heals the screen wholesale.
+	all := make([]int, 24)
+	for i := range all {
+		all[i] = i
+	}
+	corruptTiles(conn, all...)
+	waitFor(t, "resync healing", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+
+	rs := host.Resilience()
+	if rs.AuditSweeps < 1 {
+		t.Errorf("AuditSweeps = %d, want >= 1", rs.AuditSweeps)
+	}
+	if rs.AuditResyncs < 1 {
+		t.Errorf("AuditResyncs = %d, want >= 1", rs.AuditResyncs)
+	}
+}
+
+func TestAuditLegacyPeerLeftAlone(t *testing.T) {
+	opts := auditOptions()
+	opts.AuditTimeout = 20 * time.Millisecond
+	host, addr := startHost(t, 96, 64, opts)
+	conn, err := client.Dial(addr, "owner", "pw", 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetAuditDisabled(true) // a faithful v2/v3 peer: probes ignored
+	go conn.Run()
+
+	waitFor(t, "legacy verdict", func() bool {
+		return host.Resilience().AuditLegacyPeers == 1
+	})
+	probesAtVerdict := host.Resilience().AuditProbes
+	time.Sleep(100 * time.Millisecond)
+	rs := host.Resilience()
+	if rs.AuditProbes != probesAtVerdict {
+		t.Errorf("server kept probing a legacy peer: %d -> %d probes",
+			probesAtVerdict, rs.AuditProbes)
+	}
+	if rs.AuditResyncs != 0 {
+		t.Errorf("legacy peer was resynced %d times", rs.AuditResyncs)
+	}
+
+	// The session itself must be unaffected: drawing still converges.
+	paintTestScene(host)
+	want := host.ScreenChecksum()
+	waitFor(t, "legacy peer convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+	if st := conn.Stats(); st.AuditReplies != 0 {
+		t.Errorf("legacy peer answered %d probes", st.AuditReplies)
+	}
+}
+
+func TestAuditDisabled(t *testing.T) {
+	opts := auditOptions()
+	opts.DisableAudit = true
+	host, addr := startHost(t, 96, 64, opts)
+	conn, err := client.Dial(addr, "owner", "pw", 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	paintTestScene(host)
+	want := host.ScreenChecksum()
+	waitFor(t, "convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+	time.Sleep(50 * time.Millisecond)
+	if rs := host.Resilience(); rs.AuditProbes != 0 {
+		t.Errorf("DisableAudit sent %d probes", rs.AuditProbes)
+	}
+	if st := conn.Stats(); st.AuditProbes != 0 {
+		t.Errorf("client saw %d probes with audit disabled", st.AuditProbes)
+	}
+}
+
+func TestAuditDeferredWhileDegraded(t *testing.T) {
+	host, addr := startHost(t, 96, 64, auditOptions())
+	conn, err := client.Dial(addr, "owner", "pw", 96, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	paintTestScene(host)
+	want := host.ScreenChecksum()
+	waitFor(t, "convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+
+	// Pin a lossy rung: probes must stop (a lossy screen never
+	// byte-matches), then resume once the ladder recovers.
+	host.ForceRung(2)
+	time.Sleep(30 * time.Millisecond) // drain any probe already in flight
+	before := host.Resilience().AuditProbes
+	time.Sleep(60 * time.Millisecond)
+	if got := host.Resilience().AuditProbes; got != before {
+		t.Errorf("audited a degraded client: %d -> %d probes", before, got)
+	}
+	host.ForceRung(0)
+	waitFor(t, "audit re-armed after recovery", func() bool {
+		return host.Resilience().AuditProbes > before
+	})
+}

@@ -77,6 +77,28 @@ type Options struct {
 	// (the broadcast fan-out); the owner connection is not counted.
 	// Zero means 16; negative disables the bound.
 	MaxViewers int
+
+	// AuditInterval paces the integrity-audit probes (wire v4). Each
+	// tick the server asks one settled lossless client to digest a
+	// sampled window of its framebuffer tiles and compares the answer
+	// against the incrementally maintained server-side digests; zero
+	// means 2s.
+	AuditInterval time.Duration
+	// AuditTimeout is how long a probe may go unanswered before it
+	// counts as a miss; zero means 3x AuditInterval.
+	AuditTimeout time.Duration
+	// AuditSampleTiles is the size of the rotating probe window (and
+	// the chunk size of an escalated full sweep); zero means 16.
+	AuditSampleTiles int
+	// AuditEscalateTiles: more mismatches than this in one sampled
+	// window escalates to a full sweep of every tile; zero means 4.
+	AuditEscalateTiles int
+	// AuditResyncTiles: more total mismatches than this across a full
+	// sweep abandons targeted repair for a full-screen resync; zero
+	// means 8.
+	AuditResyncTiles int
+	// DisableAudit turns the integrity audit off entirely.
+	DisableAudit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +125,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxViewers == 0 {
 		o.MaxViewers = 16
+	}
+	if o.AuditInterval <= 0 {
+		o.AuditInterval = 2 * time.Second
+	}
+	if o.AuditTimeout <= 0 {
+		o.AuditTimeout = 3 * o.AuditInterval
+	}
+	if o.AuditSampleTiles <= 0 {
+		o.AuditSampleTiles = 16
+	}
+	if o.AuditEscalateTiles <= 0 {
+		o.AuditEscalateTiles = 4
+	}
+	if o.AuditResyncTiles <= 0 {
+		o.AuditResyncTiles = 8
 	}
 	return o
 }
@@ -131,6 +168,16 @@ type ResilienceStats struct {
 	OverloadDowns      int // degradation ladder recoveries
 	OverloadResyncs    int // resyncs forced by the ladder's last rung
 	WatchdogRecoveries int // panics converted into clean session teardown
+
+	AuditProbes      int // integrity probes sent (wire v4)
+	AuditReplies     int // digest replies received
+	AuditMismatches  int // tiles whose digests diverged
+	AuditRepairs     int // tiles healed by targeted RAW repair
+	AuditRepairBytes int // uncompressed payload bytes of those repairs
+	AuditSweeps      int // escalations from sampled window to full sweep
+	AuditResyncs     int // escalations from sweep (or misses) to full resync
+	AuditTimeouts    int // probes that went unanswered past the timeout
+	AuditLegacyPeers int // peers that never answered and were left alone
 }
 
 // session ties a ticket to the core client state it can resume. The
@@ -471,7 +518,12 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	}
 
 	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User, role: role,
-		pongs: make(chan *wire.Pong, 8), noticeRung: -1}
+		pongs:   make(chan *wire.Pong, 8),
+		replies: make(chan *wire.AuditReply, 4), noticeRung: -1}
+	// A reattach already queued a full-screen resync, which heals any
+	// divergence an interrupted escalation sweep was chasing; the legacy
+	// verdict and probe sequence ride the session, the sweep does not.
+	cl.Audit().ResetSweep()
 	if !h.opts.DisableOverload {
 		sc.ctrl = overload.NewController(&sc.est, h.opts.Overload)
 	}
@@ -543,9 +595,14 @@ type serverConn struct {
 	nc    net.Conn
 	enc   *cipher.StreamConn
 	cl    *core.Client
-	user  string
-	role  uint8 // wire.RoleOwner or wire.RoleViewer
-	pongs chan *wire.Pong
+	user    string
+	role    uint8 // wire.RoleOwner or wire.RoleViewer
+	pongs   chan *wire.Pong
+	replies chan *wire.AuditReply
+
+	// aud is the in-flight integrity-probe state; owned entirely by the
+	// flush loop (the sole prober), so it needs no lock.
+	aud auditConn
 
 	// Overload protection. The estimator is fed from two goroutines —
 	// flush progress by the flush loop, heartbeat RTT by the read loop —
@@ -682,6 +739,13 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 			}
 		case *wire.UpdateRequest:
 			// Push architecture: requests are legal but unnecessary.
+		case *wire.AuditReply:
+			// Queue the digest reply for the flush loop, which owns the
+			// audit state machine.
+			select {
+			case c.replies <- v:
+			default: // audit loop backlogged; the next probe re-checks
+			}
 		default:
 			return fmt.Errorf("server: unexpected client message %v", m.Type())
 		}
@@ -721,6 +785,12 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 	defer t.Stop()
 	hb := time.NewTicker(c.host.opts.HeartbeatInterval)
 	defer hb.Stop()
+	var auditC <-chan time.Time
+	if !c.host.opts.DisableAudit {
+		at := time.NewTicker(c.host.opts.AuditInterval)
+		defer at.Stop()
+		auditC = at.C
+	}
 	batch := wire.NewBatch()
 	defer batch.Release()
 	var pingSeq uint32
@@ -757,6 +827,12 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 				return err
 			}
 			if err := flush(); err != nil {
+				return err
+			}
+		case r := <-c.replies:
+			c.auditReply(r)
+		case <-auditC:
+			if err := c.auditTick(queue, flush); err != nil {
 				return err
 			}
 		case <-hb.C:

@@ -36,6 +36,13 @@ type hostMetrics struct {
 
 	viewerAttaches, viewersRejected *telemetry.Counter
 	viewerInputDropped              *telemetry.Counter
+
+	auditProbes, auditReplies                *telemetry.Counter
+	auditMismatchedTiles, auditRepairedTiles *telemetry.Counter
+	auditRepairedBytes                       *telemetry.Counter
+	auditSweeps, auditResyncs                *telemetry.Counter
+	auditTimeouts, auditLegacyPeers          *telemetry.Counter
+	auditRTT                                 *telemetry.Histogram
 }
 
 // wireTypeLabels names the per-type series: the five display commands
@@ -94,6 +101,26 @@ func newHostMetrics(h *Host) *hostMetrics {
 			"viewer attaches refused by the MaxViewers bound"),
 		viewerInputDropped: reg.Counter("thinc_session_viewer_input_dropped_total",
 			"input events from viewer-role connections discarded"),
+		auditProbes: reg.Counter("thinc_audit_probes_total",
+			"integrity-audit probes sent to clients"),
+		auditReplies: reg.Counter("thinc_audit_replies_total",
+			"integrity-audit digest replies received"),
+		auditMismatchedTiles: reg.Counter("thinc_audit_mismatched_tiles_total",
+			"framebuffer tiles whose client digest diverged"),
+		auditRepairedTiles: reg.Counter("thinc_audit_repaired_tiles_total",
+			"divergent tiles healed by targeted RAW repair"),
+		auditRepairedBytes: reg.Counter("thinc_audit_repaired_bytes_total",
+			"uncompressed payload bytes of targeted tile repairs"),
+		auditSweeps: reg.Counter("thinc_audit_sweeps_total",
+			"escalations from sampled window to full-screen sweep"),
+		auditResyncs: reg.Counter("thinc_audit_resyncs_total",
+			"full resyncs forced by the audit escalation ladder"),
+		auditTimeouts: reg.Counter("thinc_audit_timeouts_total",
+			"audit probes unanswered past the timeout"),
+		auditLegacyPeers: reg.Counter("thinc_audit_legacy_peers_total",
+			"pre-v4 peers detected by probe silence and left alone"),
+		auditRTT: reg.Histogram("thinc_audit_probe_rtt_us",
+			"round-trip time of answered integrity probes", telemetry.LatencyBucketsUS),
 	}
 
 	// Per-type wire counters, pre-registered so /metrics always lists

@@ -394,26 +394,39 @@ type SeriesSnapshot struct {
 // Snapshot captures every series, sorted by name then label string —
 // the payload bench harnesses serialize to BENCH_*.json.
 func (r *Registry) Snapshot() []SeriesSnapshot {
+	// Like WritePrometheus, copy the structure under the lock but
+	// evaluate series values outside it: a GaugeFunc may read back
+	// through the registry (e.g. a derived ratio gauge), which would
+	// self-deadlock on a held mutex.
+	type entry struct {
+		f *family
+		s *series
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	var out []SeriesSnapshot
+	var entries []entry
 	for _, f := range r.families {
 		for _, s := range f.series {
-			snap := SeriesSnapshot{Name: f.name, Kind: f.kind}
-			if len(s.labels) > 0 {
-				snap.Labels = make(map[string]string, len(s.labels))
-				for _, l := range s.labels {
-					snap.Labels[l.Key] = l.Value
-				}
-			}
-			if s.hist != nil {
-				h := s.hist.Snapshot()
-				snap.Histogram = &h
-			} else {
-				snap.Value = s.value()
-			}
-			out = append(out, snap)
+			entries = append(entries, entry{f, s})
 		}
+	}
+	r.mu.Unlock()
+	out := make([]SeriesSnapshot, 0, len(entries))
+	for _, e := range entries {
+		f, s := e.f, e.s
+		snap := SeriesSnapshot{Name: f.name, Kind: f.kind}
+		if len(s.labels) > 0 {
+			snap.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				snap.Labels[l.Key] = l.Value
+			}
+		}
+		if s.hist != nil {
+			h := s.hist.Snapshot()
+			snap.Histogram = &h
+		} else {
+			snap.Value = s.value()
+		}
+		out = append(out, snap)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterGauge(t *testing.T) {
@@ -67,6 +68,30 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if s.Count != 6 || s.Sum != 5+10+11+100+500+5000 {
 		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+}
+
+// TestSnapshotReentrantGaugeFunc guards against a self-deadlock: a
+// GaugeFunc that reads back through the registry (a derived ratio
+// gauge) must not hang Snapshot, which used to evaluate values while
+// holding the registry lock.
+func TestSnapshotReentrantGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_base_total", "base")
+	c.Add(5)
+	r.GaugeFunc("test_derived", "reads the registry back",
+		func() int64 { return r.Value("test_base_total") * 2 })
+	done := make(chan []SeriesSnapshot, 1)
+	go func() { done <- r.Snapshot() }()
+	select {
+	case snaps := <-done:
+		for _, s := range snaps {
+			if s.Name == "test_derived" && s.Value != 10 {
+				t.Fatalf("derived gauge = %d, want 10", s.Value)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Snapshot deadlocked on a reentrant GaugeFunc")
 	}
 }
 

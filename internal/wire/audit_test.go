@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestAuditProbeValidation(t *testing.T) {
+	good, err := Marshal(&AuditProbe{Seq: 1, Tile: 16, Start: 0, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), good[HeaderSize:]...)
+
+	// Tile 0 would divide by zero in every tiler downstream; reject it
+	// at the decoder.
+	zeroTile := append([]byte(nil), payload...)
+	binary.BigEndian.PutUint16(zeroTile[4:], 0)
+	if _, err := Unmarshal(TAuditProbe, zeroTile); err == nil {
+		t.Error("probe with Tile=0 decoded without error")
+	}
+
+	// A hostile Count above the bound is rejected before any work.
+	bigCount := append([]byte(nil), payload...)
+	binary.BigEndian.PutUint16(bigCount[10:], MaxAuditTiles+1)
+	if _, err := Unmarshal(TAuditProbe, bigCount); err == nil {
+		t.Error("probe with Count > MaxAuditTiles decoded without error")
+	}
+}
+
+func TestAuditReplyCountValidation(t *testing.T) {
+	good, err := Marshal(&AuditReply{Seq: 1, Start: 0, W: 96, H: 64, Count: 2,
+		Digests: []uint64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), good[HeaderSize:]...)
+
+	// Count must match the trailing digest array exactly: a count that
+	// promises more or fewer digests than follow is corruption, never a
+	// partial read.
+	for _, count := range []uint16{0, 1, 3, MaxAuditTiles + 1} {
+		mut := append([]byte(nil), payload...)
+		binary.BigEndian.PutUint16(mut[12:], count)
+		if _, err := Unmarshal(TAuditReply, mut); err == nil {
+			t.Errorf("reply with Count=%d over 2 digests decoded without error", count)
+		}
+	}
+
+	// An empty reply (timed-out client answering "nothing") is legal.
+	empty, err := Marshal(&AuditReply{Seq: 7, Start: 0, W: 96, H: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(TAuditReply, empty[HeaderSize:])
+	if err != nil {
+		t.Fatalf("empty reply rejected: %v", err)
+	}
+	if r := m.(*AuditReply); r.Seq != 7 || len(r.Digests) != 0 {
+		t.Fatalf("empty reply decoded as %#v", r)
+	}
+}
+
+// FuzzAuditReply drives the digest-carrying reply decoder directly:
+// anything accepted must carry exactly Count digests backed by the
+// input and survive a marshal / re-decode round trip.
+func FuzzAuditReply(f *testing.F) {
+	seeds := []*AuditReply{
+		{Seq: 1, Start: 0, W: 96, H: 64, Count: 2, Digests: []uint64{1, 2}},
+		{Seq: 9, Start: 1 << 20, W: 1024, H: 768},
+		{},
+	}
+	for _, m := range seeds {
+		buf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[HeaderSize:])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := Unmarshal(TAuditReply, payload)
+		if err != nil {
+			return
+		}
+		r := m.(*AuditReply)
+		if len(r.Digests) != int(r.Count) {
+			t.Fatalf("accepted reply has %d digests but Count=%d", len(r.Digests), r.Count)
+		}
+		if 8*len(r.Digests) > len(payload) {
+			t.Fatalf("decoder conjured %d digests from a %d-byte payload",
+				len(r.Digests), len(payload))
+		}
+		out, err := Marshal(r)
+		if err != nil {
+			t.Fatalf("accepted reply failed to marshal: %v", err)
+		}
+		m2, err := ReadMessage(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		r2 := m2.(*AuditReply)
+		if r2.Seq != r.Seq || r2.Start != r.Start || r2.W != r.W || r2.H != r.H ||
+			r2.Count != r.Count {
+			t.Fatalf("reply changed across round trip: %#v -> %#v", r, r2)
+		}
+		for i := range r.Digests {
+			if r2.Digests[i] != r.Digests[i] {
+				t.Fatalf("digest %d changed across round trip", i)
+			}
+		}
+	})
+}

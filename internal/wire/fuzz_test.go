@@ -61,7 +61,8 @@ func controlMessages() []Message {
 		switch m.(type) {
 		case *ServerInit, *ClientInit, *Resize, *Input,
 			*AuthChallenge, *AuthResponse, *AuthResult, *UpdateRequest,
-			*Ping, *Pong, *SessionTicket, *Reattach, *DegradeNotice:
+			*Ping, *Pong, *SessionTicket, *Reattach, *DegradeNotice,
+			*AuditProbe, *AuditReply:
 			ctl = append(ctl, m)
 		}
 	}

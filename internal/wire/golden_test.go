@@ -96,6 +96,9 @@ func goldenVectors() []goldenVector {
 			ViewW: 320, ViewH: 240, Name: "pda", Role: RoleViewer}},
 		{"degrade_notice", &DegradeNotice{Rung: 2, Cause: CauseBacklog,
 			BacklogBytes: 1 << 20, EstBps: 3 << 20}},
+		{"audit_probe", &AuditProbe{Seq: 9, Tile: 64, Start: 16, Count: 8}},
+		{"audit_reply", &AuditReply{Seq: 9, Start: 16, W: 1024, H: 768, Count: 2,
+			Digests: []uint64{0x0123456789abcdef, 0xcafebabe00facade}}},
 	}
 }
 

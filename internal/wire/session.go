@@ -10,10 +10,12 @@ import "encoding/binary"
 // ProtoVersion is the current protocol revision, carried in ServerInit.
 // Version 1 is the original handshake; version 2 adds heartbeats and
 // session reattach; version 3 adds the DegradeNotice quality-state
-// message. Receivers skip well-framed unknown message types, so the
-// version is informational: it lets a client know whether the server
-// will honor Reattach at all.
-const ProtoVersion = 3
+// message; version 4 adds the AuditProbe/AuditReply integrity audit.
+// Receivers skip well-framed unknown message types, so the version is
+// informational: it lets a client know whether the server will honor
+// Reattach at all, and a v4 server detects (and stops probing) a
+// pre-v4 client by its silence rather than by the version byte.
+const ProtoVersion = 4
 
 // MaxTicketLen bounds a session ticket on the wire.
 const MaxTicketLen = 64

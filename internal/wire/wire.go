@@ -60,6 +60,9 @@ const (
 	TReattach
 
 	TDegradeNotice
+
+	TAuditProbe
+	TAuditReply
 )
 
 var typeNames = map[Type]string{
@@ -73,6 +76,8 @@ var typeNames = map[Type]string{
 	TPing: "PING", TPong: "PONG",
 	TSessionTicket: "SESSION_TICKET", TReattach: "REATTACH",
 	TDegradeNotice: "DEGRADE_NOTICE",
+	TAuditProbe:    "AUDIT_PROBE",
+	TAuditReply:    "AUDIT_REPLY",
 }
 
 func (t Type) String() string {
@@ -257,6 +262,10 @@ func Unmarshal(t Type, payload []byte) (Message, error) {
 		m, err = decodeReattach(&d)
 	case TDegradeNotice:
 		m, err = decodeDegradeNotice(&d)
+	case TAuditProbe:
+		m, err = decodeAuditProbe(&d)
+	case TAuditReply:
+		m, err = decodeAuditReply(&d)
 	default:
 		return nil, &UnknownTypeError{T: t}
 	}

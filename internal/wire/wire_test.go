@@ -56,6 +56,9 @@ func sampleMessages() []Message {
 			ViewW: 320, ViewH: 240, Name: "pda"},
 		&DegradeNotice{Rung: 2, Cause: CauseBacklog,
 			BacklogBytes: 1 << 20, EstBps: 3 << 20},
+		&AuditProbe{Seq: 11, Tile: 64, Start: 8, Count: 4},
+		&AuditReply{Seq: 11, Start: 8, W: 1024, H: 768, Count: 2,
+			Digests: []uint64{0x0123456789abcdef, 0xfedcba9876543210}},
 	}
 }
 
