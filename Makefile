@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-snapshot bench-smoke soak
+.PHONY: all build vet test race check cover bench-snapshot bench-smoke bench-e2e-smoke soak
 
 all: check
 
@@ -53,3 +53,11 @@ bench-smoke:
 	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkTranslateFanout -benchtime=100x -count=1
 	$(GO) test ./internal/fb/ -run 'TestDigestHotPathZeroAlloc' -count=1
 	$(GO) test ./internal/fb/ -run '^$$' -bench BenchmarkTileDigest -benchtime=100x -count=1
+
+# End-to-end latency smoke: a short live sweep (2 workloads x loopback +
+# shaped WAN x 2 pinned rungs) through the wire-v5 mark loop. The run
+# self-checks the report — it fails if any pipeline stage reports zero
+# samples or any cell never got an acked mark. The JSON lands in a temp
+# file so the committed BENCH_pr7.json (full-duration run) stays put.
+bench-e2e-smoke:
+	$(GO) run ./cmd/thinc-bench -e2e -e2e-duration 500ms -e2e-out /tmp/bench_e2e_smoke.json

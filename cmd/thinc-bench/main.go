@@ -37,7 +37,18 @@ func main() {
 	seconds := flag.Float64("seconds", 0, "A/V clip seconds (0 = full 34.75s clip)")
 	quick := flag.Bool("quick", false, "shortcut for -pages 9 -seconds 5")
 	telemetryOut := flag.String("telemetry-out", "", "write a THINC telemetry snapshot (per-command-type bytes + core series) to this JSON file")
+	e2e := flag.Bool("e2e", false, "run the live end-to-end latency sweep instead of the figure benchmarks")
+	e2eOut := flag.String("e2e-out", "BENCH_pr7.json", "where -e2e writes its percentile report")
+	e2eDur := flag.Duration("e2e-duration", 2*time.Second, "damage time per (workload, link, rung) cell")
 	flag.Parse()
+
+	if *e2e {
+		if err := runE2EMode(*e2eOut, *e2eDur); err != nil {
+			fmt.Fprintf(os.Stderr, "e2e: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *quick {
 		if *pages == 0 {
@@ -83,6 +94,38 @@ func main() {
 		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runE2EMode sweeps the live end-to-end latency cells (workloads x
+// links x rungs), writes the percentile report, and self-checks it —
+// the CI smoke job fails on any cell with a silent stage.
+func runE2EMode(path string, dur time.Duration) error {
+	start := time.Now()
+	report, err := bench.RunE2E(bench.E2EOptions{Duration: dur},
+		func(msg string) { fmt.Println(msg) })
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := report.Check(); err != nil {
+		return fmt.Errorf("report self-check: %w", err)
+	}
+	for _, r := range report.Runs {
+		fmt.Printf("%-8s %-9s rung=%-12s acks=%-4d p50=%-7dus p95=%-7dus p99=%-7dus\n",
+			r.Workload, r.Link, r.RungName, r.Acks, r.E2E.P50, r.E2E.P95, r.E2E.P99)
+	}
+	fmt.Printf("e2e report written to %s (%v)\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeTelemetry runs THINC's web and A/V workloads over the LAN

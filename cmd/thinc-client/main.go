@@ -11,14 +11,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
 	"time"
 
 	"thinc/internal/client"
+	"thinc/internal/logx"
 	"thinc/internal/wire"
 )
+
+var lg = logx.Component("thinc-client")
 
 func main() {
 	addr := flag.String("addr", "localhost:4900", "server address")
@@ -31,7 +33,13 @@ func main() {
 	reconnect := flag.Bool("reconnect", false, "auto-reconnect with backoff and resume the session by ticket")
 	viewer := flag.Bool("viewer", false, "attach read-only to the session broadcast (input is discarded)")
 	noAudit := flag.Bool("no-audit", false, "ignore integrity-audit probes (emulates a pre-v4 peer)")
+	noE2E := flag.Bool("no-e2e", false, "ignore end-to-end TimeMarks (emulates a pre-v5 peer)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+	if err := logx.Setup(*logFormat, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	role := wire.RoleOwner
 	if *viewer {
@@ -46,8 +54,12 @@ func main() {
 	if *noAudit {
 		conn.SetAuditDisabled(true)
 	}
-	log.Printf("connected: session %dx%d, viewport %dx%d",
-		conn.ServerW, conn.ServerH, conn.Snapshot().W(), conn.Snapshot().H())
+	if *noE2E {
+		conn.SetE2EDisabled(true)
+	}
+	lg.Info("connected", "user", *user,
+		"session_w", conn.ServerW, "session_h", conn.ServerH,
+		"view_w", conn.Snapshot().W(), "view_h", conn.Snapshot().H())
 
 	done := make(chan error, 1)
 	if *reconnect {
@@ -70,7 +82,7 @@ func main() {
 
 	select {
 	case err := <-done:
-		log.Printf("stream ended: %v", err)
+		lg.Warn("stream ended", "user", *user, "err", fmt.Sprint(err))
 	case <-time.After(*duration):
 	}
 
@@ -99,5 +111,9 @@ func main() {
 	if st.AuditProbes > 0 {
 		fmt.Printf("integrity audit: %d probes, %d replies\n",
 			st.AuditProbes, st.AuditReplies)
+	}
+	if st.MarksSeen > 0 {
+		fmt.Printf("e2e tracing: %d marks, %d acks\n",
+			st.MarksSeen, st.MarkAcksSent)
 	}
 }

@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"sync"
@@ -23,6 +22,7 @@ import (
 	"thinc/internal/compress"
 	"thinc/internal/core"
 	"thinc/internal/geom"
+	"thinc/internal/logx"
 	"thinc/internal/pixel"
 	"thinc/internal/server"
 	"thinc/internal/telemetry"
@@ -30,6 +30,8 @@ import (
 	"thinc/internal/wire"
 	"thinc/internal/xserver"
 )
+
+var lg = logx.Component("thinc-server")
 
 func main() {
 	addr := flag.String("addr", ":4900", "listen address")
@@ -48,9 +50,15 @@ func main() {
 	auditInterval := flag.Duration("audit-interval", 2*time.Second, "integrity-audit probe cadence per client")
 	auditSample := flag.Int("audit-sample", 0, "tiles digested per audit probe (0 = default 16)")
 	noAudit := flag.Bool("no-audit", false, "disable the wire-v4 integrity audit entirely")
+	noE2E := flag.Bool("no-e2e", false, "disable wire-v5 end-to-end mark tracing")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. :6060; empty disables)")
 	statsInterval := flag.Duration("stats-interval", 0, "print a one-line telemetry summary at this interval (0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+	if err := logx.Setup(*logFormat, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	accounts := auth.NewAccounts()
 	accounts.Add(*user, *pass)
@@ -71,31 +79,36 @@ func main() {
 		AuditInterval:     *auditInterval,
 		AuditSampleTiles:  *auditSample,
 		DisableAudit:      *noAudit,
+		DisableE2E:        *noE2E,
 	})
 	app.host = host
 
 	if *record != "" {
 		f, err := os.Create(*record)
 		if err != nil {
-			log.Fatalf("record: %v", err)
+			lg.Error("record", "err", err.Error())
+			os.Exit(1)
 		}
 		rec := host.Record(f)
 		defer func() {
 			if err := rec.Close(); err != nil {
-				log.Printf("recorder: %v", err)
+				lg.Error("recorder", "err", err.Error())
 			}
 			f.Close()
 		}()
-		log.Printf("recording session to %s", *record)
+		lg.Info("recording session", "path", *record)
 	}
 
 	if *debugAddr != "" {
 		dbg, err := telemetry.Serve(*debugAddr, host.Telemetry(), host.Tracer())
 		if err != nil {
-			log.Fatalf("debug listener: %v", err)
+			lg.Error("debug listener", "err", err.Error())
+			os.Exit(1)
 		}
 		defer dbg.Close()
-		log.Printf("debug listener on http://%s (/metrics, /debug/trace, /debug/pprof)", dbg.Addr())
+		lg.Info("debug listener up",
+			"url", "http://"+dbg.Addr(),
+			"endpoints", "/metrics /debug/trace /debug/spans /debug/pprof")
 	}
 	if *statsInterval > 0 {
 		go statsLoop(host, *statsInterval)
@@ -110,9 +123,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("thinc-server: %dx%d session on %s (user %q)", *w, *h, l.Addr(), *user)
+	lg.Info("session listening", "addr", l.Addr().String(),
+		"w", *w, "h", *h, "user", *user)
 	if err := host.Serve(l); err != nil {
-		log.Fatalf("serve: %v", err)
+		lg.Error("serve", "err", err.Error())
+		os.Exit(1)
 	}
 }
 
@@ -132,9 +147,12 @@ func statsLoop(host *server.Host, interval time.Duration) {
 		if rttN > 0 {
 			rttAvg = rttSum / rttN
 		}
-		log.Printf("stats: clients=%d msgs=%d (+%d) bytes=%d (+%d) queued=%d merged=%d evicted=%d rtt_avg=%dus",
-			host.NumClients(), msgs, msgs-lastMsgs, bytes, bytes-lastBytes,
-			queued, merged, evicted, rttAvg)
+		lg.Info("stats",
+			"clients", host.NumClients(),
+			"msgs", msgs, "msgs_delta", msgs-lastMsgs,
+			"bytes", bytes, "bytes_delta", bytes-lastBytes,
+			"queued", queued, "merged", merged, "evicted", evicted,
+			"rtt_avg_us", rttAvg)
 		lastMsgs, lastBytes = msgs, bytes
 	}
 }
@@ -230,7 +248,7 @@ func (a *demoApp) input(ev *wire.Input) {
 		defer a.mu.Unlock()
 		if ev.Press {
 			if panel.Click(d, geom.Point{X: ev.X, Y: ev.Y}) {
-				log.Printf("button pressed (clicks=%d)", a.clicks)
+				lg.Info("button pressed", "clicks", a.clicks)
 			}
 		} else {
 			panel.Release(d)

@@ -13,16 +13,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
 
 	"thinc/internal/client"
 	"thinc/internal/fb"
+	"thinc/internal/logx"
 	"thinc/internal/resample"
 	"thinc/internal/wire"
 )
+
+var lg = logx.Component("thinc-view")
 
 func main() {
 	addr := flag.String("addr", "localhost:4900", "server address")
@@ -34,7 +36,12 @@ func main() {
 	once := flag.Bool("once", false, "render a single frame and exit")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until the stream ends)")
 	viewer := flag.Bool("viewer", false, "attach read-only to the session broadcast")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+	if err := logx.Setup(*logFormat, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	role := wire.RoleOwner
 	if *viewer {
@@ -67,7 +74,7 @@ func main() {
 		select {
 		case err := <-done:
 			fmt.Print("\x1b[0m\n")
-			log.Printf("stream ended: %v", err)
+			lg.Warn("stream ended", "user", *user, "err", fmt.Sprint(err))
 			return
 		case <-stop:
 			fmt.Print("\x1b[0m\n")

@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/client"
+	"thinc/internal/geom"
+	"thinc/internal/overload"
+	"thinc/internal/pixel"
+	"thinc/internal/server"
+	"thinc/internal/sim"
+	"thinc/internal/simnet"
+	"thinc/internal/telemetry"
+	"thinc/internal/xserver"
+)
+
+// End-to-end latency bench (wire v5): drives live server+client
+// sessions over loopback and over simnet-shaped links, lets the mark
+// loop measure client-perceived damage-to-glass latency, and snapshots
+// per-stage and per-rung percentiles — the numbers BENCH_pr7.json
+// records. Unlike the figure benchmarks (simulated testbeds on virtual
+// time), every run here is a real TCP session on the wall clock.
+
+// E2EOptions configures a bench sweep.
+type E2EOptions struct {
+	// Duration each (workload, link, rung) run drives damage for.
+	Duration time.Duration
+	// Rungs pins each run's degradation rung (ladder disabled).
+	Rungs []int
+	// W, H is the session geometry.
+	W, H int
+}
+
+func (o E2EOptions) withDefaults() E2EOptions {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if len(o.Rungs) == 0 {
+		o.Rungs = []int{0, 2}
+	}
+	if o.W <= 0 || o.H <= 0 {
+		o.W, o.H = 320, 240
+	}
+	return o
+}
+
+// E2EPercentiles summarizes one latency distribution in microseconds.
+type E2EPercentiles struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50_us"`
+	P95   int64 `json:"p95_us"`
+	P99   int64 `json:"p99_us"`
+	Avg   int64 `json:"avg_us"`
+}
+
+// E2ERun is one (workload, link, rung) cell of the sweep.
+type E2ERun struct {
+	Workload string `json:"workload"`
+	Link     string `json:"link"`
+	Rung     int    `json:"rung"`
+	RungName string `json:"rung_name"`
+
+	Marks    int `json:"marks"`
+	Acks     int `json:"acks"`
+	Timeouts int `json:"timeouts"`
+
+	E2E    E2EPercentiles            `json:"e2e"`
+	Stages map[string]E2EPercentiles `json:"stages"`
+}
+
+// E2EReport is the BENCH_pr7.json payload.
+type E2EReport struct {
+	Schema   string   `json:"schema"`
+	Duration string   `json:"duration_per_run"`
+	Runs     []E2ERun `json:"runs"`
+}
+
+// Write serializes the report as indented JSON.
+func (r *E2EReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Check validates the acceptance shape: at least two rungs over both a
+// loopback and a shaped link, and non-zero samples in every stage of
+// every run. The CI smoke target calls it after a short sweep.
+func (r *E2EReport) Check() error {
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("e2e report has no runs")
+	}
+	links := map[string]bool{}
+	rungs := map[int]bool{}
+	for _, run := range r.Runs {
+		links[run.Link] = true
+		rungs[run.Rung] = true
+		if run.Acks == 0 {
+			return fmt.Errorf("%s/%s rung %d: no acked marks", run.Workload, run.Link, run.Rung)
+		}
+		if run.E2E.Count == 0 {
+			return fmt.Errorf("%s/%s rung %d: empty e2e histogram", run.Workload, run.Link, run.Rung)
+		}
+		for _, stage := range []string{"queue", "write", "wire", "apply"} {
+			if run.Stages[stage].Count == 0 {
+				return fmt.Errorf("%s/%s rung %d: stage %q has no samples",
+					run.Workload, run.Link, run.Rung, stage)
+			}
+		}
+	}
+	if !links["loopback"] {
+		return fmt.Errorf("no loopback runs in report")
+	}
+	if len(links) < 2 {
+		return fmt.Errorf("no shaped-link runs in report")
+	}
+	if len(rungs) < 2 {
+		return fmt.Errorf("report covers %d rung(s), want >= 2", len(rungs))
+	}
+	return nil
+}
+
+// e2eWorkload drives deterministic damage against a live display until
+// the deadline. Each returns roughly workload-shaped traffic: "desktop"
+// is fills, text and copies (the §8 web mix); "media" is full-region
+// PutImage frames (the §8 video mix).
+type e2eWorkload struct {
+	name string
+	run  func(host *server.Host, w, h int, deadline time.Time)
+}
+
+func e2eWorkloads() []e2eWorkload {
+	return []e2eWorkload{
+		{name: "desktop", run: func(host *server.Host, w, h int, deadline time.Time) {
+			tick := 0
+			for time.Now().Before(deadline) {
+				tick++
+				host.Do(func(d *xserver.Display) {
+					win := d.CreateWindow(geom.XYWH(0, 0, w, h))
+					d.FillRect(win, &xserver.GC{Fg: pixel.RGB(24, 26, 32)}, win.Bounds())
+					d.FillRect(win, &xserver.GC{Fg: pixel.RGB(uint8(tick*13), 80, 40)},
+						geom.XYWH((tick*7)%(w/2), (tick*5)%(h/2), w/4, h/4))
+					d.DrawText(win, &xserver.GC{Fg: pixel.RGB(240, 240, 240)}, 8, 8,
+						fmt.Sprintf("page %d", tick))
+					pm := d.CreatePixmap(w/2, 16)
+					d.FillRect(pm, &xserver.GC{Fg: pixel.RGB(40, 44, 52)}, pm.Bounds())
+					d.DrawText(pm, &xserver.GC{Fg: pixel.RGB(120, 220, 120)}, 4, 4,
+						fmt.Sprintf("tick %d", tick))
+					d.CopyArea(win, pm, pm.Bounds(), geom.Point{X: 0, Y: h - 16})
+					d.FreePixmap(pm)
+				})
+				time.Sleep(5 * time.Millisecond)
+			}
+		}},
+		{name: "media", run: func(host *server.Host, w, h int, deadline time.Time) {
+			fw, fh := w/2, h/2
+			frame := make([]pixel.ARGB, fw*fh)
+			tick := 0
+			for time.Now().Before(deadline) {
+				tick++
+				for i := range frame {
+					frame[i] = pixel.RGB(uint8(i+tick*3), uint8(i>>4), uint8(tick*7))
+				}
+				host.Do(func(d *xserver.Display) {
+					win := d.CreateWindow(geom.XYWH(0, 0, w, h))
+					d.PutImage(win, geom.XYWH(w/4, h/4, fw, fh), frame, fw)
+				})
+				time.Sleep(10 * time.Millisecond)
+			}
+		}},
+	}
+}
+
+// e2eLinks names the network paths of the sweep: a direct loopback dial
+// and simnet-shaped proxies for the paper's WAN and wireless profiles.
+type e2eLink struct {
+	name   string
+	params *simnet.LinkParams // nil = direct loopback
+}
+
+func e2eLinks() []e2eLink {
+	wan := simnet.LinkParams{Name: "WAN", Bandwidth: 100e6,
+		RTT: 20 * sim.Millisecond, Window: 1 << 20}
+	return []e2eLink{
+		{name: "loopback"},
+		{name: "wan20ms", params: &wan},
+	}
+}
+
+// RunE2E sweeps workloads x links x rungs and collects the report.
+func RunE2E(opts E2EOptions, progress func(string)) (*E2EReport, error) {
+	opts = opts.withDefaults()
+	report := &E2EReport{
+		Schema:   "thinc-e2e-bench/v1",
+		Duration: opts.Duration.String(),
+	}
+	for _, wl := range e2eWorkloads() {
+		for _, link := range e2eLinks() {
+			for _, rung := range opts.Rungs {
+				if progress != nil {
+					progress(fmt.Sprintf("e2e: %s over %s at rung %s",
+						wl.name, link.name, overload.RungName(rung)))
+				}
+				run, err := runE2ECell(opts, wl, link, rung)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s rung %d: %w", wl.name, link.name, rung, err)
+				}
+				report.Runs = append(report.Runs, run)
+			}
+		}
+	}
+	return report, nil
+}
+
+// runE2ECell runs one live session cell and extracts its histograms.
+func runE2ECell(opts E2EOptions, wl e2eWorkload, link e2eLink, rung int) (E2ERun, error) {
+	run := E2ERun{Workload: wl.name, Link: link.name,
+		Rung: rung, RungName: overload.RungName(rung)}
+
+	accounts := auth.NewAccounts()
+	accounts.Add("bench", "pw")
+	host := server.NewHost(opts.W, opts.H, auth.NewAuthenticator("bench", accounts),
+		server.Options{
+			FlushInterval:   time.Millisecond,
+			MarkInterval:    2 * time.Millisecond,
+			DisableAudit:    true,
+			DisableOverload: true, // hard-pin the rung below
+		})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return run, err
+	}
+	defer l.Close()
+	go host.Serve(l)
+	host.ForceRung(rung)
+
+	addr := l.Addr().String()
+	if link.params != nil {
+		shaped, stop, err := simnet.StartProxy(addr, *link.params)
+		if err != nil {
+			return run, err
+		}
+		defer stop()
+		addr = shaped
+	}
+	conn, err := client.Dial(addr, "bench", "pw", opts.W, opts.H)
+	if err != nil {
+		return run, err
+	}
+	defer conn.Close()
+	go conn.Run()
+	// The attach raced ForceRung for connections already dialing; pin
+	// again now that the client is live so the cell's rung is certain.
+	host.ForceRung(rung)
+
+	wl.run(host, opts.W, opts.H, time.Now().Add(opts.Duration))
+	// Let in-flight marks drain before reading the histograms: the last
+	// flush's ack needs a round trip (shaped links pay the full RTT).
+	settle := 250 * time.Millisecond
+	if link.params != nil {
+		settle += time.Duration(link.params.RTT) * time.Microsecond
+	}
+	time.Sleep(settle)
+
+	reg := host.Telemetry()
+	run.Marks = int(reg.Value("thinc_e2e_marks_total"))
+	run.Acks = int(reg.Value("thinc_e2e_acks_total"))
+	run.Timeouts = int(reg.Value("thinc_e2e_timeouts_total"))
+	run.E2E = percentilesOf(histSnap(reg, "thinc_e2e_latency_us",
+		telemetry.L("rung", overload.RungName(rung))), 1)
+	run.Stages = map[string]E2EPercentiles{}
+	for _, stage := range []string{"queue", "write", "wire", "apply"} {
+		run.Stages[stage] = percentilesOf(histSnap(reg, "thinc_e2e_stage_ns",
+			telemetry.L("stage", stage)), 1000) // ns -> us
+	}
+	return run, nil
+}
+
+// histSnap finds one histogram series snapshot by name and labels.
+func histSnap(reg *telemetry.Registry, name string, labels ...telemetry.Label) telemetry.HistogramSnapshot {
+	want := map[string]string{}
+	for _, l := range labels {
+		want[l.Key] = l.Value
+	}
+	for _, s := range reg.Snapshot() {
+		if s.Name != name || s.Histogram == nil {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return *s.Histogram
+		}
+	}
+	return telemetry.HistogramSnapshot{}
+}
+
+// percentilesOf derives p50/p95/p99 from histogram buckets by linear
+// interpolation inside the containing bucket, divided by div (1 for
+// microsecond histograms, 1000 to fold ns buckets to us).
+func percentilesOf(s telemetry.HistogramSnapshot, div int64) E2EPercentiles {
+	p := E2EPercentiles{Count: s.Count}
+	if s.Count == 0 {
+		return p
+	}
+	p.Avg = s.Sum / s.Count / div
+	p.P50 = quantile(s, 0.50) / div
+	p.P95 = quantile(s, 0.95) / div
+	p.P99 = quantile(s, 0.99) / div
+	return p
+}
+
+// quantile locates the q-th quantile in the snapshot's native unit. The
+// overflow bucket reports its lower bound (the histogram cannot resolve
+// beyond its last edge).
+func quantile(s telemetry.HistogramSnapshot, q float64) int64 {
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range s.Buckets {
+		if seen+c < target {
+			seen += c
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		// Position of the target inside this bucket's count.
+		frac := float64(target-seen) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"thinc/internal/telemetry"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	// Buckets: (0,10] has 10 obs, (10,100] has 10 obs.
+	s := telemetry.HistogramSnapshot{
+		Bounds:  []int64{10, 100, 1000},
+		Buckets: []int64{10, 10, 0, 0},
+		Count:   20,
+		Sum:     600,
+	}
+	if got := quantile(s, 0.50); got != 10 {
+		t.Errorf("p50 = %d, want 10 (end of first bucket)", got)
+	}
+	if got := quantile(s, 0.95); got < 80 || got > 100 {
+		t.Errorf("p95 = %d, want ~91 inside (10,100]", got)
+	}
+	p := percentilesOf(s, 1)
+	if p.Count != 20 || p.Avg != 30 {
+		t.Errorf("count/avg = %d/%d, want 20/30", p.Count, p.Avg)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	s := telemetry.HistogramSnapshot{
+		Bounds:  []int64{10, 100},
+		Buckets: []int64{0, 0, 5}, // everything beyond the last edge
+		Count:   5,
+		Sum:     5000,
+	}
+	if got := quantile(s, 0.99); got != 100 {
+		t.Errorf("overflow p99 = %d, want last bound 100", got)
+	}
+}
+
+func TestE2EReportCheck(t *testing.T) {
+	ok := E2EPercentiles{Count: 10, P50: 1, P95: 2, P99: 3}
+	stages := map[string]E2EPercentiles{
+		"queue": ok, "write": ok, "wire": ok, "apply": ok,
+	}
+	good := &E2EReport{Runs: []E2ERun{
+		{Workload: "desktop", Link: "loopback", Rung: 0, Acks: 5, E2E: ok, Stages: stages},
+		{Workload: "desktop", Link: "wan20ms", Rung: 2, Acks: 5, E2E: ok, Stages: stages},
+	}}
+	if err := good.Check(); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+
+	if err := (&E2EReport{}).Check(); err == nil {
+		t.Error("empty report accepted")
+	}
+	noShaped := &E2EReport{Runs: []E2ERun{
+		{Link: "loopback", Rung: 0, Acks: 5, E2E: ok, Stages: stages},
+		{Link: "loopback", Rung: 2, Acks: 5, E2E: ok, Stages: stages},
+	}}
+	if err := noShaped.Check(); err == nil {
+		t.Error("report without a shaped link accepted")
+	}
+	oneRung := &E2EReport{Runs: []E2ERun{
+		{Link: "loopback", Rung: 0, Acks: 5, E2E: ok, Stages: stages},
+		{Link: "wan20ms", Rung: 0, Acks: 5, E2E: ok, Stages: stages},
+	}}
+	if err := oneRung.Check(); err == nil {
+		t.Error("single-rung report accepted")
+	}
+	deadStage := map[string]E2EPercentiles{
+		"queue": ok, "write": ok, "wire": ok, "apply": {},
+	}
+	noApply := &E2EReport{Runs: []E2ERun{
+		{Link: "loopback", Rung: 0, Acks: 5, E2E: ok, Stages: deadStage},
+		{Link: "wan20ms", Rung: 2, Acks: 5, E2E: ok, Stages: stages},
+	}}
+	if err := noApply.Check(); err == nil {
+		t.Error("report with an empty stage accepted")
+	}
+}
+
+func TestE2EReportRoundTrips(t *testing.T) {
+	r := &E2EReport{Schema: "thinc-e2e-bench/v1", Duration: "2s",
+		Runs: []E2ERun{{Workload: "desktop", Link: "loopback", RungName: "lossless",
+			Marks: 3, Acks: 3,
+			E2E:    E2EPercentiles{Count: 3, P50: 900, P95: 1800, P99: 2000, Avg: 1000},
+			Stages: map[string]E2EPercentiles{"queue": {Count: 3}},
+		}}}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back E2EReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Runs[0].E2E.P99 != 2000 || back.Runs[0].Stages["queue"].Count != 3 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

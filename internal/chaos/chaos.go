@@ -78,6 +78,14 @@ type Result struct {
 	WatchdogRecoveries int
 	BudgetEvictions    int64
 
+	// E2E mark/ack health under chaos: marks must flow whenever display
+	// traffic does, and every mark ends either acked or (after transport
+	// mayhem ate consecutive marks) in the conservative legacy verdict —
+	// never in a silently dead measurement loop.
+	E2EMarks       int
+	E2EAcks        int
+	E2ELegacyPeers int
+
 	// ViewerMismatches holds each viewer's first differing pixel index
 	// after release (-1 when byte-identical); ViewerMaxRungs the highest
 	// rung each viewer observed. Converged requires every viewer at -1.
@@ -86,11 +94,12 @@ type Result struct {
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%s seed=%d converged=%v maxRung=%d viewers=%d viewerMismatches=%v reconnects=%d reattaches=%d ups=%d downs=%d resyncs=%d evictions=%d",
+	return fmt.Sprintf("%s seed=%d converged=%v maxRung=%d viewers=%d viewerMismatches=%v reconnects=%d reattaches=%d ups=%d downs=%d resyncs=%d evictions=%d marks=%d acks=%d legacy=%d",
 		r.Schedule.Name, r.Schedule.Seed, r.Converged, r.MaxRungSeen,
 		r.Schedule.Viewers, r.ViewerMismatches,
 		r.Reconnects, r.Reattaches, r.OverloadUps, r.OverloadDowns,
-		r.OverloadResyncs, r.BudgetEvictions)
+		r.OverloadResyncs, r.BudgetEvictions, r.E2EMarks, r.E2EAcks,
+		r.E2ELegacyPeers)
 }
 
 // Suite returns the standard chaos schedules: the three §8 testbed
@@ -163,11 +172,11 @@ func nextPlan(rnd *rand.Rand) faultconn.Plan {
 		return faultconn.Plan{ReadFaultAfter: 1024 + rnd.Int63n(96<<10), Stall: true}
 	case r < 0.40:
 		// Adjacent-write swap on the client->server stream.
-		return faultconn.Plan{ReorderAfter: 256 + rnd.Int63n(2 << 10),
+		return faultconn.Plan{ReorderAfter: 256 + rnd.Int63n(2<<10),
 			ReadFaultAfter: 8<<10 + rnd.Int63n(128<<10)}
 	case r < 0.55:
 		// Retransmit-style duplicate on the client->server stream.
-		return faultconn.Plan{DuplicateAfter: 256 + rnd.Int63n(2 << 10),
+		return faultconn.Plan{DuplicateAfter: 256 + rnd.Int63n(2<<10),
 			ReadFaultAfter: 8<<10 + rnd.Int63n(128<<10)}
 	case r < 0.85:
 		// Server->client cut: the flush dies mid-frame (truncation is
@@ -175,7 +184,7 @@ func nextPlan(rnd *rand.Rand) faultconn.Plan {
 		return faultconn.Plan{ReadFaultAfter: 512 + rnd.Int63n(48<<10)}
 	default:
 		// Client->server cut mid-pong or mid-input.
-		return faultconn.Plan{WriteFaultAfter: 128 + rnd.Int63n(4 << 10)}
+		return faultconn.Plan{WriteFaultAfter: 128 + rnd.Int63n(4<<10)}
 	}
 }
 
@@ -523,6 +532,9 @@ func Run(s Schedule) (Result, error) {
 	res.OverloadResyncs = st.OverloadResyncs
 	res.WatchdogRecoveries = st.WatchdogRecoveries
 	res.BudgetEvictions = host.Telemetry().Total("thinc_sched_budget_evicted_total")
+	res.E2EMarks = st.E2EMarks
+	res.E2EAcks = st.E2EAcks
+	res.E2ELegacyPeers = st.E2ELegacyPeers
 	if cs.DegradeRung > res.MaxRungSeen {
 		res.MaxRungSeen = cs.DegradeRung
 	}

@@ -35,6 +35,17 @@ func TestChaosSuiteConverges(t *testing.T) {
 			if s.Name == "modem-adaptive-ladder" && res.OverloadUps < 1 {
 				t.Fatalf("narrow link never escalated the ladder: %s", res)
 			}
+			// E2E tracing health: the storm delivered display traffic,
+			// so marks must have flowed, and the loop must not end
+			// silently dead — every session either produced acks or
+			// was conservatively retired by the legacy verdict.
+			if res.E2EMarks == 0 {
+				t.Errorf("no TIME_MARKs sent during the storm: %s", res)
+			}
+			if res.E2EAcks == 0 && res.E2ELegacyPeers == 0 {
+				t.Errorf("e2e loop silently dead: marks=%d but no acks and no legacy verdict (%s)",
+					res.E2EMarks, res)
+			}
 			if s.Viewers > 0 {
 				if len(res.ViewerMismatches) != s.Viewers {
 					t.Fatalf("%d of %d viewers attached: %s",

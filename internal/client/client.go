@@ -43,6 +43,11 @@ type Stats struct {
 	// server and digest replies sent back (wire v4).
 	AuditProbes  int
 	AuditReplies int
+
+	// End-to-end tracing (Conn.Stats only): TimeMarks received from the
+	// server and MarkAcks sent back (wire v5).
+	MarksSeen    int
+	MarkAcksSent int
 }
 
 // counters is the lock-free backing store for Stats. The per-type

@@ -94,6 +94,16 @@ type Conn struct {
 	auditReplies atomic.Int64
 	noAudit      atomic.Bool
 
+	// End-to-end mark accounting (wire v5). applyAccumNS gathers the
+	// decode+apply time spent since the last mark, echoed in the next
+	// MarkAck so the server can separate its wire stage from our paint
+	// stage. noE2E simulates a pre-v5 peer: marks are counted but never
+	// acknowledged.
+	marksSeen    atomic.Int64
+	markAcksSent atomic.Int64
+	applyAccumNS atomic.Int64
+	noE2E        atomic.Bool
+
 	tel *connTelemetry
 
 	wmu  sync.Mutex // serializes protocol writes (input, pongs)
@@ -192,6 +202,12 @@ func (cn *Conn) wrappedReader() io.Reader {
 // and the -no-audit client flag to prove the server leaves legacy
 // clients alone.
 func (cn *Conn) SetAuditDisabled(v bool) { cn.noAudit.Store(v) }
+
+// SetE2EDisabled makes the connection ignore TimeMarks (while still
+// counting them) — a faithful stand-in for a pre-v5 peer, used by tests
+// and the -no-e2e client flag to prove the server stops marking legacy
+// clients.
+func (cn *Conn) SetE2EDisabled(v bool) { cn.noE2E.Store(v) }
 
 // handshake authenticates, switches to the encrypted transport, sends
 // the hello (ClientInit or Reattach), and reads the ServerInit.
@@ -354,12 +370,34 @@ func (cn *Conn) Run() error {
 			}
 			cn.auditReplies.Add(1)
 			continue
+		case *wire.TimeMark:
+			// End-to-end tracing (v5): everything the mark covers was
+			// applied before it arrived (TCP keeps the batch in order), so
+			// ack now, echoing the decode+apply time spent since the last
+			// mark. A connection simulating a pre-v5 peer stays silent,
+			// exactly like a client that skips the unknown message type.
+			cn.marksSeen.Add(1)
+			if cn.noE2E.Load() {
+				continue
+			}
+			applyUS := cn.applyAccumNS.Swap(0) / 1000
+			if applyUS > int64(^uint32(0)) {
+				applyUS = int64(^uint32(0))
+			}
+			if err := cn.send(&wire.MarkAck{Epoch: v.Epoch, TimeUS: v.TimeUS,
+				ApplyUS: uint32(applyUS)}); err != nil {
+				return err
+			}
+			cn.markAcksSent.Add(1)
+			continue
 		}
 		start := time.Now()
 		cn.mu.Lock()
 		err = cn.c.Apply(m)
 		cn.mu.Unlock()
-		cn.tel.applyLat.Observe(time.Since(start).Microseconds())
+		elapsed := time.Since(start)
+		cn.applyAccumNS.Add(int64(elapsed))
+		cn.tel.applyLat.Observe(elapsed.Microseconds())
 		cn.tel.updates.Inc()
 		if err != nil {
 			return err
@@ -462,6 +500,8 @@ func (cn *Conn) Stats() Stats {
 	s.DegradeNotices = int(cn.degradeNotices.Load())
 	s.AuditProbes = int(cn.auditProbes.Load())
 	s.AuditReplies = int(cn.auditReplies.Load())
+	s.MarksSeen = int(cn.marksSeen.Load())
+	s.MarkAcksSent = int(cn.markAcksSent.Load())
 	return s
 }
 

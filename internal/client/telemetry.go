@@ -60,6 +60,12 @@ func (cn *Conn) initTelemetry() {
 	reg.CounterFunc("thinc_client_degrade_notices_total",
 		"DegradeNotice messages received",
 		func() int64 { return cn.degradeNotices.Load() })
+	reg.CounterFunc("thinc_client_marks_seen_total",
+		"end-to-end TimeMarks received (wire v5)",
+		func() int64 { return cn.marksSeen.Load() })
+	reg.CounterFunc("thinc_client_mark_acks_sent_total",
+		"MarkAcks answered with accumulated apply time",
+		func() int64 { return cn.markAcksSent.Load() })
 }
 
 // client returns the current display client. RequestResize replaces it,

@@ -43,6 +43,7 @@ type Metrics struct {
 	cmdSize       *telemetry.Histogram
 	flushBytes    *telemetry.Histogram
 	queueWait     *telemetry.Histogram
+	queueLatNS    *telemetry.Histogram
 }
 
 // NewMetrics registers the core instrument bundle into reg. A nil reg
@@ -97,6 +98,9 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		queueWait: reg.Histogram("thinc_sched_queue_wait_flushes",
 			"flush periods a command waited in the buffer before delivery",
 			telemetry.CountBuckets),
+		queueLatNS: reg.Histogram("thinc_sched_queue_latency_ns",
+			"damage-to-drain wall time per delivered command (the queue stage of the e2e pipeline)",
+			telemetry.FineLatencyBucketsNS),
 	}
 	for cl, name := range map[Class]string{
 		Partial: "partial", Complete: "complete", Transparent: "transparent",

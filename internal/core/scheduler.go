@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"thinc/internal/geom"
 	"thinc/internal/wire"
@@ -69,6 +70,10 @@ type entry struct {
 	isFrame  bool
 	slot     string // replacement-slot key ("" = none)
 	inFlush  uint64 // flush counter at insertion (queue-residency metric)
+	// epoch and damageNS carry the translation layer's batch stamp
+	// through the scheduler (wire v5 e2e tracing; see trace.go).
+	epoch    uint64
+	damageNS int64
 	// size caches cmd.WireSize() so queue classification, backlog
 	// accounting, and flush budgeting never recompute it. It is
 	// refreshed whenever the live remainder changes: overwrite
@@ -104,6 +109,12 @@ type ClientBuffer struct {
 
 	rtCenter geom.Point
 	rtTTL    int
+
+	// stampEpoch/stampDamageNS are applied to each added entry;
+	// lastFlush summarizes the most recent delivering flush (trace.go).
+	stampEpoch    uint64
+	stampDamageNS int64
+	lastFlush     FlushTrace
 
 	// FIFO disables SRSF and real-time scheduling: commands flush in
 	// arrival order (the ablation baseline for §5).
@@ -280,7 +291,8 @@ func (b *ClientBuffer) Add(cmd Command) {
 		return
 	}
 
-	e := &entry{cmd: cmd, seq: b.seq, deps: deps, inFlush: b.flushes, size: size}
+	e := &entry{cmd: cmd, seq: b.seq, deps: deps, inFlush: b.flushes, size: size,
+		epoch: b.stampEpoch, damageNS: b.stampDamageNS}
 	b.seq++
 
 	// Real-time classification: small, dependency-free updates
@@ -315,13 +327,15 @@ func (b *ClientBuffer) AddSlot(cmd Command, key string) {
 	for i, e := range b.entries {
 		if e.slot == key {
 			e2 := &entry{cmd: cmd, seq: e.seq, deps: e.deps,
-				realtime: e.realtime, slot: key, inFlush: e.inFlush, size: size}
+				realtime: e.realtime, slot: key, inFlush: e.inFlush, size: size,
+				epoch: b.stampEpoch, damageNS: b.stampDamageNS}
 			b.entries[i] = e2
 			b.redirectDeps(e, e2)
 			return
 		}
 	}
-	e := &entry{cmd: cmd, seq: b.seq, slot: key, inFlush: b.flushes, size: size}
+	e := &entry{cmd: cmd, seq: b.seq, slot: key, inFlush: b.flushes, size: size,
+		epoch: b.stampEpoch, damageNS: b.stampDamageNS}
 	b.seq++
 	if cc, ok := cmd.(*ctlCmd); ok && cc.rt {
 		e.realtime = true
@@ -360,7 +374,8 @@ func (b *ClientBuffer) AddFrame(cmd *FrameCmd) (dropped bool) {
 	for i, e := range b.entries {
 		if e.isFrame && e.stream == cmd.StreamID {
 			e2 := &entry{cmd: cmd, seq: e.seq, deps: e.deps,
-				stream: cmd.StreamID, isFrame: true, inFlush: e.inFlush, size: size}
+				stream: cmd.StreamID, isFrame: true, inFlush: e.inFlush, size: size,
+				epoch: b.stampEpoch, damageNS: b.stampDamageNS}
 			b.entries[i] = e2
 			b.redirectDeps(e, e2)
 			b.Stats.FrameDrops++
@@ -368,7 +383,9 @@ func (b *ClientBuffer) AddFrame(cmd *FrameCmd) (dropped bool) {
 			return true
 		}
 	}
-	e := &entry{cmd: cmd, seq: b.seq, stream: cmd.StreamID, isFrame: true, inFlush: b.flushes, size: size}
+	e := &entry{cmd: cmd, seq: b.seq, stream: cmd.StreamID, isFrame: true,
+		inFlush: b.flushes, size: size,
+		epoch: b.stampEpoch, damageNS: b.stampDamageNS}
 	b.seq++
 	b.entries = append(b.entries, e)
 	return false
@@ -406,6 +423,8 @@ func (b *ClientBuffer) Flush(budget int) []wire.Message {
 		return nil
 	}
 	b.flushes++
+	b.lastFlush = FlushTrace{}
+	drainNS := time.Now().UnixNano()
 
 	inBuf := make(map[*entry]bool, len(b.entries))
 	for _, e := range b.entries {
@@ -456,6 +475,7 @@ func (b *ClientBuffer) Flush(budget int) []wire.Message {
 				b.Stats.Sent++
 				b.met.sent.Inc()
 				b.met.queueWait.Observe(int64(b.flushes - 1 - e.inFlush))
+				b.noteDelivered(e, drainNS)
 				progress = true
 				continue
 			}
@@ -479,6 +499,7 @@ func (b *ClientBuffer) Flush(budget int) []wire.Message {
 						b.Stats.Sent++
 						b.met.sent.Inc()
 						b.met.queueWait.Observe(int64(b.flushes - 1 - e.inFlush))
+						b.noteDelivered(e, drainNS)
 					}
 				}
 			}
@@ -571,6 +592,8 @@ func (b *ClientBuffer) FlushOne() []wire.Message {
 			}
 		}
 		b.entries = kept
+		b.lastFlush = FlushTrace{}
+		b.noteDelivered(e, time.Now().UnixNano())
 		b.Stats.Sent++
 		b.Stats.Overshoots++
 		b.met.sent.Inc()

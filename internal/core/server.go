@@ -82,6 +82,11 @@ type Server struct {
 	// integrity audit); nil when the Memory cannot expose its screen.
 	tiles *fb.TileIndex
 
+	// epoch and damageNS stamp each translated command batch for the
+	// end-to-end tracing pipeline (wire v5); see trace.go.
+	epoch    uint64
+	damageNS int64
+
 	// Stats aggregates translation activity across the session.
 	Stats TranslateStats
 
@@ -120,6 +125,10 @@ type Client struct {
 	// audit is the per-client integrity-audit cursor; it rides the
 	// retained client across reattach like the degradation rung does.
 	audit AuditState
+
+	// trace is the per-client e2e mark cursor (wire v5); it rides
+	// reattach the same way.
+	trace TraceState
 }
 
 // NewServer creates a server core for a screen of the given geometry.
@@ -179,6 +188,7 @@ func (s *Server) syncClient(c *Client) {
 	if s.mem == nil {
 		return
 	}
+	s.stampDamage()
 	full := geom.XYWH(0, 0, s.w, s.h)
 	pix := s.mem.ReadPixels(driver.Screen, full)
 	c.add(NewRaw(full, pix, full.W(), false, s.opts.RawCodec))
@@ -235,6 +245,7 @@ func (c *Client) Resize(viewW, viewH int) {
 	}
 	c.view = geom.XYWH(0, 0, viewW, viewH)
 	if c.srv.mem != nil {
+		c.srv.stampDamage()
 		full := geom.XYWH(0, 0, c.srv.w, c.srv.h)
 		pix := c.srv.mem.ReadPixels(driver.Screen, full)
 		c.add(NewRaw(full, pix, full.W(), false, c.srv.opts.RawCodec))
@@ -258,6 +269,7 @@ func (c *Client) FlushAll() []wire.Message { return c.Buf.FlushAll() }
 // the degradation ladder's payload rewrites, server-side scaling when
 // the viewport differs from the session size, and the queue budget.
 func (c *Client) add(cmd Command) {
+	c.Buf.SetStamp(c.srv.epoch, c.srv.damageNS)
 	cmd = c.degradeTransform(cmd)
 	if !c.Scaled() {
 		c.Buf.Add(cmd)
@@ -276,6 +288,7 @@ func (c *Client) add(cmd Command) {
 // freeze a stale expected digest and turn repairs into a loop;
 // marking here makes that impossible).
 func (s *Server) broadcast(cmd Command) {
+	s.stampDamage()
 	s.Stats.OnscreenCmds++
 	s.met.onscreenCmds.Inc()
 	s.markAudit(cmd)
@@ -620,6 +633,7 @@ func (s *Server) clipToScreen(cmd Command) (clipped Command, snapshot bool) {
 
 // VideoSetup implements driver.Driver.
 func (s *Server) VideoSetup(stream uint32, srcW, srcH int, dst geom.Rect) {
+	s.stampDamage()
 	st := &Stream{ID: stream, SrcW: srcW, SrcH: srcH, Dst: dst, Format: pixel.FormatYV12}
 	s.streams[stream] = st
 	for c := range s.clients {
@@ -635,6 +649,7 @@ func (s *Server) VideoFrame(stream uint32, frame *pixel.YV12Image, ptsUS uint64)
 	if !ok {
 		return
 	}
+	s.stampDamage()
 	st.FramesIn++
 	s.frameSeq++
 	// One copy of the frame serves every unscaled client: the window
@@ -660,6 +675,7 @@ func (s *Server) VideoFrame(stream uint32, frame *pixel.YV12Image, ptsUS uint64)
 			s.met.fanoutSharedBytes.Add(int64(shared.Size()))
 		}
 		cmd := NewFrame(stream, s.frameSeq, ptsUS, f, st.Dst)
+		c.Buf.SetStamp(s.epoch, s.damageNS)
 		if c.Buf.AddFrame(cmd) {
 			st.FramesDropped++
 		}
@@ -675,6 +691,7 @@ func (s *Server) VideoMove(stream uint32, dst geom.Rect) {
 	}
 	old := st.Dst
 	st.Dst = dst
+	s.stampDamage()
 	for c := range s.clients {
 		c.add(newCtlCmd(&wire.VideoMove{Stream: stream, Dst: c.scaleRect(dst)}, dst))
 		c.streamDst[stream] = dst
@@ -688,6 +705,7 @@ func (s *Server) VideoMove(stream uint32, dst geom.Rect) {
 func (s *Server) VideoStop(stream uint32) {
 	st, ok := s.streams[stream]
 	delete(s.streams, stream)
+	s.stampDamage()
 	for c := range s.clients {
 		c.add(newCtlCmd(&wire.VideoEnd{Stream: stream}, geom.Rect{}))
 		delete(c.streamDst, stream)
@@ -711,6 +729,7 @@ func (s *Server) repaintRegion(r geom.Rect) {
 	if vis.Empty() {
 		return
 	}
+	s.stampDamage()
 	pix := s.mem.ReadPixels(driver.Screen, vis)
 	s.fanout(NewRaw(vis, pix, vis.W(), false, s.opts.RawCodec))
 }
@@ -726,6 +745,7 @@ func (s *Server) PushAudio(ptsUS uint64, data []byte) {
 	if len(s.clients) == 0 {
 		return
 	}
+	s.stampDamage()
 	s.fanout(NewAudio(ptsUS, append([]byte(nil), data...)))
 }
 
@@ -740,6 +760,7 @@ func (s *Server) NotifyInput(p geom.Point) {
 // SetCursor implements driver.Driver: the cursor image travels to every
 // client (scaled for small viewports) on the interactive path.
 func (s *Server) SetCursor(img []pixel.ARGB, w, h int, hot geom.Point) {
+	s.stampDamage()
 	s.cursorImg = append([]pixel.ARGB(nil), img...)
 	s.cursorW, s.cursorH = w, h
 	s.cursorHot = hot
@@ -762,6 +783,7 @@ func (s *Server) sendCursorTo(c *Client) {
 	}
 	cmd := newCtlCmd(&wire.CursorSet{HotX: chot.X, HotY: chot.Y, W: cw, H: ch, Pix: pix}, geom.Rect{})
 	cmd.rt = true
+	c.Buf.SetStamp(s.epoch, s.damageNS)
 	c.Buf.Add(cmd)
 }
 
@@ -778,10 +800,12 @@ func (c *Client) maybeScalePoint(p geom.Point) geom.Point {
 // unsent previous move is superseded.
 func (s *Server) MoveCursor(p geom.Point) {
 	s.cursorPos = p
+	s.stampDamage()
 	for c := range s.clients {
 		cp := c.maybeScalePoint(p)
 		cmd := newCtlCmd(&wire.CursorMove{X: cp.X, Y: cp.Y}, geom.Rect{})
 		cmd.rt = true
+		c.Buf.SetStamp(s.epoch, s.damageNS)
 		c.Buf.AddSlot(cmd, slotCursorMove)
 	}
 }

@@ -1,0 +1,68 @@
+// Package logx is the process-wide structured-logging convention: every
+// record carries a component attribute ("server", "client", "view"),
+// and session-scoped records add session/user attributes at the call
+// site. Commands pick the output encoding with -log-format; libraries
+// grab a component logger once at package init and never look at the
+// format again.
+package logx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Setup installs the process default logger with the chosen encoding:
+// "text" (human-readable key=value, the default) or "json" (one JSON
+// object per line, for log shippers). A nil writer means stderr.
+func Setup(format string, w io.Writer) error {
+	if w == nil {
+		w = os.Stderr
+	}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return fmt.Errorf("logx: unknown log format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// Component returns a logger stamped with component=name. It delegates
+// to the process default handler at record time, so a logger created at
+// package init honors a Setup that runs later in main.
+func Component(name string) *slog.Logger {
+	return slog.New(dynHandler{}).With("component", name)
+}
+
+// dynHandler resolves the process default handler per record instead of
+// capturing it at construction. Groups are not supported — the logging
+// convention here is flat attributes only.
+type dynHandler struct {
+	attrs []slog.Attr
+}
+
+func (h dynHandler) Enabled(ctx context.Context, l slog.Level) bool {
+	return slog.Default().Handler().Enabled(ctx, l)
+}
+
+func (h dynHandler) Handle(ctx context.Context, r slog.Record) error {
+	hh := slog.Default().Handler()
+	if len(h.attrs) > 0 {
+		hh = hh.WithAttrs(h.attrs)
+	}
+	return hh.Handle(ctx, r)
+}
+
+func (h dynHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := append(h.attrs[:len(h.attrs):len(h.attrs)], attrs...)
+	return dynHandler{attrs: merged}
+}
+
+func (h dynHandler) WithGroup(string) slog.Handler { return h }

@@ -1,0 +1,59 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSetupJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Setup("json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	Component("server").Info("attached", "user", "demo", "session", "s1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	for k, want := range map[string]string{
+		"component": "server", "user": "demo", "session": "s1", "msg": "attached",
+	} {
+		if rec[k] != want {
+			t.Errorf("%s = %v, want %q", k, rec[k], want)
+		}
+	}
+}
+
+func TestSetupText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Setup("text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	Component("client").Warn("stream ended", "user", "demo")
+	out := buf.String()
+	for _, want := range []string{"component=client", "user=demo", "stream ended"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestComponentFollowsLaterSetup(t *testing.T) {
+	lg := Component("early") // created before Setup, like a package init
+	var buf bytes.Buffer
+	if err := Setup("json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello")
+	if !strings.Contains(buf.String(), `"component":"early"`) {
+		t.Errorf("init-time logger ignored later Setup: %q", buf.String())
+	}
+}
+
+func TestSetupRejectsUnknownFormat(t *testing.T) {
+	if err := Setup("yaml", &bytes.Buffer{}); err == nil {
+		t.Fatal("Setup accepted an unknown format")
+	}
+}

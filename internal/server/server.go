@@ -19,7 +19,6 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -30,10 +29,15 @@ import (
 	"thinc/internal/cipher"
 	"thinc/internal/core"
 	"thinc/internal/geom"
+	"thinc/internal/logx"
 	"thinc/internal/overload"
 	"thinc/internal/wire"
 	"thinc/internal/xserver"
 )
+
+// slog is the package's component logger; session-scoped records add
+// user (and where known, session) attributes at the call site.
+var slogger = logx.Component("server")
 
 // Options configures a Host.
 type Options struct {
@@ -99,6 +103,16 @@ type Options struct {
 	AuditResyncTiles int
 	// DisableAudit turns the integrity audit off entirely.
 	DisableAudit bool
+
+	// MarkInterval paces the end-to-end TimeMarks (wire v5): after a
+	// flush that delivered commands, at most one mark per interval
+	// rides the batch; zero means 25ms.
+	MarkInterval time.Duration
+	// MarkTimeout is how long a mark may go unacknowledged before it
+	// counts as a miss (pre-v5 peers never answer); zero means 3s.
+	MarkTimeout time.Duration
+	// DisableE2E turns end-to-end mark tracing off entirely.
+	DisableE2E bool
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +155,12 @@ func (o Options) withDefaults() Options {
 	if o.AuditResyncTiles <= 0 {
 		o.AuditResyncTiles = 8
 	}
+	if o.MarkInterval <= 0 {
+		o.MarkInterval = 25 * time.Millisecond
+	}
+	if o.MarkTimeout <= 0 {
+		o.MarkTimeout = 3 * time.Second
+	}
 	return o
 }
 
@@ -178,6 +198,11 @@ type ResilienceStats struct {
 	AuditResyncs     int // escalations from sweep (or misses) to full resync
 	AuditTimeouts    int // probes that went unanswered past the timeout
 	AuditLegacyPeers int // peers that never answered and were left alone
+
+	E2EMarks       int // end-to-end TimeMarks sent (wire v5)
+	E2EAcks        int // MarkAcks received and matched
+	E2ETimeouts    int // marks that expired unacknowledged
+	E2ELegacyPeers int // pre-v5 peers detected by mark silence
 }
 
 // session ties a ticket to the core client state it can resume. The
@@ -439,7 +464,8 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		h.stats.BadHandshakes++
 		h.mu.Unlock()
 		h.met.badHandshakes.Inc()
-		log.Printf("server: rejecting absurd viewport %dx%d from %q", viewW, viewH, resp.User)
+		slogger.Warn("rejecting absurd viewport",
+			"user", resp.User, "view_w", viewW, "view_h", viewH)
 		return fmt.Errorf("server: rejecting absurd viewport %dx%d", viewW, viewH)
 	}
 	if role > wire.RoleViewer {
@@ -473,7 +499,8 @@ func (h *Host) ServeConn(nc net.Conn) error {
 					resp.User, wire.RoleName(role), viewW, viewH))
 			}
 		} else {
-			log.Printf("server: reattach from %q with unknown or expired ticket; attaching fresh", resp.User)
+			slogger.Warn("reattach with unknown or expired ticket; attaching fresh",
+				"user", resp.User)
 		}
 	}
 	if cl == nil {
@@ -519,7 +546,8 @@ func (h *Host) ServeConn(nc net.Conn) error {
 
 	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User, role: role,
 		pongs:   make(chan *wire.Pong, 8),
-		replies: make(chan *wire.AuditReply, 4), noticeRung: -1}
+		replies: make(chan *wire.AuditReply, 4),
+		acks:    make(chan *wire.MarkAck, 8), noticeRung: -1}
 	// A reattach already queued a full-screen resync, which heals any
 	// divergence an interrupted escalation sweep was chasing; the legacy
 	// verdict and probe sequence ride the session, the sweep does not.
@@ -591,18 +619,23 @@ func (h *Host) endSession(s *session, retain bool) {
 
 // serverConn is one live client connection.
 type serverConn struct {
-	host  *Host
-	nc    net.Conn
-	enc   *cipher.StreamConn
-	cl    *core.Client
+	host    *Host
+	nc      net.Conn
+	enc     *cipher.StreamConn
+	cl      *core.Client
 	user    string
 	role    uint8 // wire.RoleOwner or wire.RoleViewer
 	pongs   chan *wire.Pong
 	replies chan *wire.AuditReply
+	acks    chan *wire.MarkAck
 
 	// aud is the in-flight integrity-probe state; owned entirely by the
 	// flush loop (the sole prober), so it needs no lock.
 	aud auditConn
+
+	// e2e is the in-flight end-to-end mark window; owned by the flush
+	// loop (the sole marker), so it needs no lock either.
+	e2e e2eConn
 
 	// Overload protection. The estimator is fed from two goroutines —
 	// flush progress by the flush loop, heartbeat RTT by the read loop —
@@ -666,8 +699,8 @@ func (c *serverConn) guard(name string, done <-chan struct{}, loop func(<-chan s
 			c.host.mu.Lock()
 			c.host.stats.WatchdogRecoveries++
 			c.host.mu.Unlock()
-			log.Printf("server: %s loop panic (user %q), tearing session down: %v",
-				name, c.user, r)
+			slogger.Error("loop panic, tearing session down",
+				"loop", name, "user", c.user, "panic", fmt.Sprint(r))
 			err = fmt.Errorf("server: %s loop panic: %v", name, r)
 		}
 	}()
@@ -746,6 +779,13 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 			case c.replies <- v:
 			default: // audit loop backlogged; the next probe re-checks
 			}
+		case *wire.MarkAck:
+			// Queue the e2e ack for the flush loop, which owns the mark
+			// window; a dropped ack just expires as a timeout.
+			select {
+			case c.acks <- v:
+			default:
+			}
 		default:
 			return fmt.Errorf("server: unexpected client message %v", m.Type())
 		}
@@ -768,7 +808,8 @@ func (c *serverConn) logUnknown(err error) {
 	}
 	if !c.unknownLogged[key] {
 		c.unknownLogged[key] = true
-		log.Printf("server: skipping unknown client message (%v) from %q", err, c.user)
+		slogger.Warn("skipping unknown client message",
+			"user", c.user, "err", err.Error())
 	}
 }
 
@@ -831,6 +872,8 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			}
 		case r := <-c.replies:
 			c.auditReply(r)
+		case a := <-c.acks:
+			c.e2eAck(a)
 		case <-auditC:
 			if err := c.auditTick(queue, flush); err != nil {
 				return err
@@ -845,9 +888,15 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			if err := flush(); err != nil {
 				return err
 			}
+			// Age out unanswered marks even when the display is idle, so a
+			// pre-v5 peer reaches its legacy verdict without new damage.
+			if !c.host.opts.DisableE2E {
+				c.e2eExpire()
+			}
 		case <-t.C:
 			var msgs []wire.Message
 			var backlog int
+			var ft core.FlushTrace
 			func() {
 				c.host.mu.Lock()
 				defer c.host.mu.Unlock()
@@ -859,10 +908,22 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 					// one oversized write, or the queue wedges forever.
 					msgs = c.cl.Buf.FlushOne()
 				}
+				if len(msgs) > 0 {
+					ft = c.cl.Buf.LastFlush()
+				}
 				backlog = c.cl.Buf.QueuedBytes()
 			}()
+			drainNS := time.Now().UnixNano()
 			for _, m := range msgs {
 				if err := queue(m); err != nil {
+					return err
+				}
+			}
+			// The mark rides the same batch as the commands it names, so
+			// the client acks it only after applying everything before it.
+			mark := c.e2eMark(ft, drainNS)
+			if mark != nil {
+				if err := queue(mark); err != nil {
 					return err
 				}
 			}
@@ -870,6 +931,9 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			start := time.Now()
 			if err := flush(); err != nil {
 				return err
+			}
+			if mark != nil {
+				c.e2eArm()
 			}
 			// The vectored write is done; RAW payload buffers can go
 			// back to the codec scratch pool.

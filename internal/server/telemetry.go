@@ -5,6 +5,7 @@ import (
 
 	"thinc/internal/compress"
 	"thinc/internal/core"
+	"thinc/internal/overload"
 	"thinc/internal/telemetry"
 	"thinc/internal/wire"
 )
@@ -43,6 +44,15 @@ type hostMetrics struct {
 	auditSweeps, auditResyncs                *telemetry.Counter
 	auditTimeouts, auditLegacyPeers          *telemetry.Counter
 	auditRTT                                 *telemetry.Histogram
+
+	// End-to-end mark loop (wire v5): mark/ack bookkeeping, the four
+	// pipeline stages with sub-millisecond buckets, and the headline
+	// client-perceived latency broken down by degradation rung.
+	e2eMarks, e2eAcks            *telemetry.Counter
+	e2eTimeouts, e2eLegacyPeers  *telemetry.Counter
+	e2eStageQueue, e2eStageWrite *telemetry.Histogram
+	e2eStageWire, e2eStageApply  *telemetry.Histogram
+	e2eLatency                   [overload.NumRungs]*telemetry.Histogram
 }
 
 // wireTypeLabels names the per-type series: the five display commands
@@ -121,7 +131,38 @@ func newHostMetrics(h *Host) *hostMetrics {
 			"pre-v4 peers detected by probe silence and left alone"),
 		auditRTT: reg.Histogram("thinc_audit_probe_rtt_us",
 			"round-trip time of answered integrity probes", telemetry.LatencyBucketsUS),
+		e2eMarks: reg.Counter("thinc_e2e_marks_total",
+			"end-to-end TimeMarks appended to flush batches"),
+		e2eAcks: reg.Counter("thinc_e2e_acks_total",
+			"MarkAcks received and matched to an in-flight mark"),
+		e2eTimeouts: reg.Counter("thinc_e2e_timeouts_total",
+			"marks that expired unacknowledged"),
+		e2eLegacyPeers: reg.Counter("thinc_e2e_legacy_peers_total",
+			"pre-v5 peers detected by mark silence and left unmarked"),
+		e2eStageQueue: reg.Histogram("thinc_e2e_stage_ns",
+			"per-stage share of acknowledged end-to-end update latency",
+			telemetry.FineLatencyBucketsNS, telemetry.L("stage", "queue")),
+		e2eStageWrite: reg.Histogram("thinc_e2e_stage_ns",
+			"per-stage share of acknowledged end-to-end update latency",
+			telemetry.FineLatencyBucketsNS, telemetry.L("stage", "write")),
+		e2eStageWire: reg.Histogram("thinc_e2e_stage_ns",
+			"per-stage share of acknowledged end-to-end update latency",
+			telemetry.FineLatencyBucketsNS, telemetry.L("stage", "wire")),
+		e2eStageApply: reg.Histogram("thinc_e2e_stage_ns",
+			"per-stage share of acknowledged end-to-end update latency",
+			telemetry.FineLatencyBucketsNS, telemetry.L("stage", "apply")),
 	}
+	for r := 0; r < overload.NumRungs; r++ {
+		m.e2eLatency[r] = reg.Histogram("thinc_e2e_latency_us",
+			"client-perceived damage-to-glass latency by degradation rung",
+			telemetry.LatencyBucketsUS, telemetry.L("rung", overload.RungName(r)))
+	}
+
+	// The tracer overwrites its oldest events when the ring wraps; the
+	// counter makes that loss visible to scrapes and span consumers.
+	reg.CounterFunc("thinc_trace_dropped_total",
+		"trace events overwritten before they could be read",
+		func() int64 { return m.tr.Dropped() })
 
 	// Per-type wire counters, pre-registered so /metrics always lists
 	// every command type, active or not.

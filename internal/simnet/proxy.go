@@ -1,0 +1,137 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy shapes real TCP traffic to a LinkParams profile: a loopback
+// relay that imposes the link's serialization rate and one-way
+// propagation delay on each direction. Where Link shapes virtual time
+// on the discrete-event engine, Proxy shapes wall-clock time around a
+// live server — it is how the e2e bench runs a real session over a
+// WAN-class path without leaving the machine.
+//
+// The model matches Link: a chunk occupies the serializer for
+// size/rate seconds (FIFO, back-to-back chunks queue behind each
+// other), then arrives one-way-delay later. Propagation overlaps
+// between chunks — delivery is scheduled per chunk on a timed queue,
+// not slept inline — so a stream sees the full bandwidth, while every
+// byte still pays RTT/2 each way.
+
+// proxyChunk is one shaped read: data plus its computed arrival time.
+type proxyChunk struct {
+	at   time.Time
+	data []byte
+}
+
+// StartProxy listens on an ephemeral loopback port and relays every
+// accepted connection to target, shaping both directions to p. It
+// returns the address to dial and a stop function that closes the
+// listener and all live connections.
+func StartProxy(target string, p LinkParams) (addr string, stop func(), err error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	done := make(chan struct{})
+	track := func(c net.Conn) {
+		mu.Lock()
+		conns = append(conns, c)
+		mu.Unlock()
+	}
+	go func() {
+		for {
+			cc, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			sc, err := net.Dial("tcp", target)
+			if err != nil {
+				cc.Close()
+				continue
+			}
+			track(cc)
+			track(sc)
+			go shape(sc, cc, p, done) // client -> server
+			go shape(cc, sc, p, done) // server -> client
+		}
+	}()
+	stop = func() {
+		close(done)
+		l.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}
+	return l.Addr().String(), stop, nil
+}
+
+// shape pumps src to dst under the link model. The reader computes each
+// chunk's arrival time (serialization queue + propagation) and hands it
+// to a delivery goroutine that sleeps until then — so serialization is
+// FIFO but propagation pipelines across chunks.
+func shape(dst, src net.Conn, p LinkParams, done <-chan struct{}) {
+	rate := p.EffectiveRate() // bytes per second
+	oneWay := time.Duration(p.RTT/2) * time.Microsecond
+
+	ch := make(chan proxyChunk, 512)
+	go func() {
+		defer func() {
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			} else {
+				dst.Close()
+			}
+		}()
+		for c := range ch {
+			if d := time.Until(c.at); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-done:
+					return
+				}
+			}
+			if _, err := dst.Write(c.data); err != nil {
+				// Keep draining so the reader never blocks on a full queue.
+				for range ch {
+				}
+				return
+			}
+		}
+	}()
+
+	var busyUntil time.Time
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			now := time.Now()
+			if busyUntil.Before(now) {
+				busyUntil = now
+			}
+			busyUntil = busyUntil.Add(
+				time.Duration(float64(n) / rate * float64(time.Second)))
+			data := append([]byte(nil), buf[:n]...)
+			select {
+			case ch <- proxyChunk{at: busyUntil.Add(oneWay), data: data}:
+			case <-done:
+				close(ch)
+				return
+			}
+		}
+		if err != nil {
+			close(ch)
+			if err != io.EOF {
+				src.Close()
+			}
+			return
+		}
+	}
+}

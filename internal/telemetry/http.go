@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -35,6 +36,36 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 			Events  []Event `json:"events"`
 		}{Enabled: tr.Enabled(), Events: events})
 	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		// JSON-lines span export for offline waterfall/flame analysis:
+		// one Event object per line, oldest first. ?session= keeps only
+		// one client's timeline; ?n= keeps the newest n after
+		// filtering. The X-Trace-Dropped header carries the ring's
+		// overwrite count so consumers know when the window is
+		// incomplete.
+		events := tr.Events()
+		if sess := r.URL.Query().Get("session"); sess != "" {
+			kept := events[:0]
+			for _, e := range events {
+				if e.Session == sess {
+					kept = append(kept, e)
+				}
+			}
+			events = kept
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			var n int
+			if _, err := jsonNumber(s, &n); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Trace-Dropped", strconv.FormatInt(tr.Dropped(), 10))
+		enc := json.NewEncoder(w)
+		for _, e := range events {
+			_ = enc.Encode(e)
+		}
+	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		var snap []SeriesSnapshot
@@ -57,6 +88,7 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		_, _ = w.Write([]byte("thinc debug listener\n\n" +
 			"/metrics      Prometheus text format\n" +
 			"/debug/trace  recent trace events (JSON, ?n=100)\n" +
+			"/debug/spans  span log (JSON lines, ?session=user&n=100)\n" +
 			"/debug/vars   registry snapshot (JSON)\n" +
 			"/debug/pprof  Go runtime profiles\n"))
 	})

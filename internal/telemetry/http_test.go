@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// httpGet fetches path from ts and returns status, body, and headers.
+func httpGet(t *testing.T, ts *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// decodeSpans parses an NDJSON span-log body into events.
+func decodeSpans(t *testing.T, body string) []Event {
+	t.Helper()
+	var out []Event
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("span line %q: %v", line, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestSpansEndpoint(t *testing.T) {
+	tr := NewTracer(32)
+	tr.SetEnabled(true)
+	tr.SessionEvent("alice", "flush", "bytes=100")
+	tr.SessionEvent("bob", "flush", "bytes=200")
+	tr.SessionEvent("alice", "e2e.ack", "e2e_us=900")
+	tr.Event("host", "tick") // no session
+
+	ts := httptest.NewServer(Handler(NewRegistry(), tr))
+	defer ts.Close()
+
+	code, body, hdr := httpGet(t, ts, "/debug/spans")
+	if code != 200 {
+		t.Fatalf("/debug/spans code=%d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+	if d := hdr.Get("X-Trace-Dropped"); d != "0" {
+		t.Errorf("X-Trace-Dropped = %q, want 0", d)
+	}
+	all := decodeSpans(t, body)
+	if len(all) != 4 {
+		t.Fatalf("got %d events, want 4", len(all))
+	}
+	// Oldest first.
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("span order not oldest-first: %+v", all)
+		}
+	}
+}
+
+func TestSpansSessionFilter(t *testing.T) {
+	tr := NewTracer(32)
+	tr.SetEnabled(true)
+	tr.SessionEvent("alice", "flush", "")
+	tr.SessionEvent("bob", "flush", "")
+	tr.SessionEvent("alice", "e2e.ack", "")
+
+	ts := httptest.NewServer(Handler(nil, tr))
+	defer ts.Close()
+
+	_, body, _ := httpGet(t, ts, "/debug/spans?session=alice")
+	evs := decodeSpans(t, body)
+	if len(evs) != 2 {
+		t.Fatalf("session filter kept %d events, want 2", len(evs))
+	}
+	for _, e := range evs {
+		if e.Session != "alice" {
+			t.Fatalf("foreign session leaked through filter: %+v", e)
+		}
+	}
+
+	// Filter plus newest-n: only the latest alice event survives.
+	_, body, _ = httpGet(t, ts, "/debug/spans?session=alice&n=1")
+	evs = decodeSpans(t, body)
+	if len(evs) != 1 || evs[0].Name != "e2e.ack" {
+		t.Fatalf("filter+n=1 = %+v, want just the newest alice event", evs)
+	}
+
+	// Unknown session: empty document, still well-formed.
+	code, body, _ := httpGet(t, ts, "/debug/spans?session=nobody")
+	if code != 200 || strings.TrimSpace(body) != "" {
+		t.Fatalf("unknown session: code=%d body=%q, want empty 200", code, body)
+	}
+}
+
+func TestSpansDroppedHeader(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	for i := 0; i < 21; i++ { // capacity 16: five overwrites
+		tr.Event("e", "")
+	}
+	ts := httptest.NewServer(Handler(nil, tr))
+	defer ts.Close()
+
+	_, _, hdr := httpGet(t, ts, "/debug/spans")
+	if d := hdr.Get("X-Trace-Dropped"); d != "5" {
+		t.Errorf("X-Trace-Dropped = %q, want 5", d)
+	}
+	if tr.Dropped() != 5 {
+		t.Errorf("Dropped() = %d, want 5", tr.Dropped())
+	}
+}
+
+func TestTraceNewestN(t *testing.T) {
+	tr := NewTracer(32)
+	tr.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		tr.Event("e", "")
+	}
+	ts := httptest.NewServer(Handler(nil, tr))
+	defer ts.Close()
+
+	_, body, _ := httpGet(t, ts, "/debug/trace?n=3")
+	var out struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(out.Events) != 3 || out.Events[2].Seq != 10 {
+		t.Fatalf("n=3 returned %d events ending at seq %d, want newest 3",
+			len(out.Events), out.Events[len(out.Events)-1].Seq)
+	}
+
+	// Malformed and out-of-range n values fall back to the full window.
+	for _, q := range []string{"?n=banana", "?n=-1", "?n=999"} {
+		_, body, _ := httpGet(t, ts, "/debug/trace"+q)
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatalf("trace%s JSON: %v", q, err)
+		}
+		if len(out.Events) != 10 {
+			t.Fatalf("trace%s returned %d events, want all 10", q, len(out.Events))
+		}
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	// reg and tr may both be nil; the endpoints serve empty documents
+	// rather than panicking (nil *Tracer methods are all safe).
+	ts := httptest.NewServer(Handler(nil, nil))
+	defer ts.Close()
+
+	if code, body, _ := httpGet(t, ts, "/metrics"); code != 200 || strings.Contains(body, "thinc_") {
+		t.Fatalf("nil /metrics: code=%d body=%q", code, body)
+	}
+	code, body, hdr := httpGet(t, ts, "/debug/spans")
+	if code != 200 || strings.TrimSpace(body) != "" || hdr.Get("X-Trace-Dropped") != "0" {
+		t.Fatalf("nil /debug/spans: code=%d body=%q dropped=%q",
+			code, body, hdr.Get("X-Trace-Dropped"))
+	}
+	code, body, _ = httpGet(t, ts, "/debug/vars")
+	if code != 200 || strings.TrimSpace(body) != "null" {
+		t.Fatalf("nil /debug/vars: code=%d body=%q", code, body)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	ts := httptest.NewServer(Handler(nil, nil))
+	defer ts.Close()
+
+	code, body, _ := httpGet(t, ts, "/")
+	if code != 200 {
+		t.Fatalf("index code=%d", code)
+	}
+	for _, want := range []string{"/metrics", "/debug/trace", "/debug/spans", "/debug/vars", "/debug/pprof"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index page missing %s", want)
+		}
+	}
+}

@@ -458,6 +458,15 @@ var (
 	// LatencyBucketsUS covers microsecond latencies from 50us to 4s.
 	LatencyBucketsUS = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
 		25000, 50000, 100000, 250000, 500000, 1000000, 4000000}
+	// FineLatencyBucketsNS covers nanosecond latencies from 100ns to
+	// 1s, with sub-millisecond resolution the RTT-scale preset above
+	// lacks: the zero-alloc encode path (~216ns) and the per-stage
+	// pipeline legs (queue drain, flush write) land in distinct buckets
+	// instead of collapsing into the first one.
+	FineLatencyBucketsNS = []int64{100, 250, 500, 1000, 2500, 5000,
+		10000, 25000, 50000, 100000, 250000, 500000, 1000000, 2500000,
+		5000000, 10000000, 25000000, 50000000, 100000000, 250000000,
+		500000000, 1000000000}
 	// ByteBuckets covers per-flush byte volumes (256 B .. 4 MiB).
 	ByteBuckets = []int64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
 	// CountBuckets covers small counts (queue residency in flush

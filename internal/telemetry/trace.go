@@ -8,11 +8,12 @@ import (
 
 // Event is one trace record: a point event or a completed span.
 type Event struct {
-	Seq    uint64 `json:"seq"`
-	TimeUS int64  `json:"time_us"` // wall-clock microseconds
-	Name   string `json:"name"`
-	Detail string `json:"detail,omitempty"`
-	DurUS  int64  `json:"dur_us,omitempty"` // span duration (0 for point events)
+	Seq     uint64 `json:"seq"`
+	TimeUS  int64  `json:"time_us"` // wall-clock microseconds
+	Name    string `json:"name"`
+	Detail  string `json:"detail,omitempty"`
+	DurUS   int64  `json:"dur_us,omitempty"` // span duration (0 for point events)
+	Session string `json:"session,omitempty"`
 }
 
 // Tracer records events into a fixed-capacity ring buffer. It starts
@@ -25,6 +26,10 @@ type Event struct {
 // optional tracer without nil checks at every call site.
 type Tracer struct {
 	enabled atomic.Bool
+	// dropped counts ring overwrites: events evicted before any reader
+	// saw them. Exported as thinc_trace_dropped_total so span-log
+	// consumers know when a window is incomplete.
+	dropped atomic.Int64
 
 	mu   sync.Mutex
 	buf  []Event
@@ -61,6 +66,17 @@ func (t *Tracer) Event(name, detail string) {
 	t.record(Event{TimeUS: time.Now().UnixMicro(), Name: name, Detail: detail})
 }
 
+// SessionEvent records a point event attributed to a session, so
+// /debug/spans consumers can filter one client's timeline out of the
+// shared ring.
+func (t *Tracer) SessionEvent(session, name, detail string) {
+	if !t.Enabled() {
+		return
+	}
+	t.record(Event{TimeUS: time.Now().UnixMicro(), Name: name, Detail: detail,
+		Session: session})
+}
+
 func (t *Tracer) record(e Event) {
 	t.mu.Lock()
 	t.seq++
@@ -69,8 +85,19 @@ func (t *Tracer) record(e Event) {
 	t.next = (t.next + 1) % len(t.buf)
 	if t.n < len(t.buf) {
 		t.n++
+	} else {
+		// The slot we just wrote held an event nobody will see again.
+		t.dropped.Add(1)
 	}
 	t.mu.Unlock()
+}
+
+// Dropped returns how many events have been overwritten before export.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
 }
 
 // Span is an in-progress timed operation started by Start. The zero

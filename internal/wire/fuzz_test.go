@@ -62,7 +62,7 @@ func controlMessages() []Message {
 		case *ServerInit, *ClientInit, *Resize, *Input,
 			*AuthChallenge, *AuthResponse, *AuthResult, *UpdateRequest,
 			*Ping, *Pong, *SessionTicket, *Reattach, *DegradeNotice,
-			*AuditProbe, *AuditReply:
+			*AuditProbe, *AuditReply, *TimeMark, *MarkAck:
 			ctl = append(ctl, m)
 		}
 	}

@@ -99,6 +99,8 @@ func goldenVectors() []goldenVector {
 		{"audit_probe", &AuditProbe{Seq: 9, Tile: 64, Start: 16, Count: 8}},
 		{"audit_reply", &AuditReply{Seq: 9, Start: 16, W: 1024, H: 768, Count: 2,
 			Digests: []uint64{0x0123456789abcdef, 0xcafebabe00facade}}},
+		{"time_mark", &TimeMark{Epoch: 42, TimeUS: 0x1122334455667788}},
+		{"mark_ack", &MarkAck{Epoch: 42, TimeUS: 0x1122334455667788, ApplyUS: 350}},
 	}
 }
 

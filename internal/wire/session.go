@@ -10,12 +10,14 @@ import "encoding/binary"
 // ProtoVersion is the current protocol revision, carried in ServerInit.
 // Version 1 is the original handshake; version 2 adds heartbeats and
 // session reattach; version 3 adds the DegradeNotice quality-state
-// message; version 4 adds the AuditProbe/AuditReply integrity audit.
+// message; version 4 adds the AuditProbe/AuditReply integrity audit;
+// version 5 adds the TimeMark/MarkAck end-to-end tracing pair.
 // Receivers skip well-framed unknown message types, so the version is
 // informational: it lets a client know whether the server will honor
-// Reattach at all, and a v4 server detects (and stops probing) a
-// pre-v4 client by its silence rather than by the version byte.
-const ProtoVersion = 4
+// Reattach at all, and a v5 server detects (and stops marking or
+// probing) a pre-v5 client by its silence rather than by the version
+// byte.
+const ProtoVersion = 5
 
 // MaxTicketLen bounds a session ticket on the wire.
 const MaxTicketLen = 64

@@ -63,6 +63,9 @@ const (
 
 	TAuditProbe
 	TAuditReply
+
+	TTimeMark
+	TMarkAck
 )
 
 var typeNames = map[Type]string{
@@ -78,6 +81,8 @@ var typeNames = map[Type]string{
 	TDegradeNotice: "DEGRADE_NOTICE",
 	TAuditProbe:    "AUDIT_PROBE",
 	TAuditReply:    "AUDIT_REPLY",
+	TTimeMark:      "TIME_MARK",
+	TMarkAck:       "MARK_ACK",
 }
 
 func (t Type) String() string {
@@ -266,6 +271,10 @@ func Unmarshal(t Type, payload []byte) (Message, error) {
 		m, err = decodeAuditProbe(&d)
 	case TAuditReply:
 		m, err = decodeAuditReply(&d)
+	case TTimeMark:
+		m, err = decodeTimeMark(&d)
+	case TMarkAck:
+		m, err = decodeMarkAck(&d)
 	default:
 		return nil, &UnknownTypeError{T: t}
 	}

@@ -59,6 +59,8 @@ func sampleMessages() []Message {
 		&AuditProbe{Seq: 11, Tile: 64, Start: 8, Count: 4},
 		&AuditReply{Seq: 11, Start: 8, W: 1024, H: 768, Count: 2,
 			Digests: []uint64{0x0123456789abcdef, 0xfedcba9876543210}},
+		&TimeMark{Epoch: 42, TimeUS: 123456789},
+		&MarkAck{Epoch: 42, TimeUS: 123456789, ApplyUS: 350},
 	}
 }
 
