@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-snapshot bench-smoke bench-e2e-smoke soak
+.PHONY: all build vet test race check cover bench-snapshot bench-smoke bench-e2e-smoke bench-cache-smoke golden-regen soak
 
 all: check
 
@@ -51,6 +51,7 @@ bench-smoke:
 	$(GO) test ./internal/wire/ -run 'ZeroAlloc|TestPayloadSizeMatchesAppend|TestBatch' -count=1
 	$(GO) test ./internal/wire/ -run '^$$' -bench . -benchtime=1x -count=1
 	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkTranslateFanout -benchtime=100x -count=1
+	$(GO) test ./internal/core/ -run 'TestCacheHotPathZeroAlloc' -count=1
 	$(GO) test ./internal/fb/ -run 'TestDigestHotPathZeroAlloc' -count=1
 	$(GO) test ./internal/fb/ -run '^$$' -bench BenchmarkTileDigest -benchtime=100x -count=1
 
@@ -61,3 +62,22 @@ bench-smoke:
 # file so the committed BENCH_pr7.json (full-duration run) stays put.
 bench-e2e-smoke:
 	$(GO) run ./cmd/thinc-bench -e2e -e2e-duration 500ms -e2e-out /tmp/bench_e2e_smoke.json
+
+# Payload-cache smoke: a short wire-v6 bytes-on-wire sweep (cached vs
+# uncached over loopback + shaped WAN). The run self-checks the report
+# — it fails unless every link clears the 5x steady-state reduction
+# with a hot, miss-free cache and zero cache traffic on the uncached
+# row. The committed BENCH_pr8.json comes from the full-round run
+# (thinc-bench -cache with defaults); the smoke writes to a temp file.
+bench-cache-smoke:
+	$(GO) run ./cmd/thinc-bench -cache -cache-rounds 10 -cache-out /tmp/bench_cache_smoke.json
+
+# Regenerate the golden wire vectors under internal/wire/testdata/
+# after a deliberate protocol change: the frozen-vector tests rewrite
+# their hex files when run with -update, then the full golden suite
+# re-runs to prove the regenerated vectors decode and round-trip.
+# Review the diff — a vector that changed for a type you did not touch
+# means an accidental wire break.
+golden-regen:
+	$(GO) test ./internal/wire/ -run Golden -update -count=1
+	$(GO) test ./internal/wire/ -run Golden -count=1

@@ -40,11 +40,21 @@ func main() {
 	e2e := flag.Bool("e2e", false, "run the live end-to-end latency sweep instead of the figure benchmarks")
 	e2eOut := flag.String("e2e-out", "BENCH_pr7.json", "where -e2e writes its percentile report")
 	e2eDur := flag.Duration("e2e-duration", 2*time.Second, "damage time per (workload, link, rung) cell")
+	cache := flag.Bool("cache", false, "run the wire-v6 payload cache bytes-on-wire sweep")
+	cacheOut := flag.String("cache-out", "BENCH_pr8.json", "where -cache writes its report")
+	cacheRounds := flag.Int("cache-rounds", 0, "steady rounds per cache cell (0 = default)")
 	flag.Parse()
 
 	if *e2e {
 		if err := runE2EMode(*e2eOut, *e2eDur); err != nil {
 			fmt.Fprintf(os.Stderr, "e2e: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cache {
+		if err := runCacheMode(*cacheOut, *cacheRounds); err != nil {
+			fmt.Fprintf(os.Stderr, "cache: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -125,6 +135,43 @@ func runE2EMode(path string, dur time.Duration) error {
 			r.Workload, r.Link, r.RungName, r.Acks, r.E2E.P50, r.E2E.P95, r.E2E.P99)
 	}
 	fmt.Printf("e2e report written to %s (%v)\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runCacheMode sweeps the wire-v6 payload cache cells (links x
+// cached/uncached), writes the bytes-on-wire report, and self-checks
+// it — the CI smoke job fails unless every link clears the 5x
+// steady-state reduction with a hot, miss-free cache.
+func runCacheMode(path string, steadyRounds int) error {
+	start := time.Now()
+	report, err := bench.RunCacheBench(bench.CacheOptions{SteadyRounds: steadyRounds},
+		func(msg string) { fmt.Println(msg) })
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := report.Check(); err != nil {
+		return fmt.Errorf("report self-check: %w", err)
+	}
+	for _, c := range report.Runs {
+		fmt.Printf("%-9s %-8s steady=%-9dB round=%-8dB stores=%-4d paints=%-5d hit=%d/1000 p99=%dus\n",
+			c.Link, c.Mode, c.SteadyBytes, c.BytesPerRound, c.CacheStores, c.CachePaints,
+			c.HitRatioMilli, c.E2E.P99)
+	}
+	for link, ratio := range report.RatioMilli {
+		fmt.Printf("%-9s steady bytes reduction: %d.%03dx\n", link, ratio/1000, ratio%1000)
+	}
+	fmt.Printf("cache report written to %s (%v)\n", path, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

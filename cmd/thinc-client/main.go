@@ -116,4 +116,8 @@ func main() {
 		fmt.Printf("e2e tracing: %d marks, %d acks\n",
 			st.MarksSeen, st.MarkAcksSent)
 	}
+	if st.CacheKB > 0 {
+		fmt.Printf("payload cache: %d KB granted, %d stores, %d paints, %d held (%d bytes), %d misses\n",
+			st.CacheKB, st.CacheStored, st.CachePainted, st.CacheEntries, st.CacheBytes, st.CacheMissReports)
+	}
 }

@@ -47,6 +47,7 @@ func main() {
 	detachGrace := flag.Duration("detach-grace", 30*time.Second, "how long a dropped session may reattach with its ticket (negative disables)")
 	maxBacklog := flag.Int("max-backlog", 32<<20, "per-client command backlog bound in bytes before a forced resync (negative disables)")
 	maxViewers := flag.Int("max-viewers", 0, "cap on simultaneous viewer-role connections (0 = default 16, negative = unlimited)")
+	cacheKB := flag.Int("cache-kb", 0, "per-client payload-cache grant cap in KB (wire v6; 0 disables)")
 	auditInterval := flag.Duration("audit-interval", 2*time.Second, "integrity-audit probe cadence per client")
 	auditSample := flag.Int("audit-sample", 0, "tiles digested per audit probe (0 = default 16)")
 	noAudit := flag.Bool("no-audit", false, "disable the wire-v4 integrity audit entirely")
@@ -76,6 +77,7 @@ func main() {
 		DetachGrace:       *detachGrace,
 		MaxBacklogBytes:   *maxBacklog,
 		MaxViewers:        *maxViewers,
+		CacheKB:           *cacheKB,
 		AuditInterval:     *auditInterval,
 		AuditSampleTiles:  *auditSample,
 		DisableAudit:      *noAudit,

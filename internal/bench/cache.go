@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/client"
+	"thinc/internal/geom"
+	"thinc/internal/overload"
+	"thinc/internal/pixel"
+	"thinc/internal/server"
+	"thinc/internal/simnet"
+	"thinc/internal/telemetry"
+	"thinc/internal/xserver"
+)
+
+// Bytes-on-wire bench for the wire-v6 payload cache: the same
+// repeat-heavy workload drives a cache-negotiated session and a
+// cache-disabled session over loopback and a shaped WAN link, and the
+// report records what the client actually received in the steady state
+// — after the warmup rounds have populated the store, every round is
+// pure repeats, so the cached session ships ~21-byte CACHE_PAINT
+// references where the uncached one re-ships full payloads. The mark
+// loop runs throughout, so each cell also carries client-perceived
+// end-to-end latency percentiles for regression tracking against the
+// PR 7 baseline.
+
+// cacheBench workload geometry: a bank of icon-sized patterns redrawn
+// every round at round-shifted slots. Slots exceed the pattern size by
+// a margin so draws never abut (RawCmd merging would re-key digests
+// and turn repeats into fresh content).
+const (
+	cacheBenchBank  = 12
+	cachePatternW   = 32
+	cachePatternH   = 24
+	cacheSlotW      = cachePatternW + 4
+	cacheSlotH      = cachePatternH + 4
+	cacheBenchSlots = 7 * 6 // 256x192 screen / slot grid
+)
+
+// CacheOptions configures a cache bench sweep.
+type CacheOptions struct {
+	// WarmRounds populate the cache (excluded from measurement).
+	WarmRounds int
+	// SteadyRounds are the measured repeat rounds.
+	SteadyRounds int
+	// W, H is the session geometry.
+	W, H int
+}
+
+func (o CacheOptions) withDefaults() CacheOptions {
+	if o.WarmRounds <= 0 {
+		o.WarmRounds = 3
+	}
+	if o.SteadyRounds <= 0 {
+		o.SteadyRounds = 60
+	}
+	if o.W <= 0 || o.H <= 0 {
+		o.W, o.H = 256, 192
+	}
+	return o
+}
+
+// CacheCell is one (link, mode) measurement.
+type CacheCell struct {
+	Link string `json:"link"`
+	Mode string `json:"mode"` // "cached" | "uncached"
+
+	// SteadyBytes is what the client received during the steady rounds,
+	// summed over every message type it applied.
+	SteadyBytes   int64          `json:"steady_bytes"`
+	BytesPerRound int64          `json:"bytes_per_round"`
+	CacheStores   int64          `json:"cache_stores"`
+	CachePaints   int64          `json:"cache_paints"`
+	CacheMisses   int64          `json:"cache_misses"`
+	SavedBytes    int64          `json:"saved_bytes"`
+	HitRatioMilli int64          `json:"hit_ratio_milli"`
+	ClientStoreKB int64          `json:"client_store_kb"`
+	Acks          int            `json:"acks"`
+	E2E           E2EPercentiles `json:"e2e"`
+}
+
+// CacheReport is the BENCH_pr8.json payload.
+type CacheReport struct {
+	Schema       string      `json:"schema"`
+	Bank         int         `json:"bank_patterns"`
+	PatternBytes int         `json:"pattern_payload_bytes"`
+	WarmRounds   int         `json:"warm_rounds"`
+	SteadyRounds int         `json:"steady_rounds"`
+	Runs         []CacheCell `json:"runs"`
+	// RatioMilli is uncached/cached steady bytes per link, x1000.
+	RatioMilli map[string]int64 `json:"steady_bytes_ratio_milli"`
+}
+
+// Write serializes the report as indented JSON.
+func (r *CacheReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Check validates the acceptance shape: every link must show at least
+// a 5x steady-state bytes-on-wire reduction, cached cells must run hot
+// (>= 80% hit ratio, zero misses), uncached cells must be free of
+// cache traffic, and every cell must have acked latency marks.
+func (r *CacheReport) Check() error {
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("cache report has no runs")
+	}
+	byLink := map[string]map[string]CacheCell{}
+	for _, c := range r.Runs {
+		if byLink[c.Link] == nil {
+			byLink[c.Link] = map[string]CacheCell{}
+		}
+		byLink[c.Link][c.Mode] = c
+		if c.Acks == 0 {
+			return fmt.Errorf("%s/%s: no acked marks", c.Link, c.Mode)
+		}
+		switch c.Mode {
+		case "cached":
+			if c.CacheMisses != 0 {
+				return fmt.Errorf("%s: %d cache misses on a lossless link", c.Link, c.CacheMisses)
+			}
+			if c.HitRatioMilli < 800 {
+				return fmt.Errorf("%s: hit ratio %d/1000, want >= 800", c.Link, c.HitRatioMilli)
+			}
+			if c.CachePaints == 0 || c.SavedBytes <= 0 {
+				return fmt.Errorf("%s: cache never engaged (paints=%d saved=%d)",
+					c.Link, c.CachePaints, c.SavedBytes)
+			}
+		case "uncached":
+			if c.CacheStores != 0 || c.CachePaints != 0 {
+				return fmt.Errorf("%s: uncached session saw cache traffic (stores=%d paints=%d)",
+					c.Link, c.CacheStores, c.CachePaints)
+			}
+		}
+	}
+	if len(byLink) < 2 {
+		return fmt.Errorf("report covers %d link(s), want loopback and a shaped link", len(byLink))
+	}
+	for link, modes := range byLink {
+		cached, ok1 := modes["cached"]
+		plain, ok2 := modes["uncached"]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("%s: missing a mode (have %d)", link, len(modes))
+		}
+		if cached.SteadyBytes <= 0 || plain.SteadyBytes <= 0 {
+			return fmt.Errorf("%s: empty steady window", link)
+		}
+		ratio := plain.SteadyBytes * 1000 / cached.SteadyBytes
+		if ratio < 5000 {
+			return fmt.Errorf("%s: steady bytes ratio %d.%03dx, want >= 5x (cached=%d uncached=%d)",
+				link, ratio/1000, ratio%1000, cached.SteadyBytes, plain.SteadyBytes)
+		}
+	}
+	return nil
+}
+
+// cacheBenchPattern fills bank entry i: position-independent bytes so
+// every redraw is a digest-identical repeat, varied enough that the
+// damage pipeline ships RAW rather than collapsing to a fill.
+func cacheBenchPattern(i int) []pixel.ARGB {
+	pix := make([]pixel.ARGB, cachePatternW*cachePatternH)
+	for j := range pix {
+		pix[j] = pixel.RGB(uint8(31*i+j), uint8(j>>2^i*67), uint8(j*13))
+	}
+	return pix
+}
+
+// cacheBenchRound draws every bank pattern once at its round-shifted
+// slot. Slots stay disjoint within a round (bank < slot count and the
+// shift is uniform), so commands never merge.
+func cacheBenchRound(d *xserver.Display, win *xserver.Window, bank [][]pixel.ARGB, round int) {
+	cols := 7
+	for i, pix := range bank {
+		slot := (i + round*5) % cacheBenchSlots
+		r := geom.XYWH((slot%cols)*cacheSlotW+1, (slot/cols)*cacheSlotH+1,
+			cachePatternW, cachePatternH)
+		d.PutImage(win, r, pix, cachePatternW)
+	}
+}
+
+// RunCacheBench sweeps links x {cached, uncached} and collects the
+// report.
+func RunCacheBench(opts CacheOptions, progress func(string)) (*CacheReport, error) {
+	opts = opts.withDefaults()
+	report := &CacheReport{
+		Schema:       "thinc-cache-bench/v1",
+		Bank:         cacheBenchBank,
+		PatternBytes: cachePatternW * cachePatternH * 4,
+		WarmRounds:   opts.WarmRounds,
+		SteadyRounds: opts.SteadyRounds,
+		RatioMilli:   map[string]int64{},
+	}
+	for _, link := range e2eLinks() {
+		var cells [2]CacheCell
+		for i, mode := range []string{"cached", "uncached"} {
+			if progress != nil {
+				progress(fmt.Sprintf("cache: %s %s (%d+%d rounds)",
+					mode, link.name, opts.WarmRounds, opts.SteadyRounds))
+			}
+			cell, err := runCacheCell(opts, link, mode)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", link.name, mode, err)
+			}
+			cells[i] = cell
+			report.Runs = append(report.Runs, cell)
+		}
+		if cells[0].SteadyBytes > 0 {
+			report.RatioMilli[link.name] = cells[1].SteadyBytes * 1000 / cells[0].SteadyBytes
+		}
+	}
+	return report, nil
+}
+
+// runCacheCell drives one live session through warmup plus steady
+// rounds and reads the client's byte counters around the steady window.
+func runCacheCell(opts CacheOptions, link e2eLink, mode string) (CacheCell, error) {
+	cell := CacheCell{Link: link.name, Mode: mode}
+
+	accounts := auth.NewAccounts()
+	accounts.Add("bench", "pw")
+	srvOpts := server.Options{
+		FlushInterval:   time.Millisecond,
+		FlushBudget:     1 << 22,
+		MarkInterval:    2 * time.Millisecond,
+		DisableAudit:    true,
+		DisableOverload: true, // pinned lossless: the cache-relevant rung
+	}
+	if mode == "cached" {
+		srvOpts.CacheKB = client.DefaultCacheRequestKB
+	}
+	host := server.NewHost(opts.W, opts.H, auth.NewAuthenticator("bench", accounts), srvOpts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cell, err
+	}
+	defer l.Close()
+	go host.Serve(l)
+
+	addr := l.Addr().String()
+	if link.params != nil {
+		shaped, stop, err := simnet.StartProxy(addr, *link.params)
+		if err != nil {
+			return cell, err
+		}
+		defer stop()
+		addr = shaped
+	}
+	conn, err := client.Dial(addr, "bench", "pw", opts.W, opts.H)
+	if err != nil {
+		return cell, err
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	bank := make([][]pixel.ARGB, cacheBenchBank)
+	for i := range bank {
+		bank[i] = cacheBenchPattern(i)
+	}
+	var win *xserver.Window
+	host.Do(func(d *xserver.Display) {
+		win = d.CreateWindow(geom.XYWH(0, 0, opts.W, opts.H))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(24, 26, 32)}, win.Bounds())
+	})
+
+	runRounds := func(from, n int) error {
+		for r := from; r < from+n; r++ {
+			host.Do(func(d *xserver.Display) {
+				cacheBenchRound(d, win, bank, r)
+			})
+			time.Sleep(4 * time.Millisecond)
+		}
+		// Quiesce: the steady window must contain exactly these rounds.
+		want := host.ScreenChecksum()
+		deadline := time.Now().Add(10 * time.Second)
+		for conn.Snapshot().Checksum() != want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("client never converged after round %d", from+n-1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+
+	if err := runRounds(0, opts.WarmRounds); err != nil {
+		return cell, err
+	}
+	base := clientBytesTotal(conn)
+	if err := runRounds(opts.WarmRounds, opts.SteadyRounds); err != nil {
+		return cell, err
+	}
+	cell.SteadyBytes = clientBytesTotal(conn) - base
+	cell.BytesPerRound = cell.SteadyBytes / int64(opts.SteadyRounds)
+
+	// Let the last marks ack before reading latency histograms.
+	settle := 250 * time.Millisecond
+	if link.params != nil {
+		settle += time.Duration(link.params.RTT) * time.Microsecond
+	}
+	time.Sleep(settle)
+
+	st := conn.Stats()
+	cell.CacheStores = int64(st.CacheStored)
+	cell.CachePaints = int64(st.CachePainted)
+	cell.CacheMisses = int64(st.CacheMissReports)
+	cell.ClientStoreKB = st.CacheBytes / 1024
+	reg := host.Telemetry()
+	cell.SavedBytes = reg.Value("thinc_cache_saved_bytes_total")
+	cell.HitRatioMilli = reg.Value("thinc_cache_hit_ratio_milli")
+	cell.Acks = int(reg.Value("thinc_e2e_acks_total"))
+	cell.E2E = percentilesOf(histSnap(reg, "thinc_e2e_latency_us",
+		telemetry.L("rung", overload.RungName(0))), 1)
+	return cell, nil
+}
+
+// clientBytesTotal sums the client's per-type wire byte counters — the
+// bytes-on-wire methodology: count what the client applied, so framing
+// and every message kind (display, cache, control) are all included.
+func clientBytesTotal(conn *client.Conn) int64 {
+	var n int64
+	for _, b := range conn.Stats().Bytes {
+		n += b
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/client"
+	"thinc/internal/core"
+	"thinc/internal/faultconn"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/server"
+	"thinc/internal/xserver"
+)
+
+// The cache-desync schedule family: wire v6 replaces repeated payloads
+// with 21-byte CACHE_PAINT references, which concentrates the entire
+// correctness of a region into a single 8-byte digest. This run attacks
+// exactly that surface — a frame-aware corrupter flips bits inside
+// CACHE_PAINT digests (the reference no longer matches anything the
+// client holds) and inside CACHE_STORE payload data (the content no
+// longer matches the digest that rode with it) — and asserts the v6
+// miss protocol detects every desync at apply time, reports it, and
+// heals it by forget-and-repaint with zero framebuffer divergence, no
+// reconnect, and a cache that still produces hits afterwards.
+
+// cacheChaos draw geometry: tiles are inset one pixel inside each
+// audit-tile slot so no two draws ever abut — RawCmd merging would
+// otherwise coalesce neighbors into one store and break the one
+// draw = one cache message accounting the schedule relies on.
+const (
+	cacheSlotSide = auditTile
+	cacheTileSide = cacheSlotSide - 2
+	// cachePaintDigestLen is the corruptible window of a CACHE_PAINT: a
+	// fixed flip stride no longer than this guarantees every armed
+	// paint takes at least one flip, for any seed.
+	cachePaintDigestLen = 8
+)
+
+// CacheCorruptSchedule scripts one cache-desync run.
+type CacheCorruptSchedule struct {
+	Name string
+	Seed int64
+	// Bank is how many distinct patterns phase one stores cleanly —
+	// the population of the client cache before the storm.
+	Bank int
+	// Repeats is how many bank patterns phase two redraws at new
+	// positions with the corrupter armed: each goes out as a
+	// CACHE_PAINT whose digest is guaranteed a flip.
+	Repeats int
+	// Fresh is how many new patterns phase two draws armed: each goes
+	// out as a CACHE_STORE whose payload data is guaranteed flips, so
+	// the client's digest verification must reject it.
+	Fresh int
+	// MaxWall bounds the whole run; zero means 20s.
+	MaxWall time.Duration
+}
+
+// slots reports how many non-abutting draw slots the schedule needs:
+// bank, repeat targets, fresh, and the post-storm recovery repaints.
+func (s CacheCorruptSchedule) slots() int {
+	return s.Bank + s.Repeats + s.Fresh + s.Repeats
+}
+
+// CacheCorruptResult is what one cache-desync schedule produced.
+type CacheCorruptResult struct {
+	Schedule   CacheCorruptSchedule
+	Converged  bool
+	MismatchAt int // first differing pixel after quiescence (-1: identical)
+
+	Flips       int64 // bits flipped inside cache messages
+	Grants      int   // handshakes the server granted a cache
+	MissReports int   // CACHE_MISS reports the client sent
+	MissRepairs int   // forget-and-repaint healings on the server
+	Stored      int   // payloads the client retained (verified stores)
+	Painted     int   // references satisfied from the client store
+
+	Reconnects int // must stay 0: desync is healed in-protocol
+}
+
+func (r CacheCorruptResult) String() string {
+	return fmt.Sprintf("%s seed=%d bank=%d repeats=%d fresh=%d converged=%v flips=%d grants=%d missReports=%d missRepairs=%d stored=%d painted=%d reconnects=%d",
+		r.Schedule.Name, r.Schedule.Seed, r.Schedule.Bank, r.Schedule.Repeats,
+		r.Schedule.Fresh, r.Converged, r.Flips, r.Grants, r.MissReports,
+		r.MissRepairs, r.Stored, r.Painted, r.Reconnects)
+}
+
+// CacheCorruptionSuite returns the standard cache-desync schedules.
+func CacheCorruptionSuite() []CacheCorruptSchedule {
+	return []CacheCorruptSchedule{
+		{Name: "cache-desync-paints", Seed: 2101, Bank: 3, Repeats: 3, Fresh: 0},
+		{Name: "cache-desync-stores", Seed: 2202, Bank: 2, Repeats: 0, Fresh: 3},
+		{Name: "cache-desync-storm", Seed: 2404, Bank: 3, Repeats: 3, Fresh: 3},
+	}
+}
+
+// cacheSlotRect returns the inset draw rect of slot i on the chaos
+// screen's audit-tile grid.
+func cacheSlotRect(i int) geom.Rect {
+	cols := screenW / cacheSlotSide
+	return geom.XYWH((i%cols)*cacheSlotSide+1, (i/cols)*cacheSlotSide+1,
+		cacheTileSide, cacheTileSide)
+}
+
+// cacheChaosPattern fills a tile with pattern id's pixels. Content is a
+// pure function of (id, offset) — never of screen position — so a bank
+// pattern redrawn at a new slot is byte-identical and digests equal.
+// The per-pixel variation keeps the tile from collapsing to a solid
+// fill, which the damage pipeline would ship as SFILL instead of RAW.
+func cacheChaosPattern(id int) []pixel.ARGB {
+	pix := make([]pixel.ARGB, cacheTileSide*cacheTileSide)
+	for j := range pix {
+		pix[j] = pixel.RGB(uint8(37*id+11), uint8(j), uint8(j>>3^id*53))
+	}
+	return pix
+}
+
+// RunCacheCorruption executes one cache-desync schedule in four
+// phases: populate the cache clean, corrupt the delta protocol, heal
+// and converge, then prove the cache still hits.
+func RunCacheCorruption(s CacheCorruptSchedule) (CacheCorruptResult, error) {
+	res := CacheCorruptResult{Schedule: s, MismatchAt: -1}
+	if s.MaxWall <= 0 {
+		s.MaxWall = 20 * time.Second
+	}
+	if n, max := s.slots(), (screenW/cacheSlotSide)*(screenH/cacheSlotSide); n > max {
+		return res, fmt.Errorf("chaos: schedule needs %d slots, screen has %d", n, max)
+	}
+	if s.Repeats > s.Bank {
+		return res, fmt.Errorf("chaos: %d repeats of a %d-pattern bank", s.Repeats, s.Bank)
+	}
+	deadline := time.Now().Add(s.MaxWall)
+
+	acc := auth.NewAccounts()
+	acc.Add("owner", "pw")
+	opts := server.Options{
+		// RawCodec stays CodecNone so repaint and store payloads are
+		// plain pixels: a flip is silent divergence, never a codec
+		// decode error. The audit stays on as the backstop for plain
+		// RAW flips; the assertions below are about the cache path.
+		Core:              core.Options{AuditTileSize: auditTile},
+		CacheKB:           512,
+		FlushInterval:     time.Millisecond,
+		FlushBudget:       1 << 20,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		AuditInterval:     5 * time.Millisecond,
+		AuditTimeout:      500 * time.Millisecond,
+		DisableOverload:   true,
+	}
+	host := server.NewHost(screenW, screenH, auth.NewAuthenticator("owner", acc), opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer l.Close()
+	go host.Serve(l)
+
+	// The default dial handshake requests a cache; the server grants
+	// min(request, CacheKB) = 512 KB.
+	conn, err := client.DialWith(func() (net.Conn, error) {
+		return net.Dial("tcp", l.Addr().String())
+	}, "owner", "pw", screenW, screenH)
+	if err != nil {
+		return res, err
+	}
+	defer conn.Close()
+
+	// The corrupter rides the decrypted read stream, installed dormant.
+	// The fixed stride of one digest length guarantees every armed
+	// CACHE_PAINT takes a flip (any 8 consecutive eligible bytes span a
+	// stride multiple) and peppers every armed CACHE_STORE's data; no
+	// flip cap, because the repair traffic the storm provokes is itself
+	// corruptible while armed — the run converges after disarm.
+	var corr *faultconn.Corrupter
+	conn.SetReadWrapper(func(r io.Reader) io.Reader {
+		corr = faultconn.NewCorrupter(r, faultconn.CorruptPlan{
+			Seed:  s.Seed,
+			Gap:   cachePaintDigestLen,
+			Fixed: true,
+		})
+		corr.Disable()
+		return corr
+	})
+	runDone := make(chan error, 1)
+	go func() { runDone <- conn.Run() }()
+
+	// Phase 1: populate. Draw every bank pattern once, clean; each
+	// first appearance ships as a verified CACHE_STORE, so after
+	// convergence both sides hold the bank.
+	var win *xserver.Window
+	host.Do(func(d *xserver.Display) {
+		win = d.CreateWindow(geom.XYWH(0, 0, screenW, screenH))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(20, 50, 110)}, geom.XYWH(0, 0, screenW, screenH))
+		for i := 0; i < s.Bank; i++ {
+			d.PutImage(win, cacheSlotRect(i), cacheChaosPattern(i), cacheTileSide)
+		}
+	})
+	if !waitConverged(host, conn, deadline) {
+		res.MismatchAt = firstMismatch(host, conn)
+		return res, fmt.Errorf("chaos: populate phase never converged (mismatch at %d)", res.MismatchAt)
+	}
+	if st := conn.Stats(); st.CacheStored < s.Bank {
+		return res, fmt.Errorf("chaos: client stored %d of %d bank payloads", st.CacheStored, s.Bank)
+	}
+
+	// Phase 2: corrupt. Redraw bank patterns at new slots (hits: armed
+	// CACHE_PAINTs with flipped digests) and draw fresh patterns
+	// (armed CACHE_STOREs with flipped data). Every one must surface
+	// as a CACHE_MISS — the flipped digest misses the client store,
+	// the flipped payload fails digest verification.
+	wantMiss := s.Repeats + s.Fresh
+	corr.Enable()
+	host.Do(func(d *xserver.Display) {
+		for i := 0; i < s.Repeats; i++ {
+			d.PutImage(win, cacheSlotRect(s.Bank+i), cacheChaosPattern(i), cacheTileSide)
+		}
+		for i := 0; i < s.Fresh; i++ {
+			d.PutImage(win, cacheSlotRect(s.Bank+s.Repeats+i),
+				cacheChaosPattern(s.Bank+i), cacheTileSide)
+		}
+	})
+	for conn.Stats().CacheMissReports < wantMiss && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	res.Flips = corr.Flips()
+	corr.Disable()
+	if res.Flips == 0 {
+		return res, fmt.Errorf("chaos: corrupter never flipped a bit")
+	}
+
+	// Phase 3: heal. No workload, no new corruption — every reported
+	// miss is forgotten and repainted clean, and whatever plain-RAW
+	// collateral the storm left behind falls to the audit backstop.
+	if !waitConverged(host, conn, deadline) {
+		res.MismatchAt = firstMismatch(host, conn)
+		harvestCacheStats(&res, host, conn)
+		return res, nil
+	}
+
+	// Phase 4: prove recovery. The storm must not have poisoned the
+	// bank: redrawing it at fresh slots must hit the cache (clean
+	// CACHE_PAINTs the client satisfies locally) and still converge.
+	paintedBefore := conn.Stats().CachePainted
+	host.Do(func(d *xserver.Display) {
+		for i := 0; i < s.Repeats; i++ {
+			d.PutImage(win, cacheSlotRect(s.Bank+s.Repeats+s.Fresh+i),
+				cacheChaosPattern(i), cacheTileSide)
+		}
+	})
+	res.Converged = waitConverged(host, conn, deadline)
+	if !res.Converged {
+		res.MismatchAt = firstMismatch(host, conn)
+	}
+	for s.Repeats > 0 && conn.Stats().CachePainted == paintedBefore && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	harvestCacheStats(&res, host, conn)
+	conn.Close()
+	<-runDone
+	return res, nil
+}
+
+func harvestCacheStats(res *CacheCorruptResult, host *server.Host, conn *client.Conn) {
+	st := host.Resilience()
+	res.Grants = st.CacheGrants
+	res.MissRepairs = st.CacheMissRepairs
+	cs := conn.Stats()
+	res.MissReports = cs.CacheMissReports
+	res.Stored = cs.CacheStored
+	res.Painted = cs.CachePainted
+	res.Reconnects = cs.Reconnects
+}

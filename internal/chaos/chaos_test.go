@@ -175,6 +175,56 @@ func TestChaosCorruptionSuite(t *testing.T) {
 	}
 }
 
+// TestChaosCacheDesync runs the wire-v6 cache-desync schedules: bit
+// flips inside CACHE_PAINT digests and CACHE_STORE payloads that the
+// miss protocol must detect at apply time and heal by
+// forget-and-repaint, with zero framebuffer divergence, no reconnect,
+// and a cache that still hits after the storm.
+func TestChaosCacheDesync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache-desync suite is seconds-long; skipped in -short")
+	}
+	for _, s := range CacheCorruptionSuite() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCacheCorruption(s)
+			if err != nil {
+				t.Fatalf("cache-desync run failed: %v", err)
+			}
+			t.Log(res)
+			if !res.Converged {
+				t.Fatalf("cache desync was not healed: first mismatch at pixel %d (%s)",
+					res.MismatchAt, res)
+			}
+			if res.Flips == 0 {
+				t.Fatal("corrupter never flipped a bit; the schedule proved nothing")
+			}
+			if res.Grants < 1 {
+				t.Fatalf("server never granted a cache: %s", res)
+			}
+			want := s.Repeats + s.Fresh
+			if res.MissReports < want {
+				t.Errorf("client reported %d cache misses, want >= %d (every corrupted delivery)",
+					res.MissReports, want)
+			}
+			if res.MissRepairs < want {
+				t.Errorf("server healed %d cache misses, want >= %d", res.MissRepairs, want)
+			}
+			if res.Stored < s.Bank {
+				t.Errorf("client retained %d payloads, want >= %d (the bank)", res.Stored, s.Bank)
+			}
+			if s.Repeats > 0 && res.Painted < s.Repeats {
+				t.Errorf("post-storm repaints hit the cache %d times, want >= %d; the storm poisoned the store",
+					res.Painted, s.Repeats)
+			}
+			if res.Reconnects != 0 {
+				t.Errorf("cache desync caused %d reconnects; healing must stay in-protocol", res.Reconnects)
+			}
+		})
+	}
+}
+
 // TestChaosCorruptionSoak is the randomized long-haul corruption pass
 // behind `make soak`, sharing THINC_CHAOS_SOAK with the fault soak.
 func TestChaosCorruptionSoak(t *testing.T) {

@@ -1,0 +1,194 @@
+package client
+
+import (
+	"fmt"
+
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/payloadcache"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+)
+
+// Client side of the wire-v6 content-addressed payload cache: the store
+// itself. CACHE_STORE paints a payload and inserts it under its digest
+// as a side effect; CACHE_PAINT replays a held payload at a new
+// position for ~20 wire bytes. The store runs the same deterministic
+// LRU as the server's model and mutates only at apply time — stream
+// order — so as long as the stream arrives intact, both sides evict
+// identically and no eviction traffic exists. Any disagreement
+// (corrupted payload, digest the store does not hold) surfaces as a
+// *CacheMissError; Conn.Run converts it into a CACHE_MISS report and
+// the server repairs the region with plain RAW.
+
+// DefaultCacheRequestKB is the payload cache capacity a connection
+// requests when the caller does not choose one: 4 MB indexes the glyph
+// runs, icons and toolbar blocks of a working desktop without
+// burdening a thin device.
+const DefaultCacheRequestKB = 4096
+
+// CacheMissError reports a cache desync detected at apply time. The
+// framebuffer was NOT painted for this message; the server must repaint
+// Rect from the true framebuffer.
+type CacheMissError struct {
+	Digest uint64
+	Rect   geom.Rect
+}
+
+func (e *CacheMissError) Error() string {
+	return fmt.Sprintf("client: cache miss for digest %016x at %v", e.Digest, e.Rect)
+}
+
+// cacheEntry is one held payload with its apply semantics: everything
+// needed to replay the original RAW or BITMAP at a new position.
+type cacheEntry struct {
+	kind uint8
+	w, h int // content geometry; a paint rect must match exactly
+
+	// CacheKindRaw.
+	pix   []pixel.ARGB
+	blend bool
+
+	// CacheKindBitmap.
+	bm          *fb.Bitmap
+	fg, bg      pixel.ARGB
+	transparent bool
+}
+
+// payloadStore pairs the deterministic LRU index with the payloads it
+// tracks; the eviction callback keeps the two views in lockstep.
+type payloadStore struct {
+	lru     *payloadcache.LRU
+	entries map[uint64]*cacheEntry
+}
+
+// EnableCache sizes the payload store; 0 disables it. Re-enabling at
+// the capacity already in force keeps the warm store — the reattach
+// path, where the server's retained model still matches our holdings.
+// Any other capacity starts cold, mirroring Client.SetCacheSize on the
+// server core.
+func (c *Client) EnableCache(bytes int) {
+	if bytes <= 0 {
+		c.store = nil
+		c.stats.cacheEntries.Store(0)
+		c.stats.cacheBytes.Store(0)
+		return
+	}
+	if c.store != nil && c.store.lru.Cap() == bytes {
+		return
+	}
+	st := &payloadStore{entries: make(map[uint64]*cacheEntry)}
+	st.lru = payloadcache.New(bytes, func(d uint64, _ int) { delete(st.entries, d) })
+	c.store = st
+	c.stats.cacheEntries.Store(0)
+	c.stats.cacheBytes.Store(0)
+}
+
+// CacheEnabled reports whether a payload store is active.
+func (c *Client) CacheEnabled() bool { return c.store != nil }
+
+// CacheEntries returns the number of payloads held.
+func (c *Client) CacheEntries() int {
+	if c.store == nil {
+		return 0
+	}
+	return c.store.lru.Len()
+}
+
+// CacheHolds reports whether the store holds digest (tests and the
+// convergence oracle peek with it).
+func (c *Client) CacheHolds(digest uint64) bool {
+	return c.store != nil && c.store.lru.Has(digest)
+}
+
+// cacheGauges refreshes the atomic occupancy gauges after a store
+// mutation so Stats snapshots stay lock-free.
+func (c *Client) cacheGauges() {
+	if c.store == nil {
+		return
+	}
+	c.stats.cacheEntries.Store(int64(c.store.lru.Len()))
+	c.stats.cacheBytes.Store(int64(c.store.lru.Bytes()))
+}
+
+// applyCacheStore verifies, paints, and inserts one CACHE_STORE. The
+// digest is recomputed over the decoded content with the same canonical
+// recipe the server used (fb.CacheDigest*); a mismatch means the
+// payload was corrupted in flight — nothing is painted or stored, and
+// the returned *CacheMissError asks the server for a plain repaint.
+// With the cache disabled the payload still paints (a CACHE_STORE is
+// self-contained), it just isn't retained.
+func (c *Client) applyCacheStore(v *wire.CacheStore) error {
+	switch v.Kind {
+	case wire.CacheKindRaw:
+		raw := wire.Raw{Rect: v.Rect, Codec: v.Codec, Blend: v.Blend, Data: v.Data}
+		pix, err := raw.Pixels()
+		if err != nil {
+			return &CacheMissError{Digest: v.Digest, Rect: v.Rect}
+		}
+		if fb.CacheDigestRaw(v.Rect.W(), v.Rect.H(), v.Blend, pix) != v.Digest {
+			return &CacheMissError{Digest: v.Digest, Rect: v.Rect}
+		}
+		if v.Blend {
+			c.fb.CompositeOver(v.Rect, pix, v.Rect.W())
+		} else {
+			c.fb.PutImage(v.Rect, pix, v.Rect.W())
+		}
+		if c.store != nil {
+			// pix is owned (freshly decoded); the entry keeps it.
+			c.store.entries[v.Digest] = &cacheEntry{kind: v.Kind,
+				w: v.Rect.W(), h: v.Rect.H(), pix: pix, blend: v.Blend}
+			c.store.lru.Insert(v.Digest, len(pix)*4)
+			c.stats.cacheStored.Add(1)
+			c.cacheGauges()
+		}
+	case wire.CacheKindBitmap:
+		if fb.CacheDigestBitmap(v.Rect.W(), v.Rect.H(), v.Fg, v.Bg, v.Transparent,
+			v.BitW, v.BitH, v.Bits) != v.Digest {
+			return &CacheMissError{Digest: v.Digest, Rect: v.Rect}
+		}
+		bm := &fb.Bitmap{W: v.BitW, H: v.BitH, Bits: v.Bits}
+		c.fb.FillBitmap(v.Rect, bm, v.Fg, v.Bg, v.Transparent)
+		if c.store != nil {
+			// Copy the rows: in-process transports hand us slices that
+			// alias server command state.
+			own := &fb.Bitmap{W: v.BitW, H: v.BitH, Bits: append([]byte(nil), v.Bits...)}
+			c.store.entries[v.Digest] = &cacheEntry{kind: v.Kind,
+				w: v.Rect.W(), h: v.Rect.H(), bm: own,
+				fg: v.Fg, bg: v.Bg, transparent: v.Transparent}
+			c.store.lru.Insert(v.Digest, len(own.Bits))
+			c.stats.cacheStored.Add(1)
+			c.cacheGauges()
+		}
+	default:
+		return fmt.Errorf("client: unknown cache entry kind %d", v.Kind)
+	}
+	return nil
+}
+
+// applyCachePaint replays a held payload at v.Rect. An unknown digest
+// or a geometry disagreement (the digest covers content dimensions, so
+// a well-behaved server can never cause one) paints nothing and
+// reports a miss.
+func (c *Client) applyCachePaint(v *wire.CachePaint) error {
+	if c.store == nil {
+		return &CacheMissError{Digest: v.Digest, Rect: v.Rect}
+	}
+	e, ok := c.store.entries[v.Digest]
+	if !ok || e.w != v.Rect.W() || e.h != v.Rect.H() {
+		return &CacheMissError{Digest: v.Digest, Rect: v.Rect}
+	}
+	c.store.lru.Touch(v.Digest)
+	switch e.kind {
+	case wire.CacheKindRaw:
+		if e.blend {
+			c.fb.CompositeOver(v.Rect, e.pix, e.w)
+		} else {
+			c.fb.PutImage(v.Rect, e.pix, e.w)
+		}
+	case wire.CacheKindBitmap:
+		c.fb.FillBitmap(v.Rect, e.bm, e.fg, e.bg, e.transparent)
+	}
+	c.stats.cachePainted.Add(1)
+	return nil
+}

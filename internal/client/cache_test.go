@@ -1,0 +1,256 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"thinc/internal/compress"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+)
+
+// mkCacheStoreRaw builds a verifiable RAW CacheStore for pix at r.
+func mkCacheStoreRaw(t *testing.T, r geom.Rect, pix []pixel.ARGB, blend bool) *wire.CacheStore {
+	t.Helper()
+	raw, err := wire.NewRaw(r, pix, r.W(), compress.CodecNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &wire.CacheStore{
+		Digest: fb.CacheDigestRaw(r.W(), r.H(), blend, pix),
+		Kind:   wire.CacheKindRaw,
+		Rect:   r, Codec: raw.Codec, Blend: blend, Data: raw.Data,
+	}
+}
+
+func cachePix(n int, seed uint8) []pixel.ARGB {
+	pix := make([]pixel.ARGB, n)
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i)+seed, seed, uint8(i*3))
+	}
+	return pix
+}
+
+func TestCacheStoreThenPaint(t *testing.T) {
+	c := New(64, 32)
+	c.EnableCache(64 << 10)
+	if !c.CacheEnabled() {
+		t.Fatal("cache not enabled")
+	}
+
+	r := geom.XYWH(0, 0, 8, 4)
+	pix := cachePix(r.Area(), 10)
+	st := mkCacheStoreRaw(t, r, pix, false)
+	if err := c.Apply(st); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	if c.FB().At(0, 0) != pix[0] {
+		t.Fatal("CACHE_STORE did not paint")
+	}
+	if c.CacheEntries() != 1 || !c.CacheHolds(st.Digest) {
+		t.Fatalf("store not retained: entries=%d", c.CacheEntries())
+	}
+
+	// Replay the held payload elsewhere; only geometry-exact paints hit.
+	dst := geom.XYWH(20, 8, 8, 4)
+	if err := c.Apply(&wire.CachePaint{Digest: st.Digest, Rect: dst}); err != nil {
+		t.Fatalf("paint: %v", err)
+	}
+	if c.FB().At(20, 8) != pix[0] || c.FB().At(27, 11) != pix[len(pix)-1] {
+		t.Fatal("CACHE_PAINT did not replay the payload")
+	}
+	st2 := c.Stats()
+	if st2.CacheStored != 1 || st2.CachePainted != 1 {
+		t.Fatalf("stats = %+v, want 1 store / 1 paint", st2)
+	}
+	if st2.CacheBytes != int64(len(pix)*4) {
+		t.Fatalf("CacheBytes = %d, want %d", st2.CacheBytes, len(pix)*4)
+	}
+}
+
+func TestCacheStoreBlendComposites(t *testing.T) {
+	c := New(4, 1)
+	c.EnableCache(4 << 10)
+	if err := c.Apply(&wire.SFill{Rect: geom.XYWH(0, 0, 4, 1), Color: pixel.RGB(100, 100, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	r := geom.XYWH(0, 0, 2, 1)
+	pix := []pixel.ARGB{pixel.PackARGB(128, 200, 0, 0), pixel.PackARGB(0, 9, 9, 9)}
+	if err := c.Apply(mkCacheStoreRaw(t, r, pix, true)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FB().At(1, 0); got != pixel.RGB(100, 100, 100) {
+		t.Fatalf("alpha-0 pixel overwrote destination: %08x", uint32(got))
+	}
+	// Replaying the blend entry must composite again, not copy.
+	d := fb.CacheDigestRaw(2, 1, true, pix)
+	if err := c.Apply(&wire.CachePaint{Digest: d, Rect: geom.XYWH(2, 0, 2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FB().At(3, 0); got != pixel.RGB(100, 100, 100) {
+		t.Fatalf("replayed blend overwrote destination: %08x", uint32(got))
+	}
+}
+
+func TestCacheStoreBitmapRoundTrip(t *testing.T) {
+	c := New(16, 8)
+	c.EnableCache(4 << 10)
+	r := geom.XYWH(0, 0, 8, 1)
+	bits := []byte{0xAA} // alternating stipple
+	st := &wire.CacheStore{
+		Digest: fb.CacheDigestBitmap(r.W(), r.H(), pixel.RGB(9, 9, 9), pixel.RGB(1, 1, 1),
+			false, 8, 1, bits),
+		Kind: wire.CacheKindBitmap,
+		Rect: r, Fg: pixel.RGB(9, 9, 9), Bg: pixel.RGB(1, 1, 1), BitW: 8, BitH: 1, Bits: bits,
+	}
+	if err := c.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if c.FB().At(0, 0) != pixel.RGB(9, 9, 9) || c.FB().At(1, 0) != pixel.RGB(1, 1, 1) {
+		t.Fatal("bitmap store did not paint the stipple")
+	}
+	// The stored rows must be a copy: mutating the wire slice afterwards
+	// (an in-process transport reusing its buffer) must not corrupt the
+	// held entry.
+	bits[0] = 0x00
+	if err := c.Apply(&wire.CachePaint{Digest: st.Digest, Rect: geom.XYWH(8, 2, 8, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if c.FB().At(8, 2) != pixel.RGB(9, 9, 9) {
+		t.Fatal("held bitmap aliased the wire buffer")
+	}
+}
+
+func TestCacheStoreCorruptedDigestMisses(t *testing.T) {
+	c := New(16, 8)
+	c.EnableCache(4 << 10)
+	before := c.FB().At(0, 0)
+
+	r := geom.XYWH(0, 0, 4, 2)
+	st := mkCacheStoreRaw(t, r, cachePix(r.Area(), 30), false)
+	st.Digest ^= 1 // in-flight corruption
+	err := c.Apply(st)
+	var miss *CacheMissError
+	if !errors.As(err, &miss) {
+		t.Fatalf("corrupted store returned %v, want *CacheMissError", err)
+	}
+	if miss.Digest != st.Digest || miss.Rect != r {
+		t.Fatalf("miss = %+v, want the message's digest and rect", miss)
+	}
+	if !strings.Contains(miss.Error(), "cache miss") {
+		t.Fatalf("unhelpful error string %q", miss.Error())
+	}
+	if c.FB().At(0, 0) != before {
+		t.Fatal("corrupted store painted pixels")
+	}
+	if c.CacheEntries() != 0 {
+		t.Fatal("corrupted store was retained")
+	}
+
+	bad := &wire.CacheStore{Digest: 7, Kind: 99, Rect: r}
+	if err := c.Apply(bad); err == nil || errors.As(err, &miss) {
+		t.Fatalf("unknown kind returned %v, want a hard error", err)
+	}
+}
+
+func TestCachePaintMisses(t *testing.T) {
+	c := New(16, 8)
+
+	// Disabled store: every reference is a miss.
+	var miss *CacheMissError
+	err := c.Apply(&wire.CachePaint{Digest: 42, Rect: geom.XYWH(0, 0, 2, 2)})
+	if !errors.As(err, &miss) {
+		t.Fatalf("paint with cache disabled returned %v, want miss", err)
+	}
+
+	c.EnableCache(4 << 10)
+	if err := c.Apply(&wire.CachePaint{Digest: 42, Rect: geom.XYWH(0, 0, 2, 2)}); !errors.As(err, &miss) {
+		t.Fatalf("unknown digest returned %v, want miss", err)
+	}
+
+	r := geom.XYWH(0, 0, 4, 2)
+	st := mkCacheStoreRaw(t, r, cachePix(r.Area(), 50), false)
+	if err := c.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	// Geometry disagreement: digest held, but the rect is not the
+	// content shape.
+	if err := c.Apply(&wire.CachePaint{Digest: st.Digest, Rect: geom.XYWH(0, 0, 2, 4)}); !errors.As(err, &miss) {
+		t.Fatalf("mismatched geometry returned %v, want miss", err)
+	}
+}
+
+func TestCacheEnableDisableLifecycle(t *testing.T) {
+	c := New(16, 8)
+	r := geom.XYWH(0, 0, 4, 2)
+	st := mkCacheStoreRaw(t, r, cachePix(r.Area(), 70), false)
+
+	// Disabled: a CACHE_STORE still paints (it is self-contained), just
+	// isn't retained.
+	if err := c.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheEnabled() || c.CacheEntries() != 0 || c.CacheHolds(st.Digest) {
+		t.Fatal("disabled cache retained a payload")
+	}
+
+	c.EnableCache(4 << 10)
+	if err := c.Apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheEntries() != 1 {
+		t.Fatal("enabled cache did not retain")
+	}
+
+	// Same capacity: warm keep (the reattach path).
+	c.EnableCache(4 << 10)
+	if c.CacheEntries() != 1 {
+		t.Fatal("re-enable at same capacity dropped the store")
+	}
+	// Different capacity: cold restart.
+	c.EnableCache(8 << 10)
+	if c.CacheEntries() != 0 {
+		t.Fatal("capacity change kept stale entries")
+	}
+	// Zero: disabled again.
+	c.EnableCache(0)
+	if c.CacheEnabled() {
+		t.Fatal("EnableCache(0) left the store active")
+	}
+	if st2 := c.Stats(); st2.CacheEntries != 0 || st2.CacheBytes != 0 {
+		t.Fatalf("gauges not reset: %+v", st2)
+	}
+}
+
+func TestCacheLRUEvictsEldest(t *testing.T) {
+	c := New(64, 8)
+	r := geom.XYWH(0, 0, 4, 2) // 32 bytes per entry
+	c.EnableCache(64)          // room for exactly two entries
+
+	var digests []uint64
+	for i := 0; i < 3; i++ {
+		st := mkCacheStoreRaw(t, r, cachePix(r.Area(), uint8(100+i)), false)
+		if err := c.Apply(st); err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, st.Digest)
+	}
+	if c.CacheEntries() != 2 {
+		t.Fatalf("entries = %d, want 2", c.CacheEntries())
+	}
+	if c.CacheHolds(digests[0]) {
+		t.Fatal("eldest entry survived over-capacity insert")
+	}
+	if !c.CacheHolds(digests[1]) || !c.CacheHolds(digests[2]) {
+		t.Fatal("newest entries evicted out of order")
+	}
+	// The evicted digest now misses — and the entry map stayed in
+	// lockstep with the LRU index.
+	var miss *CacheMissError
+	if err := c.Apply(&wire.CachePaint{Digest: digests[0], Rect: r}); !errors.As(err, &miss) {
+		t.Fatalf("evicted digest returned %v, want miss", err)
+	}
+}

@@ -48,6 +48,17 @@ type Stats struct {
 	// server and MarkAcks sent back (wire v5).
 	MarksSeen    int
 	MarkAcksSent int
+
+	// Payload cache (wire v6): CACHE_STORE payloads retained,
+	// CACHE_PAINT references satisfied locally, and current store
+	// occupancy. CacheKB and CacheMissReports are Conn.Stats only (the
+	// negotiated grant, and desyncs reported back as CACHE_MISS).
+	CacheStored      int
+	CachePainted     int
+	CacheEntries     int
+	CacheBytes       int64
+	CacheKB          int
+	CacheMissReports int
 }
 
 // counters is the lock-free backing store for Stats. The per-type
@@ -63,6 +74,13 @@ type counters struct {
 	audioChunks atomic.Int64
 	lastVideoTS atomic.Uint64
 	lastAudioTS atomic.Uint64
+
+	// Payload cache accounting; the occupancy gauges are refreshed
+	// after each store mutation so snapshots stay lock-free.
+	cacheStored  atomic.Int64
+	cachePainted atomic.Int64
+	cacheEntries atomic.Int64
+	cacheBytes   atomic.Int64
 }
 
 // snapshot builds a point-in-time Stats view.
@@ -70,10 +88,14 @@ func (ct *counters) snapshot() *Stats {
 	s := &Stats{
 		Messages:    make(map[wire.Type]int),
 		Bytes:       make(map[wire.Type]int64),
-		FramesShown: int(ct.framesShown.Load()),
-		AudioChunks: int(ct.audioChunks.Load()),
-		LastVideoTS: ct.lastVideoTS.Load(),
-		LastAudioTS: ct.lastAudioTS.Load(),
+		FramesShown:  int(ct.framesShown.Load()),
+		AudioChunks:  int(ct.audioChunks.Load()),
+		LastVideoTS:  ct.lastVideoTS.Load(),
+		LastAudioTS:  ct.lastAudioTS.Load(),
+		CacheStored:  int(ct.cacheStored.Load()),
+		CachePainted: int(ct.cachePainted.Load()),
+		CacheEntries: int(ct.cacheEntries.Load()),
+		CacheBytes:   ct.cacheBytes.Load(),
 	}
 	for t := range ct.msgs {
 		if n := ct.msgs[t].Load(); n > 0 {
@@ -90,6 +112,10 @@ type Client struct {
 	streams map[uint32]*stream
 	stats   counters
 	cursor  cursorState
+
+	// store is the wire-v6 payload cache; nil until EnableCache grants
+	// capacity. It survives RequestResize (the server's model does too).
+	store *payloadStore
 }
 
 // cursorState is the client-side hardware cursor: an overlay the
@@ -211,6 +237,13 @@ func (c *Client) Apply(m wire.Message) error {
 	case *wire.AuditProbe:
 		// Integrity-audit probe (v4): Conn.Run answers it with tile
 		// digests; a bare Client applying a captured stream tolerates it.
+	case *wire.CacheStore:
+		// Payload cache (v6): verify, paint, retain. A verification
+		// failure returns *CacheMissError; Conn.Run reports it.
+		return c.applyCacheStore(v)
+	case *wire.CachePaint:
+		// Payload cache (v6): replay a held payload.
+		return c.applyCachePaint(v)
 	default:
 		return fmt.Errorf("client: unexpected message %v", m.Type())
 	}

@@ -104,6 +104,13 @@ type Conn struct {
 	applyAccumNS atomic.Int64
 	noE2E        atomic.Bool
 
+	// Payload cache negotiation (wire v6): the capacity we request on
+	// every hello, the server's last grant, and how many CACHE_MISS
+	// desync reports we have sent.
+	cacheReqKB    int
+	cacheGrantKB  atomic.Int32
+	cacheMissSent atomic.Int64
+
 	tel *connTelemetry
 
 	wmu  sync.Mutex // serializes protocol writes (input, pongs)
@@ -156,10 +163,24 @@ func Handshake(nc net.Conn, user, secret string, viewW, viewH int) (*Conn, error
 	return HandshakeRole(nc, user, secret, viewW, viewH, wire.RoleOwner)
 }
 
-// HandshakeRole is Handshake with an explicit session role.
+// HandshakeRole is Handshake with an explicit session role. It requests
+// the default payload cache capacity; use HandshakeRoleCache to choose
+// (0 requests no cache — behaviorally a pre-v6 peer).
 func HandshakeRole(nc net.Conn, user, secret string, viewW, viewH int, role uint8) (*Conn, error) {
+	return HandshakeRoleCache(nc, user, secret, viewW, viewH, role, DefaultCacheRequestKB)
+}
+
+// HandshakeRoleCache is HandshakeRole with an explicit payload cache
+// request in KB. The server grants min(request, its own cap) and the
+// grant arrives in ServerInit; the store is sized to the grant, not the
+// request.
+func HandshakeRoleCache(nc net.Conn, user, secret string, viewW, viewH int, role uint8, cacheKB int) (*Conn, error) {
+	if cacheKB < 0 {
+		cacheKB = 0
+	}
 	enc, si, err := handshake(nc, user, secret,
-		&wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: user, Role: role})
+		&wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: user, Role: role,
+			CacheKB: uint32(cacheKB)})
 	if err != nil {
 		return nil, err
 	}
@@ -169,9 +190,12 @@ func HandshakeRole(nc net.Conn, user, secret string, viewW, viewH int, role uint
 	cn := &Conn{
 		nc: nc, enc: enc, rd: enc,
 		user: user, secret: secret, role: role,
-		c:       New(viewW, viewH),
-		ServerW: si.W, ServerH: si.H,
+		c:          New(viewW, viewH),
+		ServerW:    si.W, ServerH: si.H,
+		cacheReqKB: cacheKB,
 	}
+	cn.c.EnableCache(int(si.CacheKB) * 1024)
+	cn.cacheGrantKB.Store(int32(si.CacheKB))
 	cn.initTelemetry()
 	return cn, nil
 }
@@ -284,9 +308,11 @@ func (cn *Conn) Redial() error {
 	}
 	var hello wire.Message
 	if len(ticket) > 0 {
-		hello = &wire.Reattach{Ticket: ticket, ViewW: viewW, ViewH: viewH, Name: cn.user, Role: role}
+		hello = &wire.Reattach{Ticket: ticket, ViewW: viewW, ViewH: viewH,
+			Name: cn.user, Role: role, CacheKB: uint32(cn.cacheReqKB)}
 	} else {
-		hello = &wire.ClientInit{ViewW: viewW, ViewH: viewH, Name: cn.user, Role: role}
+		hello = &wire.ClientInit{ViewW: viewW, ViewH: viewH,
+			Name: cn.user, Role: role, CacheKB: uint32(cn.cacheReqKB)}
 	}
 	enc, si, err := handshake(nc, cn.user, cn.secret, hello)
 	if err != nil {
@@ -304,6 +330,11 @@ func (cn *Conn) Redial() error {
 	cn.nc, cn.enc = nc, enc
 	cn.rd = cn.wrappedReader()
 	cn.ServerW, cn.ServerH = si.W, si.H
+	// Re-apply the cache grant: an unchanged grant keeps the warm store
+	// (matching the warm model the server retained with our session); a
+	// changed or zero grant restarts cold on both sides.
+	cn.c.EnableCache(int(si.CacheKB) * 1024)
+	cn.cacheGrantKB.Store(int32(si.CacheKB))
 	cn.ticket = nil // the old ticket is spent; the server pushes a fresh one
 	// A fresh attach starts lossless; a reattach that carried its rung
 	// forward is re-told by the server's CauseAdmin notice.
@@ -400,6 +431,17 @@ func (cn *Conn) Run() error {
 		cn.tel.applyLat.Observe(elapsed.Microseconds())
 		cn.tel.updates.Inc()
 		if err != nil {
+			// A cache desync is recoverable by design: report it and keep
+			// applying — the server forgets the digest and repaints the
+			// region with plain RAW (wire v6's self-healing path).
+			var miss *CacheMissError
+			if errors.As(err, &miss) {
+				if err := cn.send(&wire.CacheMiss{Digest: miss.Digest, Rect: miss.Rect}); err != nil {
+					return err
+				}
+				cn.cacheMissSent.Add(1)
+				continue
+			}
 			return err
 		}
 	}
@@ -502,6 +544,8 @@ func (cn *Conn) Stats() Stats {
 	s.AuditReplies = int(cn.auditReplies.Load())
 	s.MarksSeen = int(cn.marksSeen.Load())
 	s.MarkAcksSent = int(cn.markAcksSent.Load())
+	s.CacheKB = int(cn.cacheGrantKB.Load())
+	s.CacheMissReports = int(cn.cacheMissSent.Load())
 	return s
 }
 
@@ -542,7 +586,12 @@ func (cn *Conn) RequestResize(viewW, viewH int) error {
 		return err
 	}
 	cn.mu.Lock()
+	old := cn.c
 	cn.c = New(viewW, viewH)
+	// The payload store is position-independent and the server's model
+	// of it survives a resize; carry it over so the session stays warm.
+	cn.c.store = old.store
+	cn.c.cacheGauges()
 	cn.mu.Unlock()
 	return nil
 }

@@ -23,6 +23,7 @@ type connTelemetry struct {
 var telemetryTypes = []wire.Type{
 	wire.TRaw, wire.TCopy, wire.TSFill, wire.TPFill, wire.TBitmap,
 	wire.TVideoFrame, wire.TAudioData,
+	wire.TCacheStore, wire.TCachePaint,
 }
 
 func (cn *Conn) initTelemetry() {
@@ -66,6 +67,21 @@ func (cn *Conn) initTelemetry() {
 	reg.CounterFunc("thinc_client_mark_acks_sent_total",
 		"MarkAcks answered with accumulated apply time",
 		func() int64 { return cn.markAcksSent.Load() })
+	reg.GaugeFunc("thinc_client_cache_grant_kb",
+		"negotiated payload cache capacity (wire v6)",
+		func() int64 { return int64(cn.cacheGrantKB.Load()) })
+	reg.CounterFunc("thinc_client_cache_stored_total",
+		"CACHE_STORE payloads retained in the local store",
+		func() int64 { return cn.client().stats.cacheStored.Load() })
+	reg.CounterFunc("thinc_client_cache_painted_total",
+		"CACHE_PAINT references satisfied from the local store",
+		func() int64 { return cn.client().stats.cachePainted.Load() })
+	reg.CounterFunc("thinc_client_cache_miss_reports_total",
+		"CACHE_MISS desync reports sent to the server",
+		func() int64 { return cn.cacheMissSent.Load() })
+	reg.GaugeFunc("thinc_client_cache_bytes",
+		"payload bytes currently held in the local store",
+		func() int64 { return cn.client().stats.cacheBytes.Load() })
 }
 
 // client returns the current display client. RequestResize replaces it,

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"thinc/internal/compress"
+	"thinc/internal/driver"
+	"thinc/internal/fb"
+	"thinc/internal/geom"
+	"thinc/internal/payloadcache"
+	"thinc/internal/wire"
+)
+
+// Content-addressed payload cache, server side (wire v6). Repeated
+// display payloads — glyph runs, icons, scrolled-back blocks — dominate
+// steady-state bandwidth, so each client's command path carries a model
+// of the client's LRU payload store. Cache-eligible RAW/BITMAP commands
+// are wrapped in a cacheCmd at add time; at emit time a payload the
+// model says the client holds becomes a ~20-byte CACHE_PAINT reference,
+// and a first appearance becomes a CACHE_STORE that populates the
+// client's store as a side effect of painting.
+//
+// The model mutates only at emit time and the client's store only at
+// apply time. Emits happen in flush order — the order the bytes hit the
+// stream — and the client applies in stream order, so both sides see
+// the identical sequence of (insert, touch) operations and the shared
+// deterministic LRU keeps their evictions synchronized with zero
+// eviction traffic. Any divergence (corruption, a connection dropped
+// mid-store) surfaces as a client CACHE_MISS, answered by CacheMissRepair:
+// forget the digest, repaint the region from the true framebuffer.
+
+const (
+	// cacheMinPayload is the smallest payload worth indexing: below it
+	// the CACHE_PAINT saving cannot amortize the model churn.
+	cacheMinPayload = 64
+	// cacheMaxCapFrac bounds one entry to capacity/frac, so the store
+	// always holds a working set, never one giant payload — and keeps
+	// cacheCmd entries small enough that the scheduler never needs to
+	// split them (only bare RawCmds split).
+	cacheMaxCapFrac = 4
+	// cachePaintWire is the framed cost of a CACHE_PAINT reference.
+	cachePaintWire = wire.HeaderSize + 16
+	// cacheStoreOverhead is CACHE_STORE's framed cost over the plain
+	// RAW/BITMAP delivery of the same payload (digest + kind + len).
+	cacheStoreOverhead = 9
+)
+
+// CacheStats counts per-client cache protocol outcomes.
+type CacheStats struct {
+	Hits   int // payloads delivered as CACHE_PAINT references
+	Stores int // first appearances delivered as CACHE_STORE
+	Misses int // client CACHE_MISS desync reports handled
+	// SavedBytes is the wire cost avoided by hits: the full delivery
+	// size minus the paint reference, summed.
+	SavedBytes int64
+}
+
+// SetCacheSize sets the byte capacity of the server's model of this
+// client's payload store; 0 disables caching. A call with the capacity
+// already in force keeps the warm model — the reattach path, where the
+// client kept its store across the reconnect and the retained model
+// must keep matching it. Any other capacity starts a cold model (the
+// two sides could not have evicted identically under different caps).
+func (c *Client) SetCacheSize(bytes int) {
+	if bytes <= 0 {
+		c.cache = nil
+		return
+	}
+	if c.cache != nil && c.cache.Cap() == bytes {
+		return
+	}
+	c.cache = payloadcache.New(bytes, nil)
+}
+
+// CacheSize returns the active cache capacity (0 = disabled).
+func (c *Client) CacheSize() int {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.Cap()
+}
+
+// CacheEntries returns how many payloads the model currently holds.
+func (c *Client) CacheEntries() int {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.Len()
+}
+
+// CacheHolds reports whether the model believes the client holds digest.
+func (c *Client) CacheHolds(digest uint64) bool {
+	return c.cache != nil && c.cache.Has(digest)
+}
+
+// CacheMissRepair handles a client CACHE_MISS report: the client failed
+// to verify a CACHE_STORE or was asked to paint a digest it does not
+// hold. The digest leaves the model (whatever the client has, it is not
+// this) and the reported region is repainted from the true framebuffer
+// through the normal add path — the same repair shape as the integrity
+// audit, so both sides reconverge without tearing the session down.
+func (s *Server) CacheMissRepair(c *Client, digest uint64, r geom.Rect) {
+	c.CacheStats.Misses++
+	s.met.cacheMisses.Inc()
+	if c.cache != nil {
+		c.cache.Forget(digest)
+	}
+	if s.mem == nil {
+		return
+	}
+	vis := r.Intersect(geom.XYWH(0, 0, s.w, s.h))
+	if vis.Empty() {
+		return
+	}
+	s.stampDamage()
+	pix := s.mem.ReadPixels(driver.Screen, vis)
+	c.add(NewRaw(vis, pix, vis.W(), false, s.opts.RawCodec))
+}
+
+// cacheAdmissible reports whether a payload of size bytes may enter the
+// cache protocol for this client.
+func (c *Client) cacheAdmissible(size int) bool {
+	return c.cache != nil && size >= cacheMinPayload && size <= c.cache.Cap()/cacheMaxCapFrac
+}
+
+// cacheTransform wraps a cache-eligible command in a cacheCmd on its
+// way into the buffer. It runs after degradeTransform, so the wrapped
+// codec is the rung's codec; a CodecDown2 rewrite carries half-resolution
+// content, which must never be stored under the lossless digest —
+// storeOK=false makes it paint-only, so a lossy-rung repeat still hits
+// (delivering the stored lossless pixels for 21 bytes: at the lossy
+// rungs a hit is not merely near-free, it un-degrades the content).
+func (c *Client) cacheTransform(cmd Command) Command {
+	if c.cache == nil {
+		return cmd
+	}
+	switch v := cmd.(type) {
+	case *RawCmd:
+		size := len(v.Pix) * 4
+		if !c.cacheAdmissible(size) {
+			return cmd
+		}
+		return &cacheCmd{Command: v, cl: c, digest: rawCmdDigest(v), size: size,
+			storeOK: v.Codec != compress.CodecDown2}
+	case *BitmapCmd:
+		size := len(v.Bits.Bits)
+		if !c.cacheAdmissible(size) {
+			return cmd
+		}
+		return &cacheCmd{Command: v, cl: c, digest: bitmapCmdDigest(v), size: size,
+			storeOK: true}
+	}
+	return cmd
+}
+
+// rawCmdDigest returns the cache identity of a RAW command's payload,
+// memoized on the shared backing: the fan-out clones N commands per
+// translated update, but the pixels are hashed once. The memo fields
+// are written under the host lock like every other command mutation.
+func rawCmdDigest(v *RawCmd) uint64 {
+	if v.refs != nil && v.refs.digOK {
+		return v.refs.dig
+	}
+	d := fb.CacheDigestRaw(v.bounds.W(), v.bounds.H(), v.Blend, v.Pix)
+	if v.refs != nil {
+		v.refs.dig, v.refs.digOK = d, true
+	}
+	return d
+}
+
+// bitmapCmdDigest returns the cache identity of a BITMAP command's
+// payload. Stipples are small; no memo needed.
+func bitmapCmdDigest(v *BitmapCmd) uint64 {
+	return fb.CacheDigestBitmap(v.Rect.W(), v.Rect.H(), v.Fg, v.Bg, v.Transparent,
+		v.Bits.W, v.Bits.H, v.Bits.Bits)
+}
+
+// cacheCmd decorates a buffered RAW/BITMAP command with its cache
+// identity. Queue semantics — class, live region, overwrite eviction,
+// merging, budget eviction — all delegate to the wrapped command; only
+// sizing and emission consult the client's cache model. The decision is
+// deferred to emit time on purpose: the model may only mutate in the
+// order bytes enter the stream, and between add and flush the entry can
+// still be clipped, merged, or evicted.
+type cacheCmd struct {
+	Command
+	cl      *Client
+	digest  uint64
+	size    int // cache-entry payload bytes (identical on both sides)
+	storeOK bool
+}
+
+// Clone implements Command.
+func (cc *cacheCmd) Clone() Command {
+	cp := *cc
+	cp.Command = cc.Command.Clone()
+	return &cp
+}
+
+// Merge implements Command: the wrapped commands merge as usual (a
+// wrapped or bare newcomer both unwrap), and a successful merge re-keys
+// the absorber — the merged payload is new content with a new identity,
+// so aggregation (scanline raws, glyph runs) composes with caching: the
+// cache sees the aggregated payload, which is exactly the repeating
+// unit (a full icon, a full text line).
+func (cc *cacheCmd) Merge(other Command) bool {
+	inner := other
+	if oc, ok := other.(*cacheCmd); ok {
+		inner = oc.Command
+	}
+	if !cc.Command.Merge(inner) {
+		return false
+	}
+	switch v := cc.Command.(type) {
+	case *RawCmd:
+		cc.size = len(v.Pix) * 4
+		cc.digest = rawCmdDigest(v)
+		cc.storeOK = v.Codec != compress.CodecDown2
+	case *BitmapCmd:
+		cc.size = len(v.Bits.Bits)
+		cc.digest = bitmapCmdDigest(v)
+	}
+	return true
+}
+
+// cacheable reports whether this entry may use the cache protocol right
+// now: the digest describes the full payload, so a partially overwritten
+// command (live region no longer the whole bounds) must fall back to
+// plain per-rect delivery, and a merged payload may have outgrown
+// admissibility.
+func (cc *cacheCmd) cacheable() bool {
+	if cc.cl.cache == nil || !cc.cl.cacheAdmissible(cc.size) {
+		return false
+	}
+	live := cc.Command.Live()
+	return live.NumRects() == 1 && live.Rects()[0] == cc.Command.Bounds()
+}
+
+// WireSize implements Command: a payload the model holds schedules at
+// the paint-reference cost — SRSF sees the real wire economy, so a hit
+// sorts into the small-command queues and ships ahead of bulk even
+// though its content is kilobytes.
+func (cc *cacheCmd) WireSize() int {
+	if !cc.cacheable() {
+		return cc.Command.WireSize()
+	}
+	if cc.cl.cache.Has(cc.digest) {
+		return cachePaintWire
+	}
+	n := cc.Command.WireSize()
+	if cc.storeOK {
+		n += cacheStoreOverhead
+	}
+	return n
+}
+
+// Emit implements Command. This is the only place the server-side model
+// mutates: emits happen in flush order, which is stream order, which is
+// the client's apply order — the determinism the eviction-free protocol
+// rests on.
+func (cc *cacheCmd) Emit(dst []wire.Message) []wire.Message {
+	if !cc.cacheable() {
+		return cc.Command.Emit(dst)
+	}
+	cl := cc.cl
+	if cl.cache.Touch(cc.digest) {
+		cl.CacheStats.Hits++
+		cl.srv.met.cacheHits.Inc()
+		if saved := int64(cc.Command.WireSize() - cachePaintWire); saved > 0 {
+			cl.CacheStats.SavedBytes += saved
+			cl.srv.met.cacheSavedBytes.Add(saved)
+		}
+		return append(dst, &wire.CachePaint{Digest: cc.digest, Rect: cc.Command.Bounds()})
+	}
+	if !cc.storeOK {
+		return cc.Command.Emit(dst)
+	}
+	cl.cache.Insert(cc.digest, cc.size)
+	cl.CacheStats.Stores++
+	cl.srv.met.cacheStores.Inc()
+	switch v := cc.Command.(type) {
+	case *RawCmd:
+		r := v.Bounds()
+		codec := v.Codec
+		data, err := compress.EncodeAppend(codec, compress.GetScratch(), v.Pix, r.W(), r.H())
+		if err != nil {
+			data, _ = compress.EncodeAppend(compress.CodecNone, data[:0], v.Pix, r.W(), r.H())
+			codec = compress.CodecNone
+		}
+		return append(dst, &wire.CacheStore{Digest: cc.digest, Kind: wire.CacheKindRaw,
+			Rect: r, Codec: codec, Blend: v.Blend, Data: data})
+	case *BitmapCmd:
+		return append(dst, &wire.CacheStore{Digest: cc.digest, Kind: wire.CacheKindBitmap,
+			Rect: v.Rect, Fg: v.Fg, Bg: v.Bg, Transparent: v.Transparent,
+			BitW: v.Bits.W, BitH: v.Bits.H, Bits: v.Bits.Bits})
+	}
+	return cc.Command.Emit(dst)
+}

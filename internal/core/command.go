@@ -405,7 +405,17 @@ func (c *CopyCmd) Merge(Command) bool { return false }
 // merge absorption building a bigger block — detaches onto a fresh
 // backing first (setPix): copy-on-write, so one client's eviction,
 // split, or merge can never mutate a sibling's payload.
-type payloadRefs struct{ n atomic.Int64 }
+type payloadRefs struct {
+	n atomic.Int64
+
+	// Content-digest memo (wire v6): the backing is immutable, so its
+	// cache identity is computed once and shared by every fan-out clone.
+	// Geometry and blend ride the digest but are identical across
+	// sharers (clones diverge only in live region and codec). Written
+	// under the host lock like all command mutation; not atomic.
+	dig   uint64
+	digOK bool
+}
 
 func newPayloadRefs() *payloadRefs {
 	r := &payloadRefs{}
@@ -565,9 +575,20 @@ func (c *RawCmd) Emit(dst []wire.Message) []wire.Message {
 // pool refills lazily.
 func RecycleMessages(msgs []wire.Message) {
 	for _, m := range msgs {
-		if r, ok := m.(*wire.Raw); ok && r.Data != nil {
-			compress.PutScratch(r.Data)
-			r.Data = nil
+		switch r := m.(type) {
+		case *wire.Raw:
+			if r.Data != nil {
+				compress.PutScratch(r.Data)
+				r.Data = nil
+			}
+		case *wire.CacheStore:
+			// Only RAW-kind stores carry a pooled compression buffer;
+			// bitmap stores alias the command's stipple rows, which the
+			// pool must never reclaim.
+			if r.Kind == wire.CacheKindRaw && r.Data != nil {
+				compress.PutScratch(r.Data)
+				r.Data = nil
+			}
 		}
 	}
 }

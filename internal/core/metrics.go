@@ -27,6 +27,12 @@ type Metrics struct {
 	fanoutDeliveries  *telemetry.Counter
 	fanoutSharedBytes *telemetry.Counter
 
+	// Content-addressed payload cache (wire v6).
+	cacheHits       *telemetry.Counter
+	cacheStores     *telemetry.Counter
+	cacheMisses     *telemetry.Counter
+	cacheSavedBytes *telemetry.Counter
+
 	// Scheduler / command buffer.
 	queuedByClass [3]*telemetry.Counter
 	merged        *telemetry.Counter
@@ -68,6 +74,14 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"per-client deliveries produced by translate-once fan-out"),
 		fanoutSharedBytes: reg.Counter("thinc_fanout_shared_bytes_total",
 			"payload bytes shared across fan-out clones instead of copied"),
+		cacheHits: reg.Counter("thinc_cache_hits_total",
+			"cache-eligible payloads delivered as CACHE_PAINT references"),
+		cacheStores: reg.Counter("thinc_cache_stores_total",
+			"payload first appearances delivered as CACHE_STORE"),
+		cacheMisses: reg.Counter("thinc_cache_misses_total",
+			"client CACHE_MISS desync reports handled"),
+		cacheSavedBytes: reg.Counter("thinc_cache_saved_bytes_total",
+			"wire bytes avoided by delivering cache hits as paint references"),
 		merged: reg.Counter("thinc_sched_commands_merged_total",
 			"commands absorbed into a buffered predecessor"),
 		evicted: reg.Counter("thinc_sched_commands_evicted_total",

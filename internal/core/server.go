@@ -8,6 +8,7 @@ import (
 	"thinc/internal/fb"
 	"thinc/internal/geom"
 	"thinc/internal/overload"
+	"thinc/internal/payloadcache"
 	"thinc/internal/pixel"
 	"thinc/internal/resample"
 	"thinc/internal/wire"
@@ -129,6 +130,15 @@ type Client struct {
 	// trace is the per-client e2e mark cursor (wire v5); it rides
 	// reattach the same way.
 	trace TraceState
+
+	// cache models the client's content-addressed payload store (wire
+	// v6); nil when caching is disabled or unnegotiated. Like audit and
+	// trace state it rides the retained client across reattach, so a
+	// reconnecting client's warm store keeps hitting.
+	cache *payloadcache.LRU
+
+	// CacheStats counts this client's cache protocol outcomes.
+	CacheStats CacheStats
 }
 
 // NewServer creates a server core for a screen of the given geometry.
@@ -272,7 +282,11 @@ func (c *Client) add(cmd Command) {
 	c.Buf.SetStamp(c.srv.epoch, c.srv.damageNS)
 	cmd = c.degradeTransform(cmd)
 	if !c.Scaled() {
-		c.Buf.Add(cmd)
+		// Cache wrapping sits after the rung rewrite (the codec in force
+		// is the rung's) and only on the unscaled path: scaled payloads
+		// are resampled per viewport, so their bytes are not the shared
+		// repeating content the cache indexes.
+		c.Buf.Add(c.cacheTransform(cmd))
 	} else {
 		for _, sc := range c.srv.scaleCommand(cmd, c) {
 			c.Buf.Add(sc)

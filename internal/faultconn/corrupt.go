@@ -43,12 +43,17 @@ type CorruptPlan struct {
 // THINC framing as bytes stream through and flips seeded bits only
 // inside the pixel-data portion of display payloads:
 //
-//	RAW    — the pixel block, and only when the codec is CodecNone
-//	         (flipping compressed data would break decode, which is
-//	         exactly the loud failure this mode must avoid)
-//	SFILL  — the fill color
-//	PFILL  — the pattern tile pixels
-//	BITMAP — the stipple bits
+//	RAW         — the pixel block, and only when the codec is CodecNone
+//	              (flipping compressed data would break decode, which is
+//	              exactly the loud failure this mode must avoid)
+//	SFILL       — the fill color
+//	PFILL       — the pattern tile pixels
+//	BITMAP      — the stipple bits
+//	CACHE_STORE — the cached payload (pixel data for CodecNone RAW-kind
+//	              entries, stipple bits for bitmap-kind entries); the
+//	              flip must trip the client's digest verification
+//	CACHE_PAINT — the digest itself (the only content it carries); the
+//	              flipped reference must miss the client's store
 //
 // Everything else — headers, rects, codec bytes, lengths, COPY
 // geometry, control and audio messages, audit probes — passes through
@@ -72,6 +77,7 @@ type Corrupter struct {
 	remaining int   // payload bytes left in the current message
 	payOff    int   // offset within the current payload
 	skip      int   // first eligible payload offset; -1: none eligible
+	stop      int   // first ineligible offset past skip; <=0: payload end
 	countdown int64 // eligible bytes until the next flip
 }
 
@@ -113,21 +119,31 @@ func (c *Corrupter) drawGap() int64 {
 	return 1 + c.rnd.Int63n(2*c.gap)
 }
 
-// eligibleSkip returns the first payload offset whose bytes may be
-// flipped for a message type, or -1 when the whole payload must pass
-// untouched.
-func eligibleSkip(t wire.Type) int {
+// cachePending marks a CACHE_STORE whose eligible window is unknown
+// until its kind byte (payload offset 8) streams past; no offset can
+// reach it, so nothing flips before the kind is known.
+const cachePending = 1 << 30
+
+// eligibleWindow returns the payload offset range [skip, stop) whose
+// bytes may be flipped for a message type: skip -1 means the whole
+// payload passes untouched, stop <= 0 means eligibility runs to the
+// payload's end.
+func eligibleWindow(t wire.Type) (skip, stop int) {
 	switch t {
 	case wire.TRaw:
-		return 14 // rect 8 + codec 1 + flags 1 + len 4; codec re-checked in-stream
+		return 14, 0 // rect 8 + codec 1 + flags 1 + len 4; codec re-checked in-stream
 	case wire.TSFill:
-		return 8 // rect; then the color
+		return 8, 0 // rect; then the color
 	case wire.TPFill:
-		return 16 // rect + tile geometry + anchor; then the tile pixels
+		return 16, 0 // rect + tile geometry + anchor; then the tile pixels
 	case wire.TBitmap:
-		return 21 // rect + fg + bg + flags + bit geometry; then the bits
+		return 21, 0 // rect + fg + bg + flags + bit geometry; then the bits
+	case wire.TCacheStore:
+		return cachePending, 0 // resolved at the kind byte in-stream
+	case wire.TCachePaint:
+		return 0, 8 // the digest; the rect stays sacred like every rect
 	}
-	return -1
+	return -1, 0
 }
 
 func (c *Corrupter) Read(p []byte) (int, error) {
@@ -154,7 +170,7 @@ func (c *Corrupter) filter(buf []byte) {
 				c.remaining = int(uint32(c.hdr[1])<<24 | uint32(c.hdr[2])<<16 |
 					uint32(c.hdr[3])<<8 | uint32(c.hdr[4]))
 				c.payOff = 0
-				c.skip = eligibleSkip(c.typ)
+				c.skip, c.stop = eligibleWindow(c.typ)
 				if c.remaining == 0 {
 					c.hdrN = 0
 				}
@@ -168,7 +184,29 @@ func (c *Corrupter) filter(buf []byte) {
 			compress.Codec(buf[i]) != compress.CodecNone {
 			c.skip = -1
 		}
-		if c.skip >= 0 && c.payOff >= c.skip && c.active.Load() &&
+		// A CACHE_STORE's kind byte (offset 8) steers where its payload
+		// starts — digest 8 + kind 1 + rect 8, then the per-kind meta —
+		// and a RAW-kind entry's codec byte (offset 17) gates the data
+		// exactly like a plain RAW's.
+		if c.typ == wire.TCacheStore {
+			switch c.payOff {
+			case 8:
+				switch buf[i] {
+				case wire.CacheKindRaw:
+					c.skip = 23
+				case wire.CacheKindBitmap:
+					c.skip = 30
+				default:
+					c.skip = -1
+				}
+			case 17:
+				if c.skip == 23 && compress.Codec(buf[i]) != compress.CodecNone {
+					c.skip = -1
+				}
+			}
+		}
+		if c.skip >= 0 && c.payOff >= c.skip &&
+			(c.stop <= 0 || c.payOff < c.stop) && c.active.Load() &&
 			(c.maxFlips == 0 || c.flips.Load() < c.maxFlips) {
 			c.countdown--
 			if c.countdown <= 0 {

@@ -219,3 +219,100 @@ func TestCorrupterToggleKeepsFraming(t *testing.T) {
 		t.Error("disabled phase modified bytes")
 	}
 }
+
+// cacheStream is a protocol slice of wire-v6 cache traffic: eligible
+// cache payloads interleaved with cache messages that must pass through
+// untouched.
+func cacheStream(t *testing.T) ([]byte, []wire.Message) {
+	t.Helper()
+	pix := make([]pixel.ARGB, 16*8)
+	for i := range pix {
+		pix[i] = pixel.ARGB(0xff000000 | uint32(i*13))
+	}
+	plain, err := compress.EncodeAppend(compress.CodecNone, nil, pix, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rle, err := compress.EncodeAppend(compress.CodecRLE, nil, pix, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []wire.Message{
+		&wire.CacheStore{Digest: 0x1111, Kind: wire.CacheKindRaw,
+			Rect: geom.XYWH(0, 0, 16, 8), Codec: compress.CodecNone, Data: plain},
+		&wire.CachePaint{Digest: 0x2222, Rect: geom.XYWH(16, 0, 16, 8)},
+		&wire.CacheStore{Digest: 0x3333, Kind: wire.CacheKindRaw,
+			Rect: geom.XYWH(32, 0, 16, 8), Codec: compress.CodecRLE, Data: rle},
+		&wire.CacheStore{Digest: 0x4444, Kind: wire.CacheKindBitmap,
+			Rect: geom.XYWH(0, 8, 16, 16), Fg: 0xffffffff, Bg: 0xff000000,
+			BitW: 16, BitH: 16, Bits: make([]byte, 32)},
+		&wire.CacheMiss{Digest: 0x5555, Rect: geom.XYWH(0, 0, 8, 8)},
+	}
+	var stream []byte
+	for _, m := range msgs {
+		stream, err = wire.AppendMessage(stream, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return stream, msgs
+}
+
+// TestCorrupterCacheWindows: flips land only inside the cache payloads
+// the client verifies — RAW-kind data (uncompressed only), bitmap bits,
+// and the CACHE_PAINT digest — never in digests of stores, rects, kind
+// or codec bytes, or CACHE_MISS reports.
+func TestCorrupterCacheWindows(t *testing.T) {
+	stream, msgs := cacheStream(t)
+	out, c := runCorrupter(t, stream, CorruptPlan{Seed: 11, Gap: 2, Fixed: true}, 17)
+	if c.Flips() == 0 {
+		t.Fatal("no bits flipped")
+	}
+	got := decodeAll(t, out)
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	reencode := func(m wire.Message) []byte {
+		b, err := wire.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	s0, w0 := got[0].(*wire.CacheStore), msgs[0].(*wire.CacheStore)
+	if s0.Digest != w0.Digest || s0.Rect != w0.Rect || s0.Kind != w0.Kind ||
+		s0.Codec != w0.Codec || len(s0.Data) != len(w0.Data) {
+		t.Error("RAW-kind store metadata modified")
+	}
+	if bytes.Equal(s0.Data, w0.Data) {
+		t.Error("RAW-kind store data survived a fixed gap-2 corrupter intact")
+	}
+
+	p1, w1 := got[1].(*wire.CachePaint), msgs[1].(*wire.CachePaint)
+	if p1.Digest == w1.Digest {
+		t.Error("CACHE_PAINT digest survived intact")
+	}
+	if p1.Rect != w1.Rect {
+		t.Error("CACHE_PAINT rect modified")
+	}
+
+	// Compressed store data would break decode — a loud failure, so it
+	// stays sacred exactly like a compressed plain RAW.
+	if !bytes.Equal(reencode(got[2]), reencode(msgs[2])) {
+		t.Error("compressed RAW-kind store was modified")
+	}
+
+	s3, w3 := got[3].(*wire.CacheStore), msgs[3].(*wire.CacheStore)
+	if s3.Digest != w3.Digest || s3.Fg != w3.Fg || s3.Bg != w3.Bg ||
+		s3.BitW != w3.BitW || s3.BitH != w3.BitH {
+		t.Error("bitmap-kind store metadata modified")
+	}
+	if bytes.Equal(s3.Bits, w3.Bits) {
+		t.Error("bitmap-kind store bits survived intact")
+	}
+
+	if !bytes.Equal(reencode(got[4]), reencode(msgs[4])) {
+		t.Error("CACHE_MISS was modified")
+	}
+}

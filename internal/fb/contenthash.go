@@ -1,0 +1,87 @@
+package fb
+
+import "thinc/internal/pixel"
+
+// Content digests for the wire-v6 payload cache. Both sides address
+// cache entries by an FNV-1a 64 digest of the decoded content plus the
+// fields that change how it paints, so the digest — not the codec or
+// the screen position — is the identity of a payload. The pixel
+// convention matches DigestRect exactly: each ARGB pixel hashes as 4
+// big-endian bytes, the bytes it would occupy in an uncompressed RAW
+// payload. All of these helpers allocate nothing; they sit on the
+// per-command fan-out path.
+
+// DigestSeed starts a content digest chain.
+func DigestSeed() uint64 { return fnvOffset64 }
+
+// DigestPixels folds pix into h, 4 big-endian bytes per pixel.
+func DigestPixels(h uint64, pix []pixel.ARGB) uint64 {
+	for _, p := range pix {
+		h = (h ^ (uint64(p) >> 24)) * fnvPrime64
+		h = (h ^ (uint64(p) >> 16 & 0xff)) * fnvPrime64
+		h = (h ^ (uint64(p) >> 8 & 0xff)) * fnvPrime64
+		h = (h ^ (uint64(p) & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// DigestBytes folds raw bytes into h (bitmap stipple rows).
+func DigestBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// DigestU32 folds a 32-bit value into h as 4 big-endian bytes
+// (geometry, colors).
+func DigestU32(h uint64, v uint32) uint64 {
+	h = (h ^ (uint64(v) >> 24)) * fnvPrime64
+	h = (h ^ (uint64(v) >> 16 & 0xff)) * fnvPrime64
+	h = (h ^ (uint64(v) >> 8 & 0xff)) * fnvPrime64
+	return (h ^ (uint64(v) & 0xff)) * fnvPrime64
+}
+
+// DigestU8 folds one byte into h (flags, kind discriminators).
+func DigestU8(h uint64, v uint8) uint64 {
+	return (h ^ uint64(v)) * fnvPrime64
+}
+
+// CacheDigestRaw is the canonical cache identity of a RAW payload: kind
+// discriminator, content geometry, blend flag, then the decoded pixels.
+// Server (digesting commands at fan-out) and client (verifying a
+// CACHE_STORE it just decoded) both call this one function, so the two
+// sides cannot drift. The codec is deliberately absent: the same pixels
+// shipped PNG-compressed and uncompressed are the same cache entry.
+func CacheDigestRaw(w, h int, blend bool, pix []pixel.ARGB) uint64 {
+	d := DigestSeed()
+	d = DigestU8(d, 0) // wire.CacheKindRaw, unimported to avoid a cycle
+	d = DigestU32(d, uint32(w))
+	d = DigestU32(d, uint32(h))
+	var b uint8
+	if blend {
+		b = 1
+	}
+	d = DigestU8(d, b)
+	return DigestPixels(d, pix)
+}
+
+// CacheDigestBitmap is the canonical cache identity of a BITMAP stipple
+// payload: kind, content geometry, paint semantics (colors, mode), bit
+// geometry, then the stipple rows.
+func CacheDigestBitmap(w, h int, fg, bg pixel.ARGB, transparent bool, bitW, bitH int, bits []byte) uint64 {
+	d := DigestSeed()
+	d = DigestU8(d, 1) // wire.CacheKindBitmap
+	d = DigestU32(d, uint32(w))
+	d = DigestU32(d, uint32(h))
+	d = DigestU32(d, uint32(fg))
+	d = DigestU32(d, uint32(bg))
+	var t uint8
+	if transparent {
+		t = 1
+	}
+	d = DigestU8(d, t)
+	d = DigestU32(d, uint32(bitW))
+	d = DigestU32(d, uint32(bitH))
+	return DigestBytes(d, bits)
+}

@@ -1,0 +1,93 @@
+package fb
+
+import (
+	"testing"
+
+	"thinc/internal/pixel"
+)
+
+// The cache digest is the wire-v6 identity of a payload: server and
+// client must compute the same value from the same decoded content, and
+// every field that changes how the payload paints must change the
+// digest. These tests pin both properties in the package that owns the
+// canonical recipe.
+
+func TestCacheDigestRawSensitivity(t *testing.T) {
+	pix := []pixel.ARGB{pixel.RGB(1, 2, 3), pixel.RGB(4, 5, 6), pixel.RGB(7, 8, 9), pixel.RGB(10, 11, 12)}
+	base := CacheDigestRaw(2, 2, false, pix)
+	if base != CacheDigestRaw(2, 2, false, append([]pixel.ARGB(nil), pix...)) {
+		t.Fatal("digest is not a pure function of the content")
+	}
+	variants := map[string]uint64{
+		"geometry": CacheDigestRaw(4, 1, false, pix),
+		"blend":    CacheDigestRaw(2, 2, true, pix),
+		"pixels": CacheDigestRaw(2, 2, false,
+			[]pixel.ARGB{pixel.RGB(1, 2, 3), pixel.RGB(4, 5, 6), pixel.RGB(7, 8, 9), pixel.RGB(10, 11, 13)}),
+	}
+	for field, d := range variants {
+		if d == base {
+			t.Fatalf("changing %s did not change the digest", field)
+		}
+	}
+}
+
+func TestCacheDigestBitmapSensitivity(t *testing.T) {
+	bits := []byte{0xA5, 0x3C}
+	base := CacheDigestBitmap(8, 2, pixel.RGB(9, 9, 9), pixel.RGB(1, 1, 1), false, 8, 2, bits)
+	variants := map[string]uint64{
+		"geometry":    CacheDigestBitmap(4, 4, pixel.RGB(9, 9, 9), pixel.RGB(1, 1, 1), false, 8, 2, bits),
+		"fg":          CacheDigestBitmap(8, 2, pixel.RGB(9, 9, 8), pixel.RGB(1, 1, 1), false, 8, 2, bits),
+		"bg":          CacheDigestBitmap(8, 2, pixel.RGB(9, 9, 9), pixel.RGB(1, 1, 2), false, 8, 2, bits),
+		"transparent": CacheDigestBitmap(8, 2, pixel.RGB(9, 9, 9), pixel.RGB(1, 1, 1), true, 8, 2, bits),
+		"bit-geom":    CacheDigestBitmap(8, 2, pixel.RGB(9, 9, 9), pixel.RGB(1, 1, 1), false, 16, 1, bits),
+		"bits":        CacheDigestBitmap(8, 2, pixel.RGB(9, 9, 9), pixel.RGB(1, 1, 1), false, 8, 2, []byte{0xA5, 0x3D}),
+	}
+	for field, d := range variants {
+		if d == base {
+			t.Fatalf("changing %s did not change the digest", field)
+		}
+	}
+	// The two kinds can never collide by construction: the kind
+	// discriminator is the first folded byte.
+	if CacheDigestRaw(8, 2, false, nil) == CacheDigestBitmap(8, 2, 0, 0, false, 0, 0, nil) {
+		t.Fatal("RAW and BITMAP digests share a value for empty content")
+	}
+}
+
+// TestDigestPixelsMatchesRectConvention pins the shared convention:
+// DigestPixels folds each ARGB pixel as 4 big-endian bytes, exactly the
+// bytes DigestBytes would see from an uncompressed RAW payload.
+func TestDigestPixelsMatchesRectConvention(t *testing.T) {
+	pix := []pixel.ARGB{pixel.PackARGB(0x11, 0x22, 0x33, 0x44), pixel.RGB(200, 100, 50)}
+	var raw []byte
+	for _, p := range pix {
+		raw = append(raw, byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
+	}
+	if DigestPixels(DigestSeed(), pix) != DigestBytes(DigestSeed(), raw) {
+		t.Fatal("DigestPixels diverged from the big-endian byte convention")
+	}
+	// And the primitive folds compose the same way the composites do.
+	h := DigestSeed()
+	h = DigestU8(h, 0x7f)
+	h = DigestU32(h, 0xdeadbeef)
+	h2 := DigestBytes(DigestSeed(), []byte{0x7f, 0xde, 0xad, 0xbe, 0xef})
+	if h != h2 {
+		t.Fatal("DigestU8/DigestU32 diverged from the byte-fold convention")
+	}
+}
+
+// TestCacheDigestZeroAlloc: the digest sits on the per-command fan-out
+// path; it must not allocate.
+func TestCacheDigestZeroAlloc(t *testing.T) {
+	pix := make([]pixel.ARGB, 64*64)
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i), uint8(i>>3), uint8(i>>6))
+	}
+	bits := make([]byte, 512)
+	if n := testing.AllocsPerRun(100, func() {
+		_ = CacheDigestRaw(64, 64, false, pix)
+		_ = CacheDigestBitmap(64, 8, 1, 2, true, 64, 64, bits)
+	}); n != 0 {
+		t.Fatalf("cache digest allocates %.1f per call, want 0", n)
+	}
+}

@@ -1,0 +1,185 @@
+// Package payloadcache implements the deterministic byte-budget LRU
+// behind the wire-v6 content-addressed payload cache. The server keeps
+// one instance per client as its model of what the client holds; the
+// client keeps one as the store itself. Neither side ever sends an
+// eviction message: both run this exact policy over the same ordered
+// operation stream (Insert on every CACHE_STORE, Touch on every
+// CACHE_PAINT), so the two caches evict the same digests at the same
+// points — the synchronization is the determinism.
+//
+// The implementation is index-based (nodes in a slice, intrusive
+// doubly-linked recency list, free list of recycled slots) so the
+// steady-state hit path — one map lookup plus a list splice — performs
+// no allocation, which the cache AllocsPerRun benchmark gate enforces.
+package payloadcache
+
+const none = int32(-1)
+
+type node struct {
+	digest     uint64
+	size       int
+	prev, next int32
+}
+
+// LRU is a byte-capacity least-recently-used index of content digests.
+// It is not safe for concurrent use; both users run under their side's
+// session lock.
+type LRU struct {
+	cap   int
+	bytes int
+	nodes []node
+	index map[uint64]int32
+	head  int32 // most recent
+	tail  int32 // next victim
+	free  []int32
+
+	// onEvict, when set, observes each digest the byte budget pushes
+	// out (the client deletes the payload it kept for that digest).
+	onEvict func(digest uint64, size int)
+}
+
+// New creates an LRU holding at most capBytes of entry payload. onEvict
+// may be nil.
+func New(capBytes int, onEvict func(digest uint64, size int)) *LRU {
+	return &LRU{
+		cap:     capBytes,
+		index:   make(map[uint64]int32),
+		head:    none,
+		tail:    none,
+		onEvict: onEvict,
+	}
+}
+
+// Cap returns the byte capacity.
+func (l *LRU) Cap() int { return l.cap }
+
+// Bytes returns the payload bytes currently held.
+func (l *LRU) Bytes() int { return l.bytes }
+
+// Len returns the number of entries.
+func (l *LRU) Len() int { return len(l.index) }
+
+// Has reports whether digest is present without disturbing recency —
+// the read-only probe sizing and scheduling use.
+func (l *LRU) Has(digest uint64) bool {
+	_, ok := l.index[digest]
+	return ok
+}
+
+// Touch moves digest to the front of the recency list, reporting
+// whether it was present. Every CACHE_PAINT is a Touch on both sides.
+func (l *LRU) Touch(digest uint64) bool {
+	i, ok := l.index[digest]
+	if !ok {
+		return false
+	}
+	l.moveFront(i)
+	return true
+}
+
+// Insert adds digest at the front and evicts from the tail until the
+// byte budget holds again, reporting whether the entry was admitted.
+// An already-present digest is only touched. Entries larger than the
+// whole capacity are refused — deterministically, so a peer applying
+// the same stream refuses them too. Every CACHE_STORE is an Insert on
+// both sides.
+func (l *LRU) Insert(digest uint64, size int) bool {
+	if size <= 0 || size > l.cap {
+		return false
+	}
+	if i, ok := l.index[digest]; ok {
+		l.moveFront(i)
+		return true
+	}
+	var i int32
+	if n := len(l.free); n > 0 {
+		i = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		l.nodes = append(l.nodes, node{})
+		i = int32(len(l.nodes) - 1)
+	}
+	l.nodes[i] = node{digest: digest, size: size, prev: none, next: l.head}
+	if l.head != none {
+		l.nodes[l.head].prev = i
+	}
+	l.head = i
+	if l.tail == none {
+		l.tail = i
+	}
+	l.index[digest] = i
+	l.bytes += size
+	for l.bytes > l.cap {
+		l.evictTail()
+	}
+	return true
+}
+
+// Forget drops digest if present — the server's response to a client
+// CACHE_MISS report (the client evidently does not hold it).
+func (l *LRU) Forget(digest uint64) bool {
+	i, ok := l.index[digest]
+	if !ok {
+		return false
+	}
+	l.remove(i)
+	return true
+}
+
+// Clear empties the cache, reporting evictions for held entries.
+func (l *LRU) Clear() {
+	for l.tail != none {
+		l.evictTail()
+	}
+}
+
+func (l *LRU) moveFront(i int32) {
+	if l.head == i {
+		return
+	}
+	n := &l.nodes[i]
+	if n.prev != none {
+		l.nodes[n.prev].next = n.next
+	}
+	if n.next != none {
+		l.nodes[n.next].prev = n.prev
+	}
+	if l.tail == i {
+		l.tail = n.prev
+	}
+	n.prev = none
+	n.next = l.head
+	l.nodes[l.head].prev = i
+	l.head = i
+}
+
+func (l *LRU) evictTail() {
+	i := l.tail
+	if i == none {
+		return
+	}
+	d, sz := l.nodes[i].digest, l.nodes[i].size
+	l.remove(i)
+	if l.onEvict != nil {
+		l.onEvict(d, sz)
+	}
+}
+
+func (l *LRU) remove(i int32) {
+	n := &l.nodes[i]
+	if n.prev != none {
+		l.nodes[n.prev].next = n.next
+	}
+	if n.next != none {
+		l.nodes[n.next].prev = n.prev
+	}
+	if l.head == i {
+		l.head = n.next
+	}
+	if l.tail == i {
+		l.tail = n.prev
+	}
+	delete(l.index, n.digest)
+	l.bytes -= n.size
+	l.free = append(l.free, i)
+}

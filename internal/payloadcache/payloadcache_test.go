@@ -1,0 +1,151 @@
+package payloadcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertTouchEvictOrder(t *testing.T) {
+	var evicted []uint64
+	l := New(100, func(d uint64, _ int) { evicted = append(evicted, d) })
+	for d := uint64(1); d <= 4; d++ {
+		if !l.Insert(d, 25) {
+			t.Fatalf("insert %d refused", d)
+		}
+	}
+	if l.Len() != 4 || l.Bytes() != 100 {
+		t.Fatalf("len=%d bytes=%d, want 4/100", l.Len(), l.Bytes())
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if !l.Touch(1) {
+		t.Fatal("touch 1 missed")
+	}
+	l.Insert(5, 50) // needs two evictions: 2 then 3
+	if want := []uint64{2, 3}; len(evicted) != 2 || evicted[0] != want[0] || evicted[1] != want[1] {
+		t.Fatalf("evicted %v, want %v", evicted, want)
+	}
+	if l.Has(2) || l.Has(3) || !l.Has(1) || !l.Has(4) || !l.Has(5) {
+		t.Fatalf("wrong survivors")
+	}
+	if l.Bytes() != 100 {
+		t.Fatalf("bytes=%d, want 100", l.Bytes())
+	}
+}
+
+func TestInsertRefusesOversizeAndDuplicates(t *testing.T) {
+	l := New(64, nil)
+	if l.Insert(1, 65) {
+		t.Fatal("oversize entry admitted")
+	}
+	if l.Insert(2, 0) {
+		t.Fatal("zero-size entry admitted")
+	}
+	l.Insert(3, 10)
+	l.Insert(4, 10)
+	// Re-inserting an existing digest is a touch, not a double count.
+	l.Insert(3, 10)
+	if l.Bytes() != 20 || l.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d after duplicate insert", l.Bytes(), l.Len())
+	}
+	l.Insert(5, 50) // evicts 4 (3 was touched by re-insert)
+	if l.Has(4) || !l.Has(3) {
+		t.Fatal("duplicate insert did not refresh recency")
+	}
+}
+
+func TestForgetAndClear(t *testing.T) {
+	evicted := 0
+	l := New(100, func(uint64, int) { evicted++ })
+	l.Insert(1, 30)
+	l.Insert(2, 30)
+	if !l.Forget(1) || l.Forget(1) {
+		t.Fatal("forget semantics wrong")
+	}
+	if l.Bytes() != 30 || l.Has(1) {
+		t.Fatal("forget did not remove entry")
+	}
+	if evicted != 0 {
+		t.Fatal("forget must not report an eviction")
+	}
+	l.Clear()
+	if l.Len() != 0 || l.Bytes() != 0 || evicted != 1 {
+		t.Fatalf("clear: len=%d bytes=%d evicted=%d", l.Len(), l.Bytes(), evicted)
+	}
+	// Slots recycle: a fresh insert reuses freed nodes.
+	l.Insert(9, 10)
+	if !l.Has(9) {
+		t.Fatal("insert after clear failed")
+	}
+}
+
+// TestTwoSidesConverge drives two independent LRUs — the server model
+// and the client store — through the same randomized operation stream
+// and demands identical state at every step. This is the property the
+// protocol's no-eviction-messages design rests on.
+func TestTwoSidesConverge(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	server := New(4096, nil)
+	client := New(4096, nil)
+	for i := 0; i < 20000; i++ {
+		d := uint64(rnd.Intn(64) + 1)
+		size := int(d) * 16 // size is a function of content, same both sides
+		if server.Touch(d) {
+			if !client.Touch(d) {
+				t.Fatalf("step %d: server hit %d, client missed", i, d)
+			}
+			continue
+		}
+		server.Insert(d, size)
+		client.Insert(d, size)
+	}
+	if server.Len() != client.Len() || server.Bytes() != client.Bytes() {
+		t.Fatalf("diverged: server %d/%d, client %d/%d",
+			server.Len(), server.Bytes(), client.Len(), client.Bytes())
+	}
+	for d := uint64(1); d <= 64; d++ {
+		if server.Has(d) != client.Has(d) {
+			t.Fatalf("digest %d: server=%v client=%v", d, server.Has(d), client.Has(d))
+		}
+	}
+}
+
+// TestSteadyStateZeroAlloc pins the hot path: once the working set is
+// resident, Touch and re-Insert allocate nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	l := New(1<<20, nil)
+	for d := uint64(1); d <= 256; d++ {
+		l.Insert(d, 1024)
+	}
+	d := uint64(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Touch(d)
+		d++
+		if d > 256 {
+			d = 1
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Touch allocates %v per op", allocs)
+	}
+	// Churn: evict-and-insert over recycled slots should also be free.
+	next := uint64(1000)
+	allocs = testing.AllocsPerRun(100, func() {
+		l.Insert(next, 1024)
+		next++
+	})
+	// Map growth can occasionally allocate; allow a small bound.
+	if allocs > 1 {
+		t.Fatalf("churn Insert allocates %v per op", allocs)
+	}
+}
+
+func BenchmarkTouchHit(b *testing.B) {
+	l := New(1<<20, nil)
+	for d := uint64(1); d <= 512; d++ {
+		l.Insert(d, 1024)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Touch(uint64(i%512) + 1)
+	}
+}

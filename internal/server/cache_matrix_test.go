@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/cipher"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/wire"
+	"thinc/internal/xserver"
+)
+
+// The wire-v6 version matrix: the payload cache is a negotiated
+// trailing extension, so a peer speaking any earlier protocol revision
+// must never see a cache message — its hello simply ends before the
+// CacheKB field, the server decodes the absent request as 0, and the
+// update stream stays byte-compatible with the revision the peer does
+// speak. Each matrix row hand-frames the hello exactly as that
+// revision encoded it and then watches a repeat-heavy workload for
+// stray cache traffic; the v6 control row proves the same workload
+// does produce CACHE_STORE and CACHE_PAINT once negotiated, so an
+// empty legacy row is evidence, not a vacuous pass.
+
+// legacyClientInit frames a ClientInit payload as revision rev encoded
+// it: v2 ends after the name, v3 through v5 append the role byte, and
+// only v6 carries the CacheKB request.
+func legacyClientInit(rev int, viewW, viewH int, name string) []byte {
+	p := binary.BigEndian.AppendUint16(nil, uint16(viewW))
+	p = binary.BigEndian.AppendUint16(p, uint16(viewH))
+	p = binary.BigEndian.AppendUint16(p, uint16(len(name)))
+	p = append(p, name...)
+	if rev >= 3 {
+		p = append(p, wire.RoleOwner)
+	}
+	buf := []byte{byte(wire.TClientInit)}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p)))
+	return append(buf, p...)
+}
+
+// rawSessionBytes is rawSession for a hand-framed hello: it runs the
+// auth handshake, then writes hello verbatim on the encrypted stream.
+func rawSessionBytes(t *testing.T, addr, user, pass string, hello []byte) (net.Conn, *cipher.StreamConn) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.ReadMessage(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := m.(*wire.AuthChallenge)
+	if err := wire.WriteMessage(nc, &wire.AuthResponse{
+		User: user, Proof: auth.Proof(pass, ch.Nonce),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = wire.ReadMessage(nc); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.(*wire.AuthResult); !res.OK {
+		t.Fatalf("auth refused: %s", res.Reason)
+	}
+	enc, err := cipher.NewStreamConn(nc, auth.SessionKey(pass, ch.Nonce), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	return nc, enc
+}
+
+// drainTypes reads messages until the deadline, returning counts by
+// type. Read errors after the deadline are the normal exit.
+func drainTypes(nc net.Conn, enc *cipher.StreamConn, window time.Duration) map[wire.Type]int {
+	counts := map[wire.Type]int{}
+	deadline := time.Now().Add(window)
+	for {
+		_ = nc.SetReadDeadline(deadline)
+		m, err := wire.ReadMessage(enc)
+		if err != nil {
+			return counts
+		}
+		counts[m.Type()]++
+	}
+}
+
+// matrixWorkload draws one pattern at two non-abutting positions: a
+// first appearance and a byte-identical repeat — the minimal sequence
+// that must produce a CACHE_STORE then a CACHE_PAINT on a negotiated
+// session and plain RAWs everywhere else.
+func matrixWorkload(host *Host) {
+	pix := make([]pixel.ARGB, 16*16)
+	for i := range pix {
+		pix[i] = pixel.RGB(uint8(i*7), uint8(i>>2), uint8(201-i))
+	}
+	host.Do(func(d *xserver.Display) {
+		win := d.CreateWindow(geom.XYWH(0, 0, 64, 48))
+		d.PutImage(win, geom.XYWH(2, 2, 16, 16), pix, 16)
+		d.PutImage(win, geom.XYWH(40, 24, 16, 16), pix, 16)
+	})
+}
+
+// TestCacheVersionMatrix runs the matrix. Every pre-v6 row and the
+// v6-without-request row must see zero cache messages and a ServerInit
+// granting no cache; the v6 control row must see both cache message
+// kinds and the clamped grant.
+func TestCacheVersionMatrix(t *testing.T) {
+	cases := []struct {
+		name      string
+		hello     func() []byte
+		wantGrant uint32
+		wantCache bool
+	}{
+		{"v2-no-role", func() []byte { return legacyClientInit(2, 64, 48, "v2") }, 0, false},
+		{"v3-role", func() []byte { return legacyClientInit(3, 64, 48, "v3") }, 0, false},
+		{"v4-audit", func() []byte { return legacyClientInit(4, 64, 48, "v4") }, 0, false},
+		{"v5-e2e", func() []byte { return legacyClientInit(5, 64, 48, "v5") }, 0, false},
+		{"v6-zero-request", func() []byte {
+			b, err := wire.AppendMessage(nil, &wire.ClientInit{ViewW: 64, ViewH: 48, Name: "v6z"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}, 0, false},
+		{"v6-cached", func() []byte {
+			b, err := wire.AppendMessage(nil, &wire.ClientInit{ViewW: 64, ViewH: 48,
+				Name: "v6c", CacheKB: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}, 1024, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := fastOptions()
+			opts.HeartbeatTimeout = 10 * time.Second // no pongs from a hand-rolled peer
+			opts.CacheKB = 1024
+			host, addr := startHost(t, 64, 48, opts)
+
+			nc, enc := rawSessionBytes(t, addr, "owner", "pw", tc.hello())
+			defer nc.Close()
+			_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+			m, err := wire.ReadMessage(enc)
+			if err != nil {
+				t.Fatalf("no ServerInit: %v", err)
+			}
+			si, ok := m.(*wire.ServerInit)
+			if !ok {
+				t.Fatalf("expected ServerInit, got %v", m.Type())
+			}
+			if si.CacheKB != tc.wantGrant {
+				t.Fatalf("ServerInit.CacheKB = %d, want %d", si.CacheKB, tc.wantGrant)
+			}
+
+			matrixWorkload(host)
+			counts := drainTypes(nc, enc, 400*time.Millisecond)
+			stores, paints := counts[wire.TCacheStore], counts[wire.TCachePaint]
+			if tc.wantCache {
+				if stores < 1 || paints < 1 {
+					t.Fatalf("negotiated session saw stores=%d paints=%d, want both >= 1 (types: %v)",
+						stores, paints, counts)
+				}
+				if g := host.Resilience().CacheGrants; g != 1 {
+					t.Fatalf("CacheGrants = %d, want 1", g)
+				}
+			} else {
+				if stores != 0 || paints != 0 || counts[wire.TCacheMiss] != 0 {
+					t.Fatalf("%s received cache traffic: %v", tc.name, counts)
+				}
+				if counts[wire.TRaw] < 1 {
+					t.Fatalf("workload never arrived: %v", counts)
+				}
+				if g := host.Resilience().CacheGrants; g != 0 {
+					t.Fatalf("CacheGrants = %d, want 0", g)
+				}
+			}
+		})
+	}
+}

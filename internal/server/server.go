@@ -82,6 +82,12 @@ type Options struct {
 	// Zero means 16; negative disables the bound.
 	MaxViewers int
 
+	// CacheKB caps the per-client payload cache (wire v6) in kilobytes.
+	// Each handshake grants min(client request, CacheKB); the default 0
+	// disables the cache entirely, keeping the wire byte-identical to a
+	// pre-v6 server unless the deployment opts in.
+	CacheKB int
+
 	// AuditInterval paces the integrity-audit probes (wire v4). Each
 	// tick the server asks one settled lossless client to digest a
 	// sampled window of its framebuffer tiles and compares the answer
@@ -203,6 +209,9 @@ type ResilienceStats struct {
 	E2EAcks        int // MarkAcks received and matched
 	E2ETimeouts    int // marks that expired unacknowledged
 	E2ELegacyPeers int // pre-v5 peers detected by mark silence
+
+	CacheGrants      int // handshakes granted a payload cache (wire v6)
+	CacheMissRepairs int // CACHE_MISS desyncs healed by forget-and-repaint
 }
 
 // session ties a ticket to the core client state it can resume. The
@@ -447,14 +456,17 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	}
 	var viewW, viewH int
 	var role uint8
+	var cacheReqKB int
 	var reattach *wire.Reattach
 	switch v := m.(type) {
 	case *wire.ClientInit:
 		viewW, viewH = v.ViewW, v.ViewH
 		role = v.Role
+		cacheReqKB = int(v.CacheKB)
 	case *wire.Reattach:
 		viewW, viewH = v.ViewW, v.ViewH
 		role = v.Role
+		cacheReqKB = int(v.CacheKB)
 		reattach = v
 	default:
 		return fmt.Errorf("server: expected client init or reattach, got %v", m.Type())
@@ -525,6 +537,22 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		h.stats.ViewerAttaches++
 		h.met.viewerAttaches.Inc()
 	}
+	// Payload cache negotiation (wire v6): grant the smaller of what the
+	// client asked for and what the host allows. The server-side model is
+	// (re)sized here, under the lock, before any command can be queued for
+	// this client; a reattach granting the unchanged capacity keeps the
+	// retained model warm, so holdings survive the reconnect.
+	cacheGrantKB := cacheReqKB
+	if max := h.opts.CacheKB; max < 0 {
+		cacheGrantKB = 0
+	} else if cacheGrantKB > max {
+		cacheGrantKB = max
+	}
+	cl.SetCacheSize(cacheGrantKB * 1024)
+	if cacheGrantKB > 0 {
+		h.stats.CacheGrants++
+		h.met.cacheGrants.Inc()
+	}
 	ticket, terr := newTicket()
 	if terr != nil {
 		h.core.DetachClient(cl)
@@ -535,7 +563,8 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	h.sessions[ticket] = sess
 	h.mu.Unlock()
 
-	if err := wire.WriteMessage(enc, &wire.ServerInit{Ver: wire.ProtoVersion, W: w, H: ht}); err != nil {
+	if err := wire.WriteMessage(enc, &wire.ServerInit{Ver: wire.ProtoVersion, W: w, H: ht,
+		CacheKB: uint32(cacheGrantKB)}); err != nil {
 		h.endSession(sess, false)
 		return err
 	}
@@ -785,6 +814,22 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 			select {
 			case c.acks <- v:
 			default:
+			}
+		case *wire.CacheMiss:
+			// The client could not honor a cache reference (corruption, a
+			// holding we believed it had). Drop the digest from its model
+			// and queue a plain RAW repaint of the region — the cache heals
+			// itself without ever risking a stale framebuffer.
+			func() {
+				c.host.mu.Lock()
+				defer c.host.mu.Unlock()
+				c.host.core.CacheMissRepair(c.cl, v.Digest, v.Rect)
+				c.host.stats.CacheMissRepairs++
+			}()
+			c.host.met.cacheMissRepairs.Inc()
+			if tr := c.host.met.tr; tr.Enabled() {
+				tr.Event("cache.miss_repair", fmt.Sprintf("user=%s digest=%016x rect=%v",
+					c.user, v.Digest, v.Rect))
 			}
 		default:
 			return fmt.Errorf("server: unexpected client message %v", m.Type())

@@ -53,6 +53,11 @@ type hostMetrics struct {
 	e2eStageQueue, e2eStageWrite *telemetry.Histogram
 	e2eStageWire, e2eStageApply  *telemetry.Histogram
 	e2eLatency                   [overload.NumRungs]*telemetry.Histogram
+
+	// Content-addressed payload cache (wire v6): handshake grants and
+	// desync repairs. Hit/store/saved-byte counters live in core.Metrics,
+	// which registers into the same registry.
+	cacheGrants, cacheMissRepairs *telemetry.Counter
 }
 
 // wireTypeLabels names the per-type series: the five display commands
@@ -69,6 +74,7 @@ var wireTypeLabels = []struct {
 	{"bitmap", []wire.Type{wire.TBitmap}},
 	{"video", []wire.Type{wire.TVideoInit, wire.TVideoFrame, wire.TVideoMove, wire.TVideoEnd}},
 	{"audio", []wire.Type{wire.TAudioData}},
+	{"cache", []wire.Type{wire.TCacheStore, wire.TCachePaint, wire.TCacheMiss}},
 	{"control", nil}, // every remaining type
 }
 
@@ -151,6 +157,10 @@ func newHostMetrics(h *Host) *hostMetrics {
 		e2eStageApply: reg.Histogram("thinc_e2e_stage_ns",
 			"per-stage share of acknowledged end-to-end update latency",
 			telemetry.FineLatencyBucketsNS, telemetry.L("stage", "apply")),
+		cacheGrants: reg.Counter("thinc_cache_grants_total",
+			"handshakes granted a payload cache capacity (wire v6)"),
+		cacheMissRepairs: reg.Counter("thinc_cache_miss_repairs_total",
+			"CACHE_MISS desync reports healed by forget-and-repaint"),
 	}
 	for r := 0; r < overload.NumRungs; r++ {
 		m.e2eLatency[r] = reg.Histogram("thinc_e2e_latency_us",
@@ -232,6 +242,20 @@ func newHostMetrics(h *Host) *hostMetrics {
 				return 0
 			}
 			return deliveries * 1000 / translated
+		})
+	// Cache effectiveness: hits per cache-eligible delivery (hits plus
+	// stores), in thousandths. A steady-state repeat-heavy desktop reads
+	// close to 1000; a cold or thrashing cache reads near 0. Computed
+	// from the core counters at scrape time.
+	reg.GaugeFunc("thinc_cache_hit_ratio_milli",
+		"cache hits per cache-eligible payload delivery, x1000",
+		func() int64 {
+			hits := reg.Value("thinc_cache_hits_total")
+			total := hits + reg.Value("thinc_cache_stores_total")
+			if total == 0 {
+				return 0
+			}
+			return hits * 1000 / total
 		})
 	reg.GaugeFunc("thinc_detached_sessions", "sessions retained for reattach",
 		func() int64 { return int64(h.NumDetached()) })

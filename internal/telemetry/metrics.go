@@ -286,14 +286,16 @@ func (s *series) value() int64 {
 
 // Value returns the current value of the series with exactly the given
 // labels (0 when absent). Histograms report their observation count.
+// The series is evaluated outside the registry lock: a derived
+// GaugeFunc may read back through the registry.
 func (r *Registry) Value(name string, labels ...Label) int64 {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	f := r.byName[name]
-	if f == nil {
-		return 0
+	var s *series
+	if f != nil {
+		s = f.findSeries(renderLabels(labels))
 	}
-	s := f.findSeries(renderLabels(labels))
+	r.mu.Unlock()
 	if s == nil {
 		return 0
 	}
@@ -304,16 +306,19 @@ func (r *Registry) Value(name string, labels ...Label) int64 {
 }
 
 // Total sums every series of the family. Histograms contribute their
-// observation counts.
+// observation counts. Like Value, series are evaluated outside the
+// registry lock.
 func (r *Registry) Total(name string) int64 {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	f := r.byName[name]
-	if f == nil {
-		return 0
+	var ss []*series
+	if f != nil {
+		ss = make([]*series, len(f.series))
+		copy(ss, f.series)
 	}
+	r.mu.Unlock()
 	var n int64
-	for _, s := range f.series {
+	for _, s := range ss {
 		if s.hist != nil {
 			n += s.hist.Count()
 			continue

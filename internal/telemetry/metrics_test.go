@@ -95,6 +95,28 @@ func TestSnapshotReentrantGaugeFunc(t *testing.T) {
 	}
 }
 
+// TestValueReentrantGaugeFunc covers the direct-read path: Value and
+// Total must evaluate a derived GaugeFunc outside the registry lock,
+// or a gauge that reads back through the registry self-deadlocks the
+// first time a bench harness or debug handler reads it by name.
+func TestValueReentrantGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_base_total", "base")
+	c.Add(7)
+	r.GaugeFunc("test_derived", "reads the registry back",
+		func() int64 { return r.Value("test_base_total") * 3 })
+	done := make(chan [2]int64, 1)
+	go func() { done <- [2]int64{r.Value("test_derived"), r.Total("test_derived")} }()
+	select {
+	case got := <-done:
+		if got[0] != 21 || got[1] != 21 {
+			t.Fatalf("derived gauge Value=%d Total=%d, want 21", got[0], got[1])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Value/Total deadlocked on a reentrant GaugeFunc")
+	}
+}
+
 // TestSnapshotConsistencyUnderWriters is the telemetry-consistency
 // guarantee: while many goroutines observe concurrently, every
 // histogram snapshot must satisfy count == sum(bucket counts), and

@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"thinc/internal/compress"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+)
+
+// Content-addressed payload cache messages (wire v6). Repeated display
+// content — glyph runs, icons, toolbar pixmaps, scrolled-back regions —
+// dominates steady-state thin-client bandwidth, so the server digests
+// every cache-eligible RAW/BITMAP payload with 64-bit FNV-1a and keeps a
+// per-client model of the client's LRU store. The first appearance of a
+// payload ships as CACHE_STORE (pixels + digest: the client populates
+// its cache as a side effect of painting); every repeat ships as a
+// ~20-byte CACHE_PAINT reference. Both sides run the same
+// deterministic LRU over the same message stream, so evictions stay
+// synchronized without any eviction traffic; CACHE_MISS is the client's
+// repair signal when verification or lookup fails.
+
+// Cache entry kinds carried in CacheStore: which display command the
+// cached payload replays on paint.
+const (
+	CacheKindRaw    uint8 = 0 // RAW pixels (codec + blend semantics)
+	CacheKindBitmap uint8 = 1 // BITMAP stipple (fg/bg/transparent)
+)
+
+// CacheStore delivers a payload's first appearance: paint it like the
+// equivalent RAW/BITMAP command and insert it into the cache under
+// Digest. The digest covers the decoded content plus the fields that
+// change its appearance (geometry and blend for RAW; colors, mode and
+// bit geometry for BITMAP), never the codec — so a repeat hit is
+// codec-independent. The client verifies Digest against the decoded
+// payload before inserting; a mismatch (corruption) paints nothing and
+// answers with CacheMiss so the server repairs the region.
+type CacheStore struct {
+	Digest uint64
+	Kind   uint8 // CacheKindRaw or CacheKindBitmap
+	Rect   geom.Rect
+
+	// CacheKindRaw fields: as wire.Raw.
+	Codec compress.Codec
+	Blend bool
+	Data  []byte
+
+	// CacheKindBitmap fields: as wire.Bitmap.
+	Fg, Bg      pixel.ARGB
+	Transparent bool
+	BitW, BitH  int
+	Bits        []byte
+}
+
+// Type implements Message.
+func (m *CacheStore) Type() Type { return TCacheStore }
+
+// PayloadSize implements Message: digest 8 + kind 1 + rect 8, then for
+// RAW codec 1 + flags 1 + len 4 + data, or for BITMAP fg 4 + bg 4 +
+// flags 1 + bitmap geometry 4 + bits.
+func (m *CacheStore) PayloadSize() int {
+	if m.Kind == CacheKindBitmap {
+		return 30 + len(m.Bits)
+	}
+	return 23 + len(m.Data)
+}
+
+func (m *CacheStore) appendPayload(dst []byte) []byte {
+	return append(m.appendPayloadMeta(dst), m.payloadSlab()...)
+}
+
+func (m *CacheStore) appendPayloadMeta(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Digest)
+	dst = append(dst, m.Kind)
+	dst = appendRect(dst, m.Rect)
+	if m.Kind == CacheKindBitmap {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Fg))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Bg))
+		var flags byte
+		if m.Transparent {
+			flags = 1
+		}
+		dst = append(dst, flags)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(m.BitW))
+		return binary.BigEndian.AppendUint16(dst, uint16(m.BitH))
+	}
+	dst = append(dst, byte(m.Codec))
+	var flags byte
+	if m.Blend {
+		flags = 1
+	}
+	dst = append(dst, flags)
+	return binary.BigEndian.AppendUint32(dst, uint32(len(m.Data)))
+}
+
+func (m *CacheStore) payloadSlab() []byte {
+	if m.Kind == CacheKindBitmap {
+		return m.Bits
+	}
+	return m.Data
+}
+
+func decodeCacheStore(d *decoder) (*CacheStore, error) {
+	m := &CacheStore{}
+	m.Digest = d.u64()
+	m.Kind = d.u8()
+	m.Rect = d.rect()
+	switch m.Kind {
+	case CacheKindRaw:
+		m.Codec = compress.Codec(d.u8())
+		m.Blend = d.u8()&1 != 0
+		n := int(d.u32())
+		m.Data = d.bytes(n)
+	case CacheKindBitmap:
+		m.Fg = pixel.ARGB(d.u32())
+		m.Bg = pixel.ARGB(d.u32())
+		m.Transparent = d.u8()&1 != 0
+		m.BitW = int(d.u16())
+		m.BitH = int(d.u16())
+		stride := (m.BitW + 7) / 8
+		m.Bits = d.bytes(stride * m.BitH)
+	default:
+		if !d.err {
+			return nil, ErrCorrupt
+		}
+	}
+	return m, d.check()
+}
+
+// CachePaint replays a cached payload at Rect: the whole reason the
+// cache exists. The stored entry carries its own apply semantics (kind,
+// colors, blend), so the reference is just digest + destination — 16
+// payload bytes, 21 framed, against kilobytes of pixels. The paint rect
+// may differ in position from the rect the entry was stored at, but
+// never in size: the digest covers the content dimensions. An unknown
+// digest (desync) paints nothing and answers with CacheMiss.
+type CachePaint struct {
+	Digest uint64
+	Rect   geom.Rect
+}
+
+// Type implements Message.
+func (m *CachePaint) Type() Type { return TCachePaint }
+
+// PayloadSize implements Message: digest 8 + rect 8.
+func (m *CachePaint) PayloadSize() int { return 16 }
+
+func (m *CachePaint) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Digest)
+	return appendRect(dst, m.Rect)
+}
+
+func decodeCachePaint(d *decoder) (*CachePaint, error) {
+	m := &CachePaint{}
+	m.Digest = d.u64()
+	m.Rect = d.rect()
+	return m, d.check()
+}
+
+// CacheMiss is the client's desync report: a CacheStore failed digest
+// verification (corruption) or a CachePaint referenced a digest the
+// client does not hold. The server drops the digest from its model of
+// this client and repaints Rect from the true framebuffer with plain RAW —
+// the audit-repair path — so both sides reconverge without tearing the
+// session down.
+type CacheMiss struct {
+	Digest uint64
+	Rect   geom.Rect
+}
+
+// Type implements Message.
+func (m *CacheMiss) Type() Type { return TCacheMiss }
+
+// PayloadSize implements Message: digest 8 + rect 8.
+func (m *CacheMiss) PayloadSize() int { return 16 }
+
+func (m *CacheMiss) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Digest)
+	return appendRect(dst, m.Rect)
+}
+
+func decodeCacheMiss(d *decoder) (*CacheMiss, error) {
+	m := &CacheMiss{}
+	m.Digest = d.u64()
+	m.Rect = d.rect()
+	return m, d.check()
+}

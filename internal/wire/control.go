@@ -8,24 +8,31 @@ import (
 
 // ServerInit is the server's hello: the protocol revision it speaks,
 // the session's true framebuffer geometry and native pixel format. The
-// client may view it at a different size (see Resize and §6).
+// client may view it at a different size (see Resize and §6). CacheKB
+// is the payload-cache capacity the server granted — min(client
+// request, server cap) — as a trailing v6 extension: absent decodes as
+// 0, cache disabled. Both sides size their LRU to the granted value, so
+// the deterministic-eviction invariant starts from a shared number.
 type ServerInit struct {
-	Ver    uint8 // protocol revision (ProtoVersion); 0 decodes from v1 peers
-	W, H   int
-	Format pixel.Format
+	Ver     uint8 // protocol revision (ProtoVersion); 0 decodes from v1 peers
+	W, H    int
+	Format  pixel.Format
+	CacheKB uint32
 }
 
 // Type implements Message.
 func (m *ServerInit) Type() Type { return TServerInit }
 
-// PayloadSize implements Message: ver 1 + geometry 4 + format 1.
-func (m *ServerInit) PayloadSize() int { return 6 }
+// PayloadSize implements Message: ver 1 + geometry 4 + format 1 +
+// cache kb 4.
+func (m *ServerInit) PayloadSize() int { return 10 }
 
 func (m *ServerInit) appendPayload(dst []byte) []byte {
 	dst = append(dst, m.Ver)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.W))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.H))
-	return append(dst, byte(m.Format))
+	dst = append(dst, byte(m.Format))
+	return binary.BigEndian.AppendUint32(dst, m.CacheKB)
 }
 
 func decodeServerInit(d *decoder) (*ServerInit, error) {
@@ -34,6 +41,9 @@ func decodeServerInit(d *decoder) (*ServerInit, error) {
 	m.W = int(d.u16())
 	m.H = int(d.u16())
 	m.Format = pixel.Format(d.u8())
+	if d.remaining() > 0 {
+		m.CacheKB = d.u32()
+	}
 	return m, d.check()
 }
 
@@ -58,26 +68,31 @@ func RoleName(role uint8) string {
 // smaller than the session framebuffer — the PDA case), a display
 // name for logging, and the requested session role. The role byte is
 // a backward-compatible trailing extension of the v3 encoding: peers
-// that omit it decode as RoleOwner.
+// that omit it decode as RoleOwner. CacheKB requests a payload-cache
+// capacity in kilobytes (a trailing v6 extension after the role byte;
+// absent or zero decodes as 0 = no cache), which the server clamps to
+// its own cap and echoes in ServerInit.
 type ClientInit struct {
 	ViewW, ViewH int
 	Name         string
 	Role         uint8
+	CacheKB      uint32
 }
 
 // Type implements Message.
 func (m *ClientInit) Type() Type { return TClientInit }
 
 // PayloadSize implements Message: viewport 4 + name len 2 + name +
-// role 1.
-func (m *ClientInit) PayloadSize() int { return 7 + len(m.Name) }
+// role 1 + cache kb 4.
+func (m *ClientInit) PayloadSize() int { return 11 + len(m.Name) }
 
 func (m *ClientInit) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewW))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewH))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Name)))
 	dst = append(dst, m.Name...)
-	return append(dst, m.Role)
+	dst = append(dst, m.Role)
+	return binary.BigEndian.AppendUint32(dst, m.CacheKB)
 }
 
 func decodeClientInit(d *decoder) (*ClientInit, error) {
@@ -88,6 +103,9 @@ func decodeClientInit(d *decoder) (*ClientInit, error) {
 	m.Name = string(d.bytes(n))
 	if d.remaining() > 0 {
 		m.Role = d.u8()
+	}
+	if d.remaining() > 0 {
+		m.CacheKB = d.u32()
 	}
 	return m, d.check()
 }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"thinc/internal/compress"
+	"thinc/internal/geom"
 )
 
 // FuzzReadMessage drives the framed decoder with arbitrary bytes: it
@@ -62,32 +65,39 @@ func controlMessages() []Message {
 		case *ServerInit, *ClientInit, *Resize, *Input,
 			*AuthChallenge, *AuthResponse, *AuthResult, *UpdateRequest,
 			*Ping, *Pong, *SessionTicket, *Reattach, *DegradeNotice,
-			*AuditProbe, *AuditReply, *TimeMark, *MarkAck:
+			*AuditProbe, *AuditReply, *TimeMark, *MarkAck,
+			*CachePaint, *CacheMiss:
 			ctl = append(ctl, m)
 		}
 	}
 	return ctl
 }
 
-// optionalTrailing reports how many trailing payload bytes of m form a
-// documented backward-compatible extension: a shorter prefix that omits
-// them is itself a valid legacy v3 encoding, so the truncation sweep
-// must accept it decoding cleanly. Currently this is the Role byte on
-// the attach-handshake messages.
-func optionalTrailing(m Message) int {
+// legacyCuts returns the payload lengths (cut points) of m's documented
+// backward-compatible legacy encodings: prefixes that omit one or more
+// trailing extensions and are themselves valid older encodings, so the
+// truncation sweep must accept them decoding cleanly. The extensions
+// stack — ClientInit and Reattach end in Role (v3) then CacheKB (v6),
+// so both the pre-role and role-only prefixes are legal; ServerInit
+// gained CacheKB in v6; SessionTicket still ends at its v3 Role byte.
+func legacyCuts(m Message, payloadLen int) map[int]bool {
 	switch m.(type) {
-	case *ClientInit, *SessionTicket, *Reattach:
-		return 1
+	case *ClientInit, *Reattach:
+		return map[int]bool{payloadLen - 5: true, payloadLen - 4: true}
+	case *ServerInit:
+		return map[int]bool{payloadLen - 4: true}
+	case *SessionTicket:
+		return map[int]bool{payloadLen - 1: true}
 	}
-	return 0
+	return nil
 }
 
 // TestControlMessageTruncationSweep cuts every control message at every
 // byte boundary: no truncation may panic the decoder, and every
 // truncation must be reported as an error, never silently accepted as a
-// different valid message of the same type. The only exemption is the
-// documented trailing-extension region (optionalTrailing), whose
-// omission is the legacy encoding, not an ambiguity.
+// different valid message of the same type. The only exemptions are the
+// documented legacy prefixes (legacyCuts), whose omission of trailing
+// extensions is an older valid encoding, not an ambiguity.
 func TestControlMessageTruncationSweep(t *testing.T) {
 	for _, m := range controlMessages() {
 		buf, err := Marshal(m)
@@ -95,10 +105,10 @@ func TestControlMessageTruncationSweep(t *testing.T) {
 			t.Fatalf("%v: marshal: %v", m.Type(), err)
 		}
 		payload := buf[HeaderSize:]
-		legacy := len(payload) - optionalTrailing(m)
+		legacy := legacyCuts(m, len(payload))
 		for cut := 0; cut < len(payload); cut++ {
 			_, err := Unmarshal(m.Type(), payload[:cut])
-			if cut == legacy {
+			if legacy[cut] {
 				if err != nil {
 					t.Errorf("%v: legacy prefix (%d/%d bytes) must still decode, got %v",
 						m.Type(), cut, len(payload), err)
@@ -158,7 +168,9 @@ func TestUnknownTypeSkippable(t *testing.T) {
 
 // streamingMessages returns the high-volume streaming subset: the
 // length-prefixed payload carriers where a corrupted length field is
-// most dangerous (over-read, over-allocation, misframing).
+// most dangerous (over-read, over-allocation, misframing). CacheStore
+// rides along — it is the only other slab carrier and its two kinds
+// have different trailing-slab sizing rules.
 func streamingMessages() []Message {
 	return []Message{
 		&VideoFrame{Stream: 1, Seq: 2, PTS: 3, W: 8, H: 6, Data: make([]byte, 8*6*3/2)},
@@ -167,6 +179,15 @@ func streamingMessages() []Message {
 		&AudioData{PTS: 44100, Data: make([]byte, 512)},
 		&AudioData{PTS: ^uint64(0), Data: []byte{0xff}},
 		&AudioData{},
+		&CacheStore{Digest: 0xfeedfacecafebeef, Kind: CacheKindRaw,
+			Rect: geom.XYWH(4, 8, 4, 2), Codec: compress.CodecNone,
+			Data: make([]byte, 4*2*4)},
+		&CacheStore{Digest: 1, Kind: CacheKindRaw, Blend: true,
+			Rect: geom.XYWH(0, 0, 1, 1), Codec: compress.CodecRLE,
+			Data: []byte{1, 2, 3}},
+		&CacheStore{Digest: 2, Kind: CacheKindBitmap,
+			Rect: geom.XYWH(16, 16, 10, 3), Fg: 0xffffffff, Bg: 0xff000000,
+			Transparent: true, BitW: 10, BitH: 3, Bits: make([]byte, 2*3)},
 	}
 }
 
@@ -248,6 +269,49 @@ func FuzzAudioData(f *testing.F) {
 		ad2 := m2.(*AudioData)
 		if ad2.PTS != ad.PTS || !bytes.Equal(ad2.Data, ad.Data) {
 			t.Fatalf("chunk changed across round trip: %#v -> %#v", ad, ad2)
+		}
+	})
+}
+
+// FuzzCacheStore drives the CacheStore payload decoder directly. The
+// message has two kinds with different slab-sizing rules (explicit
+// length for RAW, geometry-derived for BITMAP), so it gets its own
+// target: anything accepted must carry slabs backed by the input and
+// must survive a marshal / re-decode round trip.
+func FuzzCacheStore(f *testing.F) {
+	for _, m := range streamingMessages() {
+		if _, ok := m.(*CacheStore); !ok {
+			continue
+		}
+		buf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[HeaderSize:])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := Unmarshal(TCacheStore, payload)
+		if err != nil {
+			return
+		}
+		cs := m.(*CacheStore)
+		if len(cs.Data)+len(cs.Bits) > len(payload) {
+			t.Fatalf("decoder conjured %d slab bytes from a %d-byte payload",
+				len(cs.Data)+len(cs.Bits), len(payload))
+		}
+		out, err := Marshal(cs)
+		if err != nil {
+			t.Fatalf("accepted store failed to marshal: %v", err)
+		}
+		m2, err := ReadMessage(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		cs2 := m2.(*CacheStore)
+		if cs2.Digest != cs.Digest || cs2.Kind != cs.Kind || cs2.Rect != cs.Rect ||
+			!bytes.Equal(cs2.Data, cs.Data) || !bytes.Equal(cs2.Bits, cs.Bits) {
+			t.Fatalf("store changed across round trip: %#v -> %#v", cs, cs2)
 		}
 	})
 }

@@ -75,8 +75,10 @@ func goldenVectors() []goldenVector {
 		{"video_move", &VideoMove{Stream: 7, Dst: geom.XYWH(100, 100, 352, 240)}},
 		{"video_end", &VideoEnd{Stream: 7}},
 		{"audio_data", &AudioData{PTS: 999, Data: []byte{5, 6, 7}}},
-		{"server_init", &ServerInit{Ver: 3, W: 1024, H: 768, Format: pixel.FormatARGB32}},
-		{"client_init_owner", &ClientInit{ViewW: 320, ViewH: 240, Name: "pda", Role: RoleOwner}},
+		{"server_init", &ServerInit{Ver: 3, W: 1024, H: 768, Format: pixel.FormatARGB32,
+			CacheKB: 4096}},
+		{"client_init_owner", &ClientInit{ViewW: 320, ViewH: 240, Name: "pda", Role: RoleOwner,
+			CacheKB: 8192}},
 		{"client_init_viewer", &ClientInit{ViewW: 1024, ViewH: 768, Name: "watch", Role: RoleViewer}},
 		{"resize", &Resize{ViewW: 640, ViewH: 480}},
 		{"input", &Input{Kind: InputMouseButton, X: 512, Y: 384, Code: 1, Press: true,
@@ -93,7 +95,7 @@ func goldenVectors() []goldenVector {
 		{"session_ticket", &SessionTicket{Ticket: []byte("ticket-0123456789abcdef"),
 			Role: RoleViewer}},
 		{"reattach", &Reattach{Ticket: []byte("ticket-0123456789abcdef"),
-			ViewW: 320, ViewH: 240, Name: "pda", Role: RoleViewer}},
+			ViewW: 320, ViewH: 240, Name: "pda", Role: RoleViewer, CacheKB: 8192}},
 		{"degrade_notice", &DegradeNotice{Rung: 2, Cause: CauseBacklog,
 			BacklogBytes: 1 << 20, EstBps: 3 << 20}},
 		{"audit_probe", &AuditProbe{Seq: 9, Tile: 64, Start: 16, Count: 8}},
@@ -101,6 +103,15 @@ func goldenVectors() []goldenVector {
 			Digests: []uint64{0x0123456789abcdef, 0xcafebabe00facade}}},
 		{"time_mark", &TimeMark{Epoch: 42, TimeUS: 0x1122334455667788}},
 		{"mark_ack", &MarkAck{Epoch: 42, TimeUS: 0x1122334455667788, ApplyUS: 350}},
+		{"cache_store_raw", &CacheStore{Digest: 0xfeedfacecafebeef, Kind: CacheKindRaw,
+			Rect: geom.XYWH(10, 20, 2, 1), Codec: compress.CodecNone,
+			Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}},
+		{"cache_store_bitmap", &CacheStore{Digest: 0x0123456789abcdef, Kind: CacheKindBitmap,
+			Rect: geom.XYWH(3, 3, 9, 2), Fg: pixel.RGB(255, 0, 0),
+			Bg: pixel.RGB(0, 0, 255), Transparent: true, BitW: 9, BitH: 2,
+			Bits: []byte{0xa5, 0x80, 0x5a, 0x00}}},
+		{"cache_paint", &CachePaint{Digest: 0xfeedfacecafebeef, Rect: geom.XYWH(40, 60, 2, 1)}},
+		{"cache_miss", &CacheMiss{Digest: 0xfeedfacecafebeef, Rect: geom.XYWH(40, 60, 2, 1)}},
 	}
 }
 
@@ -211,9 +222,10 @@ func TestGoldenVectorsCoverAllTypes(t *testing.T) {
 	}
 }
 
-// TestGoldenLegacyAttachDecodes freezes the pre-role v3 attach
-// encodings: a peer that omits the trailing Role byte must still
-// decode, with the role defaulting to owner.
+// TestGoldenLegacyAttachDecodes freezes the legacy attach encodings:
+// the pre-role v1/v2 prefix (no Role byte), the v3–v5 prefix (Role but
+// no CacheKB), and the pre-v6 ServerInit (no CacheKB) must all still
+// decode, with the omitted extensions defaulting to owner / cache off.
 func TestGoldenLegacyAttachDecodes(t *testing.T) {
 	legacy := []struct {
 		typ     Type
@@ -223,6 +235,9 @@ func TestGoldenLegacyAttachDecodes(t *testing.T) {
 		{TClientInit,
 			append([]byte{0x01, 0x40, 0x00, 0xf0, 0x00, 0x03}, "pda"...),
 			&ClientInit{ViewW: 320, ViewH: 240, Name: "pda", Role: RoleOwner}},
+		{TClientInit,
+			append(append([]byte{0x01, 0x40, 0x00, 0xf0, 0x00, 0x03}, "pda"...), RoleViewer),
+			&ClientInit{ViewW: 320, ViewH: 240, Name: "pda", Role: RoleViewer}},
 		{TSessionTicket,
 			[]byte{0x00, 0x02, 0xab, 0xcd},
 			&SessionTicket{Ticket: []byte{0xab, 0xcd}, Role: RoleOwner}},
@@ -230,6 +245,14 @@ func TestGoldenLegacyAttachDecodes(t *testing.T) {
 			append([]byte{0x00, 0x02, 0xab, 0xcd, 0x01, 0x40, 0x00, 0xf0, 0x00, 0x03}, "pda"...),
 			&Reattach{Ticket: []byte{0xab, 0xcd}, ViewW: 320, ViewH: 240,
 				Name: "pda", Role: RoleOwner}},
+		{TReattach,
+			append(append([]byte{0x00, 0x02, 0xab, 0xcd, 0x01, 0x40, 0x00, 0xf0, 0x00, 0x03},
+				"pda"...), RoleViewer),
+			&Reattach{Ticket: []byte{0xab, 0xcd}, ViewW: 320, ViewH: 240,
+				Name: "pda", Role: RoleViewer}},
+		{TServerInit,
+			[]byte{0x05, 0x04, 0x00, 0x03, 0x00, 0x01},
+			&ServerInit{Ver: 5, W: 1024, H: 768, Format: pixel.Format(1)}},
 	}
 	for _, tc := range legacy {
 		m, err := Unmarshal(tc.typ, tc.payload)

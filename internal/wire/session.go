@@ -11,13 +11,15 @@ import "encoding/binary"
 // Version 1 is the original handshake; version 2 adds heartbeats and
 // session reattach; version 3 adds the DegradeNotice quality-state
 // message; version 4 adds the AuditProbe/AuditReply integrity audit;
-// version 5 adds the TimeMark/MarkAck end-to-end tracing pair.
-// Receivers skip well-framed unknown message types, so the version is
-// informational: it lets a client know whether the server will honor
-// Reattach at all, and a v5 server detects (and stops marking or
-// probing) a pre-v5 client by its silence rather than by the version
-// byte.
-const ProtoVersion = 5
+// version 5 adds the TimeMark/MarkAck end-to-end tracing pair; version
+// 6 adds the content-addressed payload cache (CacheStore/CachePaint/
+// CacheMiss, negotiated by the CacheKB trailing extension on
+// ClientInit/ServerInit/Reattach). Receivers skip well-framed unknown
+// message types, so the version is informational: it lets a client know
+// whether the server will honor Reattach at all, and a v6 server never
+// sends cache messages to a peer whose handshake omitted CacheKB — the
+// field's absence, not the version byte, is the capability signal.
+const ProtoVersion = 6
 
 // MaxTicketLen bounds a session ticket on the wire.
 const MaxTicketLen = 64
@@ -117,19 +119,24 @@ func decodeSessionTicket(d *decoder) (*SessionTicket, error) {
 // attached) falls back to a fresh attach — either way the client
 // converges via the full-screen RAW resync. Role is the requested
 // session role (a trailing v3 extension; absent decodes as RoleOwner).
+// CacheKB re-requests the payload-cache capacity after Role (a trailing
+// v6 extension; absent decodes as 0 = cache disabled) — the server's
+// model of the client cache rides the detached session, so a reattach
+// granting the same size resumes hitting without re-warming.
 type Reattach struct {
 	Ticket       []byte
 	ViewW, ViewH int
 	Name         string
 	Role         uint8
+	CacheKB      uint32
 }
 
 // Type implements Message.
 func (m *Reattach) Type() Type { return TReattach }
 
 // PayloadSize implements Message: ticket len 2 + ticket + viewport 4 +
-// name len 2 + name + role 1.
-func (m *Reattach) PayloadSize() int { return 9 + len(m.Ticket) + len(m.Name) }
+// name len 2 + name + role 1 + cache kb 4.
+func (m *Reattach) PayloadSize() int { return 13 + len(m.Ticket) + len(m.Name) }
 
 func (m *Reattach) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))
@@ -138,7 +145,8 @@ func (m *Reattach) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.ViewH))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Name)))
 	dst = append(dst, m.Name...)
-	return append(dst, m.Role)
+	dst = append(dst, m.Role)
+	return binary.BigEndian.AppendUint32(dst, m.CacheKB)
 }
 
 func decodeReattach(d *decoder) (*Reattach, error) {
@@ -155,6 +163,9 @@ func decodeReattach(d *decoder) (*Reattach, error) {
 	m.Name = string(d.bytes(n))
 	if d.remaining() > 0 {
 		m.Role = d.u8()
+	}
+	if d.remaining() > 0 {
+		m.CacheKB = d.u32()
 	}
 	return m, d.check()
 }

@@ -66,6 +66,10 @@ const (
 
 	TTimeMark
 	TMarkAck
+
+	TCacheStore
+	TCachePaint
+	TCacheMiss
 )
 
 var typeNames = map[Type]string{
@@ -83,6 +87,9 @@ var typeNames = map[Type]string{
 	TAuditReply:    "AUDIT_REPLY",
 	TTimeMark:      "TIME_MARK",
 	TMarkAck:       "MARK_ACK",
+	TCacheStore:    "CACHE_STORE",
+	TCachePaint:    "CACHE_PAINT",
+	TCacheMiss:     "CACHE_MISS",
 }
 
 func (t Type) String() string {
@@ -275,6 +282,12 @@ func Unmarshal(t Type, payload []byte) (Message, error) {
 		m, err = decodeTimeMark(&d)
 	case TMarkAck:
 		m, err = decodeMarkAck(&d)
+	case TCacheStore:
+		m, err = decodeCacheStore(&d)
+	case TCachePaint:
+		m, err = decodeCachePaint(&d)
+	case TCacheMiss:
+		m, err = decodeCacheMiss(&d)
 	default:
 		return nil, &UnknownTypeError{T: t}
 	}

@@ -61,6 +61,11 @@ func sampleMessages() []Message {
 			Digests: []uint64{0x0123456789abcdef, 0xfedcba9876543210}},
 		&TimeMark{Epoch: 42, TimeUS: 123456789},
 		&MarkAck{Epoch: 42, TimeUS: 123456789, ApplyUS: 350},
+		&CacheStore{Digest: 0x1122334455667788, Kind: CacheKindRaw,
+			Rect: geom.XYWH(10, 20, 4, 3), Codec: compress.CodecNone,
+			Data: append([]byte(nil), raw.Data...)},
+		&CachePaint{Digest: 0x1122334455667788, Rect: geom.XYWH(40, 60, 4, 3)},
+		&CacheMiss{Digest: 0x1122334455667788, Rect: geom.XYWH(40, 60, 4, 3)},
 	}
 }
 
