@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-snapshot bench-smoke bench-e2e-smoke bench-cache-smoke golden-regen soak
+.PHONY: all build vet test race check cover bench-snapshot bench-smoke bench-e2e-smoke bench-cache-smoke bench-reattach-smoke fuzz-smoke golden-regen soak
 
 all: check
 
@@ -71,6 +71,28 @@ bench-e2e-smoke:
 # (thinc-bench -cache with defaults); the smoke writes to a temp file.
 bench-cache-smoke:
 	$(GO) run ./cmd/thinc-bench -cache -cache-rounds 10 -cache-out /tmp/bench_cache_smoke.json
+
+# Warm-reattach smoke: a short wire-v7 sweep (warm vs cold resumes over
+# loopback + shaped WAN). The run self-checks the report — it fails
+# unless a warm resume re-ships less than 5% of the cold resync's bytes
+# on every link, with every warm cycle actually resuming warm. The
+# committed BENCH_pr9.json comes from the full-cycle run (thinc-bench
+# -reattach with defaults); the smoke writes to a temp file.
+bench-reattach-smoke:
+	$(GO) run ./cmd/thinc-bench -reattach -reattach-cycles 6 -reattach-out /tmp/bench_reattach_smoke.json
+
+# Fuzz smoke: ~30s of coverage-guided fuzzing per wire decoder target,
+# on top of the committed seed corpus (which always runs as part of
+# `make test`). The trailing-extension decode pattern makes truncation
+# the protocol's load-bearing edge case — a truncated v7 hello must
+# decode as a v6/v5/... hello, never as a warm-cache claim — so the
+# decoders get continuous adversarial input, not just the frozen seeds.
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzReadMessage -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzVideoFrame -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzAudioData -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzCacheStore -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzAuditReply -fuzztime 30s
 
 # Regenerate the golden wire vectors under internal/wire/testdata/
 # after a deliberate protocol change: the frozen-vector tests rewrite

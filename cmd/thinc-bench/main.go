@@ -43,6 +43,9 @@ func main() {
 	cache := flag.Bool("cache", false, "run the wire-v6 payload cache bytes-on-wire sweep")
 	cacheOut := flag.String("cache-out", "BENCH_pr8.json", "where -cache writes its report")
 	cacheRounds := flag.Int("cache-rounds", 0, "steady rounds per cache cell (0 = default)")
+	reattach := flag.Bool("reattach", false, "run the wire-v7 warm-vs-cold reattach resync sweep")
+	reattachOut := flag.String("reattach-out", "BENCH_pr9.json", "where -reattach writes its report")
+	reattachCycles := flag.Int("reattach-cycles", 0, "measured resumes per reattach cell (0 = default)")
 	flag.Parse()
 
 	if *e2e {
@@ -55,6 +58,13 @@ func main() {
 	if *cache {
 		if err := runCacheMode(*cacheOut, *cacheRounds); err != nil {
 			fmt.Fprintf(os.Stderr, "cache: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *reattach {
+		if err := runReattachMode(*reattachOut, *reattachCycles); err != nil {
+			fmt.Fprintf(os.Stderr, "reattach: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -172,6 +182,43 @@ func runCacheMode(path string, steadyRounds int) error {
 		fmt.Printf("%-9s steady bytes reduction: %d.%03dx\n", link, ratio/1000, ratio%1000)
 	}
 	fmt.Printf("cache report written to %s (%v)\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runReattachMode sweeps the wire-v7 reattach cells (links x
+// warm/cold), writes the resync bytes + convergence latency report,
+// and self-checks it — the CI smoke job fails unless a warm resume
+// re-ships less than 5% of the cold resync's bytes on every link.
+func runReattachMode(path string, cycles int) error {
+	start := time.Now()
+	report, err := bench.RunReattachBench(bench.ReattachOptions{Cycles: cycles},
+		func(msg string) { fmt.Println(msg) })
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := report.Check(); err != nil {
+		return fmt.Errorf("report self-check: %w", err)
+	}
+	for _, c := range report.Runs {
+		fmt.Printf("%-9s %-5s resync=%-8dB/resume warm=%-3d cold=%-3d paints=%-5d p50=%-7dus p99=%-7dus\n",
+			c.Link, c.Mode, c.BytesPerResync, c.WarmResumes, c.ColdResumes,
+			c.CachePaints, c.Converge.P50, c.Converge.P99)
+	}
+	for link, milli := range report.WarmColdMilli {
+		fmt.Printf("%-9s warm resync ships %d.%01d%% of cold bytes\n", link, milli/10, milli%10)
+	}
+	fmt.Printf("reattach report written to %s (%v)\n", path, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -120,4 +120,8 @@ func main() {
 		fmt.Printf("payload cache: %d KB granted, %d stores, %d paints, %d held (%d bytes), %d misses\n",
 			st.CacheKB, st.CacheStored, st.CachePainted, st.CacheEntries, st.CacheBytes, st.CacheMissReports)
 	}
+	if st.ReattachAttempts > 0 {
+		fmt.Printf("reattach: %d attempts, %d warm resumes, %d cold fallbacks, %d busy refusals, %d bytes saved by cache replays\n",
+			st.ReattachAttempts, st.WarmResumes, st.ColdFallbacks, st.BusyRejections, st.CacheSavedBytes)
+	}
 }

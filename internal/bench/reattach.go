@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"thinc/internal/auth"
+	"thinc/internal/client"
+	"thinc/internal/geom"
+	"thinc/internal/pixel"
+	"thinc/internal/server"
+	"thinc/internal/simnet"
+	"thinc/internal/xserver"
+)
+
+// Bytes-on-wire bench for the wire-v7 warm reattach: the same static
+// repeat-heavy screen is resumed over and over, once with the payload
+// store surviving the disconnect (warm) and once with the client
+// dropping it before every redial (cold). A cold resume re-ships the
+// screen; a warm resume — after one priming cycle has seeded the
+// store with the screen's tiles — replays them as ~21-byte CACHE_PAINT
+// references. The report records what the client received per resync
+// and how long each resume took to converge back to the server screen,
+// the metric a user behind a flaky link actually feels.
+
+// ReattachOptions configures a reattach bench sweep.
+type ReattachOptions struct {
+	// Cycles is how many measured kill/resume rounds each cell runs
+	// (default 12). Two unmeasured priming cycles precede them, seeding
+	// the store with both sentinel variants so the measured warm
+	// resumes run against a fully populated cache.
+	Cycles int
+	// W, H is the session geometry.
+	W, H int
+}
+
+func (o ReattachOptions) withDefaults() ReattachOptions {
+	if o.Cycles <= 0 {
+		o.Cycles = 12
+	}
+	if o.W <= 0 || o.H <= 0 {
+		o.W, o.H = 256, 192
+	}
+	return o
+}
+
+// ReattachCell is one (link, mode) measurement.
+type ReattachCell struct {
+	Link   string `json:"link"`
+	Mode   string `json:"mode"` // "warm" | "cold"
+	Cycles int    `json:"cycles"`
+
+	// ResyncBytes is what the client received across all measured
+	// resumes, summed over every message type it applied (the handshake
+	// itself is outside the counters on both sides, so the cells
+	// compare pure resync traffic).
+	ResyncBytes    int64 `json:"resync_bytes"`
+	BytesPerResync int64 `json:"bytes_per_resync"`
+
+	WarmResumes int   `json:"warm_resumes"`
+	ColdResumes int   `json:"cold_resumes"`
+	CachePaints int64 `json:"cache_paints"`
+	SavedBytes  int64 `json:"saved_bytes"`
+
+	// Converge is the redial-to-converged latency distribution across
+	// the measured cycles, in microseconds.
+	Converge E2EPercentiles `json:"converge"`
+}
+
+// ReattachReport is the BENCH_pr9.json payload.
+type ReattachReport struct {
+	Schema string         `json:"schema"`
+	Cycles int            `json:"cycles"`
+	Runs   []ReattachCell `json:"runs"`
+	// WarmColdMilli is warm/cold resync bytes per link, x1000 — the
+	// fraction of a cold resync a warm resume still ships.
+	WarmColdMilli map[string]int64 `json:"warm_cold_bytes_milli"`
+}
+
+// Write serializes the report as indented JSON.
+func (r *ReattachReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Check validates the acceptance shape: on every link a warm resume
+// must re-ship less than 5% of the cold resync's bytes, every warm
+// cycle must actually have resumed warm (and cold cycles cold), the
+// warm cells must show cache replays, and every cell must carry a full
+// convergence-latency distribution.
+func (r *ReattachReport) Check() error {
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("reattach report has no runs")
+	}
+	byLink := map[string]map[string]ReattachCell{}
+	for _, c := range r.Runs {
+		if byLink[c.Link] == nil {
+			byLink[c.Link] = map[string]ReattachCell{}
+		}
+		byLink[c.Link][c.Mode] = c
+		if c.Converge.Count != int64(c.Cycles) || c.Converge.P99 <= 0 {
+			return fmt.Errorf("%s/%s: convergence latency incomplete (count=%d p99=%d)",
+				c.Link, c.Mode, c.Converge.Count, c.Converge.P99)
+		}
+		switch c.Mode {
+		case "warm":
+			if c.WarmResumes != c.Cycles || c.ColdResumes != 0 {
+				return fmt.Errorf("%s: %d/%d warm resumes (%d cold)",
+					c.Link, c.WarmResumes, c.Cycles, c.ColdResumes)
+			}
+			if c.CachePaints == 0 || c.SavedBytes <= 0 {
+				return fmt.Errorf("%s: warm resumes never rode the cache (paints=%d saved=%d)",
+					c.Link, c.CachePaints, c.SavedBytes)
+			}
+		case "cold":
+			if c.WarmResumes != 0 {
+				return fmt.Errorf("%s: cold cell resumed warm %d times", c.Link, c.WarmResumes)
+			}
+		}
+	}
+	if len(byLink) < 2 {
+		return fmt.Errorf("report covers %d link(s), want loopback and a shaped link", len(byLink))
+	}
+	for link, modes := range byLink {
+		warm, ok1 := modes["warm"]
+		cold, ok2 := modes["cold"]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("%s: missing a mode (have %d)", link, len(modes))
+		}
+		if warm.ResyncBytes <= 0 || cold.ResyncBytes <= 0 {
+			return fmt.Errorf("%s: empty resync window", link)
+		}
+		milli := warm.ResyncBytes * 1000 / cold.ResyncBytes
+		if milli >= 50 {
+			return fmt.Errorf("%s: warm resync ships %d.%01d%% of cold bytes, want < 5%% (warm=%d cold=%d)",
+				link, milli/10, milli%10, warm.ResyncBytes, cold.ResyncBytes)
+		}
+	}
+	return nil
+}
+
+// RunReattachBench sweeps links x {warm, cold} and collects the report.
+func RunReattachBench(opts ReattachOptions, progress func(string)) (*ReattachReport, error) {
+	opts = opts.withDefaults()
+	report := &ReattachReport{
+		Schema:        "thinc-reattach-bench/v1",
+		Cycles:        opts.Cycles,
+		WarmColdMilli: map[string]int64{},
+	}
+	for _, link := range e2eLinks() {
+		var cells [2]ReattachCell
+		for i, mode := range []string{"warm", "cold"} {
+			if progress != nil {
+				progress(fmt.Sprintf("reattach: %s %s (%d cycles)", mode, link.name, opts.Cycles))
+			}
+			cell, err := runReattachCell(opts, link, mode)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", link.name, mode, err)
+			}
+			cells[i] = cell
+			report.Runs = append(report.Runs, cell)
+		}
+		if cells[1].ResyncBytes > 0 {
+			report.WarmColdMilli[link.name] = cells[0].ResyncBytes * 1000 / cells[1].ResyncBytes
+		}
+	}
+	return report, nil
+}
+
+// benchDialer dials addr and remembers the latest transport so the
+// bench can cut it between cycles.
+type benchDialer struct {
+	mu   sync.Mutex
+	addr string
+	last net.Conn
+}
+
+func (d *benchDialer) dial() (net.Conn, error) {
+	nc, err := net.Dial("tcp", d.addr)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.last = nc
+	d.mu.Unlock()
+	return nc, nil
+}
+
+func (d *benchDialer) kill() {
+	d.mu.Lock()
+	nc := d.last
+	d.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+}
+
+// runReattachCell drives one session through a priming cycle plus the
+// measured kill/resume rounds, reading the client byte counters around
+// each resync.
+func runReattachCell(opts ReattachOptions, link e2eLink, mode string) (ReattachCell, error) {
+	cell := ReattachCell{Link: link.name, Mode: mode, Cycles: opts.Cycles}
+
+	accounts := auth.NewAccounts()
+	accounts.Add("bench", "pw")
+	host := server.NewHost(opts.W, opts.H, auth.NewAuthenticator("bench", accounts), server.Options{
+		CacheKB:           client.DefaultCacheRequestKB,
+		FlushInterval:     time.Millisecond,
+		FlushBudget:       1 << 22,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  20 * time.Second,
+		DetachGrace:       20 * time.Second,
+		DisableAudit:      true,
+		DisableE2E:        true,
+		DisableOverload:   true,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cell, err
+	}
+	defer l.Close()
+	go host.Serve(l)
+
+	addr := l.Addr().String()
+	if link.params != nil {
+		shaped, stop, err := simnet.StartProxy(addr, *link.params)
+		if err != nil {
+			return cell, err
+		}
+		defer stop()
+		addr = shaped
+	}
+	td := &benchDialer{addr: addr}
+	conn, err := client.DialWith(td.dial, "bench", "pw", opts.W, opts.H)
+	if err != nil {
+		return cell, err
+	}
+	defer conn.Close()
+	runDone := make(chan error, 1)
+	go func() { runDone <- conn.Run() }()
+
+	// The static screen being resumed: the cache-bench pattern bank
+	// tiled across the framebuffer — the repeat-heavy desktop a warm
+	// resume should barely have to ship.
+	bank := make([][]pixel.ARGB, cacheBenchBank)
+	for i := range bank {
+		bank[i] = cacheBenchPattern(i)
+	}
+	var win *xserver.Window
+	host.Do(func(d *xserver.Display) {
+		win = d.CreateWindow(geom.XYWH(0, 0, opts.W, opts.H))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(24, 26, 32)}, win.Bounds())
+		cacheBenchRound(d, win, bank, 0)
+		cacheBenchRound(d, win, bank, 3)
+	})
+	waitState := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitState("initial convergence", func() bool {
+		return conn.Snapshot().Checksum() == host.ScreenChecksum() && len(conn.Ticket()) > 0
+	}); err != nil {
+		return cell, err
+	}
+
+	// Each cycle kills the transport, draws the sentinel while the
+	// session is detached (something changed while we were away — the
+	// reason convergence is a real wait, not a no-op on a static
+	// screen), resumes, and waits for the client to both converge on
+	// the changed screen and drain the rest of the resync. The sentinel
+	// alternates between two variants drawn at one fixed slot, so after
+	// the two priming cycles have stored both affected tile states a
+	// warm resync is pure CACHE_PAINT replay.
+	var latencies []time.Duration
+	cycle := func(n int, measured bool) error {
+		td.kill()
+		<-runDone
+		if err := waitState("detach", func() bool { return host.NumDetached() >= 1 }); err != nil {
+			return err
+		}
+		host.Do(func(d *xserver.Display) {
+			d.PutImage(win, geom.XYWH(4, 4, cachePatternW, cachePatternH),
+				bank[n%2], cachePatternW)
+		})
+		want := host.ScreenChecksum()
+		if mode == "cold" {
+			conn.DropCache()
+		}
+		base := clientBytesTotal(conn)
+		start := time.Now()
+		var rerr error
+		for attempt := 0; attempt < 100; attempt++ {
+			if rerr = conn.Redial(); rerr == nil {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if rerr != nil {
+			return fmt.Errorf("redial: %w", rerr)
+		}
+		go func() { runDone <- conn.Run() }()
+		if err := waitState("resync convergence", func() bool {
+			return conn.Snapshot().Checksum() == want
+		}); err != nil {
+			return err
+		}
+		if measured {
+			latencies = append(latencies, time.Since(start))
+		}
+		// Drain the tail of the resync: convergence completes at the
+		// sentinel tile, but the rest of the grid may still be in
+		// flight. Quiesce the byte counter before reading it.
+		stable := clientBytesTotal(conn)
+		for {
+			time.Sleep(25 * time.Millisecond)
+			now := clientBytesTotal(conn)
+			if now == stable {
+				break
+			}
+			stable = now
+		}
+		if measured {
+			cell.ResyncBytes += stable - base
+		}
+		// The next cycle's reattach needs the fresh ticket.
+		return waitState("ticket", func() bool { return len(conn.Ticket()) > 0 })
+	}
+	for n := 0; n < 2; n++ {
+		if err := cycle(n, false); err != nil {
+			return cell, fmt.Errorf("priming cycle %d: %w", n, err)
+		}
+	}
+	primeWarm := conn.Stats().WarmResumes
+	primePaints := conn.Stats().CachePainted
+	primeSaved := conn.Stats().CacheSavedBytes
+	for i := 0; i < opts.Cycles; i++ {
+		if err := cycle(i, true); err != nil {
+			return cell, fmt.Errorf("cycle %d: %w", i+1, err)
+		}
+	}
+
+	st := conn.Stats()
+	cell.WarmResumes = st.WarmResumes - primeWarm
+	cell.ColdResumes = opts.Cycles - cell.WarmResumes
+	cell.CachePaints = int64(st.CachePainted - primePaints)
+	cell.SavedBytes = st.CacheSavedBytes - primeSaved
+	cell.BytesPerResync = cell.ResyncBytes / int64(opts.Cycles)
+	cell.Converge = durationPercentiles(latencies)
+
+	conn.Close()
+	<-runDone
+	return cell, nil
+}
+
+// durationPercentiles summarizes a latency sample in microseconds.
+func durationPercentiles(ds []time.Duration) E2EPercentiles {
+	p := E2EPercentiles{Count: int64(len(ds))}
+	if len(ds) == 0 {
+		return p
+	}
+	us := make([]int64, len(ds))
+	var sum int64
+	for i, d := range ds {
+		us[i] = d.Microseconds()
+		sum += us[i]
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	at := func(q float64) int64 {
+		i := int(q*float64(len(us)-1) + 0.5)
+		return us[i]
+	}
+	p.Avg = sum / int64(len(us))
+	p.P50 = at(0.50)
+	p.P95 = at(0.95)
+	p.P99 = at(0.99)
+	return p
+}

@@ -225,6 +225,74 @@ func TestChaosCacheDesync(t *testing.T) {
 	}
 }
 
+// TestChaosReattachSuite runs the wire-v7 reattach-lifecycle schedules:
+// warm resumes that must carry content missed while detached, an epoch
+// desync from a simulated client reboot, transports cut inside the warm
+// resync's CACHE_STORE wave, and a reattach storm against a small
+// admission budget. Every run must end byte-identical.
+func TestChaosReattachSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reattach suite is seconds-long; skipped in -short")
+	}
+	for _, s := range ReattachSuite() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunReattach(s)
+			if err != nil {
+				t.Fatalf("reattach run failed: %v", err)
+			}
+			t.Log(res)
+			if !res.Converged {
+				t.Fatalf("framebuffers did not converge: first mismatch at pixel %d (%s)",
+					res.MismatchAt, res)
+			}
+			switch s.Mode {
+			case ReattachWarm:
+				if res.WarmResumes != s.Cycles || res.ColdFallbacks != 0 {
+					t.Errorf("warm cycles resumed warm %d/%d times (cold fallbacks %d): %s",
+						res.WarmResumes, s.Cycles, res.ColdFallbacks, res)
+				}
+				if res.WarmReattaches != s.Cycles || res.ColdReattaches != 0 {
+					t.Errorf("server verdicts disagree: %s", res)
+				}
+				if res.Painted < 1 {
+					t.Errorf("warm resumes never hit the cache: %s", res)
+				}
+			case ReattachRestart:
+				// The reboot dropped the store, so the resume carries no
+				// epoch claim and must renegotiate cold — and the cache
+				// must come back to life under the new epoch.
+				if res.WarmResumes != 0 || res.ColdReattaches < 1 {
+					t.Errorf("rebooted client resumed warm: %s", res)
+				}
+				if res.Stored < 4 {
+					t.Errorf("cache never came back after the cold resume: %s", res)
+				}
+			case ReattachMidStore:
+				// Wherever the cuts landed, the final clean resume healed;
+				// the populate bank plus resync stores must have survived.
+				if res.Stored < 3 {
+					t.Errorf("no stores survived the mid-store cuts: %s", res)
+				}
+				if res.Reattaches < s.Cycles {
+					t.Errorf("only %d reattaches across %d faulted cycles: %s",
+						res.Reattaches, s.Cycles, res)
+				}
+			case ReattachStorm:
+				if res.PeakInFlight > s.Budget {
+					t.Errorf("gate exceeded budget: peak %d > %d (%s)",
+						res.PeakInFlight, s.Budget, res)
+				}
+				if res.Rejected == 0 || res.BusyRejections == 0 {
+					t.Errorf("a %d-wide storm against budget %d never tripped the gate: %s",
+						s.Clients, s.Budget, res)
+				}
+			}
+		})
+	}
+}
+
 // TestChaosCorruptionSoak is the randomized long-haul corruption pass
 // behind `make soak`, sharing THINC_CHAOS_SOAK with the fault soak.
 func TestChaosCorruptionSoak(t *testing.T) {

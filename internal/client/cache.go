@@ -84,6 +84,16 @@ func (c *Client) EnableCache(bytes int) {
 	c.stats.cacheBytes.Store(0)
 }
 
+// ResetCache discards any held payloads and starts a cold store at the
+// given capacity (0 disables). The reattach path uses it when the
+// server's ServerInit verdict is cold: the server restarted its model
+// under a new epoch, so holdings — even at an unchanged capacity — no
+// longer correspond to anything it will reference.
+func (c *Client) ResetCache(bytes int) {
+	c.store = nil
+	c.EnableCache(bytes)
+}
+
 // CacheEnabled reports whether a payload store is active.
 func (c *Client) CacheEnabled() bool { return c.store != nil }
 
@@ -179,6 +189,7 @@ func (c *Client) applyCachePaint(v *wire.CachePaint) error {
 		return &CacheMissError{Digest: v.Digest, Rect: v.Rect}
 	}
 	c.store.lru.Touch(v.Digest)
+	var payloadBytes int
 	switch e.kind {
 	case wire.CacheKindRaw:
 		if e.blend {
@@ -186,9 +197,16 @@ func (c *Client) applyCachePaint(v *wire.CachePaint) error {
 		} else {
 			c.fb.PutImage(v.Rect, e.pix, e.w)
 		}
+		payloadBytes = len(e.pix) * 4
 	case wire.CacheKindBitmap:
 		c.fb.FillBitmap(v.Rect, e.bm, e.fg, e.bg, e.transparent)
+		payloadBytes = len(e.bm.Bits)
 	}
 	c.stats.cachePainted.Add(1)
+	// Bytes the replay kept off the wire: the held payload minus the
+	// paint reference that stood in for it.
+	if saved := payloadBytes - wire.WireSize(v); saved > 0 {
+		c.stats.cacheSaved.Add(int64(saved))
+	}
 	return nil
 }

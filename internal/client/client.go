@@ -50,15 +50,26 @@ type Stats struct {
 	MarkAcksSent int
 
 	// Payload cache (wire v6): CACHE_STORE payloads retained,
-	// CACHE_PAINT references satisfied locally, and current store
-	// occupancy. CacheKB and CacheMissReports are Conn.Stats only (the
-	// negotiated grant, and desyncs reported back as CACHE_MISS).
+	// CACHE_PAINT references satisfied locally, current store occupancy,
+	// and payload bytes the replays kept off the wire. CacheKB and
+	// CacheMissReports are Conn.Stats only (the negotiated grant, and
+	// desyncs reported back as CACHE_MISS).
 	CacheStored      int
 	CachePainted     int
 	CacheEntries     int
 	CacheBytes       int64
+	CacheSavedBytes  int64
 	CacheKB          int
 	CacheMissReports int
+
+	// Reattach lifecycle (Conn.Stats only, wire v7): reattach hellos
+	// sent, sessions resumed with the payload store kept warm, warm
+	// claims the server answered cold, and AttachBusy admission
+	// refusals honored.
+	ReattachAttempts int
+	WarmResumes      int
+	ColdFallbacks    int
+	BusyRejections   int
 }
 
 // counters is the lock-free backing store for Stats. The per-type
@@ -81,21 +92,23 @@ type counters struct {
 	cachePainted atomic.Int64
 	cacheEntries atomic.Int64
 	cacheBytes   atomic.Int64
+	cacheSaved   atomic.Int64
 }
 
 // snapshot builds a point-in-time Stats view.
 func (ct *counters) snapshot() *Stats {
 	s := &Stats{
-		Messages:    make(map[wire.Type]int),
-		Bytes:       make(map[wire.Type]int64),
-		FramesShown:  int(ct.framesShown.Load()),
-		AudioChunks:  int(ct.audioChunks.Load()),
-		LastVideoTS:  ct.lastVideoTS.Load(),
-		LastAudioTS:  ct.lastAudioTS.Load(),
-		CacheStored:  int(ct.cacheStored.Load()),
-		CachePainted: int(ct.cachePainted.Load()),
-		CacheEntries: int(ct.cacheEntries.Load()),
-		CacheBytes:   ct.cacheBytes.Load(),
+		Messages:        make(map[wire.Type]int),
+		Bytes:           make(map[wire.Type]int64),
+		FramesShown:     int(ct.framesShown.Load()),
+		AudioChunks:     int(ct.audioChunks.Load()),
+		LastVideoTS:     ct.lastVideoTS.Load(),
+		LastAudioTS:     ct.lastAudioTS.Load(),
+		CacheStored:     int(ct.cacheStored.Load()),
+		CachePainted:    int(ct.cachePainted.Load()),
+		CacheEntries:    int(ct.cacheEntries.Load()),
+		CacheBytes:      ct.cacheBytes.Load(),
+		CacheSavedBytes: ct.cacheSaved.Load(),
 	}
 	for t := range ct.msgs {
 		if n := ct.msgs[t].Load(); n > 0 {

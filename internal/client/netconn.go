@@ -111,6 +111,15 @@ type Conn struct {
 	cacheGrantKB  atomic.Int32
 	cacheMissSent atomic.Int64
 
+	// Warm reattach (wire v7): the cache epoch from the last
+	// SessionTicket (guarded by mu; echoed in the next Reattach only
+	// while the store is intact) and the reattach-lifecycle counters.
+	cacheEpoch       uint64
+	reattachAttempts atomic.Int64
+	warmResumes      atomic.Int64
+	coldFallbacks    atomic.Int64
+	busyRejections   atomic.Int64
+
 	tel *connTelemetry
 
 	wmu  sync.Mutex // serializes protocol writes (input, pongs)
@@ -190,8 +199,8 @@ func HandshakeRoleCache(nc net.Conn, user, secret string, viewW, viewH int, role
 	cn := &Conn{
 		nc: nc, enc: enc, rd: enc,
 		user: user, secret: secret, role: role,
-		c:          New(viewW, viewH),
-		ServerW:    si.W, ServerH: si.H,
+		c:       New(viewW, viewH),
+		ServerW: si.W, ServerH: si.H,
 		cacheReqKB: cacheKB,
 	}
 	cn.c.EnableCache(int(si.CacheKB) * 1024)
@@ -219,6 +228,18 @@ func (cn *Conn) wrappedReader() io.Reader {
 		return cn.enc
 	}
 	return cn.wrapRead(cn.enc)
+}
+
+// DropCache discards the payload store in place while keeping the
+// session ticket — the chaos harness's stand-in for a thin device that
+// rebooted (the RAM cache is gone) but recovered its ticket from stable
+// storage. The next Reattach claims no epoch, so the server must answer
+// cold and renegotiate the cache from scratch.
+func (cn *Conn) DropCache() {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	cn.c.ResetCache(0)
+	cn.cacheEpoch = 0
 }
 
 // SetAuditDisabled makes the connection ignore AuditProbes (while still
@@ -275,6 +296,10 @@ func handshake(nc net.Conn, user, secret string, hello wire.Message) (*cipher.St
 	}
 	si, ok := m.(*wire.ServerInit)
 	if !ok {
+		if busy, isBusy := m.(*wire.AttachBusy); isBusy {
+			return nil, nil, &BusyError{
+				RetryAfter: time.Duration(busy.RetryAfterMS) * time.Millisecond}
+		}
 		return nil, nil, fmt.Errorf("client: expected server init, got %v", m.Type())
 	}
 	_ = nc.SetDeadline(time.Time{})
@@ -293,6 +318,14 @@ func (cn *Conn) Redial() error {
 	ticket := append([]byte(nil), cn.ticket...)
 	viewW, viewH := cn.c.FB().W(), cn.c.FB().H()
 	role := cn.role
+	// Claim the warm store only while it is actually intact: the epoch
+	// from the last ticket, zeroed whenever the store has been reset.
+	// Epoch 0 on the wire means "no claim" — exactly what a pre-v7
+	// hello says — so the server can never resume warm against nothing.
+	epoch := uint64(0)
+	if cn.c.CacheEnabled() {
+		epoch = cn.cacheEpoch
+	}
 	closed := cn.closed
 	cn.mu.Unlock()
 	if closed {
@@ -309,7 +342,9 @@ func (cn *Conn) Redial() error {
 	var hello wire.Message
 	if len(ticket) > 0 {
 		hello = &wire.Reattach{Ticket: ticket, ViewW: viewW, ViewH: viewH,
-			Name: cn.user, Role: role, CacheKB: uint32(cn.cacheReqKB)}
+			Name: cn.user, Role: role, CacheKB: uint32(cn.cacheReqKB),
+			CacheEpoch: epoch}
+		cn.reattachAttempts.Add(1)
 	} else {
 		hello = &wire.ClientInit{ViewW: viewW, ViewH: viewH,
 			Name: cn.user, Role: role, CacheKB: uint32(cn.cacheReqKB)}
@@ -330,10 +365,21 @@ func (cn *Conn) Redial() error {
 	cn.nc, cn.enc = nc, enc
 	cn.rd = cn.wrappedReader()
 	cn.ServerW, cn.ServerH = si.W, si.H
-	// Re-apply the cache grant: an unchanged grant keeps the warm store
-	// (matching the warm model the server retained with our session); a
-	// changed or zero grant restarts cold on both sides.
-	cn.c.EnableCache(int(si.CacheKB) * 1024)
+	// The server's explicit warm/cold verdict (wire v7). Warm: it kept
+	// the model our epoch named, so the store stays as-is and its
+	// holdings are live. Cold (or a pre-v7 server, whose verdict byte
+	// decodes as 0): the server restarted its model, so any holdings we
+	// kept are garbage — discard them along with the spent epoch.
+	if si.CacheWarm != 0 {
+		cn.c.EnableCache(int(si.CacheKB) * 1024)
+		cn.warmResumes.Add(1)
+	} else {
+		cn.c.ResetCache(int(si.CacheKB) * 1024)
+		cn.cacheEpoch = 0
+		if epoch != 0 {
+			cn.coldFallbacks.Add(1)
+		}
+	}
 	cn.cacheGrantKB.Store(int32(si.CacheKB))
 	cn.ticket = nil // the old ticket is spent; the server pushes a fresh one
 	// A fresh attach starts lossless; a reattach that carried its rung
@@ -378,6 +424,7 @@ func (cn *Conn) Run() error {
 			cn.mu.Lock()
 			cn.ticket = append([]byte(nil), v.Ticket...)
 			cn.role = v.Role // the server echoes the granted role
+			cn.cacheEpoch = v.CacheEpoch
 			cn.mu.Unlock()
 			continue
 		case *wire.DegradeNotice:
@@ -546,6 +593,10 @@ func (cn *Conn) Stats() Stats {
 	s.MarkAcksSent = int(cn.markAcksSent.Load())
 	s.CacheKB = int(cn.cacheGrantKB.Load())
 	s.CacheMissReports = int(cn.cacheMissSent.Load())
+	s.ReattachAttempts = int(cn.reattachAttempts.Load())
+	s.WarmResumes = int(cn.warmResumes.Load())
+	s.ColdFallbacks = int(cn.coldFallbacks.Load())
+	s.BusyRejections = int(cn.busyRejections.Load())
 	return s
 }
 

@@ -1,9 +1,24 @@
 package client
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"time"
 )
+
+// BusyError reports a reattach refused by the server's storm admission
+// gate (wire v7 AttachBusy): the server is alive but shedding resync
+// load, and asks us to come back after RetryAfter. RunAuto honors the
+// delay instead of its own backoff schedule, and the refusal does not
+// count toward the failure streak — the server answered.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("client: server busy, retry after %v", e.RetryAfter)
+}
 
 // ReconnectPolicy tunes the auto-reconnect loop: exponential backoff
 // with jitter, capped, giving up after MaxAttempts consecutive failed
@@ -22,6 +37,14 @@ type ReconnectPolicy struct {
 	// MaxAttempts is how many consecutive failed dials are tolerated
 	// before the connection is declared Gone (default 8).
 	MaxAttempts int
+	// HealthyGrace is how long a reconnected session must stay up
+	// before the failure streak resets. A flapping link used to reset
+	// the streak on every momentary success, turning MaxAttempts into
+	// an unbounded retry budget; with the grace, a connection that dies
+	// young keeps the streak and the loop still converges on Gone.
+	// Default 1s; negative restores the old reset-on-any-success
+	// behavior.
+	HealthyGrace time.Duration
 	// Seed makes the jitter deterministic for tests (0 uses a fixed
 	// seed — reconnect schedules are reproducible by default).
 	Seed int64
@@ -42,6 +65,9 @@ func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
 	}
 	if p.MaxAttempts <= 0 {
 		p.MaxAttempts = 8
+	}
+	if p.HealthyGrace == 0 {
+		p.HealthyGrace = time.Second
 	}
 	return p
 }
@@ -72,7 +98,10 @@ func (p ReconnectPolicy) Backoff(attempt int, rnd *rand.Rand) time.Duration {
 // with exponential backoff plus jitter, resumes the session with the
 // saved ticket, and continues. It returns nil after Close, or the last
 // stream error once MaxAttempts consecutive redials fail (the state is
-// then StateGone). The connection must have been built by Dial or
+// then StateGone). The failure streak persists across reconnects that
+// die before HealthyGrace, so a flapping link cannot retry forever; an
+// AttachBusy admission refusal sleeps the server-suggested delay and
+// costs no streak. The connection must have been built by Dial or
 // DialWith, so a dialer is available.
 func (cn *Conn) RunAuto(policy ReconnectPolicy) error {
 	policy = policy.withDefaults()
@@ -82,9 +111,17 @@ func (cn *Conn) RunAuto(policy ReconnectPolicy) error {
 	}
 	rnd := rand.New(rand.NewSource(seed))
 
+	// streak counts failed dials, surviving a reconnect until the link
+	// proves healthy; busy bounds honored AttachBusy waits per outage
+	// (a pathological forever-busy server must still converge on Gone).
+	streak := 0
 	for {
 		cn.setState(StateConnected)
+		up := time.Now()
 		err := cn.Run()
+		if policy.HealthyGrace < 0 || time.Since(up) >= policy.HealthyGrace {
+			streak = 0
+		}
 		if cn.isClosed() {
 			cn.setState(StateGone)
 			return nil
@@ -99,16 +136,32 @@ func (cn *Conn) RunAuto(policy ReconnectPolicy) error {
 
 		cn.setState(StateReconnecting)
 		reconnected := false
-		for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
-			time.Sleep(policy.Backoff(attempt, rnd))
+		busy := 0
+		var busyWait time.Duration
+		for streak < policy.MaxAttempts {
+			if busyWait > 0 {
+				time.Sleep(busyWait)
+				busyWait = 0
+			} else {
+				time.Sleep(policy.Backoff(streak, rnd))
+			}
 			if cn.isClosed() {
 				cn.setState(StateGone)
 				return nil
 			}
-			if rerr := cn.Redial(); rerr == nil {
+			rerr := cn.Redial()
+			if rerr == nil {
 				reconnected = true
 				break
 			}
+			var be *BusyError
+			if errors.As(rerr, &be) && busy < 4*policy.MaxAttempts {
+				busy++
+				cn.busyRejections.Add(1)
+				busyWait = be.RetryAfter
+				continue
+			}
+			streak++
 		}
 		if !reconnected {
 			cn.setState(StateGone)

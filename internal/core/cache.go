@@ -41,6 +41,12 @@ const (
 	// cacheStoreOverhead is CACHE_STORE's framed cost over the plain
 	// RAW/BITMAP delivery of the same payload (digest + kind + len).
 	cacheStoreOverhead = 9
+	// cacheSyncTile is the tile edge of the warm-reattach resync grid:
+	// big enough (16KB of pixels) that per-tile protocol overhead is
+	// noise, small enough that a tile stays admissible under every
+	// realistic cache grant and a single changed icon dirties one tile,
+	// not the screen.
+	cacheSyncTile = 64
 )
 
 // CacheStats counts per-client cache protocol outcomes.
@@ -68,6 +74,34 @@ func (c *Client) SetCacheSize(bytes int) {
 		return
 	}
 	c.cache = payloadcache.New(bytes, nil)
+}
+
+// ResetCacheSize is SetCacheSize without the same-capacity keep-warm
+// path: the model always starts cold. The cold-reattach path uses it —
+// when the epoch or capacity check failed, whatever the client holds no
+// longer corresponds to the retained model, and keeping the model warm
+// would desynchronize the eviction streams silently.
+func (c *Client) ResetCacheSize(bytes int) {
+	c.cache = nil
+	c.SetCacheSize(bytes)
+}
+
+// CacheEpoch returns the generation stamp of the client's cache model
+// (0 = disabled or unstamped; server stamps start at 1).
+func (c *Client) CacheEpoch() uint64 {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.Epoch()
+}
+
+// SetCacheEpoch stamps the cache model with a generation counter; the
+// same value rides the SessionTicket to the client, and a reattach may
+// resume warm only by echoing it.
+func (c *Client) SetCacheEpoch(e uint64) {
+	if c.cache != nil {
+		c.cache.SetEpoch(e)
+	}
 }
 
 // CacheSize returns the active cache capacity (0 = disabled).
@@ -113,6 +147,54 @@ func (s *Server) CacheMissRepair(c *Client, digest uint64, r geom.Rect) {
 	s.stampDamage()
 	pix := s.mem.ReadPixels(driver.Screen, vis)
 	c.add(NewRaw(vis, pix, vis.W(), false, s.opts.RawCodec))
+}
+
+// ReattachClientWarm restores a detached client whose payload store
+// survived the reconnect (the epoch and capacity checks passed):
+// instead of one full-screen RAW, the resync is queued as a grid of
+// cache-eligible tile RAWs through the normal add path. Every tile
+// whose content the retained model already indexes ships as a ~21-byte
+// CACHE_PAINT; only changed tiles ship payload. The first warm resync
+// of a given screen state stores its tiles (costing cacheStoreOverhead
+// per tile over a cold resync) and every later warm resync of unchanged
+// content is nearly free — the RDP-persistent-cache economics. Falls
+// back to the plain cold resync when caching is off or the viewport is
+// scaled (the scaled path never caches).
+func (s *Server) ReattachClientWarm(c *Client, viewW, viewH int) {
+	if viewW <= 0 || viewH <= 0 || viewW > s.w || viewH > s.h {
+		viewW, viewH = s.w, s.h
+	}
+	c.view = geom.XYWH(0, 0, viewW, viewH)
+	c.streamDst = make(map[uint32]geom.Rect)
+	c.Buf.Clear()
+	if s.mem == nil {
+		s.clients[c] = struct{}{}
+		return
+	}
+	if c.cache == nil || c.Scaled() {
+		s.syncClient(c)
+		s.clients[c] = struct{}{}
+		return
+	}
+	s.stampDamage()
+	// Checkerboard order: consecutive adds are never edge-adjacent, so
+	// the scheduler's merge aggregation cannot coalesce the grid and
+	// re-key the stable per-tile digests (only the most recent buffer
+	// entry is a merge candidate).
+	for pass := 0; pass < 2; pass++ {
+		for ty, y := 0, 0; y < s.h; ty, y = ty+1, y+cacheSyncTile {
+			for tx, x := 0, 0; x < s.w; tx, x = tx+1, x+cacheSyncTile {
+				if (tx+ty)%2 != pass {
+					continue
+				}
+				r := geom.XYWH(x, y, min(cacheSyncTile, s.w-x), min(cacheSyncTile, s.h-y))
+				pix := s.mem.ReadPixels(driver.Screen, r)
+				c.add(NewRaw(r, pix, r.W(), false, s.opts.RawCodec))
+			}
+		}
+	}
+	s.syncStreamsAndCursor(c)
+	s.clients[c] = struct{}{}
 }
 
 // cacheAdmissible reports whether a payload of size bytes may enter the

@@ -202,6 +202,12 @@ func (s *Server) syncClient(c *Client) {
 	full := geom.XYWH(0, 0, s.w, s.h)
 	pix := s.mem.ReadPixels(driver.Screen, full)
 	c.add(NewRaw(full, pix, full.W(), false, s.opts.RawCodec))
+	s.syncStreamsAndCursor(c)
+}
+
+// syncStreamsAndCursor replays the non-framebuffer session state a
+// (re)attaching client needs: active video streams and the cursor.
+func (s *Server) syncStreamsAndCursor(c *Client) {
 	// Replay active streams so video keeps playing.
 	for _, st := range s.streams {
 		c.add(newCtlCmd(&wire.VideoInit{Stream: st.ID, Format: st.Format,

@@ -36,6 +36,12 @@ type LRU struct {
 	// onEvict, when set, observes each digest the byte budget pushes
 	// out (the client deletes the payload it kept for that digest).
 	onEvict func(digest uint64, size int)
+
+	// epoch is the wire-v7 generation stamp: the server bumps it to a
+	// fresh nonzero value whenever a client's cache starts cold, and a
+	// reattaching client may resume warm only by echoing the exact
+	// stamp. 0 means unstamped and never matches a warm claim.
+	epoch uint64
 }
 
 // New creates an LRU holding at most capBytes of entry payload. onEvict
@@ -52,6 +58,13 @@ func New(capBytes int, onEvict func(digest uint64, size int)) *LRU {
 
 // Cap returns the byte capacity.
 func (l *LRU) Cap() int { return l.cap }
+
+// Epoch returns the generation stamp set by SetEpoch (0 = unstamped).
+func (l *LRU) Epoch() uint64 { return l.epoch }
+
+// SetEpoch stamps the cache with a generation counter. Both sides of a
+// warm reattach must carry the same stamp; a cold start re-stamps.
+func (l *LRU) SetEpoch(e uint64) { l.epoch = e }
 
 // Bytes returns the payload bytes currently held.
 func (l *LRU) Bytes() int { return l.bytes }

@@ -1,0 +1,181 @@
+package payloadcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refLRU is a brute-force reference implementation: a plain slice kept
+// in recency order (front = most recent), every operation O(n). The
+// production LRU must agree with it on every observable — membership,
+// byte accounting, and crucially the exact eviction order, because the
+// wire-v6 protocol ships no eviction messages and relies on both sides
+// deriving identical victims from the same operation stream.
+type refLRU struct {
+	cap     int
+	entries []refEntry // index 0 = most recent
+	evicted []uint64
+}
+
+type refEntry struct {
+	digest uint64
+	size   int
+}
+
+func (r *refLRU) bytes() int {
+	n := 0
+	for _, e := range r.entries {
+		n += e.size
+	}
+	return n
+}
+
+func (r *refLRU) find(digest uint64) int {
+	for i, e := range r.entries {
+		if e.digest == digest {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refLRU) touch(digest uint64) bool {
+	i := r.find(digest)
+	if i < 0 {
+		return false
+	}
+	e := r.entries[i]
+	r.entries = append(r.entries[:i], r.entries[i+1:]...)
+	r.entries = append([]refEntry{e}, r.entries...)
+	return true
+}
+
+func (r *refLRU) insert(digest uint64, size int) bool {
+	if size <= 0 || size > r.cap {
+		return false
+	}
+	if r.touch(digest) {
+		return true
+	}
+	r.entries = append([]refEntry{{digest, size}}, r.entries...)
+	for r.bytes() > r.cap {
+		last := r.entries[len(r.entries)-1]
+		r.entries = r.entries[:len(r.entries)-1]
+		r.evicted = append(r.evicted, last.digest)
+	}
+	return true
+}
+
+func (r *refLRU) forget(digest uint64) bool {
+	i := r.find(digest)
+	if i < 0 {
+		return false
+	}
+	r.entries = append(r.entries[:i], r.entries[i+1:]...)
+	return true
+}
+
+// TestRandomOpsMatchReference drives the production LRU and the
+// brute-force reference through the same randomized store/touch/evict
+// stream and asserts identical results, byte accounting, membership,
+// and eviction order after every operation. Several (seed, capacity)
+// combinations keep the digest working set near, below, and far above
+// capacity so the eviction path stays hot.
+func TestRandomOpsMatchReference(t *testing.T) {
+	for _, tc := range []struct {
+		seed    int64
+		cap     int
+		digests int
+		maxSize int
+		ops     int
+	}{
+		{1, 1 << 10, 16, 300, 4000},  // churny: working set >> cap
+		{2, 1 << 14, 48, 500, 4000},  // roomy: evictions rare
+		{3, 1 << 12, 8, 4096, 4000},  // oversize inserts mixed in
+		{4, 1 << 11, 32, 1, 4000},    // tiny entries: count-bound
+		{5, 1 << 12, 24, 2048, 6000}, // half-cap entries: rapid turnover
+	} {
+		rnd := rand.New(rand.NewSource(tc.seed))
+		var gotEvicted []uint64
+		l := New(tc.cap, func(d uint64, _ int) { gotEvicted = append(gotEvicted, d) })
+		ref := &refLRU{cap: tc.cap}
+		for op := 0; op < tc.ops; op++ {
+			d := uint64(rnd.Intn(tc.digests)) + 1
+			switch rnd.Intn(4) {
+			case 0: // touch (CACHE_PAINT)
+				if got, want := l.Touch(d), ref.touch(d); got != want {
+					t.Fatalf("seed %d op %d: Touch(%d) = %v, ref %v", tc.seed, op, d, got, want)
+				}
+			case 1: // forget (CACHE_MISS repair)
+				if got, want := l.Forget(d), ref.forget(d); got != want {
+					t.Fatalf("seed %d op %d: Forget(%d) = %v, ref %v", tc.seed, op, d, got, want)
+				}
+			default: // insert (CACHE_STORE), weighted 2x
+				size := rnd.Intn(tc.maxSize) + 1
+				if got, want := l.Insert(d, size), ref.insert(d, size); got != want {
+					t.Fatalf("seed %d op %d: Insert(%d, %d) = %v, ref %v", tc.seed, op, d, size, got, want)
+				}
+			}
+			if l.Bytes() != ref.bytes() {
+				t.Fatalf("seed %d op %d: bytes %d, ref %d", tc.seed, op, l.Bytes(), ref.bytes())
+			}
+			if l.Len() != len(ref.entries) {
+				t.Fatalf("seed %d op %d: len %d, ref %d", tc.seed, op, l.Len(), len(ref.entries))
+			}
+			for _, e := range ref.entries {
+				if !l.Has(e.digest) {
+					t.Fatalf("seed %d op %d: digest %d missing", tc.seed, op, e.digest)
+				}
+			}
+			if len(gotEvicted) != len(ref.evicted) {
+				t.Fatalf("seed %d op %d: %d evictions, ref %d", tc.seed, op, len(gotEvicted), len(ref.evicted))
+			}
+			for i := range gotEvicted {
+				if gotEvicted[i] != ref.evicted[i] {
+					t.Fatalf("seed %d op %d: eviction %d = digest %d, ref %d",
+						tc.seed, op, i, gotEvicted[i], ref.evicted[i])
+				}
+			}
+		}
+		// Drain: Clear must evict everything in exact tail-first order.
+		wantOrder := make([]uint64, 0, len(ref.entries))
+		for i := len(ref.entries) - 1; i >= 0; i-- {
+			wantOrder = append(wantOrder, ref.entries[i].digest)
+		}
+		pre := len(gotEvicted)
+		l.Clear()
+		got := gotEvicted[pre:]
+		if len(got) != len(wantOrder) {
+			t.Fatalf("seed %d: Clear evicted %d, want %d", tc.seed, len(got), len(wantOrder))
+		}
+		for i := range got {
+			if got[i] != wantOrder[i] {
+				t.Fatalf("seed %d: Clear eviction %d = digest %d, want %d", tc.seed, i, got[i], wantOrder[i])
+			}
+		}
+		if l.Bytes() != 0 || l.Len() != 0 {
+			t.Fatalf("seed %d: cache not empty after Clear", tc.seed)
+		}
+	}
+}
+
+// TestEpochStamp covers the wire-v7 generation stamp: it defaults to 0
+// (never a warm claim), survives normal cache traffic, and re-stamps.
+func TestEpochStamp(t *testing.T) {
+	l := New(1024, nil)
+	if l.Epoch() != 0 {
+		t.Fatalf("fresh cache epoch = %d, want 0", l.Epoch())
+	}
+	l.SetEpoch(7)
+	l.Insert(1, 100)
+	l.Touch(1)
+	l.Forget(1)
+	l.Clear()
+	if l.Epoch() != 7 {
+		t.Fatalf("epoch changed by cache traffic: %d, want 7", l.Epoch())
+	}
+	l.SetEpoch(8)
+	if l.Epoch() != 8 {
+		t.Fatalf("re-stamp failed: %d, want 8", l.Epoch())
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Reattach-storm admission control (wire v7). A network blip detaches
+// many clients at once, and their reconnects all arrive together; each
+// cold reattach queues a full-screen resync, so an ungated storm
+// multiplies the flush path's load by the storm width at the worst
+// possible moment. The gate bounds how many cold-resync reattaches may
+// be in flight concurrently — a reattach past the budget is answered
+// with AttachBusy carrying a jittered retry-after and the session stays
+// retained, so the storm drains in bounded waves instead of one spike.
+// Warm reattaches bypass the gate entirely: their resync is a stream of
+// ~21-byte cache paints, which is the economic point of keeping the
+// store warm.
+
+// resyncGate is a concurrency semaphore over in-flight cold-reattach
+// resyncs. A slot is held from the admission decision until the
+// client's resync backlog first drains (or the connection dies).
+type resyncGate struct {
+	mu       sync.Mutex
+	budget   int // max concurrent holders; <= 0 means unlimited
+	inflight int
+	peak     int // high-watermark of inflight (tests, telemetry)
+	rejected int
+
+	retryAfter time.Duration
+	rnd        *rand.Rand
+}
+
+func newResyncGate(budget int, retryAfter time.Duration, seed int64) *resyncGate {
+	return &resyncGate{
+		budget:     budget,
+		retryAfter: retryAfter,
+		rnd:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// tryAcquire claims a resync slot, reporting whether the budget allowed
+// it.
+func (g *resyncGate) tryAcquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.budget > 0 && g.inflight >= g.budget {
+		g.rejected++
+		return false
+	}
+	g.inflight++
+	if g.inflight > g.peak {
+		g.peak = g.inflight
+	}
+	return true
+}
+
+// release returns a slot. Callers guarantee exactly one release per
+// successful tryAcquire (the serverConn tracks the held slot).
+func (g *resyncGate) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inflight > 0 {
+		g.inflight--
+	}
+}
+
+// nextRetry returns the jittered delay a refused client should wait
+// before redialing: uniform in [0.5x, 1.5x] of the configured base, so
+// a refused wave does not re-arrive as one synchronized spike.
+func (g *resyncGate) nextRetry() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	half := g.retryAfter / 2
+	return half + time.Duration(g.rnd.Int63n(int64(g.retryAfter)+1))
+}
+
+// snapshot returns (inflight, peak, rejected) for telemetry and tests.
+func (g *resyncGate) snapshot() (int, int, int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight, g.peak, g.rejected
+}

@@ -136,6 +136,17 @@ func TestCacheVersionMatrix(t *testing.T) {
 			}
 			return b
 		}, 1024, true},
+		// v7 changed no ClientInit field — a fresh attach negotiates
+		// exactly as v6 did, and the new warm-verdict byte reads 0 (the
+		// warm path exists only for Reattach).
+		{"v7-cached", func() []byte {
+			b, err := wire.AppendMessage(nil, &wire.ClientInit{ViewW: 64, ViewH: 48,
+				Name: "v7c", CacheKB: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}, 1024, true},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -158,6 +169,9 @@ func TestCacheVersionMatrix(t *testing.T) {
 			}
 			if si.CacheKB != tc.wantGrant {
 				t.Fatalf("ServerInit.CacheKB = %d, want %d", si.CacheKB, tc.wantGrant)
+			}
+			if si.CacheWarm != 0 {
+				t.Fatalf("fresh attach claimed a warm cache: %+v", si)
 			}
 
 			matrixWorkload(host)

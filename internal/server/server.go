@@ -88,6 +88,17 @@ type Options struct {
 	// pre-v6 server unless the deployment opts in.
 	CacheKB int
 
+	// ResyncAdmit bounds concurrently in-flight cold-reattach resyncs
+	// (wire v7 storm admission): a reattach needing a full resync past
+	// the budget is refused with AttachBusy and a jittered retry-after,
+	// with its session left retained for the retry. Warm reattaches
+	// bypass the gate. Zero means 8; negative disables admission
+	// control.
+	ResyncAdmit int
+	// ResyncRetryAfter is the base retry delay a refused reattach is
+	// told to wait (jittered to [0.5x, 1.5x]); zero means 250ms.
+	ResyncRetryAfter time.Duration
+
 	// AuditInterval paces the integrity-audit probes (wire v4). Each
 	// tick the server asks one settled lossless client to digest a
 	// sampled window of its framebuffer tiles and compares the answer
@@ -145,6 +156,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxViewers == 0 {
 		o.MaxViewers = 16
+	}
+	if o.ResyncAdmit == 0 {
+		o.ResyncAdmit = 8
+	}
+	if o.ResyncRetryAfter <= 0 {
+		o.ResyncRetryAfter = 250 * time.Millisecond
 	}
 	if o.AuditInterval <= 0 {
 		o.AuditInterval = 2 * time.Second
@@ -212,6 +229,11 @@ type ResilienceStats struct {
 
 	CacheGrants      int // handshakes granted a payload cache (wire v6)
 	CacheMissRepairs int // CACHE_MISS desyncs healed by forget-and-repaint
+
+	WarmReattaches     int // reattaches resumed warm (epoch + capacity matched)
+	ColdReattaches     int // reattaches that fell back to a cold full resync
+	ReattachRejected   int // reattaches refused by the storm admission gate
+	ResyncPeakInFlight int // high-watermark of concurrent gated resyncs
 }
 
 // session ties a ticket to the core client state it can resume. The
@@ -224,6 +246,11 @@ type session struct {
 	cl       *core.Client
 	detached bool
 	expiry   *time.Timer
+
+	// cacheEpoch is the payload-cache generation stamped into this
+	// session's SessionTicket (wire v7): a reattach resumes the retained
+	// cache model warm only by echoing it. 0 = no cache granted.
+	cacheEpoch uint64
 }
 
 // Host owns one display session and serves it to any number of
@@ -244,6 +271,16 @@ type Host struct {
 	connSeq  int // connection counter: per-client telemetry labels
 	wg       sync.WaitGroup
 
+	// cacheEpoch is the monotonic payload-cache generation counter
+	// (guarded by mu). It starts at 0 and is pre-incremented before
+	// every stamp, so the first issued epoch is 1 and 0 never matches a
+	// warm claim — the truncation-hardening property the wire layer
+	// relies on.
+	cacheEpoch uint64
+
+	// resync is the reattach-storm admission gate (wire v7).
+	resync *resyncGate
+
 	met *hostMetrics
 }
 
@@ -256,6 +293,8 @@ func NewHost(w, h int, gate *auth.Authenticator, opts Options) *Host {
 		conns:    make(map[*serverConn]struct{}),
 		sessions: make(map[string]*session),
 	}
+	h2.resync = newResyncGate(h2.opts.ResyncAdmit, h2.opts.ResyncRetryAfter,
+		time.Now().UnixNano())
 	h2.met = newHostMetrics(h2)
 	coreOpts := opts.Core
 	if coreOpts.Metrics == nil {
@@ -376,7 +415,9 @@ func (h *Host) forceRungLocked(sc *serverConn, rung int) {
 func (h *Host) Resilience() ResilienceStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.stats
+	st := h.stats
+	_, st.ResyncPeakInFlight, _ = h.resync.snapshot()
+	return st
 }
 
 // Serve accepts and serves connections until the listener closes.
@@ -490,25 +531,82 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	_ = nc.SetDeadline(time.Time{})
 
 	// Attach: resume the retained session when the ticket checks out,
-	// fall back to a fresh attach otherwise (either way the client
-	// converges via the full-screen RAW resync).
+	// fall back to a fresh attach otherwise. The payload-cache grant —
+	// min(client request, host cap), wire v6 — is computed up front
+	// because the wire-v7 warm/cold verdict needs it, and the model must
+	// be sized before the resync is queued (the warm resync rides the
+	// cache). A reattach needing the cold full resync passes the storm
+	// admission gate first; refusal leaves the session retained and
+	// answers with AttachBusy.
 	h.mu.Lock()
 	w, ht := h.core.ScreenSize()
+	cacheGrantKB := cacheReqKB
+	if max := h.opts.CacheKB; max < 0 {
+		cacheGrantKB = 0
+	} else if cacheGrantKB > max {
+		cacheGrantKB = max
+	}
 	var cl *core.Client
+	var cacheWarm bool
+	var cacheEpoch uint64
+	gated := false // holding a resync-gate slot until the resync drains
+	refuseBusy := func() error {
+		h.stats.ReattachRejected++
+		h.mu.Unlock()
+		h.met.reattachRejected.Inc()
+		retry := h.resync.nextRetry()
+		slogger.Warn("reattach refused by storm admission gate",
+			"user", resp.User, "retry_after", retry)
+		_ = wire.WriteMessage(enc, &wire.AttachBusy{
+			RetryAfterMS: uint32(retry / time.Millisecond)})
+		return fmt.Errorf("server: reattach admission refused for %q", resp.User)
+	}
 	if reattach != nil {
 		if s := h.sessions[string(reattach.Ticket)]; s != nil && s.detached && s.user == resp.User {
+			// Warm verdict: the client claims an intact store from this
+			// session's epoch and the regranted capacity matches the
+			// retained model. Anything else — no claim (epoch 0, which is
+			// all a truncated or pre-v7 hello can say), a stale epoch, or
+			// a capacity change — goes cold.
+			warm := reattach.CacheEpoch != 0 &&
+				reattach.CacheEpoch == s.cacheEpoch &&
+				cacheGrantKB > 0 &&
+				s.cl.CacheSize() == cacheGrantKB*1024
+			if !warm && !h.resync.tryAcquire() {
+				return refuseBusy()
+			}
+			gated = !warm
 			if s.expiry != nil {
 				s.expiry.Stop()
 			}
 			delete(h.sessions, s.ticket)
 			cl = s.cl
 			role = s.role // the granted role survives reconnects
-			h.core.ReattachClient(cl, viewW, viewH)
+			cacheWarm = warm
+			if warm {
+				cacheEpoch = s.cacheEpoch
+				cl.SetCacheSize(cacheGrantKB * 1024) // same capacity keeps the model
+				h.core.ReattachClientWarm(cl, viewW, viewH)
+				h.stats.WarmReattaches++
+				h.met.warmReattaches.Inc()
+			} else {
+				// Cold fallback: whatever the two sides hold no longer
+				// corresponds; restart the model under a fresh epoch.
+				cl.ResetCacheSize(cacheGrantKB * 1024)
+				if cacheGrantKB > 0 {
+					h.cacheEpoch++
+					cacheEpoch = h.cacheEpoch
+				}
+				h.core.ReattachClient(cl, viewW, viewH)
+				h.stats.ColdReattaches++
+				h.met.coldReattaches.Inc()
+			}
+			cl.SetCacheEpoch(cacheEpoch)
 			h.stats.Reattaches++
 			h.met.reattaches.Inc()
 			if tr := h.met.tr; tr.Enabled() {
-				tr.Event("session.reattach", fmt.Sprintf("user=%s role=%s view=%dx%d",
-					resp.User, wire.RoleName(role), viewW, viewH))
+				tr.Event("session.reattach", fmt.Sprintf("user=%s role=%s view=%dx%d warm=%v",
+					resp.User, wire.RoleName(role), viewW, viewH, warm))
 			}
 		} else {
 			slogger.Warn("reattach with unknown or expired ticket; attaching fresh",
@@ -525,9 +623,25 @@ func (h *Host) ServeConn(nc net.Conn) error {
 					h.opts.MaxViewers, resp.User)
 			}
 		}
+		// A fresh attach arriving as a failed Reattach is still part of a
+		// reconnect storm (an expired ticket does not make the full
+		// resync cheaper), so it passes the same gate. Plain ClientInit
+		// attaches are never gated.
+		if reattach != nil {
+			if !h.resync.tryAcquire() {
+				return refuseBusy()
+			}
+			gated = true
+		}
 		cl = h.core.AttachClient(viewW, viewH)
 		h.stats.Attaches++
 		h.met.attaches.Inc()
+		cl.SetCacheSize(cacheGrantKB * 1024)
+		if cacheGrantKB > 0 {
+			h.cacheEpoch++
+			cacheEpoch = h.cacheEpoch
+			cl.SetCacheEpoch(cacheEpoch)
+		}
 		if tr := h.met.tr; tr.Enabled() {
 			tr.Event("session.attach", fmt.Sprintf("user=%s role=%s view=%dx%d",
 				resp.User, wire.RoleName(role), viewW, viewH))
@@ -537,18 +651,6 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		h.stats.ViewerAttaches++
 		h.met.viewerAttaches.Inc()
 	}
-	// Payload cache negotiation (wire v6): grant the smaller of what the
-	// client asked for and what the host allows. The server-side model is
-	// (re)sized here, under the lock, before any command can be queued for
-	// this client; a reattach granting the unchanged capacity keeps the
-	// retained model warm, so holdings survive the reconnect.
-	cacheGrantKB := cacheReqKB
-	if max := h.opts.CacheKB; max < 0 {
-		cacheGrantKB = 0
-	} else if cacheGrantKB > max {
-		cacheGrantKB = max
-	}
-	cl.SetCacheSize(cacheGrantKB * 1024)
 	if cacheGrantKB > 0 {
 		h.stats.CacheGrants++
 		h.met.cacheGrants.Inc()
@@ -557,19 +659,34 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	if terr != nil {
 		h.core.DetachClient(cl)
 		h.mu.Unlock()
+		if gated {
+			h.resync.release()
+		}
 		return terr
 	}
-	sess := &session{ticket: ticket, user: resp.User, role: role, cl: cl}
+	sess := &session{ticket: ticket, user: resp.User, role: role, cl: cl,
+		cacheEpoch: cacheEpoch}
 	h.sessions[ticket] = sess
 	h.mu.Unlock()
 
+	warmByte := uint8(0)
+	if cacheWarm {
+		warmByte = 1
+	}
 	if err := wire.WriteMessage(enc, &wire.ServerInit{Ver: wire.ProtoVersion, W: w, H: ht,
-		CacheKB: uint32(cacheGrantKB)}); err != nil {
+		CacheKB: uint32(cacheGrantKB), CacheWarm: warmByte}); err != nil {
 		h.endSession(sess, false)
+		if gated {
+			h.resync.release()
+		}
 		return err
 	}
-	if err := wire.WriteMessage(enc, &wire.SessionTicket{Ticket: []byte(ticket), Role: role}); err != nil {
+	if err := wire.WriteMessage(enc, &wire.SessionTicket{Ticket: []byte(ticket), Role: role,
+		CacheEpoch: cacheEpoch}); err != nil {
 		h.endSession(sess, false)
+		if gated {
+			h.resync.release()
+		}
 		return err
 	}
 
@@ -577,6 +694,9 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		pongs:   make(chan *wire.Pong, 8),
 		replies: make(chan *wire.AuditReply, 4),
 		acks:    make(chan *wire.MarkAck, 8), noticeRung: -1}
+	if gated {
+		sc.gateHeld.Store(true)
+	}
 	// A reattach already queued a full-screen resync, which heals any
 	// divergence an interrupted escalation sweep was chasing; the legacy
 	// verdict and probe sequence ride the session, the sweep does not.
@@ -605,6 +725,9 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	h.met.registerConn(h, label, sc)
 
 	err = sc.run()
+	if sc.gateHeld.CompareAndSwap(true, false) {
+		h.resync.release() // connection died before its resync drained
+	}
 	h.mu.Lock()
 	delete(h.conns, sc)
 	var ne net.Error
@@ -675,6 +798,11 @@ type serverConn struct {
 
 	rung      int32 // active ladder rung (atomic; telemetry reads it)
 	watchdogs int64 // panics this connection survived (atomic)
+
+	// gateHeld marks that this connection holds a resync-gate slot; the
+	// flush loop clears it (releasing the slot) the first time the
+	// resync backlog drains, and teardown releases whatever remains.
+	gateHeld atomic.Bool
 
 	// noticeRung is a pending out-of-band DegradeNotice rung (-1 none):
 	// ForceRung and reattach rung carry-over park the value here and the
@@ -991,6 +1119,11 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 			}
 			if err := c.overloadTick(backlog, queue, flush); err != nil {
 				return err
+			}
+			// The admitted resync has fully drained: hand the gate slot to
+			// the next waiting reattacher in the storm.
+			if backlog == 0 && c.gateHeld.CompareAndSwap(true, false) {
+				c.host.resync.release()
 			}
 			// An out-of-band rung change (ForceRung, reattach carry-over)
 			// parked a notice for us — the flush loop owns the encoder.

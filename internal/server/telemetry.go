@@ -58,6 +58,10 @@ type hostMetrics struct {
 	// desync repairs. Hit/store/saved-byte counters live in core.Metrics,
 	// which registers into the same registry.
 	cacheGrants, cacheMissRepairs *telemetry.Counter
+
+	// Warm reattach and storm admission (wire v7).
+	warmReattaches, coldReattaches *telemetry.Counter
+	reattachRejected               *telemetry.Counter
 }
 
 // wireTypeLabels names the per-type series: the five display commands
@@ -161,6 +165,12 @@ func newHostMetrics(h *Host) *hostMetrics {
 			"handshakes granted a payload cache capacity (wire v6)"),
 		cacheMissRepairs: reg.Counter("thinc_cache_miss_repairs_total",
 			"CACHE_MISS desync reports healed by forget-and-repaint"),
+		warmReattaches: reg.Counter("thinc_reattach_warm_total",
+			"reattaches resumed with the payload cache kept warm (wire v7)"),
+		coldReattaches: reg.Counter("thinc_reattach_cold_total",
+			"reattaches renegotiated cold (no claim, stale epoch, resize)"),
+		reattachRejected: reg.Counter("thinc_reattach_rejected_total",
+			"reattaches refused by the storm admission gate (ATTACH_BUSY)"),
 	}
 	for r := 0; r < overload.NumRungs; r++ {
 		m.e2eLatency[r] = reg.Histogram("thinc_e2e_latency_us",
@@ -259,6 +269,14 @@ func newHostMetrics(h *Host) *hostMetrics {
 		})
 	reg.GaugeFunc("thinc_detached_sessions", "sessions retained for reattach",
 		func() int64 { return int64(h.NumDetached()) })
+	// Storm admission gate occupancy: in-flight cold resyncs and the
+	// high-watermark since start (never exceeds the configured budget).
+	reg.GaugeFunc("thinc_reattach_resyncs_inflight",
+		"cold-reattach resyncs currently holding an admission slot",
+		func() int64 { n, _, _ := h.resync.snapshot(); return int64(n) })
+	reg.GaugeFunc("thinc_reattach_resyncs_peak",
+		"high-watermark of concurrent admitted cold-reattach resyncs",
+		func() int64 { _, p, _ := h.resync.snapshot(); return int64(p) })
 	for q := 0; q <= core.NumQueues; q++ {
 		q := q
 		label := telemetry.L("queue", queueName(q))

@@ -13,26 +13,33 @@ import (
 // request, server cap) — as a trailing v6 extension: absent decodes as
 // 0, cache disabled. Both sides size their LRU to the granted value, so
 // the deterministic-eviction invariant starts from a shared number.
+// CacheWarm (a trailing v7 extension; absent decodes as 0 = cold) is
+// the server's explicit verdict on a warm-resume claim: 1 means the
+// retained cache model was accepted and the client must keep its store
+// byte-for-byte; 0 means the client must reset the store even if it
+// kept one, so the two LRUs never diverge silently.
 type ServerInit struct {
-	Ver     uint8 // protocol revision (ProtoVersion); 0 decodes from v1 peers
-	W, H    int
-	Format  pixel.Format
-	CacheKB uint32
+	Ver       uint8 // protocol revision (ProtoVersion); 0 decodes from v1 peers
+	W, H      int
+	Format    pixel.Format
+	CacheKB   uint32
+	CacheWarm uint8
 }
 
 // Type implements Message.
 func (m *ServerInit) Type() Type { return TServerInit }
 
 // PayloadSize implements Message: ver 1 + geometry 4 + format 1 +
-// cache kb 4.
-func (m *ServerInit) PayloadSize() int { return 10 }
+// cache kb 4 + cache warm 1.
+func (m *ServerInit) PayloadSize() int { return 11 }
 
 func (m *ServerInit) appendPayload(dst []byte) []byte {
 	dst = append(dst, m.Ver)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.W))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(m.H))
 	dst = append(dst, byte(m.Format))
-	return binary.BigEndian.AppendUint32(dst, m.CacheKB)
+	dst = binary.BigEndian.AppendUint32(dst, m.CacheKB)
+	return append(dst, m.CacheWarm)
 }
 
 func decodeServerInit(d *decoder) (*ServerInit, error) {
@@ -43,6 +50,9 @@ func decodeServerInit(d *decoder) (*ServerInit, error) {
 	m.Format = pixel.Format(d.u8())
 	if d.remaining() > 0 {
 		m.CacheKB = d.u32()
+	}
+	if d.remaining() > 0 {
+		m.CacheWarm = d.u8()
 	}
 	return m, d.check()
 }

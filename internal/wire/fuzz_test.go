@@ -35,6 +35,27 @@ func FuzzReadMessage(f *testing.F) {
 		bad2[0] ^= 0x07
 		f.Add(bad2)
 	}
+	// Trailing-extension seeds: every documented legacy prefix of the
+	// handshake messages, reframed with a consistent header, plus every
+	// cut strictly inside a trailing extension (a partial CacheEpoch or
+	// CacheWarm must error, never decode as a zero-valued claim).
+	for _, m := range controlMessages() {
+		buf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payload := buf[HeaderSize:]
+		for cut := range legacyCuts(m, len(payload)) {
+			if cut >= 0 {
+				f.Add(reframe(m.Type(), payload[:cut]))
+			}
+		}
+		for cut := len(payload) - 7; cut < len(payload); cut++ {
+			if cut > 0 {
+				f.Add(reframe(m.Type(), payload[:cut]))
+			}
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -66,7 +87,7 @@ func controlMessages() []Message {
 			*AuthChallenge, *AuthResponse, *AuthResult, *UpdateRequest,
 			*Ping, *Pong, *SessionTicket, *Reattach, *DegradeNotice,
 			*AuditProbe, *AuditReply, *TimeMark, *MarkAck,
-			*CachePaint, *CacheMiss:
+			*CachePaint, *CacheMiss, *AttachBusy:
 			ctl = append(ctl, m)
 		}
 	}
@@ -77,19 +98,78 @@ func controlMessages() []Message {
 // backward-compatible legacy encodings: prefixes that omit one or more
 // trailing extensions and are themselves valid older encodings, so the
 // truncation sweep must accept them decoding cleanly. The extensions
-// stack — ClientInit and Reattach end in Role (v3) then CacheKB (v6),
-// so both the pre-role and role-only prefixes are legal; ServerInit
-// gained CacheKB in v6; SessionTicket still ends at its v3 Role byte.
+// stack — ClientInit ends in Role (v3) then CacheKB (v6); Reattach adds
+// CacheEpoch (v7) after those, so the pre-role, role-only and
+// role+CacheKB prefixes are all legal; ServerInit gained CacheKB in v6
+// and CacheWarm in v7; SessionTicket ends in Role (v3) then CacheEpoch
+// (v7). Any cut strictly inside an extension field must still error —
+// a partial epoch can never quietly decode as epoch 0.
 func legacyCuts(m Message, payloadLen int) map[int]bool {
 	switch m.(type) {
-	case *ClientInit, *Reattach:
+	case *ClientInit:
 		return map[int]bool{payloadLen - 5: true, payloadLen - 4: true}
+	case *Reattach:
+		return map[int]bool{payloadLen - 13: true, payloadLen - 12: true, payloadLen - 8: true}
 	case *ServerInit:
-		return map[int]bool{payloadLen - 4: true}
+		return map[int]bool{payloadLen - 5: true, payloadLen - 1: true}
 	case *SessionTicket:
-		return map[int]bool{payloadLen - 1: true}
+		return map[int]bool{payloadLen - 9: true, payloadLen - 8: true}
 	}
 	return nil
+}
+
+// reframe frames a (possibly shortened) payload with a fresh header so
+// truncated-extension variants enter the decoder as well-formed frames.
+func reframe(t Type, payload []byte) []byte {
+	buf := []byte{byte(t), 0, 0, 0, 0}
+	buf[1] = byte(len(payload) >> 24)
+	buf[2] = byte(len(payload) >> 16)
+	buf[3] = byte(len(payload) >> 8)
+	buf[4] = byte(len(payload))
+	return append(buf, payload...)
+}
+
+// TestLegacyHelloNeverClaimsWarm pins the v7 safety property directly:
+// every legal legacy prefix of Reattach and SessionTicket decodes with
+// CacheEpoch 0 (no warm claim — server epochs start at 1), and every
+// cut strictly inside the trailing CacheEpoch errors rather than
+// decoding as a zero or partial epoch.
+func TestLegacyHelloNeverClaimsWarm(t *testing.T) {
+	msgs := []Message{
+		&Reattach{Ticket: []byte("tkt"), ViewW: 64, ViewH: 48, Name: "n",
+			Role: RoleViewer, CacheKB: 4096, CacheEpoch: 7},
+		&SessionTicket{Ticket: []byte("tkt"), Role: RoleViewer, CacheEpoch: 7},
+	}
+	for _, m := range msgs {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := buf[HeaderSize:]
+		for cut := range legacyCuts(m, len(payload)) {
+			got, err := Unmarshal(m.Type(), payload[:cut])
+			if err != nil {
+				t.Fatalf("%v: legacy prefix %d/%d must decode: %v", m.Type(), cut, len(payload), err)
+			}
+			var epoch uint64
+			switch g := got.(type) {
+			case *Reattach:
+				epoch = g.CacheEpoch
+			case *SessionTicket:
+				epoch = g.CacheEpoch
+			}
+			if epoch != 0 {
+				t.Errorf("%v: legacy prefix %d/%d decoded CacheEpoch %d, want 0",
+					m.Type(), cut, len(payload), epoch)
+			}
+		}
+		for cut := len(payload) - 7; cut < len(payload); cut++ {
+			if _, err := Unmarshal(m.Type(), payload[:cut]); err == nil {
+				t.Errorf("%v: partial CacheEpoch (%d/%d bytes) decoded without error",
+					m.Type(), cut, len(payload))
+			}
+		}
+	}
 }
 
 // TestControlMessageTruncationSweep cuts every control message at every

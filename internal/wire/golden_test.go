@@ -76,7 +76,7 @@ func goldenVectors() []goldenVector {
 		{"video_end", &VideoEnd{Stream: 7}},
 		{"audio_data", &AudioData{PTS: 999, Data: []byte{5, 6, 7}}},
 		{"server_init", &ServerInit{Ver: 3, W: 1024, H: 768, Format: pixel.FormatARGB32,
-			CacheKB: 4096}},
+			CacheKB: 4096, CacheWarm: 1}},
 		{"client_init_owner", &ClientInit{ViewW: 320, ViewH: 240, Name: "pda", Role: RoleOwner,
 			CacheKB: 8192}},
 		{"client_init_viewer", &ClientInit{ViewW: 1024, ViewH: 768, Name: "watch", Role: RoleViewer}},
@@ -93,9 +93,11 @@ func goldenVectors() []goldenVector {
 		{"ping", &Ping{Seq: 3, TimeUS: 777}},
 		{"pong", &Pong{Seq: 3, TimeUS: 777}},
 		{"session_ticket", &SessionTicket{Ticket: []byte("ticket-0123456789abcdef"),
-			Role: RoleViewer}},
+			Role: RoleViewer, CacheEpoch: 0x0102030405060708}},
 		{"reattach", &Reattach{Ticket: []byte("ticket-0123456789abcdef"),
-			ViewW: 320, ViewH: 240, Name: "pda", Role: RoleViewer, CacheKB: 8192}},
+			ViewW: 320, ViewH: 240, Name: "pda", Role: RoleViewer, CacheKB: 8192,
+			CacheEpoch: 0x0102030405060708}},
+		{"attach_busy", &AttachBusy{RetryAfterMS: 250}},
 		{"degrade_notice", &DegradeNotice{Rung: 2, Cause: CauseBacklog,
 			BacklogBytes: 1 << 20, EstBps: 3 << 20}},
 		{"audit_probe", &AuditProbe{Seq: 9, Tile: 64, Start: 16, Count: 8}},
@@ -224,8 +226,9 @@ func TestGoldenVectorsCoverAllTypes(t *testing.T) {
 
 // TestGoldenLegacyAttachDecodes freezes the legacy attach encodings:
 // the pre-role v1/v2 prefix (no Role byte), the v3–v5 prefix (Role but
-// no CacheKB), and the pre-v6 ServerInit (no CacheKB) must all still
-// decode, with the omitted extensions defaulting to owner / cache off.
+// no CacheKB), the v6 prefix (CacheKB but no CacheEpoch/CacheWarm), and
+// the pre-v6 ServerInit (no CacheKB) must all still decode, with the
+// omitted extensions defaulting to owner / cache off / epoch 0 (cold).
 func TestGoldenLegacyAttachDecodes(t *testing.T) {
 	legacy := []struct {
 		typ     Type
@@ -250,9 +253,20 @@ func TestGoldenLegacyAttachDecodes(t *testing.T) {
 				"pda"...), RoleViewer),
 			&Reattach{Ticket: []byte{0xab, 0xcd}, ViewW: 320, ViewH: 240,
 				Name: "pda", Role: RoleViewer}},
+		{TReattach,
+			append(append(append([]byte{0x00, 0x02, 0xab, 0xcd, 0x01, 0x40, 0x00, 0xf0, 0x00, 0x03},
+				"pda"...), RoleViewer), 0x00, 0x00, 0x20, 0x00),
+			&Reattach{Ticket: []byte{0xab, 0xcd}, ViewW: 320, ViewH: 240,
+				Name: "pda", Role: RoleViewer, CacheKB: 8192}},
+		{TSessionTicket,
+			[]byte{0x00, 0x02, 0xab, 0xcd, 0x01},
+			&SessionTicket{Ticket: []byte{0xab, 0xcd}, Role: RoleViewer}},
 		{TServerInit,
 			[]byte{0x05, 0x04, 0x00, 0x03, 0x00, 0x01},
 			&ServerInit{Ver: 5, W: 1024, H: 768, Format: pixel.Format(1)}},
+		{TServerInit,
+			[]byte{0x06, 0x04, 0x00, 0x03, 0x00, 0x01, 0x00, 0x00, 0x10, 0x00},
+			&ServerInit{Ver: 6, W: 1024, H: 768, Format: pixel.Format(1), CacheKB: 4096}},
 	}
 	for _, tc := range legacy {
 		m, err := Unmarshal(tc.typ, tc.payload)

@@ -14,12 +14,18 @@ import "encoding/binary"
 // version 5 adds the TimeMark/MarkAck end-to-end tracing pair; version
 // 6 adds the content-addressed payload cache (CacheStore/CachePaint/
 // CacheMiss, negotiated by the CacheKB trailing extension on
-// ClientInit/ServerInit/Reattach). Receivers skip well-framed unknown
+// ClientInit/ServerInit/Reattach); version 7 adds warm cache resume
+// across reattach (the CacheEpoch trailing extension on SessionTicket/
+// Reattach, the CacheWarm byte on ServerInit, and the AttachBusy
+// admission-control answer). Receivers skip well-framed unknown
 // message types, so the version is informational: it lets a client know
 // whether the server will honor Reattach at all, and a v6 server never
 // sends cache messages to a peer whose handshake omitted CacheKB — the
 // field's absence, not the version byte, is the capability signal.
-const ProtoVersion = 6
+// Likewise a reattach without CacheEpoch (or with epoch 0) never claims
+// a warm cache: server epochs start at 1, so truncated or legacy hellos
+// always fall back cold.
+const ProtoVersion = 7
 
 // MaxTicketLen bounds a session ticket on the wire.
 const MaxTicketLen = 64
@@ -80,22 +86,29 @@ func decodePong(d *decoder) (*Pong, error) {
 // issues a fresh ticket; presenting one invalidates it. Role echoes
 // the role the server granted (a trailing v3 extension: older peers
 // omit it and decode as RoleOwner), so a reconnecting viewer resumes
-// as a viewer.
+// as a viewer. CacheEpoch is the payload-cache generation stamp (a
+// trailing v7 extension; absent decodes as 0 = no warm resume): the
+// client echoes it in a later Reattach to prove its in-memory store
+// belongs to the server's retained cache model. Server epochs start at
+// 1, so 0 never matches.
 type SessionTicket struct {
-	Ticket []byte
-	Role   uint8
+	Ticket     []byte
+	Role       uint8
+	CacheEpoch uint64
 }
 
 // Type implements Message.
 func (m *SessionTicket) Type() Type { return TSessionTicket }
 
-// PayloadSize implements Message: ticket len 2 + ticket + role 1.
-func (m *SessionTicket) PayloadSize() int { return 3 + len(m.Ticket) }
+// PayloadSize implements Message: ticket len 2 + ticket + role 1 +
+// cache epoch 8.
+func (m *SessionTicket) PayloadSize() int { return 11 + len(m.Ticket) }
 
 func (m *SessionTicket) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))
 	dst = append(dst, m.Ticket...)
-	return append(dst, m.Role)
+	dst = append(dst, m.Role)
+	return binary.BigEndian.AppendUint64(dst, m.CacheEpoch)
 }
 
 func decodeSessionTicket(d *decoder) (*SessionTicket, error) {
@@ -108,6 +121,9 @@ func decodeSessionTicket(d *decoder) (*SessionTicket, error) {
 	m.Ticket = d.bytes(n)
 	if d.remaining() > 0 {
 		m.Role = d.u8()
+	}
+	if d.remaining() > 0 {
+		m.CacheEpoch = d.u64()
 	}
 	return m, d.check()
 }
@@ -122,21 +138,26 @@ func decodeSessionTicket(d *decoder) (*SessionTicket, error) {
 // CacheKB re-requests the payload-cache capacity after Role (a trailing
 // v6 extension; absent decodes as 0 = cache disabled) — the server's
 // model of the client cache rides the detached session, so a reattach
-// granting the same size resumes hitting without re-warming.
+// granting the same size resumes hitting without re-warming. CacheEpoch
+// (a trailing v7 extension; absent decodes as 0 = no warm claim) echoes
+// the generation stamp from the SessionTicket: nonzero means "my store
+// from that generation is intact", and the server resumes warm only
+// when the epoch and granted capacity both match its retained model.
 type Reattach struct {
 	Ticket       []byte
 	ViewW, ViewH int
 	Name         string
 	Role         uint8
 	CacheKB      uint32
+	CacheEpoch   uint64
 }
 
 // Type implements Message.
 func (m *Reattach) Type() Type { return TReattach }
 
 // PayloadSize implements Message: ticket len 2 + ticket + viewport 4 +
-// name len 2 + name + role 1 + cache kb 4.
-func (m *Reattach) PayloadSize() int { return 13 + len(m.Ticket) + len(m.Name) }
+// name len 2 + name + role 1 + cache kb 4 + cache epoch 8.
+func (m *Reattach) PayloadSize() int { return 21 + len(m.Ticket) + len(m.Name) }
 
 func (m *Reattach) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Ticket)))
@@ -146,7 +167,8 @@ func (m *Reattach) appendPayload(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Name)))
 	dst = append(dst, m.Name...)
 	dst = append(dst, m.Role)
-	return binary.BigEndian.AppendUint32(dst, m.CacheKB)
+	dst = binary.BigEndian.AppendUint32(dst, m.CacheKB)
+	return binary.BigEndian.AppendUint64(dst, m.CacheEpoch)
 }
 
 func decodeReattach(d *decoder) (*Reattach, error) {
@@ -167,5 +189,36 @@ func decodeReattach(d *decoder) (*Reattach, error) {
 	if d.remaining() > 0 {
 		m.CacheKB = d.u32()
 	}
+	if d.remaining() > 0 {
+		m.CacheEpoch = d.u64()
+	}
+	return m, d.check()
+}
+
+// AttachBusy answers a handshake the reattach-storm admission gate
+// refused (v7): too many full resyncs are already in flight, so the
+// server declines this attach instead of letting N reconnecting
+// clients saturate the flush path. RetryAfterMS is the jittered delay
+// the client should wait before redialing — honoring it drains a storm
+// in bounded waves. The connection closes after this message; a pre-v7
+// client skips the unknown type, sees EOF, and retries on its normal
+// backoff.
+type AttachBusy struct {
+	RetryAfterMS uint32
+}
+
+// Type implements Message.
+func (m *AttachBusy) Type() Type { return TAttachBusy }
+
+// PayloadSize implements Message: retry-after 4.
+func (m *AttachBusy) PayloadSize() int { return 4 }
+
+func (m *AttachBusy) appendPayload(dst []byte) []byte {
+	return binary.BigEndian.AppendUint32(dst, m.RetryAfterMS)
+}
+
+func decodeAttachBusy(d *decoder) (*AttachBusy, error) {
+	m := &AttachBusy{}
+	m.RetryAfterMS = d.u32()
 	return m, d.check()
 }

@@ -70,6 +70,8 @@ const (
 	TCacheStore
 	TCachePaint
 	TCacheMiss
+
+	TAttachBusy
 )
 
 var typeNames = map[Type]string{
@@ -90,6 +92,7 @@ var typeNames = map[Type]string{
 	TCacheStore:    "CACHE_STORE",
 	TCachePaint:    "CACHE_PAINT",
 	TCacheMiss:     "CACHE_MISS",
+	TAttachBusy:    "ATTACH_BUSY",
 }
 
 func (t Type) String() string {
@@ -288,6 +291,8 @@ func Unmarshal(t Type, payload []byte) (Message, error) {
 		m, err = decodeCachePaint(&d)
 	case TCacheMiss:
 		m, err = decodeCacheMiss(&d)
+	case TAttachBusy:
+		m, err = decodeAttachBusy(&d)
 	default:
 		return nil, &UnknownTypeError{T: t}
 	}

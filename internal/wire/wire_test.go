@@ -51,9 +51,10 @@ func sampleMessages() []Message {
 		&CursorMove{X: 100, Y: 200},
 		&Ping{Seq: 3, TimeUS: 777},
 		&Pong{Seq: 3, TimeUS: 777},
-		&SessionTicket{Ticket: []byte("ticket-0123456789abcdef")},
+		&SessionTicket{Ticket: []byte("ticket-0123456789abcdef"), CacheEpoch: 5},
 		&Reattach{Ticket: []byte("ticket-0123456789abcdef"),
-			ViewW: 320, ViewH: 240, Name: "pda"},
+			ViewW: 320, ViewH: 240, Name: "pda", CacheEpoch: 5},
+		&AttachBusy{RetryAfterMS: 250},
 		&DegradeNotice{Rung: 2, Cause: CauseBacklog,
 			BacklogBytes: 1 << 20, EstBps: 3 << 20},
 		&AuditProbe{Seq: 11, Tile: 64, Start: 8, Count: 4},
