@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover bench-snapshot bench-smoke bench-e2e-smoke bench-cache-smoke bench-reattach-smoke fuzz-smoke golden-regen soak
+.PHONY: all build vet test race check cover bench-snapshot bench-smoke bench-e2e-smoke bench-cache-smoke bench-reattach-smoke bench-load-smoke fuzz-smoke golden-regen soak
 
 all: check
 
@@ -80,6 +80,16 @@ bench-cache-smoke:
 # -reattach with defaults); the smoke writes to a temp file.
 bench-reattach-smoke:
 	$(GO) run ./cmd/thinc-bench -reattach -reattach-cycles 6 -reattach-out /tmp/bench_reattach_smoke.json
+
+# Multi-session load smoke: the sharded delivery core hosting 1000
+# fully event-driven sessions under the race detector, plus the smaller
+# harness tests (-short keeps the unguarded smoke at 60 sessions). The
+# run writes and validates the same self-checking report as the
+# committed 10k benchmark (BENCH_pr10.json, from `go run ./cmd/thinc-load`):
+# zero dead sessions, O(shards) goroutines, bounded heap per idle
+# session, live heartbeat and damage-to-glass mark loops.
+bench-load-smoke:
+	THINC_LOAD_SMOKE=1 $(GO) test ./internal/loadsim/ -race -short -count=1 -timeout 15m
 
 # Fuzz smoke: ~30s of coverage-guided fuzzing per wire decoder target,
 # on top of the committed seed corpus (which always runs as part of

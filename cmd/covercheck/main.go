@@ -14,6 +14,12 @@
 // line; '#' starts a comment. Raise a floor when a package's coverage
 // durably improves — it must never be lowered to make a red build
 // green without a recorded decision.
+//
+// Exit codes: 1 means a gated package dropped below its floor; 2 means
+// the configuration itself is broken — an unreadable file, a malformed
+// line, or a floor naming a package that no longer appears in the
+// profile. The last case matters: a stale floor gates nothing, so a
+// rename or deletion would silently retire the gate if it only warned.
 package main
 
 import (
@@ -56,36 +62,66 @@ func main() {
 		os.Exit(2)
 	}
 
+	v := evaluate(cover, floors)
+	for _, line := range v.lines {
+		fmt.Println(line)
+	}
+	if len(v.stale) > 0 {
+		fmt.Fprintf(os.Stderr, "covercheck: floors file names package(s) absent from the profile: %s\n",
+			strings.Join(v.stale, ", "))
+		fmt.Fprintln(os.Stderr, "covercheck: a stale floor gates nothing — fix the path or delete the line")
+		os.Exit(2)
+	}
+	if len(v.below) > 0 {
+		fmt.Fprintf(os.Stderr, "covercheck: %d package(s) below their coverage floor\n", len(v.below))
+		os.Exit(1)
+	}
+}
+
+// verdict is the outcome of judging one profile against the floors,
+// separated from printing and exiting so it is testable.
+type verdict struct {
+	lines []string // per-package report, sorted by import path
+	below []string // gated packages under their floor
+	stale []string // floor entries naming packages absent from the profile
+}
+
+// evaluate computes each package's coverage, compares gated packages
+// against their floors, and flags floors whose package is missing from
+// the profile entirely — a configuration error, not a coverage one: a
+// renamed or deleted package would otherwise retire its gate silently.
+func evaluate(cover map[string]pkgCover, floors map[string]float64) verdict {
+	var v verdict
 	pkgs := make([]string, 0, len(cover))
 	for pkg := range cover {
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Strings(pkgs)
-
-	failed := 0
 	for _, pkg := range pkgs {
 		pct := cover[pkg].percent()
 		floor, gated := floors[pkg]
 		switch {
 		case !gated:
-			fmt.Printf("  %-32s %6.1f%%  (no floor)\n", pkg, pct)
+			v.lines = append(v.lines, fmt.Sprintf("  %-32s %6.1f%%  (no floor)", pkg, pct))
 		case pct < floor:
-			fmt.Printf("FAIL %-32s %6.1f%%  floor %.1f%%\n", pkg, pct, floor)
-			failed++
+			v.lines = append(v.lines, fmt.Sprintf("FAIL %-32s %6.1f%%  floor %.1f%%", pkg, pct, floor))
+			v.below = append(v.below, pkg)
 		default:
-			fmt.Printf("  ok %-32s %6.1f%%  floor %.1f%%\n", pkg, pct, floor)
+			v.lines = append(v.lines, fmt.Sprintf("  ok %-32s %6.1f%%  floor %.1f%%", pkg, pct, floor))
 		}
 	}
+	gated := make([]string, 0, len(floors))
 	for pkg := range floors {
+		gated = append(gated, pkg)
+	}
+	sort.Strings(gated)
+	for _, pkg := range gated {
 		if _, ok := cover[pkg]; !ok {
-			fmt.Printf("FAIL %-32s absent from profile (floor %.1f%%)\n", pkg, floors[pkg])
-			failed++
+			v.lines = append(v.lines, fmt.Sprintf("STALE %-31s not in profile (floor %.1f%%)", pkg, floors[pkg]))
+			v.stale = append(v.stale, pkg)
 		}
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "covercheck: %d package(s) below their coverage floor\n", failed)
-		os.Exit(1)
-	}
+	return v
 }
 
 // readProfile parses the coverprofile: after the mode line, each line

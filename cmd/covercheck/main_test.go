@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadProfileAggregatesByPackage(t *testing.T) {
+	p := writeTemp(t, "coverage.out", strings.Join([]string{
+		"mode: atomic",
+		"thinc/internal/a/x.go:1.1,2.2 4 1",
+		"thinc/internal/a/x.go:3.1,4.2 6 0",
+		"thinc/internal/a/y.go:1.1,2.2 10 7",
+		"thinc/internal/b/z.go:1.1,2.2 5 0",
+		"",
+	}, "\n"))
+	cover, err := readProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cover["thinc/internal/a"]
+	if a.stmts != 20 || a.covered != 14 {
+		t.Fatalf("pkg a: %+v, want 14/20 covered", a)
+	}
+	if pct := a.percent(); pct != 70 {
+		t.Fatalf("pkg a percent = %v, want 70", pct)
+	}
+	if b := cover["thinc/internal/b"]; b.percent() != 0 {
+		t.Fatalf("pkg b percent = %v, want 0", b.percent())
+	}
+}
+
+func TestReadProfileRejectsMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"mode: atomic\nnot a profile line\n",
+		"mode: atomic\nnocolon 3 1\n",
+		"mode: atomic\na/x.go:1.1,2.2 NaN 1\n",
+		"mode: atomic\na/x.go:1.1,2.2 3 NaN\n",
+	} {
+		p := writeTemp(t, "coverage.out", bad)
+		if _, err := readProfile(p); err == nil {
+			t.Errorf("profile %q accepted, want error", bad)
+		}
+	}
+}
+
+func TestReadFloorsParsesAndValidates(t *testing.T) {
+	p := writeTemp(t, "floors.txt", strings.Join([]string{
+		"# comment line",
+		"thinc/internal/a 75.5   # trailing comment",
+		"",
+		"thinc/internal/b 0",
+	}, "\n"))
+	floors, err := readFloors(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(floors) != 2 || floors["thinc/internal/a"] != 75.5 || floors["thinc/internal/b"] != 0 {
+		t.Fatalf("floors = %v", floors)
+	}
+	for _, bad := range []string{"pkg\n", "pkg 101\n", "pkg -1\n", "pkg x\n", "a b c\n"} {
+		p := writeTemp(t, "floors.txt", bad)
+		if _, err := readFloors(p); err == nil {
+			t.Errorf("floors %q accepted, want error", bad)
+		}
+	}
+}
+
+func TestEvaluateSeparatesBelowFromStale(t *testing.T) {
+	cover := map[string]pkgCover{
+		"pkg/ok":      {stmts: 10, covered: 9}, // 90%
+		"pkg/low":     {stmts: 10, covered: 5}, // 50%
+		"pkg/ungated": {stmts: 10, covered: 1},
+	}
+	floors := map[string]float64{
+		"pkg/ok":      85,
+		"pkg/low":     80,
+		"pkg/renamed": 70, // no longer in the profile: config error
+	}
+	v := evaluate(cover, floors)
+	if len(v.below) != 1 || v.below[0] != "pkg/low" {
+		t.Fatalf("below = %v, want [pkg/low]", v.below)
+	}
+	if len(v.stale) != 1 || v.stale[0] != "pkg/renamed" {
+		t.Fatalf("stale = %v, want [pkg/renamed]", v.stale)
+	}
+	// One report line per covered package plus one per stale floor.
+	if len(v.lines) != 4 {
+		t.Fatalf("%d report lines, want 4:\n%s", len(v.lines), strings.Join(v.lines, "\n"))
+	}
+	joined := strings.Join(v.lines, "\n")
+	for _, want := range []string{"  ok pkg/ok", "FAIL pkg/low", "(no floor)", "STALE pkg/renamed"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestEvaluateCleanRun: a healthy profile produces no failures of
+// either kind, and a package with zero statements counts as fully
+// covered rather than dividing by zero.
+func TestEvaluateCleanRun(t *testing.T) {
+	cover := map[string]pkgCover{
+		"pkg/a":     {stmts: 4, covered: 4},
+		"pkg/empty": {},
+	}
+	v := evaluate(cover, map[string]float64{"pkg/a": 100, "pkg/empty": 100})
+	if len(v.below) != 0 || len(v.stale) != 0 {
+		t.Fatalf("clean run flagged below=%v stale=%v", v.below, v.stale)
+	}
+}

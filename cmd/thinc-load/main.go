@@ -1,0 +1,91 @@
+// Command thinc-load is the multi-session scale benchmark for the
+// sharded delivery core: it attaches N fully event-driven THINC
+// sessions (default 10000) to one server.Fleet over in-memory
+// transports, drives a rotating active subset with desktop-style
+// damage plus optional degradation and reattach churn, and writes a
+// self-checking JSON report (BENCH_pr10.json by convention).
+//
+// The report proves the architecture's claims rather than just
+// printing numbers: goroutine count stays O(shards) instead of
+// O(sessions), idle sessions cost bounded heap, shard queue wait
+// stays fair, and p99 damage-to-glass latency (the wire-v5 TimeMark
+// pipeline, same instrument as BENCH_pr7.json) stays inside the
+// envelope. A non-empty self-check list exits nonzero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"thinc/internal/loadsim"
+)
+
+func main() {
+	sessions := flag.Int("sessions", 10000, "concurrent sessions to attach")
+	active := flag.Int("active", 64, "sessions receiving damage each tick")
+	duration := flag.Duration("duration", 10*time.Second, "measured drive phase")
+	tick := flag.Duration("tick", 25*time.Millisecond, "damage cadence")
+	shards := flag.Int("shards", 0, "worker shards (0 = default)")
+	reattachEvery := flag.Int("reattach-every", 20,
+		"ticket-reattach one session every N ticks (0 disables)")
+	degradeEvery := flag.Int("degrade-every", 16,
+		"cycle a degradation rung every N ticks (0 disables)")
+	envelopeUS := flag.Int64("e2e-envelope-us", 0,
+		"p99 damage-to-glass budget in us (0 = default)")
+	out := flag.String("out", "BENCH_pr10.json", "report path (- for stdout)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		progress = nil
+	}
+
+	rep, err := loadsim.Run(loadsim.Options{
+		Sessions:      *sessions,
+		Active:        *active,
+		Duration:      *duration,
+		Tick:          *tick,
+		Shards:        *shards,
+		ReattachEvery: *reattachEvery,
+		DegradeEvery:  *degradeEvery,
+		E2EEnvelopeUS: *envelopeUS,
+		Progress:      progress,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thinc-load:", err)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thinc-load:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "thinc-load:", err)
+			os.Exit(1)
+		}
+	}
+
+	if bad := rep.Check(); len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "SELF-CHECK FAILED:")
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "  -", b)
+		}
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr,
+		"OK: %d sessions, %.0f sessions/core, e2e p99 %dus, %d goroutines (budget %d)\n",
+		rep.Sessions, rep.SessionsPerCore, rep.E2E.P99US,
+		rep.Goroutines.Idle, rep.Goroutines.Budget)
+}

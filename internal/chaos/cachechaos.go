@@ -152,6 +152,7 @@ func RunCacheCorruption(s CacheCorruptSchedule) (CacheCorruptResult, error) {
 		DisableOverload:   true,
 	}
 	host := server.NewHost(screenW, screenH, auth.NewAuthenticator("owner", acc), opts)
+	defer host.Close()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return res, err

@@ -231,6 +231,7 @@ func Run(s Schedule) (Result, error) {
 		gate.SetSessionPassword("watch")
 	}
 	host := server.NewHost(screenW, screenH, gate, opts)
+	defer host.Close()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return res, err

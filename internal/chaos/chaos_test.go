@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"thinc/internal/overload"
+	"thinc/internal/testutil"
 )
 
 // TestChaosSuiteConverges runs the standard schedules: every ladder
@@ -13,6 +14,7 @@ import (
 // seeded fault storm, and asserts the convergence oracle — the client
 // framebuffer ends byte-identical to the server screen.
 func TestChaosSuiteConverges(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	if testing.Short() {
 		t.Skip("chaos suite is seconds-long; skipped in -short")
 	}
@@ -73,6 +75,7 @@ func TestChaosSuiteConverges(t *testing.T) {
 // TestChaosSoak is the long-haul randomized mode behind `make soak`:
 // THINC_CHAOS_SOAK=N runs N derived schedules. Unset, it's skipped.
 func TestChaosSoak(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	env := os.Getenv("THINC_CHAOS_SOAK")
 	if env == "" {
 		t.Skip("set THINC_CHAOS_SOAK=<n> to run the soak")
@@ -159,6 +162,7 @@ func checkCorruption(t *testing.T, res CorruptResult) {
 // flips inside well-framed payloads that survive decode and can only
 // be caught by the wire-v4 integrity audit.
 func TestChaosCorruptionSuite(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	if testing.Short() {
 		t.Skip("corruption suite is seconds-long; skipped in -short")
 	}
@@ -181,6 +185,7 @@ func TestChaosCorruptionSuite(t *testing.T) {
 // forget-and-repaint, with zero framebuffer divergence, no reconnect,
 // and a cache that still hits after the storm.
 func TestChaosCacheDesync(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	if testing.Short() {
 		t.Skip("cache-desync suite is seconds-long; skipped in -short")
 	}
@@ -231,6 +236,7 @@ func TestChaosCacheDesync(t *testing.T) {
 // resync's CACHE_STORE wave, and a reattach storm against a small
 // admission budget. Every run must end byte-identical.
 func TestChaosReattachSuite(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	if testing.Short() {
 		t.Skip("reattach suite is seconds-long; skipped in -short")
 	}
@@ -296,6 +302,7 @@ func TestChaosReattachSuite(t *testing.T) {
 // TestChaosCorruptionSoak is the randomized long-haul corruption pass
 // behind `make soak`, sharing THINC_CHAOS_SOAK with the fault soak.
 func TestChaosCorruptionSoak(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	env := os.Getenv("THINC_CHAOS_SOAK")
 	if env == "" {
 		t.Skip("set THINC_CHAOS_SOAK=<n> to run the soak")

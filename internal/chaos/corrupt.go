@@ -146,6 +146,7 @@ func RunCorruption(s CorruptSchedule) (CorruptResult, error) {
 		DisableOverload:   true, // pinned lossless: audits always eligible
 	}
 	host := server.NewHost(screenW, screenH, auth.NewAuthenticator("owner", acc), opts)
+	defer host.Close()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return res, err

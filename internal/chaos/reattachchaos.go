@@ -14,6 +14,7 @@ import (
 	"thinc/internal/geom"
 	"thinc/internal/pixel"
 	"thinc/internal/server"
+	"thinc/internal/shard"
 	"thinc/internal/wire"
 	"thinc/internal/xserver"
 )
@@ -63,6 +64,12 @@ type ReattachSchedule struct {
 	// once against a Budget-wide resync admission gate.
 	Clients int
 	Budget  int
+	// Sched runs the schedule against the sharded delivery core
+	// (Options.Sched): socket connections are driven by runScheduled on
+	// a worker pool and the shared timer wheel instead of the classic
+	// per-connection goroutine pair. Wire behavior must be identical,
+	// so every oracle and counter assertion is unchanged.
+	Sched bool
 	// MaxWall bounds the whole run; zero means 30s.
 	MaxWall time.Duration
 }
@@ -102,6 +109,10 @@ func ReattachSuite() []ReattachSchedule {
 		{Name: "reattach-epoch-desync", Seed: 3202, Mode: ReattachRestart},
 		{Name: "reattach-kill-mid-store", Seed: 3303, Mode: ReattachMidStore, Cycles: 3},
 		{Name: "reattach-storm", Seed: 3404, Mode: ReattachStorm, Clients: 12, Budget: 2},
+		// The same storm against the sharded delivery core: the admission
+		// gate, the ticket protocol, and the convergence oracle must hold
+		// when every connection is a shard task instead of a goroutine pair.
+		{Name: "reattach-storm-sharded", Seed: 3404, Mode: ReattachStorm, Clients: 12, Budget: 2, Sched: true},
 	}
 }
 
@@ -232,7 +243,17 @@ func RunReattach(s ReattachSchedule) (ReattachResult, error) {
 
 	acc := auth.NewAccounts()
 	acc.Add("owner", "pw")
-	host := server.NewHost(screenW, screenH, auth.NewAuthenticator("owner", acc), reattachOptions(s))
+	opts := reattachOptions(s)
+	if s.Sched {
+		sched := shard.NewScheduler(shard.Options{})
+		defer sched.Close()
+		opts.Sched = sched
+	}
+	host := server.NewHost(screenW, screenH, auth.NewAuthenticator("owner", acc), opts)
+	// Closing the host (before the scheduler, per defer order) releases
+	// every server-side goroutine and timer; the leak checker in the
+	// chaos tests holds each run to that.
+	defer host.Close()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return res, err

@@ -13,16 +13,23 @@ import (
 	"thinc/internal/geom"
 	"thinc/internal/pixel"
 	"thinc/internal/server"
+	"thinc/internal/testutil"
 	"thinc/internal/wire"
 	"thinc/internal/xserver"
 )
 
+// newHost starts an in-process host and runs the calling test under
+// the goroutine-leak checker: the host closes first (cleanups are
+// LIFO), then the leak diff must come back empty.
 func newHost(t *testing.T, w, h int) *server.Host {
 	t.Helper()
+	testutil.CheckGoroutines(t)
 	acc := auth.NewAccounts()
 	acc.Add("u", "p")
-	return server.NewHost(w, h, auth.NewAuthenticator("u", acc),
+	host := server.NewHost(w, h, auth.NewAuthenticator("u", acc),
 		server.Options{FlushInterval: time.Millisecond})
+	t.Cleanup(host.Close)
+	return host
 }
 
 func pipeTo(t *testing.T, h *server.Host, user, pass string, vw, vh int) (*client.Conn, error) {
@@ -117,15 +124,18 @@ func TestConnStatsIsolatedCopy(t *testing.T) {
 // 16px tile grid.
 func auditHost(t *testing.T, w, h int) *server.Host {
 	t.Helper()
+	testutil.CheckGoroutines(t)
 	acc := auth.NewAccounts()
 	acc.Add("u", "p")
-	return server.NewHost(w, h, auth.NewAuthenticator("u", acc),
+	host := server.NewHost(w, h, auth.NewAuthenticator("u", acc),
 		server.Options{
 			FlushInterval: time.Millisecond,
 			AuditInterval: 5 * time.Millisecond,
 			AuditTimeout:  500 * time.Millisecond,
 			Core:          core.Options{AuditTileSize: 16},
 		})
+	t.Cleanup(host.Close)
+	return host
 }
 
 // TestConnAnswersAuditAndHeals covers the client side of the wire-v4

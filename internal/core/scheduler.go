@@ -123,6 +123,25 @@ type ClientBuffer struct {
 	Stats BufferStats
 
 	met *Metrics
+
+	// onQueued, when set, fires after every successful insert (Add,
+	// AddSlot, AddFrame — replacements included). It is the damage
+	// hook of the event-driven delivery core: the server arms a paced
+	// flush only when there is something to deliver, so an idle
+	// session costs no timer at all. Called under whatever lock guards
+	// the buffer, so it must be cheap and must not call back in.
+	onQueued func()
+}
+
+// SetOnQueued installs (or clears, with nil) the insert hook. The
+// caller must hold the same lock that guards the buffer's inserts.
+func (b *ClientBuffer) SetOnQueued(fn func()) { b.onQueued = fn }
+
+// notifyQueued fires the insert hook, if any.
+func (b *ClientBuffer) notifyQueued() {
+	if b.onQueued != nil {
+		b.onQueued()
+	}
 }
 
 // NewClientBuffer returns an empty buffer.
@@ -288,6 +307,7 @@ func (b *ClientBuffer) Add(cmd Command) {
 		if len(last.deps) > 0 {
 			last.realtime = false
 		}
+		b.notifyQueued()
 		return
 	}
 
@@ -311,6 +331,7 @@ func (b *ClientBuffer) Add(cmd Command) {
 		b.met.rtPromotions.Inc()
 	}
 	b.entries = append(b.entries, e)
+	b.notifyQueued()
 }
 
 // Slot keys for AddSlot.
@@ -331,6 +352,7 @@ func (b *ClientBuffer) AddSlot(cmd Command, key string) {
 				epoch: b.stampEpoch, damageNS: b.stampDamageNS}
 			b.entries[i] = e2
 			b.redirectDeps(e, e2)
+			b.notifyQueued()
 			return
 		}
 	}
@@ -341,6 +363,7 @@ func (b *ClientBuffer) AddSlot(cmd Command, key string) {
 		e.realtime = true
 	}
 	b.entries = append(b.entries, e)
+	b.notifyQueued()
 }
 
 // appendNewDeps merges dep lists, dropping duplicates and self-edges.
@@ -380,6 +403,7 @@ func (b *ClientBuffer) AddFrame(cmd *FrameCmd) (dropped bool) {
 			b.redirectDeps(e, e2)
 			b.Stats.FrameDrops++
 			b.met.frameDrops.Inc()
+			b.notifyQueued()
 			return true
 		}
 	}
@@ -388,6 +412,7 @@ func (b *ClientBuffer) AddFrame(cmd *FrameCmd) (dropped bool) {
 		epoch: b.stampEpoch, damageNS: b.stampDamageNS}
 	b.seq++
 	b.entries = append(b.entries, e)
+	b.notifyQueued()
 	return false
 }
 

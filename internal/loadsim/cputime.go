@@ -1,0 +1,15 @@
+package loadsim
+
+import "syscall"
+
+// cpuTime returns the process's cumulative user+system CPU seconds.
+// The drive phase differences two readings to compute cores actually
+// consumed — the denominator of the sessions-per-core headline.
+func cpuTime() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+		float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
+}

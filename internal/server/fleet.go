@@ -1,0 +1,149 @@
+package server
+
+import (
+	"sync"
+
+	"thinc/internal/auth"
+	"thinc/internal/core"
+	"thinc/internal/shard"
+	"thinc/internal/telemetry"
+)
+
+// Fleet hosts many display sessions on one shared sharded substrate:
+// a single shard.Scheduler (worker pool, timer wheel, registry caps),
+// a single telemetry registry and core instrument bundle, and one
+// hostMetrics shared by every Host it creates. This is the multi-host
+// counterpart of NewHost — the shape the 10k-session load harness
+// runs, where per-host registries and per-conn metric series would
+// dominate memory and scrape cost.
+//
+// Per-conn telemetry series and per-host gauges are intentionally
+// disabled on the shared bundle; the fleet publishes aggregate
+// thinc_fleet_* and thinc_shard_* series instead.
+type Fleet struct {
+	sched *shard.Scheduler
+	reg   *telemetry.Registry
+	tr    *telemetry.Tracer
+	met   *hostMetrics
+	opts  Options
+
+	mu    sync.Mutex
+	hosts []*Host
+}
+
+// NewFleet builds the shared substrate. opts configures every Host the
+// fleet creates (its Sched and Core.Metrics fields are overwritten
+// with the shared ones); so sizes the scheduler.
+func NewFleet(opts Options, so shard.Options) *Fleet {
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(4096)
+
+	// Task-level scheduling histograms, fed straight from the pool
+	// hooks: queue wait is the fairness headline (a starved session
+	// shows up here long before a user notices), run time is the cost
+	// of one pump pass.
+	taskWait := reg.Histogram("thinc_shard_task_wait_ns",
+		"queue wait from task wake to callback start", telemetry.FineLatencyBucketsNS)
+	taskRun := reg.Histogram("thinc_shard_task_run_ns",
+		"execution time of one task callback", telemetry.FineLatencyBucketsNS)
+	so.OnTaskWait = func(ns int64) { taskWait.Observe(ns) }
+	so.OnTaskRun = func(ns int64) { taskRun.Observe(ns) }
+	sched := shard.NewScheduler(so)
+
+	met := newHostMetrics(reg, tr) // perConn stays false: shared bundle
+	cm := core.NewMetrics(reg)
+	cm.Trace = tr
+	opts.Sched = sched
+	opts.Core.Metrics = cm
+
+	f := &Fleet{sched: sched, reg: reg, tr: tr, met: met, opts: opts}
+
+	// Scheduler occupancy: the load harness's self-checks read these —
+	// goroutine count must stay O(workers), not O(sessions).
+	pool := sched.Pool()
+	reg.GaugeFunc("thinc_shard_workers", "run-queue worker shards",
+		func() int64 { return int64(pool.NumShards()) })
+	reg.CounterFunc("thinc_shard_task_wakes_total",
+		"task wakes accepted (coalesced wakes count once)",
+		func() int64 { return pool.Stats().Wakes })
+	reg.CounterFunc("thinc_shard_task_runs_total",
+		"task callback invocations across all shards",
+		func() int64 { return pool.Stats().Runs })
+	reg.GaugeFunc("thinc_shard_tasks", "live tasks pinned to the pool",
+		func() int64 { return pool.Stats().Tasks })
+	reg.GaugeFunc("thinc_shard_queue_depth", "tasks queued to run right now",
+		func() int64 { return pool.Stats().Depth })
+	reg.GaugeFunc("thinc_shard_queue_depth_peak", "high-watermark run-queue depth",
+		func() int64 { return pool.Stats().MaxDepth })
+	wheel := sched.Wheel()
+	reg.CounterFunc("thinc_shard_wheel_scheduled_total",
+		"timers inserted into the wheel (periodic re-arms count)",
+		func() int64 { return wheel.Stats().Scheduled })
+	reg.CounterFunc("thinc_shard_wheel_fired_total", "wheel timers fired",
+		func() int64 { return wheel.Stats().Fired })
+	reg.GaugeFunc("thinc_shard_wheel_pending", "wheel timers currently armed",
+		func() int64 { return wheel.Stats().Pending })
+	reg.GaugeFunc("thinc_shard_wheel_lag_ns",
+		"lag of the wheel's most recent firing pass",
+		func() int64 { return wheel.Stats().LagNS })
+
+	// Fleet-wide aggregates replacing the per-host gauges.
+	reg.GaugeFunc("thinc_fleet_hosts", "hosts created by this fleet",
+		func() int64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return int64(len(f.hosts))
+		})
+	reg.GaugeFunc("thinc_fleet_clients", "attached clients across the fleet",
+		func() int64 {
+			var n int64
+			for _, h := range f.snapshot() {
+				n += int64(h.NumClients())
+			}
+			return n
+		})
+	reg.GaugeFunc("thinc_fleet_detached_sessions",
+		"sessions retained for reattach across the fleet",
+		func() int64 {
+			var n int64
+			for _, h := range f.snapshot() {
+				n += int64(h.NumDetached())
+			}
+			return n
+		})
+	return f
+}
+
+// NewHost creates a Host of the given geometry on the shared substrate.
+func (f *Fleet) NewHost(w, h int, gate *auth.Authenticator) *Host {
+	host := newHostWith(w, h, gate, f.opts, f.met)
+	f.mu.Lock()
+	f.hosts = append(f.hosts, host)
+	f.mu.Unlock()
+	return host
+}
+
+// snapshot copies the host list so gauge reads never hold f.mu while
+// taking a host lock.
+func (f *Fleet) snapshot() []*Host {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Host(nil), f.hosts...)
+}
+
+// Hosts returns the fleet's hosts in creation order.
+func (f *Fleet) Hosts() []*Host { return f.snapshot() }
+
+// Scheduler returns the shared shard scheduler.
+func (f *Fleet) Scheduler() *shard.Scheduler { return f.sched }
+
+// Telemetry returns the fleet-wide registry.
+func (f *Fleet) Telemetry() *telemetry.Registry { return f.reg }
+
+// Close tears down every host, then the shared scheduler.
+func (f *Fleet) Close() {
+	for _, h := range f.snapshot() {
+		h.Close()
+	}
+	f.sched.Close()
+}

@@ -31,6 +31,7 @@ import (
 	"thinc/internal/geom"
 	"thinc/internal/logx"
 	"thinc/internal/overload"
+	"thinc/internal/shard"
 	"thinc/internal/wire"
 	"thinc/internal/xserver"
 )
@@ -130,6 +131,17 @@ type Options struct {
 	MarkTimeout time.Duration
 	// DisableE2E turns end-to-end mark tracing off entirely.
 	DisableE2E bool
+
+	// Sched switches the Host to the sharded, event-driven delivery
+	// core: connection pumps run as shard.Tasks on the scheduler's
+	// fixed worker pool instead of per-connection flush goroutines,
+	// and heartbeat/audit/flush pacing rides its batched timer wheel
+	// instead of per-connection tickers. An idle session then costs
+	// zero goroutines (beyond the blocking reader a real net.Conn
+	// requires — ServeEvent drops even that) and zero timer churn.
+	// Nil keeps the classic goroutine-pair driver. Wire behavior is
+	// identical either way; only the execution substrate changes.
+	Sched *shard.Scheduler
 }
 
 func (o Options) withDefaults() Options {
@@ -245,7 +257,9 @@ type session struct {
 	role     uint8
 	cl       *core.Client
 	detached bool
-	expiry   *time.Timer
+	// expiry reaps the retained session after the detach grace: a
+	// runtime timer in goroutine mode, a wheel timer under Sched.
+	expiry interface{ Stop() bool }
 
 	// cacheEpoch is the payload-cache generation stamped into this
 	// session's SessionTicket (wire v7): a reattach resumes the retained
@@ -266,10 +280,11 @@ type Host struct {
 	sound *audio.Driver
 
 	conns    map[*serverConn]struct{}
-	sessions map[string]*session // by ticket
+	sessions *shard.Registry // ticket → *session
 	stats    ResilienceStats
 	connSeq  int // connection counter: per-client telemetry labels
 	wg       sync.WaitGroup
+	closed   atomic.Bool
 
 	// cacheEpoch is the monotonic payload-cache generation counter
 	// (guarded by mu). It starts at 0 and is pre-incremented before
@@ -286,16 +301,30 @@ type Host struct {
 
 // NewHost creates a session of the given geometry gated by auth.
 func NewHost(w, h int, gate *auth.Authenticator, opts Options) *Host {
+	return newHostWith(w, h, gate, opts, nil)
+}
+
+// newHostWith is NewHost with an optionally shared instrument bundle:
+// a Fleet passes one hostMetrics for all its hosts (per-host gauges
+// and per-conn series are skipped there — label cardinality), nil
+// builds a private bundle the classic way.
+func newHostWith(w, h int, gate *auth.Authenticator, opts Options, met *hostMetrics) *Host {
 	h2 := &Host{
 		opts:     opts.withDefaults(),
 		gate:     gate,
 		sound:    audio.NewDriver(),
 		conns:    make(map[*serverConn]struct{}),
-		sessions: make(map[string]*session),
+		sessions: shard.NewRegistry(8),
 	}
 	h2.resync = newResyncGate(h2.opts.ResyncAdmit, h2.opts.ResyncRetryAfter,
 		time.Now().UnixNano())
-	h2.met = newHostMetrics(h2)
+	if met == nil {
+		met = defaultHostMetrics()
+		h2.met = met
+		met.registerHostGauges(h2)
+	} else {
+		h2.met = met
+	}
 	coreOpts := opts.Core
 	if coreOpts.Metrics == nil {
 		cm := core.NewMetrics(h2.met.reg)
@@ -354,16 +383,47 @@ func (h *Host) viewersLocked() int {
 // NumDetached returns the number of disconnected sessions retained for
 // reattach.
 func (h *Host) NumDetached() int {
+	return h.sessions.NumDetached()
+}
+
+// Close tears the Host down: every live connection is failed, their
+// teardowns are waited for (Serve- and ServeEvent-tracked ones), and
+// retained detached sessions are reaped with their expiry timers
+// stopped — so a closed Host leaves no goroutines and no armed timers
+// behind. Connections served by a direct ServeConn call on a caller
+// goroutine are failed too, but joining that goroutine is the
+// caller's job. Close is idempotent.
+func (h *Host) Close() {
+	if !h.closed.CompareAndSwap(false, true) {
+		return
+	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	n := 0
-	for _, s := range h.sessions {
-		if s.detached {
-			n++
+	conns := make([]*serverConn, 0, len(h.conns))
+	for sc := range h.conns {
+		conns = append(conns, sc)
+	}
+	h.mu.Unlock()
+	for _, sc := range conns {
+		if sc.sched.task != nil {
+			sc.fail(errHostClosed)
+		} else {
+			_ = sc.nc.Close()
 		}
 	}
-	return n
+	h.wg.Wait()
+	h.sessions.Range(func(k string, v any, _ bool) bool {
+		s := v.(*session)
+		h.mu.Lock()
+		if s.expiry != nil {
+			s.expiry.Stop()
+		}
+		h.sessions.Remove(k, s)
+		h.mu.Unlock()
+		return true
+	})
 }
+
+var errHostClosed = errors.New("server: host closed")
 
 // ForceRung pins every attached client's degradation rung — the admin
 // override, and the chaos harness's way to exercise one rung
@@ -450,42 +510,77 @@ func newTicket() (string, error) {
 
 // ServeConn authenticates and serves one client connection, returning
 // when the client disconnects, times out, or fails authentication.
+// With Options.Sched set the connection is driven by the sharded
+// delivery core (the blocking reader runs on this goroutine, so the
+// connection still costs one goroutine — it, not two); otherwise the
+// classic read/flush goroutine pair runs.
 func (h *Host) ServeConn(nc net.Conn) error {
 	defer nc.Close()
+	hr, err := h.handshake(nc)
+	if err != nil {
+		return err
+	}
+	sc := h.attachConn(nc, hr, false)
+	if h.opts.Sched != nil {
+		err = sc.runScheduled()
+	} else {
+		err = sc.run()
+	}
+	h.finishConn(sc, hr.sess, err)
+	return err
+}
+
+// hsResult is what a completed handshake hands the connection driver.
+type hsResult struct {
+	enc   *cipher.StreamConn
+	sess  *session
+	cl    *core.Client
+	user  string
+	role  uint8
+	gated bool
+}
+
+// handshake runs the full connection-establishment sequence —
+// challenge/response auth, the switch to RC4 transport, the
+// ClientInit/Reattach hello with the wire-v7 warm/cold verdict and
+// storm admission, and the ServerInit + SessionTicket answer. On
+// success the session is registered and attached to the core; errors
+// after that point have already rolled the session back.
+func (h *Host) handshake(nc net.Conn) (*hsResult, error) {
 	_ = nc.SetDeadline(time.Now().Add(handshakeTimeout))
 
 	// Challenge/response (plaintext phase carries no secrets).
 	nonce, err := h.gate.NewChallenge()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := wire.WriteMessage(nc, &wire.AuthChallenge{Nonce: nonce}); err != nil {
-		return err
+		return nil, err
 	}
 	m, err := wire.ReadMessage(nc)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, ok := m.(*wire.AuthResponse)
 	if !ok {
-		return fmt.Errorf("server: expected auth response, got %v", m.Type())
+		return nil, fmt.Errorf("server: expected auth response, got %v", m.Type())
 	}
 	if err := h.gate.Verify(resp.User, nonce, resp.Proof); err != nil {
 		_ = wire.WriteMessage(nc, &wire.AuthResult{OK: false, Reason: err.Error()})
-		return err
+		return nil, err
 	}
 	if err := wire.WriteMessage(nc, &wire.AuthResult{OK: true}); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Switch to the RC4-encrypted transport (§7).
 	secret, ok := h.gate.SecretFor(resp.User)
 	if !ok {
-		return errors.New("server: no transport secret for user")
+		return nil, errors.New("server: no transport secret for user")
 	}
 	enc, err := cipher.NewStreamConn(nc, auth.SessionKey(secret, nonce), true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Hello: a fresh ClientInit, or a Reattach resuming a retained
@@ -493,7 +588,7 @@ func (h *Host) ServeConn(nc net.Conn) error {
 	// handshake is the trust boundary, not core.AttachClient.
 	m, err = wire.ReadMessage(enc)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var viewW, viewH int
 	var role uint8
@@ -510,7 +605,7 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		cacheReqKB = int(v.CacheKB)
 		reattach = v
 	default:
-		return fmt.Errorf("server: expected client init or reattach, got %v", m.Type())
+		return nil, fmt.Errorf("server: expected client init or reattach, got %v", m.Type())
 	}
 	if viewW < 0 || viewH < 0 || viewW > maxViewDim || viewH > maxViewDim {
 		h.mu.Lock()
@@ -519,14 +614,14 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		h.met.badHandshakes.Inc()
 		slogger.Warn("rejecting absurd viewport",
 			"user", resp.User, "view_w", viewW, "view_h", viewH)
-		return fmt.Errorf("server: rejecting absurd viewport %dx%d", viewW, viewH)
+		return nil, fmt.Errorf("server: rejecting absurd viewport %dx%d", viewW, viewH)
 	}
 	if role > wire.RoleViewer {
 		h.mu.Lock()
 		h.stats.BadHandshakes++
 		h.mu.Unlock()
 		h.met.badHandshakes.Inc()
-		return fmt.Errorf("server: unknown session role %d from %q", role, resp.User)
+		return nil, fmt.Errorf("server: unknown session role %d from %q", role, resp.User)
 	}
 	_ = nc.SetDeadline(time.Time{})
 
@@ -562,7 +657,13 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		return fmt.Errorf("server: reattach admission refused for %q", resp.User)
 	}
 	if reattach != nil {
-		if s := h.sessions[string(reattach.Ticket)]; s != nil && s.detached && s.user == resp.User {
+		var s *session
+		if v, detached, ok := h.sessions.Get(string(reattach.Ticket)); ok && detached {
+			if cand := v.(*session); cand.user == resp.User {
+				s = cand
+			}
+		}
+		if s != nil {
 			// Warm verdict: the client claims an intact store from this
 			// session's epoch and the regranted capacity matches the
 			// retained model. Anything else — no claim (epoch 0, which is
@@ -573,13 +674,13 @@ func (h *Host) ServeConn(nc net.Conn) error {
 				cacheGrantKB > 0 &&
 				s.cl.CacheSize() == cacheGrantKB*1024
 			if !warm && !h.resync.tryAcquire() {
-				return refuseBusy()
+				return nil, refuseBusy()
 			}
 			gated = !warm
 			if s.expiry != nil {
 				s.expiry.Stop()
 			}
-			delete(h.sessions, s.ticket)
+			h.sessions.Remove(s.ticket, s)
 			cl = s.cl
 			role = s.role // the granted role survives reconnects
 			cacheWarm = warm
@@ -619,7 +720,7 @@ func (h *Host) ServeConn(nc net.Conn) error {
 				h.stats.ViewersRejected++
 				h.mu.Unlock()
 				h.met.viewersRejected.Inc()
-				return fmt.Errorf("server: viewer limit (%d) reached, rejecting %q",
+				return nil, fmt.Errorf("server: viewer limit (%d) reached, rejecting %q",
 					h.opts.MaxViewers, resp.User)
 			}
 		}
@@ -629,7 +730,7 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		// attaches are never gated.
 		if reattach != nil {
 			if !h.resync.tryAcquire() {
-				return refuseBusy()
+				return nil, refuseBusy()
 			}
 			gated = true
 		}
@@ -662,11 +763,11 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		if gated {
 			h.resync.release()
 		}
-		return terr
+		return nil, terr
 	}
 	sess := &session{ticket: ticket, user: resp.User, role: role, cl: cl,
 		cacheEpoch: cacheEpoch}
-	h.sessions[ticket] = sess
+	h.sessions.Attach(ticket, sess)
 	h.mu.Unlock()
 
 	warmByte := uint8(0)
@@ -679,7 +780,7 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		if gated {
 			h.resync.release()
 		}
-		return err
+		return nil, err
 	}
 	if err := wire.WriteMessage(enc, &wire.SessionTicket{Ticket: []byte(ticket), Role: role,
 		CacheEpoch: cacheEpoch}); err != nil {
@@ -687,61 +788,88 @@ func (h *Host) ServeConn(nc net.Conn) error {
 		if gated {
 			h.resync.release()
 		}
-		return err
+		return nil, err
 	}
+	return &hsResult{enc: enc, sess: sess, cl: cl, user: resp.User, role: role,
+		gated: gated}, nil
+}
 
-	sc := &serverConn{host: h, nc: nc, enc: enc, cl: cl, user: resp.User, role: role,
+// attachConn builds the live connection state a completed handshake
+// drives: the serverConn, its overload controller, rung carry-over,
+// audio tap, registration in the conns set, and — under Sched — the
+// shard task, wheel timers, and damage-wake hook.
+func (h *Host) attachConn(nc net.Conn, hr *hsResult, event bool) *serverConn {
+	sc := &serverConn{host: h, nc: nc, enc: hr.enc, cl: hr.cl, user: hr.user, role: hr.role,
 		pongs:   make(chan *wire.Pong, 8),
 		replies: make(chan *wire.AuditReply, 4),
 		acks:    make(chan *wire.MarkAck, 8), noticeRung: -1}
-	if gated {
+	if hr.gated {
 		sc.gateHeld.Store(true)
 	}
 	// A reattach already queued a full-screen resync, which heals any
 	// divergence an interrupted escalation sweep was chasing; the legacy
 	// verdict and probe sequence ride the session, the sweep does not.
-	cl.Audit().ResetSweep()
+	hr.cl.Audit().ResetSweep()
 	if !h.opts.DisableOverload {
 		sc.ctrl = overload.NewController(&sc.est, h.opts.Overload)
 	}
 	// A reattached session carries its degradation rung: the core client
 	// still applies it to payloads, so the controller must resume there
 	// (not silently diverge at lossless) and the client must be told.
-	if r := cl.Degrade(); r > 0 {
+	if r := hr.cl.Degrade(); r > 0 {
 		sc.forceRung(r)
 	}
-	detachAudio := h.sound.Attach(func(pts uint64, pcm []byte) {
+	sc.detachAudio = h.sound.Attach(func(pts uint64, pcm []byte) {
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		h.core.PushAudio(pts, pcm)
 	})
-	defer detachAudio()
 
+	if h.opts.Sched != nil {
+		sc.initSched(hr.sess, event)
+	}
 	h.mu.Lock()
 	h.conns[sc] = struct{}{}
 	h.connSeq++
-	label := fmt.Sprintf("%s#%d", resp.User, h.connSeq)
+	label := fmt.Sprintf("%s#%d", hr.user, h.connSeq)
+	if h.opts.Sched != nil {
+		// The damage wake: any command queued for this client arms a
+		// paced flush timer. Set under h.mu like every Buf access.
+		sc.cl.Buf.SetOnQueued(sc.armFlush)
+	}
 	h.mu.Unlock()
 	h.met.registerConn(h, label, sc)
+	if h.opts.Sched != nil {
+		sc.startSched()
+	}
+	return sc
+}
 
-	err = sc.run()
+// finishConn is the teardown tail every driver funnels through:
+// release a still-held admission slot, drop the conn from the live
+// set, count a reap when the connection died of silence, detach the
+// audio tap, and end (detach or retain) the session.
+func (h *Host) finishConn(sc *serverConn, sess *session, err error) {
 	if sc.gateHeld.CompareAndSwap(true, false) {
-		h.resync.release() // connection died before its resync drained
+		h.resync.release()
 	}
 	h.mu.Lock()
 	delete(h.conns, sc)
+	if sc.sched.task != nil {
+		sc.cl.Buf.SetOnQueued(nil)
+	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		h.stats.Reaps++
 		h.met.reaps.Inc()
 		if tr := h.met.tr; tr.Enabled() {
-			tr.Event("session.reap", "user="+resp.User)
+			tr.Event("session.reap", "user="+sc.user)
 		}
 	}
 	h.mu.Unlock()
 	// Retain the session for reattach unless retention is disabled.
-	h.endSession(sess, h.opts.DetachGrace > 0)
-	return err
+	h.endSession(sess, h.opts.DetachGrace > 0 && !h.closed.Load())
+	sc.detachAudio()
 }
 
 // endSession detaches the session's display client and either retains
@@ -749,24 +877,31 @@ func (h *Host) ServeConn(nc net.Conn) error {
 func (h *Host) endSession(s *session, retain bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if cur := h.sessions[s.ticket]; cur != s {
+	if cur, _, ok := h.sessions.Get(s.ticket); !ok || cur != any(s) {
 		return // already reattached or expired; the client is not ours
 	}
 	h.core.DetachClient(s.cl)
 	if !retain {
-		delete(h.sessions, s.ticket)
+		h.sessions.Remove(s.ticket, s)
 		return
 	}
 	s.detached = true
-	s.expiry = time.AfterFunc(h.opts.DetachGrace, func() {
+	h.sessions.Detach(s.ticket, s)
+	expire := func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
-		if cur := h.sessions[s.ticket]; cur == s {
-			delete(h.sessions, s.ticket)
+		if h.sessions.Remove(s.ticket, s) {
 			h.stats.ExpiredSessions++
 			h.met.expiredSessions.Inc()
 		}
-	})
+	}
+	// Under Sched the reap timer lives in the shared wheel — 10k
+	// detached sessions are 10k wheel entries, not 10k runtime timers.
+	if sched := h.opts.Sched; sched != nil {
+		s.expiry = sched.Wheel().After(h.opts.DetachGrace, expire)
+	} else {
+		s.expiry = time.AfterFunc(h.opts.DetachGrace, expire)
+	}
 }
 
 // serverConn is one live client connection.
@@ -809,6 +944,17 @@ type serverConn struct {
 	// flush loop, which owns the encoder, emits the notice.
 	noticeRung int32
 
+	// pingSeq numbers outgoing heartbeats; owned by the flush driver
+	// (flush loop or shard pump), which is the sole sender.
+	pingSeq uint32
+
+	// detachAudio unhooks the session's audio tap at teardown.
+	detachAudio func()
+
+	// sched is the event-driven driver's state (Options.Sched); its
+	// zero value marks the classic goroutine-pair driver.
+	sched schedConn
+
 	unknownLogged map[wire.Type]bool
 }
 
@@ -823,6 +969,12 @@ func (c *serverConn) forceRung(rung int) {
 		c.ctrl.ForceRung(rung)
 	}
 	c.estMu.Unlock()
+	// The classic driver's 5ms flush ticker would deliver the parked
+	// notice on its own; the sharded pump arms flush passes only on
+	// damage, so an idle scheduled session must be nudged explicitly.
+	if c.sched.task != nil {
+		c.armFlush()
+	}
 }
 
 // run pumps the reader and the flush loop until either fails, then
@@ -886,83 +1038,97 @@ func (c *serverConn) readLoop(done <-chan struct{}) error {
 			return nil
 		default:
 		}
-		switch v := m.(type) {
-		case *wire.Input:
-			if c.role == wire.RoleViewer {
-				// Viewers watch; their input never reaches the display.
-				c.host.mu.Lock()
-				c.host.stats.ViewerInputDropped++
-				c.host.mu.Unlock()
-				c.host.met.viewerInputDropped.Inc()
-				continue
-			}
-			func() {
-				c.host.mu.Lock()
-				defer c.host.mu.Unlock()
-				c.host.dpy.InjectInput(geom.Point{X: v.X, Y: v.Y})
-			}()
-			if h := c.host.opts.OnInput; h != nil {
-				h(v)
-			}
-		case *wire.Resize:
-			func() {
-				c.host.mu.Lock()
-				defer c.host.mu.Unlock()
-				c.cl.Resize(v.ViewW, v.ViewH)
-			}()
-		case *wire.Ping:
-			// Client-initiated probe: queue the echo for the writer.
-			select {
-			case c.pongs <- &wire.Pong{Seq: v.Seq, TimeUS: v.TimeUS}:
-			default: // writer backlogged; the next probe will do
-			}
-		case *wire.Pong:
-			// The read itself already refreshed the liveness deadline.
-			// Our Pings carry the send time; the echo yields the RTT.
-			if v.TimeUS != 0 {
-				if rtt := time.Now().UnixMicro() - int64(v.TimeUS); rtt >= 0 {
-					c.host.met.hbRTT.Observe(rtt)
-					c.estMu.Lock()
-					c.est.ObserveRTT(rtt)
-					c.estMu.Unlock()
-				}
-			}
-		case *wire.UpdateRequest:
-			// Push architecture: requests are legal but unnecessary.
-		case *wire.AuditReply:
-			// Queue the digest reply for the flush loop, which owns the
-			// audit state machine.
-			select {
-			case c.replies <- v:
-			default: // audit loop backlogged; the next probe re-checks
-			}
-		case *wire.MarkAck:
-			// Queue the e2e ack for the flush loop, which owns the mark
-			// window; a dropped ack just expires as a timeout.
-			select {
-			case c.acks <- v:
-			default:
-			}
-		case *wire.CacheMiss:
-			// The client could not honor a cache reference (corruption, a
-			// holding we believed it had). Drop the digest from its model
-			// and queue a plain RAW repaint of the region — the cache heals
-			// itself without ever risking a stale framebuffer.
-			func() {
-				c.host.mu.Lock()
-				defer c.host.mu.Unlock()
-				c.host.core.CacheMissRepair(c.cl, v.Digest, v.Rect)
-				c.host.stats.CacheMissRepairs++
-			}()
-			c.host.met.cacheMissRepairs.Inc()
-			if tr := c.host.met.tr; tr.Enabled() {
-				tr.Event("cache.miss_repair", fmt.Sprintf("user=%s digest=%016x rect=%v",
-					c.user, v.Digest, v.Rect))
-			}
-		default:
-			return fmt.Errorf("server: unexpected client message %v", m.Type())
+		if err := c.dispatch(m); err != nil {
+			return err
 		}
 	}
+}
+
+// dispatch handles one client-to-server message. It is the shared
+// inbound path of every driver: the read loop calls it after each
+// decode, and an EventSession delivers decoded messages straight into
+// it with no reader goroutine at all.
+func (c *serverConn) dispatch(m wire.Message) error {
+	switch v := m.(type) {
+	case *wire.Input:
+		if c.role == wire.RoleViewer {
+			// Viewers watch; their input never reaches the display.
+			c.host.mu.Lock()
+			c.host.stats.ViewerInputDropped++
+			c.host.mu.Unlock()
+			c.host.met.viewerInputDropped.Inc()
+			return nil
+		}
+		func() {
+			c.host.mu.Lock()
+			defer c.host.mu.Unlock()
+			c.host.dpy.InjectInput(geom.Point{X: v.X, Y: v.Y})
+		}()
+		if h := c.host.opts.OnInput; h != nil {
+			h(v)
+		}
+	case *wire.Resize:
+		func() {
+			c.host.mu.Lock()
+			defer c.host.mu.Unlock()
+			c.cl.Resize(v.ViewW, v.ViewH)
+		}()
+	case *wire.Ping:
+		// Client-initiated probe: queue the echo for the writer.
+		select {
+		case c.pongs <- &wire.Pong{Seq: v.Seq, TimeUS: v.TimeUS}:
+			c.wakeControl()
+		default: // writer backlogged; the next probe will do
+		}
+	case *wire.Pong:
+		// The read itself already refreshed the liveness deadline.
+		// Our Pings carry the send time; the echo yields the RTT.
+		if v.TimeUS != 0 {
+			if rtt := time.Now().UnixMicro() - int64(v.TimeUS); rtt >= 0 {
+				c.host.met.hbRTT.Observe(rtt)
+				c.estMu.Lock()
+				c.est.ObserveRTT(rtt)
+				c.estMu.Unlock()
+			}
+		}
+	case *wire.UpdateRequest:
+		// Push architecture: requests are legal but unnecessary.
+	case *wire.AuditReply:
+		// Queue the digest reply for the flush driver, which owns the
+		// audit state machine.
+		select {
+		case c.replies <- v:
+			c.wakeControl()
+		default: // audit loop backlogged; the next probe re-checks
+		}
+	case *wire.MarkAck:
+		// Queue the e2e ack for the flush driver, which owns the mark
+		// window; a dropped ack just expires as a timeout.
+		select {
+		case c.acks <- v:
+			c.wakeControl()
+		default:
+		}
+	case *wire.CacheMiss:
+		// The client could not honor a cache reference (corruption, a
+		// holding we believed it had). Drop the digest from its model
+		// and queue a plain RAW repaint of the region — the cache heals
+		// itself without ever risking a stale framebuffer.
+		func() {
+			c.host.mu.Lock()
+			defer c.host.mu.Unlock()
+			c.host.core.CacheMissRepair(c.cl, v.Digest, v.Rect)
+			c.host.stats.CacheMissRepairs++
+		}()
+		c.host.met.cacheMissRepairs.Inc()
+		if tr := c.host.met.tr; tr.Enabled() {
+			tr.Event("cache.miss_repair", fmt.Sprintf("user=%s digest=%016x rect=%v",
+				c.user, v.Digest, v.Rect))
+		}
+	default:
+		return fmt.Errorf("server: unexpected client message %v", m.Type())
+	}
+	return nil
 }
 
 // logUnknown logs an unknown client message type once per type.
@@ -1007,30 +1173,7 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 	}
 	batch := wire.NewBatch()
 	defer batch.Release()
-	var pingSeq uint32
-	met := c.host.met
-
-	// queue frames m into the batch and feeds the per-type wire
-	// counters from the O(1) analytic size; flush commits the whole
-	// batch in one write under the write deadline.
-	queue := func(m wire.Message) error {
-		if err := batch.Append(m); err != nil {
-			return err
-		}
-		t := m.Type()
-		met.msgsByType[t].Inc()
-		met.bytesByType[t].Add(int64(wire.WireSize(m)))
-		return nil
-	}
-	flush := func() error {
-		if batch.Empty() {
-			return nil
-		}
-		_ = c.nc.SetWriteDeadline(time.Now().Add(c.host.opts.WriteTimeout))
-		_, err := batch.WriteTo(c.enc)
-		batch.Reset()
-		return err
-	}
+	queue, flush := c.makeQueueFlush(batch)
 
 	for {
 		select {
@@ -1052,109 +1195,158 @@ func (c *serverConn) flushLoop(done <-chan struct{}) error {
 				return err
 			}
 		case <-hb.C:
-			pingSeq++
-			if err := queue(&wire.Ping{Seq: pingSeq,
-				TimeUS: uint64(time.Now().UnixMicro())}); err != nil {
+			if err := c.heartbeatTick(queue, flush); err != nil {
 				return err
-			}
-			met.heartbeatsSent.Inc()
-			if err := flush(); err != nil {
-				return err
-			}
-			// Age out unanswered marks even when the display is idle, so a
-			// pre-v5 peer reaches its legacy verdict without new damage.
-			if !c.host.opts.DisableE2E {
-				c.e2eExpire()
 			}
 		case <-t.C:
-			var msgs []wire.Message
-			var backlog int
-			var ft core.FlushTrace
-			func() {
-				c.host.mu.Lock()
-				defer c.host.mu.Unlock()
-				msgs = c.cl.Flush(c.host.opts.FlushBudget)
-				if len(msgs) == 0 && c.cl.Buf.Len() > 0 {
-					// The head command is unsplittable and larger than the
-					// whole budget (a long audio write against a modem-class
-					// pacing budget): stream it whole, like a kernel taking
-					// one oversized write, or the queue wedges forever.
-					msgs = c.cl.Buf.FlushOne()
-				}
-				if len(msgs) > 0 {
-					ft = c.cl.Buf.LastFlush()
-				}
-				backlog = c.cl.Buf.QueuedBytes()
-			}()
-			drainNS := time.Now().UnixNano()
-			for _, m := range msgs {
-				if err := queue(m); err != nil {
-					return err
-				}
-			}
-			// The mark rides the same batch as the commands it names, so
-			// the client acks it only after applying everything before it.
-			mark := c.e2eMark(ft, drainNS)
-			if mark != nil {
-				if err := queue(mark); err != nil {
-					return err
-				}
-			}
-			batchBytes := batch.Len()
-			start := time.Now()
-			if err := flush(); err != nil {
+			if _, err := c.flushTick(batch, queue, flush); err != nil {
 				return err
-			}
-			if mark != nil {
-				c.e2eArm()
-			}
-			// The vectored write is done; RAW payload buffers can go
-			// back to the codec scratch pool.
-			core.RecycleMessages(msgs)
-			if batchBytes > 0 {
-				met.flushBatch.Observe(batchBytes)
-				c.estMu.Lock()
-				c.est.ObserveFlush(int(batchBytes), time.Since(start))
-				c.estMu.Unlock()
-			}
-			if err := c.overloadTick(backlog, queue, flush); err != nil {
-				return err
-			}
-			// The admitted resync has fully drained: hand the gate slot to
-			// the next waiting reattacher in the storm.
-			if backlog == 0 && c.gateHeld.CompareAndSwap(true, false) {
-				c.host.resync.release()
-			}
-			// An out-of-band rung change (ForceRung, reattach carry-over)
-			// parked a notice for us — the flush loop owns the encoder.
-			if want := atomic.SwapInt32(&c.noticeRung, -1); want >= 0 {
-				if err := queue(&wire.DegradeNotice{Rung: uint8(want),
-					Cause: wire.CauseAdmin, BacklogBytes: clampU32(backlog)}); err != nil {
-					return err
-				}
-				if err := flush(); err != nil {
-					return err
-				}
-			}
-			// Slow-client policy: a backlog past the bound means the peer
-			// cannot keep up with the session; delivering it all would only
-			// grow the queue and the client's staleness. Drop it and queue
-			// a fresh full-screen resync instead (§5's bounded buffers).
-			if max := c.host.opts.MaxBacklogBytes; max > 0 && backlog > max {
-				func() {
-					c.host.mu.Lock()
-					defer c.host.mu.Unlock()
-					c.host.core.ResyncClient(c.cl)
-					c.host.stats.SlowResyncs++
-				}()
-				met.slowResyncs.Inc()
-				if tr := met.tr; tr.Enabled() {
-					tr.Event("session.slow_resync",
-						fmt.Sprintf("user=%s backlog=%d", c.user, backlog))
-				}
 			}
 		}
 	}
+}
+
+// makeQueueFlush builds the batch-bound queue/flush pair shared by the
+// goroutine flush loop and the sharded scheduler pump. queue frames m
+// into the batch and feeds the per-type wire counters from the O(1)
+// analytic size; flush commits the whole batch in one write under the
+// write deadline.
+func (c *serverConn) makeQueueFlush(batch *wire.Batch) (queue func(wire.Message) error, flush func() error) {
+	met := c.host.met
+	queue = func(m wire.Message) error {
+		if err := batch.Append(m); err != nil {
+			return err
+		}
+		t := m.Type()
+		met.msgsByType[t].Inc()
+		met.bytesByType[t].Add(int64(wire.WireSize(m)))
+		return nil
+	}
+	flush = func() error {
+		if batch.Empty() {
+			return nil
+		}
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.host.opts.WriteTimeout))
+		_, err := batch.WriteTo(c.enc)
+		batch.Reset()
+		return err
+	}
+	return queue, flush
+}
+
+// heartbeatTick emits one Ping and ages out unanswered e2e marks.
+func (c *serverConn) heartbeatTick(queue func(wire.Message) error, flush func() error) error {
+	c.pingSeq++
+	if err := queue(&wire.Ping{Seq: c.pingSeq,
+		TimeUS: uint64(time.Now().UnixMicro())}); err != nil {
+		return err
+	}
+	c.host.met.heartbeatsSent.Inc()
+	if err := flush(); err != nil {
+		return err
+	}
+	// Age out unanswered marks even when the display is idle, so a
+	// pre-v5 peer reaches its legacy verdict without new damage.
+	if !c.host.opts.DisableE2E {
+		c.e2eExpire()
+	}
+	return nil
+}
+
+// flushTick runs one delivery interval: drain up to the budget from
+// the client buffer, commit the batch in one vectored write, run the
+// overload controller, and apply the slow-client policy. It returns
+// the post-flush backlog so the caller can decide whether another tick
+// is needed (the sharded pump re-arms only while backlog remains).
+func (c *serverConn) flushTick(batch *wire.Batch, queue func(wire.Message) error, flush func() error) (int, error) {
+	met := c.host.met
+	var msgs []wire.Message
+	var backlog int
+	var ft core.FlushTrace
+	func() {
+		c.host.mu.Lock()
+		defer c.host.mu.Unlock()
+		msgs = c.cl.Flush(c.host.opts.FlushBudget)
+		if len(msgs) == 0 && c.cl.Buf.Len() > 0 {
+			// The head command is unsplittable and larger than the
+			// whole budget (a long audio write against a modem-class
+			// pacing budget): stream it whole, like a kernel taking
+			// one oversized write, or the queue wedges forever.
+			msgs = c.cl.Buf.FlushOne()
+		}
+		if len(msgs) > 0 {
+			ft = c.cl.Buf.LastFlush()
+		}
+		backlog = c.cl.Buf.QueuedBytes()
+	}()
+	drainNS := time.Now().UnixNano()
+	for _, m := range msgs {
+		if err := queue(m); err != nil {
+			return backlog, err
+		}
+	}
+	// The mark rides the same batch as the commands it names, so
+	// the client acks it only after applying everything before it.
+	mark := c.e2eMark(ft, drainNS)
+	if mark != nil {
+		if err := queue(mark); err != nil {
+			return backlog, err
+		}
+	}
+	batchBytes := batch.Len()
+	start := time.Now()
+	if err := flush(); err != nil {
+		return backlog, err
+	}
+	if mark != nil {
+		c.e2eArm()
+	}
+	// The vectored write is done; RAW payload buffers can go
+	// back to the codec scratch pool.
+	core.RecycleMessages(msgs)
+	if batchBytes > 0 {
+		met.flushBatch.Observe(batchBytes)
+		c.estMu.Lock()
+		c.est.ObserveFlush(int(batchBytes), time.Since(start))
+		c.estMu.Unlock()
+	}
+	if err := c.overloadTick(backlog, queue, flush); err != nil {
+		return backlog, err
+	}
+	// The admitted resync has fully drained: hand the gate slot to
+	// the next waiting reattacher in the storm.
+	if backlog == 0 && c.gateHeld.CompareAndSwap(true, false) {
+		c.host.resync.release()
+	}
+	// An out-of-band rung change (ForceRung, reattach carry-over)
+	// parked a notice for us — the flush loop owns the encoder.
+	if want := atomic.SwapInt32(&c.noticeRung, -1); want >= 0 {
+		if err := queue(&wire.DegradeNotice{Rung: uint8(want),
+			Cause: wire.CauseAdmin, BacklogBytes: clampU32(backlog)}); err != nil {
+			return backlog, err
+		}
+		if err := flush(); err != nil {
+			return backlog, err
+		}
+	}
+	// Slow-client policy: a backlog past the bound means the peer
+	// cannot keep up with the session; delivering it all would only
+	// grow the queue and the client's staleness. Drop it and queue
+	// a fresh full-screen resync instead (§5's bounded buffers).
+	if max := c.host.opts.MaxBacklogBytes; max > 0 && backlog > max {
+		func() {
+			c.host.mu.Lock()
+			defer c.host.mu.Unlock()
+			c.host.core.ResyncClient(c.cl)
+			c.host.stats.SlowResyncs++
+		}()
+		met.slowResyncs.Inc()
+		if tr := met.tr; tr.Enabled() {
+			tr.Event("session.slow_resync",
+				fmt.Sprintf("user=%s backlog=%d", c.user, backlog))
+		}
+	}
+	return backlog, nil
 }
 
 // clampU32 saturates a non-negative int into a uint32 wire field.

@@ -13,6 +13,8 @@ import (
 	"thinc/internal/client"
 	"thinc/internal/geom"
 	"thinc/internal/pixel"
+	"thinc/internal/shard"
+	"thinc/internal/testutil"
 	"thinc/internal/wire"
 	"thinc/internal/xserver"
 )
@@ -23,16 +25,23 @@ func testGate() *auth.Authenticator {
 	return auth.NewAuthenticator("owner", acc)
 }
 
-// startHost runs a host on a loopback listener.
+// startHost runs a host on a loopback listener. Every test that starts
+// a host also runs under the goroutine-leak checker: cleanups run LIFO,
+// so the host and listener are torn down first and the leak diff runs
+// last, holding Host.Close to releasing every goroutine it owns.
 func startHost(t *testing.T, w, h int, opts Options) (*Host, string) {
 	t.Helper()
+	testutil.CheckGoroutines(t)
 	host := NewHost(w, h, testGate(), opts)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	go host.Serve(l)
-	t.Cleanup(func() { l.Close() })
+	t.Cleanup(func() {
+		l.Close()
+		host.Close()
+	})
 	return host, l.Addr().String()
 }
 
@@ -74,6 +83,35 @@ func TestEndToEndOverTCP(t *testing.T) {
 	want := host.ScreenChecksum()
 
 	waitFor(t, "client convergence", func() bool {
+		return conn.Snapshot().Checksum() == want
+	})
+}
+
+// TestEndToEndOverTCPSharded is the socket end-to-end path under the
+// sharded delivery core (Options.Sched): the accept goroutine becomes
+// the blocking reader (runScheduled) while flushes, heartbeats, and
+// dispatch run on the shard workers. The client must converge exactly
+// as under the classic goroutine driver.
+func TestEndToEndOverTCPSharded(t *testing.T) {
+	sched := shard.NewScheduler(shard.Options{})
+	t.Cleanup(sched.Close)
+	host, addr := startHost(t, 160, 120, Options{FlushInterval: time.Millisecond, Sched: sched})
+
+	conn, err := client.Dial(addr, "owner", "pw", 160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go conn.Run()
+
+	host.Do(func(d *xserver.Display) {
+		win := d.CreateWindow(geom.XYWH(0, 0, 160, 120))
+		d.FillRect(win, &xserver.GC{Fg: pixel.RGB(10, 180, 40)}, geom.XYWH(10, 10, 80, 60))
+		d.DrawText(win, &xserver.GC{Fg: pixel.RGB(255, 255, 255)}, 12, 12, "sharded")
+	})
+	want := host.ScreenChecksum()
+
+	waitFor(t, "sharded client convergence", func() bool {
 		return conn.Snapshot().Checksum() == want
 	})
 }

@@ -62,6 +62,13 @@ type hostMetrics struct {
 	// Warm reattach and storm admission (wire v7).
 	warmReattaches, coldReattaches *telemetry.Counter
 	reattachRejected               *telemetry.Counter
+
+	// perConn enables the per-connection series of registerConn. A
+	// private single-Host bundle keeps them; a Fleet sharing one bundle
+	// across thousands of hosts disables them — the registry's series
+	// lookup is linear, so 10k per-conn registrations would turn every
+	// attach into an O(n) scan (and the scrape into a labels flood).
+	perConn bool
 }
 
 // wireTypeLabels names the per-type series: the five display commands
@@ -82,11 +89,23 @@ var wireTypeLabels = []struct {
 	{"control", nil}, // every remaining type
 }
 
-func newHostMetrics(h *Host) *hostMetrics {
-	reg := telemetry.NewRegistry()
+// defaultHostMetrics builds the private single-Host bundle: its own
+// registry and tracer, per-conn series enabled. The caller registers
+// the host-bound gauges with registerHostGauges once the Host exists.
+func defaultHostMetrics() *hostMetrics {
+	m := newHostMetrics(telemetry.NewRegistry(), telemetry.NewTracer(4096))
+	m.perConn = true
+	return m
+}
+
+// newHostMetrics registers every host instrument into reg. It carries
+// no reference to any Host, so a Fleet can share one bundle across all
+// its hosts; registration is idempotent per (name, labels), making the
+// process-wide CounterFuncs safe to re-register.
+func newHostMetrics(reg *telemetry.Registry, tr *telemetry.Tracer) *hostMetrics {
 	m := &hostMetrics{
 		reg: reg,
-		tr:  telemetry.NewTracer(4096),
+		tr:  tr,
 		hbRTT: reg.Histogram("thinc_heartbeat_rtt_us",
 			"round-trip time of server heartbeats", telemetry.LatencyBucketsUS),
 		flushBatch: reg.Histogram("thinc_server_flush_batch_bytes",
@@ -232,12 +251,6 @@ func newHostMetrics(h *Host) *hostMetrics {
 		"codec scratch borrows that had to allocate",
 		func() int64 { return compress.PoolStats().Misses })
 
-	// Scrape-time gauges: point-in-time state read under the Host lock
-	// only when /metrics is hit — the command path never touches these.
-	reg.GaugeFunc("thinc_clients", "attached display clients",
-		func() int64 { return int64(h.NumClients()) })
-	reg.GaugeFunc("thinc_session_viewers", "live viewer-role connections",
-		func() int64 { return int64(h.NumViewers()) })
 	// Fan-out amplification: per-client deliveries per translated
 	// command, in thousandths (a session with one owner and three
 	// viewers reads 4000). Computed from the core fan-out counters at
@@ -267,6 +280,19 @@ func newHostMetrics(h *Host) *hostMetrics {
 			}
 			return hits * 1000 / total
 		})
+	return m
+}
+
+// registerHostGauges publishes the scrape-time gauges bound to one
+// Host: point-in-time state read under its lock only when /metrics is
+// hit — the command path never touches these. A Fleet sharing one
+// bundle skips this (its aggregates are registered fleet-wide instead).
+func (m *hostMetrics) registerHostGauges(h *Host) {
+	reg := m.reg
+	reg.GaugeFunc("thinc_clients", "attached display clients",
+		func() int64 { return int64(h.NumClients()) })
+	reg.GaugeFunc("thinc_session_viewers", "live viewer-role connections",
+		func() int64 { return int64(h.NumViewers()) })
 	reg.GaugeFunc("thinc_detached_sessions", "sessions retained for reattach",
 		func() int64 { return int64(h.NumDetached()) })
 	// Storm admission gate occupancy: in-flight cold resyncs and the
@@ -287,7 +313,6 @@ func newHostMetrics(h *Host) *hostMetrics {
 			"wire bytes waiting per SRSF queue across all clients",
 			func() int64 { _, b := h.queueLoads(); return b[q] }, label)
 	}
-	return m
 }
 
 // registerConn publishes one connection's per-client series: the
@@ -297,6 +322,9 @@ func newHostMetrics(h *Host) *hostMetrics {
 // registry has no unregister), so the label embeds the connection
 // sequence number rather than reusing the user name.
 func (m *hostMetrics) registerConn(h *Host, label string, sc *serverConn) {
+	if !m.perConn {
+		return
+	}
 	l := telemetry.L("client", label)
 	m.reg.GaugeFunc("thinc_client_degrade_rung",
 		"active degradation ladder rung for this client",

@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// Task states, guarded by the owning shard's mutex.
+const (
+	taskIdle int32 = iota
+	taskQueued
+	taskRunning
+	taskRunningQueued // woken while running: re-enqueue at tail after
+)
+
+// Task is a unit of serialized work pinned to one shard. Wake
+// enqueues it; the shard worker runs its callback. Wakes coalesce: a
+// task occupies at most one queue slot, and a wake that lands while
+// the callback runs re-enqueues it at the tail afterwards — so a
+// session with continuous damage takes one queue turn per run and can
+// never starve its shard siblings.
+type Task struct {
+	s      *runShard
+	fn     func()
+	state  int32
+	closed bool
+	wokeAt time.Time
+}
+
+// Pool is a fixed set of worker shards, one goroutine each, draining
+// per-shard FIFO run queues.
+type Pool struct {
+	shards []*runShard
+	wg     sync.WaitGroup
+
+	// OnWait and OnRun, if set before Start, observe each run's queue
+	// wait and callback duration in nanoseconds (telemetry hooks).
+	OnWait func(ns int64)
+	OnRun  func(ns int64)
+}
+
+type runShard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []*Task
+	head    int
+	current *Task
+	stopped bool
+
+	wakes    int64
+	runs     int64
+	tasks    int64
+	maxDepth int64
+}
+
+// NewPool builds a pool with n worker shards (min 1). Call Start.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{shards: make([]*runShard, n)}
+	for i := range p.shards {
+		s := &runShard{}
+		s.cond = sync.NewCond(&s.mu)
+		p.shards[i] = s
+	}
+	return p
+}
+
+// NumShards returns the worker count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Start launches one worker goroutine per shard.
+func (p *Pool) Start() {
+	for _, s := range p.shards {
+		p.wg.Add(1)
+		go p.work(s)
+	}
+}
+
+// Stop drains the queues and waits for the workers to exit. Queued
+// tasks still run; new Wakes after Stop return false.
+func (p *Pool) Stop() {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.stopped = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	p.wg.Wait()
+}
+
+// Task creates a task pinned to the shard selected by key.
+func (p *Pool) Task(key uint64, fn func()) *Task {
+	s := p.shards[key%uint64(len(p.shards))]
+	s.mu.Lock()
+	s.tasks++
+	s.mu.Unlock()
+	return &Task{s: s, fn: fn}
+}
+
+// depth reports queued entries; caller holds s.mu.
+func (s *runShard) depth() int64 { return int64(len(s.q) - s.head) }
+
+func (s *runShard) push(t *Task) {
+	s.q = append(s.q, t)
+	if d := s.depth(); d > s.maxDepth {
+		s.maxDepth = d
+	}
+}
+
+func (s *runShard) pop() *Task {
+	t := s.q[s.head]
+	s.q[s.head] = nil
+	s.head++
+	if s.head > 64 && s.head*2 >= len(s.q) {
+		s.q = append(s.q[:0], s.q[s.head:]...)
+		s.head = 0
+	}
+	return t
+}
+
+// Wake schedules the task to run. Returns false if the task is closed
+// or the pool stopped; true otherwise (including coalesced wakes).
+func (t *Task) Wake() bool {
+	s := t.s
+	s.mu.Lock()
+	if t.closed || s.stopped {
+		s.mu.Unlock()
+		return false
+	}
+	s.wakes++
+	switch t.state {
+	case taskIdle:
+		t.state = taskQueued
+		t.wokeAt = time.Now()
+		s.push(t)
+		s.cond.Signal()
+	case taskRunning:
+		t.state = taskRunningQueued
+		t.wokeAt = time.Now()
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// Close marks the task dead: pending queue entries are skipped and
+// future Wakes refused. It does not wait for an in-flight callback —
+// safe to call from the task's own callback during teardown.
+func (t *Task) Close() {
+	s := t.s
+	s.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		s.tasks--
+		if t.state == taskRunningQueued {
+			t.state = taskRunning // suppress the re-enqueue
+		}
+	}
+	s.mu.Unlock()
+}
+
+// CloseWait is Close plus a wait for any in-flight callback to
+// return. It must NOT be called from the task's own callback — that
+// would deadlock waiting on itself.
+func (t *Task) CloseWait() {
+	t.Close()
+	s := t.s
+	s.mu.Lock()
+	for s.current == t {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+func (p *Pool) work(s *runShard) {
+	defer p.wg.Done()
+	s.mu.Lock()
+	for {
+		for s.depth() == 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.depth() == 0 && s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		t := s.pop()
+		if t.closed {
+			continue
+		}
+		wait := time.Since(t.wokeAt)
+		t.state = taskRunning
+		s.current = t
+		s.runs++
+		s.mu.Unlock()
+
+		if p.OnWait != nil {
+			p.OnWait(int64(wait))
+		}
+		start := time.Now()
+		t.fn()
+		if p.OnRun != nil {
+			p.OnRun(int64(time.Since(start)))
+		}
+
+		s.mu.Lock()
+		s.current = nil
+		if t.state == taskRunningQueued {
+			// Woken mid-run: back of the line, so shard siblings get
+			// their turn first (fairness under continuous damage).
+			t.state = taskQueued
+			s.push(t)
+		} else {
+			t.state = taskIdle
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// ShardStats is a snapshot of one run shard.
+type ShardStats struct {
+	Wakes    int64 // Wake calls accepted (coalesced ones included)
+	Runs     int64 // callback invocations
+	Tasks    int64 // live (non-closed) tasks pinned here
+	Depth    int64 // queued right now
+	MaxDepth int64 // high-watermark queue depth
+}
+
+// PoolStats aggregates all shards plus the per-shard breakdown.
+type PoolStats struct {
+	Wakes, Runs, Tasks, Depth, MaxDepth int64
+	Shards                              []ShardStats
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() PoolStats {
+	var ps PoolStats
+	ps.Shards = make([]ShardStats, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		st := ShardStats{
+			Wakes: s.wakes, Runs: s.runs, Tasks: s.tasks,
+			Depth: s.depth(), MaxDepth: s.maxDepth,
+		}
+		s.mu.Unlock()
+		ps.Shards[i] = st
+		ps.Wakes += st.Wakes
+		ps.Runs += st.Runs
+		ps.Tasks += st.Tasks
+		ps.Depth += st.Depth
+		if st.MaxDepth > ps.MaxDepth {
+			ps.MaxDepth = st.MaxDepth
+		}
+	}
+	return ps
+}

@@ -1,0 +1,170 @@
+package shard
+
+import "sync"
+
+// Registry is a sharded key→session map with the exact operation set
+// the session lifecycle needs: attach (insert live), detach (mark
+// retained after disconnect), claim (consume a retained entry on
+// reattach), and identity-checked remove (expiry reaping must only
+// delete the entry it armed against, never a successor under the same
+// key). Mutating ops are conditional on the stored value's identity
+// so stale timers and racing teardowns become no-ops instead of
+// deleting a live session.
+type Registry struct {
+	shards []regShard
+}
+
+type regShard struct {
+	mu sync.RWMutex
+	m  map[string]regEntry
+}
+
+type regEntry struct {
+	val      any
+	detached bool
+}
+
+// NewRegistry builds a registry with n shards (min 1).
+func NewRegistry(n int) *Registry {
+	if n < 1 {
+		n = 1
+	}
+	r := &Registry{shards: make([]regShard, n)}
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]regEntry)
+	}
+	return r
+}
+
+// Hash is FNV-1a over the key — also the shard selector callers use
+// to pin a session's Task to the same shard as its registry entry.
+func Hash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (r *Registry) shardFor(key string) *regShard {
+	return &r.shards[Hash(key)%uint64(len(r.shards))]
+}
+
+// Attach inserts a live entry. False if the key is already present.
+func (r *Registry) Attach(key string, val any) bool {
+	s := r.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; ok {
+		return false
+	}
+	s.m[key] = regEntry{val: val}
+	return true
+}
+
+// Get returns the stored value and whether it is detached.
+func (r *Registry) Get(key string) (val any, detached, ok bool) {
+	s := r.shardFor(key)
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
+	return e.val, e.detached, ok
+}
+
+// Detach marks the entry retained-after-disconnect. False unless the
+// key maps to exactly val and is currently attached.
+func (r *Registry) Detach(key string, val any) bool {
+	s := r.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok || e.val != val || e.detached {
+		return false
+	}
+	e.detached = true
+	s.m[key] = e
+	return true
+}
+
+// Claim consumes a detached entry whose value passes ok (called with
+// the shard lock held — keep it cheap). It returns the value on
+// success; attached entries and predicate failures leave the entry
+// untouched.
+func (r *Registry) Claim(key string, ok func(val any) bool) (any, bool) {
+	s := r.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, present := s.m[key]
+	if !present || !e.detached || (ok != nil && !ok(e.val)) {
+		return nil, false
+	}
+	delete(s.m, key)
+	return e.val, true
+}
+
+// Remove deletes the entry if the key maps to exactly val, in either
+// attached or detached state. Reports whether a delete happened.
+func (r *Registry) Remove(key string, val any) bool {
+	s := r.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok || e.val != val {
+		return false
+	}
+	delete(s.m, key)
+	return true
+}
+
+// Len counts all entries.
+func (r *Registry) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// NumDetached counts retained entries.
+func (r *Registry) NumDetached() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, e := range s.m {
+			if e.detached {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range visits every entry until fn returns false. Each shard is
+// snapshotted under its read lock and visited outside it, so fn may
+// call back into the registry.
+func (r *Registry) Range(fn func(key string, val any, detached bool) bool) {
+	type kv struct {
+		k string
+		e regEntry
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		snap := make([]kv, 0, len(s.m))
+		for k, e := range s.m {
+			snap = append(snap, kv{k, e})
+		}
+		s.mu.RUnlock()
+		for _, p := range snap {
+			if !fn(p.k, p.e.val, p.e.detached) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package simnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// EventConn is an in-memory net.Conn built for the event-driven load
+// harness: a pair of them forms a duplex byte pipe with buffered,
+// non-blocking writes and an optional OnData hook that fires after a
+// peer write lands. The hook is what makes a goroutine-free client
+// driver possible — instead of a blocking reader per connection, the
+// harness drains whatever is buffered from inside the hook (on the
+// writer's goroutine) and parses complete frames incrementally.
+//
+// Reads block (with deadline support) when the buffer is empty, so the
+// same conn also works for the synchronous handshake phase. Writes
+// never block: the buffer grows as needed, matching a kernel socket
+// buffer sized ample for the test.
+type EventConn struct {
+	peer *EventConn
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	start    int // read offset into buf
+	closed   bool
+	deadline time.Time
+	dlTimer  *time.Timer
+
+	// onData, called after a peer write (outside the lock, on the
+	// writer's goroutine) with the number of bytes appended.
+	onData func(n int)
+}
+
+// NewEventPair returns the two ends of an in-memory duplex connection.
+func NewEventPair() (a, b *EventConn) {
+	a = &EventConn{}
+	b = &EventConn{}
+	a.cond = sync.NewCond(&a.mu)
+	b.cond = sync.NewCond(&b.mu)
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// SetOnData installs the data hook on this end: fn fires after every
+// peer write that appends n bytes to this end's read buffer. Pass nil
+// to clear. The hook runs on the writing goroutine with no locks held,
+// so it may Read this conn (the data is already buffered) but must not
+// block indefinitely.
+func (c *EventConn) SetOnData(fn func(n int)) {
+	c.mu.Lock()
+	c.onData = fn
+	c.mu.Unlock()
+}
+
+// Buffered returns the number of bytes available to Read right now.
+func (c *EventConn) Buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf) - c.start
+}
+
+// Read returns buffered bytes, blocking while the buffer is empty
+// until data arrives, the read deadline passes, or the conn closes.
+func (c *EventConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.buf)-c.start == 0 {
+		if c.closed {
+			return 0, io.EOF
+		}
+		if !c.deadline.IsZero() && !time.Now().Before(c.deadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		c.cond.Wait()
+	}
+	n := copy(p, c.buf[c.start:])
+	c.start += n
+	// Compact once the consumed prefix dominates, so a long-lived conn
+	// does not grow its buffer forever.
+	if c.start > 4096 && c.start*2 >= len(c.buf) {
+		c.buf = append(c.buf[:0], c.buf[c.start:]...)
+		c.start = 0
+	}
+	return n, nil
+}
+
+// Write appends p to the peer's read buffer and fires its OnData hook.
+// It never blocks; writing to a closed pipe errors.
+func (c *EventConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, io.ErrClosedPipe
+	}
+	peer := c.peer
+	peer.mu.Lock()
+	if peer.closed {
+		peer.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	peer.buf = append(peer.buf, p...)
+	hook := peer.onData
+	peer.cond.Broadcast()
+	peer.mu.Unlock()
+	if hook != nil {
+		hook(len(p))
+	}
+	return len(p), nil
+}
+
+// Close closes both directions: local reads drain to EOF immediately
+// (buffered data is discarded), peer reads see EOF after draining.
+func (c *EventConn) Close() error {
+	for _, e := range []*EventConn{c, c.peer} {
+		e.mu.Lock()
+		e.closed = true
+		if e.dlTimer != nil {
+			e.dlTimer.Stop()
+			e.dlTimer = nil
+		}
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// SetDeadline sets both deadlines (only reads ever block).
+func (c *EventConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetWriteDeadline is a no-op: writes never block.
+func (c *EventConn) SetWriteDeadline(time.Time) error { return nil }
+
+// SetReadDeadline bounds blocked reads. A background timer wakes the
+// waiters when the deadline trips; it is re-armed per call, so only
+// conns actually using deadlines (the handshake phase) pay for one.
+func (c *EventConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return io.ErrClosedPipe
+	}
+	c.deadline = t
+	if c.dlTimer != nil {
+		c.dlTimer.Stop()
+		c.dlTimer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		c.dlTimer = time.AfterFunc(d, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+	}
+	return nil
+}
+
+type eventAddr struct{}
+
+func (eventAddr) Network() string { return "event" }
+func (eventAddr) String() string  { return "event" }
+
+// LocalAddr implements net.Conn.
+func (c *EventConn) LocalAddr() net.Addr { return eventAddr{} }
+
+// RemoteAddr implements net.Conn.
+func (c *EventConn) RemoteAddr() net.Addr { return eventAddr{} }
+
+// ErrClosed reports whether err is the pipe-closed error either side
+// returns after Close.
+func ErrClosed(err error) bool { return errors.Is(err, io.ErrClosedPipe) }

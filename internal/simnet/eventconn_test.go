@@ -1,0 +1,224 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thinc/internal/testutil"
+)
+
+func TestEventPairRoundTrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a, b := NewEventPair()
+	defer a.Close()
+
+	if n, err := a.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if got := b.Buffered(); got != 5 {
+		t.Fatalf("Buffered = %d, want 5", got)
+	}
+	p := make([]byte, 8)
+	n, err := b.Read(p)
+	if err != nil || string(p[:n]) != "hello" {
+		t.Fatalf("Read = %q, %v", p[:n], err)
+	}
+	if got := b.Buffered(); got != 0 {
+		t.Fatalf("Buffered after drain = %d", got)
+	}
+	// The other direction works too.
+	b.Write([]byte("yo"))
+	n, err = a.Read(p)
+	if err != nil || string(p[:n]) != "yo" {
+		t.Fatalf("reverse Read = %q, %v", p[:n], err)
+	}
+}
+
+// TestEventConnOnDataHook: the hook fires on the writer's goroutine
+// with the appended byte count, and may Read the conn from inside —
+// the pattern the goroutine-free load client depends on.
+func TestEventConnOnDataHook(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a, b := NewEventPair()
+	defer a.Close()
+
+	var got bytes.Buffer
+	var calls atomic.Int32
+	b.SetOnData(func(n int) {
+		calls.Add(1)
+		p := make([]byte, n)
+		k, err := b.Read(p)
+		if err != nil {
+			t.Errorf("Read inside hook: %v", err)
+			return
+		}
+		got.Write(p[:k])
+	})
+	a.Write([]byte("one "))
+	a.Write([]byte("two"))
+	if calls.Load() != 2 {
+		t.Fatalf("hook fired %d times, want 2", calls.Load())
+	}
+	if got.String() != "one two" {
+		t.Fatalf("hook drained %q", got.String())
+	}
+	// Clearing the hook leaves writes buffering silently.
+	b.SetOnData(nil)
+	a.Write([]byte("!"))
+	if calls.Load() != 2 || b.Buffered() != 1 {
+		t.Fatalf("cleared hook still fired (calls=%d buffered=%d)",
+			calls.Load(), b.Buffered())
+	}
+}
+
+// TestEventConnBlockingRead: an empty-buffer Read parks until the peer
+// writes, like a socket.
+func TestEventConnBlockingRead(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a, b := NewEventPair()
+	defer a.Close()
+
+	done := make(chan string, 1)
+	go func() {
+		p := make([]byte, 16)
+		n, err := b.Read(p)
+		if err != nil {
+			done <- err.Error()
+			return
+		}
+		done <- string(p[:n])
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader park
+	a.Write([]byte("wakeup"))
+	select {
+	case got := <-done:
+		if got != "wakeup" {
+			t.Fatalf("blocked read got %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read never woke")
+	}
+}
+
+func TestEventConnReadDeadline(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a, b := NewEventPair()
+	defer a.Close()
+
+	// SetDeadline routes to the read deadline; write deadlines are a
+	// no-op because writes never block.
+	if err := b.SetWriteDeadline(time.Now()); err != nil {
+		t.Fatalf("SetWriteDeadline: %v", err)
+	}
+	if err := b.SetDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatalf("SetDeadline: %v", err)
+	}
+	if _, err := b.Read(make([]byte, 4)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expired read = %v, want deadline exceeded", err)
+	}
+	// Clearing the deadline unblocks future reads.
+	if err := b.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatalf("clear deadline: %v", err)
+	}
+	a.Write([]byte("x"))
+	if n, err := b.Read(make([]byte, 4)); n != 1 || err != nil {
+		t.Fatalf("post-clear read = %d, %v", n, err)
+	}
+}
+
+func TestEventConnClose(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a, b := NewEventPair()
+
+	a.Write([]byte("tail"))
+	a.Close()
+
+	// Close is bidirectional: the local side EOFs (buffered data
+	// discarded), writes on either side error as a closed pipe.
+	if _, err := a.Read(make([]byte, 4)); err != io.EOF {
+		t.Fatalf("local read after close = %v, want EOF", err)
+	}
+	if _, err := a.Write([]byte("x")); !ErrClosed(err) {
+		t.Fatalf("local write after close = %v", err)
+	}
+	if _, err := b.Write([]byte("x")); !ErrClosed(err) {
+		t.Fatalf("peer write after close = %v", err)
+	}
+	// The peer drains what was in flight before seeing EOF.
+	p := make([]byte, 8)
+	if n, err := b.Read(p); err != nil || string(p[:n]) != "tail" {
+		t.Fatalf("peer drain after close = %q, %v", p[:n], err)
+	}
+	if _, err := b.Read(p); err != io.EOF {
+		t.Fatalf("peer read after drain = %v, want EOF", err)
+	}
+	if err := b.SetReadDeadline(time.Now()); !ErrClosed(err) {
+		t.Fatalf("deadline on closed conn = %v", err)
+	}
+	if ErrClosed(io.EOF) {
+		t.Fatal("ErrClosed(io.EOF) = true")
+	}
+}
+
+// TestEventConnCloseWakesReader: a parked reader sees EOF as soon as
+// either end closes — teardown must never strand a handshake.
+func TestEventConnCloseWakesReader(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a, b := NewEventPair()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 4))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("woken read = %v, want EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close never woke the reader")
+	}
+}
+
+// TestEventConnCompaction drives the long-lived-conn path: consuming a
+// large prefix in small reads must compact the buffer rather than grow
+// it forever, without corrupting the byte stream.
+func TestEventConnCompaction(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	a, b := NewEventPair()
+	defer a.Close()
+
+	payload := make([]byte, 16<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	a.Write(payload)
+	var got []byte
+	p := make([]byte, 1024)
+	for len(got) < len(payload) {
+		n, err := b.Read(p)
+		if err != nil {
+			t.Fatalf("read at %d: %v", len(got), err)
+		}
+		got = append(got, p[:n]...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("stream corrupted across compaction")
+	}
+}
+
+func TestEventConnAddrs(t *testing.T) {
+	a, _ := NewEventPair()
+	defer a.Close()
+	if a.LocalAddr().Network() != "event" || a.RemoteAddr().String() != "event" {
+		t.Fatalf("addrs = %v / %v", a.LocalAddr(), a.RemoteAddr())
+	}
+}

@@ -1,0 +1,131 @@
+// Package testutil holds test-only infrastructure shared across the
+// repo's suites. Its centerpiece is a goroutine-leak checker:
+// snapshot the live goroutines when a test starts, diff at teardown
+// with stack filtering, and fail the test naming the survivors. The
+// sharded delivery core's whole value proposition is goroutine
+// accounting — O(shards), not O(sessions) — so every server, client,
+// and chaos test runs under this checker.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Goroutine is one parsed entry from a full runtime stack dump.
+type Goroutine struct {
+	ID    string // numeric id from the "goroutine N [state]:" header
+	State string // e.g. "chan receive", "IO wait"
+	Stack string // full text including header
+}
+
+// benign reports stacks that are never a leak: the test runner
+// itself, runtime helpers, signal plumbing, and this checker.
+func benign(g Goroutine) bool {
+	for _, line := range strings.Split(g.Stack, "\n") {
+		line = strings.TrimSpace(line)
+		for _, p := range []string{
+			"testing.RunTests",
+			"testing.Main(",
+			"testing.tRunner(",
+			"testing.(*T).Run(",
+			"testing.(*M).",
+			"testing.runFuzzing(",
+			"testing.runFuzzTests(",
+			"runtime.goexit",
+			"os/signal.signal_recv",
+			"os/signal.loop",
+			"runtime/pprof.",
+			"thinc/internal/testutil.snapshot",
+		} {
+			if strings.HasPrefix(line, p) || strings.HasPrefix(line, "created by "+strings.TrimSuffix(p, "(")) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// snapshot parses a full goroutine dump.
+func snapshot() []Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []Goroutine
+	for _, blk := range strings.Split(string(buf), "\n\n") {
+		if !strings.HasPrefix(blk, "goroutine ") {
+			continue
+		}
+		head, _, _ := strings.Cut(blk, "\n")
+		rest := strings.TrimPrefix(head, "goroutine ")
+		id, state, _ := strings.Cut(rest, " ")
+		state = strings.Trim(state, "[]:")
+		out = append(out, Goroutine{ID: id, State: state, Stack: blk})
+	}
+	return out
+}
+
+// leakedSince returns non-benign goroutines that are running now but
+// were not in base, polling until they drain or the deadline passes —
+// teardown is allowed a settle window because conn close and worker
+// exit are asynchronous.
+func leakedSince(base map[string]bool, deadline time.Duration) []Goroutine {
+	var leaked []Goroutine
+	stop := time.Now().Add(deadline)
+	for {
+		leaked = leaked[:0]
+		for _, g := range snapshot() {
+			if base[g.ID] || benign(g) {
+				continue
+			}
+			leaked = append(leaked, g)
+		}
+		if len(leaked) == 0 || time.Now().After(stop) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// CheckGoroutines snapshots the current goroutines and registers a
+// cleanup that fails the test if goroutines created during the test
+// outlive it (after a settle grace). Call it first thing:
+//
+//	func TestServeConn(t *testing.T) {
+//		testutil.CheckGoroutines(t)
+//		...
+//	}
+//
+// Cleanups run LIFO, so resources released via t.Cleanup after this
+// call are torn down before the leak diff runs.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := map[string]bool{}
+	for _, g := range snapshot() {
+		base[g.ID] = true
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't bury the real failure under leak noise
+		}
+		leaked := leakedSince(base, 5*time.Second)
+		if len(leaked) == 0 {
+			return
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d goroutine(s) leaked by this test:\n", len(leaked))
+		for _, g := range leaked {
+			fmt.Fprintf(&b, "\n%s\n", g.Stack)
+		}
+		t.Errorf("%s", b.String())
+	})
+}

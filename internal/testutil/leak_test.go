@@ -1,0 +1,95 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func baseIDs() map[string]bool {
+	base := map[string]bool{}
+	for _, g := range snapshot() {
+		base[g.ID] = true
+	}
+	return base
+}
+
+func TestSnapshotSeesSelf(t *testing.T) {
+	gs := snapshot()
+	if len(gs) == 0 {
+		t.Fatalf("snapshot returned no goroutines")
+	}
+	found := false
+	for _, g := range gs {
+		if strings.Contains(g.Stack, "testutil.snapshot") && g.ID != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot did not include the snapshotting goroutine")
+	}
+}
+
+func TestLeakDetected(t *testing.T) {
+	base := baseIDs()
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop // deliberate leak for the duration of the check
+	}()
+	<-started
+	leaked := leakedSince(base, 50*time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("leakedSince found %d goroutines, want 1", len(leaked))
+	}
+	if !strings.Contains(leaked[0].Stack, "TestLeakDetected") {
+		t.Fatalf("leak report missing origin stack:\n%s", leaked[0].Stack)
+	}
+}
+
+func TestSettleGraceDrains(t *testing.T) {
+	base := baseIDs()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond) // slow but clean shutdown
+		close(done)
+	}()
+	if leaked := leakedSince(base, 2*time.Second); len(leaked) != 0 {
+		t.Fatalf("settle window did not absorb a draining goroutine: %d leaked", len(leaked))
+	}
+	<-done
+}
+
+func TestPreexistingGoroutinesIgnored(t *testing.T) {
+	// A goroutine started before the snapshot is not a leak.
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() { close(started); <-stop }()
+	<-started
+	base := baseIDs()
+	if leaked := leakedSince(base, 50*time.Millisecond); len(leaked) != 0 {
+		t.Fatalf("preexisting goroutine reported as leak")
+	}
+}
+
+// CheckGoroutines in its natural habitat: a clean test must pass.
+func TestCheckGoroutinesClean(t *testing.T) {
+	CheckGoroutines(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestBenignFilter(t *testing.T) {
+	g := Goroutine{Stack: "goroutine 1 [chan receive]:\ntesting.(*T).Run(0xc000001)\n\t/go/src/testing/testing.go:1"}
+	if !benign(g) {
+		t.Fatalf("test-runner goroutine not filtered")
+	}
+	g2 := Goroutine{Stack: "goroutine 9 [chan receive]:\nthinc/internal/server.(*Host).flushLoop(0xc000001)\n\t/repo/server.go:1"}
+	if benign(g2) {
+		t.Fatalf("server goroutine wrongly filtered")
+	}
+}
